@@ -1,0 +1,148 @@
+// Ablation study of TurboFlux's design choices (DESIGN.md E16):
+//
+//  A1 — incremental DCG maintenance vs recomputing the DCG from scratch
+//       after every update (what a naive realization of the edge
+//       transition model would cost);
+//  A2 — cost-based matching order (explicit-path statistics, Section 4.1)
+//       vs a plain BFS order of the query tree;
+//  A3 — storage: DCG edges vs SJ-Tree partial-solution slots on the same
+//       query set (the Figure 3 trade-off).
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "common/experiment.h"
+#include "common/flags.h"
+#include "turboflux/core/turboflux.h"
+#include "turboflux/harness/runner.h"
+#include "turboflux/harness/table.h"
+
+namespace turboflux {
+namespace bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  Flags flags(argc, argv,
+              {"scale", "queries", "timeout_ms", "seed", "size", "ops"});
+  double scale = flags.GetDouble("scale", 0.5);
+  int64_t num_queries = flags.GetInt("queries", 6);
+  int64_t timeout_ms = flags.GetInt("timeout_ms", 4000);
+  uint64_t seed = flags.GetInt("seed", 42);
+  int64_t size = flags.GetInt("size", 6);
+  size_t rebuild_ops = static_cast<size_t>(flags.GetInt("ops", 200));
+
+  workload::Dataset dataset = MakeLsBenchDataset(scale, 0.10, 0.0, seed);
+  workload::QueryGenConfig qc;
+  qc.shape = workload::QueryShape::kTree;
+  qc.num_edges = static_cast<size_t>(size);
+  qc.count = static_cast<size_t>(num_queries);
+  qc.seed = seed;
+  std::vector<QueryGraph> queries = workload::GenerateQueries(dataset, qc);
+  std::printf("Ablations on LSBench tree queries of size %lld "
+              "(scale=%.2f, %zu queries)\n\n",
+              static_cast<long long>(size), scale, queries.size());
+
+  // --- A1: incremental maintenance vs rebuild-per-update ---
+  {
+    std::printf("A1: incremental DCG maintenance vs rebuild per update "
+                "(first %zu stream ops)\n", rebuild_ops);
+    Table table({"query", "incremental", "rebuild/update", "speedup"});
+    workload::Dataset truncated = dataset;
+    TruncateStream(truncated, rebuild_ops);
+    for (size_t i = 0; i < queries.size(); ++i) {
+      TurboFluxEngine engine;
+      CountingSink sink;
+      if (!engine.Init(queries[i], truncated.initial, sink,
+                       Deadline::AfterMillis(timeout_ms))) {
+        continue;
+      }
+      Stopwatch inc_watch;
+      for (const UpdateOp& op : truncated.stream) {
+        engine.ApplyUpdate(op, sink, Deadline::Infinite());
+      }
+      double incremental = inc_watch.ElapsedSeconds();
+      // Rebuild cost: one from-scratch DCG construction per update on the
+      // final graph (a lower bound for the naive strategy, which would
+      // also re-run the search).
+      Stopwatch rb_watch;
+      size_t rebuilds = std::min<size_t>(truncated.stream.size(), 32);
+      for (size_t r = 0; r < rebuilds; ++r) {
+        Dcg fresh = engine.RebuildDcgFromScratch();
+        (void)fresh;
+      }
+      double rebuild = rb_watch.ElapsedSeconds() /
+                       static_cast<double>(std::max<size_t>(rebuilds, 1)) *
+                       static_cast<double>(truncated.stream.size());
+      std::string qname = "Q";
+      qname += std::to_string(i);
+      table.AddRow({qname, Table::FormatSeconds(incremental),
+                    Table::FormatSeconds(rebuild),
+                    Table::FormatRatio(rebuild / std::max(incremental,
+                                                          1e-9))});
+    }
+    table.Print(std::cout);
+    std::printf("\n");
+  }
+
+  // --- A2: cost-based vs BFS matching order ---
+  {
+    std::printf("A2: cost-based matching order vs BFS order\n");
+    Table table({"query", "cost-based", "bfs-order", "bfs/cost"});
+    for (size_t i = 0; i < queries.size(); ++i) {
+      double secs[2] = {0, 0};
+      bool ok = true;
+      for (int variant = 0; variant < 2; ++variant) {
+        TurboFluxOptions options;
+        options.order_policy =
+            variant == 0 ? TurboFluxOptions::OrderPolicy::kCostBased
+                         : TurboFluxOptions::OrderPolicy::kBfs;
+        TurboFluxEngine engine(options);
+        CountingSink sink;
+        RunOptions run_options;
+        run_options.timeout_ms = timeout_ms;
+        RunResult r = RunContinuous(engine, queries[i], dataset.initial,
+                                    dataset.stream, sink, run_options);
+        if (r.timed_out) {
+          ok = false;
+          break;
+        }
+        secs[variant] = r.stream_seconds;
+      }
+      if (!ok) continue;
+      std::string qname = "Q";
+      qname += std::to_string(i);
+      table.AddRow({qname, Table::FormatSeconds(secs[0]),
+                    Table::FormatSeconds(secs[1]),
+                    Table::FormatRatio(secs[1] / std::max(secs[0], 1e-9))});
+    }
+    table.Print(std::cout);
+    std::printf("\n");
+  }
+
+  // --- A3: storage trade-off (Figure 3) ---
+  {
+    std::printf("A3: storage trade-off, DCG vs SJ-Tree materialization\n");
+    ExperimentOptions options;
+    options.timeout_ms = timeout_ms;
+    QuerySetResult tf =
+        RunQuerySet(EngineKind::kTurboFlux, dataset, queries, options);
+    QuerySetResult sj =
+        RunQuerySet(EngineKind::kSjTree, dataset, queries, options);
+    Table table({"engine", "avg intermediate size", "avg cost"});
+    table.AddRow({"TurboFlux",
+                  Table::FormatCount(tf.aggregate.mean_peak_intermediate),
+                  Table::FormatSeconds(tf.aggregate.mean_stream_seconds)});
+    table.AddRow({"SJ-Tree",
+                  Table::FormatCount(sj.aggregate.mean_peak_intermediate),
+                  Table::FormatSeconds(sj.aggregate.mean_stream_seconds)});
+    table.Print(std::cout);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace turboflux
+
+int main(int argc, char** argv) { return turboflux::bench::Main(argc, argv); }

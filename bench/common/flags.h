@@ -1,0 +1,34 @@
+#ifndef TURBOFLUX_BENCH_COMMON_FLAGS_H_
+#define TURBOFLUX_BENCH_COMMON_FLAGS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace turboflux {
+namespace bench {
+
+/// Minimal `--key=value` command-line parser shared by the figure
+/// binaries. Unknown flags abort with a usage message so typos do not
+/// silently run the default experiment.
+class Flags {
+ public:
+  Flags(int argc, char** argv, const std::vector<std::string>& known);
+
+  int64_t GetInt(const std::string& key, int64_t default_value) const;
+  double GetDouble(const std::string& key, double default_value) const;
+  bool GetBool(const std::string& key, bool default_value) const;
+  std::string GetString(const std::string& key,
+                        const std::string& default_value) const;
+  /// Comma-separated integer list, e.g. `--sizes=3,6,9,12`.
+  std::vector<int64_t> GetIntList(const std::string& key,
+                                  std::vector<int64_t> default_value) const;
+
+ private:
+  std::vector<std::pair<std::string, std::string>> values_;
+};
+
+}  // namespace bench
+}  // namespace turboflux
+
+#endif  // TURBOFLUX_BENCH_COMMON_FLAGS_H_

@@ -1,0 +1,103 @@
+// Figure 1 / Figure 2 reproduction: the paper's motivating example. A
+// query with a high-fanout star and a selective tail is run over the
+// reconstructed g0 and the two updates Δo1 and Δo2. We report, per graph
+// version, the DCG size (Figure 2c-e: 213/214/215 edges in the paper;
+// 212/213/214 here because our ChooseStartQVertex roots at u1 and so
+// stores one artificial edge instead of two) against SJ-Tree's
+// materialized partial-solution slots (Figure 2b: 11,311 -> 22,613), and
+// the positive matches of each update (0 for Δo1, 200 for Δo2).
+
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "common/experiment.h"
+#include "turboflux/baseline/sj_tree.h"
+#include "turboflux/core/turboflux.h"
+#include "turboflux/harness/table.h"
+
+namespace turboflux {
+namespace bench {
+namespace {
+
+constexpr Label kA = 0, kB = 1, kC = 2, kG = 3, kD = 4;
+
+int Main() {
+  QueryGraph q;
+  QVertexId u0 = q.AddVertex(LabelSet{kA});
+  QVertexId u1 = q.AddVertex(LabelSet{kB});
+  QVertexId u2 = q.AddVertex(LabelSet{kC});
+  QVertexId u3 = q.AddVertex(LabelSet{kG});
+  q.AddEdge(u0, 0, u1);
+  q.AddEdge(u1, 0, u2);
+  q.AddEdge(u1, 0, u3);
+  QVertexId u4 = q.AddVertex(LabelSet{kD});
+  q.AddEdge(u3, 0, u4);
+
+  Graph g0;
+  VertexId v0 = g0.AddVertex(LabelSet{kA});
+  VertexId v1 = g0.AddVertex(LabelSet{kA});
+  VertexId v2 = g0.AddVertex(LabelSet{kB});
+  VertexId first_c = g0.AddVertex(LabelSet{kC});
+  for (int i = 1; i < 100; ++i) g0.AddVertex(LabelSet{kC});
+  VertexId first_g = g0.AddVertex(LabelSet{kG});
+  for (int i = 1; i < 110; ++i) g0.AddVertex(LabelSet{kG});
+  VertexId v414 = g0.AddVertex(LabelSet{kD});
+  g0.AddEdge(v0, 0, v2);
+  for (int i = 0; i < 100; ++i) g0.AddEdge(v2, 0, first_c + i);
+  for (int i = 0; i < 110; ++i) g0.AddEdge(v2, 0, first_g + i);
+  std::vector<VertexId> decoy_g;
+  for (int i = 0; i < 4; ++i) decoy_g.push_back(g0.AddVertex(LabelSet{kG}));
+  for (int i = 0; i < 200; ++i) {
+    VertexId d = g0.AddVertex(LabelSet{kD});
+    g0.AddEdge(decoy_g[i % 4], 0, d);
+  }
+  UpdateOp delta1 = UpdateOp::Insert(v1, 0, v2);
+  UpdateOp delta2 = UpdateOp::Insert(first_g, 0, v414);
+
+  TurboFluxEngine tf;
+  SjTreeEngine sj;
+  CountingSink tf_init, sj_init;
+  tf.Init(q, g0, tf_init, Deadline::Infinite());
+  sj.Init(q, g0, sj_init, Deadline::Infinite());
+
+  Table table({"graph", "update", "positive", "DCG edges (TurboFlux)",
+               "partial-solution slots (SJ-Tree)", "ratio"});
+  auto add_row = [&](const std::string& name, const std::string& upd,
+                     uint64_t pos) {
+    table.AddRow({name, upd, std::to_string(pos),
+                  std::to_string(tf.IntermediateSize()),
+                  std::to_string(sj.IntermediateSize()),
+                  Table::FormatRatio(
+                      static_cast<double>(sj.IntermediateSize()) /
+                      static_cast<double>(tf.IntermediateSize()))});
+  };
+  add_row("g0", "(init)", tf_init.positive());
+
+  CountingSink tf1, sj1;
+  tf.ApplyUpdate(delta1, tf1, Deadline::Infinite());
+  sj.ApplyUpdate(delta1, sj1, Deadline::Infinite());
+  add_row("g1", "do1=+(v1,v2)", tf1.positive());
+
+  CountingSink tf2, sj2;
+  tf.ApplyUpdate(delta2, tf2, Deadline::Infinite());
+  sj.ApplyUpdate(delta2, sj2, Deadline::Infinite());
+  add_row("g2", "do2=+(v104,v414)", tf2.positive());
+
+  std::printf("Figure 1/2: running example -- DCG vs SJ-Tree storage\n");
+  table.Print(std::cout);
+  std::printf(
+      "\npaper: do1 -> 0 matches, do2 -> 200 matches; DCG stays O(100)\n"
+      "edges while SJ-Tree stores 10^4-10^5 partial-solution slots.\n");
+  bool shape_ok = tf1.positive() == 0 && tf2.positive() == 200 &&
+                  sj1.positive() == 0 && sj2.positive() == 200 &&
+                  sj.IntermediateSize() > 10 * tf.IntermediateSize();
+  std::printf("shape check: %s\n", shape_ok ? "OK" : "MISMATCH");
+  return shape_ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace turboflux
+
+int main() { return turboflux::bench::Main(); }

@@ -1,0 +1,76 @@
+// Figure 6 reproduction: LSBench tree queries of size 3/6/9/12.
+//
+//  * 6a: average cost(M(Δg,q)) for TurboFlux vs SJ-Tree vs Graphflow;
+//  * 6b: average intermediate-result size, TurboFlux vs SJ-Tree;
+//  * 6c/6d (--scatter): per-query time pairs.
+//
+// Expected shape: TurboFlux wins on every query; SJ-Tree and Graphflow
+// trail by 1-3 orders of magnitude (the paper reports 77-379x over
+// SJ-Tree and 515-1276x over Graphflow at full scale); SJ-Tree's
+// intermediate results dwarf the DCG.
+
+#include <cstdio>
+#include <string>
+
+#include "common/experiment.h"
+#include "common/flags.h"
+
+namespace turboflux {
+namespace bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  Flags flags(argc, argv,
+              {"scale", "queries", "timeout_ms", "seed", "sizes", "scatter"});
+  double scale = flags.GetDouble("scale", 2.0);
+  int64_t num_queries = flags.GetInt("queries", 8);
+  ExperimentOptions options;
+  options.timeout_ms = flags.GetInt("timeout_ms", 3000);
+  uint64_t seed = flags.GetInt("seed", 42);
+  std::vector<int64_t> sizes = flags.GetIntList("sizes", {3, 6, 9, 12});
+  bool scatter = flags.GetBool("scatter", false);
+
+  std::printf("Figure 6: LSBench tree queries (scale=%.2f, %lld queries "
+              "per size, timeout %lldms)\n",
+              scale, static_cast<long long>(num_queries),
+              static_cast<long long>(options.timeout_ms));
+  workload::Dataset dataset = MakeLsBenchDataset(scale, 0.10, 0.0, seed);
+  std::printf("dataset: |V|=%zu |E(g0)|=%zu |dg|=%zu\n\n",
+              dataset.initial.VertexCount(), dataset.initial.EdgeCount(),
+              dataset.stream.size());
+
+  FigureReport report("size");
+  for (int64_t size : sizes) {
+    workload::QueryGenConfig qc;
+    qc.shape = workload::QueryShape::kTree;
+    qc.num_edges = static_cast<size_t>(size);
+    qc.count = static_cast<size_t>(num_queries);
+    qc.seed = seed + static_cast<uint64_t>(size);
+    std::vector<QueryGraph> queries = workload::GenerateQueries(dataset, qc);
+
+    QuerySetResult tf =
+        RunQuerySet(EngineKind::kTurboFlux, dataset, queries, options);
+    QuerySetResult sj =
+        RunQuerySet(EngineKind::kSjTree, dataset, queries, options);
+    QuerySetResult gf =
+        RunQuerySet(EngineKind::kGraphflow, dataset, queries, options);
+    std::string x = std::to_string(size);
+    report.AddRow(x, EngineKind::kTurboFlux, tf);
+    report.AddRow(x, EngineKind::kSjTree, sj);
+    report.AddRow(x, EngineKind::kGraphflow, gf);
+    if (scatter) {
+      PrintScatter("Fig 6c size " + x, tf.per_query_seconds,
+                   sj.per_query_seconds, "SJ-Tree");
+      PrintScatter("Fig 6d size " + x, tf.per_query_seconds,
+                   gf.per_query_seconds, "Graphflow");
+    }
+  }
+  report.Print();
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace turboflux
+
+int main(int argc, char** argv) { return turboflux::bench::Main(argc, argv); }

@@ -1,0 +1,73 @@
+// Figure 7 reproduction: LSBench graph (cyclic) queries of size 6/9/12.
+// Same measurements as Figure 6; expected shape: TurboFlux still wins
+// (the paper reports 21-115x over SJ-Tree, 91-240x over Graphflow), with
+// more baseline timeouts than the tree-query experiment.
+
+#include <cstdio>
+#include <string>
+
+#include "common/experiment.h"
+#include "common/flags.h"
+
+namespace turboflux {
+namespace bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  Flags flags(argc, argv,
+              {"scale", "queries", "timeout_ms", "seed", "sizes", "scatter"});
+  double scale = flags.GetDouble("scale", 2.0);
+  int64_t num_queries = flags.GetInt("queries", 8);
+  ExperimentOptions options;
+  options.timeout_ms = flags.GetInt("timeout_ms", 3000);
+  uint64_t seed = flags.GetInt("seed", 42);
+  std::vector<int64_t> sizes = flags.GetIntList("sizes", {6, 9, 12});
+  bool scatter = flags.GetBool("scatter", false);
+
+  std::printf("Figure 7: LSBench graph (cyclic) queries (scale=%.2f)\n",
+              scale);
+  workload::Dataset dataset = MakeLsBenchDataset(scale, 0.10, 0.0, seed);
+  std::printf("dataset: |V|=%zu |E(g0)|=%zu |dg|=%zu\n\n",
+              dataset.initial.VertexCount(), dataset.initial.EdgeCount(),
+              dataset.stream.size());
+
+  FigureReport report("size");
+  for (int64_t size : sizes) {
+    workload::QueryGenConfig qc;
+    qc.shape = workload::QueryShape::kGraph;
+    qc.num_edges = static_cast<size_t>(size);
+    qc.count = static_cast<size_t>(num_queries);
+    qc.seed = seed + static_cast<uint64_t>(size);
+    std::vector<QueryGraph> queries = workload::GenerateQueries(dataset, qc);
+    if (queries.empty()) {
+      std::printf("(no cyclic queries of size %lld found; skipping)\n",
+                  static_cast<long long>(size));
+      continue;
+    }
+
+    QuerySetResult tf =
+        RunQuerySet(EngineKind::kTurboFlux, dataset, queries, options);
+    QuerySetResult sj =
+        RunQuerySet(EngineKind::kSjTree, dataset, queries, options);
+    QuerySetResult gf =
+        RunQuerySet(EngineKind::kGraphflow, dataset, queries, options);
+    std::string x = std::to_string(size);
+    report.AddRow(x, EngineKind::kTurboFlux, tf);
+    report.AddRow(x, EngineKind::kSjTree, sj);
+    report.AddRow(x, EngineKind::kGraphflow, gf);
+    if (scatter) {
+      PrintScatter("Fig 7c size " + x, tf.per_query_seconds,
+                   sj.per_query_seconds, "SJ-Tree");
+      PrintScatter("Fig 7d size " + x, tf.per_query_seconds,
+                   gf.per_query_seconds, "Graphflow");
+    }
+  }
+  report.Print();
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace turboflux
+
+int main(int argc, char** argv) { return turboflux::bench::Main(argc, argv); }

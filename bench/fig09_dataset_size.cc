@@ -1,0 +1,74 @@
+// Figure 9 reproduction: varying the dataset size with a fixed update
+// stream. The paper scales LSBench from 0.1M to 10M users; we scale the
+// laptop-size dataset by 0.5x/1x/2x (override with --scales). Expected
+// shape: TurboFlux and SJ-Tree are flat-ish in the initial-graph size
+// (they maintain incremental state), while Graphflow degrades because
+// each delta join runs against an ever larger graph.
+
+#include <cstdio>
+#include <string>
+
+#include "common/experiment.h"
+#include "common/flags.h"
+
+namespace turboflux {
+namespace bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  Flags flags(argc, argv,
+              {"queries", "timeout_ms", "seed", "scales", "size"});
+  int64_t num_queries = flags.GetInt("queries", 8);
+  ExperimentOptions options;
+  options.timeout_ms = flags.GetInt("timeout_ms", 3000);
+  uint64_t seed = flags.GetInt("seed", 42);
+  // Scale percentages of the default dataset: 50%, 100%, 200%.
+  std::vector<int64_t> scales = flags.GetIntList("scales", {50, 100, 200});
+  int64_t size = flags.GetInt("size", 6);
+
+  std::printf("Figure 9: varying dataset size, fixed-size update stream, "
+              "LSBench tree queries of size %lld\n\n",
+              static_cast<long long>(size));
+
+  // Fix the absolute stream length across scales (the paper fixes Δg and
+  // grows g0): generate each dataset with a stream fraction that yields
+  // roughly the same stream size as the 100% dataset.
+  const double base_fraction = 0.10;
+  FigureReport report("scale%");
+  for (int64_t pct : scales) {
+    double scale = static_cast<double>(pct) / 100.0;
+    double fraction = base_fraction / scale;
+    if (fraction > 0.5) fraction = 0.5;
+    workload::Dataset dataset =
+        MakeLsBenchDataset(scale, fraction, 0.0, seed);
+    workload::QueryGenConfig qc;
+    qc.shape = workload::QueryShape::kTree;
+    qc.num_edges = static_cast<size_t>(size);
+    qc.count = static_cast<size_t>(num_queries);
+    qc.seed = seed + static_cast<uint64_t>(pct);
+    std::vector<QueryGraph> queries = workload::GenerateQueries(dataset, qc);
+    std::printf("scale %lld%%: |E(g0)|=%zu |dg|=%zu\n",
+                static_cast<long long>(pct), dataset.initial.EdgeCount(),
+                dataset.stream.size());
+
+    std::string x = std::to_string(pct);
+    report.AddRow(x, EngineKind::kTurboFlux,
+                  RunQuerySet(EngineKind::kTurboFlux, dataset, queries,
+                              options));
+    report.AddRow(x, EngineKind::kSjTree,
+                  RunQuerySet(EngineKind::kSjTree, dataset, queries,
+                              options));
+    report.AddRow(x, EngineKind::kGraphflow,
+                  RunQuerySet(EngineKind::kGraphflow, dataset, queries,
+                              options));
+  }
+  std::printf("\n");
+  report.Print();
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace turboflux
+
+int main(int argc, char** argv) { return turboflux::bench::Main(argc, argv); }

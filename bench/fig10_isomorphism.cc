@@ -1,0 +1,72 @@
+// Figure 10 (Appendix B.1) reproduction: subgraph-isomorphism semantics
+// on LSBench tree and graph queries. Expected shape: the injectivity
+// constraint shrinks intermediate results, narrowing — but not closing —
+// the gaps (the paper reports 56-115x over SJ-Tree and 275-1118x over
+// Graphflow for tree queries; 14-64x and 49-72x for graph queries).
+
+#include <cstdio>
+#include <string>
+
+#include "common/experiment.h"
+#include "common/flags.h"
+
+namespace turboflux {
+namespace bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  Flags flags(argc, argv, {"scale", "queries", "timeout_ms", "seed"});
+  double scale = flags.GetDouble("scale", 2.0);
+  int64_t num_queries = flags.GetInt("queries", 8);
+  ExperimentOptions options;
+  options.timeout_ms = flags.GetInt("timeout_ms", 3000);
+  options.semantics = MatchSemantics::kIsomorphism;
+  uint64_t seed = flags.GetInt("seed", 42);
+
+  std::printf("Figure 10: subgraph-isomorphism semantics, LSBench "
+              "(scale=%.2f)\n\n", scale);
+  workload::Dataset dataset = MakeLsBenchDataset(scale, 0.10, 0.0, seed);
+
+  struct Config {
+    workload::QueryShape shape;
+    const char* name;
+    std::vector<int64_t> sizes;
+  };
+  const Config configs[] = {
+      {workload::QueryShape::kTree, "tree", {3, 6, 9, 12}},
+      {workload::QueryShape::kGraph, "graph", {6, 9, 12}},
+  };
+
+  for (const Config& config : configs) {
+    std::printf("-- %s queries --\n", config.name);
+    FigureReport report("size");
+    for (int64_t size : config.sizes) {
+      workload::QueryGenConfig qc;
+      qc.shape = config.shape;
+      qc.num_edges = static_cast<size_t>(size);
+      qc.count = static_cast<size_t>(num_queries);
+      qc.seed = seed + static_cast<uint64_t>(size);
+      std::vector<QueryGraph> queries =
+          workload::GenerateQueries(dataset, qc);
+      if (queries.empty()) continue;
+      std::string x = std::to_string(size);
+      report.AddRow(x, EngineKind::kTurboFlux,
+                    RunQuerySet(EngineKind::kTurboFlux, dataset, queries,
+                                options));
+      report.AddRow(x, EngineKind::kSjTree,
+                    RunQuerySet(EngineKind::kSjTree, dataset, queries,
+                                options));
+      report.AddRow(x, EngineKind::kGraphflow,
+                    RunQuerySet(EngineKind::kGraphflow, dataset, queries,
+                                options));
+    }
+    report.Print();
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace turboflux
+
+int main(int argc, char** argv) { return turboflux::bench::Main(argc, argv); }

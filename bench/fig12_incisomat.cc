@@ -1,0 +1,89 @@
+// Figure 12 (Appendix B.3) reproduction: TurboFlux vs IncIsoMat. The
+// paper runs just two size-6 tree queries — the ones with the minimum
+// and maximum TurboFlux cost — over a 10,000-insertion stream (12a) and
+// a mix of 10,000 insertions + 600 deletions (12b), because IncIsoMat is
+// too slow for anything larger. Expected shape: TurboFlux ahead by many
+// orders of magnitude (the paper reports up to 2,214,086x).
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+#include "common/experiment.h"
+#include "common/flags.h"
+
+namespace turboflux {
+namespace bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  Flags flags(argc, argv,
+              {"scale", "queries", "timeout_ms", "seed", "size", "ops"});
+  double scale = flags.GetDouble("scale", 0.3);
+  int64_t num_queries = flags.GetInt("queries", 8);
+  ExperimentOptions options;
+  options.timeout_ms = flags.GetInt("timeout_ms", 5000);
+  uint64_t seed = flags.GetInt("seed", 42);
+  int64_t size = flags.GetInt("size", 6);
+  size_t ops = static_cast<size_t>(flags.GetInt("ops", 1000));
+
+  std::printf("Figure 12: TurboFlux vs IncIsoMat (scale=%.2f, stream "
+              "truncated to %zu ops)\n\n", scale, ops);
+
+  for (double deletion_rate : {0.0, 0.06}) {
+    workload::Dataset dataset =
+        MakeLsBenchDataset(scale, 0.10, deletion_rate, seed);
+    TruncateStream(dataset, ops);
+
+    workload::QueryGenConfig qc;
+    qc.shape = workload::QueryShape::kTree;
+    qc.num_edges = static_cast<size_t>(size);
+    qc.count = static_cast<size_t>(num_queries);
+    qc.seed = seed;
+    std::vector<QueryGraph> queries = workload::GenerateQueries(dataset, qc);
+    if (queries.size() < 2) {
+      std::printf("not enough queries generated\n");
+      return 1;
+    }
+
+    // Pick the min- and max-cost queries under TurboFlux, as the paper
+    // does.
+    QuerySetResult probe =
+        RunQuerySet(EngineKind::kTurboFlux, dataset, queries, options);
+    size_t qmin = 0, qmax = 0;
+    for (size_t i = 1; i < probe.per_query_seconds.size(); ++i) {
+      if (probe.per_query_seconds[i] < 0) continue;
+      if (probe.per_query_seconds[i] < probe.per_query_seconds[qmin]) {
+        qmin = i;
+      }
+      if (probe.per_query_seconds[i] > probe.per_query_seconds[qmax]) {
+        qmax = i;
+      }
+    }
+    std::vector<QueryGraph> picked = {queries[qmin], queries[qmax]};
+
+    std::printf("-- %s stream (%zu ops) --\n",
+                deletion_rate == 0.0 ? "insertion-only (Fig 12a)"
+                                     : "mixed insert/delete (Fig 12b)",
+                dataset.stream.size());
+    FigureReport report("query");
+    const char* names[2] = {"Q(min)", "Q(max)"};
+    for (int i = 0; i < 2; ++i) {
+      std::vector<QueryGraph> one = {picked[i]};
+      report.AddRow(names[i], EngineKind::kTurboFlux,
+                    RunQuerySet(EngineKind::kTurboFlux, dataset, one,
+                                options));
+      report.AddRow(names[i], EngineKind::kIncIsoMat,
+                    RunQuerySet(EngineKind::kIncIsoMat, dataset, one,
+                                options));
+    }
+    report.Print();
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace turboflux
+
+int main(int argc, char** argv) { return turboflux::bench::Main(argc, argv); }

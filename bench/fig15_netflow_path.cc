@@ -1,0 +1,58 @@
+// Figure 15 (Appendix B.6) reproduction: Netflow *path* queries of size
+// 3/4/5 in the style of the SJ-Tree paper's query set. Expected shape:
+// some SJ-Tree timeouts on the non-selective queries; TurboFlux ahead of
+// SJ-Tree and Graphflow on the rest (the paper reports up to 4,715x and
+// 116x respectively).
+
+#include <cstdio>
+#include <string>
+
+#include "common/experiment.h"
+#include "common/flags.h"
+
+namespace turboflux {
+namespace bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  Flags flags(argc, argv,
+              {"scale", "queries", "timeout_ms", "seed", "sizes"});
+  double scale = flags.GetDouble("scale", 1.0);
+  int64_t num_queries = flags.GetInt("queries", 8);
+  ExperimentOptions options;
+  options.timeout_ms = flags.GetInt("timeout_ms", 2000);
+  uint64_t seed = flags.GetInt("seed", 7);
+  std::vector<int64_t> sizes = flags.GetIntList("sizes", {3, 4, 5});
+
+  std::printf("Figure 15: Netflow path queries from [7]'s query style "
+              "(scale=%.2f)\n\n", scale);
+  workload::Dataset dataset = MakeNetflowDataset(scale, 0.10, 0.0, seed);
+
+  FigureReport report("size");
+  for (int64_t size : sizes) {
+    workload::QueryGenConfig qc;
+    qc.shape = workload::QueryShape::kPath;
+    qc.num_edges = static_cast<size_t>(size);
+    qc.count = static_cast<size_t>(num_queries);
+    qc.seed = seed + static_cast<uint64_t>(size);
+    std::vector<QueryGraph> queries = workload::GenerateQueries(dataset, qc);
+    std::string x = std::to_string(size);
+    report.AddRow(x, EngineKind::kTurboFlux,
+                  RunQuerySet(EngineKind::kTurboFlux, dataset, queries,
+                              options));
+    report.AddRow(x, EngineKind::kSjTree,
+                  RunQuerySet(EngineKind::kSjTree, dataset, queries,
+                              options));
+    report.AddRow(x, EngineKind::kGraphflow,
+                  RunQuerySet(EngineKind::kGraphflow, dataset, queries,
+                              options));
+  }
+  report.Print();
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace turboflux
+
+int main(int argc, char** argv) { return turboflux::bench::Main(argc, argv); }

@@ -1,0 +1,99 @@
+// Figure 17 (Appendix C) reproduction: the selectivity distribution
+// (number of positive matches over the whole insertion stream) of every
+// query set, printed as a stacked-bar-style histogram over the paper's
+// eight ranges. Expected shape: tree queries span a wide selectivity
+// range; cyclic queries are more selective; Netflow queries have more
+// results than LSBench; path/binary-tree query styles skew selective.
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/experiment.h"
+#include "common/flags.h"
+#include "turboflux/harness/table.h"
+
+namespace turboflux {
+namespace bench {
+namespace {
+
+// The paper's eight selectivity buckets.
+const uint64_t kBucketEdges[] = {0, 10, 100, 1000, 10000, 100000, 1000000,
+                                 10000000};
+
+std::vector<size_t> Histogram(const std::vector<uint64_t>& counts) {
+  std::vector<size_t> buckets(8, 0);
+  for (uint64_t c : counts) {
+    size_t b = 0;
+    while (b + 1 < 8 && c >= kBucketEdges[b + 1]) ++b;
+    ++buckets[b];
+  }
+  return buckets;
+}
+
+int Main(int argc, char** argv) {
+  Flags flags(argc, argv, {"scale", "queries", "timeout_ms", "seed"});
+  double scale = flags.GetDouble("scale", 0.7);
+  int64_t num_queries = flags.GetInt("queries", 10);
+  int64_t timeout_ms = flags.GetInt("timeout_ms", 2000);
+  uint64_t seed = flags.GetInt("seed", 42);
+
+  std::printf("Figure 17: selectivity distribution of the query sets "
+              "(positive matches over the stream)\n\n");
+
+  workload::Dataset lsbench = MakeLsBenchDataset(scale, 0.10, 0.0, seed);
+  workload::Dataset netflow = MakeNetflowDataset(scale, 0.10, 0.0, seed);
+
+  struct Row {
+    const char* name;
+    const workload::Dataset* dataset;
+    workload::QueryShape shape;
+    std::vector<int64_t> sizes;
+  };
+  const Row rows[] = {
+      {"LSBench tree (17a)", &lsbench, workload::QueryShape::kTree,
+       {3, 6, 9, 12}},
+      {"LSBench graph (17b)", &lsbench, workload::QueryShape::kGraph,
+       {6, 9, 12}},
+      {"Netflow tree (17c)", &netflow, workload::QueryShape::kTree,
+       {3, 6, 9, 12}},
+      {"Netflow graph (17d)", &netflow, workload::QueryShape::kGraph,
+       {6, 9, 12}},
+      {"Netflow path [7] (17e)", &netflow, workload::QueryShape::kPath,
+       {3, 4, 5}},
+      {"Netflow btree [7] (17f)", &netflow,
+       workload::QueryShape::kBinaryTree, {4, 8, 12}},
+  };
+
+  Table table({"query set", "queries", "[0,10)", "[10,1e2)", "[1e2,1e3)",
+               "[1e3,1e4)", "[1e4,1e5)", "[1e5,1e6)", "[1e6,1e7)",
+               ">=1e7"});
+  for (const Row& row : rows) {
+    std::vector<uint64_t> counts;
+    for (int64_t size : row.sizes) {
+      workload::QueryGenConfig qc;
+      qc.shape = row.shape;
+      qc.num_edges = static_cast<size_t>(size);
+      qc.count = static_cast<size_t>(num_queries);
+      qc.seed = seed + static_cast<uint64_t>(size);
+      std::vector<QueryGraph> queries =
+          workload::GenerateQueries(*row.dataset, qc);
+      std::vector<uint64_t> sel =
+          QuerySelectivities(*row.dataset, queries, timeout_ms);
+      counts.insert(counts.end(), sel.begin(), sel.end());
+    }
+    std::vector<size_t> buckets = Histogram(counts);
+    std::vector<std::string> cells = {row.name, std::to_string(counts.size())};
+    for (size_t b : buckets) cells.push_back(std::to_string(b));
+    table.AddRow(cells);
+  }
+  table.Print(std::cout);
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace turboflux
+
+int main(int argc, char** argv) { return turboflux::bench::Main(argc, argv); }

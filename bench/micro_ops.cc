@@ -1,0 +1,141 @@
+// Micro-benchmarks (google-benchmark) of the core primitives:
+//
+//  * dynamic graph edge insert/probe/delete;
+//  * DCG state transitions;
+//  * BuildDCG over growing data graphs — Lemma 4.1 predicts
+//    O(|E(g)| * |V(q)|), i.e. roughly linear per-edge time as |E| grows;
+//  * one InsertEdgeAndEval step on a warm LSBench-like engine.
+
+#include <benchmark/benchmark.h>
+
+#include "common/experiment.h"
+#include "turboflux/common/rng.h"
+#include "turboflux/core/turboflux.h"
+#include "turboflux/workload/query_gen.h"
+
+namespace turboflux {
+namespace bench {
+namespace {
+
+void BM_GraphAddRemoveEdge(benchmark::State& state) {
+  Graph g;
+  for (int i = 0; i < 1000; ++i) g.AddVertex(LabelSet{0});
+  Rng rng(1);
+  for (auto _ : state) {
+    VertexId a = static_cast<VertexId>(rng.NextBounded(1000));
+    VertexId b = static_cast<VertexId>(rng.NextBounded(1000));
+    if (g.AddEdge(a, 0, b)) {
+      benchmark::DoNotOptimize(g.EdgeCount());
+      g.RemoveEdge(a, 0, b);
+    }
+  }
+}
+BENCHMARK(BM_GraphAddRemoveEdge);
+
+void BM_GraphHasEdge(benchmark::State& state) {
+  Graph g;
+  for (int i = 0; i < 1000; ++i) g.AddVertex(LabelSet{0});
+  Rng rng(2);
+  for (int i = 0; i < 20000; ++i) {
+    g.AddEdge(static_cast<VertexId>(rng.NextBounded(1000)), 0,
+              static_cast<VertexId>(rng.NextBounded(1000)));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        g.HasEdge(static_cast<VertexId>(rng.NextBounded(1000)), 0,
+                  static_cast<VertexId>(rng.NextBounded(1000))));
+  }
+}
+BENCHMARK(BM_GraphHasEdge);
+
+// One DCG edge lifecycle: N->I->E->I->N plus the bitmap updates.
+void BM_DcgTransitionCycle(benchmark::State& state) {
+  QueryGraph q;
+  QVertexId u0 = q.AddVertex(LabelSet{0});
+  QVertexId u1 = q.AddVertex(LabelSet{1});
+  q.AddEdge(u0, 0, u1);
+  QueryStats stats;
+  stats.edge_matches.assign(1, 1);
+  stats.vertex_matches.assign(2, 1);
+  QueryTree tree = QueryTree::Build(q, u0, stats);
+  Dcg dcg;
+  dcg.Reset(16, tree);
+  for (auto _ : state) {
+    dcg.SetState(0, 1, 1, DcgState::kImplicit);
+    dcg.SetState(0, 1, 1, DcgState::kExplicit);
+    dcg.SetState(0, 1, 1, DcgState::kImplicit);
+    dcg.SetState(0, 1, 1, DcgState::kNull);
+    benchmark::DoNotOptimize(dcg.EdgeCount());
+  }
+}
+BENCHMARK(BM_DcgTransitionCycle);
+
+// Lemma 4.1: full-DCG construction over a data graph of |E| edges; the
+// reported items_per_second should stay roughly flat as |E| grows.
+void BM_BuildDcgScaling(benchmark::State& state) {
+  double scale = static_cast<double>(state.range(0)) / 100.0;
+  workload::Dataset ds = MakeLsBenchDataset(scale, 0.10, 0.0, 11);
+  workload::QueryGenConfig qc;
+  qc.shape = workload::QueryShape::kTree;
+  qc.num_edges = 6;
+  qc.count = 1;
+  qc.seed = 5;
+  std::vector<QueryGraph> queries = workload::GenerateQueries(ds, qc);
+  if (queries.empty()) {
+    state.SkipWithError("no query generated");
+    return;
+  }
+  for (auto _ : state) {
+    TurboFluxEngine engine;
+    CountingSink sink;
+    engine.Init(queries[0], ds.initial, sink, Deadline::Infinite());
+    benchmark::DoNotOptimize(engine.dcg().EdgeCount());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(ds.initial.EdgeCount()));
+  state.counters["edges"] = static_cast<double>(ds.initial.EdgeCount());
+}
+BENCHMARK(BM_BuildDcgScaling)->Arg(25)->Arg(50)->Arg(100)->Arg(200);
+
+// Steady-state insertion cost on a warm engine.
+void BM_InsertEdgeAndEval(benchmark::State& state) {
+  workload::Dataset ds = MakeLsBenchDataset(0.5, 0.10, 0.0, 13);
+  workload::QueryGenConfig qc;
+  qc.shape = workload::QueryShape::kTree;
+  qc.num_edges = 6;
+  qc.count = 1;
+  qc.seed = 17;
+  std::vector<QueryGraph> queries = workload::GenerateQueries(ds, qc);
+  if (queries.empty() || ds.stream.empty()) {
+    state.SkipWithError("no query/stream generated");
+    return;
+  }
+  // The benchmark loop may need more iterations than the stream has
+  // ops, so cycle: apply every insertion, then delete them all in
+  // reverse, and repeat — every iteration is a real state change.
+  UpdateStream ops;
+  for (const UpdateOp& op : ds.stream) {
+    if (op.IsInsert()) ops.push_back(op);
+  }
+  size_t inserts = ops.size();
+  for (size_t i = inserts; i > 0; --i) {
+    const UpdateOp& op = ops[i - 1];
+    ops.push_back(UpdateOp::Delete(op.from, op.label, op.to));
+  }
+  TurboFluxEngine engine;
+  CountingSink sink;
+  engine.Init(queries[0], ds.initial, sink, Deadline::Infinite());
+  size_t i = 0;
+  for (auto _ : state) {
+    engine.ApplyUpdate(ops[i], sink, Deadline::Infinite());
+    i = (i + 1) % ops.size();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_InsertEdgeAndEval);
+
+}  // namespace
+}  // namespace bench
+}  // namespace turboflux
+
+BENCHMARK_MAIN();

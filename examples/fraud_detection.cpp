@@ -1,0 +1,111 @@
+// Fraud-ring detection (the paper's banking motivation, Section 1):
+// fraudsters organize into rings, detectable as cycles of money
+// transfers among accounts that share identity attributes. We register a
+// ring-shaped query — account -> account -> account -> back, where two
+// of the accounts share a phone number — over a synthetic transaction
+// stream and alert in real time as rings complete.
+//
+//   run: ./build/examples/fraud_detection
+
+#include <cstdio>
+
+#include "turboflux/common/rng.h"
+#include "turboflux/core/turboflux.h"
+
+using namespace turboflux;
+
+namespace {
+
+constexpr Label kAccount = 0, kPhone = 1;
+constexpr EdgeLabel kTransfer = 0, kUsesPhone = 1;
+
+class AlertSink : public MatchSink {
+ public:
+  void OnMatch(bool positive, const Mapping& m) override {
+    if (!positive) return;  // only alert on new rings
+    ++alerts_;
+    if (alerts_ <= 5) {
+      std::printf("  ALERT #%zu: fraud ring %s\n", alerts_,
+                  MappingToString(m).c_str());
+    }
+  }
+  size_t alerts() const { return alerts_; }
+
+ private:
+  size_t alerts_ = 0;
+};
+
+}  // namespace
+
+int main() {
+  // Query: a 3-cycle of transfers where the first and last account share
+  // a phone (a classic synthetic-identity signal).
+  QueryGraph query;
+  QVertexId a0 = query.AddVertex(LabelSet{kAccount});
+  QVertexId a1 = query.AddVertex(LabelSet{kAccount});
+  QVertexId a2 = query.AddVertex(LabelSet{kAccount});
+  QVertexId phone = query.AddVertex(LabelSet{kPhone});
+  query.AddEdge(a0, kTransfer, a1);
+  query.AddEdge(a1, kTransfer, a2);
+  query.AddEdge(a2, kTransfer, a0);  // the ring closes
+  query.AddEdge(a0, kUsesPhone, phone);
+  query.AddEdge(a2, kUsesPhone, phone);  // shared identity attribute
+
+  // Synthetic world: accounts, phones, an initial transfer history, then
+  // a live stream in which we plant a few rings.
+  const size_t kAccounts = 400, kPhones = 120;
+  Graph g0;
+  for (size_t i = 0; i < kAccounts; ++i) g0.AddVertex(LabelSet{kAccount});
+  for (size_t i = 0; i < kPhones; ++i) g0.AddVertex(LabelSet{kPhone});
+  Rng rng(2024);
+  auto account = [&](uint64_t i) { return static_cast<VertexId>(i); };
+  auto phone_v = [&](uint64_t i) {
+    return static_cast<VertexId>(kAccounts + i);
+  };
+  for (size_t i = 0; i < kAccounts; ++i) {
+    g0.AddEdge(account(i), kUsesPhone, phone_v(rng.NextBounded(kPhones)));
+  }
+  for (int i = 0; i < 1500; ++i) {
+    g0.AddEdge(account(rng.NextBounded(kAccounts)), kTransfer,
+               account(rng.NextBounded(kAccounts)));
+  }
+
+  // Isomorphism semantics: ring members must be *distinct* accounts
+  // (homomorphism would also flag a degenerate self-transfer).
+  TurboFluxOptions options;
+  options.semantics = MatchSemantics::kIsomorphism;
+  TurboFluxEngine engine(options);
+  AlertSink sink;
+  if (!engine.Init(query, g0, sink, Deadline::Infinite())) return 1;
+  std::printf("monitoring %zu accounts; DCG has %zu edges after init\n",
+              kAccounts, engine.IntermediateSize());
+
+  // Live stream: mostly random transfers, plus three planted rings whose
+  // members share a phone.
+  UpdateStream stream;
+  for (int ring = 0; ring < 3; ++ring) {
+    VertexId x = account(rng.NextBounded(kAccounts));
+    VertexId y = account(rng.NextBounded(kAccounts));
+    VertexId z = account(rng.NextBounded(kAccounts));
+    if (x == y || y == z || x == z) continue;
+    VertexId shared = phone_v(rng.NextBounded(kPhones));
+    stream.push_back(UpdateOp::Insert(x, kUsesPhone, shared));
+    stream.push_back(UpdateOp::Insert(z, kUsesPhone, shared));
+    for (int noise = 0; noise < 200; ++noise) {
+      stream.push_back(UpdateOp::Insert(account(rng.NextBounded(kAccounts)),
+                                        kTransfer,
+                                        account(rng.NextBounded(kAccounts))));
+    }
+    stream.push_back(UpdateOp::Insert(x, kTransfer, y));
+    stream.push_back(UpdateOp::Insert(y, kTransfer, z));
+    stream.push_back(UpdateOp::Insert(z, kTransfer, x));  // ring completes
+  }
+
+  std::printf("streaming %zu transactions...\n", stream.size());
+  for (const UpdateOp& op : stream) {
+    if (!engine.ApplyUpdate(op, sink, Deadline::Infinite())) return 1;
+  }
+  std::printf("done: %zu ring alerts (>=3 expected from the planted "
+              "rings)\n", sink.alerts());
+  return sink.alerts() >= 3 ? 0 : 1;
+}

@@ -1,0 +1,12 @@
+#!/bin/sh
+# Reproduces the whole evaluation: builds, runs the test suite, then every
+# figure bench. Outputs land in test_output.txt and bench_output.txt at
+# the repository root. Expect ~20-40 minutes on a laptop.
+set -e
+cd "$(dirname "$0")/.."
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build 2>&1 | tee test_output.txt
+(for b in build/bench/*; do
+   [ -x "$b" ] && [ -f "$b" ] && echo "=== $b ===" && "$b"
+ done) 2>&1 | tee bench_output.txt

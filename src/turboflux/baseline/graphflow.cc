@@ -1,0 +1,201 @@
+#include "turboflux/baseline/graphflow.h"
+
+#include <cassert>
+#include <limits>
+
+#include "turboflux/match/static_matcher.h"
+
+namespace turboflux {
+
+GraphflowEngine::GraphflowEngine(GraphflowOptions options)
+    : options_(options) {}
+
+std::string GraphflowEngine::name() const {
+  return options_.semantics == MatchSemantics::kIsomorphism ? "Graphflow-iso"
+                                                            : "Graphflow";
+}
+
+bool GraphflowEngine::Init(const QueryGraph& q, const Graph& g0,
+                           MatchSink& sink, Deadline deadline) {
+  assert(q.VertexCount() > 0 && q.EdgeCount() > 0 && q.IsConnected());
+  q_ = &q;
+  g_ = g0;
+  m_.assign(q.VertexCount(), kNullVertex);
+  mapped_.assign(q.VertexCount(), false);
+  dead_ = false;
+  has_updated_edge_ = false;
+  // Initial matches of g0 (a one-off static evaluation).
+  StaticMatchOptions opts;
+  opts.semantics = options_.semantics;
+  StaticMatcher matcher(g_, q, opts);
+  if (!matcher.FindAll(sink, deadline)) {
+    dead_ = true;
+    return false;
+  }
+  return true;
+}
+
+bool GraphflowEngine::ApplyUpdate(const UpdateOp& op, MatchSink& sink,
+                                  Deadline deadline) {
+  assert(q_ != nullptr && !dead_);
+  deadline_ = &deadline;
+  if (op.IsInsert()) {
+    if (g_.AddEdge(op.from, op.label, op.to)) {
+      EvalUpdate(op.from, op.label, op.to, /*positive=*/true, sink);
+    }
+  } else {
+    if (g_.HasEdge(op.from, op.label, op.to)) {
+      // Negative matches are those using the edge in the pre-deletion
+      // graph; evaluate first, then delete.
+      EvalUpdate(op.from, op.label, op.to, /*positive=*/false, sink);
+      g_.RemoveEdge(op.from, op.label, op.to);
+    }
+  }
+  deadline_ = nullptr;
+  if (deadline.ExpiredNow()) {
+    dead_ = true;
+    return false;
+  }
+  return true;
+}
+
+void GraphflowEngine::EvalUpdate(VertexId v, EdgeLabel l, VertexId v2,
+                                 bool positive, MatchSink& sink) {
+  has_updated_edge_ = true;
+  upd_from_ = v;
+  upd_label_ = l;
+  upd_to_ = v2;
+  const bool iso = options_.semantics == MatchSemantics::kIsomorphism;
+  for (const QEdge& qe : q_->edges()) {
+    if (!q_->EdgeMatches(qe, g_, v, l, v2)) continue;
+    if (qe.from == qe.to && v != v2) continue;
+    if (iso && qe.from != qe.to && v == v2) continue;
+    m_[qe.from] = v;
+    m_[qe.to] = v2;
+    mapped_[qe.from] = mapped_[qe.to] = true;
+    // Verify every *other* query edge already fixed by the seed mapping
+    // (reverse, parallel, and self-loop edges between the endpoints).
+    bool seed_ok = true;
+    for (const QEdge& other : q_->edges()) {
+      if (other.id == qe.id) continue;
+      if (m_[other.from] == kNullVertex || m_[other.to] == kNullVertex) {
+        continue;
+      }
+      if (!g_.HasEdge(m_[other.from], other.label, m_[other.to])) {
+        seed_ok = false;
+        break;
+      }
+    }
+    if (seed_ok) ExtendSeed(qe.id, positive, sink);
+    m_[qe.from] = m_[qe.to] = kNullVertex;
+    mapped_[qe.from] = mapped_[qe.to] = false;
+    if (deadline_->Expired()) break;
+  }
+  has_updated_edge_ = false;
+}
+
+void GraphflowEngine::ExtendSeed(QEdgeId eq, bool positive, MatchSink& sink) {
+  size_t matched = 0;
+  for (bool b : mapped_) matched += b ? 1 : 0;
+  Extend(matched, eq, positive, sink);
+}
+
+bool GraphflowEngine::EdgesToMappedOk(QVertexId u, VertexId v) const {
+  for (QEdgeId e : q_->OutEdgeIds(u)) {
+    const QEdge& qe = q_->edge(e);
+    VertexId w = qe.to == u ? v : m_[qe.to];
+    if (w == kNullVertex) continue;
+    if (!g_.HasEdge(v, qe.label, w)) return false;
+  }
+  for (QEdgeId e : q_->InEdgeIds(u)) {
+    const QEdge& qe = q_->edge(e);
+    if (qe.from == u) continue;  // self-loop, already checked above
+    VertexId w = m_[qe.from];
+    if (w == kNullVertex) continue;
+    if (!g_.HasEdge(w, qe.label, v)) return false;
+  }
+  return true;
+}
+
+void GraphflowEngine::Extend(size_t matched_count, QEdgeId eq, bool positive,
+                             MatchSink& sink) {
+  if (deadline_->Expired()) return;
+  if (matched_count == q_->VertexCount()) {
+    Report(eq, positive, sink);
+    return;
+  }
+
+  // Generic Join: pick the unmapped query vertex (adjacent to a mapped
+  // one) with the smallest candidate-set bound; its candidates come from
+  // the smallest adjacency list among its mapped neighbours.
+  QVertexId best_u = kNullQVertex;
+  size_t best_size = std::numeric_limits<size_t>::max();
+  bool best_out = true;  // direction of the anchor adjacency scan
+  VertexId best_base = kNullVertex;
+  EdgeLabel best_label = 0;
+
+  for (QVertexId u = 0; u < q_->VertexCount(); ++u) {
+    if (mapped_[u]) continue;
+    for (QEdgeId e : q_->InEdgeIds(u)) {
+      const QEdge& qe = q_->edge(e);
+      if (qe.from == u || !mapped_[qe.from]) continue;
+      size_t size = g_.OutDegree(m_[qe.from]);
+      if (size < best_size) {
+        best_size = size;
+        best_u = u;
+        best_out = true;
+        best_base = m_[qe.from];
+        best_label = qe.label;
+      }
+    }
+    for (QEdgeId e : q_->OutEdgeIds(u)) {
+      const QEdge& qe = q_->edge(e);
+      if (qe.to == u || !mapped_[qe.to]) continue;
+      size_t size = g_.InDegree(m_[qe.to]);
+      if (size < best_size) {
+        best_size = size;
+        best_u = u;
+        best_out = false;
+        best_base = m_[qe.to];
+        best_label = qe.label;
+      }
+    }
+  }
+  assert(best_u != kNullQVertex);  // query is connected
+
+  const bool iso = options_.semantics == MatchSemantics::kIsomorphism;
+  const std::vector<AdjEntry>& adj =
+      best_out ? g_.OutEdges(best_base) : g_.InEdges(best_base);
+  for (const AdjEntry& a : adj) {
+    if (a.label != best_label) continue;
+    VertexId x = a.other;
+    if (!q_->VertexMatches(best_u, g_, x)) continue;
+    if (iso && MappingContains(m_, x)) continue;
+    if (!EdgesToMappedOk(best_u, x)) continue;
+    m_[best_u] = x;
+    mapped_[best_u] = true;
+    Extend(matched_count + 1, eq, positive, sink);
+    m_[best_u] = kNullVertex;
+    mapped_[best_u] = false;
+    if (deadline_->Expired()) return;
+  }
+}
+
+void GraphflowEngine::Report(QEdgeId eq, bool positive, MatchSink& sink) {
+  // Total-order duplicate elimination: among all query edges this solution
+  // maps onto the updated data edge, only the maximum (insertion) /
+  // minimum (deletion) one reports.
+  if (has_updated_edge_) {
+    for (const QEdge& qe : q_->edges()) {
+      if (qe.id == eq) continue;
+      if (m_[qe.from] == upd_from_ && qe.label == upd_label_ &&
+          m_[qe.to] == upd_to_) {
+        if (positive && qe.id > eq) return;
+        if (!positive && qe.id < eq) return;
+      }
+    }
+  }
+  sink.OnMatch(positive, m_);
+}
+
+}  // namespace turboflux

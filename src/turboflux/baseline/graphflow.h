@@ -1,0 +1,70 @@
+#ifndef TURBOFLUX_BASELINE_GRAPHFLOW_H_
+#define TURBOFLUX_BASELINE_GRAPHFLOW_H_
+
+#include <string>
+#include <vector>
+
+#include "turboflux/common/types.h"
+#include "turboflux/harness/engine.h"
+#include "turboflux/query/query_graph.h"
+
+namespace turboflux {
+
+struct GraphflowOptions {
+  MatchSemantics semantics = MatchSemantics::kHomomorphism;
+};
+
+/// The Graphflow baseline (Kankanamge et al., SIGMOD'17; Section 2.2):
+/// stateless delta evaluation by worst-case-optimal join. For each query
+/// edge (u, u') matching the updated data edge (v, v'), it evaluates
+/// subgraph matching from the partial solution {(u,v), (u',v')} by
+/// extending one query vertex at a time; the candidate set of each
+/// extension is the intersection of the adjacency lists of its already
+/// matched neighbours (Generic Join). No intermediate results are
+/// maintained, so every update pays the full join cost, but storage is
+/// zero.
+///
+/// Deletions are evaluated against the pre-deletion graph, producing
+/// negative matches. Duplicate elimination uses the same total order over
+/// query edges as TurboFlux.
+class GraphflowEngine : public ContinuousEngine {
+ public:
+  explicit GraphflowEngine(GraphflowOptions options = {});
+
+  bool Init(const QueryGraph& q, const Graph& g0, MatchSink& sink,
+            Deadline deadline) override;
+  bool ApplyUpdate(const UpdateOp& op, MatchSink& sink,
+                   Deadline deadline) override;
+  size_t IntermediateSize() const override { return 0; }
+  std::string name() const override;
+
+  const Graph& graph() const { return g_; }
+
+ private:
+  /// Runs one seeded Generic Join: m_ already maps qe's endpoints.
+  void ExtendSeed(QEdgeId eq, bool positive, MatchSink& sink);
+  void Extend(size_t matched_count, QEdgeId eq, bool positive,
+              MatchSink& sink);
+  bool EdgesToMappedOk(QVertexId u, VertexId v) const;
+  void Report(QEdgeId eq, bool positive, MatchSink& sink);
+  void EvalUpdate(VertexId v, EdgeLabel l, VertexId v2, bool positive,
+                  MatchSink& sink);
+
+  GraphflowOptions options_;
+  const QueryGraph* q_ = nullptr;
+  Graph g_;
+  Mapping m_;
+  std::vector<bool> mapped_;
+
+  VertexId upd_from_ = kNullVertex;
+  EdgeLabel upd_label_ = 0;
+  VertexId upd_to_ = kNullVertex;
+  bool has_updated_edge_ = false;
+
+  Deadline* deadline_ = nullptr;
+  bool dead_ = false;
+};
+
+}  // namespace turboflux
+
+#endif  // TURBOFLUX_BASELINE_GRAPHFLOW_H_

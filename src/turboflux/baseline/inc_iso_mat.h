@@ -1,0 +1,62 @@
+#ifndef TURBOFLUX_BASELINE_INC_ISO_MAT_H_
+#define TURBOFLUX_BASELINE_INC_ISO_MAT_H_
+
+#include <string>
+#include <vector>
+
+#include "turboflux/common/types.h"
+#include "turboflux/harness/engine.h"
+#include "turboflux/query/query_graph.h"
+
+namespace turboflux {
+
+struct IncIsoMatOptions {
+  MatchSemantics semantics = MatchSemantics::kHomomorphism;
+};
+
+/// The IncIsoMat baseline (Fan et al., SIGMOD'11; Section 2.2): a
+/// repeated-search method with no maintained state. For each update on
+/// edge (v, v'), it extracts the affected subgraph g' — every data vertex
+/// within the query's undirected diameter of v or v' (pruned to vertices
+/// whose labels can match some query vertex), plus the edges among them —
+/// then runs full subgraph matching on g' with and without the updated
+/// edge and reports the set difference.
+class IncIsoMatEngine : public ContinuousEngine {
+ public:
+  explicit IncIsoMatEngine(IncIsoMatOptions options = {});
+
+  bool Init(const QueryGraph& q, const Graph& g0, MatchSink& sink,
+            Deadline deadline) override;
+  bool ApplyUpdate(const UpdateOp& op, MatchSink& sink,
+                   Deadline deadline) override;
+  size_t IntermediateSize() const override { return 0; }
+  std::string name() const override;
+
+  const Graph& graph() const { return g_; }
+
+ private:
+  /// Extracts the diameter-bounded affected subgraph around {v, v2}.
+  /// Returns the subgraph plus, per subgraph vertex, its original id.
+  struct ExtractedSubgraph {
+    Graph graph;
+    std::vector<VertexId> original_id;
+  };
+  ExtractedSubgraph ExtractAffected(VertexId v, VertexId v2) const;
+
+  /// Emits M(with) - M(without) into `sink` with the given sign, mapping
+  /// vertex ids back to the full graph. Returns false on deadline expiry.
+  bool DiffAndReport(const ExtractedSubgraph& sub, VertexId sub_from,
+                     EdgeLabel label, VertexId sub_to, bool positive,
+                     MatchSink& sink, Deadline& deadline);
+
+  IncIsoMatOptions options_;
+  const QueryGraph* q_ = nullptr;
+  Graph g_;
+  size_t diameter_ = 0;
+
+  bool dead_ = false;
+};
+
+}  // namespace turboflux
+
+#endif  // TURBOFLUX_BASELINE_INC_ISO_MAT_H_

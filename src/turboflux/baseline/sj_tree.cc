@@ -1,0 +1,284 @@
+#include "turboflux/baseline/sj_tree.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+
+#include "turboflux/query/query_stats.h"
+
+namespace turboflux {
+
+namespace {
+
+uint64_t HashCombine(uint64_t h, uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  return h;
+}
+
+}  // namespace
+
+SjTreeEngine::SjTreeEngine(SjTreeOptions options) : options_(options) {}
+
+std::string SjTreeEngine::name() const {
+  return options_.semantics == MatchSemantics::kIsomorphism ? "SJ-Tree-iso"
+                                                            : "SJ-Tree";
+}
+
+uint64_t SjTreeEngine::KeyHash(const Tuple& t,
+                               const std::vector<QVertexId>& key) const {
+  uint64_t h = 0x12345678;
+  for (QVertexId u : key) h = HashCombine(h, t[u]);
+  return h;
+}
+
+uint64_t SjTreeEngine::TupleHash(const Tuple& t, uint64_t cover_mask) const {
+  uint64_t h = cover_mask;
+  for (QVertexId u = 0; u < t.size(); ++u) {
+    if ((cover_mask >> u) & 1) h = HashCombine(h, t[u]);
+  }
+  return h;
+}
+
+bool SjTreeEngine::IsDuplicate(const Node& node, const Tuple& t,
+                               uint64_t hash) const {
+  auto range = node.dedup.equal_range(hash);
+  for (auto it = range.first; it != range.second; ++it) {
+    const Tuple& other = node.tuples[it->second];
+    bool equal = true;
+    for (QVertexId u = 0; u < t.size() && equal; ++u) {
+      if ((node.cover_mask >> u) & 1) equal = t[u] == other[u];
+    }
+    if (equal) return true;
+  }
+  return false;
+}
+
+bool SjTreeEngine::Init(const QueryGraph& q, const Graph& g0, MatchSink& sink,
+                        Deadline deadline) {
+  assert(q.VertexCount() > 0 && q.EdgeCount() > 0 && q.IsConnected());
+  q_ = &q;
+  dead_ = false;
+  budget_blown_ = false;
+  stored_tuples_ = 0;
+  stored_vertex_slots_ = 0;
+
+  // Selectivity-based left-deep decomposition: order query edges by
+  // ascending matching-data-edge count, keeping every prefix connected.
+  QueryStats stats = ComputeQueryStats(q, g0);
+  const size_t m = q.EdgeCount();
+  edge_order_.clear();
+  std::vector<bool> used(m, false);
+  uint64_t covered = 0;
+  for (size_t step = 0; step < m; ++step) {
+    QEdgeId best = kNullQEdge;
+    for (QEdgeId e = 0; e < m; ++e) {
+      if (used[e]) continue;
+      const QEdge& qe = q.edge(e);
+      bool connected = covered == 0 || ((covered >> qe.from) & 1) ||
+                       ((covered >> qe.to) & 1);
+      if (!connected) continue;
+      if (best == kNullQEdge ||
+          stats.edge_matches[e] < stats.edge_matches[best]) {
+        best = e;
+      }
+    }
+    assert(best != kNullQEdge);
+    used[best] = true;
+    edge_order_.push_back(best);
+    covered |= (uint64_t{1} << q.edge(best).from);
+    covered |= (uint64_t{1} << q.edge(best).to);
+  }
+
+  // Covers and join keys. prefixes_[i] covers edges e_0..e_i; its join key
+  // (shared with leaves_[i+1]) is the intersection of that cover with
+  // e_{i+1}'s endpoints.
+  leaves_.assign(m, Node{});
+  prefixes_.assign(m, Node{});
+  uint64_t prefix_cover = 0;
+  for (size_t i = 0; i < m; ++i) {
+    const QEdge& qe = q.edge(edge_order_[i]);
+    uint64_t edge_cover =
+        (uint64_t{1} << qe.from) | (uint64_t{1} << qe.to);
+    leaves_[i].cover_mask = edge_cover;
+    prefix_cover |= edge_cover;
+    prefixes_[i].cover_mask = prefix_cover;
+  }
+  for (size_t i = 0; i + 1 < m; ++i) {
+    const QEdge& next = q.edge(edge_order_[i + 1]);
+    std::vector<QVertexId> key;
+    uint64_t shared = prefixes_[i].cover_mask & leaves_[i + 1].cover_mask;
+    for (QVertexId u = 0; u < q.VertexCount(); ++u) {
+      if ((shared >> u) & 1) key.push_back(u);
+    }
+    assert(!key.empty());  // prefixes are connected
+    (void)next;
+    prefixes_[i].join_key = key;
+    leaves_[i + 1].join_key = key;
+  }
+
+  // Materialize g0 by replaying its edges as insertions; matches of g0
+  // surface as (initial) positive matches.
+  g_ = Graph();
+  for (VertexId v = 0; v < g0.VertexCount(); ++v) g_.AddVertex(g0.labels(v));
+  deadline_ = &deadline;
+  for (VertexId v = 0; v < g0.VertexCount() && !dead_; ++v) {
+    for (const AdjEntry& e : g0.OutEdges(v)) {
+      g_.AddEdge(v, e.label, e.other);
+      UpdateOp op = UpdateOp::Insert(v, e.label, e.other);
+      for (size_t i = 0; i < edge_order_.size(); ++i) {
+        const QEdge& qe = q.edge(edge_order_[i]);
+        if (!q.EdgeMatches(qe, g_, op.from, op.label, op.to)) continue;
+        if (qe.from == qe.to && op.from != op.to) continue;
+        Tuple t(q.VertexCount(), kNullVertex);
+        t[qe.from] = op.from;
+        t[qe.to] = op.to;
+        if (options_.semantics == MatchSemantics::kIsomorphism &&
+            qe.from != qe.to && op.from == op.to) {
+          continue;
+        }
+        if (!InsertEdgeMatch(i, t, sink)) {
+          dead_ = true;
+          break;
+        }
+      }
+      if (dead_) break;
+    }
+  }
+  deadline_ = nullptr;
+  return !dead_;
+}
+
+bool SjTreeEngine::ApplyUpdate(const UpdateOp& op, MatchSink& sink,
+                               Deadline deadline) {
+  assert(q_ != nullptr && !dead_);
+  if (!op.IsInsert()) {
+    // The original SJ-Tree has no deletion support; the runner screens
+    // streams with SupportsDeletion(), but fail safe here too.
+    dead_ = true;
+    return false;
+  }
+  if (!g_.AddEdge(op.from, op.label, op.to)) return true;  // duplicate
+  deadline_ = &deadline;
+  for (size_t i = 0; i < edge_order_.size(); ++i) {
+    const QEdge& qe = q_->edge(edge_order_[i]);
+    if (!q_->EdgeMatches(qe, g_, op.from, op.label, op.to)) continue;
+    if (qe.from == qe.to && op.from != op.to) continue;
+    if (options_.semantics == MatchSemantics::kIsomorphism &&
+        qe.from != qe.to && op.from == op.to) {
+      continue;
+    }
+    Tuple t(q_->VertexCount(), kNullVertex);
+    t[qe.from] = op.from;
+    t[qe.to] = op.to;
+    if (!InsertEdgeMatch(i, t, sink)) {
+      dead_ = true;
+      break;
+    }
+  }
+  deadline_ = nullptr;
+  return !dead_;
+}
+
+bool SjTreeEngine::CheckBudget() {
+  if (deadline_ != nullptr && deadline_->Expired()) return false;
+  if (options_.max_tuples != 0 && stored_tuples_ > options_.max_tuples) {
+    budget_blown_ = true;
+    return false;
+  }
+  return true;
+}
+
+bool SjTreeEngine::InsertEdgeMatch(size_t slot, const Tuple& t,
+                                   MatchSink& sink) {
+  if (!CheckBudget()) return false;
+  if (slot == 0) return AddToPrefix(0, t, sink);
+
+  Node& leaf = leaves_[slot];
+  // Generate-and-discard: skip duplicate leaf tuples.
+  uint64_t th = TupleHash(t, leaf.cover_mask);
+  if (IsDuplicate(leaf, t, th)) return true;
+  leaf.dedup.emplace(th, leaf.tuples.size());
+  leaf.tuples.push_back(t);
+  leaf.index.emplace(KeyHash(t, leaf.join_key), leaf.tuples.size() - 1);
+  ++stored_tuples_;
+  stored_vertex_slots_ +=
+      static_cast<size_t>(std::popcount(leaf.cover_mask));
+
+  // Join the new leaf tuple with the sibling prefix slot-1.
+  Node& sibling = prefixes_[slot - 1];
+  uint64_t kh = KeyHash(t, leaf.join_key);
+  auto range = sibling.index.equal_range(kh);
+  // Collect candidate indices first: AddToPrefix can grow sibling tables
+  // at other slots but not this one (cascades only go upward); still,
+  // snapshot for clarity.
+  std::vector<size_t> candidates;
+  for (auto it = range.first; it != range.second; ++it) {
+    candidates.push_back(it->second);
+  }
+  for (size_t idx : candidates) {
+    if (!MergeAndDescend(slot, sibling.tuples[idx], t, sink)) return false;
+  }
+  return true;
+}
+
+bool SjTreeEngine::MergeAndDescend(size_t prefix_idx, const Tuple& a,
+                                   const Tuple& b, MatchSink& sink) {
+  // Verify consistency on the overlap and merge.
+  Tuple merged(q_->VertexCount(), kNullVertex);
+  for (QVertexId u = 0; u < q_->VertexCount(); ++u) {
+    VertexId av = a[u];
+    VertexId bv = b[u];
+    if (av != kNullVertex && bv != kNullVertex && av != bv) return true;
+    merged[u] = av != kNullVertex ? av : bv;
+  }
+  if (options_.semantics == MatchSemantics::kIsomorphism) {
+    for (QVertexId u = 0; u < q_->VertexCount(); ++u) {
+      if (merged[u] == kNullVertex) continue;
+      for (QVertexId w = u + 1; w < q_->VertexCount(); ++w) {
+        if (merged[w] == merged[u]) return true;
+      }
+    }
+  }
+  return AddToPrefix(prefix_idx, std::move(merged), sink);
+}
+
+bool SjTreeEngine::AddToPrefix(size_t i, Tuple t, MatchSink& sink) {
+  if (!CheckBudget()) return false;
+  Node& node = prefixes_[i];
+  uint64_t th = TupleHash(t, node.cover_mask);
+  if (IsDuplicate(node, t, th)) return true;  // generate-and-discard
+  node.dedup.emplace(th, node.tuples.size());
+
+  const bool is_root = i + 1 == prefixes_.size();
+  if (is_root) {
+    // Complete solution. The root table is still materialized (SJ-Tree
+    // stores results at every node).
+    sink.OnMatch(true, t);
+  }
+  node.tuples.push_back(t);
+  if (!is_root) {
+    node.index.emplace(KeyHash(t, node.join_key), node.tuples.size() - 1);
+  }
+  ++stored_tuples_;
+  stored_vertex_slots_ +=
+      static_cast<size_t>(std::popcount(node.cover_mask));
+  if (is_root) return true;
+
+  // Cascade: join the new prefix tuple with the next leaf.
+  Node& next_leaf = leaves_[i + 1];
+  uint64_t kh = KeyHash(node.tuples.back(), node.join_key);
+  auto range = next_leaf.index.equal_range(kh);
+  std::vector<size_t> candidates;
+  for (auto it = range.first; it != range.second; ++it) {
+    candidates.push_back(it->second);
+  }
+  const Tuple base = node.tuples.back();  // copy: node.tuples may grow
+  for (size_t idx : candidates) {
+    if (!MergeAndDescend(i + 1, base, next_leaf.tuples[idx], sink)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace turboflux

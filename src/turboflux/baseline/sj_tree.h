@@ -1,0 +1,97 @@
+#ifndef TURBOFLUX_BASELINE_SJ_TREE_H_
+#define TURBOFLUX_BASELINE_SJ_TREE_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "turboflux/common/types.h"
+#include "turboflux/harness/engine.h"
+#include "turboflux/query/query_graph.h"
+
+namespace turboflux {
+
+struct SjTreeOptions {
+  MatchSemantics semantics = MatchSemantics::kHomomorphism;
+  /// Hard cap on stored partial-solution tuples, a memory fuse for the
+  /// baseline's notorious intermediate-result blow-up (0 = unlimited).
+  /// Hitting the cap makes the current ApplyUpdate report a timeout.
+  size_t max_tuples = 0;
+};
+
+/// The SJ-Tree baseline (Choudhury et al., EDBT'15; Section 2.2): a
+/// left-deep subgraph-join tree. The query's edges are ordered by
+/// selectivity into a connected sequence e_0..e_{m-1}; leaf node i
+/// materializes all data edges matching e_i, and prefix node i
+/// materializes all partial solutions of the subquery {e_0..e_i}. A new
+/// data edge matching leaf i joins with prefix i-1's hash table; each new
+/// prefix-i tuple then joins with leaf i+1's table, cascading to the root,
+/// whose new tuples are the positive matches.
+///
+/// Storage is the sum over nodes of (#tuples x #query vertices covered),
+/// the metric Figures 6b/7b report. Duplicate partial solutions are
+/// discarded before insertion (the paper's generate-and-discard).
+///
+/// The original system supports insertions only (Appendix B.2), so
+/// SupportsDeletion() is false.
+class SjTreeEngine : public ContinuousEngine {
+ public:
+  explicit SjTreeEngine(SjTreeOptions options = {});
+
+  bool Init(const QueryGraph& q, const Graph& g0, MatchSink& sink,
+            Deadline deadline) override;
+  bool ApplyUpdate(const UpdateOp& op, MatchSink& sink,
+                   Deadline deadline) override;
+  size_t IntermediateSize() const override { return stored_vertex_slots_; }
+  bool SupportsDeletion() const override { return false; }
+  std::string name() const override;
+
+  const Graph& graph() const { return g_; }
+  /// The selectivity-ordered query-edge sequence (for tests).
+  const std::vector<QEdgeId>& edge_order() const { return edge_order_; }
+  size_t StoredTuples() const { return stored_tuples_; }
+
+ private:
+  /// A partial solution: mapping restricted to the node's cover
+  /// (kNullVertex elsewhere), stored as a full |V(q)|-wide row.
+  using Tuple = std::vector<VertexId>;
+
+  struct Node {
+    uint64_t cover_mask = 0;            // query vertices covered
+    std::vector<QVertexId> join_key;    // key vertices shared with sibling
+    std::vector<Tuple> tuples;
+    std::unordered_multimap<uint64_t, size_t> index;  // key hash -> tuple idx
+    // Generate-and-discard support: tuple hash -> tuple indices, verified
+    // by exact comparison (a hash collision must not discard a distinct
+    // tuple).
+    std::unordered_multimap<uint64_t, size_t> dedup;
+  };
+
+  uint64_t KeyHash(const Tuple& t, const std::vector<QVertexId>& key) const;
+  uint64_t TupleHash(const Tuple& t, uint64_t cover_mask) const;
+  bool IsDuplicate(const Node& node, const Tuple& t, uint64_t hash) const;
+
+  bool InsertEdgeMatch(size_t slot, const Tuple& t, MatchSink& sink);
+  bool AddToPrefix(size_t i, Tuple t, MatchSink& sink);
+  bool MergeAndDescend(size_t prefix_idx, const Tuple& a, const Tuple& b,
+                       MatchSink& sink);
+  bool CheckBudget();
+
+  SjTreeOptions options_;
+  const QueryGraph* q_ = nullptr;
+  Graph g_;
+  std::vector<QEdgeId> edge_order_;   // e_0..e_{m-1}, connected prefixes
+  std::vector<Node> leaves_;          // per slot i: matches of edge e_i
+  std::vector<Node> prefixes_;        // per slot i: solutions of e_0..e_i
+  size_t stored_tuples_ = 0;
+  size_t stored_vertex_slots_ = 0;
+
+  Deadline* deadline_ = nullptr;
+  bool dead_ = false;
+  bool budget_blown_ = false;
+};
+
+}  // namespace turboflux
+
+#endif  // TURBOFLUX_BASELINE_SJ_TREE_H_

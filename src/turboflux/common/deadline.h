@@ -1,0 +1,79 @@
+#ifndef TURBOFLUX_COMMON_DEADLINE_H_
+#define TURBOFLUX_COMMON_DEADLINE_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace turboflux {
+
+/// A cooperative wall-clock deadline. Long-running operations call
+/// Expired() periodically and unwind when it returns true; reading the
+/// clock is amortized over kCheckInterval calls so the check is cheap
+/// enough for inner loops.
+class Deadline {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// A deadline that never expires.
+  Deadline() : when_(Clock::time_point::max()), infinite_(true) {}
+
+  static Deadline Infinite() { return Deadline(); }
+
+  static Deadline After(std::chrono::milliseconds budget) {
+    Deadline d;
+    d.infinite_ = false;
+    d.when_ = Clock::now() + budget;
+    return d;
+  }
+
+  static Deadline AfterMillis(int64_t ms) {
+    return After(std::chrono::milliseconds(ms));
+  }
+
+  /// True once the deadline has passed. Only actually reads the clock every
+  /// kCheckInterval calls; once expired, stays expired.
+  bool Expired() {
+    if (infinite_) return false;
+    if (expired_) return true;
+    if (++calls_ % kCheckInterval != 0) return false;
+    expired_ = Clock::now() >= when_;
+    return expired_;
+  }
+
+  /// Reads the clock immediately (no amortization).
+  bool ExpiredNow() {
+    if (infinite_) return false;
+    if (!expired_) expired_ = Clock::now() >= when_;
+    return expired_;
+  }
+
+  bool infinite() const { return infinite_; }
+
+ private:
+  static constexpr uint32_t kCheckInterval = 256;
+
+  Clock::time_point when_;
+  bool infinite_ = false;
+  bool expired_ = false;
+  uint32_t calls_ = 0;
+};
+
+/// A simple wall-clock stopwatch.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Deadline::Clock::now()) {}
+
+  void Reset() { start_ = Deadline::Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Deadline::Clock::now() - start_)
+        .count();
+  }
+
+ private:
+  Deadline::Clock::time_point start_;
+};
+
+}  // namespace turboflux
+
+#endif  // TURBOFLUX_COMMON_DEADLINE_H_

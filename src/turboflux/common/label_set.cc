@@ -1,0 +1,39 @@
+#include "turboflux/common/label_set.h"
+
+#include <algorithm>
+
+namespace turboflux {
+
+LabelSet::LabelSet(std::initializer_list<Label> labels)
+    : LabelSet(std::vector<Label>(labels)) {}
+
+LabelSet::LabelSet(std::vector<Label> labels) : labels_(std::move(labels)) {
+  std::sort(labels_.begin(), labels_.end());
+  labels_.erase(std::unique(labels_.begin(), labels_.end()), labels_.end());
+}
+
+void LabelSet::Insert(Label label) {
+  auto it = std::lower_bound(labels_.begin(), labels_.end(), label);
+  if (it == labels_.end() || *it != label) labels_.insert(it, label);
+}
+
+bool LabelSet::Contains(Label label) const {
+  return std::binary_search(labels_.begin(), labels_.end(), label);
+}
+
+bool LabelSet::IsSubsetOf(const LabelSet& other) const {
+  return std::includes(other.labels_.begin(), other.labels_.end(),
+                       labels_.begin(), labels_.end());
+}
+
+std::string LabelSet::ToString() const {
+  std::string out = "{";
+  for (size_t i = 0; i < labels_.size(); ++i) {
+    if (i > 0) out += ",";
+    out += std::to_string(labels_[i]);
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace turboflux

@@ -1,0 +1,58 @@
+#ifndef TURBOFLUX_COMMON_LABEL_SET_H_
+#define TURBOFLUX_COMMON_LABEL_SET_H_
+
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "turboflux/common/types.h"
+
+namespace turboflux {
+
+/// A small sorted set of vertex labels. The common case is zero labels
+/// (wildcard, used by unlabeled datasets such as Netflow) or one label, so
+/// the representation is a sorted, deduplicated vector.
+class LabelSet {
+ public:
+  LabelSet() = default;
+  LabelSet(std::initializer_list<Label> labels);
+  explicit LabelSet(std::vector<Label> labels);
+
+  LabelSet(const LabelSet&) = default;
+  LabelSet& operator=(const LabelSet&) = default;
+  LabelSet(LabelSet&&) = default;
+  LabelSet& operator=(LabelSet&&) = default;
+
+  /// Adds a label; no-op if already present.
+  void Insert(Label label);
+
+  bool Contains(Label label) const;
+
+  /// True iff every label in this set is also in `other`. An empty set is a
+  /// subset of everything, which makes unlabeled query vertices wildcards.
+  bool IsSubsetOf(const LabelSet& other) const;
+
+  bool empty() const { return labels_.empty(); }
+  size_t size() const { return labels_.size(); }
+  const std::vector<Label>& labels() const { return labels_; }
+
+  /// First label, or `fallback` when empty. Convenient for generators and
+  /// statistics that want a representative label.
+  Label FirstOr(Label fallback) const {
+    return labels_.empty() ? fallback : labels_.front();
+  }
+
+  std::string ToString() const;
+
+  friend bool operator==(const LabelSet& a, const LabelSet& b) {
+    return a.labels_ == b.labels_;
+  }
+
+ private:
+  std::vector<Label> labels_;
+};
+
+}  // namespace turboflux
+
+#endif  // TURBOFLUX_COMMON_LABEL_SET_H_

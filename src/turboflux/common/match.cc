@@ -1,0 +1,48 @@
+#include "turboflux/common/match.h"
+
+namespace turboflux {
+
+bool MappingContains(const Mapping& m, VertexId v) {
+  for (VertexId mapped : m) {
+    if (mapped == v) return true;
+  }
+  return false;
+}
+
+std::string MappingToString(const Mapping& m) {
+  std::string out = "[";
+  for (size_t i = 0; i < m.size(); ++i) {
+    if (i > 0) out += " ";
+    out += "u";
+    out += std::to_string(i);
+    out += "->";
+    if (m[i] == kNullVertex) {
+      out += "?";
+    } else {
+      out += "v";
+      out += std::to_string(m[i]);
+    }
+  }
+  out += "]";
+  return out;
+}
+
+uint64_t HashMapping(const Mapping& m) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (VertexId v : m) {
+    h ^= v;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::unordered_map<std::string, int> CollectingSink::ToMultiset() const {
+  std::unordered_map<std::string, int> multiset;
+  for (const Record& r : records_) {
+    std::string key = (r.positive ? "+" : "-") + MappingToString(r.mapping);
+    ++multiset[key];
+  }
+  return multiset;
+}
+
+}  // namespace turboflux

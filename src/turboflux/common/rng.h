@@ -1,0 +1,58 @@
+#ifndef TURBOFLUX_COMMON_RNG_H_
+#define TURBOFLUX_COMMON_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace turboflux {
+
+/// Deterministic pseudo-random number generator (splitmix64-seeded
+/// xoshiro256**). All workload generators use this so datasets and query
+/// sets are reproducible from a seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound). `bound` must be > 0.
+  uint64_t NextBounded(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t NextInRange(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// True with probability p.
+  bool NextBool(double p);
+
+  /// Picks a random element index from a non-empty container size.
+  size_t NextIndex(size_t size) { return static_cast<size_t>(NextBounded(size)); }
+
+ private:
+  uint64_t state_[4];
+};
+
+/// Zipf-distributed sampler over {0, 1, ..., n-1} with exponent s, using an
+/// inverted-CDF table. Rank 0 is the most popular element. Workload
+/// generators use this for the heavy-tailed popularity of users, posts, and
+/// IP addresses.
+class ZipfSampler {
+ public:
+  ZipfSampler(uint64_t n, double exponent);
+
+  uint64_t Sample(Rng& rng) const;
+
+  uint64_t n() const { return n_; }
+
+ private:
+  uint64_t n_;
+  std::vector<double> cdf_;
+};
+
+}  // namespace turboflux
+
+#endif  // TURBOFLUX_COMMON_RNG_H_

@@ -1,0 +1,54 @@
+#ifndef TURBOFLUX_COMMON_TYPES_H_
+#define TURBOFLUX_COMMON_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace turboflux {
+
+/// Identifier of a data-graph vertex.
+using VertexId = uint32_t;
+
+/// Identifier of a query-graph vertex. Query graphs are tiny (at most
+/// kMaxQueryVertices vertices), but we use a full word for convenience.
+using QVertexId = uint32_t;
+
+/// A vertex label. Vertices carry *sets* of labels (see LabelSet); a query
+/// vertex u matches a data vertex v when L(u) is a subset of L(v).
+using Label = uint32_t;
+
+/// An edge label. Edges carry exactly one label, matched exactly.
+using EdgeLabel = uint32_t;
+
+/// Identifier of a query edge. Doubles as the total order used for
+/// duplicate elimination in SubgraphSearch (Algorithm 7).
+using QEdgeId = uint32_t;
+
+/// Sentinel for "no vertex".
+inline constexpr VertexId kNullVertex = std::numeric_limits<VertexId>::max();
+
+/// The artificial start vertex v_s* of the DCG (Section 3.1). It is never
+/// stored in the data graph; it appears only as the source of the incoming
+/// DCG edge (v_s*, u_s, v_s) of every start data vertex.
+inline constexpr VertexId kArtificialVertex = kNullVertex - 1;
+
+/// Sentinel for "no query vertex".
+inline constexpr QVertexId kNullQVertex = std::numeric_limits<QVertexId>::max();
+
+/// Sentinel for "no query edge" (e.g., when reporting initial matches).
+inline constexpr QEdgeId kNullQEdge = std::numeric_limits<QEdgeId>::max();
+
+/// Upper bound on query-graph size: child-coverage bitmaps in the DCG are
+/// single 64-bit words indexed by query vertex id.
+inline constexpr QVertexId kMaxQueryVertices = 64;
+
+/// Matching semantics (Definition 1 and Appendix B.1). Subgraph isomorphism
+/// is graph homomorphism plus the injectivity constraint.
+enum class MatchSemantics {
+  kHomomorphism,
+  kIsomorphism,
+};
+
+}  // namespace turboflux
+
+#endif  // TURBOFLUX_COMMON_TYPES_H_

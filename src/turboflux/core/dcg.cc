@@ -1,0 +1,299 @@
+#include "turboflux/core/dcg.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace turboflux {
+
+namespace {
+const std::vector<Dcg::InEdge> kNoInEdges;
+const std::vector<Dcg::OutEdge> kNoOutEdges;
+}  // namespace
+
+char DcgStateChar(DcgState s) {
+  switch (s) {
+    case DcgState::kNull:
+      return 'N';
+    case DcgState::kImplicit:
+      return 'I';
+    case DcgState::kExplicit:
+      return 'E';
+  }
+  return '?';
+}
+
+void Dcg::Reset(size_t num_data_vertices, const QueryTree& tree) {
+  tree_ = &tree;
+  num_qv_ = tree.VertexCount();
+  nodes_.clear();
+  nodes_.resize(num_data_vertices);
+  edge_count_ = 0;
+  explicit_count_ = 0;
+  explicit_per_qv_.assign(num_qv_, 0);
+}
+
+Dcg::Node& Dcg::EnsureNode(VertexId v) {
+  assert(v < nodes_.size());
+  if (!nodes_[v]) nodes_[v] = std::make_unique<Node>(num_qv_);
+  return *nodes_[v];
+}
+
+DcgState Dcg::GetState(VertexId from, QVertexId u, VertexId to) const {
+  const Node* node = GetNode(to);
+  if (node == nullptr) return DcgState::kNull;
+  for (const InEdge& e : node->in[u]) {
+    if (e.from == from) return e.state;
+  }
+  return DcgState::kNull;
+}
+
+const std::vector<Dcg::InEdge>& Dcg::InEdgesOf(VertexId v, QVertexId u) const {
+  const Node* node = GetNode(v);
+  return node == nullptr ? kNoInEdges : node->in[u];
+}
+
+const std::vector<Dcg::OutEdge>& Dcg::OutEdgesOf(VertexId v,
+                                                 QVertexId u) const {
+  const Node* node = GetNode(v);
+  return node == nullptr ? kNoOutEdges : node->out[u];
+}
+
+size_t Dcg::ExplicitOutCount(VertexId v, QVertexId u) const {
+  const Node* node = GetNode(v);
+  return node == nullptr ? 0 : node->explicit_out[u];
+}
+
+bool Dcg::HasInEdge(VertexId v, QVertexId u) const {
+  const Node* node = GetNode(v);
+  return node != nullptr && (node->in_bits >> u) & 1;
+}
+
+bool Dcg::MatchAllChildren(VertexId v, QVertexId u) const {
+  uint64_t mask = tree_->ChildrenMask(u);
+  if (mask == 0) return true;  // u is a leaf of the query tree
+  const Node* node = GetNode(v);
+  if (node == nullptr) return false;
+  return (node->explicit_out_bits & mask) == mask;
+}
+
+void Dcg::SetState(VertexId from, QVertexId u, VertexId to, DcgState next) {
+  Node& to_node = EnsureNode(to);
+  std::vector<InEdge>& in = to_node.in[u];
+  auto in_it = std::find_if(in.begin(), in.end(),
+                            [&](const InEdge& e) { return e.from == from; });
+  const DcgState prev =
+      in_it == in.end() ? DcgState::kNull : in_it->state;
+  if (prev == next) {
+    assert(prev == DcgState::kNull);  // only NULL->NULL is an idempotent call
+    return;
+  }
+  // Legal transitions (Figure 5): 1: N->I, 2: I->E, 3: E->N, 4: E->I,
+  // 5: I->N.
+  assert(prev != DcgState::kNull || next == DcgState::kImplicit);
+
+  const bool has_out_mirror = from != kArtificialVertex;
+
+  // Maintain the in-list.
+  if (prev == DcgState::kNull) {
+    in.push_back({from, next});
+    to_node.in_bits |= (uint64_t{1} << u);
+    ++edge_count_;
+  } else if (next == DcgState::kNull) {
+    *in_it = in.back();
+    in.pop_back();
+    if (in.empty()) to_node.in_bits &= ~(uint64_t{1} << u);
+    --edge_count_;
+  } else {
+    in_it->state = next;
+  }
+
+  // Maintain the out-mirror.
+  if (has_out_mirror) {
+    Node& from_node = EnsureNode(from);
+    std::vector<OutEdge>& out = from_node.out[u];
+    if (prev == DcgState::kNull) {
+      out.push_back({to, next});
+    } else {
+      auto out_it =
+          std::find_if(out.begin(), out.end(),
+                       [&](const OutEdge& e) { return e.to == to; });
+      assert(out_it != out.end());
+      if (next == DcgState::kNull) {
+        *out_it = out.back();
+        out.pop_back();
+      } else {
+        out_it->state = next;
+      }
+    }
+    // Maintain explicit-out counters and the MatchAllChildren bitmap.
+    if (next == DcgState::kExplicit) {
+      if (++from_node.explicit_out[u] == 1) {
+        from_node.explicit_out_bits |= (uint64_t{1} << u);
+      }
+    } else if (prev == DcgState::kExplicit) {
+      assert(from_node.explicit_out[u] > 0);
+      if (--from_node.explicit_out[u] == 0) {
+        from_node.explicit_out_bits &= ~(uint64_t{1} << u);
+      }
+    }
+  }
+
+  // Maintain global explicit counters (artificial edges included).
+  if (next == DcgState::kExplicit) {
+    ++explicit_count_;
+    ++explicit_per_qv_[u];
+  } else if (prev == DcgState::kExplicit) {
+    --explicit_count_;
+    --explicit_per_qv_[u];
+  }
+}
+
+std::vector<Dcg::EdgeTuple> Dcg::Snapshot() const {
+  std::vector<EdgeTuple> edges;
+  edges.reserve(edge_count_);
+  for (VertexId v = 0; v < nodes_.size(); ++v) {
+    const Node* node = nodes_[v].get();
+    if (node == nullptr) continue;
+    for (QVertexId u = 0; u < num_qv_; ++u) {
+      for (const InEdge& e : node->in[u]) {
+        edges.emplace_back(e.from, u, v, e.state);
+      }
+    }
+  }
+  std::sort(edges.begin(), edges.end());
+  return edges;
+}
+
+std::string Dcg::Validate() const {
+  auto describe = [](VertexId from, QVertexId u, VertexId to) {
+    std::string s = "edge (";
+    if (from == kArtificialVertex) {
+      s += "v*";
+    } else {
+      s += "v";
+      s += std::to_string(from);
+    }
+    s += ",u";
+    s += std::to_string(u);
+    s += ",v";
+    s += std::to_string(to);
+    s += ")";
+    return s;
+  };
+
+  size_t edges = 0;
+  size_t explicit_edges = 0;
+  std::vector<uint64_t> explicit_per_qv(num_qv_, 0);
+
+  for (VertexId v = 0; v < nodes_.size(); ++v) {
+    const Node* node = nodes_[v].get();
+    if (node == nullptr) continue;
+    for (QVertexId u = 0; u < num_qv_; ++u) {
+      // in_bits bit u <=> in[u] non-empty.
+      bool bit = (node->in_bits >> u) & 1;
+      if (bit != !node->in[u].empty()) {
+        {
+          std::string msg = "in_bits bit ";
+          msg += std::to_string(u);
+          msg += " wrong at v";
+          msg += std::to_string(v);
+          return msg;
+        }
+      }
+      for (const InEdge& e : node->in[u]) {
+        if (e.state == DcgState::kNull) {
+          return describe(e.from, u, v) + " stored with NULL state";
+        }
+        ++edges;
+        if (e.state == DcgState::kExplicit) {
+          ++explicit_edges;
+          ++explicit_per_qv[u];
+        }
+        // The out mirror must hold the same edge with the same state.
+        if (e.from != kArtificialVertex) {
+          const Node* from_node = GetNode(e.from);
+          if (from_node == nullptr) {
+            return describe(e.from, u, v) + " missing source node";
+          }
+          bool found = false;
+          for (const OutEdge& o : from_node->out[u]) {
+            if (o.to == v) {
+              if (o.state != e.state) {
+                return describe(e.from, u, v) + " state mismatch in mirror";
+              }
+              found = true;
+              break;
+            }
+          }
+          if (!found) return describe(e.from, u, v) + " missing out mirror";
+        }
+      }
+      // Explicit-out counter and bitmap.
+      uint32_t explicit_out = 0;
+      for (const OutEdge& o : node->out[u]) {
+        // Every out edge must have an in mirror.
+        const Node* to_node = GetNode(o.to);
+        bool found = false;
+        if (to_node != nullptr) {
+          for (const InEdge& e : to_node->in[u]) {
+            if (e.from == v) {
+              found = e.state == o.state;
+              break;
+            }
+          }
+        }
+        if (!found) return describe(v, u, o.to) + " missing in mirror";
+        if (o.state == DcgState::kExplicit) ++explicit_out;
+      }
+      if (node->explicit_out[u] != explicit_out) {
+        std::string msg = "explicit_out count wrong at v";
+        msg += std::to_string(v);
+        msg += " u";
+        msg += std::to_string(u);
+        return msg;
+      }
+      bool ebit = (node->explicit_out_bits >> u) & 1;
+      if (ebit != (explicit_out > 0)) {
+        std::string msg = "explicit_out_bits wrong at v";
+        msg += std::to_string(v);
+        msg += " u";
+        msg += std::to_string(u);
+        return msg;
+      }
+    }
+  }
+  if (edges != edge_count_) return "edge_count_ mismatch";
+  if (explicit_edges != explicit_count_) return "explicit_count_ mismatch";
+  for (QVertexId u = 0; u < num_qv_; ++u) {
+    if (explicit_per_qv[u] != explicit_per_qv_[u]) {
+      std::string msg = "explicit_per_qv_ mismatch at u";
+      msg += std::to_string(u);
+      return msg;
+    }
+  }
+  return "";
+}
+
+std::string Dcg::ToString() const {
+  std::string out;
+  for (const EdgeTuple& e : Snapshot()) {
+    VertexId from = std::get<0>(e);
+    out += "(";
+    if (from == kArtificialVertex) {
+      out += "v*";
+    } else {
+      out += "v";
+      out += std::to_string(from);
+    }
+    out += ",u";
+    out += std::to_string(std::get<1>(e));
+    out += ",v";
+    out += std::to_string(std::get<2>(e));
+    out += ")=";
+    out += DcgStateChar(std::get<3>(e));
+    out += " ";
+  }
+  return out;
+}
+
+}  // namespace turboflux

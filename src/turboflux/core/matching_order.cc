@@ -1,0 +1,98 @@
+#include "turboflux/core/matching_order.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+
+namespace turboflux {
+
+std::vector<double> ExplicitPathCounts(const QueryTree& tree, const Dcg& dcg,
+                                       const std::vector<VertexId>& starts) {
+  const size_t nq = tree.VertexCount();
+  std::vector<double> counts(nq, 0.0);
+  // frontier[u]: data vertex -> number of explicit paths spelling
+  // u_s ~> u that end at it.
+  std::vector<std::unordered_map<VertexId, double>> frontier(nq);
+
+  QVertexId root = tree.root();
+  for (VertexId v : starts) {
+    if (dcg.GetState(kArtificialVertex, root, v) == DcgState::kExplicit) {
+      frontier[root][v] = 1.0;
+      counts[root] += 1.0;
+    }
+  }
+  for (QVertexId u : tree.BfsOrder()) {
+    for (QVertexId c : tree.Children(u)) {
+      for (const auto& [v, paths] : frontier[u]) {
+        for (const Dcg::OutEdge& e : dcg.OutEdgesOf(v, c)) {
+          if (e.state != DcgState::kExplicit) continue;
+          frontier[c][e.to] += paths;
+          counts[c] += paths;
+        }
+      }
+    }
+  }
+  return counts;
+}
+
+std::vector<QVertexId> DetermineMatchingOrder(
+    const QueryTree& tree, const Dcg& dcg,
+    const std::vector<VertexId>& starts) {
+  const size_t nq = tree.VertexCount();
+  std::vector<double> counts = ExplicitPathCounts(tree, dcg, starts);
+
+  // Estimated fan-out of each non-root tree edge: how many extensions a
+  // partial solution gains, on average, when its child query vertex is
+  // matched. Zero-count trees (no explicit paths yet) fall back to a
+  // neutral fan-out so the order is still a valid BFS-compatible order.
+  //
+  // Query vertices with incident non-tree edges get their fan-out
+  // discounted so they are matched *early*: once both endpoints of a
+  // non-tree edge are bound, IsJoinable prunes with an O(1) edge probe,
+  // which is the cheapest filter available (TurboISO applies the same
+  // bias when ordering candidate regions). Without the discount, cyclic
+  // queries on non-selective data defer the cycle check until the
+  // pattern's heaviest part is already enumerated.
+  std::vector<double> fanout(nq, 1.0);
+  for (QVertexId u = 0; u < nq; ++u) {
+    if (tree.IsRoot(u)) continue;
+    double parent = counts[tree.Parent(u)];
+    fanout[u] = parent > 0.0 ? counts[u] / parent : 1.0;
+    for (size_t i = 0; i < tree.IncidentNonTreeEdges(u).size(); ++i) {
+      fanout[u] *= 0.25;
+    }
+  }
+
+  // Shrink the tree: repeatedly remove the current leaf with the largest
+  // fan-out (removing it shrinks the estimated partial-solution count the
+  // most); ties broken by smaller id for determinism.
+  std::vector<size_t> live_children(nq, 0);
+  for (QVertexId u = 0; u < nq; ++u) live_children[u] = tree.Children(u).size();
+  std::vector<bool> removed(nq, false);
+  std::vector<QVertexId> removal_order;
+  for (size_t step = 0; step + 1 < nq; ++step) {
+    QVertexId best = kNullQVertex;
+    for (QVertexId u = 0; u < nq; ++u) {
+      if (removed[u] || tree.IsRoot(u) || live_children[u] != 0) continue;
+      if (best == kNullQVertex || fanout[u] > fanout[best] ||
+          (fanout[u] == fanout[best] && u < best)) {
+        best = u;
+      }
+    }
+    assert(best != kNullQVertex);
+    removed[best] = true;
+    --live_children[tree.Parent(best)];
+    removal_order.push_back(best);
+  }
+
+  std::vector<QVertexId> order;
+  order.reserve(nq);
+  order.push_back(tree.root());
+  for (auto it = removal_order.rbegin(); it != removal_order.rend(); ++it) {
+    order.push_back(*it);
+  }
+  assert(order.size() == nq);
+  return order;
+}
+
+}  // namespace turboflux

@@ -1,0 +1,33 @@
+#ifndef TURBOFLUX_CORE_MATCHING_ORDER_H_
+#define TURBOFLUX_CORE_MATCHING_ORDER_H_
+
+#include <vector>
+
+#include "turboflux/common/types.h"
+#include "turboflux/core/dcg.h"
+#include "turboflux/query/query_tree.h"
+
+namespace turboflux {
+
+/// Number of explicit data paths ending at each query vertex: C(u) is the
+/// count of distinct DCG paths v_s* ~> v whose edges are all EXPLICIT and
+/// whose labels spell the query-tree path u_s ~> u. Computed by dynamic
+/// programming down the query tree (Section 4.1 uses these counts to
+/// estimate partial-solution cardinalities).
+std::vector<double> ExplicitPathCounts(const QueryTree& tree, const Dcg& dcg,
+                                       const std::vector<VertexId>& starts);
+
+/// Determines the matching order (Section 4.1): starting from the full
+/// query tree, greedily shrink it by removing one leaf at a time, choosing
+/// the removal that most reduces the estimated partial-solution count of
+/// the remaining tree (i.e., the leaf with the largest estimated fan-out);
+/// the reverse removal order is the matching order. Parents always precede
+/// children, and the root (the start query vertex) is always first.
+std::vector<QVertexId> DetermineMatchingOrder(const QueryTree& tree,
+                                              const Dcg& dcg,
+                                              const std::vector<VertexId>&
+                                                  starts);
+
+}  // namespace turboflux
+
+#endif  // TURBOFLUX_CORE_MATCHING_ORDER_H_

@@ -1,0 +1,60 @@
+#include "turboflux/core/multi_query.h"
+
+#include <cassert>
+
+namespace turboflux {
+
+/// Adapts the per-engine MatchSink interface to the tagged Sink.
+class MultiQueryEngine::TaggingSink : public MatchSink {
+ public:
+  TaggingSink(QueryId query, Sink& sink) : query_(query), sink_(sink) {}
+
+  void OnMatch(bool positive, const Mapping& m) override {
+    sink_.OnMatch(query_, positive, m);
+  }
+
+ private:
+  QueryId query_;
+  Sink& sink_;
+};
+
+MultiQueryEngine::MultiQueryEngine(TurboFluxOptions options)
+    : options_(options) {}
+
+QueryId MultiQueryEngine::AddQuery(QueryGraph query) {
+  assert(!initialized_);
+  QueryId id = static_cast<QueryId>(queries_.size());
+  queries_.push_back(std::make_unique<QueryGraph>(std::move(query)));
+  engines_.push_back(std::make_unique<TurboFluxEngine>(options_));
+  return id;
+}
+
+bool MultiQueryEngine::Init(const Graph& g0, Sink& sink, Deadline deadline) {
+  assert(!initialized_);
+  initialized_ = true;
+  for (QueryId id = 0; id < engines_.size(); ++id) {
+    TaggingSink tagged(id, sink);
+    if (!engines_[id]->Init(*queries_[id], g0, tagged, deadline)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool MultiQueryEngine::ApplyUpdate(const UpdateOp& op, Sink& sink,
+                                   Deadline deadline) {
+  assert(initialized_);
+  for (QueryId id = 0; id < engines_.size(); ++id) {
+    TaggingSink tagged(id, sink);
+    if (!engines_[id]->ApplyUpdate(op, tagged, deadline)) return false;
+  }
+  return true;
+}
+
+size_t MultiQueryEngine::IntermediateSize() const {
+  size_t total = 0;
+  for (const auto& engine : engines_) total += engine->IntermediateSize();
+  return total;
+}
+
+}  // namespace turboflux

@@ -1,0 +1,67 @@
+#ifndef TURBOFLUX_CORE_MULTI_QUERY_H_
+#define TURBOFLUX_CORE_MULTI_QUERY_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "turboflux/core/turboflux.h"
+
+namespace turboflux {
+
+/// Identifier of a registered query within a MultiQueryEngine.
+using QueryId = uint32_t;
+
+/// Monitors many query patterns over one update stream — the deployment
+/// shape of the paper's motivating applications (a fraud team or SOC
+/// registers dozens of patterns, not one). Each registered query runs its
+/// own TurboFlux engine; ApplyUpdate fans the update out and tags every
+/// reported match with the originating query.
+///
+/// Each engine keeps a private copy of the data graph (the per-query DCGs
+/// are independent anyway); sharing one graph across engines is a
+/// possible future optimization and would not change any result.
+class MultiQueryEngine {
+ public:
+  /// Receives (query id, sign, mapping) callbacks.
+  class Sink {
+   public:
+    virtual ~Sink() = default;
+    virtual void OnMatch(QueryId query, bool positive, const Mapping& m) = 0;
+  };
+
+  explicit MultiQueryEngine(TurboFluxOptions options = {});
+
+  /// Registers a query before Init. Returns its id (dense from 0).
+  QueryId AddQuery(QueryGraph query);
+
+  size_t QueryCount() const { return queries_.size(); }
+  const QueryGraph& query(QueryId id) const { return *queries_[id]; }
+
+  /// Initializes every registered query over g0, reporting each query's
+  /// initial matches. Returns false on deadline expiry.
+  bool Init(const Graph& g0, Sink& sink, Deadline deadline);
+
+  /// Applies one update to every engine. Returns false if any engine hit
+  /// the deadline (remaining engines are skipped; the MultiQueryEngine is
+  /// then unusable).
+  bool ApplyUpdate(const UpdateOp& op, Sink& sink, Deadline deadline);
+
+  /// Sum of the per-query DCG sizes.
+  size_t IntermediateSize() const;
+
+  const TurboFluxEngine& engine(QueryId id) const { return *engines_[id]; }
+
+ private:
+  class TaggingSink;
+
+  TurboFluxOptions options_;
+  std::vector<std::unique_ptr<QueryGraph>> queries_;
+  std::vector<std::unique_ptr<TurboFluxEngine>> engines_;
+  bool initialized_ = false;
+};
+
+}  // namespace turboflux
+
+#endif  // TURBOFLUX_CORE_MULTI_QUERY_H_

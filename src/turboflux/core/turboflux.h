@@ -1,0 +1,164 @@
+#ifndef TURBOFLUX_CORE_TURBOFLUX_H_
+#define TURBOFLUX_CORE_TURBOFLUX_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "turboflux/common/deadline.h"
+#include "turboflux/common/match.h"
+#include "turboflux/common/types.h"
+#include "turboflux/core/dcg.h"
+#include "turboflux/graph/graph.h"
+#include "turboflux/graph/update_stream.h"
+#include "turboflux/harness/engine.h"
+#include "turboflux/query/query_graph.h"
+#include "turboflux/query/query_tree.h"
+
+namespace turboflux {
+
+struct TurboFluxOptions {
+  MatchSemantics semantics = MatchSemantics::kHomomorphism;
+
+  /// Matching-order policy: the paper's cost-based greedy order derived
+  /// from explicit-DCG path counts, or a plain BFS order of the query
+  /// tree (ablation baseline).
+  enum class OrderPolicy { kCostBased, kBfs };
+  OrderPolicy order_policy = OrderPolicy::kCostBased;
+
+  /// Updates between AdjustMatchingOrder drift checks.
+  size_t adjust_interval = 1024;
+  /// Recompute the matching order when some per-query-vertex explicit-edge
+  /// count drifted by more than this factor since the order was computed.
+  double adjust_drift = 2.0;
+};
+
+/// The TurboFlux continuous subgraph matching engine (Algorithm 2):
+/// maintains the DCG under the edge transition model and reports
+/// positive/negative matches per update without set differences.
+///
+///  * Init: ChooseStartQVertex + TransformToTree, BuildDCG for g0
+///    (Algorithm 3), DetermineMatchingOrder, and the initial-solution
+///    report;
+///  * insertion: InsertEdgeAndEval (Algorithm 5) — BuildDCG downwards,
+///    BuildUpwardsAndEval (Algorithm 6) to the start vertices with
+///    Transition 1/2, then SubgraphSearch (Algorithm 7);
+///  * deletion: DeleteEdgeAndEval (Algorithm 8) — ClearUpwardsAndEval
+///    (Algorithm 9) first so explicit edges survive until negative matches
+///    are reported, then ClearDCG (Algorithm 10) with Transition 3/4/5.
+///
+/// Duplicate elimination uses the paper's total order over query edges
+/// (maximum-order seed reports on insertion, minimum on deletion), applied
+/// both inline in IsJoinable and at report time, which also covers
+/// solutions mapping several *tree* edges onto the updated data edge.
+class TurboFluxEngine : public ContinuousEngine {
+ public:
+  explicit TurboFluxEngine(TurboFluxOptions options = {});
+
+  bool Init(const QueryGraph& q, const Graph& g0, MatchSink& sink,
+            Deadline deadline) override;
+  bool ApplyUpdate(const UpdateOp& op, MatchSink& sink,
+                   Deadline deadline) override;
+  size_t IntermediateSize() const override { return dcg_.EdgeCount(); }
+  std::string name() const override;
+
+  // --- Introspection (tests, benches, examples) ---
+
+  const Dcg& dcg() const { return dcg_; }
+  const QueryTree& tree() const { return tree_; }
+  const Graph& graph() const { return g_; }
+  const std::vector<QVertexId>& matching_order() const { return mo_; }
+  QVertexId start_query_vertex() const { return tree_.root(); }
+  size_t matching_order_recomputations() const { return order_recomputes_; }
+
+  /// Builds a fresh DCG from the *current* data graph, exactly as Init
+  /// would. Property tests assert Snapshot equality with the incrementally
+  /// maintained DCG after every update.
+  Dcg RebuildDcgFromScratch() const;
+
+  /// Enumerates every match of the query in the *current* data graph into
+  /// `sink` (reported as positive) by searching the maintained DCG — no
+  /// recomputation. Returns false on deadline expiry.
+  bool EnumerateCurrentMatches(MatchSink& sink,
+                               Deadline deadline = Deadline::Infinite());
+
+ private:
+  // Algorithm 3: builds the DCG for the subtree of `child` hanging off the
+  // data edge (pv, cv), applying Transition 1 and 2. Operates on `dcg` so
+  // RebuildDcgFromScratch can share it.
+  void BuildDcg(Dcg& dcg, QVertexId child, VertexId pv, VertexId cv) const;
+
+  // Algorithm 5 / 8.
+  void InsertEdgeAndEval(VertexId v, EdgeLabel l, VertexId v2,
+                         MatchSink& sink);
+  void DeleteEdgeAndEval(VertexId v, EdgeLabel l, VertexId v2,
+                         MatchSink& sink);
+
+  // Algorithm 6: walks the DCG upwards from (u, v) applying Transition 2
+  // Case 2 when `transit` is set, and runs SubgraphSearch at every start
+  // vertex reached.
+  void BuildUpwardsAndEval(QVertexId u, VertexId v, QEdgeId eq, bool transit,
+                           MatchSink& sink);
+
+  // Algorithm 9: the deletion counterpart; Transition 4 is applied *after*
+  // the upward recursion so negative matches see the pre-deletion state.
+  void ClearUpwardsAndEval(QVertexId u, VertexId v, QVertexId child_u,
+                           QEdgeId eq, bool transit, MatchSink& sink);
+
+  // Algorithm 10: Transition 3/5 downwards.
+  void ClearDcg(QVertexId child, VertexId pv, VertexId cv);
+
+  // Algorithm 7.
+  void RunSearch(QEdgeId eq, bool positive, MatchSink& sink);
+  void SubgraphSearch(size_t depth, QEdgeId eq, bool positive,
+                      MatchSink& sink);
+  bool IsJoinable(QVertexId u, VertexId v, QEdgeId eq, bool positive) const;
+  void Report(QEdgeId eq, bool positive, MatchSink& sink);
+
+  // Seed lookup shared by insert and delete: tree children whose parent
+  // edge carries the label, and non-tree edges with the label, both
+  // pre-sorted ascending by duplicate-elimination rank at Init so the hot
+  // path allocates nothing.
+  const std::vector<QVertexId>& TreeChildrenForLabel(EdgeLabel l) const;
+  const std::vector<QEdgeId>& NonTreeEdgesForLabel(EdgeLabel l) const;
+
+  // Duplicate-elimination total order: tree edges (by id) before non-tree
+  // edges (by id).
+  uint32_t DedupRank(QEdgeId e) const { return dedup_rank_[e]; }
+
+  void MaybeAdjustMatchingOrder();
+  void RecomputeMatchingOrder();
+
+  bool Expired() { return deadline_ != nullptr && deadline_->Expired(); }
+
+  TurboFluxOptions options_;
+  const QueryGraph* q_ = nullptr;
+  Graph g_;
+  QueryTree tree_;
+  Dcg dcg_;
+  std::vector<QVertexId> mo_;
+  std::vector<VertexId> start_vertices_;
+  std::vector<uint32_t> dedup_rank_;
+  std::unordered_map<EdgeLabel, std::vector<QVertexId>>
+      tree_children_by_label_;
+  std::unordered_map<EdgeLabel, std::vector<QEdgeId>> non_tree_by_label_;
+
+  Mapping m_;
+  bool has_updated_edge_ = false;
+  VertexId upd_from_ = kNullVertex;
+  EdgeLabel upd_label_ = 0;
+  VertexId upd_to_ = kNullVertex;
+
+  Deadline* deadline_ = nullptr;
+  bool dead_ = false;
+
+  std::vector<uint64_t> order_counts_snapshot_;
+  size_t ops_since_adjust_check_ = 0;
+  size_t order_recomputes_ = 0;
+};
+
+}  // namespace turboflux
+
+#endif  // TURBOFLUX_CORE_TURBOFLUX_H_

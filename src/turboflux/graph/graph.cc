@@ -1,0 +1,69 @@
+#include "turboflux/graph/graph.h"
+
+#include <algorithm>
+
+namespace turboflux {
+
+namespace {
+const std::vector<EdgeLabel> kNoLabels;
+}  // namespace
+
+VertexId Graph::AddVertex(LabelSet labels) {
+  VertexId id = static_cast<VertexId>(vertex_labels_.size());
+  vertex_labels_.push_back(std::move(labels));
+  out_adj_.emplace_back();
+  in_adj_.emplace_back();
+  return id;
+}
+
+bool Graph::AddEdge(VertexId from, EdgeLabel label, VertexId to) {
+  if (!IsValidVertex(from) || !IsValidVertex(to)) return false;
+  std::vector<EdgeLabel>& labels = edge_labels_[PairKey(from, to)];
+  if (std::find(labels.begin(), labels.end(), label) != labels.end()) {
+    return false;
+  }
+  labels.push_back(label);
+  out_adj_[from].push_back({to, label});
+  in_adj_[to].push_back({from, label});
+  ++edge_count_;
+  return true;
+}
+
+bool Graph::RemoveEdge(VertexId from, EdgeLabel label, VertexId to) {
+  if (!HasEdge(from, label, to)) return false;
+  auto it = edge_labels_.find(PairKey(from, to));
+  std::vector<EdgeLabel>& labels = it->second;
+  labels.erase(std::find(labels.begin(), labels.end(), label));
+  if (labels.empty()) edge_labels_.erase(it);
+  RemoveAdjEntry(out_adj_[from], to, label);
+  RemoveAdjEntry(in_adj_[to], from, label);
+  --edge_count_;
+  return true;
+}
+
+bool Graph::HasEdge(VertexId from, EdgeLabel label, VertexId to) const {
+  if (!IsValidVertex(from) || !IsValidVertex(to)) return false;
+  auto it = edge_labels_.find(PairKey(from, to));
+  if (it == edge_labels_.end()) return false;
+  const std::vector<EdgeLabel>& labels = it->second;
+  return std::find(labels.begin(), labels.end(), label) != labels.end();
+}
+
+const std::vector<EdgeLabel>& Graph::EdgeLabelsBetween(VertexId from,
+                                                       VertexId to) const {
+  auto it = edge_labels_.find(PairKey(from, to));
+  return it == edge_labels_.end() ? kNoLabels : it->second;
+}
+
+void Graph::RemoveAdjEntry(std::vector<AdjEntry>& adj, VertexId other,
+                           EdgeLabel label) {
+  for (size_t i = 0; i < adj.size(); ++i) {
+    if (adj[i].other == other && adj[i].label == label) {
+      adj[i] = adj.back();
+      adj.pop_back();
+      return;
+    }
+  }
+}
+
+}  // namespace turboflux

@@ -1,0 +1,102 @@
+#ifndef TURBOFLUX_GRAPH_GRAPH_H_
+#define TURBOFLUX_GRAPH_GRAPH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "turboflux/common/label_set.h"
+#include "turboflux/common/types.h"
+
+namespace turboflux {
+
+/// An adjacency entry: the neighbouring vertex and the edge label.
+/// For out-adjacency `other` is the edge target; for in-adjacency it is the
+/// edge source.
+struct AdjEntry {
+  VertexId other;
+  EdgeLabel label;
+
+  friend bool operator==(const AdjEntry& a, const AdjEntry& b) {
+    return a.other == b.other && a.label == b.label;
+  }
+};
+
+/// A dynamic, directed, labeled graph: the data-graph substrate shared by
+/// TurboFlux and all baselines.
+///
+/// * vertices carry label *sets* (L(v)); a query vertex u matches v when
+///   L(u) is a subset of L(v);
+/// * edges carry exactly one label; at most one edge per
+///   (source, label, target) triple (parallel edges with distinct labels
+///   are allowed);
+/// * edge insertion is O(1) amortized, deletion O(deg), existence O(1)
+///   expected (hash probe);
+/// * both out- and in-adjacency are maintained, since query-tree edges may
+///   be traversed against their direction.
+class Graph {
+ public:
+  Graph() = default;
+
+  Graph(const Graph&) = default;
+  Graph& operator=(const Graph&) = default;
+  Graph(Graph&&) = default;
+  Graph& operator=(Graph&&) = default;
+
+  /// Adds a vertex with the given label set; returns its id. Ids are dense,
+  /// starting at 0.
+  VertexId AddVertex(LabelSet labels);
+
+  /// Adds a directed edge. Returns false (and leaves the graph unchanged)
+  /// if either endpoint does not exist or the identical (from, label, to)
+  /// edge is already present.
+  bool AddEdge(VertexId from, EdgeLabel label, VertexId to);
+
+  /// Removes a directed edge. Returns false if it was not present.
+  bool RemoveEdge(VertexId from, EdgeLabel label, VertexId to);
+
+  /// O(1) expected edge-existence probe.
+  bool HasEdge(VertexId from, EdgeLabel label, VertexId to) const;
+
+  size_t VertexCount() const { return vertex_labels_.size(); }
+  size_t EdgeCount() const { return edge_count_; }
+
+  bool IsValidVertex(VertexId v) const { return v < vertex_labels_.size(); }
+
+  const LabelSet& labels(VertexId v) const { return vertex_labels_[v]; }
+
+  const std::vector<AdjEntry>& OutEdges(VertexId v) const {
+    return out_adj_[v];
+  }
+  const std::vector<AdjEntry>& InEdges(VertexId v) const { return in_adj_[v]; }
+
+  size_t OutDegree(VertexId v) const { return out_adj_[v].size(); }
+  size_t InDegree(VertexId v) const { return in_adj_[v].size(); }
+  size_t Degree(VertexId v) const { return OutDegree(v) + InDegree(v); }
+
+  /// All labels of edges from `from` to `to` (unsorted view).
+  /// Returns an empty vector reference when there is no such pair.
+  const std::vector<EdgeLabel>& EdgeLabelsBetween(VertexId from,
+                                                  VertexId to) const;
+
+ private:
+  static uint64_t PairKey(VertexId from, VertexId to) {
+    return (static_cast<uint64_t>(from) << 32) | to;
+  }
+
+  static void RemoveAdjEntry(std::vector<AdjEntry>& adj, VertexId other,
+                             EdgeLabel label);
+
+  std::vector<LabelSet> vertex_labels_;
+  std::vector<std::vector<AdjEntry>> out_adj_;
+  std::vector<std::vector<AdjEntry>> in_adj_;
+  // (from, to) -> labels of parallel edges between them. Supports the O(1)
+  // HasEdge probe and duplicate-insert detection.
+  std::unordered_map<uint64_t, std::vector<EdgeLabel>> edge_labels_;
+  size_t edge_count_ = 0;
+};
+
+}  // namespace turboflux
+
+#endif  // TURBOFLUX_GRAPH_GRAPH_H_

@@ -1,0 +1,114 @@
+#include "turboflux/graph/graph_io.h"
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace turboflux {
+
+namespace {
+
+bool IsSkippable(const std::string& line) {
+  return line.empty() || line[0] == '#';
+}
+
+}  // namespace
+
+std::optional<Graph> ReadGraph(std::istream& in) {
+  Graph g;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (IsSkippable(line)) continue;
+    std::istringstream ls(line);
+    std::string kind;
+    ls >> kind;
+    if (kind == "v") {
+      VertexId id;
+      if (!(ls >> id)) return std::nullopt;
+      if (id != g.VertexCount()) return std::nullopt;  // ids must be dense
+      std::vector<Label> labels;
+      Label l;
+      while (ls >> l) labels.push_back(l);
+      g.AddVertex(LabelSet(std::move(labels)));
+    } else if (kind == "e") {
+      VertexId from, to;
+      EdgeLabel label;
+      if (!(ls >> from >> label >> to)) return std::nullopt;
+      if (!g.IsValidVertex(from) || !g.IsValidVertex(to)) return std::nullopt;
+      g.AddEdge(from, label, to);
+    } else {
+      return std::nullopt;
+    }
+  }
+  return g;
+}
+
+std::optional<Graph> ReadGraphFromFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  return ReadGraph(in);
+}
+
+void WriteGraph(const Graph& g, std::ostream& out) {
+  for (VertexId v = 0; v < g.VertexCount(); ++v) {
+    out << "v " << v;
+    for (Label l : g.labels(v).labels()) out << " " << l;
+    out << "\n";
+  }
+  for (VertexId v = 0; v < g.VertexCount(); ++v) {
+    for (const AdjEntry& e : g.OutEdges(v)) {
+      out << "e " << v << " " << e.label << " " << e.other << "\n";
+    }
+  }
+}
+
+bool WriteGraphToFile(const Graph& g, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  WriteGraph(g, out);
+  return static_cast<bool>(out);
+}
+
+std::optional<UpdateStream> ReadStream(std::istream& in) {
+  UpdateStream stream;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (IsSkippable(line)) continue;
+    std::istringstream ls(line);
+    std::string kind;
+    VertexId from, to;
+    EdgeLabel label;
+    if (!(ls >> kind >> from >> label >> to)) return std::nullopt;
+    if (kind == "+") {
+      stream.push_back(UpdateOp::Insert(from, label, to));
+    } else if (kind == "-") {
+      stream.push_back(UpdateOp::Delete(from, label, to));
+    } else {
+      return std::nullopt;
+    }
+  }
+  return stream;
+}
+
+std::optional<UpdateStream> ReadStreamFromFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  return ReadStream(in);
+}
+
+void WriteStream(const UpdateStream& stream, std::ostream& out) {
+  for (const UpdateOp& op : stream) {
+    out << (op.IsInsert() ? "+" : "-") << " " << op.from << " " << op.label
+        << " " << op.to << "\n";
+  }
+}
+
+bool WriteStreamToFile(const UpdateStream& stream, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  WriteStream(stream, out);
+  return static_cast<bool>(out);
+}
+
+}  // namespace turboflux

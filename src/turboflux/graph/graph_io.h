@@ -1,0 +1,36 @@
+#ifndef TURBOFLUX_GRAPH_GRAPH_IO_H_
+#define TURBOFLUX_GRAPH_GRAPH_IO_H_
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "turboflux/graph/graph.h"
+#include "turboflux/graph/update_stream.h"
+
+namespace turboflux {
+
+/// Text format for graphs and streams so examples and experiments can be
+/// persisted and replayed:
+///
+///   graph file:  `v <id> [label...]` lines (ids must be dense and in
+///                order), then `e <from> <label> <to>` lines;
+///   stream file: `+ <from> <label> <to>` / `- <from> <label> <to>` lines.
+///
+/// Blank lines and lines starting with `#` are ignored.
+///
+/// All readers return std::nullopt on malformed input (no exceptions).
+
+std::optional<Graph> ReadGraph(std::istream& in);
+std::optional<Graph> ReadGraphFromFile(const std::string& path);
+void WriteGraph(const Graph& g, std::ostream& out);
+bool WriteGraphToFile(const Graph& g, const std::string& path);
+
+std::optional<UpdateStream> ReadStream(std::istream& in);
+std::optional<UpdateStream> ReadStreamFromFile(const std::string& path);
+void WriteStream(const UpdateStream& stream, std::ostream& out);
+bool WriteStreamToFile(const UpdateStream& stream, const std::string& path);
+
+}  // namespace turboflux
+
+#endif  // TURBOFLUX_GRAPH_GRAPH_IO_H_

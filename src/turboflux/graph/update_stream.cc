@@ -1,0 +1,32 @@
+#include "turboflux/graph/update_stream.h"
+
+#include "turboflux/graph/graph.h"
+
+namespace turboflux {
+
+std::string UpdateOp::ToString() const {
+  std::string out = IsInsert() ? "+" : "-";
+  out += "(";
+  out += std::to_string(from);
+  out += ",";
+  out += std::to_string(label);
+  out += ",";
+  out += std::to_string(to);
+  out += ")";
+  return out;
+}
+
+bool ApplyUpdate(Graph& g, const UpdateOp& op) {
+  if (op.IsInsert()) return g.AddEdge(op.from, op.label, op.to);
+  return g.RemoveEdge(op.from, op.label, op.to);
+}
+
+size_t ApplyStream(Graph& g, const UpdateStream& stream) {
+  size_t changed = 0;
+  for (const UpdateOp& op : stream) {
+    if (ApplyUpdate(g, op)) ++changed;
+  }
+  return changed;
+}
+
+}  // namespace turboflux

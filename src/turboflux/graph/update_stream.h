@@ -1,0 +1,50 @@
+#ifndef TURBOFLUX_GRAPH_UPDATE_STREAM_H_
+#define TURBOFLUX_GRAPH_UPDATE_STREAM_H_
+
+#include <string>
+#include <vector>
+
+#include "turboflux/common/types.h"
+
+namespace turboflux {
+
+/// A single update operation Δo = (op, v, l, v') (Definition 2, extended
+/// with the edge label which the actual TurboFlux implementation supports).
+struct UpdateOp {
+  enum class Type : uint8_t { kInsert, kDelete };
+
+  Type type;
+  VertexId from;
+  EdgeLabel label;
+  VertexId to;
+
+  static UpdateOp Insert(VertexId from, EdgeLabel label, VertexId to) {
+    return {Type::kInsert, from, label, to};
+  }
+  static UpdateOp Delete(VertexId from, EdgeLabel label, VertexId to) {
+    return {Type::kDelete, from, label, to};
+  }
+
+  bool IsInsert() const { return type == Type::kInsert; }
+
+  friend bool operator==(const UpdateOp& a, const UpdateOp& b) {
+    return a.type == b.type && a.from == b.from && a.label == b.label &&
+           a.to == b.to;
+  }
+
+  std::string ToString() const;
+};
+
+/// A graph update stream Δg = (Δo1, Δo2, ...).
+using UpdateStream = std::vector<UpdateOp>;
+
+/// Applies `op` to `g`; returns true if the graph changed (i.e., the
+/// inserted edge was new / the deleted edge existed).
+bool ApplyUpdate(class Graph& g, const UpdateOp& op);
+
+/// Applies every op in the stream; returns how many changed the graph.
+size_t ApplyStream(class Graph& g, const UpdateStream& stream);
+
+}  // namespace turboflux
+
+#endif  // TURBOFLUX_GRAPH_UPDATE_STREAM_H_

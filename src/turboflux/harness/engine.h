@@ -1,0 +1,50 @@
+#ifndef TURBOFLUX_HARNESS_ENGINE_H_
+#define TURBOFLUX_HARNESS_ENGINE_H_
+
+#include <string>
+
+#include "turboflux/common/deadline.h"
+#include "turboflux/common/match.h"
+#include "turboflux/graph/graph.h"
+#include "turboflux/graph/update_stream.h"
+#include "turboflux/query/query_graph.h"
+
+namespace turboflux {
+
+/// Common interface of every continuous subgraph matching engine in this
+/// repository (TurboFlux, SJ-Tree, Graphflow, IncIsoMat). An engine owns
+/// its copy of the evolving data graph: Init seeds it with g0, and each
+/// ApplyUpdate both applies the update to the internal graph and reports
+/// the update's positive/negative matches to the sink.
+class ContinuousEngine {
+ public:
+  virtual ~ContinuousEngine() = default;
+
+  /// Prepares the engine for query `q` over initial graph `g0` and reports
+  /// all matches of the initial graph as positive matches. Returns false
+  /// if the deadline expired (engine state is then unusable).
+  virtual bool Init(const QueryGraph& q, const Graph& g0, MatchSink& sink,
+                    Deadline deadline) = 0;
+
+  /// Applies one update operation and reports the positive (insertion) or
+  /// negative (deletion) matches it causes. Returns false if the deadline
+  /// expired mid-operation (reported matches may then be incomplete and
+  /// the engine must not be used further).
+  virtual bool ApplyUpdate(const UpdateOp& op, MatchSink& sink,
+                           Deadline deadline) = 0;
+
+  /// Current size of maintained intermediate results, in the engine's
+  /// natural unit: DCG edges for TurboFlux, stored partial-solution vertex
+  /// slots for SJ-Tree, 0 for the stateless engines.
+  virtual size_t IntermediateSize() const = 0;
+
+  /// True if the engine supports edge deletions. (The original SJ-Tree
+  /// does not; see Appendix B.2.)
+  virtual bool SupportsDeletion() const { return true; }
+
+  virtual std::string name() const = 0;
+};
+
+}  // namespace turboflux
+
+#endif  // TURBOFLUX_HARNESS_ENGINE_H_

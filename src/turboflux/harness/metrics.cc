@@ -1,0 +1,45 @@
+#include "turboflux/harness/metrics.h"
+
+#include <cmath>
+
+namespace turboflux {
+
+Aggregate Aggregate0(const std::string& engine) {
+  Aggregate agg;
+  agg.engine = engine;
+  return agg;
+}
+
+void Accumulate(Aggregate& agg, const RunResult& r) {
+  if (r.unsupported) {
+    ++agg.unsupported;
+    return;
+  }
+  if (r.timed_out) {
+    ++agg.timed_out;
+    return;
+  }
+  ++agg.completed;
+  const double n = static_cast<double>(agg.completed);
+  agg.mean_stream_seconds += (r.stream_seconds - agg.mean_stream_seconds) / n;
+  agg.mean_peak_intermediate +=
+      (static_cast<double>(r.peak_intermediate) - agg.mean_peak_intermediate) /
+      n;
+  agg.total_positive += r.positive_matches;
+  agg.total_negative += r.negative_matches;
+}
+
+double MeanRatio(const std::vector<double>& numer,
+                 const std::vector<double>& denom) {
+  double log_sum = 0.0;
+  size_t n = 0;
+  for (size_t i = 0; i < numer.size() && i < denom.size(); ++i) {
+    if (numer[i] <= 0.0 || denom[i] <= 0.0) continue;
+    log_sum += std::log(numer[i] / denom[i]);
+    ++n;
+  }
+  if (n == 0) return 0.0;
+  return std::exp(log_sum / static_cast<double>(n));
+}
+
+}  // namespace turboflux

@@ -1,0 +1,57 @@
+#ifndef TURBOFLUX_HARNESS_METRICS_H_
+#define TURBOFLUX_HARNESS_METRICS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace turboflux {
+
+/// Result of running one engine over one (g0, Δg, q) workload.
+struct RunResult {
+  bool timed_out = false;
+  bool unsupported = false;  // e.g., deletions on SJ-Tree
+
+  double init_seconds = 0.0;
+  /// Time spent in ApplyUpdate across the whole stream, *minus* the time a
+  /// bare graph update pass takes — the paper's cost(M(Δg, q)) excludes the
+  /// data-graph update cost (Section 5.1).
+  double stream_seconds = 0.0;
+  /// Raw ApplyUpdate time, before subtracting the graph-update baseline.
+  double raw_stream_seconds = 0.0;
+
+  uint64_t initial_matches = 0;
+  uint64_t positive_matches = 0;
+  uint64_t negative_matches = 0;
+  uint64_t processed_ops = 0;
+
+  size_t peak_intermediate = 0;
+  size_t final_intermediate = 0;
+};
+
+/// Aggregate over a query set, mirroring how the paper reports averages
+/// per query-set (timed-out queries are excluded from averages and counted
+/// separately).
+struct Aggregate {
+  std::string engine;
+  size_t completed = 0;
+  size_t timed_out = 0;
+  size_t unsupported = 0;
+  double mean_stream_seconds = 0.0;
+  double mean_peak_intermediate = 0.0;
+  uint64_t total_positive = 0;
+  uint64_t total_negative = 0;
+};
+
+Aggregate Aggregate0(const std::string& engine);
+
+/// Folds `r` into `agg` (running mean over completed runs).
+void Accumulate(Aggregate& agg, const RunResult& r);
+
+/// Geometric-mean speedup of `a` over `b` across pairwise-completed runs.
+double MeanRatio(const std::vector<double>& numer,
+                 const std::vector<double>& denom);
+
+}  // namespace turboflux
+
+#endif  // TURBOFLUX_HARNESS_METRICS_H_

@@ -1,0 +1,105 @@
+#include "turboflux/harness/runner.h"
+
+#include <algorithm>
+
+#include "turboflux/common/deadline.h"
+
+namespace turboflux {
+
+namespace {
+
+/// Splits the initial matches (reported during Init) from stream matches:
+/// counts initial positives separately.
+class PhaseSink : public MatchSink {
+ public:
+  explicit PhaseSink(MatchSink& inner) : inner_(inner) {}
+
+  void OnMatch(bool positive, const Mapping& m) override {
+    if (init_phase_) {
+      ++initial_;
+      return;  // initial matches are counted, not forwarded
+    }
+    if (positive) {
+      ++positive_;
+    } else {
+      ++negative_;
+    }
+    inner_.OnMatch(positive, m);
+  }
+
+  void EndInitPhase() { init_phase_ = false; }
+
+  uint64_t initial() const { return initial_; }
+  uint64_t positive() const { return positive_; }
+  uint64_t negative() const { return negative_; }
+
+ private:
+  MatchSink& inner_;
+  bool init_phase_ = true;
+  uint64_t initial_ = 0;
+  uint64_t positive_ = 0;
+  uint64_t negative_ = 0;
+};
+
+}  // namespace
+
+double MeasureGraphUpdateSeconds(const Graph& g0, const UpdateStream& stream) {
+  Graph g = g0;
+  Stopwatch watch;
+  ApplyStream(g, stream);
+  return watch.ElapsedSeconds();
+}
+
+RunResult RunContinuous(ContinuousEngine& engine, const QueryGraph& q,
+                        const Graph& g0, const UpdateStream& stream,
+                        MatchSink& sink, const RunOptions& options) {
+  RunResult result;
+
+  bool has_deletion = false;
+  for (const UpdateOp& op : stream) has_deletion |= !op.IsInsert();
+  if (has_deletion && !engine.SupportsDeletion()) {
+    result.unsupported = true;
+    return result;
+  }
+
+  Deadline deadline = options.timeout_ms > 0
+                          ? Deadline::AfterMillis(options.timeout_ms)
+                          : Deadline::Infinite();
+
+  PhaseSink phase_sink(sink);
+
+  Stopwatch init_watch;
+  if (!engine.Init(q, g0, phase_sink, deadline)) {
+    result.timed_out = true;
+    result.init_seconds = init_watch.ElapsedSeconds();
+    return result;
+  }
+  result.init_seconds = init_watch.ElapsedSeconds();
+  result.initial_matches = phase_sink.initial();
+  phase_sink.EndInitPhase();
+  result.peak_intermediate = engine.IntermediateSize();
+
+  Stopwatch stream_watch;
+  for (const UpdateOp& op : stream) {
+    if (!engine.ApplyUpdate(op, phase_sink, deadline)) {
+      result.timed_out = true;
+      break;
+    }
+    ++result.processed_ops;
+    result.peak_intermediate =
+        std::max(result.peak_intermediate, engine.IntermediateSize());
+  }
+  result.raw_stream_seconds = stream_watch.ElapsedSeconds();
+  result.positive_matches = phase_sink.positive();
+  result.negative_matches = phase_sink.negative();
+  result.final_intermediate = engine.IntermediateSize();
+
+  result.stream_seconds = result.raw_stream_seconds;
+  if (!result.timed_out && options.subtract_graph_update_cost) {
+    double base = MeasureGraphUpdateSeconds(g0, stream);
+    result.stream_seconds = std::max(0.0, result.raw_stream_seconds - base);
+  }
+  return result;
+}
+
+}  // namespace turboflux

@@ -1,0 +1,34 @@
+#ifndef TURBOFLUX_HARNESS_RUNNER_H_
+#define TURBOFLUX_HARNESS_RUNNER_H_
+
+#include <cstdint>
+
+#include "turboflux/harness/engine.h"
+#include "turboflux/harness/metrics.h"
+
+namespace turboflux {
+
+struct RunOptions {
+  /// Per-query wall-clock budget covering Init plus the whole stream;
+  /// <= 0 means unlimited. (The paper used a 2-hour timeout; our scaled
+  /// experiments default to a few seconds.)
+  int64_t timeout_ms = 0;
+
+  /// When true, stream_seconds subtracts the time of a bare graph-update
+  /// pass over the same stream, mirroring the paper's cost(M(Δg, q)).
+  bool subtract_graph_update_cost = true;
+};
+
+/// Runs `engine` on query `q`: initializes with `g0`, then feeds `stream`
+/// one operation at a time, reporting matches into `sink`.
+RunResult RunContinuous(ContinuousEngine& engine, const QueryGraph& q,
+                        const Graph& g0, const UpdateStream& stream,
+                        MatchSink& sink, const RunOptions& options);
+
+/// Measures how long applying `stream` to a copy of `g0` takes with no
+/// matching at all — the baseline subtracted to obtain cost(M(Δg, q)).
+double MeasureGraphUpdateSeconds(const Graph& g0, const UpdateStream& stream);
+
+}  // namespace turboflux
+
+#endif  // TURBOFLUX_HARNESS_RUNNER_H_

@@ -1,0 +1,75 @@
+#include "turboflux/harness/table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+namespace turboflux {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::AddRow(std::vector<std::string> row) {
+  row.resize(header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void Table::Print(std::ostream& out) const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    out << "|";
+    for (size_t c = 0; c < row.size(); ++c) {
+      out << " " << row[c] << std::string(widths[c] - row[c].size(), ' ')
+          << " |";
+    }
+    out << "\n";
+  };
+  print_row(header_);
+  out << "|";
+  for (size_t c = 0; c < header_.size(); ++c) {
+    out << std::string(widths[c] + 2, '-') << "|";
+  }
+  out << "\n";
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string Table::FormatSeconds(double seconds) {
+  char buf[64];
+  if (seconds < 0) return "n/a";
+  if (seconds < 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.1fus", seconds * 1e6);
+  } else if (seconds < 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.2fms", seconds * 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2fs", seconds);
+  }
+  return buf;
+}
+
+std::string Table::FormatCount(double count) {
+  char buf[64];
+  if (count < 0) return "n/a";
+  if (count >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.2fM", count / 1e6);
+  } else if (count >= 1e4) {
+    std::snprintf(buf, sizeof(buf), "%.1fK", count / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0f", count);
+  }
+  return buf;
+}
+
+std::string Table::FormatRatio(double ratio) {
+  char buf[64];
+  if (ratio <= 0 || std::isnan(ratio) || std::isinf(ratio)) return "n/a";
+  std::snprintf(buf, sizeof(buf), "%.2fx", ratio);
+  return buf;
+}
+
+}  // namespace turboflux

@@ -1,0 +1,31 @@
+#ifndef TURBOFLUX_HARNESS_TABLE_H_
+#define TURBOFLUX_HARNESS_TABLE_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace turboflux {
+
+/// A fixed-width text table, used by the benchmark binaries to print the
+/// rows/series of each paper figure.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+
+  void Print(std::ostream& out) const;
+
+  static std::string FormatSeconds(double seconds);
+  static std::string FormatCount(double count);
+  static std::string FormatRatio(double ratio);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace turboflux
+
+#endif  // TURBOFLUX_HARNESS_TABLE_H_

@@ -1,0 +1,193 @@
+#include "turboflux/match/static_matcher.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+
+namespace turboflux {
+
+namespace {
+
+/// Number of data vertices each query vertex matches (label filter only).
+std::vector<uint64_t> CandidateCounts(const Graph& g, const QueryGraph& q) {
+  std::vector<uint64_t> counts(q.VertexCount(), 0);
+  for (VertexId v = 0; v < g.VertexCount(); ++v) {
+    for (QVertexId u = 0; u < q.VertexCount(); ++u) {
+      if (q.VertexMatches(u, g, v)) ++counts[u];
+    }
+  }
+  return counts;
+}
+
+}  // namespace
+
+StaticMatcher::StaticMatcher(const Graph& g, const QueryGraph& q,
+                             StaticMatchOptions options)
+    : g_(g), q_(q), options_(options) {
+  assert(q.VertexCount() > 0);
+  std::vector<uint64_t> counts = CandidateCounts(g, q);
+
+  // Start vertex: fewest candidates; tie-break by larger degree.
+  QVertexId start = 0;
+  for (QVertexId u = 1; u < q.VertexCount(); ++u) {
+    if (counts[u] < counts[start] ||
+        (counts[u] == counts[start] && q.Degree(u) > q.Degree(start))) {
+      start = u;
+    }
+  }
+
+  // BFS order over the undirected query from the start vertex.
+  std::vector<bool> placed(q.VertexCount(), false);
+  std::deque<QVertexId> queue = {start};
+  placed[start] = true;
+  while (!queue.empty()) {
+    QVertexId u = queue.front();
+    queue.pop_front();
+    order_.push_back(u);
+    auto visit = [&](QVertexId w) {
+      if (!placed[w]) {
+        placed[w] = true;
+        queue.push_back(w);
+      }
+    };
+    for (QEdgeId e : q.OutEdgeIds(u)) visit(q.edge(e).to);
+    for (QEdgeId e : q.InEdgeIds(u)) visit(q.edge(e).from);
+  }
+  assert(order_.size() == q.VertexCount());  // query must be connected
+
+  // Constraints: for order position i, every query edge between order_[i]
+  // and an earlier vertex. The anchor (constraint 0) is the one whose
+  // earlier endpoint appears earliest, which BFS guarantees to exist.
+  std::vector<size_t> position(q.VertexCount());
+  for (size_t i = 0; i < order_.size(); ++i) position[order_[i]] = i;
+  constraints_.resize(order_.size());
+  // Self-loops on the start vertex are its only depth-0 constraints.
+  for (QEdgeId e : q.OutEdgeIds(start)) {
+    const QEdge& qe = q.edge(e);
+    if (qe.to == start) constraints_[0].push_back({start, qe.label, false});
+  }
+  for (size_t i = 1; i < order_.size(); ++i) {
+    QVertexId u = order_[i];
+    std::vector<Constraint>& cons = constraints_[i];
+    for (QEdgeId e : q.InEdgeIds(u)) {
+      const QEdge& qe = q.edge(e);
+      if (qe.from != u && position[qe.from] < i) {
+        cons.push_back({qe.from, qe.label, true});
+      }
+    }
+    for (QEdgeId e : q.OutEdgeIds(u)) {
+      const QEdge& qe = q.edge(e);
+      if (position[qe.to] < i || qe.to == u) {
+        // Self-loops (qe.to == u) are verified as a constraint against u
+        // itself once u is mapped; they never serve as the anchor.
+        cons.push_back({qe.to, qe.label, false});
+      }
+    }
+    std::sort(cons.begin(), cons.end(),
+              [&](const Constraint& a, const Constraint& b) {
+                bool a_self = a.earlier == u;
+                bool b_self = b.earlier == u;
+                if (a_self != b_self) return b_self;  // self-loops last
+                return position[a.earlier] < position[b.earlier];
+              });
+    assert(!cons.empty() && cons.front().earlier != u);
+  }
+}
+
+bool StaticMatcher::Backtrack(size_t depth, Mapping& m, MatchSink& sink,
+                              Deadline& deadline) {
+  if (deadline.Expired()) return false;
+  if (depth == order_.size()) {
+    sink.OnMatch(true, m);
+    ++reported_;
+    if (options_.limit != 0 && reported_ >= options_.limit) hit_limit_ = true;
+    return true;
+  }
+  QVertexId u = order_[depth];
+  const std::vector<Constraint>& cons = constraints_[depth];
+  const bool iso = options_.semantics == MatchSemantics::kIsomorphism;
+
+  auto try_candidate = [&](VertexId v) -> bool {
+    if (!q_.VertexMatches(u, g_, v)) return true;
+    if (iso && MappingContains(m, v)) return true;
+    // Verify the remaining constraints (at depth > 0 the anchor is
+    // already satisfied by construction of the candidate enumeration; at
+    // depth 0 every constraint is a self-loop and must be checked).
+    for (size_t c = depth == 0 ? 0 : 1; c < cons.size(); ++c) {
+      VertexId w = cons[c].earlier == u ? v : m[cons[c].earlier];
+      bool ok = cons[c].out ? g_.HasEdge(w, cons[c].label, v)
+                            : g_.HasEdge(v, cons[c].label, w);
+      if (!ok) return true;
+    }
+    m[u] = v;
+    bool alive = Backtrack(depth + 1, m, sink, deadline);
+    m[u] = kNullVertex;
+    return alive && !hit_limit_;
+  };
+
+  if (depth == 0) {
+    for (VertexId v = 0; v < g_.VertexCount(); ++v) {
+      if (!try_candidate(v)) return !deadline.ExpiredNow();
+    }
+    return true;
+  }
+
+  const Constraint& anchor = cons.front();
+  VertexId base = m[anchor.earlier];
+  const std::vector<AdjEntry>& adj =
+      anchor.out ? g_.OutEdges(base) : g_.InEdges(base);
+  for (const AdjEntry& e : adj) {
+    if (e.label != anchor.label) continue;
+    if (!try_candidate(e.other)) return !deadline.ExpiredNow();
+  }
+  return true;
+}
+
+bool StaticMatcher::FindAll(MatchSink& sink, Deadline deadline) {
+  reported_ = 0;
+  hit_limit_ = false;
+  Mapping m(q_.VertexCount(), kNullVertex);
+  Backtrack(0, m, sink, deadline);
+  return !deadline.ExpiredNow();
+}
+
+uint64_t StaticMatcher::CountAll(Deadline deadline) {
+  CountingSink sink;
+  FindAll(sink, deadline);
+  return sink.positive();
+}
+
+uint64_t BruteForceCount(const Graph& g, const QueryGraph& q,
+                         MatchSemantics semantics) {
+  const size_t qn = q.VertexCount();
+  const size_t gn = g.VertexCount();
+  if (qn == 0 || gn == 0) return 0;
+  Mapping m(qn, 0);
+  uint64_t count = 0;
+  for (;;) {
+    bool ok = true;
+    for (QVertexId u = 0; u < qn && ok; ++u) {
+      ok = q.VertexMatches(u, g, m[u]);
+      if (ok && semantics == MatchSemantics::kIsomorphism) {
+        for (QVertexId w = 0; w < u; ++w) {
+          if (m[w] == m[u]) {
+            ok = false;
+            break;
+          }
+        }
+      }
+    }
+    for (const QEdge& e : q.edges()) {
+      if (!ok) break;
+      ok = g.HasEdge(m[e.from], e.label, m[e.to]);
+    }
+    if (ok) ++count;
+    // Next mapping in lexicographic order.
+    size_t i = 0;
+    while (i < qn && ++m[i] == gn) m[i++] = 0;
+    if (i == qn) break;
+  }
+  return count;
+}
+
+}  // namespace turboflux

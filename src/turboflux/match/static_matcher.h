@@ -1,0 +1,72 @@
+#ifndef TURBOFLUX_MATCH_STATIC_MATCHER_H_
+#define TURBOFLUX_MATCH_STATIC_MATCHER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "turboflux/common/deadline.h"
+#include "turboflux/common/match.h"
+#include "turboflux/common/types.h"
+#include "turboflux/graph/graph.h"
+#include "turboflux/query/query_graph.h"
+
+namespace turboflux {
+
+struct StaticMatchOptions {
+  MatchSemantics semantics = MatchSemantics::kHomomorphism;
+  /// Stop after this many matches (0 = unlimited).
+  uint64_t limit = 0;
+};
+
+/// A TurboHom++-style backtracking matcher over a *static* data graph:
+/// candidate vertices are filtered by label containment, the matching
+/// order is a BFS of the query from its most selective vertex, and each
+/// extension enumerates the adjacency of the already-matched neighbour
+/// with the smallest degree while verifying every other incident
+/// constraint with O(1) edge probes.
+///
+/// This is the repository's reference matcher: IncIsoMat runs it on the
+/// affected subgraph, tests use it as the ground-truth oracle, and it
+/// reports the initial-graph matches for engines that need one.
+class StaticMatcher {
+ public:
+  StaticMatcher(const Graph& g, const QueryGraph& q,
+                StaticMatchOptions options);
+
+  /// Enumerates all matches into `sink` (reported as positive). Returns
+  /// false iff the deadline expired before enumeration finished.
+  bool FindAll(MatchSink& sink, Deadline deadline);
+
+  /// Convenience: count matches.
+  uint64_t CountAll(Deadline deadline = Deadline::Infinite());
+
+ private:
+  struct Constraint {
+    QVertexId earlier;  // query vertex already matched at this depth
+    EdgeLabel label;
+    bool out;  // true: query edge earlier->u; false: u->earlier
+  };
+
+  bool Backtrack(size_t depth, Mapping& m, MatchSink& sink,
+                 Deadline& deadline);
+
+  const Graph& g_;
+  const QueryGraph& q_;
+  StaticMatchOptions options_;
+  std::vector<QVertexId> order_;
+  // Constraints per order position; constraint 0 is the anchor used for
+  // candidate enumeration (absent for the start vertex).
+  std::vector<std::vector<Constraint>> constraints_;
+  uint64_t reported_ = 0;
+  bool hit_limit_ = false;
+};
+
+/// Counts all matches of q in g by brute-force enumeration of every
+/// |V(g)|^|V(q)| mapping. Exponential — only for validating StaticMatcher
+/// on tiny inputs in tests.
+uint64_t BruteForceCount(const Graph& g, const QueryGraph& q,
+                         MatchSemantics semantics);
+
+}  // namespace turboflux
+
+#endif  // TURBOFLUX_MATCH_STATIC_MATCHER_H_

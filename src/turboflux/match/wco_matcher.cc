@@ -1,0 +1,146 @@
+#include "turboflux/match/wco_matcher.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace turboflux {
+
+WcoMatcher::WcoMatcher(const Graph& g, const QueryGraph& q,
+                       MatchSemantics semantics)
+    : g_(g), q_(q), semantics_(semantics) {
+  assert(q.VertexCount() > 0 && q.IsConnected());
+
+  // Global vertex order: start from the vertex with the largest degree
+  // (most constrained joins first), then repeatedly append the unplaced
+  // vertex with the most placed neighbours (ties: larger degree). This is
+  // the standard Generic Join attribute order heuristic.
+  const size_t n = q.VertexCount();
+  std::vector<bool> placed(n, false);
+  auto undirected_neighbors = [&](QVertexId u) {
+    std::vector<QVertexId> out;
+    for (QEdgeId e : q.OutEdgeIds(u)) out.push_back(q.edge(e).to);
+    for (QEdgeId e : q.InEdgeIds(u)) out.push_back(q.edge(e).from);
+    return out;
+  };
+
+  QVertexId first = 0;
+  for (QVertexId u = 1; u < n; ++u) {
+    if (q.Degree(u) > q.Degree(first)) first = u;
+  }
+  order_.push_back(first);
+  placed[first] = true;
+  while (order_.size() < n) {
+    QVertexId best = kNullQVertex;
+    size_t best_placed = 0;
+    for (QVertexId u = 0; u < n; ++u) {
+      if (placed[u]) continue;
+      size_t placed_neighbors = 0;
+      for (QVertexId w : undirected_neighbors(u)) {
+        placed_neighbors += placed[w] ? 1 : 0;
+      }
+      if (best == kNullQVertex || placed_neighbors > best_placed ||
+          (placed_neighbors == best_placed &&
+           q.Degree(u) > q.Degree(best))) {
+        best = u;
+        best_placed = placed_neighbors;
+      }
+    }
+    // Connectivity guarantees every later vertex has a placed neighbour.
+    assert(best_placed > 0);
+    order_.push_back(best);
+    placed[best] = true;
+  }
+
+  std::vector<size_t> position(n);
+  for (size_t i = 0; i < order_.size(); ++i) position[order_[i]] = i;
+  constraints_.resize(n);
+  for (size_t i = 0; i < order_.size(); ++i) {
+    QVertexId u = order_[i];
+    for (QEdgeId e : q.InEdgeIds(u)) {
+      const QEdge& qe = q.edge(e);
+      if (qe.from == u || position[qe.from] < i) {
+        constraints_[i].push_back({qe.from, qe.label, true});
+      }
+    }
+    for (QEdgeId e : q.OutEdgeIds(u)) {
+      const QEdge& qe = q.edge(e);
+      if (qe.to == u) continue;  // self-loop already added from InEdgeIds
+      if (position[qe.to] < i) {
+        constraints_[i].push_back({qe.to, qe.label, false});
+      }
+    }
+  }
+}
+
+bool WcoMatcher::Extend(size_t depth, Mapping& m, MatchSink& sink,
+                        Deadline& deadline) {
+  if (deadline.Expired()) return false;
+  if (depth == order_.size()) {
+    sink.OnMatch(true, m);
+    return true;
+  }
+  QVertexId u = order_[depth];
+  const std::vector<NeighborConstraint>& cons = constraints_[depth];
+  const bool iso = semantics_ == MatchSemantics::kIsomorphism;
+
+  auto satisfies = [&](VertexId v) {
+    if (!q_.VertexMatches(u, g_, v)) return false;
+    if (iso && MappingContains(m, v)) return false;
+    for (const NeighborConstraint& c : cons) {
+      VertexId w = c.other == u ? v : m[c.other];
+      bool ok = c.out ? g_.HasEdge(w, c.label, v) : g_.HasEdge(v, c.label, w);
+      if (!ok) return false;
+    }
+    return true;
+  };
+
+  if (depth == 0) {
+    // No matched neighbours yet: the candidate set is all of V(g).
+    for (VertexId v = 0; v < g_.VertexCount(); ++v) {
+      if (!satisfies(v)) continue;
+      m[u] = v;
+      if (!Extend(depth + 1, m, sink, deadline)) return false;
+      m[u] = kNullVertex;
+    }
+    return true;
+  }
+
+  // Generic Join: scan the smallest adjacency list among the matched
+  // neighbours; `satisfies` performs the residual intersection via O(1)
+  // probes. Self-loop constraints never anchor the scan.
+  const std::vector<AdjEntry>* smallest = nullptr;
+  EdgeLabel anchor_label = 0;
+  for (const NeighborConstraint& c : cons) {
+    if (c.other == u) continue;
+    const std::vector<AdjEntry>& adj =
+        c.out ? g_.OutEdges(m[c.other]) : g_.InEdges(m[c.other]);
+    if (smallest == nullptr || adj.size() < smallest->size()) {
+      smallest = &adj;
+      anchor_label = c.label;
+    }
+  }
+  assert(smallest != nullptr);  // order construction guarantees an anchor
+  for (const AdjEntry& e : *smallest) {
+    if (e.label != anchor_label) continue;
+    if (!satisfies(e.other)) continue;
+    m[u] = e.other;
+    if (!Extend(depth + 1, m, sink, deadline)) return false;
+    m[u] = kNullVertex;
+  }
+  return true;
+}
+
+bool WcoMatcher::FindAll(MatchSink& sink, Deadline deadline) {
+  Mapping m(q_.VertexCount(), kNullVertex);
+  Extend(0, m, sink, deadline);
+  return !deadline.ExpiredNow();
+}
+
+uint64_t WcoMatcher::CountAll(Deadline deadline) {
+  CountingSink sink;
+  FindAll(sink, deadline);
+  return sink.positive();
+}
+
+}  // namespace turboflux

@@ -1,0 +1,72 @@
+#include "turboflux/query/nec.h"
+
+#include <map>
+#include <tuple>
+
+namespace turboflux {
+
+size_t NecAnalysis::RemovableVertices() const {
+  size_t removable = 0;
+  for (const NecClass& c : classes) removable += c.members.size() - 1;
+  return removable;
+}
+
+NecAnalysis ComputeNec(const QueryGraph& q) {
+  NecAnalysis out;
+  // Key of a degree-one vertex: (neighbour, edge label, direction,
+  // label-set). Vertices sharing a key are interchangeable.
+  using Key = std::tuple<QVertexId, EdgeLabel, bool, std::vector<Label>>;
+  std::map<Key, std::vector<QVertexId>> groups;
+
+  for (QVertexId u = 0; u < q.VertexCount(); ++u) {
+    if (q.Degree(u) != 1) continue;
+    QVertexId neighbor;
+    EdgeLabel label;
+    bool incoming;
+    if (!q.InEdgeIds(u).empty()) {
+      const QEdge& e = q.edge(q.InEdgeIds(u)[0]);
+      if (e.from == u) continue;  // self-loop: degree 1 but not a leaf
+      neighbor = e.from;
+      label = e.label;
+      incoming = true;
+    } else {
+      const QEdge& e = q.edge(q.OutEdgeIds(u)[0]);
+      if (e.to == u) continue;
+      neighbor = e.to;
+      label = e.label;
+      incoming = false;
+    }
+    groups[{neighbor, label, incoming, q.labels(u).labels()}].push_back(u);
+  }
+  for (auto& [key, members] : groups) {
+    if (members.size() >= 2) out.classes.push_back({std::move(members)});
+  }
+  return out;
+}
+
+CompressedQuery CompressQuery(const QueryGraph& q, const NecAnalysis& nec) {
+  // drop[u] = true for non-representative class members.
+  std::vector<bool> drop(q.VertexCount(), false);
+  std::vector<uint32_t> mult(q.VertexCount(), 1);
+  for (const NecClass& c : nec.classes) {
+    QVertexId rep = c.members.front();
+    mult[rep] = static_cast<uint32_t>(c.members.size());
+    for (size_t i = 1; i < c.members.size(); ++i) drop[c.members[i]] = true;
+  }
+
+  CompressedQuery out;
+  std::vector<QVertexId> new_id(q.VertexCount(), kNullQVertex);
+  for (QVertexId u = 0; u < q.VertexCount(); ++u) {
+    if (drop[u]) continue;
+    new_id[u] = out.query.AddVertex(q.labels(u));
+    out.multiplicity.push_back(mult[u]);
+    out.original_of.push_back(u);
+  }
+  for (const QEdge& e : q.edges()) {
+    if (drop[e.from] || drop[e.to]) continue;
+    out.query.AddEdge(new_id[e.from], e.label, new_id[e.to]);
+  }
+  return out;
+}
+
+}  // namespace turboflux

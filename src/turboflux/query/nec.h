@@ -1,0 +1,57 @@
+#ifndef TURBOFLUX_QUERY_NEC_H_
+#define TURBOFLUX_QUERY_NEC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "turboflux/common/types.h"
+#include "turboflux/query/query_graph.h"
+
+namespace turboflux {
+
+/// Neighbour equivalence classes (NEC) of a query graph, the query
+/// compression of TurboISO [14] that Appendix B.5 applies to SJ-Tree.
+/// Two *degree-one* query vertices are equivalent when they have the same
+/// label set and are attached to the same neighbour by an edge of the
+/// same label and direction; the members of a class are interchangeable
+/// in any match. (TurboISO generalizes this beyond leaves; the leaf form
+/// captures almost all compression that real query sets admit, which is
+/// also what Appendix B.5 observes — only ~9.5% of tree queries compress
+/// at all.)
+struct NecClass {
+  /// Equivalent query vertices, at least 2 of them.
+  std::vector<QVertexId> members;
+};
+
+struct NecAnalysis {
+  std::vector<NecClass> classes;
+
+  /// True iff at least one class has >= 2 members (the query compresses).
+  bool compressible() const { return !classes.empty(); }
+
+  /// Query vertices removable by compression: sum over classes of
+  /// (|class| - 1).
+  size_t RemovableVertices() const;
+};
+
+/// Computes the leaf NEC classes of q.
+NecAnalysis ComputeNec(const QueryGraph& q);
+
+/// Builds the compressed query: one representative per NEC class, other
+/// members dropped. `multiplicity[u]` (indexed by *compressed* vertex id)
+/// gives how many original vertices the compressed vertex stands for.
+/// Under graph homomorphism, every match of the compressed query
+/// corresponds to a set of matches of the original query; for a match
+/// that binds representative r to data vertex v with c(v) candidate
+/// bindings, the expansion factor of that class is c(v)^(multiplicity-1).
+struct CompressedQuery {
+  QueryGraph query;
+  std::vector<uint32_t> multiplicity;        // per compressed vertex
+  std::vector<QVertexId> original_of;        // compressed id -> original id
+};
+
+CompressedQuery CompressQuery(const QueryGraph& q, const NecAnalysis& nec);
+
+}  // namespace turboflux
+
+#endif  // TURBOFLUX_QUERY_NEC_H_

@@ -1,0 +1,95 @@
+#include "turboflux/query/query_graph.h"
+
+#include <cassert>
+#include <deque>
+
+namespace turboflux {
+
+QVertexId QueryGraph::AddVertex(LabelSet labels) {
+  assert(vertex_labels_.size() < kMaxQueryVertices);
+  QVertexId id = static_cast<QVertexId>(vertex_labels_.size());
+  vertex_labels_.push_back(std::move(labels));
+  out_edges_.emplace_back();
+  in_edges_.emplace_back();
+  return id;
+}
+
+QEdgeId QueryGraph::AddEdge(QVertexId from, EdgeLabel label, QVertexId to) {
+  assert(from < VertexCount() && to < VertexCount());
+  for (QEdgeId e : out_edges_[from]) {
+    if (edges_[e].to == to && edges_[e].label == label) return kNullQEdge;
+  }
+  QEdgeId id = static_cast<QEdgeId>(edges_.size());
+  edges_.push_back({id, from, label, to});
+  out_edges_[from].push_back(id);
+  in_edges_[to].push_back(id);
+  return id;
+}
+
+bool QueryGraph::IsConnected() const {
+  if (VertexCount() == 0) return false;
+  std::vector<bool> seen(VertexCount(), false);
+  std::deque<QVertexId> queue = {0};
+  seen[0] = true;
+  size_t visited = 1;
+  while (!queue.empty()) {
+    QVertexId u = queue.front();
+    queue.pop_front();
+    auto visit = [&](QVertexId w) {
+      if (!seen[w]) {
+        seen[w] = true;
+        ++visited;
+        queue.push_back(w);
+      }
+    };
+    for (QEdgeId e : out_edges_[u]) visit(edges_[e].to);
+    for (QEdgeId e : in_edges_[u]) visit(edges_[e].from);
+  }
+  return visited == VertexCount();
+}
+
+size_t QueryGraph::UndirectedDiameter() const {
+  size_t diameter = 0;
+  const size_t n = VertexCount();
+  for (QVertexId s = 0; s < n; ++s) {
+    std::vector<size_t> dist(n, SIZE_MAX);
+    std::deque<QVertexId> queue = {s};
+    dist[s] = 0;
+    while (!queue.empty()) {
+      QVertexId u = queue.front();
+      queue.pop_front();
+      auto visit = [&](QVertexId w) {
+        if (dist[w] == SIZE_MAX) {
+          dist[w] = dist[u] + 1;
+          if (dist[w] > diameter) diameter = dist[w];
+          queue.push_back(w);
+        }
+      };
+      for (QEdgeId e : out_edges_[u]) visit(edges_[e].to);
+      for (QEdgeId e : in_edges_[u]) visit(edges_[e].from);
+    }
+  }
+  return diameter;
+}
+
+std::string QueryGraph::ToString() const {
+  std::string out;
+  for (QVertexId u = 0; u < VertexCount(); ++u) {
+    out += "u";
+    out += std::to_string(u);
+    out += vertex_labels_[u].ToString();
+    out += " ";
+  }
+  for (const QEdge& e : edges_) {
+    out += "(u";
+    out += std::to_string(e.from);
+    out += "-";
+    out += std::to_string(e.label);
+    out += "->u";
+    out += std::to_string(e.to);
+    out += ") ";
+  }
+  return out;
+}
+
+}  // namespace turboflux

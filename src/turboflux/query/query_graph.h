@@ -1,0 +1,91 @@
+#ifndef TURBOFLUX_QUERY_QUERY_GRAPH_H_
+#define TURBOFLUX_QUERY_QUERY_GRAPH_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "turboflux/common/label_set.h"
+#include "turboflux/common/types.h"
+#include "turboflux/graph/graph.h"
+
+namespace turboflux {
+
+/// A directed, labeled query edge. `id` doubles as the total order used for
+/// duplicate elimination (Algorithm 7, IsJoinable).
+struct QEdge {
+  QEdgeId id;
+  QVertexId from;
+  EdgeLabel label;
+  QVertexId to;
+};
+
+/// A query graph q (at most kMaxQueryVertices vertices). Query vertices
+/// carry label sets; an empty label set is a wildcard (matches every data
+/// vertex), which is how the unlabeled Netflow queries are expressed.
+class QueryGraph {
+ public:
+  QueryGraph() = default;
+
+  /// Adds a query vertex; returns its id. Asserts below kMaxQueryVertices.
+  QVertexId AddVertex(LabelSet labels);
+
+  /// Adds a directed query edge; returns its id. Duplicate
+  /// (from, label, to) edges are rejected (returns kNullQEdge).
+  QEdgeId AddEdge(QVertexId from, EdgeLabel label, QVertexId to);
+
+  size_t VertexCount() const { return vertex_labels_.size(); }
+  size_t EdgeCount() const { return edges_.size(); }
+
+  const LabelSet& labels(QVertexId u) const { return vertex_labels_[u]; }
+  const QEdge& edge(QEdgeId e) const { return edges_[e]; }
+  const std::vector<QEdge>& edges() const { return edges_; }
+
+  /// Ids of edges leaving / entering u.
+  const std::vector<QEdgeId>& OutEdgeIds(QVertexId u) const {
+    return out_edges_[u];
+  }
+  const std::vector<QEdgeId>& InEdgeIds(QVertexId u) const {
+    return in_edges_[u];
+  }
+
+  /// Undirected degree of u.
+  size_t Degree(QVertexId u) const {
+    return out_edges_[u].size() + in_edges_[u].size();
+  }
+
+  /// True iff the query is weakly connected (every continuous-matching
+  /// engine in this repository requires a connected query).
+  bool IsConnected() const;
+
+  /// Length of the longest shortest path between any two query vertices,
+  /// treating q as undirected. IncIsoMat bounds its affected subgraph by
+  /// this (Section 2.2).
+  size_t UndirectedDiameter() const;
+
+  /// True iff query vertex u matches data vertex v: L(u) ⊆ L(v)
+  /// (Definition 1).
+  bool VertexMatches(QVertexId u, const Graph& g, VertexId v) const {
+    return vertex_labels_[u].IsSubsetOf(g.labels(v));
+  }
+
+  /// True iff query edge e matches the data edge (v, l, v'):
+  /// label equality plus both endpoint label-subset tests.
+  bool EdgeMatches(const QEdge& e, const Graph& g, VertexId v, EdgeLabel l,
+                   VertexId v2) const {
+    return e.label == l && VertexMatches(e.from, g, v) &&
+           VertexMatches(e.to, g, v2);
+  }
+
+  std::string ToString() const;
+
+ private:
+  std::vector<LabelSet> vertex_labels_;
+  std::vector<QEdge> edges_;
+  std::vector<std::vector<QEdgeId>> out_edges_;
+  std::vector<std::vector<QEdgeId>> in_edges_;
+};
+
+}  // namespace turboflux
+
+#endif  // TURBOFLUX_QUERY_QUERY_GRAPH_H_

@@ -1,0 +1,64 @@
+#include "turboflux/query/query_io.h"
+
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace turboflux {
+
+std::optional<QueryGraph> ReadQuery(std::istream& in) {
+  QueryGraph q;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string kind;
+    ls >> kind;
+    if (kind == "v") {
+      QVertexId id;
+      if (!(ls >> id)) return std::nullopt;
+      if (id != q.VertexCount()) return std::nullopt;  // ids must be dense
+      std::vector<Label> labels;
+      Label l;
+      while (ls >> l) labels.push_back(l);
+      q.AddVertex(LabelSet(std::move(labels)));
+    } else if (kind == "e") {
+      QVertexId from, to;
+      EdgeLabel label;
+      if (!(ls >> from >> label >> to)) return std::nullopt;
+      if (from >= q.VertexCount() || to >= q.VertexCount()) {
+        return std::nullopt;
+      }
+      q.AddEdge(from, label, to);
+    } else {
+      return std::nullopt;
+    }
+  }
+  return q;
+}
+
+std::optional<QueryGraph> ReadQueryFromFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  return ReadQuery(in);
+}
+
+void WriteQuery(const QueryGraph& q, std::ostream& out) {
+  for (QVertexId u = 0; u < q.VertexCount(); ++u) {
+    out << "v " << u;
+    for (Label l : q.labels(u).labels()) out << " " << l;
+    out << "\n";
+  }
+  for (const QEdge& e : q.edges()) {
+    out << "e " << e.from << " " << e.label << " " << e.to << "\n";
+  }
+}
+
+bool WriteQueryToFile(const QueryGraph& q, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  WriteQuery(q, out);
+  return static_cast<bool>(out);
+}
+
+}  // namespace turboflux

@@ -1,0 +1,24 @@
+#ifndef TURBOFLUX_QUERY_QUERY_IO_H_
+#define TURBOFLUX_QUERY_QUERY_IO_H_
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "turboflux/query/query_graph.h"
+
+namespace turboflux {
+
+/// Text format for query graphs, identical to the data-graph format
+/// (`v <id> [label...]` then `e <from> <label> <to>`); a query vertex
+/// with no labels is a wildcard. Blank lines and `#` comments are
+/// ignored. Readers return std::nullopt on malformed input.
+
+std::optional<QueryGraph> ReadQuery(std::istream& in);
+std::optional<QueryGraph> ReadQueryFromFile(const std::string& path);
+void WriteQuery(const QueryGraph& q, std::ostream& out);
+bool WriteQueryToFile(const QueryGraph& q, const std::string& path);
+
+}  // namespace turboflux
+
+#endif  // TURBOFLUX_QUERY_QUERY_IO_H_

@@ -1,0 +1,46 @@
+#include "turboflux/query/query_stats.h"
+
+#include <cassert>
+
+namespace turboflux {
+
+QueryStats ComputeQueryStats(const QueryGraph& q, const Graph& g) {
+  QueryStats stats;
+  stats.edge_matches.assign(q.EdgeCount(), 0);
+  stats.vertex_matches.assign(q.VertexCount(), 0);
+  for (VertexId v = 0; v < g.VertexCount(); ++v) {
+    for (QVertexId u = 0; u < q.VertexCount(); ++u) {
+      if (q.VertexMatches(u, g, v)) ++stats.vertex_matches[u];
+    }
+    for (const AdjEntry& e : g.OutEdges(v)) {
+      for (const QEdge& qe : q.edges()) {
+        if (q.EdgeMatches(qe, g, v, e.label, e.other)) {
+          ++stats.edge_matches[qe.id];
+        }
+      }
+    }
+  }
+  return stats;
+}
+
+QVertexId ChooseStartQVertex(const QueryGraph& q, const QueryStats& stats) {
+  assert(q.EdgeCount() > 0);
+  // 1. Query edge with the smallest number of matching data edges.
+  QEdgeId best_edge = 0;
+  for (QEdgeId e = 1; e < q.EdgeCount(); ++e) {
+    if (stats.edge_matches[e] < stats.edge_matches[best_edge]) best_edge = e;
+  }
+  const QEdge& qe = q.edge(best_edge);
+  QVertexId a = qe.from;
+  QVertexId b = qe.to;
+  if (a == b) return a;  // self-loop query edge
+  // 2. Endpoint with fewer matching data vertices.
+  if (stats.vertex_matches[a] != stats.vertex_matches[b]) {
+    return stats.vertex_matches[a] < stats.vertex_matches[b] ? a : b;
+  }
+  // 3. Tie: larger query degree, then smaller id for determinism.
+  if (q.Degree(a) != q.Degree(b)) return q.Degree(a) > q.Degree(b) ? a : b;
+  return a < b ? a : b;
+}
+
+}  // namespace turboflux

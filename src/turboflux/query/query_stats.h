@@ -1,0 +1,32 @@
+#ifndef TURBOFLUX_QUERY_QUERY_STATS_H_
+#define TURBOFLUX_QUERY_QUERY_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "turboflux/graph/graph.h"
+#include "turboflux/query/query_graph.h"
+
+namespace turboflux {
+
+/// Cardinality statistics of a query against a data graph, computed with a
+/// single scan of the data graph: for each query edge, how many data edges
+/// match it; for each query vertex, how many data vertices match it.
+/// Used by ChooseStartQVertex and TransformToTree (Section 4.1) and by the
+/// SJ-Tree decomposition order.
+struct QueryStats {
+  std::vector<uint64_t> edge_matches;    // indexed by QEdgeId
+  std::vector<uint64_t> vertex_matches;  // indexed by QVertexId
+};
+
+QueryStats ComputeQueryStats(const QueryGraph& q, const Graph& g);
+
+/// Selects the starting query vertex u_s (Section 4.1): pick the query
+/// edge with the fewest matching data edges; between its endpoints, pick
+/// the vertex with fewer matching data vertices; break ties by larger
+/// query degree, then by smaller id.
+QVertexId ChooseStartQVertex(const QueryGraph& q, const QueryStats& stats);
+
+}  // namespace turboflux
+
+#endif  // TURBOFLUX_QUERY_QUERY_STATS_H_

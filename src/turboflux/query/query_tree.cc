@@ -1,0 +1,101 @@
+#include "turboflux/query/query_tree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+
+namespace turboflux {
+
+QueryTree QueryTree::Build(const QueryGraph& q, QVertexId root,
+                           const QueryStats& stats) {
+  assert(root < q.VertexCount());
+  assert(q.IsConnected());
+  const size_t n = q.VertexCount();
+
+  QueryTree t;
+  t.q_ = &q;
+  t.root_ = root;
+  t.parent_.assign(n, ParentEdge{});
+  t.children_.assign(n, {});
+  t.children_mask_.assign(n, 0);
+  t.is_tree_edge_.assign(q.EdgeCount(), false);
+  t.incident_non_tree_.assign(n, {});
+  t.depth_.assign(n, 0);
+
+  std::vector<bool> in_tree(n, false);
+  in_tree[root] = true;
+  size_t tree_size = 1;
+
+  // Greedily grow the most selective tree: repeatedly pick the query edge
+  // with the fewest matching data edges that connects the tree to a new
+  // vertex (Section 4.1, TransformToTree).
+  while (tree_size < n) {
+    QEdgeId best = kNullQEdge;
+    for (const QEdge& e : q.edges()) {
+      bool connects = in_tree[e.from] != in_tree[e.to];
+      if (!connects) continue;
+      if (best == kNullQEdge ||
+          stats.edge_matches[e.id] < stats.edge_matches[best]) {
+        best = e.id;
+      }
+    }
+    assert(best != kNullQEdge);  // guaranteed by connectivity
+    const QEdge& e = q.edge(best);
+    bool forward = in_tree[e.from];  // parent is the endpoint already in tree
+    QVertexId parent = forward ? e.from : e.to;
+    QVertexId child = forward ? e.to : e.from;
+    t.parent_[child] = {parent, e.label, forward, e.id};
+    t.children_[parent].push_back(child);
+    t.children_mask_[parent] |= (uint64_t{1} << child);
+    t.depth_[child] = t.depth_[parent] + 1;
+    t.is_tree_edge_[e.id] = true;
+    in_tree[child] = true;
+    ++tree_size;
+  }
+
+  for (const QEdge& e : q.edges()) {
+    if (!t.is_tree_edge_[e.id]) {
+      t.non_tree_edges_.push_back(e.id);
+      t.incident_non_tree_[e.from].push_back(e.id);
+      if (e.to != e.from) t.incident_non_tree_[e.to].push_back(e.id);
+    }
+  }
+
+  // BFS order (parents before children) for matching-order construction.
+  std::deque<QVertexId> queue = {root};
+  while (!queue.empty()) {
+    QVertexId u = queue.front();
+    queue.pop_front();
+    t.bfs_order_.push_back(u);
+    for (QVertexId c : t.children_[u]) queue.push_back(c);
+  }
+  return t;
+}
+
+std::string QueryTree::ToString() const {
+  std::string out = "root=u";
+  out += std::to_string(root_);
+  out += " ";
+  for (QVertexId u = 0; u < VertexCount(); ++u) {
+    if (IsRoot(u)) continue;
+    const ParentEdge& pe = parent_[u];
+    out += "u";
+    out += std::to_string(pe.parent);
+    out += pe.forward ? "-" : "<-";
+    out += std::to_string(pe.label);
+    out += pe.forward ? "->" : "-";
+    out += "u";
+    out += std::to_string(u);
+    out += " ";
+  }
+  if (!non_tree_edges_.empty()) {
+    out += "nontree:";
+    for (QEdgeId e : non_tree_edges_) {
+      out += " e";
+      out += std::to_string(e);
+    }
+  }
+  return out;
+}
+
+}  // namespace turboflux

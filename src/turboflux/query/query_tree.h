@@ -1,0 +1,89 @@
+#ifndef TURBOFLUX_QUERY_QUERY_TREE_H_
+#define TURBOFLUX_QUERY_QUERY_TREE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "turboflux/common/types.h"
+#include "turboflux/query/query_graph.h"
+#include "turboflux/query/query_stats.h"
+
+namespace turboflux {
+
+/// A spanning query tree q' of a query graph q rooted at the start query
+/// vertex u_s (Section 3.1 / TransformToTree in Section 4.1). Tree edges
+/// keep their original direction: a child's parent edge is either *forward*
+/// (P(c) -> c in q) or *reversed* (c -> P(c) in q). The query edges not
+/// selected for the tree are the non-tree edges, handled separately during
+/// matching (Section 4).
+class QueryTree {
+ public:
+  /// Parent-edge record of a non-root query vertex.
+  struct ParentEdge {
+    QVertexId parent = kNullQVertex;
+    EdgeLabel label = 0;
+    bool forward = true;  // true: (parent -> child) in q; false: reversed
+    QEdgeId qedge = kNullQEdge;
+  };
+
+  /// Builds the spanning tree greedily: starting from {root}, repeatedly
+  /// attach the query edge with the smallest matching-data-edge count
+  /// (from `stats`) that connects a tree vertex to a non-tree vertex.
+  /// Requires q connected and root < q.VertexCount().
+  static QueryTree Build(const QueryGraph& q, QVertexId root,
+                         const QueryStats& stats);
+
+  const QueryGraph& query() const { return *q_; }
+  QVertexId root() const { return root_; }
+  size_t VertexCount() const { return parent_.size(); }
+
+  bool IsRoot(QVertexId u) const { return u == root_; }
+  QVertexId Parent(QVertexId u) const { return parent_[u].parent; }
+  const ParentEdge& parent_edge(QVertexId u) const { return parent_[u]; }
+  const std::vector<QVertexId>& Children(QVertexId u) const {
+    return children_[u];
+  }
+  bool IsLeaf(QVertexId u) const { return children_[u].empty(); }
+
+  /// Bitmask over query vertex ids with one bit per child of u. The DCG's
+  /// O(1) MatchAllChildren is a mask test against this.
+  uint64_t ChildrenMask(QVertexId u) const { return children_mask_[u]; }
+
+  /// Query vertices in a BFS order from the root (parents precede
+  /// children).
+  const std::vector<QVertexId>& BfsOrder() const { return bfs_order_; }
+
+  /// Query edges of q that are not tree edges.
+  const std::vector<QEdgeId>& NonTreeEdges() const { return non_tree_edges_; }
+
+  /// True iff query edge e is a tree edge.
+  bool IsTreeEdge(QEdgeId e) const { return is_tree_edge_[e]; }
+
+  /// Non-tree query edges incident to u (either endpoint), used by
+  /// IsJoinable.
+  const std::vector<QEdgeId>& IncidentNonTreeEdges(QVertexId u) const {
+    return incident_non_tree_[u];
+  }
+
+  /// Depth of u (root has depth 0).
+  size_t Depth(QVertexId u) const { return depth_[u]; }
+
+  std::string ToString() const;
+
+ private:
+  const QueryGraph* q_ = nullptr;
+  QVertexId root_ = kNullQVertex;
+  std::vector<ParentEdge> parent_;
+  std::vector<std::vector<QVertexId>> children_;
+  std::vector<uint64_t> children_mask_;
+  std::vector<QVertexId> bfs_order_;
+  std::vector<QEdgeId> non_tree_edges_;
+  std::vector<bool> is_tree_edge_;
+  std::vector<std::vector<QEdgeId>> incident_non_tree_;
+  std::vector<size_t> depth_;
+};
+
+}  // namespace turboflux
+
+#endif  // TURBOFLUX_QUERY_QUERY_TREE_H_

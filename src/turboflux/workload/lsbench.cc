@@ -1,0 +1,225 @@
+#include "turboflux/workload/lsbench.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "turboflux/common/rng.h"
+
+namespace turboflux {
+namespace workload {
+
+LsBenchVocabulary MakeLsBenchVocabulary() {
+  LsBenchVocabulary v;
+  v.user = v.schema.AddVertexType("User");
+  v.post = v.schema.AddVertexType("Post");
+  v.comment = v.schema.AddVertexType("Comment");
+  v.photo = v.schema.AddVertexType("Photo");
+  v.tag = v.schema.AddVertexType("Tag");
+  v.channel = v.schema.AddVertexType("Channel");
+  v.gps = v.schema.AddVertexType("Gps");
+  v.company = v.schema.AddVertexType("Company");
+
+  v.knows = v.schema.AddEdgeType(v.user, "knows", v.user);
+  v.follows = v.schema.AddEdgeType(v.user, "follows", v.user);
+  v.creates_post = v.schema.AddEdgeType(v.user, "createsPost", v.post);
+  v.creates_comment =
+      v.schema.AddEdgeType(v.user, "createsComment", v.comment);
+  v.likes = v.schema.AddEdgeType(v.user, "likes", v.post);
+  v.reply_of = v.schema.AddEdgeType(v.comment, "replyOf", v.post);
+  v.has_tag = v.schema.AddEdgeType(v.post, "hasTag", v.tag);
+  v.uploads = v.schema.AddEdgeType(v.user, "uploads", v.photo);
+  v.photo_tag = v.schema.AddEdgeType(v.photo, "photoTag", v.tag);
+  v.located_at = v.schema.AddEdgeType(v.photo, "locatedAt", v.gps);
+  v.subscribes = v.schema.AddEdgeType(v.user, "subscribes", v.channel);
+  v.posted_in = v.schema.AddEdgeType(v.post, "postedIn", v.channel);
+  v.works_at = v.schema.AddEdgeType(v.user, "worksAt", v.company);
+  v.based_in = v.schema.AddEdgeType(v.company, "basedIn", v.gps);
+  v.mentions = v.schema.AddEdgeType(v.post, "mentions", v.user);
+  v.reshares = v.schema.AddEdgeType(v.post, "reshares", v.post);
+  return v;
+}
+
+TemporalGraph GenerateLsBench(const LsBenchConfig& config) {
+  LsBenchVocabulary voc = MakeLsBenchVocabulary();
+  Rng rng(config.seed);
+  TemporalGraph out;
+
+  const uint64_t users = std::max<uint64_t>(config.num_users, 10);
+  const uint64_t posts =
+      static_cast<uint64_t>(config.posts_per_user * users) + 1;
+  const uint64_t comments =
+      static_cast<uint64_t>(config.comments_per_user * users) + 1;
+  const uint64_t photos =
+      static_cast<uint64_t>(config.photos_per_user * users) + 1;
+  const uint64_t tags = std::max<uint64_t>(20, users / 10);
+  const uint64_t channels = std::max<uint64_t>(10, users / 20);
+  const uint64_t gps = std::max<uint64_t>(10, users / 5);
+  const uint64_t companies = std::max<uint64_t>(5, users / 50);
+
+  // Vertex universe: dense id ranges per type, ids assigned in rank order
+  // (rank 0 of a Zipf sampler is the most popular entity). Each vertex
+  // also carries a fine-grained subtype label (see LsBenchConfig).
+  auto add_range = [&](uint64_t count, Label type) {
+    VertexId first = static_cast<VertexId>(out.vertices.VertexCount());
+    for (uint64_t i = 0; i < count; ++i) {
+      LabelSet labels{type};
+      if (config.subtypes_per_type > 0) {
+        Label subtype = kSubtypeLabelBase + type * 64 +
+                        static_cast<Label>(
+                            rng.NextBounded(config.subtypes_per_type));
+        labels.Insert(subtype);
+      }
+      out.vertices.AddVertex(std::move(labels));
+    }
+    return first;
+  };
+  VertexId user0 = add_range(users, voc.user);
+  VertexId post0 = add_range(posts, voc.post);
+  VertexId comment0 = add_range(comments, voc.comment);
+  VertexId photo0 = add_range(photos, voc.photo);
+  VertexId tag0 = add_range(tags, voc.tag);
+  VertexId channel0 = add_range(channels, voc.channel);
+  VertexId gps0 = add_range(gps, voc.gps);
+  VertexId company0 = add_range(companies, voc.company);
+
+  ZipfSampler user_pop(users, config.zipf_exponent);
+  ZipfSampler post_pop(posts, config.zipf_exponent);
+  ZipfSampler tag_pop(tags, config.zipf_exponent);
+  ZipfSampler channel_pop(channels, config.zipf_exponent);
+
+  auto emit = [&](VertexId from, EdgeLabel label, VertexId to) {
+    out.edges.push_back({from, label, to});
+  };
+  // Fanout around an average: uniform in [1, 2*avg-1].
+  auto fanout = [&](double avg) -> uint64_t {
+    uint64_t hi = std::max<uint64_t>(1, static_cast<uint64_t>(2 * avg));
+    return 1 + rng.NextBounded(hi);
+  };
+
+  // --- Static structure (lands in g0) ---
+  for (uint64_t c = 0; c < companies; ++c) {
+    emit(company0 + c, voc.based_in, gps0 + rng.NextBounded(gps));
+  }
+  for (uint64_t u = 0; u < users; ++u) {
+    if (rng.NextBool(0.5)) {
+      emit(user0 + u, voc.works_at, company0 + rng.NextBounded(companies));
+    }
+  }
+
+  // Social edges with triadic closure: closing a friend-of-a-friend path
+  // plants triangles for the cyclic query sets.
+  std::vector<std::vector<VertexId>> knows_adj(users);
+  for (uint64_t u = 0; u < users; ++u) {
+    uint64_t k = fanout(config.knows_per_user);
+    for (uint64_t i = 0; i < k; ++i) {
+      uint64_t target;
+      if (rng.NextBool(config.triadic_closure) && !knows_adj[u].empty()) {
+        VertexId mid = knows_adj[u][rng.NextIndex(knows_adj[u].size())];
+        const std::vector<VertexId>& mid_adj = knows_adj[mid - user0];
+        if (mid_adj.empty()) continue;
+        target = mid_adj[rng.NextIndex(mid_adj.size())] - user0;
+      } else {
+        target = user_pop.Sample(rng);
+      }
+      if (target == u) continue;
+      emit(user0 + u, voc.knows, user0 + static_cast<VertexId>(target));
+      knows_adj[u].push_back(user0 + static_cast<VertexId>(target));
+    }
+    uint64_t f = fanout(config.follows_per_user);
+    for (uint64_t i = 0; i < f; ++i) {
+      uint64_t target = user_pop.Sample(rng);
+      if (target == u) continue;
+      emit(user0 + u, voc.follows, user0 + static_cast<VertexId>(target));
+    }
+    uint64_t s = fanout(config.subscriptions_per_user);
+    for (uint64_t i = 0; i < s; ++i) {
+      emit(user0 + u, voc.subscribes,
+           channel0 + static_cast<VertexId>(channel_pop.Sample(rng)));
+    }
+  }
+
+  // --- Activity stream (posts / comments / likes / photos interleave) ---
+  enum class Event : uint8_t { kPost, kComment, kLike, kPhoto };
+  std::vector<Event> events;
+  events.insert(events.end(), posts, Event::kPost);
+  events.insert(events.end(), comments, Event::kComment);
+  events.insert(events.end(),
+                static_cast<size_t>(config.likes_per_user * users),
+                Event::kLike);
+  events.insert(events.end(), photos, Event::kPhoto);
+  // Deterministic Fisher-Yates shuffle.
+  for (size_t i = events.size(); i > 1; --i) {
+    std::swap(events[i - 1], events[rng.NextIndex(i)]);
+  }
+
+  uint64_t created_posts = 0;
+  uint64_t created_comments = 0;
+  uint64_t created_photos = 0;
+  auto existing_post = [&]() -> VertexId {
+    // Popularity-skewed pick among already-created posts.
+    return post0 +
+           static_cast<VertexId>(post_pop.Sample(rng) % created_posts);
+  };
+  for (Event ev : events) {
+    switch (ev) {
+      case Event::kPost: {
+        if (created_posts == posts) break;
+        VertexId p = post0 + static_cast<VertexId>(created_posts++);
+        VertexId author =
+            user0 + static_cast<VertexId>(user_pop.Sample(rng));
+        emit(author, voc.creates_post, p);
+        uint64_t ntags = rng.NextBounded(3);
+        for (uint64_t i = 0; i < ntags; ++i) {
+          emit(p, voc.has_tag,
+               tag0 + static_cast<VertexId>(tag_pop.Sample(rng)));
+        }
+        if (rng.NextBool(0.5)) {
+          emit(p, voc.posted_in,
+               channel0 + static_cast<VertexId>(channel_pop.Sample(rng)));
+        }
+        if (rng.NextBool(0.3)) {
+          emit(p, voc.mentions,
+               user0 + static_cast<VertexId>(user_pop.Sample(rng)));
+        }
+        if (rng.NextBool(0.2) && created_posts > 1) {
+          emit(p, voc.reshares, existing_post());
+        }
+        break;
+      }
+      case Event::kComment: {
+        if (created_comments == comments || created_posts == 0) break;
+        VertexId c = comment0 + static_cast<VertexId>(created_comments++);
+        VertexId author =
+            user0 + static_cast<VertexId>(user_pop.Sample(rng));
+        emit(author, voc.creates_comment, c);
+        emit(c, voc.reply_of, existing_post());
+        break;
+      }
+      case Event::kLike: {
+        if (created_posts == 0) break;
+        VertexId fan = user0 + static_cast<VertexId>(user_pop.Sample(rng));
+        emit(fan, voc.likes, existing_post());
+        break;
+      }
+      case Event::kPhoto: {
+        if (created_photos == photos) break;
+        VertexId ph = photo0 + static_cast<VertexId>(created_photos++);
+        VertexId owner =
+            user0 + static_cast<VertexId>(user_pop.Sample(rng));
+        emit(owner, voc.uploads, ph);
+        if (rng.NextBool(0.6)) {
+          emit(ph, voc.photo_tag,
+               tag0 + static_cast<VertexId>(tag_pop.Sample(rng)));
+        }
+        if (rng.NextBool(0.5)) {
+          emit(ph, voc.located_at, gps0 + rng.NextBounded(gps));
+        }
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace workload
+}  // namespace turboflux

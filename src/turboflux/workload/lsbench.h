@@ -1,0 +1,69 @@
+#ifndef TURBOFLUX_WORKLOAD_LSBENCH_H_
+#define TURBOFLUX_WORKLOAD_LSBENCH_H_
+
+#include <cstdint>
+
+#include "turboflux/workload/schema.h"
+#include "turboflux/workload/stream_builder.h"
+
+namespace turboflux {
+namespace workload {
+
+/// Configuration of the LSBench-like social-media stream generator. The
+/// paper scales LSBench by the number of users (0.1M / 1M / 10M users,
+/// ~210 triples per user); this generator preserves the *shape* — a
+/// schema-driven labeled multigraph with heavy-tailed popularity — at a
+/// configurable scale.
+struct LsBenchConfig {
+  uint64_t num_users = 1000;
+  uint64_t seed = 42;
+
+  /// Average out-fanouts per entity (tuned so total triples per user is
+  /// roughly 35-40, giving ~100k-edge datasets at num_users=2500).
+  double knows_per_user = 6.0;
+  double follows_per_user = 3.0;
+  double posts_per_user = 4.0;
+  double comments_per_user = 6.0;
+  double likes_per_user = 8.0;
+  double photos_per_user = 1.5;
+  double subscriptions_per_user = 1.5;
+
+  /// Zipf exponent of target popularity (users, posts, tags, channels).
+  double zipf_exponent = 0.8;
+
+  /// Probability that a `knows` edge closes a triangle (triadic closure),
+  /// which plants the cycles that the graph-query sets (Figure 7) need.
+  double triadic_closure = 0.3;
+
+  /// Number of fine-grained subtype labels per vertex type. Every vertex
+  /// carries {type, subtype} where the subtype label partitions its type;
+  /// RDF datasets like LSBench are rich in such distinguishing
+  /// properties, and they are what gives query sets the paper's wide
+  /// selectivity range (Figure 17a). Set to 0 to disable.
+  uint32_t subtypes_per_type = 24;
+};
+
+/// First label id used for subtype labels: subtype s of type t is label
+/// kSubtypeLabelBase + t * 64 + s.
+inline constexpr Label kSubtypeLabelBase = 100;
+
+/// Vertex-type and edge-type vocabulary of the LSBench-like dataset.
+struct LsBenchVocabulary {
+  Schema schema;
+  Label user, post, comment, photo, tag, channel, gps, company;
+  EdgeLabel knows, follows, creates_post, creates_comment, likes, reply_of,
+      has_tag, uploads, photo_tag, located_at, subscribes, posted_in,
+      works_at, based_in, mentions, reshares;
+};
+
+LsBenchVocabulary MakeLsBenchVocabulary();
+
+/// Generates the dataset in temporal order (posts, comments, likes and
+/// social edges interleave over time, as in a real stream). Deterministic
+/// given the config seed.
+TemporalGraph GenerateLsBench(const LsBenchConfig& config);
+
+}  // namespace workload
+}  // namespace turboflux
+
+#endif  // TURBOFLUX_WORKLOAD_LSBENCH_H_

@@ -1,0 +1,34 @@
+#include "turboflux/workload/netflow.h"
+
+#include <algorithm>
+
+#include "turboflux/common/rng.h"
+
+namespace turboflux {
+namespace workload {
+
+TemporalGraph GenerateNetflow(const NetflowConfig& config) {
+  Rng rng(config.seed);
+  TemporalGraph out;
+  const uint64_t hosts = std::max<uint64_t>(config.num_hosts, 4);
+
+  for (uint64_t h = 0; h < hosts; ++h) {
+    out.vertices.AddVertex(LabelSet{});  // unlabeled, like the paper's IPs
+  }
+
+  ZipfSampler src_pop(hosts, config.src_zipf);
+  ZipfSampler dst_pop(hosts, config.dst_zipf);
+
+  for (uint64_t f = 0; f < config.num_flows; ++f) {
+    VertexId src = static_cast<VertexId>(src_pop.Sample(rng));
+    VertexId dst = static_cast<VertexId>(dst_pop.Sample(rng));
+    if (src == dst) dst = static_cast<VertexId>((dst + 1) % hosts);
+    EdgeLabel label =
+        static_cast<EdgeLabel>(rng.NextBounded(config.num_edge_labels));
+    out.edges.push_back({src, label, dst});
+  }
+  return out;
+}
+
+}  // namespace workload
+}  // namespace turboflux

@@ -1,0 +1,250 @@
+#include "turboflux/workload/query_gen.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "turboflux/common/rng.h"
+
+namespace turboflux {
+namespace workload {
+
+namespace {
+
+/// A sampled connected subgraph of the data graph: the instance that will
+/// be abstracted into a query. Instance vertices are distinct data
+/// vertices; each becomes one query vertex.
+struct Instance {
+  std::vector<VertexId> vertices;
+  struct Edge {
+    VertexId from;
+    EdgeLabel label;
+    VertexId to;
+  };
+  std::vector<Edge> edges;
+  std::unordered_map<VertexId, size_t> index;  // data vertex -> position
+
+  bool Contains(VertexId v) const { return index.count(v) != 0; }
+
+  size_t Add(VertexId v) {
+    auto [it, inserted] = index.emplace(v, vertices.size());
+    if (inserted) vertices.push_back(v);
+    return it->second;
+  }
+
+  bool HasEdge(VertexId from, EdgeLabel label, VertexId to) const {
+    for (const Edge& e : edges) {
+      if (e.from == from && e.label == label && e.to == to) return true;
+    }
+    return false;
+  }
+};
+
+/// Picks a uniformly random incident data edge of `v` (either direction).
+/// Returns false if v has no incident edges.
+bool RandomIncident(const Graph& g, Rng& rng, VertexId v, bool& outgoing,
+                    AdjEntry& entry) {
+  size_t out_deg = g.OutDegree(v);
+  size_t in_deg = g.InDegree(v);
+  if (out_deg + in_deg == 0) return false;
+  size_t pick = rng.NextIndex(out_deg + in_deg);
+  if (pick < out_deg) {
+    outgoing = true;
+    entry = g.OutEdges(v)[pick];
+  } else {
+    outgoing = false;
+    entry = g.InEdges(v)[pick - out_deg];
+  }
+  return true;
+}
+
+/// Grows the instance by one tree edge (the new endpoint is not yet in the
+/// instance). `frontier` restricts which instance vertices may sprout.
+bool GrowTreeEdge(const Graph& g, Rng& rng, Instance& inst,
+                  const std::vector<VertexId>& frontier, VertexId* added) {
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    VertexId base = frontier[rng.NextIndex(frontier.size())];
+    bool outgoing;
+    AdjEntry e;
+    if (!RandomIncident(g, rng, base, outgoing, e)) continue;
+    if (inst.Contains(e.other)) continue;
+    inst.Add(e.other);
+    if (outgoing) {
+      inst.edges.push_back({base, e.label, e.other});
+    } else {
+      inst.edges.push_back({e.other, e.label, base});
+    }
+    if (added != nullptr) *added = e.other;
+    return true;
+  }
+  return false;
+}
+
+/// DFS for an undirected simple path of exactly `remaining` edges from
+/// `cur` back to `target`, avoiding vertices in `inst`; appends the cycle
+/// edges to the instance on success.
+bool FindClosingPath(const Graph& g, Rng& rng, Instance& inst, VertexId cur,
+                     VertexId target, size_t remaining, int& budget) {
+  if (--budget < 0) return false;
+  if (remaining == 1) {
+    // Need a direct data edge between cur and target, either direction.
+    const std::vector<EdgeLabel>& fwd = g.EdgeLabelsBetween(cur, target);
+    if (!fwd.empty()) {
+      inst.edges.push_back({cur, fwd[rng.NextIndex(fwd.size())], target});
+      return true;
+    }
+    const std::vector<EdgeLabel>& rev = g.EdgeLabelsBetween(target, cur);
+    if (!rev.empty()) {
+      inst.edges.push_back({target, rev[rng.NextIndex(rev.size())], cur});
+      return true;
+    }
+    return false;
+  }
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    bool outgoing;
+    AdjEntry e;
+    if (!RandomIncident(g, rng, cur, outgoing, e)) return false;
+    if (e.other == target || inst.Contains(e.other)) continue;
+    size_t pos = inst.vertices.size();
+    inst.Add(e.other);
+    if (outgoing) {
+      inst.edges.push_back({cur, e.label, e.other});
+    } else {
+      inst.edges.push_back({e.other, e.label, cur});
+    }
+    if (FindClosingPath(g, rng, inst, e.other, target, remaining - 1,
+                        budget)) {
+      return true;
+    }
+    inst.edges.pop_back();
+    inst.index.erase(e.other);
+    inst.vertices.resize(pos);
+  }
+  return false;
+}
+
+/// Turns an instance into a query graph. Each distinct data vertex becomes
+/// a query vertex carrying either the data vertex's full label set or only
+/// its primary label (see QueryGenConfig::keep_full_labels).
+QueryGraph AbstractInstance(const Graph& g, const Instance& inst, Rng& rng,
+                            double keep_full_labels) {
+  QueryGraph q;
+  for (VertexId v : inst.vertices) {
+    const LabelSet& full = g.labels(v);
+    if (full.size() <= 1 || rng.NextBool(keep_full_labels)) {
+      q.AddVertex(full);
+    } else {
+      q.AddVertex(LabelSet{full.FirstOr(0)});
+    }
+  }
+  for (const Instance::Edge& e : inst.edges) {
+    q.AddEdge(static_cast<QVertexId>(inst.index.at(e.from)), e.label,
+              static_cast<QVertexId>(inst.index.at(e.to)));
+  }
+  return q;
+}
+
+}  // namespace
+
+std::vector<QueryGraph> GenerateQueries(const Dataset& dataset,
+                                        const QueryGenConfig& config) {
+  std::vector<QueryGraph> queries;
+  const Graph& g = dataset.final_graph;
+  Rng rng(config.seed);
+  if (dataset.stream_insertions.empty() || config.num_edges == 0) {
+    return queries;
+  }
+
+  const int kSeedAttempts = 400;
+  int attempts = 0;
+  while (queries.size() < config.count && attempts < kSeedAttempts) {
+    ++attempts;
+    // Seed edge: a stream insertion that survives to the final graph, so
+    // the query is guaranteed a positive match during the stream.
+    const UpdateOp& seed = dataset.stream_insertions[rng.NextIndex(
+        dataset.stream_insertions.size())];
+    if (!g.HasEdge(seed.from, seed.label, seed.to)) continue;
+    if (seed.from == seed.to) continue;
+
+    Instance inst;
+    inst.Add(seed.from);
+    inst.Add(seed.to);
+    inst.edges.push_back({seed.from, seed.label, seed.to});
+
+    bool ok = true;
+    switch (config.shape) {
+      case QueryShape::kTree: {
+        while (ok && inst.edges.size() < config.num_edges) {
+          ok = GrowTreeEdge(g, rng, inst, inst.vertices, nullptr);
+        }
+        break;
+      }
+      case QueryShape::kPath: {
+        VertexId head = seed.from;
+        VertexId tail = seed.to;
+        while (ok && inst.edges.size() < config.num_edges) {
+          bool extend_tail = rng.NextBool(0.5);
+          VertexId end = extend_tail ? tail : head;
+          VertexId added = kNullVertex;
+          ok = GrowTreeEdge(g, rng, inst, {end}, &added);
+          if (ok) {
+            (extend_tail ? tail : head) = added;
+          }
+        }
+        break;
+      }
+      case QueryShape::kBinaryTree: {
+        // BFS growth with at most two sprouts per vertex.
+        std::vector<VertexId> frontier = {seed.from, seed.to};
+        std::unordered_map<VertexId, int> sprouts;
+        sprouts[seed.from] = 1;  // the seed edge counts as one
+        while (ok && inst.edges.size() < config.num_edges) {
+          std::vector<VertexId> eligible;
+          for (VertexId v : frontier) {
+            if (sprouts[v] < 2) eligible.push_back(v);
+          }
+          if (eligible.empty()) {
+            ok = false;
+            break;
+          }
+          VertexId added = kNullVertex;
+          VertexId base = eligible[rng.NextIndex(eligible.size())];
+          ok = GrowTreeEdge(g, rng, inst, {base}, &added);
+          if (ok) {
+            ++sprouts[base];
+            frontier.push_back(added);
+          } else if (eligible.size() > 1) {
+            // This vertex may be a dead end; poison it and keep trying.
+            sprouts[base] = 2;
+            ok = true;
+          }
+        }
+        break;
+      }
+      case QueryShape::kGraph: {
+        size_t cycle = config.cycle_length != 0
+                           ? config.cycle_length
+                           : 3 + rng.NextBounded(3);
+        if (cycle > config.num_edges) cycle = config.num_edges;
+        int budget = 4096;
+        ok = cycle >= 3 &&
+             FindClosingPath(g, rng, inst, seed.to, seed.from, cycle - 1,
+                             budget);
+        while (ok && inst.edges.size() < config.num_edges) {
+          ok = GrowTreeEdge(g, rng, inst, inst.vertices, nullptr);
+        }
+        break;
+      }
+    }
+    if (!ok || inst.edges.size() != config.num_edges) continue;
+
+    QueryGraph q =
+        AbstractInstance(g, inst, rng, config.keep_full_labels);
+    if (q.EdgeCount() != config.num_edges || !q.IsConnected()) continue;
+    queries.push_back(std::move(q));
+    attempts = 0;  // reset the budget after every success
+  }
+  return queries;
+}
+
+}  // namespace workload
+}  // namespace turboflux

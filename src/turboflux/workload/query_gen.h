@@ -1,0 +1,54 @@
+#ifndef TURBOFLUX_WORKLOAD_QUERY_GEN_H_
+#define TURBOFLUX_WORKLOAD_QUERY_GEN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "turboflux/query/query_graph.h"
+#include "turboflux/workload/stream_builder.h"
+
+namespace turboflux {
+namespace workload {
+
+/// Query shapes used across the paper's experiments: general trees and
+/// cyclic "graph" queries (Section 5.1), plus the path and binary-tree
+/// shapes of the SJ-Tree paper's Netflow query set (Appendix B.6).
+enum class QueryShape {
+  kTree,
+  kGraph,  // contains at least one cycle
+  kPath,
+  kBinaryTree,
+};
+
+struct QueryGenConfig {
+  QueryShape shape = QueryShape::kTree;
+  /// Query size, defined as the number of triples/edges (Section 5.1).
+  size_t num_edges = 6;
+  size_t count = 20;
+  uint64_t seed = 99;
+  /// kGraph only: length of the planted cycle (0 = random in {3,4,5},
+  /// mirroring the paper's triangle/square/pentagon starters).
+  size_t cycle_length = 0;
+
+  /// Per query vertex, the probability of keeping the sampled data
+  /// vertex's *full* label set (type + fine-grained subtype) rather than
+  /// just its primary type. Mixing the two yields the paper's wide
+  /// selectivity spectrum (Figure 17): full labels give highly selective
+  /// queries, type-only labels give heavy ones.
+  double keep_full_labels = 0.6;
+};
+
+/// Generates queries by *instance sampling*: each query is the abstraction
+/// of a connected subgraph of the dataset's final graph whose seed edge
+/// arrives during the update stream. This guarantees the paper's property
+/// that every query has at least one positive match over the insertion
+/// stream, while the random growth yields a wide selectivity range.
+/// Returns up to config.count queries (fewer if the dataset cannot support
+/// the requested shape/size). Deterministic given config.seed.
+std::vector<QueryGraph> GenerateQueries(const Dataset& dataset,
+                                        const QueryGenConfig& config);
+
+}  // namespace workload
+}  // namespace turboflux
+
+#endif  // TURBOFLUX_WORKLOAD_QUERY_GEN_H_

@@ -1,0 +1,20 @@
+#include "turboflux/workload/schema.h"
+
+namespace turboflux {
+namespace workload {
+
+Label Schema::AddVertexType(std::string name) {
+  Label id = static_cast<Label>(vertex_type_names_.size());
+  vertex_type_names_.push_back(std::move(name));
+  return id;
+}
+
+EdgeLabel Schema::AddEdgeType(Label src_type, std::string name,
+                              Label dst_type) {
+  EdgeLabel id = static_cast<EdgeLabel>(edges_.size());
+  edges_.push_back({src_type, id, dst_type, std::move(name)});
+  return id;
+}
+
+}  // namespace workload
+}  // namespace turboflux

@@ -1,0 +1,46 @@
+#ifndef TURBOFLUX_WORKLOAD_SCHEMA_H_
+#define TURBOFLUX_WORKLOAD_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "turboflux/common/types.h"
+
+namespace turboflux {
+namespace workload {
+
+/// One allowed edge type of a schema graph: (source vertex type, edge
+/// label, target vertex type).
+struct SchemaEdge {
+  Label src_type;
+  EdgeLabel label;
+  Label dst_type;
+  std::string name;
+};
+
+/// A schema graph: the vocabulary of vertex types and typed edges a
+/// generated dataset draws from. Query generators walk the *instance*
+/// graph, so a schema also documents which patterns are expressible.
+class Schema {
+ public:
+  Label AddVertexType(std::string name);
+  EdgeLabel AddEdgeType(Label src_type, std::string name, Label dst_type);
+
+  size_t VertexTypeCount() const { return vertex_type_names_.size(); }
+  size_t EdgeTypeCount() const { return edges_.size(); }
+
+  const std::string& VertexTypeName(Label type) const {
+    return vertex_type_names_[type];
+  }
+  const SchemaEdge& edge_type(EdgeLabel label) const { return edges_[label]; }
+  const std::vector<SchemaEdge>& edge_types() const { return edges_; }
+
+ private:
+  std::vector<std::string> vertex_type_names_;
+  std::vector<SchemaEdge> edges_;
+};
+
+}  // namespace workload
+}  // namespace turboflux
+
+#endif  // TURBOFLUX_WORKLOAD_SCHEMA_H_

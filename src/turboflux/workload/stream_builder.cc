@@ -1,0 +1,64 @@
+#include "turboflux/workload/stream_builder.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "turboflux/common/rng.h"
+
+namespace turboflux {
+namespace workload {
+
+Dataset BuildDataset(const TemporalGraph& temporal,
+                     const StreamConfig& config) {
+  assert(config.stream_fraction >= 0.0 && config.stream_fraction <= 1.0);
+  Dataset out;
+  out.initial = temporal.vertices;
+  out.final_graph = temporal.vertices;
+
+  const size_t total = temporal.edges.size();
+  const size_t stream_count =
+      static_cast<size_t>(static_cast<double>(total) *
+                          config.stream_fraction);
+  const size_t initial_count = total - stream_count;
+
+  // Edges present so far (candidates for deletion), deduplicated by what
+  // the graph actually accepted.
+  std::vector<UpdateOp> live;
+  Rng rng(config.seed ^ 0x5f3759df);
+
+  for (size_t i = 0; i < initial_count; ++i) {
+    const TemporalGraph::TimedEdge& e = temporal.edges[i];
+    if (out.initial.AddEdge(e.from, e.label, e.to)) {
+      out.final_graph.AddEdge(e.from, e.label, e.to);
+      live.push_back(UpdateOp::Insert(e.from, e.label, e.to));
+    }
+  }
+
+  double deletion_debt = 0.0;
+  for (size_t i = initial_count; i < total; ++i) {
+    const TemporalGraph::TimedEdge& e = temporal.edges[i];
+    if (!out.final_graph.AddEdge(e.from, e.label, e.to)) continue;  // dup
+    UpdateOp ins = UpdateOp::Insert(e.from, e.label, e.to);
+    out.stream.push_back(ins);
+    out.stream_insertions.push_back(ins);
+    live.push_back(ins);
+
+    // Inject deletion_rate deletions per insertion, paid as accumulated
+    // debt so fractional rates work.
+    deletion_debt += config.deletion_rate;
+    while (deletion_debt >= 1.0 && !live.empty()) {
+      deletion_debt -= 1.0;
+      size_t pick = rng.NextIndex(live.size());
+      UpdateOp victim = live[pick];
+      live[pick] = live.back();
+      live.pop_back();
+      out.stream.push_back(
+          UpdateOp::Delete(victim.from, victim.label, victim.to));
+      out.final_graph.RemoveEdge(victim.from, victim.label, victim.to);
+    }
+  }
+  return out;
+}
+
+}  // namespace workload
+}  // namespace turboflux

@@ -1,0 +1,57 @@
+#ifndef TURBOFLUX_WORKLOAD_STREAM_BUILDER_H_
+#define TURBOFLUX_WORKLOAD_STREAM_BUILDER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "turboflux/graph/graph.h"
+#include "turboflux/graph/update_stream.h"
+
+namespace turboflux {
+namespace workload {
+
+/// A generated dataset before being split into (g0, Δg): the vertex
+/// universe with labels, and the edges in temporal order.
+struct TemporalGraph {
+  Graph vertices;  // vertices + labels only; no edges
+  struct TimedEdge {
+    VertexId from;
+    EdgeLabel label;
+    VertexId to;
+  };
+  std::vector<TimedEdge> edges;
+};
+
+struct StreamConfig {
+  /// Fraction of edges (by temporal suffix) that form the update stream;
+  /// the rest are the initial graph g0. The paper's LSBench default has
+  /// |Δg| ≈ 11% of |g0| (Section 5.1), i.e. fraction ≈ 0.10.
+  double stream_fraction = 0.10;
+
+  /// Number of edge deletions per edge insertion in the stream (the
+  /// paper's deletion rate, Appendix B.2). Deletions target random edges
+  /// already present at that point in the stream.
+  double deletion_rate = 0.0;
+
+  uint64_t seed = 1;
+};
+
+/// A ready-to-run continuous-matching dataset.
+struct Dataset {
+  Graph initial;        // g0
+  UpdateStream stream;  // Δg
+  Graph final_graph;    // g0 with the whole stream applied (query sampling)
+  /// The insertion ops of the stream (used by query generators to seed
+  /// queries that are guaranteed to match during the stream).
+  std::vector<UpdateOp> stream_insertions;
+};
+
+/// Splits a temporal graph into g0 and Δg and optionally injects
+/// deletions. Deterministic given config.seed.
+Dataset BuildDataset(const TemporalGraph& temporal,
+                     const StreamConfig& config);
+
+}  // namespace workload
+}  // namespace turboflux
+
+#endif  // TURBOFLUX_WORKLOAD_STREAM_BUILDER_H_

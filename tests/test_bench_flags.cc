@@ -1,0 +1,63 @@
+#include "common/flags.h"
+
+#include "gtest/gtest.h"
+
+namespace turboflux {
+namespace bench {
+namespace {
+
+Flags Make(std::vector<const char*> args,
+           std::vector<std::string> known) {
+  std::vector<char*> argv = {const_cast<char*>("prog")};
+  for (const char* a : args) argv.push_back(const_cast<char*>(a));
+  return Flags(static_cast<int>(argv.size()), argv.data(), known);
+}
+
+TEST(Flags, DefaultsWhenAbsent) {
+  Flags f = Make({}, {"scale"});
+  EXPECT_EQ(f.GetInt("scale", 7), 7);
+  EXPECT_DOUBLE_EQ(f.GetDouble("scale", 1.5), 1.5);
+  EXPECT_TRUE(f.GetBool("scale", true));
+  EXPECT_EQ(f.GetString("scale", "x"), "x");
+}
+
+TEST(Flags, ParsesValues) {
+  Flags f = Make({"--scale=2.5", "--queries=12", "--name=abc"},
+                 {"scale", "queries", "name"});
+  EXPECT_DOUBLE_EQ(f.GetDouble("scale", 0), 2.5);
+  EXPECT_EQ(f.GetInt("queries", 0), 12);
+  EXPECT_EQ(f.GetString("name", ""), "abc");
+}
+
+TEST(Flags, BareFlagIsTrue) {
+  Flags f = Make({"--scatter"}, {"scatter"});
+  EXPECT_TRUE(f.GetBool("scatter", false));
+  Flags off = Make({"--scatter=0"}, {"scatter"});
+  EXPECT_FALSE(off.GetBool("scatter", true));
+  Flags off2 = Make({"--scatter=false"}, {"scatter"});
+  EXPECT_FALSE(off2.GetBool("scatter", true));
+}
+
+TEST(Flags, IntList) {
+  Flags f = Make({"--sizes=3,6,9,12"}, {"sizes"});
+  EXPECT_EQ(f.GetIntList("sizes", {}),
+            (std::vector<int64_t>{3, 6, 9, 12}));
+  Flags d = Make({}, {"sizes"});
+  EXPECT_EQ(d.GetIntList("sizes", {1, 2}), (std::vector<int64_t>{1, 2}));
+  Flags one = Make({"--sizes=5"}, {"sizes"});
+  EXPECT_EQ(one.GetIntList("sizes", {}), (std::vector<int64_t>{5}));
+}
+
+TEST(FlagsDeathTest, UnknownFlagAborts) {
+  EXPECT_EXIT(Make({"--bogus=1"}, {"scale"}), ::testing::ExitedWithCode(2),
+              "unknown flag --bogus");
+}
+
+TEST(FlagsDeathTest, NonFlagArgumentAborts) {
+  EXPECT_EXIT(Make({"bare"}, {"scale"}), ::testing::ExitedWithCode(2),
+              "unexpected argument");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace turboflux

@@ -1,0 +1,112 @@
+// Invariant property tests of the DCG under the full engine:
+//
+//  I1 — internal consistency (Dcg::Validate): in/out mirrors, bitmaps,
+//       and counters agree after every update;
+//  I2 — semantic invariant of Definitions 4/5: a stored edge (v, u, v')
+//       is EXPLICIT iff every subtree of u matches under v'
+//       (MatchAllChildren), IMPLICIT otherwise;
+//  I3 — the intermediate-result size metric equals the snapshot size.
+
+#include "gtest/gtest.h"
+#include "testutil.h"
+#include "turboflux/core/turboflux.h"
+
+namespace turboflux {
+namespace {
+
+using testutil::MakeRandomCase;
+using testutil::RandomCase;
+using testutil::RandomCaseConfig;
+
+// Checks Definitions 4/5 on every stored edge.
+::testing::AssertionResult StatesMatchDefinition(const TurboFluxEngine& e) {
+  for (const Dcg::EdgeTuple& t : e.dcg().Snapshot()) {
+    QVertexId u = std::get<1>(t);
+    VertexId to = std::get<2>(t);
+    DcgState state = std::get<3>(t);
+    bool subtree_matched = e.dcg().MatchAllChildren(to, u);
+    DcgState expected =
+        subtree_matched ? DcgState::kExplicit : DcgState::kImplicit;
+    if (state != expected) {
+      return ::testing::AssertionFailure()
+             << "edge (u" << u << ", v" << to << ") is "
+             << DcgStateChar(state) << " but MatchAllChildren="
+             << subtree_matched;
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+class DcgInvariantProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DcgInvariantProperty, HoldAfterEveryUpdate) {
+  RandomCaseConfig config;
+  config.num_vertices = 10;
+  config.initial_edges = 16;
+  config.stream_ops = 50;
+  config.query_vertices = 4;
+  config.query_edges = 4;  // one non-tree edge
+  RandomCase c = MakeRandomCase(GetParam(), config);
+
+  TurboFluxEngine engine;
+  CountingSink sink;
+  ASSERT_TRUE(engine.Init(c.query, c.g0, sink, Deadline::Infinite()));
+  ASSERT_EQ(engine.dcg().Validate(), "");
+  ASSERT_TRUE(StatesMatchDefinition(engine));
+
+  for (size_t i = 0; i < c.stream.size(); ++i) {
+    ASSERT_TRUE(engine.ApplyUpdate(c.stream[i], sink, Deadline::Infinite()));
+    ASSERT_EQ(engine.dcg().Validate(), "")
+        << "seed=" << GetParam() << " op#" << i;
+    ASSERT_TRUE(StatesMatchDefinition(engine))
+        << "seed=" << GetParam() << " op#" << i << " "
+        << c.stream[i].ToString();
+    ASSERT_EQ(engine.IntermediateSize(), engine.dcg().Snapshot().size());
+  }
+}
+
+TEST_P(DcgInvariantProperty, HoldUnderIsomorphismToo) {
+  RandomCaseConfig config;
+  config.num_vertices = 8;
+  config.stream_ops = 30;
+  config.query_vertices = 3;
+  config.query_edges = 3;
+  RandomCase c = MakeRandomCase(GetParam() + 7777, config);
+
+  TurboFluxOptions options;
+  options.semantics = MatchSemantics::kIsomorphism;
+  TurboFluxEngine engine(options);
+  CountingSink sink;
+  ASSERT_TRUE(engine.Init(c.query, c.g0, sink, Deadline::Infinite()));
+  for (const UpdateOp& op : c.stream) {
+    ASSERT_TRUE(engine.ApplyUpdate(op, sink, Deadline::Infinite()));
+    ASSERT_EQ(engine.dcg().Validate(), "") << "seed=" << GetParam();
+    // The DCG itself is semantics-independent: it must equal the
+    // homomorphism rebuild regardless of the match semantics.
+    ASSERT_EQ(engine.dcg().Snapshot(),
+              engine.RebuildDcgFromScratch().Snapshot());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DcgInvariantProperty,
+                         ::testing::Range<uint64_t>(500, 530));
+
+TEST(DcgValidate, DetectsNothingOnEmpty) {
+  QueryGraph q;
+  QVertexId u0 = q.AddVertex(LabelSet{0});
+  QVertexId u1 = q.AddVertex(LabelSet{1});
+  q.AddEdge(u0, 0, u1);
+  QueryStats stats;
+  stats.edge_matches.assign(1, 1);
+  stats.vertex_matches.assign(2, 1);
+  QueryTree tree = QueryTree::Build(q, u0, stats);
+  Dcg dcg;
+  dcg.Reset(4, tree);
+  EXPECT_EQ(dcg.Validate(), "");
+  dcg.SetState(0, 1, 2, DcgState::kImplicit);
+  dcg.SetState(0, 1, 2, DcgState::kExplicit);
+  EXPECT_EQ(dcg.Validate(), "");
+}
+
+}  // namespace
+}  // namespace turboflux

@@ -1,0 +1,60 @@
+#include "turboflux/common/deadline.h"
+
+#include <thread>
+
+#include "gtest/gtest.h"
+
+namespace turboflux {
+namespace {
+
+TEST(Deadline, InfiniteNeverExpires) {
+  Deadline d = Deadline::Infinite();
+  EXPECT_TRUE(d.infinite());
+  for (int i = 0; i < 10000; ++i) EXPECT_FALSE(d.Expired());
+  EXPECT_FALSE(d.ExpiredNow());
+}
+
+TEST(Deadline, ZeroBudgetExpiresImmediatelyOnExactCheck) {
+  Deadline d = Deadline::AfterMillis(0);
+  EXPECT_TRUE(d.ExpiredNow());
+}
+
+TEST(Deadline, AmortizedCheckEventuallyFires) {
+  Deadline d = Deadline::AfterMillis(0);
+  bool expired = false;
+  // The amortized check reads the clock every 256 calls at most.
+  for (int i = 0; i < 1000 && !expired; ++i) expired = d.Expired();
+  EXPECT_TRUE(expired);
+}
+
+TEST(Deadline, StaysExpired) {
+  Deadline d = Deadline::AfterMillis(0);
+  ASSERT_TRUE(d.ExpiredNow());
+  EXPECT_TRUE(d.Expired());
+  EXPECT_TRUE(d.ExpiredNow());
+}
+
+TEST(Deadline, GenerousBudgetDoesNotExpire) {
+  Deadline d = Deadline::AfterMillis(60 * 1000);
+  for (int i = 0; i < 10000; ++i) EXPECT_FALSE(d.Expired());
+  EXPECT_FALSE(d.ExpiredNow());
+}
+
+TEST(Deadline, ExpiresAfterSleep) {
+  Deadline d = Deadline::AfterMillis(5);
+  std::this_thread::sleep_for(std::chrono::milliseconds(15));
+  EXPECT_TRUE(d.ExpiredNow());
+}
+
+TEST(Stopwatch, MeasuresElapsedTime) {
+  Stopwatch watch;
+  std::this_thread::sleep_for(std::chrono::milliseconds(12));
+  double elapsed = watch.ElapsedSeconds();
+  EXPECT_GE(elapsed, 0.010);
+  EXPECT_LT(elapsed, 2.0);
+  watch.Reset();
+  EXPECT_LT(watch.ElapsedSeconds(), 0.010);
+}
+
+}  // namespace
+}  // namespace turboflux

@@ -1,0 +1,220 @@
+// Engine lifecycle and edge-orientation corner cases shared by all
+// engines: re-initialization, reversed tree edges, multi-label vertices,
+// and parallel edges with distinct labels.
+
+#include "gtest/gtest.h"
+#include "testutil.h"
+#include "turboflux/baseline/graphflow.h"
+#include "turboflux/core/turboflux.h"
+
+namespace turboflux {
+namespace {
+
+TEST(EngineReuse, InitRebindsToNewQueryAndGraph) {
+  QueryGraph q1;
+  QVertexId a = q1.AddVertex(LabelSet{0});
+  QVertexId b = q1.AddVertex(LabelSet{1});
+  q1.AddEdge(a, 0, b);
+  Graph g1;
+  g1.AddVertex(LabelSet{0});
+  g1.AddVertex(LabelSet{1});
+  g1.AddEdge(0, 0, 1);
+
+  TurboFluxEngine engine;
+  CountingSink s1;
+  ASSERT_TRUE(engine.Init(q1, g1, s1, Deadline::Infinite()));
+  EXPECT_EQ(s1.positive(), 1u);
+
+  // Re-initialize the same engine with a different query and graph.
+  QueryGraph q2;
+  QVertexId x = q2.AddVertex(LabelSet{5});
+  QVertexId y = q2.AddVertex(LabelSet{6});
+  q2.AddEdge(x, 9, y);
+  Graph g2;
+  g2.AddVertex(LabelSet{5});
+  g2.AddVertex(LabelSet{6});
+  g2.AddVertex(LabelSet{6});
+
+  CountingSink s2;
+  ASSERT_TRUE(engine.Init(q2, g2, s2, Deadline::Infinite()));
+  EXPECT_EQ(s2.positive(), 0u);
+  CountingSink s3;
+  ASSERT_TRUE(engine.ApplyUpdate(UpdateOp::Insert(0, 9, 2), s3,
+                                 Deadline::Infinite()));
+  EXPECT_EQ(s3.positive(), 1u);
+  EXPECT_EQ(engine.dcg().Validate(), "");
+  EXPECT_EQ(engine.dcg().Snapshot(), engine.RebuildDcgFromScratch().Snapshot());
+}
+
+TEST(Orientation, AllReversedTreeEdges) {
+  // Query where every edge points *toward* what becomes the root:
+  // u1 -> u0 and u2 -> u1. The tree from any root must traverse reversed
+  // edges, and matching must still be exact.
+  QueryGraph q;
+  QVertexId u0 = q.AddVertex(LabelSet{0});
+  QVertexId u1 = q.AddVertex(LabelSet{1});
+  QVertexId u2 = q.AddVertex(LabelSet{2});
+  q.AddEdge(u1, 3, u0);
+  q.AddEdge(u2, 4, u1);
+
+  testutil::RandomCase c;
+  c.g0.AddVertex(LabelSet{0});
+  c.g0.AddVertex(LabelSet{1});
+  c.g0.AddVertex(LabelSet{2});
+  c.g0.AddVertex(LabelSet{1});
+  c.query = q;
+  c.stream = {UpdateOp::Insert(1, 3, 0), UpdateOp::Insert(2, 4, 1),
+              UpdateOp::Insert(2, 4, 3), UpdateOp::Insert(3, 3, 0),
+              UpdateOp::Delete(1, 3, 0)};
+
+  TurboFluxEngine engine;
+  testutil::OracleEngine oracle;
+  CollectingSink got, want;
+  ASSERT_TRUE(testutil::RunCase(engine, c, got, nullptr));
+  ASSERT_TRUE(testutil::RunCase(oracle, c, want, nullptr));
+  EXPECT_TRUE(testutil::SameMatches(got, want));
+}
+
+TEST(Orientation, MixedDirectionStar) {
+  // Root with one out-child and one in-child of the same labels: the
+  // inserted edge can match either orientation and must be disambiguated
+  // by direction.
+  QueryGraph q;
+  QVertexId hub = q.AddVertex(LabelSet{0});
+  QVertexId out_leaf = q.AddVertex(LabelSet{1});
+  QVertexId in_leaf = q.AddVertex(LabelSet{1});
+  q.AddEdge(hub, 7, out_leaf);
+  q.AddEdge(in_leaf, 7, hub);
+
+  testutil::RandomCase c;
+  c.g0.AddVertex(LabelSet{0});
+  c.g0.AddVertex(LabelSet{1});
+  c.g0.AddVertex(LabelSet{1});
+  c.query = q;
+  c.stream = {UpdateOp::Insert(0, 7, 1), UpdateOp::Insert(2, 7, 0),
+              UpdateOp::Insert(1, 7, 0), UpdateOp::Delete(2, 7, 0)};
+
+  TurboFluxEngine engine;
+  testutil::OracleEngine oracle;
+  CollectingSink got, want;
+  ASSERT_TRUE(testutil::RunCase(engine, c, got, nullptr));
+  ASSERT_TRUE(testutil::RunCase(oracle, c, want, nullptr));
+  EXPECT_TRUE(testutil::SameMatches(got, want));
+}
+
+TEST(Labels, MultiLabelVertexMatchesSubsets) {
+  // Data vertex with labels {0, 1} matches query vertices labeled {0},
+  // {1}, and {0, 1}, but not {2}.
+  Graph g0;
+  g0.AddVertex(LabelSet{0, 1});
+  g0.AddVertex(LabelSet{0});
+  for (Label want : {0u, 1u}) {
+    QueryGraph q;
+    QVertexId a = q.AddVertex(LabelSet{want});
+    QVertexId b = q.AddVertex(LabelSet{0});
+    q.AddEdge(a, 4, b);
+    TurboFluxEngine engine;
+    CountingSink init;
+    ASSERT_TRUE(engine.Init(q, g0, init, Deadline::Infinite()));
+    CountingSink s;
+    ASSERT_TRUE(engine.ApplyUpdate(UpdateOp::Insert(0, 4, 1), s,
+                                   Deadline::Infinite()));
+    EXPECT_EQ(s.positive(), 1u) << "label " << want;
+  }
+  QueryGraph both;
+  QVertexId a = both.AddVertex(LabelSet{0, 1});
+  QVertexId b = both.AddVertex(LabelSet{0});
+  both.AddEdge(a, 4, b);
+  TurboFluxEngine engine;
+  CountingSink init;
+  ASSERT_TRUE(engine.Init(both, g0, init, Deadline::Infinite()));
+  CountingSink s;
+  ASSERT_TRUE(engine.ApplyUpdate(UpdateOp::Insert(0, 4, 1), s,
+                                 Deadline::Infinite()));
+  // Only v0 carries both labels; v1 (plain {0}) cannot bind `a`.
+  EXPECT_EQ(s.positive(), 1u);
+}
+
+TEST(Labels, ParallelEdgesDistinctLabels) {
+  // Two data edges between the same vertices with different labels; the
+  // query matches only one of them, and deleting the other must not
+  // produce a negative match.
+  QueryGraph q;
+  QVertexId a = q.AddVertex(LabelSet{0});
+  QVertexId b = q.AddVertex(LabelSet{1});
+  q.AddEdge(a, 1, b);
+  Graph g0;
+  g0.AddVertex(LabelSet{0});
+  g0.AddVertex(LabelSet{1});
+  g0.AddEdge(0, 1, 1);
+  g0.AddEdge(0, 2, 1);  // parallel, different label
+
+  TurboFluxEngine engine;
+  CountingSink init;
+  ASSERT_TRUE(engine.Init(q, g0, init, Deadline::Infinite()));
+  EXPECT_EQ(init.positive(), 1u);
+  CountingSink s;
+  ASSERT_TRUE(engine.ApplyUpdate(UpdateOp::Delete(0, 2, 1), s,
+                                 Deadline::Infinite()));
+  EXPECT_EQ(s.total(), 0u);
+  ASSERT_TRUE(engine.ApplyUpdate(UpdateOp::Delete(0, 1, 1), s,
+                                 Deadline::Infinite()));
+  EXPECT_EQ(s.negative(), 1u);
+}
+
+TEST(EngineNames, DistinguishSemantics) {
+  TurboFluxOptions iso;
+  iso.semantics = MatchSemantics::kIsomorphism;
+  EXPECT_EQ(TurboFluxEngine().name(), "TurboFlux");
+  EXPECT_EQ(TurboFluxEngine(iso).name(), "TurboFlux-iso");
+  GraphflowOptions giso;
+  giso.semantics = MatchSemantics::kIsomorphism;
+  EXPECT_EQ(GraphflowEngine().name(), "Graphflow");
+  EXPECT_EQ(GraphflowEngine(giso).name(), "Graphflow-iso");
+}
+
+TEST(Stress, HubHeavyInsertDeleteChurn) {
+  // A hub gains and loses many spokes; the DCG must stay exactly in sync
+  // through the churn.
+  QueryGraph q;
+  QVertexId hub = q.AddVertex(LabelSet{0});
+  QVertexId spoke = q.AddVertex(LabelSet{1});
+  QVertexId tail = q.AddVertex(LabelSet{2});
+  q.AddEdge(hub, 0, spoke);
+  q.AddEdge(spoke, 1, tail);
+
+  Graph g0;
+  g0.AddVertex(LabelSet{0});
+  for (int i = 0; i < 30; ++i) g0.AddVertex(LabelSet{1});
+  g0.AddVertex(LabelSet{2});
+
+  TurboFluxEngine engine;
+  CountingSink sink;
+  ASSERT_TRUE(engine.Init(q, g0, sink, Deadline::Infinite()));
+  for (int round = 0; round < 3; ++round) {
+    for (VertexId s = 1; s <= 30; ++s) {
+      ASSERT_TRUE(engine.ApplyUpdate(UpdateOp::Insert(0, 0, s), sink,
+                                     Deadline::Infinite()));
+      ASSERT_TRUE(engine.ApplyUpdate(UpdateOp::Insert(s, 1, 31), sink,
+                                     Deadline::Infinite()));
+    }
+    for (VertexId s = 1; s <= 30; s += 2) {
+      ASSERT_TRUE(engine.ApplyUpdate(UpdateOp::Delete(0, 0, s), sink,
+                                     Deadline::Infinite()));
+    }
+    ASSERT_EQ(engine.dcg().Validate(), "") << "round " << round;
+    ASSERT_EQ(engine.dcg().Snapshot(),
+              engine.RebuildDcgFromScratch().Snapshot());
+    for (VertexId s = 1; s <= 30; ++s) {
+      engine.ApplyUpdate(UpdateOp::Delete(0, 0, s), sink,
+                         Deadline::Infinite());
+      engine.ApplyUpdate(UpdateOp::Delete(s, 1, 31), sink,
+                         Deadline::Infinite());
+    }
+  }
+  EXPECT_EQ(engine.dcg().Validate(), "");
+  EXPECT_EQ(sink.positive(), sink.negative());  // everything churned away
+}
+
+}  // namespace
+}  // namespace turboflux

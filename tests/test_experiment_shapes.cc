@@ -1,0 +1,170 @@
+// Deterministic miniatures of the paper's evaluation *shapes* — the
+// storage claims that do not depend on wall-clock timing:
+//
+//  * the DCG is far smaller than SJ-Tree's materialization on star-heavy
+//    patterns (Figures 3, 6b, 7b);
+//  * DCG size is bounded by |V(q)| * |E(g)| (Section 3.1);
+//  * SJ-Tree's storage grows with partial-solution count even when the
+//    complete-solution count stays zero (the Figure 1/2 pathology);
+//  * deletions shrink the DCG back (no storage leak across churn).
+
+#include "gtest/gtest.h"
+#include "testutil.h"
+#include "turboflux/baseline/sj_tree.h"
+#include "turboflux/core/turboflux.h"
+
+namespace turboflux {
+namespace {
+
+// Star-and-tail query: A -> B(x50 candidates) fan, plus A -> C -> D tail
+// that never completes. SJ-Tree materializes the fan; the DCG stores one
+// edge per data edge.
+struct StarWorld {
+  QueryGraph q;
+  Graph g0;
+
+  StarWorld() {
+    QVertexId a = q.AddVertex(LabelSet{0});
+    QVertexId b = q.AddVertex(LabelSet{1});
+    QVertexId b2 = q.AddVertex(LabelSet{1});
+    QVertexId c = q.AddVertex(LabelSet{2});
+    QVertexId d = q.AddVertex(LabelSet{3});
+    q.AddEdge(a, 0, b);
+    q.AddEdge(a, 0, b2);
+    q.AddEdge(a, 1, c);
+    q.AddEdge(c, 2, d);
+
+    VertexId hub = g0.AddVertex(LabelSet{0});
+    for (int i = 0; i < 50; ++i) {
+      VertexId leaf = g0.AddVertex(LabelSet{1});
+      g0.AddEdge(hub, 0, leaf);
+    }
+    VertexId cc = g0.AddVertex(LabelSet{2});
+    g0.AddEdge(hub, 1, cc);
+    // No D vertex: the pattern never completes.
+  }
+};
+
+TEST(ExperimentShapes, DcgFarSmallerThanSjTree) {
+  StarWorld w;
+  TurboFluxEngine tf;
+  SjTreeEngine sj;
+  CountingSink s1, s2;
+  ASSERT_TRUE(tf.Init(w.q, w.g0, s1, Deadline::Infinite()));
+  ASSERT_TRUE(sj.Init(w.q, w.g0, s2, Deadline::Infinite()));
+  EXPECT_EQ(s1.positive(), 0u);
+  EXPECT_EQ(s2.positive(), 0u);
+  // SJ-Tree joins the two B-fans: ~50^2 partial solutions; the DCG holds
+  // ~52 edges.
+  EXPECT_GT(sj.IntermediateSize(), 20 * tf.IntermediateSize());
+}
+
+TEST(ExperimentShapes, DcgBoundedByVqTimesEg) {
+  StarWorld w;
+  TurboFluxEngine tf;
+  CountingSink sink;
+  ASSERT_TRUE(tf.Init(w.q, w.g0, sink, Deadline::Infinite()));
+  // +|V(g)| covers the artificial start edges, which have no data edge.
+  EXPECT_LE(tf.IntermediateSize(),
+            w.q.VertexCount() * w.g0.EdgeCount() + w.g0.VertexCount());
+}
+
+TEST(ExperimentShapes, SjTreeGrowsWhileSolutionsStayZero) {
+  // The Figure 1/2 pathology in miniature: every new fan edge adds a
+  // batch of partial solutions to SJ-Tree although the complete-solution
+  // count never leaves zero. (The world is built up edge by edge so the
+  // growth per update is observable.)
+  StarWorld w;
+  Graph empty_fan = w.g0;
+  for (VertexId leaf = 1; leaf <= 50; ++leaf) {
+    empty_fan.RemoveEdge(0, 0, leaf);
+  }
+  SjTreeEngine sj;
+  CountingSink sink;
+  ASSERT_TRUE(sj.Init(w.q, empty_fan, sink, Deadline::Infinite()));
+  size_t previous = sj.IntermediateSize();
+  CountingSink s;
+  for (VertexId leaf = 1; leaf <= 10; ++leaf) {
+    ASSERT_TRUE(sj.ApplyUpdate(UpdateOp::Insert(0, 0, leaf), s,
+                               Deadline::Infinite()));
+    EXPECT_GT(sj.IntermediateSize(), previous) << "leaf " << leaf;
+    previous = sj.IntermediateSize();
+  }
+  EXPECT_EQ(s.positive(), 0u);  // still no complete solution
+
+  // Duplicate insert: generate-and-discard keeps storage flat.
+  ASSERT_TRUE(sj.ApplyUpdate(UpdateOp::Insert(0, 0, 1), s,
+                             Deadline::Infinite()));
+  EXPECT_EQ(sj.IntermediateSize(), previous);
+}
+
+TEST(ExperimentShapes, DcgShrinksBackAfterChurn) {
+  // Complete path world (the StarWorld query roots at its unmatchable D
+  // vertex and keeps an empty DCG, so use a fixture with a live DCG).
+  QueryGraph q;
+  QVertexId a = q.AddVertex(LabelSet{0});
+  QVertexId b = q.AddVertex(LabelSet{1});
+  QVertexId c = q.AddVertex(LabelSet{2});
+  q.AddEdge(a, 0, b);
+  q.AddEdge(b, 1, c);
+  Graph g0;
+  g0.AddVertex(LabelSet{0});
+  g0.AddVertex(LabelSet{1});
+  g0.AddVertex(LabelSet{2});
+  g0.AddEdge(0, 0, 1);
+  g0.AddEdge(1, 1, 2);
+
+  TurboFluxEngine tf;
+  CountingSink sink;
+  ASSERT_TRUE(tf.Init(q, g0, sink, Deadline::Infinite()));
+  size_t baseline = tf.IntermediateSize();
+  ASSERT_GT(baseline, 0u);
+  // Deleting an edge shrinks the DCG; re-inserting restores it exactly
+  // (no storage leak across churn).
+  CountingSink s;
+  ASSERT_TRUE(tf.ApplyUpdate(UpdateOp::Delete(0, 0, 1), s,
+                             Deadline::Infinite()));
+  EXPECT_LT(tf.IntermediateSize(), baseline);
+  ASSERT_TRUE(tf.ApplyUpdate(UpdateOp::Insert(0, 0, 1), s,
+                             Deadline::Infinite()));
+  EXPECT_EQ(tf.IntermediateSize(), baseline);
+  EXPECT_EQ(tf.dcg().Snapshot(), tf.RebuildDcgFromScratch().Snapshot());
+}
+
+TEST(ExperimentShapes, IntermediateSizeScalesLinearlyInData) {
+  // Double the fan, double the DCG — never square it (the
+  // O(|V(q)|*|E(g)|) bound at work, vs SJ-Tree's exponent).
+  std::vector<size_t> tf_sizes;
+  for (int fan : {25, 50}) {
+    QueryGraph q;
+    QVertexId a = q.AddVertex(LabelSet{0});
+    QVertexId b = q.AddVertex(LabelSet{1});
+    QVertexId b2 = q.AddVertex(LabelSet{1});
+    q.AddEdge(a, 0, b);
+    q.AddEdge(a, 0, b2);
+    Graph g0;
+    VertexId hub = g0.AddVertex(LabelSet{0});
+    for (int i = 0; i < fan; ++i) {
+      VertexId leaf = g0.AddVertex(LabelSet{1});
+      g0.AddEdge(hub, 0, leaf);
+    }
+    TurboFluxEngine tf;
+    SjTreeEngine sj;
+    CountingSink s1, s2;
+    ASSERT_TRUE(tf.Init(q, g0, s1, Deadline::Infinite()));
+    ASSERT_TRUE(sj.Init(q, g0, s2, Deadline::Infinite()));
+    // DCG: two edges per fan edge (the fan matches both B query
+    // vertices) plus the artificial start edge. SJ-Tree: fan^2-ish
+    // tuples from joining the two fans.
+    EXPECT_LE(tf.IntermediateSize(), 2 * static_cast<size_t>(fan) + 2);
+    EXPECT_GE(sj.IntermediateSize(),
+              static_cast<size_t>(fan) * static_cast<size_t>(fan));
+    tf_sizes.push_back(tf.IntermediateSize());
+  }
+  // Linear growth: doubling |E(g)| at most doubles the DCG (+1 slack).
+  ASSERT_EQ(tf_sizes.size(), 2u);
+  EXPECT_LE(tf_sizes[1], 2 * tf_sizes[0] + 1);
+}
+
+}  // namespace
+}  // namespace turboflux

@@ -1,0 +1,128 @@
+#include "turboflux/graph/graph.h"
+
+#include "gtest/gtest.h"
+
+namespace turboflux {
+namespace {
+
+Graph ThreeVertexGraph() {
+  Graph g;
+  g.AddVertex(LabelSet{0});
+  g.AddVertex(LabelSet{1});
+  g.AddVertex(LabelSet{0, 2});
+  return g;
+}
+
+TEST(Graph, AddVertexAssignsDenseIds) {
+  Graph g;
+  EXPECT_EQ(g.AddVertex(LabelSet{0}), 0u);
+  EXPECT_EQ(g.AddVertex(LabelSet{1}), 1u);
+  EXPECT_EQ(g.VertexCount(), 2u);
+  EXPECT_EQ(g.labels(1), LabelSet{1});
+}
+
+TEST(Graph, AddEdgeAndProbe) {
+  Graph g = ThreeVertexGraph();
+  EXPECT_TRUE(g.AddEdge(0, 5, 1));
+  EXPECT_TRUE(g.HasEdge(0, 5, 1));
+  EXPECT_FALSE(g.HasEdge(1, 5, 0));  // directed
+  EXPECT_FALSE(g.HasEdge(0, 6, 1));  // label matters
+  EXPECT_EQ(g.EdgeCount(), 1u);
+}
+
+TEST(Graph, DuplicateEdgeRejected) {
+  Graph g = ThreeVertexGraph();
+  EXPECT_TRUE(g.AddEdge(0, 5, 1));
+  EXPECT_FALSE(g.AddEdge(0, 5, 1));
+  EXPECT_EQ(g.EdgeCount(), 1u);
+}
+
+TEST(Graph, ParallelEdgesWithDistinctLabels) {
+  Graph g = ThreeVertexGraph();
+  EXPECT_TRUE(g.AddEdge(0, 1, 1));
+  EXPECT_TRUE(g.AddEdge(0, 2, 1));
+  EXPECT_EQ(g.EdgeCount(), 2u);
+  EXPECT_EQ(g.EdgeLabelsBetween(0, 1).size(), 2u);
+}
+
+TEST(Graph, InvalidVertexRejected) {
+  Graph g = ThreeVertexGraph();
+  EXPECT_FALSE(g.AddEdge(0, 1, 99));
+  EXPECT_FALSE(g.AddEdge(99, 1, 0));
+  EXPECT_FALSE(g.HasEdge(99, 1, 0));
+  EXPECT_EQ(g.EdgeCount(), 0u);
+}
+
+TEST(Graph, SelfLoop) {
+  Graph g = ThreeVertexGraph();
+  EXPECT_TRUE(g.AddEdge(1, 3, 1));
+  EXPECT_TRUE(g.HasEdge(1, 3, 1));
+  EXPECT_EQ(g.OutDegree(1), 1u);
+  EXPECT_EQ(g.InDegree(1), 1u);
+}
+
+TEST(Graph, RemoveEdge) {
+  Graph g = ThreeVertexGraph();
+  g.AddEdge(0, 5, 1);
+  g.AddEdge(0, 5, 2);
+  EXPECT_TRUE(g.RemoveEdge(0, 5, 1));
+  EXPECT_FALSE(g.HasEdge(0, 5, 1));
+  EXPECT_TRUE(g.HasEdge(0, 5, 2));
+  EXPECT_EQ(g.EdgeCount(), 1u);
+  EXPECT_FALSE(g.RemoveEdge(0, 5, 1));  // already gone
+}
+
+TEST(Graph, RemoveNonexistentEdgeIsNoop) {
+  Graph g = ThreeVertexGraph();
+  EXPECT_FALSE(g.RemoveEdge(0, 5, 1));
+  EXPECT_EQ(g.EdgeCount(), 0u);
+}
+
+TEST(Graph, AdjacencyMirrors) {
+  Graph g = ThreeVertexGraph();
+  g.AddEdge(0, 5, 1);
+  g.AddEdge(2, 5, 1);
+  ASSERT_EQ(g.OutEdges(0).size(), 1u);
+  EXPECT_EQ(g.OutEdges(0)[0].other, 1u);
+  EXPECT_EQ(g.OutEdges(0)[0].label, 5u);
+  ASSERT_EQ(g.InEdges(1).size(), 2u);
+  EXPECT_EQ(g.Degree(1), 2u);
+  EXPECT_EQ(g.InDegree(0), 0u);
+}
+
+TEST(Graph, RemovePreservesOtherAdjacency) {
+  Graph g = ThreeVertexGraph();
+  g.AddEdge(0, 1, 1);
+  g.AddEdge(0, 2, 1);
+  g.AddEdge(0, 1, 2);
+  g.RemoveEdge(0, 1, 1);
+  EXPECT_EQ(g.OutDegree(0), 2u);
+  EXPECT_TRUE(g.HasEdge(0, 2, 1));
+  EXPECT_TRUE(g.HasEdge(0, 1, 2));
+}
+
+TEST(Graph, ReinsertAfterRemove) {
+  Graph g = ThreeVertexGraph();
+  g.AddEdge(0, 1, 1);
+  g.RemoveEdge(0, 1, 1);
+  EXPECT_TRUE(g.AddEdge(0, 1, 1));
+  EXPECT_TRUE(g.HasEdge(0, 1, 1));
+}
+
+TEST(Graph, CopyIsIndependent) {
+  Graph g = ThreeVertexGraph();
+  g.AddEdge(0, 1, 1);
+  Graph copy = g;
+  copy.RemoveEdge(0, 1, 1);
+  copy.AddEdge(1, 2, 2);
+  EXPECT_TRUE(g.HasEdge(0, 1, 1));
+  EXPECT_FALSE(g.HasEdge(1, 2, 2));
+}
+
+TEST(Graph, EdgeLabelsBetweenEmptyForNoPair) {
+  Graph g = ThreeVertexGraph();
+  EXPECT_TRUE(g.EdgeLabelsBetween(0, 1).empty());
+}
+
+}  // namespace
+}  // namespace turboflux

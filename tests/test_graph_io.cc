@@ -1,0 +1,83 @@
+#include "turboflux/graph/graph_io.h"
+
+#include <sstream>
+
+#include "gtest/gtest.h"
+
+namespace turboflux {
+namespace {
+
+TEST(GraphIo, RoundTripGraph) {
+  Graph g;
+  g.AddVertex(LabelSet{0, 3});
+  g.AddVertex(LabelSet{});
+  g.AddVertex(LabelSet{1});
+  g.AddEdge(0, 2, 1);
+  g.AddEdge(1, 0, 2);
+  g.AddEdge(2, 2, 2);
+
+  std::stringstream buf;
+  WriteGraph(g, buf);
+  std::optional<Graph> back = ReadGraph(buf);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->VertexCount(), 3u);
+  EXPECT_EQ(back->EdgeCount(), 3u);
+  EXPECT_EQ(back->labels(0), LabelSet({0, 3}));
+  EXPECT_TRUE(back->labels(1).empty());
+  EXPECT_TRUE(back->HasEdge(0, 2, 1));
+  EXPECT_TRUE(back->HasEdge(1, 0, 2));
+  EXPECT_TRUE(back->HasEdge(2, 2, 2));
+}
+
+TEST(GraphIo, CommentsAndBlankLinesIgnored) {
+  std::stringstream buf("# a comment\n\nv 0 1\nv 1 2\n\ne 0 4 1\n");
+  std::optional<Graph> g = ReadGraph(buf);
+  ASSERT_TRUE(g.has_value());
+  EXPECT_EQ(g->VertexCount(), 2u);
+  EXPECT_TRUE(g->HasEdge(0, 4, 1));
+}
+
+TEST(GraphIo, MalformedGraphRejected) {
+  std::stringstream bad_kind("x 0\n");
+  EXPECT_FALSE(ReadGraph(bad_kind).has_value());
+  std::stringstream sparse_ids("v 5\n");
+  EXPECT_FALSE(ReadGraph(sparse_ids).has_value());
+  std::stringstream bad_edge("v 0\ne 0 1\n");
+  EXPECT_FALSE(ReadGraph(bad_edge).has_value());
+  std::stringstream dangling("v 0\ne 0 1 7\n");
+  EXPECT_FALSE(ReadGraph(dangling).has_value());
+}
+
+TEST(GraphIo, RoundTripStream) {
+  UpdateStream s = {UpdateOp::Insert(0, 1, 2), UpdateOp::Delete(2, 3, 0)};
+  std::stringstream buf;
+  WriteStream(s, buf);
+  std::optional<UpdateStream> back = ReadStream(buf);
+  ASSERT_TRUE(back.has_value());
+  ASSERT_EQ(back->size(), 2u);
+  EXPECT_EQ((*back)[0], s[0]);
+  EXPECT_EQ((*back)[1], s[1]);
+}
+
+TEST(GraphIo, MalformedStreamRejected) {
+  std::stringstream bad("? 0 1 2\n");
+  EXPECT_FALSE(ReadStream(bad).has_value());
+  std::stringstream truncated("+ 0 1\n");
+  EXPECT_FALSE(ReadStream(truncated).has_value());
+}
+
+TEST(GraphIo, FileRoundTrip) {
+  Graph g;
+  g.AddVertex(LabelSet{1});
+  g.AddVertex(LabelSet{2});
+  g.AddEdge(0, 9, 1);
+  std::string path = ::testing::TempDir() + "/graph_io_test.txt";
+  ASSERT_TRUE(WriteGraphToFile(g, path));
+  std::optional<Graph> back = ReadGraphFromFile(path);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(back->HasEdge(0, 9, 1));
+  EXPECT_FALSE(ReadGraphFromFile("/nonexistent/nowhere.txt").has_value());
+}
+
+}  // namespace
+}  // namespace turboflux

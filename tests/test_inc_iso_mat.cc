@@ -1,0 +1,119 @@
+#include "turboflux/baseline/inc_iso_mat.h"
+
+#include "gtest/gtest.h"
+#include "testutil.h"
+
+namespace turboflux {
+namespace {
+
+QueryGraph PathQuery() {
+  QueryGraph q;
+  QVertexId u0 = q.AddVertex(LabelSet{0});
+  QVertexId u1 = q.AddVertex(LabelSet{1});
+  QVertexId u2 = q.AddVertex(LabelSet{2});
+  q.AddEdge(u0, 0, u1);
+  q.AddEdge(u1, 1, u2);
+  return q;
+}
+
+TEST(IncIsoMat, InsertionDelta) {
+  QueryGraph q = PathQuery();
+  Graph g0;
+  g0.AddVertex(LabelSet{0});
+  g0.AddVertex(LabelSet{1});
+  g0.AddVertex(LabelSet{2});
+  g0.AddEdge(0, 0, 1);
+  IncIsoMatEngine engine;
+  CountingSink init;
+  ASSERT_TRUE(engine.Init(q, g0, init, Deadline::Infinite()));
+  EXPECT_EQ(init.positive(), 0u);
+  CollectingSink s;
+  ASSERT_TRUE(engine.ApplyUpdate(UpdateOp::Insert(1, 1, 2), s,
+                                 Deadline::Infinite()));
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_TRUE(s.records()[0].positive);
+  EXPECT_EQ(s.records()[0].mapping, (Mapping{0, 1, 2}));
+}
+
+TEST(IncIsoMat, DeletionDelta) {
+  QueryGraph q = PathQuery();
+  Graph g0;
+  g0.AddVertex(LabelSet{0});
+  g0.AddVertex(LabelSet{1});
+  g0.AddVertex(LabelSet{2});
+  g0.AddEdge(0, 0, 1);
+  g0.AddEdge(1, 1, 2);
+  IncIsoMatEngine engine;
+  CountingSink init;
+  ASSERT_TRUE(engine.Init(q, g0, init, Deadline::Infinite()));
+  EXPECT_EQ(init.positive(), 1u);
+  CountingSink s;
+  ASSERT_TRUE(engine.ApplyUpdate(UpdateOp::Delete(0, 0, 1), s,
+                                 Deadline::Infinite()));
+  EXPECT_EQ(s.negative(), 1u);
+  EXPECT_FALSE(engine.graph().HasEdge(0, 0, 1));
+}
+
+TEST(IncIsoMat, MatchesOutsideDiameterUnaffected) {
+  // Two disjoint copies of the pattern; updating one copy must not report
+  // anything about the other (it is outside the affected subgraph).
+  QueryGraph q = PathQuery();
+  Graph g0;
+  for (int copy = 0; copy < 2; ++copy) {
+    g0.AddVertex(LabelSet{0});
+    g0.AddVertex(LabelSet{1});
+    g0.AddVertex(LabelSet{2});
+  }
+  g0.AddEdge(0, 0, 1);
+  g0.AddEdge(1, 1, 2);
+  g0.AddEdge(3, 0, 4);
+  IncIsoMatEngine engine;
+  CountingSink init;
+  ASSERT_TRUE(engine.Init(q, g0, init, Deadline::Infinite()));
+  EXPECT_EQ(init.positive(), 1u);
+  CollectingSink s;
+  ASSERT_TRUE(engine.ApplyUpdate(UpdateOp::Insert(4, 1, 5), s,
+                                 Deadline::Infinite()));
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_EQ(s.records()[0].mapping, (Mapping{3, 4, 5}));
+}
+
+TEST(IncIsoMat, IrrelevantUpdateSkipsExtraction) {
+  QueryGraph q = PathQuery();
+  Graph g0;
+  g0.AddVertex(LabelSet{0});
+  g0.AddVertex(LabelSet{1});
+  IncIsoMatEngine engine;
+  CountingSink init;
+  ASSERT_TRUE(engine.Init(q, g0, init, Deadline::Infinite()));
+  CountingSink s;
+  ASSERT_TRUE(engine.ApplyUpdate(UpdateOp::Insert(0, 7, 1), s,
+                                 Deadline::Infinite()));
+  EXPECT_EQ(s.total(), 0u);
+  EXPECT_TRUE(engine.graph().HasEdge(0, 7, 1));  // graph still updated
+}
+
+TEST(IncIsoMat, IsomorphismSemantics) {
+  QueryGraph q;
+  QVertexId u0 = q.AddVertex(LabelSet{0});
+  QVertexId u1 = q.AddVertex(LabelSet{1});
+  QVertexId u2 = q.AddVertex(LabelSet{1});
+  q.AddEdge(u0, 0, u1);
+  q.AddEdge(u0, 0, u2);
+  Graph g0;
+  g0.AddVertex(LabelSet{0});
+  g0.AddVertex(LabelSet{1});
+
+  IncIsoMatOptions opts;
+  opts.semantics = MatchSemantics::kIsomorphism;
+  IncIsoMatEngine engine(opts);
+  CountingSink init;
+  ASSERT_TRUE(engine.Init(q, g0, init, Deadline::Infinite()));
+  CountingSink s;
+  ASSERT_TRUE(engine.ApplyUpdate(UpdateOp::Insert(0, 0, 1), s,
+                                 Deadline::Infinite()));
+  EXPECT_EQ(s.positive(), 0u);  // u1 == u2 would need the same data vertex
+}
+
+}  // namespace
+}  // namespace turboflux

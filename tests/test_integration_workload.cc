@@ -1,0 +1,162 @@
+// End-to-end integration tests: engines processing real generated
+// workloads (tiny LSBench-like and Netflow-like datasets) must agree
+// with each other on every reported match, and TurboFlux's DCG must
+// survive a full realistic stream.
+
+#include "gtest/gtest.h"
+#include "testutil.h"
+#include "turboflux/baseline/graphflow.h"
+#include "turboflux/core/turboflux.h"
+#include "turboflux/workload/lsbench.h"
+#include "turboflux/workload/netflow.h"
+#include "turboflux/workload/query_gen.h"
+#include "turboflux/workload/stream_builder.h"
+
+namespace turboflux {
+namespace {
+
+using workload::BuildDataset;
+using workload::Dataset;
+using workload::GenerateLsBench;
+using workload::GenerateNetflow;
+using workload::GenerateQueries;
+using workload::LsBenchConfig;
+using workload::NetflowConfig;
+using workload::QueryGenConfig;
+using workload::QueryShape;
+using workload::StreamConfig;
+
+Dataset TinyLsBench(double deletion_rate) {
+  LsBenchConfig config;
+  config.num_users = 60;
+  StreamConfig sc;
+  sc.stream_fraction = 0.15;
+  sc.deletion_rate = deletion_rate;
+  return BuildDataset(GenerateLsBench(config), sc);
+}
+
+Dataset TinyNetflow() {
+  NetflowConfig config;
+  config.num_hosts = 300;
+  config.num_flows = 1500;
+  StreamConfig sc;
+  sc.stream_fraction = 0.15;
+  return BuildDataset(GenerateNetflow(config), sc);
+}
+
+void ExpectEnginesAgree(const Dataset& ds, const QueryGraph& q,
+                        MatchSemantics semantics) {
+  TurboFluxOptions tf_options;
+  tf_options.semantics = semantics;
+  TurboFluxEngine tf(tf_options);
+  GraphflowOptions gf_options;
+  gf_options.semantics = semantics;
+  GraphflowEngine gf(gf_options);
+
+  testutil::RandomCase c;
+  c.g0 = ds.initial;
+  c.stream = ds.stream;
+  c.query = q;
+  CollectingSink tf_sink, gf_sink;
+  uint64_t tf_init = 0, gf_init = 0;
+  ASSERT_TRUE(testutil::RunCase(tf, c, tf_sink, &tf_init));
+  ASSERT_TRUE(testutil::RunCase(gf, c, gf_sink, &gf_init));
+  EXPECT_EQ(tf_init, gf_init) << q.ToString();
+  EXPECT_TRUE(testutil::SameMatches(tf_sink, gf_sink)) << q.ToString();
+  // At least one positive match streams in (query-gen guarantee) for
+  // insert-only streams.
+  EXPECT_EQ(tf.dcg().Snapshot(), tf.RebuildDcgFromScratch().Snapshot());
+}
+
+TEST(IntegrationWorkload, LsBenchTreeQueriesInsertOnly) {
+  Dataset ds = TinyLsBench(0.0);
+  QueryGenConfig qc;
+  qc.shape = QueryShape::kTree;
+  qc.num_edges = 4;
+  qc.count = 4;
+  qc.seed = 3;
+  for (const QueryGraph& q : GenerateQueries(ds, qc)) {
+    ExpectEnginesAgree(ds, q, MatchSemantics::kHomomorphism);
+  }
+}
+
+TEST(IntegrationWorkload, LsBenchCyclicQueriesWithDeletions) {
+  Dataset ds = TinyLsBench(0.3);
+  QueryGenConfig qc;
+  qc.shape = QueryShape::kGraph;
+  qc.num_edges = 5;
+  qc.count = 3;
+  qc.seed = 5;
+  for (const QueryGraph& q : GenerateQueries(ds, qc)) {
+    ExpectEnginesAgree(ds, q, MatchSemantics::kHomomorphism);
+  }
+}
+
+TEST(IntegrationWorkload, LsBenchIsomorphism) {
+  Dataset ds = TinyLsBench(0.2);
+  QueryGenConfig qc;
+  qc.shape = QueryShape::kTree;
+  qc.num_edges = 4;
+  qc.count = 3;
+  qc.seed = 7;
+  for (const QueryGraph& q : GenerateQueries(ds, qc)) {
+    ExpectEnginesAgree(ds, q, MatchSemantics::kIsomorphism);
+  }
+}
+
+TEST(IntegrationWorkload, NetflowPathQueries) {
+  Dataset ds = TinyNetflow();
+  QueryGenConfig qc;
+  qc.shape = QueryShape::kPath;
+  qc.num_edges = 3;
+  qc.count = 3;
+  qc.seed = 9;
+  for (const QueryGraph& q : GenerateQueries(ds, qc)) {
+    ExpectEnginesAgree(ds, q, MatchSemantics::kHomomorphism);
+  }
+}
+
+TEST(IntegrationWorkload, PositiveMatchGuaranteeHolds) {
+  Dataset ds = TinyLsBench(0.0);
+  QueryGenConfig qc;
+  qc.shape = QueryShape::kTree;
+  qc.num_edges = 3;
+  qc.count = 5;
+  qc.seed = 11;
+  std::vector<QueryGraph> queries = GenerateQueries(ds, qc);
+  ASSERT_GE(queries.size(), 3u);
+  for (const QueryGraph& q : queries) {
+    TurboFluxEngine engine;
+    CountingSink init;
+    ASSERT_TRUE(engine.Init(q, ds.initial, init, Deadline::Infinite()));
+    CountingSink stream_sink;
+    for (const UpdateOp& op : ds.stream) {
+      ASSERT_TRUE(engine.ApplyUpdate(op, stream_sink, Deadline::Infinite()));
+    }
+    EXPECT_GE(stream_sink.positive(), 1u) << q.ToString();
+  }
+}
+
+TEST(IntegrationWorkload, LongMixedStreamKeepsDcgConsistent) {
+  Dataset ds = TinyLsBench(0.5);
+  QueryGenConfig qc;
+  qc.shape = QueryShape::kTree;
+  qc.num_edges = 5;
+  qc.count = 1;
+  qc.seed = 13;
+  std::vector<QueryGraph> queries = GenerateQueries(ds, qc);
+  ASSERT_GE(queries.size(), 1u);
+  TurboFluxEngine engine;
+  CountingSink sink;
+  ASSERT_TRUE(engine.Init(queries[0], ds.initial, sink,
+                          Deadline::Infinite()));
+  for (const UpdateOp& op : ds.stream) {
+    ASSERT_TRUE(engine.ApplyUpdate(op, sink, Deadline::Infinite()));
+  }
+  EXPECT_EQ(engine.dcg().Validate(), "");
+  EXPECT_EQ(engine.dcg().Snapshot(),
+            engine.RebuildDcgFromScratch().Snapshot());
+}
+
+}  // namespace
+}  // namespace turboflux

@@ -1,0 +1,68 @@
+#include "turboflux/common/label_set.h"
+
+#include "gtest/gtest.h"
+
+namespace turboflux {
+namespace {
+
+TEST(LabelSet, EmptyIsSubsetOfEverything) {
+  LabelSet empty;
+  EXPECT_TRUE(empty.IsSubsetOf(LabelSet{}));
+  EXPECT_TRUE(empty.IsSubsetOf(LabelSet{1, 2, 3}));
+  EXPECT_TRUE(empty.empty());
+}
+
+TEST(LabelSet, SingleLabelSubset) {
+  LabelSet a{1};
+  EXPECT_TRUE(a.IsSubsetOf(LabelSet{1}));
+  EXPECT_TRUE(a.IsSubsetOf(LabelSet{0, 1, 2}));
+  EXPECT_FALSE(a.IsSubsetOf(LabelSet{0, 2}));
+  EXPECT_FALSE(a.IsSubsetOf(LabelSet{}));
+}
+
+TEST(LabelSet, MultiLabelSubset) {
+  LabelSet a{3, 1};
+  EXPECT_TRUE(a.IsSubsetOf(LabelSet{1, 2, 3}));
+  EXPECT_FALSE(a.IsSubsetOf(LabelSet{1, 2}));
+  EXPECT_FALSE(a.IsSubsetOf(LabelSet{3}));
+}
+
+TEST(LabelSet, ConstructorSortsAndDeduplicates) {
+  LabelSet a{5, 1, 5, 3, 1};
+  EXPECT_EQ(a.size(), 3u);
+  EXPECT_EQ(a.labels(), (std::vector<Label>{1, 3, 5}));
+}
+
+TEST(LabelSet, InsertKeepsSortedUnique) {
+  LabelSet a;
+  a.Insert(4);
+  a.Insert(2);
+  a.Insert(4);
+  a.Insert(9);
+  EXPECT_EQ(a.labels(), (std::vector<Label>{2, 4, 9}));
+}
+
+TEST(LabelSet, Contains) {
+  LabelSet a{2, 4};
+  EXPECT_TRUE(a.Contains(2));
+  EXPECT_TRUE(a.Contains(4));
+  EXPECT_FALSE(a.Contains(3));
+}
+
+TEST(LabelSet, Equality) {
+  EXPECT_EQ(LabelSet({1, 2}), LabelSet({2, 1}));
+  EXPECT_FALSE(LabelSet({1}) == LabelSet({1, 2}));
+}
+
+TEST(LabelSet, FirstOr) {
+  EXPECT_EQ(LabelSet({7, 3}).FirstOr(0), 3u);
+  EXPECT_EQ(LabelSet{}.FirstOr(42), 42u);
+}
+
+TEST(LabelSet, ToString) {
+  EXPECT_EQ(LabelSet({2, 1}).ToString(), "{1,2}");
+  EXPECT_EQ(LabelSet{}.ToString(), "{}");
+}
+
+}  // namespace
+}  // namespace turboflux

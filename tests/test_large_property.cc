@@ -1,0 +1,107 @@
+// Heavier randomized sweeps: larger queries (5 vertices / up to 7 edges,
+// several non-tree edges), longer mixed streams, and unlabeled
+// (Netflow-style) worlds. Slower per case than the main property suite,
+// so fewer seeds.
+
+#include "gtest/gtest.h"
+#include "testutil.h"
+#include "turboflux/baseline/graphflow.h"
+#include "turboflux/core/turboflux.h"
+
+namespace turboflux {
+namespace {
+
+using testutil::MakeRandomCase;
+using testutil::OracleEngine;
+using testutil::RandomCase;
+using testutil::RandomCaseConfig;
+using testutil::RunCase;
+using testutil::SameMatches;
+
+class LargeQueryProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(LargeQueryProperty, TurboFluxMatchesOracle) {
+  RandomCaseConfig config;
+  config.num_vertices = 12;
+  config.num_vertex_labels = 4;
+  config.num_edge_labels = 3;
+  config.initial_edges = 20;
+  config.stream_ops = 60;
+  config.query_vertices = 5;
+  config.query_edges = 7;  // three cycle-closing edges
+  RandomCase c = MakeRandomCase(GetParam(), config);
+
+  TurboFluxEngine engine;
+  OracleEngine oracle;
+  CollectingSink got, want;
+  ASSERT_TRUE(RunCase(engine, c, got, nullptr));
+  ASSERT_TRUE(RunCase(oracle, c, want, nullptr));
+  EXPECT_TRUE(SameMatches(got, want))
+      << "seed=" << GetParam() << " q=" << c.query.ToString();
+  EXPECT_EQ(engine.dcg().Validate(), "");
+  EXPECT_EQ(engine.dcg().Snapshot(), engine.RebuildDcgFromScratch().Snapshot());
+}
+
+TEST_P(LargeQueryProperty, UnlabeledWorldMatchesOracle) {
+  // Netflow-style: one vertex label (all wildcards would explode the
+  // oracle; a single shared label is equivalent for matching).
+  RandomCaseConfig config;
+  config.num_vertices = 8;
+  config.num_vertex_labels = 1;
+  config.num_edge_labels = 4;
+  config.initial_edges = 12;
+  config.stream_ops = 35;
+  config.query_vertices = 4;
+  config.query_edges = 4;
+  RandomCase c = MakeRandomCase(GetParam() + 50, config);
+
+  TurboFluxEngine engine;
+  OracleEngine oracle;
+  CollectingSink got, want;
+  ASSERT_TRUE(RunCase(engine, c, got, nullptr));
+  ASSERT_TRUE(RunCase(oracle, c, want, nullptr));
+  EXPECT_TRUE(SameMatches(got, want)) << "seed=" << GetParam();
+}
+
+TEST_P(LargeQueryProperty, DeletionHeavyStream) {
+  RandomCaseConfig config;
+  config.num_vertices = 10;
+  config.initial_edges = 18;
+  config.stream_ops = 70;
+  config.deletion_probability = 0.6;  // more deletions than insertions
+  config.query_vertices = 4;
+  config.query_edges = 5;
+  RandomCase c = MakeRandomCase(GetParam() + 100, config);
+
+  TurboFluxEngine engine;
+  OracleEngine oracle;
+  CollectingSink got, want;
+  ASSERT_TRUE(RunCase(engine, c, got, nullptr));
+  ASSERT_TRUE(RunCase(oracle, c, want, nullptr));
+  EXPECT_TRUE(SameMatches(got, want)) << "seed=" << GetParam();
+  EXPECT_EQ(engine.dcg().Snapshot(), engine.RebuildDcgFromScratch().Snapshot());
+}
+
+TEST_P(LargeQueryProperty, GraphflowAgreesOnLargeQueries) {
+  RandomCaseConfig config;
+  config.num_vertices = 12;
+  config.num_vertex_labels = 4;
+  config.initial_edges = 20;
+  config.stream_ops = 40;
+  config.query_vertices = 5;
+  config.query_edges = 6;
+  RandomCase c = MakeRandomCase(GetParam() + 200, config);
+
+  TurboFluxEngine tf;
+  GraphflowEngine gf;
+  CollectingSink a, b;
+  ASSERT_TRUE(RunCase(tf, c, a, nullptr));
+  ASSERT_TRUE(RunCase(gf, c, b, nullptr));
+  EXPECT_TRUE(SameMatches(a, b)) << "seed=" << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LargeQueryProperty,
+                         ::testing::Range<uint64_t>(700, 715));
+
+}  // namespace
+}  // namespace turboflux

@@ -1,0 +1,62 @@
+#include "turboflux/common/match.h"
+
+#include "gtest/gtest.h"
+
+namespace turboflux {
+namespace {
+
+TEST(Mapping, Contains) {
+  Mapping m = {1, kNullVertex, 3};
+  EXPECT_TRUE(MappingContains(m, 1));
+  EXPECT_TRUE(MappingContains(m, 3));
+  EXPECT_FALSE(MappingContains(m, 2));
+}
+
+TEST(Mapping, ToStringShowsUnmapped) {
+  Mapping m = {2, kNullVertex};
+  EXPECT_EQ(MappingToString(m), "[u0->v2 u1->?]");
+}
+
+TEST(Mapping, HashDistinguishes) {
+  EXPECT_NE(HashMapping({1, 2}), HashMapping({2, 1}));
+  EXPECT_EQ(HashMapping({1, 2}), HashMapping({1, 2}));
+}
+
+TEST(CountingSink, CountsBySign) {
+  CountingSink sink;
+  Mapping m = {0};
+  sink.OnMatch(true, m);
+  sink.OnMatch(true, m);
+  sink.OnMatch(false, m);
+  EXPECT_EQ(sink.positive(), 2u);
+  EXPECT_EQ(sink.negative(), 1u);
+  EXPECT_EQ(sink.total(), 3u);
+  sink.Reset();
+  EXPECT_EQ(sink.total(), 0u);
+}
+
+TEST(CollectingSink, RetainsRecordsAndMultiset) {
+  CollectingSink sink;
+  sink.OnMatch(true, {1, 2});
+  sink.OnMatch(true, {1, 2});
+  sink.OnMatch(false, {1, 2});
+  EXPECT_EQ(sink.size(), 3u);
+  auto ms = sink.ToMultiset();
+  EXPECT_EQ(ms["+[u0->v1 u1->v2]"], 2);
+  EXPECT_EQ(ms["-[u0->v1 u1->v2]"], 1);
+  sink.Clear();
+  EXPECT_EQ(sink.size(), 0u);
+}
+
+TEST(TeeSink, FansOut) {
+  CountingSink a, b;
+  TeeSink tee(&a, &b);
+  tee.OnMatch(true, {0});
+  tee.OnMatch(false, {0});
+  EXPECT_EQ(a.total(), 2u);
+  EXPECT_EQ(b.positive(), 1u);
+  EXPECT_EQ(b.negative(), 1u);
+}
+
+}  // namespace
+}  // namespace turboflux

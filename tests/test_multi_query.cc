@@ -1,0 +1,151 @@
+#include "turboflux/core/multi_query.h"
+
+#include <map>
+
+#include "gtest/gtest.h"
+#include "testutil.h"
+
+namespace turboflux {
+namespace {
+
+class RecordingSink : public MultiQueryEngine::Sink {
+ public:
+  void OnMatch(QueryId query, bool positive, const Mapping&) override {
+    if (positive) {
+      ++positive_[query];
+    } else {
+      ++negative_[query];
+    }
+  }
+
+  uint64_t positives(QueryId q) const {
+    auto it = positive_.find(q);
+    return it == positive_.end() ? 0 : it->second;
+  }
+  uint64_t negatives(QueryId q) const {
+    auto it = negative_.find(q);
+    return it == negative_.end() ? 0 : it->second;
+  }
+
+ private:
+  std::map<QueryId, uint64_t> positive_;
+  std::map<QueryId, uint64_t> negative_;
+};
+
+// Two queries over one A->B->C world: a 2-edge path and a single edge.
+struct Fixture {
+  QueryGraph path;   // A -0-> B -1-> C
+  QueryGraph single; // B -1-> C
+  Graph g0;
+
+  Fixture() {
+    QVertexId a = path.AddVertex(LabelSet{0});
+    QVertexId b = path.AddVertex(LabelSet{1});
+    QVertexId c = path.AddVertex(LabelSet{2});
+    path.AddEdge(a, 0, b);
+    path.AddEdge(b, 1, c);
+    QVertexId b2 = single.AddVertex(LabelSet{1});
+    QVertexId c2 = single.AddVertex(LabelSet{2});
+    single.AddEdge(b2, 1, c2);
+    g0.AddVertex(LabelSet{0});
+    g0.AddVertex(LabelSet{1});
+    g0.AddVertex(LabelSet{2});
+    g0.AddEdge(0, 0, 1);
+  }
+};
+
+TEST(MultiQuery, DispatchesToEveryQuery) {
+  Fixture f;
+  MultiQueryEngine engine;
+  QueryId q_path = engine.AddQuery(f.path);
+  QueryId q_single = engine.AddQuery(f.single);
+  ASSERT_EQ(engine.QueryCount(), 2u);
+
+  RecordingSink sink;
+  ASSERT_TRUE(engine.Init(f.g0, sink, Deadline::Infinite()));
+  EXPECT_EQ(sink.positives(q_path), 0u);
+  EXPECT_EQ(sink.positives(q_single), 0u);
+
+  // One insertion completes both patterns.
+  ASSERT_TRUE(engine.ApplyUpdate(UpdateOp::Insert(1, 1, 2), sink,
+                                 Deadline::Infinite()));
+  EXPECT_EQ(sink.positives(q_path), 1u);
+  EXPECT_EQ(sink.positives(q_single), 1u);
+
+  // Deleting the A->B edge only breaks the path query.
+  ASSERT_TRUE(engine.ApplyUpdate(UpdateOp::Delete(0, 0, 1), sink,
+                                 Deadline::Infinite()));
+  EXPECT_EQ(sink.negatives(q_path), 1u);
+  EXPECT_EQ(sink.negatives(q_single), 0u);
+}
+
+TEST(MultiQuery, IntermediateSizeSumsEngines) {
+  Fixture f;
+  MultiQueryEngine engine;
+  engine.AddQuery(f.path);
+  engine.AddQuery(f.single);
+  RecordingSink sink;
+  ASSERT_TRUE(engine.Init(f.g0, sink, Deadline::Infinite()));
+  EXPECT_EQ(engine.IntermediateSize(),
+            engine.engine(0).IntermediateSize() +
+                engine.engine(1).IntermediateSize());
+}
+
+TEST(MultiQuery, AgreesWithIndividualEngines) {
+  testutil::RandomCaseConfig config;
+  config.stream_ops = 25;
+  testutil::RandomCase a = testutil::MakeRandomCase(900, config);
+  testutil::RandomCase b = testutil::MakeRandomCase(901, config);
+  b.g0 = a.g0;  // same world, two different queries
+  b.stream = a.stream;
+
+  MultiQueryEngine multi;
+  QueryId qa = multi.AddQuery(a.query);
+  QueryId qb = multi.AddQuery(b.query);
+  RecordingSink multi_sink;
+  ASSERT_TRUE(multi.Init(a.g0, multi_sink, Deadline::Infinite()));
+  for (const UpdateOp& op : a.stream) {
+    ASSERT_TRUE(multi.ApplyUpdate(op, multi_sink, Deadline::Infinite()));
+  }
+
+  for (int which = 0; which < 2; ++which) {
+    TurboFluxEngine single;
+    CountingSink init, stream_sink;
+    const QueryGraph& q = which == 0 ? a.query : b.query;
+    ASSERT_TRUE(single.Init(q, a.g0, init, Deadline::Infinite()));
+    for (const UpdateOp& op : a.stream) {
+      ASSERT_TRUE(single.ApplyUpdate(op, stream_sink, Deadline::Infinite()));
+    }
+    QueryId id = which == 0 ? qa : qb;
+    // The multi engine's counts include the initial matches reported by
+    // Init; single-engine counts are split between the two sinks.
+    EXPECT_EQ(multi_sink.positives(id),
+              init.positive() + stream_sink.positive());
+    EXPECT_EQ(multi_sink.negatives(id), stream_sink.negative());
+  }
+}
+
+TEST(EnumerateCurrentMatches, MatchesStaticCount) {
+  testutil::RandomCaseConfig config;
+  config.stream_ops = 20;
+  for (uint64_t seed = 950; seed < 956; ++seed) {
+    testutil::RandomCase c = testutil::MakeRandomCase(seed, config);
+    TurboFluxEngine engine;
+    CountingSink sink;
+    ASSERT_TRUE(engine.Init(c.query, c.g0, sink, Deadline::Infinite()));
+    for (const UpdateOp& op : c.stream) {
+      ASSERT_TRUE(engine.ApplyUpdate(op, sink, Deadline::Infinite()));
+    }
+    CountingSink current;
+    ASSERT_TRUE(engine.EnumerateCurrentMatches(current));
+    // Oracle: full static enumeration over the engine's current graph.
+    testutil::OracleEngine oracle;
+    CollectingSink oracle_sink;
+    ASSERT_TRUE(oracle.Init(c.query, engine.graph(), oracle_sink,
+                            Deadline::Infinite()));
+    EXPECT_EQ(current.positive(), oracle_sink.size()) << "seed=" << seed;
+  }
+}
+
+}  // namespace
+}  // namespace turboflux

@@ -1,0 +1,121 @@
+#include "turboflux/query/nec.h"
+
+#include "gtest/gtest.h"
+#include "turboflux/match/static_matcher.h"
+
+namespace turboflux {
+namespace {
+
+TEST(Nec, StarOfEquivalentLeavesCompresses) {
+  // u0 with three identical B children: one NEC class of size 3.
+  QueryGraph q;
+  QVertexId u0 = q.AddVertex(LabelSet{0});
+  for (int i = 0; i < 3; ++i) {
+    QVertexId leaf = q.AddVertex(LabelSet{1});
+    q.AddEdge(u0, 5, leaf);
+  }
+  NecAnalysis nec = ComputeNec(q);
+  ASSERT_TRUE(nec.compressible());
+  ASSERT_EQ(nec.classes.size(), 1u);
+  EXPECT_EQ(nec.classes[0].members.size(), 3u);
+  EXPECT_EQ(nec.RemovableVertices(), 2u);
+}
+
+TEST(Nec, DifferentLabelsDoNotMerge) {
+  QueryGraph q;
+  QVertexId u0 = q.AddVertex(LabelSet{0});
+  QVertexId b = q.AddVertex(LabelSet{1});
+  QVertexId c = q.AddVertex(LabelSet{2});
+  q.AddEdge(u0, 5, b);
+  q.AddEdge(u0, 5, c);
+  EXPECT_FALSE(ComputeNec(q).compressible());
+}
+
+TEST(Nec, DifferentEdgeLabelsDoNotMerge) {
+  QueryGraph q;
+  QVertexId u0 = q.AddVertex(LabelSet{0});
+  QVertexId b1 = q.AddVertex(LabelSet{1});
+  QVertexId b2 = q.AddVertex(LabelSet{1});
+  q.AddEdge(u0, 5, b1);
+  q.AddEdge(u0, 6, b2);
+  EXPECT_FALSE(ComputeNec(q).compressible());
+}
+
+TEST(Nec, DirectionMatters) {
+  QueryGraph q;
+  QVertexId u0 = q.AddVertex(LabelSet{0});
+  QVertexId b1 = q.AddVertex(LabelSet{1});
+  QVertexId b2 = q.AddVertex(LabelSet{1});
+  q.AddEdge(u0, 5, b1);
+  q.AddEdge(b2, 5, u0);  // reversed
+  EXPECT_FALSE(ComputeNec(q).compressible());
+}
+
+TEST(Nec, InternalVerticesNeverMerge) {
+  // A path A->B->C: B has degree 2, C is the only leaf candidate group
+  // of size 1 — nothing compresses.
+  QueryGraph q;
+  QVertexId a = q.AddVertex(LabelSet{0});
+  QVertexId b = q.AddVertex(LabelSet{1});
+  QVertexId c = q.AddVertex(LabelSet{2});
+  q.AddEdge(a, 0, b);
+  q.AddEdge(b, 0, c);
+  EXPECT_FALSE(ComputeNec(q).compressible());
+}
+
+TEST(Nec, CompressedQueryShape) {
+  QueryGraph q;
+  QVertexId u0 = q.AddVertex(LabelSet{0});
+  QVertexId u1 = q.AddVertex(LabelSet{9});
+  q.AddEdge(u0, 1, u1);
+  for (int i = 0; i < 3; ++i) {
+    QVertexId leaf = q.AddVertex(LabelSet{1});
+    q.AddEdge(u0, 5, leaf);
+  }
+  NecAnalysis nec = ComputeNec(q);
+  CompressedQuery compressed = CompressQuery(q, nec);
+  EXPECT_EQ(compressed.query.VertexCount(), 3u);  // u0, u1, one leaf rep
+  EXPECT_EQ(compressed.query.EdgeCount(), 2u);
+  // Multiplicities: 1 for u0 and u1, 3 for the representative leaf.
+  uint32_t max_mult = 0;
+  for (uint32_t m : compressed.multiplicity) max_mult = std::max(max_mult, m);
+  EXPECT_EQ(max_mult, 3u);
+}
+
+TEST(Nec, HomomorphismCountExpansion) {
+  // Under homomorphism the match count of the original query equals the
+  // compressed count with each class's candidate count raised to the
+  // class size: star with k identical leaves over a hub with d children
+  // has d^k matches, and the compressed (single-leaf) query has d.
+  Graph g;
+  VertexId hub = g.AddVertex(LabelSet{0});
+  for (int i = 0; i < 4; ++i) {
+    VertexId leaf = g.AddVertex(LabelSet{1});
+    g.AddEdge(hub, 5, leaf);
+  }
+  QueryGraph q;
+  QVertexId u0 = q.AddVertex(LabelSet{0});
+  for (int i = 0; i < 3; ++i) {
+    QVertexId leaf = q.AddVertex(LabelSet{1});
+    q.AddEdge(u0, 5, leaf);
+  }
+  StaticMatcher original(g, q, {});
+  EXPECT_EQ(original.CountAll(), 64u);  // 4^3
+
+  CompressedQuery compressed = CompressQuery(q, ComputeNec(q));
+  StaticMatcher small(g, compressed.query, {});
+  EXPECT_EQ(small.CountAll(), 4u);  // 4^1; expansion factor 4^(3-1)
+}
+
+TEST(Nec, SelfLoopLeafExcluded) {
+  QueryGraph q;
+  QVertexId a = q.AddVertex(LabelSet{0});
+  QVertexId b = q.AddVertex(LabelSet{0});
+  q.AddEdge(a, 0, a);  // degree-1-ish self loop on a? (in+out = 2)
+  q.AddEdge(a, 0, b);
+  // b is the only true leaf; no class of size >= 2.
+  EXPECT_FALSE(ComputeNec(q).compressible());
+}
+
+}  // namespace
+}  // namespace turboflux

@@ -1,0 +1,256 @@
+// Property tests: every engine must report exactly the oracle's
+// positive/negative matches (as a multiset) over randomized graphs,
+// queries, and mixed insert/delete streams, and TurboFlux's incrementally
+// maintained DCG must equal a from-scratch rebuild after every update.
+
+#include "gtest/gtest.h"
+#include "testutil.h"
+#include "turboflux/baseline/graphflow.h"
+#include "turboflux/baseline/inc_iso_mat.h"
+#include "turboflux/baseline/sj_tree.h"
+#include "turboflux/core/turboflux.h"
+
+namespace turboflux {
+namespace {
+
+using testutil::MakeRandomCase;
+using testutil::OracleEngine;
+using testutil::RandomCase;
+using testutil::RandomCaseConfig;
+using testutil::RunCase;
+using testutil::SameMatches;
+
+RandomCaseConfig TreeConfig() {
+  RandomCaseConfig config;
+  config.num_vertices = 9;
+  config.num_vertex_labels = 3;
+  config.num_edge_labels = 2;
+  config.initial_edges = 14;
+  config.stream_ops = 40;
+  config.query_vertices = 4;
+  config.query_edges = 3;  // spanning tree only
+  return config;
+}
+
+RandomCaseConfig CyclicConfig() {
+  RandomCaseConfig config = TreeConfig();
+  config.query_edges = 5;  // two extra cycle-closing edges
+  return config;
+}
+
+class TreeStreamProperty : public ::testing::TestWithParam<uint64_t> {};
+class CyclicStreamProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TreeStreamProperty, TurboFluxMatchesOracle) {
+  RandomCase c = MakeRandomCase(GetParam(), TreeConfig());
+  TurboFluxEngine engine;
+  OracleEngine oracle;
+  CollectingSink got, want;
+  uint64_t init_got = 0, init_want = 0;
+  ASSERT_TRUE(RunCase(engine, c, got, &init_got));
+  ASSERT_TRUE(RunCase(oracle, c, want, &init_want));
+  EXPECT_EQ(init_got, init_want) << "seed=" << GetParam();
+  EXPECT_TRUE(SameMatches(got, want)) << "seed=" << GetParam()
+                                      << " q=" << c.query.ToString();
+}
+
+TEST_P(TreeStreamProperty, DcgEqualsRebuildAfterEveryOp) {
+  RandomCase c = MakeRandomCase(GetParam(), TreeConfig());
+  TurboFluxEngine engine;
+  CountingSink sink;
+  ASSERT_TRUE(engine.Init(c.query, c.g0, sink, Deadline::Infinite()));
+  ASSERT_EQ(engine.dcg().Snapshot(), engine.RebuildDcgFromScratch().Snapshot());
+  for (size_t i = 0; i < c.stream.size(); ++i) {
+    ASSERT_TRUE(
+        engine.ApplyUpdate(c.stream[i], sink, Deadline::Infinite()));
+    ASSERT_EQ(engine.dcg().Snapshot(),
+              engine.RebuildDcgFromScratch().Snapshot())
+        << "seed=" << GetParam() << " op#" << i << " "
+        << c.stream[i].ToString() << " q=" << c.query.ToString();
+  }
+}
+
+TEST_P(TreeStreamProperty, IsomorphismMatchesOracle) {
+  RandomCase c = MakeRandomCase(GetParam(), TreeConfig());
+  TurboFluxOptions opts;
+  opts.semantics = MatchSemantics::kIsomorphism;
+  TurboFluxEngine engine(opts);
+  OracleEngine oracle(MatchSemantics::kIsomorphism);
+  CollectingSink got, want;
+  ASSERT_TRUE(RunCase(engine, c, got, nullptr));
+  ASSERT_TRUE(RunCase(oracle, c, want, nullptr));
+  EXPECT_TRUE(SameMatches(got, want)) << "seed=" << GetParam();
+}
+
+TEST_P(TreeStreamProperty, GraphflowMatchesOracle) {
+  RandomCase c = MakeRandomCase(GetParam(), TreeConfig());
+  GraphflowEngine engine;
+  OracleEngine oracle;
+  CollectingSink got, want;
+  ASSERT_TRUE(RunCase(engine, c, got, nullptr));
+  ASSERT_TRUE(RunCase(oracle, c, want, nullptr));
+  EXPECT_TRUE(SameMatches(got, want)) << "seed=" << GetParam();
+}
+
+TEST_P(TreeStreamProperty, IncIsoMatMatchesOracle) {
+  RandomCase c = MakeRandomCase(GetParam(), TreeConfig());
+  IncIsoMatEngine engine;
+  OracleEngine oracle;
+  CollectingSink got, want;
+  ASSERT_TRUE(RunCase(engine, c, got, nullptr));
+  ASSERT_TRUE(RunCase(oracle, c, want, nullptr));
+  EXPECT_TRUE(SameMatches(got, want)) << "seed=" << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TreeStreamProperty,
+                         ::testing::Range<uint64_t>(0, 30));
+
+TEST_P(CyclicStreamProperty, TurboFluxMatchesOracle) {
+  RandomCase c = MakeRandomCase(GetParam(), CyclicConfig());
+  TurboFluxEngine engine;
+  OracleEngine oracle;
+  CollectingSink got, want;
+  ASSERT_TRUE(RunCase(engine, c, got, nullptr));
+  ASSERT_TRUE(RunCase(oracle, c, want, nullptr));
+  EXPECT_TRUE(SameMatches(got, want)) << "seed=" << GetParam()
+                                      << " q=" << c.query.ToString();
+}
+
+TEST_P(CyclicStreamProperty, TurboFluxIsoMatchesOracle) {
+  RandomCase c = MakeRandomCase(GetParam(), CyclicConfig());
+  TurboFluxOptions opts;
+  opts.semantics = MatchSemantics::kIsomorphism;
+  TurboFluxEngine engine(opts);
+  OracleEngine oracle(MatchSemantics::kIsomorphism);
+  CollectingSink got, want;
+  ASSERT_TRUE(RunCase(engine, c, got, nullptr));
+  ASSERT_TRUE(RunCase(oracle, c, want, nullptr));
+  EXPECT_TRUE(SameMatches(got, want)) << "seed=" << GetParam();
+}
+
+TEST_P(CyclicStreamProperty, GraphflowMatchesOracle) {
+  RandomCase c = MakeRandomCase(GetParam(), CyclicConfig());
+  GraphflowEngine engine;
+  OracleEngine oracle;
+  CollectingSink got, want;
+  ASSERT_TRUE(RunCase(engine, c, got, nullptr));
+  ASSERT_TRUE(RunCase(oracle, c, want, nullptr));
+  EXPECT_TRUE(SameMatches(got, want)) << "seed=" << GetParam();
+}
+
+TEST_P(CyclicStreamProperty, IncIsoMatMatchesOracle) {
+  RandomCase c = MakeRandomCase(GetParam(), CyclicConfig());
+  IncIsoMatEngine engine;
+  OracleEngine oracle;
+  CollectingSink got, want;
+  ASSERT_TRUE(RunCase(engine, c, got, nullptr));
+  ASSERT_TRUE(RunCase(oracle, c, want, nullptr));
+  EXPECT_TRUE(SameMatches(got, want)) << "seed=" << GetParam();
+}
+
+TEST_P(CyclicStreamProperty, DcgEqualsRebuildAfterEveryOp) {
+  RandomCase c = MakeRandomCase(GetParam(), CyclicConfig());
+  TurboFluxEngine engine;
+  CountingSink sink;
+  ASSERT_TRUE(engine.Init(c.query, c.g0, sink, Deadline::Infinite()));
+  for (size_t i = 0; i < c.stream.size(); ++i) {
+    ASSERT_TRUE(
+        engine.ApplyUpdate(c.stream[i], sink, Deadline::Infinite()));
+    ASSERT_EQ(engine.dcg().Snapshot(),
+              engine.RebuildDcgFromScratch().Snapshot())
+        << "seed=" << GetParam() << " op#" << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CyclicStreamProperty,
+                         ::testing::Range<uint64_t>(100, 130));
+
+// SJ-Tree supports insert-only streams; compare on those.
+class InsertOnlyProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(InsertOnlyProperty, SjTreeMatchesOracle) {
+  RandomCaseConfig config = TreeConfig();
+  config.deletion_probability = 0.0;
+  RandomCase c = MakeRandomCase(GetParam(), config);
+  SjTreeEngine engine;
+  OracleEngine oracle;
+  CollectingSink got, want;
+  uint64_t init_got = 0, init_want = 0;
+  ASSERT_TRUE(RunCase(engine, c, got, &init_got));
+  ASSERT_TRUE(RunCase(oracle, c, want, &init_want));
+  EXPECT_EQ(init_got, init_want) << "seed=" << GetParam();
+  EXPECT_TRUE(SameMatches(got, want)) << "seed=" << GetParam()
+                                      << " q=" << c.query.ToString();
+}
+
+TEST_P(InsertOnlyProperty, SjTreeCyclicMatchesOracle) {
+  RandomCaseConfig config = CyclicConfig();
+  config.deletion_probability = 0.0;
+  RandomCase c = MakeRandomCase(GetParam(), config);
+  SjTreeEngine engine;
+  OracleEngine oracle;
+  CollectingSink got, want;
+  ASSERT_TRUE(RunCase(engine, c, got, nullptr));
+  ASSERT_TRUE(RunCase(oracle, c, want, nullptr));
+  EXPECT_TRUE(SameMatches(got, want)) << "seed=" << GetParam();
+}
+
+TEST_P(InsertOnlyProperty, SjTreeIsoMatchesOracle) {
+  RandomCaseConfig config = TreeConfig();
+  config.deletion_probability = 0.0;
+  RandomCase c = MakeRandomCase(GetParam(), config);
+  SjTreeOptions opts;
+  opts.semantics = MatchSemantics::kIsomorphism;
+  SjTreeEngine engine(opts);
+  OracleEngine oracle(MatchSemantics::kIsomorphism);
+  CollectingSink got, want;
+  ASSERT_TRUE(RunCase(engine, c, got, nullptr));
+  ASSERT_TRUE(RunCase(oracle, c, want, nullptr));
+  EXPECT_TRUE(SameMatches(got, want)) << "seed=" << GetParam();
+}
+
+TEST_P(InsertOnlyProperty, GraphflowIsoMatchesOracle) {
+  RandomCaseConfig config = CyclicConfig();
+  RandomCase c = MakeRandomCase(GetParam(), config);
+  GraphflowOptions opts;
+  opts.semantics = MatchSemantics::kIsomorphism;
+  GraphflowEngine engine(opts);
+  OracleEngine oracle(MatchSemantics::kIsomorphism);
+  CollectingSink got, want;
+  ASSERT_TRUE(RunCase(engine, c, got, nullptr));
+  ASSERT_TRUE(RunCase(oracle, c, want, nullptr));
+  EXPECT_TRUE(SameMatches(got, want)) << "seed=" << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, InsertOnlyProperty,
+                         ::testing::Range<uint64_t>(200, 225));
+
+// Engines must agree pairwise too (catches shared-oracle blind spots):
+// all four engines on the same insert-only case.
+class AllEnginesAgree : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(AllEnginesAgree, InsertOnlyStream) {
+  RandomCaseConfig config = CyclicConfig();
+  config.deletion_probability = 0.0;
+  config.stream_ops = 25;
+  RandomCase c = MakeRandomCase(GetParam(), config);
+
+  TurboFluxEngine tf;
+  GraphflowEngine gf;
+  SjTreeEngine sj;
+  IncIsoMatEngine iim;
+  CollectingSink s_tf, s_gf, s_sj, s_iim;
+  ASSERT_TRUE(RunCase(tf, c, s_tf, nullptr));
+  ASSERT_TRUE(RunCase(gf, c, s_gf, nullptr));
+  ASSERT_TRUE(RunCase(sj, c, s_sj, nullptr));
+  ASSERT_TRUE(RunCase(iim, c, s_iim, nullptr));
+  EXPECT_TRUE(SameMatches(s_tf, s_gf)) << "seed=" << GetParam();
+  EXPECT_TRUE(SameMatches(s_tf, s_sj)) << "seed=" << GetParam();
+  EXPECT_TRUE(SameMatches(s_tf, s_iim)) << "seed=" << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AllEnginesAgree,
+                         ::testing::Range<uint64_t>(300, 315));
+
+}  // namespace
+}  // namespace turboflux

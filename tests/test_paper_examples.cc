@@ -1,0 +1,257 @@
+// Tests reconstructing the paper's running examples:
+//
+//  * Figure 1 / Figure 2: the motivating example where an edge insertion
+//    matching (u3, u4) triggers 200 positive matches while the earlier
+//    insertion triggers none, and the DCG stays a few hundred edges while
+//    SJ-Tree materializes tens of thousands of partial-solution slots.
+//  * Figure 4: the step-by-step transition example.
+//
+// The paper roots its query tree at u0; ChooseStartQVertex on our
+// reconstruction picks u1 (it matches fewer data vertices), so the DCG
+// edge counts here are 212/213/214 instead of the paper's 213/214/215 —
+// the single-edge difference is the second artificial start edge.
+
+#include "gtest/gtest.h"
+#include "testutil.h"
+#include "turboflux/baseline/sj_tree.h"
+#include "turboflux/core/turboflux.h"
+
+namespace turboflux {
+namespace {
+
+// Labels.
+constexpr Label kA = 0, kB = 1, kC = 2, kG = 3, kD = 4;
+
+struct Figure1Example {
+  QueryGraph q;
+  Graph g0;
+  UpdateOp delta1;  // (v1, v2): matches (u0, u1), no complete solutions
+  UpdateOp delta2;  // (v104, v414)-analogue: 200 positive matches
+
+  QVertexId u0, u1, u2, u3, u4;
+  VertexId v0, v1, v2, first_c, first_g, v414;
+};
+
+Figure1Example MakeFigure1() {
+  Figure1Example e;
+  // q: u0:A -> u1:B, u1 -> u2:C, u1 -> u3:G, u3 -> u4:D.
+  e.u0 = e.q.AddVertex(LabelSet{kA});
+  e.u1 = e.q.AddVertex(LabelSet{kB});
+  e.u2 = e.q.AddVertex(LabelSet{kC});
+  e.u3 = e.q.AddVertex(LabelSet{kG});
+  e.u4 = e.q.AddVertex(LabelSet{kD});
+  e.q.AddEdge(e.u0, 0, e.u1);
+  e.q.AddEdge(e.u1, 0, e.u2);
+  e.q.AddEdge(e.u1, 0, e.u3);
+  e.q.AddEdge(e.u3, 0, e.u4);
+
+  // g0: v0,v1:A; v2:B; 100 C vertices; 110 G vertices; one D (the future
+  // v414); plus a decoy component of 4 Gs -> 200 Ds so the query edge
+  // (u3, u4) is not the most selective one (as in the paper, where
+  // ChooseStartQVertex picks the (u0, u1) edge).
+  e.v0 = e.g0.AddVertex(LabelSet{kA});
+  e.v1 = e.g0.AddVertex(LabelSet{kA});
+  e.v2 = e.g0.AddVertex(LabelSet{kB});
+  e.first_c = e.g0.AddVertex(LabelSet{kC});
+  for (int i = 1; i < 100; ++i) e.g0.AddVertex(LabelSet{kC});
+  e.first_g = e.g0.AddVertex(LabelSet{kG});
+  for (int i = 1; i < 110; ++i) e.g0.AddVertex(LabelSet{kG});
+  e.v414 = e.g0.AddVertex(LabelSet{kD});
+
+  e.g0.AddEdge(e.v0, 0, e.v2);
+  for (int i = 0; i < 100; ++i) e.g0.AddEdge(e.v2, 0, e.first_c + i);
+  for (int i = 0; i < 110; ++i) e.g0.AddEdge(e.v2, 0, e.first_g + i);
+
+  std::vector<VertexId> decoy_g;
+  for (int i = 0; i < 4; ++i) decoy_g.push_back(e.g0.AddVertex(LabelSet{kG}));
+  for (int i = 0; i < 200; ++i) {
+    VertexId d = e.g0.AddVertex(LabelSet{kD});
+    e.g0.AddEdge(decoy_g[i % 4], 0, d);
+  }
+
+  e.delta1 = UpdateOp::Insert(e.v1, 0, e.v2);
+  e.delta2 = UpdateOp::Insert(e.first_g, 0, e.v414);
+  return e;
+}
+
+TEST(PaperFigure1, StartVertexAndTreeShape) {
+  Figure1Example e = MakeFigure1();
+  TurboFluxEngine engine;
+  CountingSink sink;
+  ASSERT_TRUE(engine.Init(e.q, e.g0, sink, Deadline::Infinite()));
+  // (u0, u1) is the most selective query edge (1 matching data edge); u1
+  // matches 1 data vertex vs 2 for u0 -> root is u1.
+  EXPECT_EQ(engine.start_query_vertex(), e.u1);
+  EXPECT_TRUE(engine.tree().NonTreeEdges().empty());
+  EXPECT_EQ(engine.tree().Parent(e.u0), e.u1);
+  EXPECT_FALSE(engine.tree().parent_edge(e.u0).forward);  // reversed
+  EXPECT_EQ(engine.tree().Parent(e.u4), e.u3);
+}
+
+TEST(PaperFigure1, DcgSizeAndMatches) {
+  Figure1Example e = MakeFigure1();
+  TurboFluxEngine engine;
+  CountingSink init_sink;
+  ASSERT_TRUE(engine.Init(e.q, e.g0, init_sink, Deadline::Infinite()));
+  EXPECT_EQ(init_sink.positive(), 0u);  // no complete solutions in g0
+
+  // Figure 2c analogue: the DCG stores one artificial edge for v2, the
+  // (v2, u0, v0) edge, 100 u2-edges and 110 u3-edges = 212 edges.
+  EXPECT_EQ(engine.dcg().EdgeCount(), 212u);
+
+  // Δo1 matches (u0, u1) but creates no complete solution (nothing
+  // matches (u3, u4) yet) — the paper's "Δo1 reports nothing".
+  CountingSink s1;
+  ASSERT_TRUE(engine.ApplyUpdate(e.delta1, s1, Deadline::Infinite()));
+  EXPECT_EQ(s1.positive(), 0u);
+  EXPECT_EQ(engine.dcg().EdgeCount(), 213u);
+
+  // Δo2 matches (u3, u4) and yields 100 C-choices x 2 A-choices = 200
+  // positive matches, exactly as in the paper.
+  CountingSink s2;
+  ASSERT_TRUE(engine.ApplyUpdate(e.delta2, s2, Deadline::Infinite()));
+  EXPECT_EQ(s2.positive(), 200u);
+  EXPECT_EQ(engine.dcg().EdgeCount(), 214u);
+
+  // The incrementally maintained DCG equals a from-scratch rebuild.
+  EXPECT_EQ(engine.dcg().Snapshot(), engine.RebuildDcgFromScratch().Snapshot());
+}
+
+TEST(PaperFigure1, DeletionReportsNegativeMatches) {
+  Figure1Example e = MakeFigure1();
+  TurboFluxEngine engine;
+  CountingSink init_sink;
+  ASSERT_TRUE(engine.Init(e.q, e.g0, init_sink, Deadline::Infinite()));
+  CountingSink s;
+  ASSERT_TRUE(engine.ApplyUpdate(e.delta1, s, Deadline::Infinite()));
+  ASSERT_TRUE(engine.ApplyUpdate(e.delta2, s, Deadline::Infinite()));
+  ASSERT_EQ(s.positive(), 200u);
+
+  // Deleting the Δo2 edge destroys exactly the 200 matches.
+  CountingSink neg;
+  ASSERT_TRUE(engine.ApplyUpdate(
+      UpdateOp::Delete(e.delta2.from, e.delta2.label, e.delta2.to), neg,
+      Deadline::Infinite()));
+  EXPECT_EQ(neg.negative(), 200u);
+  EXPECT_EQ(neg.positive(), 0u);
+  EXPECT_EQ(engine.dcg().EdgeCount(), 213u);
+  EXPECT_EQ(engine.dcg().Snapshot(), engine.RebuildDcgFromScratch().Snapshot());
+}
+
+TEST(PaperFigure1, SjTreeAgreesButStoresFarMore) {
+  Figure1Example e = MakeFigure1();
+
+  TurboFluxEngine tf;
+  SjTreeEngine sj;
+  CountingSink tf_init, sj_init;
+  ASSERT_TRUE(tf.Init(e.q, e.g0, tf_init, Deadline::Infinite()));
+  ASSERT_TRUE(sj.Init(e.q, e.g0, sj_init, Deadline::Infinite()));
+  EXPECT_EQ(tf_init.positive(), sj_init.positive());
+
+  CountingSink tf_s, sj_s;
+  ASSERT_TRUE(tf.ApplyUpdate(e.delta1, tf_s, Deadline::Infinite()));
+  ASSERT_TRUE(sj.ApplyUpdate(e.delta1, sj_s, Deadline::Infinite()));
+  ASSERT_TRUE(tf.ApplyUpdate(e.delta2, tf_s, Deadline::Infinite()));
+  ASSERT_TRUE(sj.ApplyUpdate(e.delta2, sj_s, Deadline::Infinite()));
+  EXPECT_EQ(tf_s.positive(), 200u);
+  EXPECT_EQ(sj_s.positive(), 200u);
+
+  // Figure 2b vs 2c: SJ-Tree's materialized partial solutions dwarf the
+  // DCG (the paper reports 22,613 partial solutions vs 215 DCG edges).
+  EXPECT_GT(sj.IntermediateSize(), 10 * tf.IntermediateSize());
+}
+
+// --- Figure 4: the step-by-step edge transition example ---
+//
+// q: u0 -> u1, u0 -> u2, u0 -> u3, u1 -> u4, u2 -> u5 (all distinct
+// labels A..F so the example is unambiguous); g0 contains matches of the
+// u2 and u3 subtrees; inserting (v0, v1) completes the u1 subtree and
+// flips the chain of states exactly as Figures 4c-4h show.
+struct Figure4Example {
+  QueryGraph q;
+  Graph g0;
+  QVertexId u[6];
+  VertexId v[6];  // v[5] plays the paper's v6
+};
+
+Figure4Example MakeFigure4() {
+  Figure4Example e;
+  for (int i = 0; i < 6; ++i) e.u[i] = e.q.AddVertex(LabelSet{Label(i)});
+  e.q.AddEdge(e.u[0], 0, e.u[1]);
+  e.q.AddEdge(e.u[0], 0, e.u[2]);
+  e.q.AddEdge(e.u[0], 0, e.u[3]);
+  e.q.AddEdge(e.u[1], 0, e.u[4]);
+  e.q.AddEdge(e.u[2], 0, e.u[5]);
+  for (int i = 0; i < 6; ++i) e.v[i] = e.g0.AddVertex(LabelSet{Label(i)});
+  e.g0.AddEdge(e.v[0], 0, e.v[2]);  // matches (u0, u2)
+  e.g0.AddEdge(e.v[2], 0, e.v[5]);  // matches (u2, u5)
+  e.g0.AddEdge(e.v[0], 0, e.v[3]);  // matches (u0, u3)
+  e.g0.AddEdge(e.v[1], 0, e.v[4]);  // matches (u1, u4)
+  return e;
+}
+
+TEST(PaperFigure4, InitialDcgStates) {
+  Figure4Example e = MakeFigure4();
+  TurboFluxEngine engine;
+  CountingSink sink;
+  ASSERT_TRUE(engine.Init(e.q, e.g0, sink, Deadline::Infinite()));
+  ASSERT_EQ(engine.start_query_vertex(), e.u[0]);
+  const Dcg& dcg = engine.dcg();
+  // Figure 4c: subtree edges explicit, artificial edge implicit (u1
+  // subtree not matched under v0 yet).
+  EXPECT_EQ(dcg.GetState(kArtificialVertex, e.u[0], e.v[0]),
+            DcgState::kImplicit);
+  EXPECT_EQ(dcg.GetState(e.v[0], e.u[2], e.v[2]), DcgState::kExplicit);
+  EXPECT_EQ(dcg.GetState(e.v[2], e.u[5], e.v[5]), DcgState::kExplicit);
+  EXPECT_EQ(dcg.GetState(e.v[0], e.u[3], e.v[3]), DcgState::kExplicit);
+  EXPECT_EQ(dcg.GetState(e.v[0], e.u[1], e.v[1]), DcgState::kNull);
+  EXPECT_EQ(sink.positive(), 0u);
+}
+
+TEST(PaperFigure4, InsertionCascadesToExplicit) {
+  Figure4Example e = MakeFigure4();
+  TurboFluxEngine engine;
+  CountingSink init;
+  ASSERT_TRUE(engine.Init(e.q, e.g0, init, Deadline::Infinite()));
+
+  CollectingSink s;
+  ASSERT_TRUE(engine.ApplyUpdate(UpdateOp::Insert(e.v[0], 0, e.v[1]), s,
+                                 Deadline::Infinite()));
+  const Dcg& dcg = engine.dcg();
+  // Figures 4d-4h: the new edge and its subtree become explicit, then the
+  // artificial start edge flips too.
+  EXPECT_EQ(dcg.GetState(e.v[0], e.u[1], e.v[1]), DcgState::kExplicit);
+  EXPECT_EQ(dcg.GetState(e.v[1], e.u[4], e.v[4]), DcgState::kExplicit);
+  EXPECT_EQ(dcg.GetState(kArtificialVertex, e.u[0], e.v[0]),
+            DcgState::kExplicit);
+  // Exactly the one positive match of the completed pattern.
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_TRUE(s.records()[0].positive);
+  const Mapping& m = s.records()[0].mapping;
+  EXPECT_EQ(m[e.u[0]], e.v[0]);
+  EXPECT_EQ(m[e.u[1]], e.v[1]);
+  EXPECT_EQ(m[e.u[2]], e.v[2]);
+  EXPECT_EQ(m[e.u[3]], e.v[3]);
+  EXPECT_EQ(m[e.u[4]], e.v[4]);
+  EXPECT_EQ(m[e.u[5]], e.v[5]);
+}
+
+TEST(PaperFigure4, DeletionRevertsStates) {
+  Figure4Example e = MakeFigure4();
+  TurboFluxEngine engine;
+  CountingSink init;
+  ASSERT_TRUE(engine.Init(e.q, e.g0, init, Deadline::Infinite()));
+  auto before = engine.dcg().Snapshot();
+
+  CountingSink s;
+  ASSERT_TRUE(engine.ApplyUpdate(UpdateOp::Insert(e.v[0], 0, e.v[1]), s,
+                                 Deadline::Infinite()));
+  ASSERT_TRUE(engine.ApplyUpdate(UpdateOp::Delete(e.v[0], 0, e.v[1]), s,
+                                 Deadline::Infinite()));
+  EXPECT_EQ(s.positive(), 1u);
+  EXPECT_EQ(s.negative(), 1u);
+  EXPECT_EQ(engine.dcg().Snapshot(), before);
+}
+
+}  // namespace
+}  // namespace turboflux

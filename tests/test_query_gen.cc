@@ -1,0 +1,162 @@
+#include "turboflux/workload/query_gen.h"
+
+#include "gtest/gtest.h"
+#include "turboflux/core/turboflux.h"
+#include "turboflux/match/static_matcher.h"
+#include "turboflux/workload/lsbench.h"
+#include "turboflux/workload/netflow.h"
+
+namespace turboflux {
+namespace workload {
+namespace {
+
+Dataset LsDataset() {
+  LsBenchConfig config;
+  config.num_users = 150;
+  StreamConfig sc;
+  return BuildDataset(GenerateLsBench(config), sc);
+}
+
+Dataset NetflowDataset() {
+  NetflowConfig config;
+  config.num_hosts = 120;
+  config.num_flows = 6000;
+  StreamConfig sc;
+  return BuildDataset(GenerateNetflow(config), sc);
+}
+
+size_t CycleRank(const QueryGraph& q) {
+  // #edges - (#vertices - 1) for a connected graph = independent cycles.
+  return q.EdgeCount() - (q.VertexCount() - 1);
+}
+
+TEST(QueryGen, TreeQueriesHaveRequestedShape) {
+  Dataset ds = LsDataset();
+  QueryGenConfig config;
+  config.shape = QueryShape::kTree;
+  config.num_edges = 6;
+  config.count = 10;
+  std::vector<QueryGraph> qs = GenerateQueries(ds, config);
+  ASSERT_GE(qs.size(), 5u);
+  for (const QueryGraph& q : qs) {
+    EXPECT_EQ(q.EdgeCount(), 6u);
+    EXPECT_EQ(q.VertexCount(), 7u);  // tree: edges + 1
+    EXPECT_TRUE(q.IsConnected());
+    EXPECT_EQ(CycleRank(q), 0u);
+  }
+}
+
+TEST(QueryGen, GraphQueriesContainCycle) {
+  Dataset ds = LsDataset();
+  QueryGenConfig config;
+  config.shape = QueryShape::kGraph;
+  config.num_edges = 6;
+  config.count = 6;
+  std::vector<QueryGraph> qs = GenerateQueries(ds, config);
+  ASSERT_GE(qs.size(), 1u);
+  for (const QueryGraph& q : qs) {
+    EXPECT_EQ(q.EdgeCount(), 6u);
+    EXPECT_TRUE(q.IsConnected());
+    EXPECT_GE(CycleRank(q), 1u);
+  }
+}
+
+TEST(QueryGen, PathQueriesAreChains) {
+  Dataset ds = NetflowDataset();
+  QueryGenConfig config;
+  config.shape = QueryShape::kPath;
+  config.num_edges = 4;
+  config.count = 8;
+  std::vector<QueryGraph> qs = GenerateQueries(ds, config);
+  ASSERT_GE(qs.size(), 3u);
+  for (const QueryGraph& q : qs) {
+    EXPECT_EQ(q.EdgeCount(), 4u);
+    EXPECT_EQ(q.VertexCount(), 5u);
+    // A path has exactly two undirected-degree-1 endpoints.
+    size_t endpoints = 0;
+    for (QVertexId u = 0; u < q.VertexCount(); ++u) {
+      size_t deg = q.Degree(u);
+      EXPECT_LE(deg, 2u);
+      endpoints += deg == 1 ? 1 : 0;
+    }
+    EXPECT_EQ(endpoints, 2u);
+  }
+}
+
+TEST(QueryGen, BinaryTreeDegreeBound) {
+  Dataset ds = NetflowDataset();
+  QueryGenConfig config;
+  config.shape = QueryShape::kBinaryTree;
+  config.num_edges = 6;
+  config.count = 6;
+  std::vector<QueryGraph> qs = GenerateQueries(ds, config);
+  ASSERT_GE(qs.size(), 1u);
+  for (const QueryGraph& q : qs) {
+    EXPECT_EQ(CycleRank(q), 0u);
+    for (QVertexId u = 0; u < q.VertexCount(); ++u) {
+      EXPECT_LE(q.Degree(u), 3u);  // <=2 children + 1 parent edge
+    }
+  }
+}
+
+TEST(QueryGen, QueriesMatchInFinalGraph) {
+  Dataset ds = LsDataset();
+  QueryGenConfig config;
+  config.shape = QueryShape::kTree;
+  config.num_edges = 4;
+  config.count = 5;
+  std::vector<QueryGraph> qs = GenerateQueries(ds, config);
+  ASSERT_GE(qs.size(), 3u);
+  for (const QueryGraph& q : qs) {
+    StaticMatchOptions opts;
+    opts.limit = 1;
+    StaticMatcher matcher(ds.final_graph, q, opts);
+    EXPECT_GE(matcher.CountAll(), 1u);
+  }
+}
+
+TEST(QueryGen, QueriesHavePositiveMatchDuringStream) {
+  // The paper excludes queries with no positive matches over the stream;
+  // instance sampling guarantees it by construction. Verify end to end.
+  Dataset ds = LsDataset();
+  QueryGenConfig config;
+  config.shape = QueryShape::kTree;
+  config.num_edges = 3;
+  config.count = 4;
+  std::vector<QueryGraph> qs = GenerateQueries(ds, config);
+  ASSERT_GE(qs.size(), 2u);
+  for (const QueryGraph& q : qs) {
+    TurboFluxEngine engine;
+    CountingSink init;
+    ASSERT_TRUE(engine.Init(q, ds.initial, init, Deadline::Infinite()));
+    CountingSink stream_sink;
+    for (const UpdateOp& op : ds.stream) {
+      ASSERT_TRUE(engine.ApplyUpdate(op, stream_sink, Deadline::Infinite()));
+    }
+    EXPECT_GE(stream_sink.positive(), 1u) << q.ToString();
+  }
+}
+
+TEST(QueryGen, DeterministicForSeed) {
+  Dataset ds = NetflowDataset();
+  QueryGenConfig config;
+  config.shape = QueryShape::kTree;
+  config.num_edges = 5;
+  config.count = 4;
+  std::vector<QueryGraph> a = GenerateQueries(ds, config);
+  std::vector<QueryGraph> b = GenerateQueries(ds, config);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].ToString(), b[i].ToString());
+  }
+}
+
+TEST(QueryGen, EmptyWhenNoStream) {
+  Dataset empty;
+  QueryGenConfig config;
+  EXPECT_TRUE(GenerateQueries(empty, config).empty());
+}
+
+}  // namespace
+}  // namespace workload
+}  // namespace turboflux

@@ -1,0 +1,91 @@
+#include "turboflux/query/query_graph.h"
+
+#include "gtest/gtest.h"
+
+namespace turboflux {
+namespace {
+
+TEST(QueryGraph, AddVerticesAndEdges) {
+  QueryGraph q;
+  QVertexId a = q.AddVertex(LabelSet{0});
+  QVertexId b = q.AddVertex(LabelSet{1});
+  QEdgeId e = q.AddEdge(a, 5, b);
+  EXPECT_EQ(q.VertexCount(), 2u);
+  EXPECT_EQ(q.EdgeCount(), 1u);
+  EXPECT_EQ(q.edge(e).from, a);
+  EXPECT_EQ(q.edge(e).to, b);
+  EXPECT_EQ(q.edge(e).label, 5u);
+  EXPECT_EQ(q.OutEdgeIds(a).size(), 1u);
+  EXPECT_EQ(q.InEdgeIds(b).size(), 1u);
+  EXPECT_EQ(q.Degree(a), 1u);
+}
+
+TEST(QueryGraph, DuplicateEdgeRejected) {
+  QueryGraph q;
+  QVertexId a = q.AddVertex(LabelSet{0});
+  QVertexId b = q.AddVertex(LabelSet{1});
+  EXPECT_NE(q.AddEdge(a, 5, b), kNullQEdge);
+  EXPECT_EQ(q.AddEdge(a, 5, b), kNullQEdge);
+  EXPECT_NE(q.AddEdge(a, 6, b), kNullQEdge);  // other label fine
+  EXPECT_NE(q.AddEdge(b, 5, a), kNullQEdge);  // other direction fine
+}
+
+TEST(QueryGraph, Connectivity) {
+  QueryGraph q;
+  QVertexId a = q.AddVertex(LabelSet{0});
+  QVertexId b = q.AddVertex(LabelSet{1});
+  QVertexId c = q.AddVertex(LabelSet{2});
+  q.AddEdge(a, 0, b);
+  EXPECT_FALSE(q.IsConnected());
+  q.AddEdge(c, 0, b);  // direction must not matter for connectivity
+  EXPECT_TRUE(q.IsConnected());
+}
+
+TEST(QueryGraph, EmptyQueryNotConnected) {
+  QueryGraph q;
+  EXPECT_FALSE(q.IsConnected());
+}
+
+TEST(QueryGraph, DiameterOfPath) {
+  QueryGraph q;
+  QVertexId v0 = q.AddVertex(LabelSet{0});
+  QVertexId v1 = q.AddVertex(LabelSet{0});
+  QVertexId v2 = q.AddVertex(LabelSet{0});
+  QVertexId v3 = q.AddVertex(LabelSet{0});
+  q.AddEdge(v0, 0, v1);
+  q.AddEdge(v2, 0, v1);  // mixed directions: still a path undirected
+  q.AddEdge(v2, 0, v3);
+  EXPECT_EQ(q.UndirectedDiameter(), 3u);
+}
+
+TEST(QueryGraph, DiameterOfTriangle) {
+  QueryGraph q;
+  QVertexId a = q.AddVertex(LabelSet{0});
+  QVertexId b = q.AddVertex(LabelSet{0});
+  QVertexId c = q.AddVertex(LabelSet{0});
+  q.AddEdge(a, 0, b);
+  q.AddEdge(b, 0, c);
+  q.AddEdge(c, 0, a);
+  EXPECT_EQ(q.UndirectedDiameter(), 1u);
+}
+
+TEST(QueryGraph, VertexAndEdgeMatching) {
+  QueryGraph q;
+  QVertexId a = q.AddVertex(LabelSet{0});
+  QVertexId b = q.AddVertex(LabelSet{});  // wildcard
+  QEdgeId e = q.AddEdge(a, 5, b);
+
+  Graph g;
+  g.AddVertex(LabelSet{0, 9});
+  g.AddVertex(LabelSet{7});
+  EXPECT_TRUE(q.VertexMatches(a, g, 0));
+  EXPECT_FALSE(q.VertexMatches(a, g, 1));
+  EXPECT_TRUE(q.VertexMatches(b, g, 0));
+  EXPECT_TRUE(q.VertexMatches(b, g, 1));
+  EXPECT_TRUE(q.EdgeMatches(q.edge(e), g, 0, 5, 1));
+  EXPECT_FALSE(q.EdgeMatches(q.edge(e), g, 0, 4, 1));  // label
+  EXPECT_FALSE(q.EdgeMatches(q.edge(e), g, 1, 5, 0));  // endpoint labels
+}
+
+}  // namespace
+}  // namespace turboflux

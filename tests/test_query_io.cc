@@ -1,0 +1,63 @@
+#include "turboflux/query/query_io.h"
+
+#include <sstream>
+
+#include "gtest/gtest.h"
+
+namespace turboflux {
+namespace {
+
+TEST(QueryIo, RoundTrip) {
+  QueryGraph q;
+  QVertexId a = q.AddVertex(LabelSet{0, 5});
+  QVertexId b = q.AddVertex(LabelSet{});  // wildcard
+  QVertexId c = q.AddVertex(LabelSet{2});
+  q.AddEdge(a, 1, b);
+  q.AddEdge(b, 2, c);
+  q.AddEdge(c, 3, a);
+
+  std::stringstream buf;
+  WriteQuery(q, buf);
+  std::optional<QueryGraph> back = ReadQuery(buf);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->VertexCount(), 3u);
+  EXPECT_EQ(back->EdgeCount(), 3u);
+  EXPECT_EQ(back->labels(0), LabelSet({0, 5}));
+  EXPECT_TRUE(back->labels(1).empty());
+  EXPECT_EQ(back->ToString(), q.ToString());
+}
+
+TEST(QueryIo, CommentsIgnored) {
+  std::stringstream buf("# tree query\nv 0 1\nv 1 2\n\ne 0 7 1\n");
+  std::optional<QueryGraph> q = ReadQuery(buf);
+  ASSERT_TRUE(q.has_value());
+  EXPECT_EQ(q->EdgeCount(), 1u);
+  EXPECT_EQ(q->edge(0).label, 7u);
+}
+
+TEST(QueryIo, MalformedRejected) {
+  std::stringstream bad_kind("q 0\n");
+  EXPECT_FALSE(ReadQuery(bad_kind).has_value());
+  std::stringstream sparse("v 3\n");
+  EXPECT_FALSE(ReadQuery(sparse).has_value());
+  std::stringstream dangling("v 0\ne 0 1 9\n");
+  EXPECT_FALSE(ReadQuery(dangling).has_value());
+  std::stringstream truncated("v 0\nv 1\ne 0 1\n");
+  EXPECT_FALSE(ReadQuery(truncated).has_value());
+}
+
+TEST(QueryIo, FileRoundTrip) {
+  QueryGraph q;
+  QVertexId a = q.AddVertex(LabelSet{4});
+  QVertexId b = q.AddVertex(LabelSet{5});
+  q.AddEdge(a, 0, b);
+  std::string path = ::testing::TempDir() + "/query_io_test.txt";
+  ASSERT_TRUE(WriteQueryToFile(q, path));
+  std::optional<QueryGraph> back = ReadQueryFromFile(path);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->ToString(), q.ToString());
+  EXPECT_FALSE(ReadQueryFromFile("/nonexistent/q.txt").has_value());
+}
+
+}  // namespace
+}  // namespace turboflux

@@ -1,0 +1,94 @@
+#include "turboflux/query/query_stats.h"
+
+#include "gtest/gtest.h"
+
+namespace turboflux {
+namespace {
+
+// Data graph: one A vertex, three B vertices, one C vertex.
+// A -1-> B (x3), B -2-> C (x1).
+Graph MakeData() {
+  Graph g;
+  VertexId a = g.AddVertex(LabelSet{0});
+  VertexId b1 = g.AddVertex(LabelSet{1});
+  VertexId b2 = g.AddVertex(LabelSet{1});
+  VertexId b3 = g.AddVertex(LabelSet{1});
+  VertexId c = g.AddVertex(LabelSet{2});
+  g.AddEdge(a, 1, b1);
+  g.AddEdge(a, 1, b2);
+  g.AddEdge(a, 1, b3);
+  g.AddEdge(b1, 2, c);
+  return g;
+}
+
+TEST(QueryStats, CountsEdgeAndVertexMatches) {
+  QueryGraph q;
+  QVertexId ua = q.AddVertex(LabelSet{0});
+  QVertexId ub = q.AddVertex(LabelSet{1});
+  QVertexId uc = q.AddVertex(LabelSet{2});
+  QEdgeId e_ab = q.AddEdge(ua, 1, ub);
+  QEdgeId e_bc = q.AddEdge(ub, 2, uc);
+
+  Graph g = MakeData();
+  QueryStats stats = ComputeQueryStats(q, g);
+  EXPECT_EQ(stats.edge_matches[e_ab], 3u);
+  EXPECT_EQ(stats.edge_matches[e_bc], 1u);
+  EXPECT_EQ(stats.vertex_matches[ua], 1u);
+  EXPECT_EQ(stats.vertex_matches[ub], 3u);
+  EXPECT_EQ(stats.vertex_matches[uc], 1u);
+}
+
+TEST(QueryStats, WildcardVertexMatchesEverything) {
+  QueryGraph q;
+  QVertexId ua = q.AddVertex(LabelSet{});
+  QVertexId ub = q.AddVertex(LabelSet{});
+  q.AddEdge(ua, 1, ub);
+  Graph g = MakeData();
+  QueryStats stats = ComputeQueryStats(q, g);
+  EXPECT_EQ(stats.vertex_matches[ua], g.VertexCount());
+  EXPECT_EQ(stats.edge_matches[0], 3u);  // the three label-1 edges
+}
+
+TEST(ChooseStartQVertex, PicksEndpointOfMostSelectiveEdge) {
+  QueryGraph q;
+  QVertexId ua = q.AddVertex(LabelSet{0});
+  QVertexId ub = q.AddVertex(LabelSet{1});
+  QVertexId uc = q.AddVertex(LabelSet{2});
+  q.AddEdge(ua, 1, ub);  // 3 matching data edges
+  q.AddEdge(ub, 2, uc);  // 1 matching data edge  <- most selective
+  Graph g = MakeData();
+  QueryStats stats = ComputeQueryStats(q, g);
+  // Most selective edge is (ub, uc); uc matches 1 data vertex and ub 3.
+  EXPECT_EQ(ChooseStartQVertex(q, stats), uc);
+}
+
+TEST(ChooseStartQVertex, TieBrokenByFewerVertexMatchesThenDegree) {
+  QueryGraph q;
+  QVertexId ua = q.AddVertex(LabelSet{0});
+  QVertexId ub = q.AddVertex(LabelSet{1});
+  QVertexId uc = q.AddVertex(LabelSet{1});
+  q.AddEdge(ua, 1, ub);
+  q.AddEdge(ua, 1, uc);
+  Graph g = MakeData();
+  QueryStats stats = ComputeQueryStats(q, g);
+  // Both query edges match 3 data edges; ua matches 1 data vertex vs 3
+  // for ub — pick ua.
+  EXPECT_EQ(ChooseStartQVertex(q, stats), ua);
+}
+
+TEST(ChooseStartQVertex, DegreeBreaksVertexTie) {
+  // Both endpoints of the most selective edge have the same label (same
+  // vertex-match count); the one with larger query degree wins.
+  QueryGraph q;
+  QVertexId u0 = q.AddVertex(LabelSet{1});
+  QVertexId u1 = q.AddVertex(LabelSet{1});
+  QVertexId u2 = q.AddVertex(LabelSet{2});
+  q.AddEdge(u0, 9, u1);  // 0 matching data edges: most selective
+  q.AddEdge(u1, 2, u2);  // bumps u1's degree to 2
+  Graph g = MakeData();
+  QueryStats stats = ComputeQueryStats(q, g);
+  EXPECT_EQ(ChooseStartQVertex(q, stats), u1);
+}
+
+}  // namespace
+}  // namespace turboflux

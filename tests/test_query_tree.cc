@@ -1,0 +1,141 @@
+#include "turboflux/query/query_tree.h"
+
+#include "gtest/gtest.h"
+
+namespace turboflux {
+namespace {
+
+// q: u0 -a-> u1, u1 -b-> u2, u2 -c-> u0 (triangle), u1 -d-> u3.
+struct TriangleWithTail {
+  QueryGraph q;
+  QVertexId u0, u1, u2, u3;
+  QEdgeId ab, bc, ca, tail;
+};
+
+TriangleWithTail MakeTriangleWithTail() {
+  TriangleWithTail t;
+  t.u0 = t.q.AddVertex(LabelSet{0});
+  t.u1 = t.q.AddVertex(LabelSet{1});
+  t.u2 = t.q.AddVertex(LabelSet{2});
+  t.u3 = t.q.AddVertex(LabelSet{3});
+  t.ab = t.q.AddEdge(t.u0, 0, t.u1);
+  t.bc = t.q.AddEdge(t.u1, 1, t.u2);
+  t.ca = t.q.AddEdge(t.u2, 2, t.u0);
+  t.tail = t.q.AddEdge(t.u1, 3, t.u3);
+  return t;
+}
+
+QueryStats UniformStats(const QueryGraph& q) {
+  QueryStats stats;
+  stats.edge_matches.assign(q.EdgeCount(), 10);
+  stats.vertex_matches.assign(q.VertexCount(), 10);
+  return stats;
+}
+
+TEST(QueryTree, SpanningTreePlusNonTreeEdge) {
+  TriangleWithTail t = MakeTriangleWithTail();
+  QueryTree tree = QueryTree::Build(t.q, t.u0, UniformStats(t.q));
+  EXPECT_EQ(tree.root(), t.u0);
+  EXPECT_TRUE(tree.IsRoot(t.u0));
+  EXPECT_EQ(tree.NonTreeEdges().size(), 1u);
+  // Tree has exactly |V|-1 edges; every vertex except the root has a
+  // parent.
+  size_t with_parent = 0;
+  for (QVertexId u = 0; u < t.q.VertexCount(); ++u) {
+    if (!tree.IsRoot(u)) {
+      EXPECT_NE(tree.Parent(u), kNullQVertex);
+      ++with_parent;
+    }
+  }
+  EXPECT_EQ(with_parent, 3u);
+}
+
+TEST(QueryTree, GreedyPrefersSelectiveEdges) {
+  TriangleWithTail t = MakeTriangleWithTail();
+  QueryStats stats = UniformStats(t.q);
+  stats.edge_matches[t.ca] = 1;  // (u2 -c-> u0) is the most selective
+  stats.edge_matches[t.ab] = 100;
+  QueryTree tree = QueryTree::Build(t.q, t.u0, stats);
+  // From root u0 the selective edge ca is chosen first, making u2 a child
+  // of u0 via a *reversed* tree edge.
+  EXPECT_EQ(tree.Parent(t.u2), t.u0);
+  EXPECT_FALSE(tree.parent_edge(t.u2).forward);
+  // ab should be the non-tree edge (bc then connects u1 via u2).
+  ASSERT_EQ(tree.NonTreeEdges().size(), 1u);
+  EXPECT_EQ(tree.NonTreeEdges()[0], t.ab);
+  EXPECT_FALSE(tree.IsTreeEdge(t.ab));
+  EXPECT_TRUE(tree.IsTreeEdge(t.ca));
+}
+
+TEST(QueryTree, OrientationRecorded) {
+  QueryGraph q;
+  QVertexId a = q.AddVertex(LabelSet{0});
+  QVertexId b = q.AddVertex(LabelSet{1});
+  QVertexId c = q.AddVertex(LabelSet{2});
+  q.AddEdge(a, 5, b);  // forward from a
+  q.AddEdge(c, 6, a);  // reversed when a is the root
+  QueryTree tree = QueryTree::Build(q, a, UniformStats(q));
+  EXPECT_TRUE(tree.parent_edge(b).forward);
+  EXPECT_EQ(tree.parent_edge(b).label, 5u);
+  EXPECT_FALSE(tree.parent_edge(c).forward);
+  EXPECT_EQ(tree.parent_edge(c).label, 6u);
+}
+
+TEST(QueryTree, ChildrenMask) {
+  TriangleWithTail t = MakeTriangleWithTail();
+  QueryStats stats = UniformStats(t.q);
+  stats.edge_matches[t.ab] = 1;
+  stats.edge_matches[t.bc] = 2;
+  stats.edge_matches[t.tail] = 3;
+  QueryTree tree = QueryTree::Build(t.q, t.u0, stats);
+  // Tree: u0 -> u1 -> {u2, u3}.
+  EXPECT_EQ(tree.ChildrenMask(t.u0), uint64_t{1} << t.u1);
+  EXPECT_EQ(tree.ChildrenMask(t.u1),
+            (uint64_t{1} << t.u2) | (uint64_t{1} << t.u3));
+  EXPECT_EQ(tree.ChildrenMask(t.u2), 0u);
+  EXPECT_TRUE(tree.IsLeaf(t.u3));
+  EXPECT_EQ(tree.Depth(t.u2), 2u);
+}
+
+TEST(QueryTree, BfsOrderParentsFirst) {
+  TriangleWithTail t = MakeTriangleWithTail();
+  QueryTree tree = QueryTree::Build(t.q, t.u1, UniformStats(t.q));
+  const std::vector<QVertexId>& order = tree.BfsOrder();
+  ASSERT_EQ(order.size(), t.q.VertexCount());
+  EXPECT_EQ(order[0], t.u1);
+  std::vector<size_t> pos(t.q.VertexCount());
+  for (size_t i = 0; i < order.size(); ++i) pos[order[i]] = i;
+  for (QVertexId u = 0; u < t.q.VertexCount(); ++u) {
+    if (!tree.IsRoot(u)) {
+      EXPECT_LT(pos[tree.Parent(u)], pos[u]);
+    }
+  }
+}
+
+TEST(QueryTree, IncidentNonTreeEdges) {
+  TriangleWithTail t = MakeTriangleWithTail();
+  QueryStats stats = UniformStats(t.q);
+  stats.edge_matches[t.ca] = 1000;  // force ca to be the non-tree edge
+  QueryTree tree = QueryTree::Build(t.q, t.u0, stats);
+  ASSERT_EQ(tree.NonTreeEdges().size(), 1u);
+  EXPECT_EQ(tree.NonTreeEdges()[0], t.ca);
+  EXPECT_EQ(tree.IncidentNonTreeEdges(t.u0).size(), 1u);
+  EXPECT_EQ(tree.IncidentNonTreeEdges(t.u2).size(), 1u);
+  EXPECT_TRUE(tree.IncidentNonTreeEdges(t.u3).empty());
+}
+
+TEST(QueryTree, SelfLoopIsAlwaysNonTree) {
+  QueryGraph q;
+  QVertexId a = q.AddVertex(LabelSet{0});
+  QVertexId b = q.AddVertex(LabelSet{1});
+  q.AddEdge(a, 0, b);
+  QEdgeId loop = q.AddEdge(a, 1, a);
+  QueryTree tree = QueryTree::Build(q, a, UniformStats(q));
+  ASSERT_EQ(tree.NonTreeEdges().size(), 1u);
+  EXPECT_EQ(tree.NonTreeEdges()[0], loop);
+  // The self-loop appears once in a's incident list.
+  EXPECT_EQ(tree.IncidentNonTreeEdges(a).size(), 1u);
+}
+
+}  // namespace
+}  // namespace turboflux

@@ -1,0 +1,90 @@
+#include "turboflux/common/rng.h"
+
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace turboflux {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.Next() == b.Next() ? 1 : 0;
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, BoundedStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+  }
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.NextBounded(1), 0u);
+  }
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = rng.NextInRange(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo |= v == -2;
+    saw_hi |= v == 2;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, BoolProbabilityRoughlyHolds) {
+  Rng rng(13);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.NextBool(0.25) ? 1 : 0;
+  EXPECT_NEAR(hits / 10000.0, 0.25, 0.03);
+}
+
+TEST(ZipfSampler, RanksAreHeavyTailed) {
+  Rng rng(17);
+  ZipfSampler zipf(100, 1.0);
+  std::vector<int> hits(100, 0);
+  for (int i = 0; i < 20000; ++i) ++hits[zipf.Sample(rng)];
+  // Rank 0 must be sampled far more often than rank 50.
+  EXPECT_GT(hits[0], hits[50] * 5);
+  // Every sample is in range (vector indexing would have crashed anyway).
+  int total = 0;
+  for (int h : hits) total += h;
+  EXPECT_EQ(total, 20000);
+}
+
+TEST(ZipfSampler, SingleElement) {
+  Rng rng(19);
+  ZipfSampler zipf(1, 1.0);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(zipf.Sample(rng), 0u);
+}
+
+TEST(ZipfSampler, ZeroExponentIsUniformish) {
+  Rng rng(23);
+  ZipfSampler zipf(10, 0.0);
+  std::vector<int> hits(10, 0);
+  for (int i = 0; i < 20000; ++i) ++hits[zipf.Sample(rng)];
+  for (int h : hits) EXPECT_NEAR(h, 2000, 400);
+}
+
+}  // namespace
+}  // namespace turboflux

@@ -1,0 +1,138 @@
+#include "turboflux/baseline/sj_tree.h"
+
+#include "gtest/gtest.h"
+#include "testutil.h"
+
+namespace turboflux {
+namespace {
+
+QueryGraph PathQuery() {
+  QueryGraph q;
+  QVertexId u0 = q.AddVertex(LabelSet{0});
+  QVertexId u1 = q.AddVertex(LabelSet{1});
+  QVertexId u2 = q.AddVertex(LabelSet{2});
+  q.AddEdge(u0, 0, u1);
+  q.AddEdge(u1, 1, u2);
+  return q;
+}
+
+TEST(SjTree, EdgeOrderIsConnectedAndSelective) {
+  QueryGraph q = PathQuery();
+  Graph g0;
+  g0.AddVertex(LabelSet{0});
+  g0.AddVertex(LabelSet{1});
+  g0.AddVertex(LabelSet{2});
+  g0.AddEdge(1, 1, 2);  // one B->C edge; zero A->B edges
+  SjTreeEngine engine;
+  CountingSink sink;
+  ASSERT_TRUE(engine.Init(q, g0, sink, Deadline::Infinite()));
+  // The A->B edge (0 matches) is most selective and must come first.
+  ASSERT_EQ(engine.edge_order().size(), 2u);
+  EXPECT_EQ(engine.edge_order()[0], 0u);
+  EXPECT_EQ(engine.edge_order()[1], 1u);
+}
+
+TEST(SjTree, InsertionCascadesToMatch) {
+  QueryGraph q = PathQuery();
+  Graph g0;
+  g0.AddVertex(LabelSet{0});
+  g0.AddVertex(LabelSet{1});
+  g0.AddVertex(LabelSet{2});
+  g0.AddEdge(0, 0, 1);
+  SjTreeEngine engine;
+  CountingSink init;
+  ASSERT_TRUE(engine.Init(q, g0, init, Deadline::Infinite()));
+  EXPECT_EQ(init.positive(), 0u);
+  CollectingSink s;
+  ASSERT_TRUE(engine.ApplyUpdate(UpdateOp::Insert(1, 1, 2), s,
+                                 Deadline::Infinite()));
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_EQ(s.records()[0].mapping, (Mapping{0, 1, 2}));
+}
+
+TEST(SjTree, MaterializesPartialSolutionsEvenWithoutMatches) {
+  // The paper's core criticism: SJ-Tree stores partial solutions that
+  // never contribute to complete solutions.
+  QueryGraph q = PathQuery();
+  Graph g0;
+  g0.AddVertex(LabelSet{0});
+  g0.AddVertex(LabelSet{1});
+  for (int i = 0; i < 50; ++i) {
+    g0.AddVertex(LabelSet{2});
+    g0.AddEdge(1, 1, 2 + i);
+  }
+  SjTreeEngine engine;
+  CountingSink sink;
+  ASSERT_TRUE(engine.Init(q, g0, sink, Deadline::Infinite()));
+  EXPECT_EQ(sink.positive(), 0u);
+  EXPECT_GE(engine.StoredTuples(), 50u);  // all the B->C leaf tuples
+  EXPECT_GT(engine.IntermediateSize(), 0u);
+}
+
+TEST(SjTree, DuplicateInsertDiscarded) {
+  QueryGraph q = PathQuery();
+  Graph g0;
+  g0.AddVertex(LabelSet{0});
+  g0.AddVertex(LabelSet{1});
+  g0.AddVertex(LabelSet{2});
+  g0.AddEdge(0, 0, 1);
+  g0.AddEdge(1, 1, 2);
+  SjTreeEngine engine;
+  CountingSink init;
+  ASSERT_TRUE(engine.Init(q, g0, init, Deadline::Infinite()));
+  size_t tuples = engine.StoredTuples();
+  CountingSink s;
+  ASSERT_TRUE(engine.ApplyUpdate(UpdateOp::Insert(0, 0, 1), s,
+                                 Deadline::Infinite()));
+  EXPECT_EQ(s.total(), 0u);
+  EXPECT_EQ(engine.StoredTuples(), tuples);
+}
+
+TEST(SjTree, DeletionUnsupported) {
+  QueryGraph q = PathQuery();
+  Graph g0;
+  g0.AddVertex(LabelSet{0});
+  g0.AddVertex(LabelSet{1});
+  SjTreeEngine engine;
+  EXPECT_FALSE(engine.SupportsDeletion());
+}
+
+TEST(SjTree, TupleBudgetReportsFailure) {
+  QueryGraph q = PathQuery();
+  Graph g0;
+  g0.AddVertex(LabelSet{0});
+  g0.AddVertex(LabelSet{1});
+  for (int i = 0; i < 32; ++i) g0.AddVertex(LabelSet{2});
+  SjTreeOptions opts;
+  opts.max_tuples = 8;
+  SjTreeEngine engine(opts);
+  CountingSink init;
+  ASSERT_TRUE(engine.Init(q, g0, init, Deadline::Infinite()));
+  CountingSink s;
+  bool alive = true;
+  for (int i = 0; i < 32 && alive; ++i) {
+    alive = engine.ApplyUpdate(UpdateOp::Insert(1, 1, 2 + i), s,
+                               Deadline::Infinite());
+  }
+  EXPECT_FALSE(alive);  // the cap must eventually fire
+}
+
+TEST(SjTree, SingleEdgeQuery) {
+  QueryGraph q;
+  QVertexId u0 = q.AddVertex(LabelSet{0});
+  QVertexId u1 = q.AddVertex(LabelSet{1});
+  q.AddEdge(u0, 4, u1);
+  Graph g0;
+  g0.AddVertex(LabelSet{0});
+  g0.AddVertex(LabelSet{1});
+  SjTreeEngine engine;
+  CountingSink init;
+  ASSERT_TRUE(engine.Init(q, g0, init, Deadline::Infinite()));
+  CountingSink s;
+  ASSERT_TRUE(engine.ApplyUpdate(UpdateOp::Insert(0, 4, 1), s,
+                                 Deadline::Infinite()));
+  EXPECT_EQ(s.positive(), 1u);
+}
+
+}  // namespace
+}  // namespace turboflux

@@ -1,0 +1,163 @@
+#include "turboflux/match/static_matcher.h"
+
+#include "gtest/gtest.h"
+#include "turboflux/common/rng.h"
+#include "testutil.h"
+
+namespace turboflux {
+namespace {
+
+// g: v0(A) -> v1(B), v0 -> v2(B), v1 -> v3(C), v2 -> v3, plus v3 -> v0.
+Graph Diamond() {
+  Graph g;
+  VertexId a = g.AddVertex(LabelSet{0});
+  VertexId b1 = g.AddVertex(LabelSet{1});
+  VertexId b2 = g.AddVertex(LabelSet{1});
+  VertexId c = g.AddVertex(LabelSet{2});
+  g.AddEdge(a, 0, b1);
+  g.AddEdge(a, 0, b2);
+  g.AddEdge(b1, 1, c);
+  g.AddEdge(b2, 1, c);
+  g.AddEdge(c, 2, a);
+  return g;
+}
+
+TEST(StaticMatcher, PathQueryCounts) {
+  Graph g = Diamond();
+  QueryGraph q;
+  QVertexId ua = q.AddVertex(LabelSet{0});
+  QVertexId ub = q.AddVertex(LabelSet{1});
+  QVertexId uc = q.AddVertex(LabelSet{2});
+  q.AddEdge(ua, 0, ub);
+  q.AddEdge(ub, 1, uc);
+  StaticMatcher matcher(g, q, {});
+  EXPECT_EQ(matcher.CountAll(), 2u);  // via b1 and via b2
+}
+
+TEST(StaticMatcher, CycleQuery) {
+  Graph g = Diamond();
+  QueryGraph q;
+  QVertexId ua = q.AddVertex(LabelSet{0});
+  QVertexId ub = q.AddVertex(LabelSet{1});
+  QVertexId uc = q.AddVertex(LabelSet{2});
+  q.AddEdge(ua, 0, ub);
+  q.AddEdge(ub, 1, uc);
+  q.AddEdge(uc, 2, ua);  // closes the cycle
+  StaticMatcher matcher(g, q, {});
+  EXPECT_EQ(matcher.CountAll(), 2u);
+}
+
+TEST(StaticMatcher, HomomorphismAllowsRepeats) {
+  // Query u0 -> u1, u0 -> u2 with identical B labels: homomorphism can map
+  // u1 and u2 to the same data vertex.
+  Graph g = Diamond();
+  QueryGraph q;
+  QVertexId u0 = q.AddVertex(LabelSet{0});
+  QVertexId u1 = q.AddVertex(LabelSet{1});
+  QVertexId u2 = q.AddVertex(LabelSet{1});
+  q.AddEdge(u0, 0, u1);
+  q.AddEdge(u0, 0, u2);
+  StaticMatchOptions hom;
+  EXPECT_EQ(StaticMatcher(g, q, hom).CountAll(), 4u);  // 2 x 2
+  StaticMatchOptions iso;
+  iso.semantics = MatchSemantics::kIsomorphism;
+  EXPECT_EQ(StaticMatcher(g, q, iso).CountAll(), 2u);  // ordered pairs
+}
+
+TEST(StaticMatcher, WildcardQueryVertices) {
+  Graph g = Diamond();
+  QueryGraph q;
+  QVertexId u0 = q.AddVertex(LabelSet{});
+  QVertexId u1 = q.AddVertex(LabelSet{});
+  q.AddEdge(u0, 1, u1);  // label-1 edges only
+  StaticMatcher matcher(g, q, {});
+  EXPECT_EQ(matcher.CountAll(), 2u);
+}
+
+TEST(StaticMatcher, SelfLoopQuery) {
+  Graph g;
+  g.AddVertex(LabelSet{0});
+  g.AddVertex(LabelSet{0});
+  g.AddEdge(0, 0, 0);  // self-loop on v0
+  g.AddEdge(0, 0, 1);
+  QueryGraph q;
+  QVertexId u = q.AddVertex(LabelSet{0});
+  QVertexId w = q.AddVertex(LabelSet{0});
+  q.AddEdge(u, 0, u);  // query self-loop
+  q.AddEdge(u, 0, w);
+  StaticMatcher matcher(g, q, {});
+  // u must map to v0 (the only self-loop); w can be v0 or v1.
+  EXPECT_EQ(matcher.CountAll(), 2u);
+}
+
+TEST(StaticMatcher, LimitStopsEarly) {
+  Graph g = Diamond();
+  QueryGraph q;
+  QVertexId u0 = q.AddVertex(LabelSet{});
+  QVertexId u1 = q.AddVertex(LabelSet{});
+  q.AddEdge(u0, 0, u1);
+  StaticMatchOptions opts;
+  opts.limit = 1;
+  CountingSink sink;
+  StaticMatcher matcher(g, q, opts);
+  matcher.FindAll(sink, Deadline::Infinite());
+  EXPECT_EQ(sink.positive(), 1u);
+}
+
+TEST(StaticMatcher, NoMatchesOnLabelMismatch) {
+  Graph g = Diamond();
+  QueryGraph q;
+  QVertexId u0 = q.AddVertex(LabelSet{7});  // no such label
+  QVertexId u1 = q.AddVertex(LabelSet{1});
+  q.AddEdge(u0, 0, u1);
+  StaticMatcher matcher(g, q, {});
+  EXPECT_EQ(matcher.CountAll(), 0u);
+}
+
+TEST(StaticMatcher, ExpiredDeadlineReportsFailure) {
+  Graph g = Diamond();
+  QueryGraph q;
+  QVertexId u0 = q.AddVertex(LabelSet{});
+  QVertexId u1 = q.AddVertex(LabelSet{});
+  q.AddEdge(u0, 0, u1);
+  CountingSink sink;
+  StaticMatcher matcher(g, q, {});
+  Deadline expired = Deadline::AfterMillis(0);
+  EXPECT_FALSE(matcher.FindAll(sink, expired));
+}
+
+TEST(BruteForce, MatchesDiamondPath) {
+  Graph g = Diamond();
+  QueryGraph q;
+  QVertexId ua = q.AddVertex(LabelSet{0});
+  QVertexId ub = q.AddVertex(LabelSet{1});
+  q.AddEdge(ua, 0, ub);
+  EXPECT_EQ(BruteForceCount(g, q, MatchSemantics::kHomomorphism), 2u);
+}
+
+// Property: StaticMatcher agrees with brute force on random tiny cases,
+// under both semantics.
+class StaticMatcherPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(StaticMatcherPropertyTest, AgreesWithBruteForce) {
+  testutil::RandomCaseConfig config;
+  config.num_vertices = 6;
+  config.initial_edges = 10;
+  config.query_vertices = 3;
+  config.query_edges = 3;
+  testutil::RandomCase c = testutil::MakeRandomCase(GetParam(), config);
+  for (MatchSemantics sem :
+       {MatchSemantics::kHomomorphism, MatchSemantics::kIsomorphism}) {
+    StaticMatchOptions opts;
+    opts.semantics = sem;
+    StaticMatcher matcher(c.g0, c.query, opts);
+    EXPECT_EQ(matcher.CountAll(), BruteForceCount(c.g0, c.query, sem))
+        << "seed=" << GetParam() << " query=" << c.query.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StaticMatcherPropertyTest,
+                         ::testing::Range<uint64_t>(0, 40));
+
+}  // namespace
+}  // namespace turboflux

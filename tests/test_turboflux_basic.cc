@@ -1,0 +1,245 @@
+#include "turboflux/core/turboflux.h"
+
+#include "gtest/gtest.h"
+#include "testutil.h"
+
+namespace turboflux {
+namespace {
+
+// q: u0:A -0-> u1:B -1-> u2:C.
+QueryGraph PathQuery() {
+  QueryGraph q;
+  QVertexId u0 = q.AddVertex(LabelSet{0});
+  QVertexId u1 = q.AddVertex(LabelSet{1});
+  QVertexId u2 = q.AddVertex(LabelSet{2});
+  q.AddEdge(u0, 0, u1);
+  q.AddEdge(u1, 1, u2);
+  return q;
+}
+
+Graph AbcVertices() {
+  Graph g;
+  g.AddVertex(LabelSet{0});  // v0: A
+  g.AddVertex(LabelSet{1});  // v1: B
+  g.AddVertex(LabelSet{2});  // v2: C
+  g.AddVertex(LabelSet{1});  // v3: B
+  g.AddVertex(LabelSet{2});  // v4: C
+  return g;
+}
+
+TEST(TurboFlux, ReportsInitialMatches) {
+  QueryGraph q = PathQuery();
+  Graph g0 = AbcVertices();
+  g0.AddEdge(0, 0, 1);
+  g0.AddEdge(1, 1, 2);
+  TurboFluxEngine engine;
+  CountingSink sink;
+  ASSERT_TRUE(engine.Init(q, g0, sink, Deadline::Infinite()));
+  EXPECT_EQ(sink.positive(), 1u);
+}
+
+TEST(TurboFlux, InsertionCompletesMatch) {
+  QueryGraph q = PathQuery();
+  Graph g0 = AbcVertices();
+  g0.AddEdge(0, 0, 1);
+  TurboFluxEngine engine;
+  CountingSink init;
+  ASSERT_TRUE(engine.Init(q, g0, init, Deadline::Infinite()));
+  EXPECT_EQ(init.positive(), 0u);
+
+  CollectingSink s;
+  ASSERT_TRUE(engine.ApplyUpdate(UpdateOp::Insert(1, 1, 2), s,
+                                 Deadline::Infinite()));
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_TRUE(s.records()[0].positive);
+  EXPECT_EQ(s.records()[0].mapping, (Mapping{0, 1, 2}));
+}
+
+TEST(TurboFlux, InsertionWithFanout) {
+  QueryGraph q = PathQuery();
+  Graph g0 = AbcVertices();
+  g0.AddEdge(0, 0, 1);
+  g0.AddEdge(1, 1, 2);
+  g0.AddEdge(1, 1, 4);  // two Cs below v1
+  TurboFluxEngine engine;
+  CountingSink init;
+  ASSERT_TRUE(engine.Init(q, g0, init, Deadline::Infinite()));
+  EXPECT_EQ(init.positive(), 2u);
+
+  // Inserting another A->B edge yields two more matches through v3? No:
+  // v3 has no C below it, so nothing. Then adding v3 -> C completes one.
+  CountingSink s1;
+  ASSERT_TRUE(engine.ApplyUpdate(UpdateOp::Insert(0, 0, 3), s1,
+                                 Deadline::Infinite()));
+  EXPECT_EQ(s1.positive(), 0u);
+  CountingSink s2;
+  ASSERT_TRUE(engine.ApplyUpdate(UpdateOp::Insert(3, 1, 4), s2,
+                                 Deadline::Infinite()));
+  EXPECT_EQ(s2.positive(), 1u);
+}
+
+TEST(TurboFlux, DuplicateInsertIsNoop) {
+  QueryGraph q = PathQuery();
+  Graph g0 = AbcVertices();
+  g0.AddEdge(0, 0, 1);
+  g0.AddEdge(1, 1, 2);
+  TurboFluxEngine engine;
+  CountingSink init;
+  ASSERT_TRUE(engine.Init(q, g0, init, Deadline::Infinite()));
+  CountingSink s;
+  ASSERT_TRUE(engine.ApplyUpdate(UpdateOp::Insert(0, 0, 1), s,
+                                 Deadline::Infinite()));
+  EXPECT_EQ(s.total(), 0u);
+  EXPECT_EQ(engine.dcg().Snapshot(), engine.RebuildDcgFromScratch().Snapshot());
+}
+
+TEST(TurboFlux, IrrelevantEdgeDoesNotTouchDcg) {
+  QueryGraph q = PathQuery();
+  Graph g0 = AbcVertices();
+  g0.AddEdge(0, 0, 1);
+  TurboFluxEngine engine;
+  CountingSink init;
+  ASSERT_TRUE(engine.Init(q, g0, init, Deadline::Infinite()));
+  auto before = engine.dcg().Snapshot();
+  CountingSink s;
+  // Label 9 matches no query edge (Transition 0 Case 1).
+  ASSERT_TRUE(engine.ApplyUpdate(UpdateOp::Insert(1, 9, 2), s,
+                                 Deadline::Infinite()));
+  EXPECT_EQ(s.total(), 0u);
+  EXPECT_EQ(engine.dcg().Snapshot(), before);
+}
+
+TEST(TurboFlux, DisconnectedCandidateStaysOutOfDcg) {
+  // Inserting B->C where the B has no incoming A edge must not create DCG
+  // edges (Transition 0 Case 2: no incoming edge labeled u at v).
+  QueryGraph q = PathQuery();
+  Graph g0 = AbcVertices();
+  TurboFluxEngine engine;
+  CountingSink init;
+  ASSERT_TRUE(engine.Init(q, g0, init, Deadline::Infinite()));
+  CountingSink s;
+  ASSERT_TRUE(engine.ApplyUpdate(UpdateOp::Insert(3, 1, 4), s,
+                                 Deadline::Infinite()));
+  EXPECT_EQ(engine.dcg().GetState(3, 2, 4), DcgState::kNull);
+  EXPECT_EQ(s.total(), 0u);
+  EXPECT_EQ(engine.dcg().Snapshot(), engine.RebuildDcgFromScratch().Snapshot());
+}
+
+TEST(TurboFlux, OutOfRangeVerticesIgnored) {
+  QueryGraph q = PathQuery();
+  Graph g0 = AbcVertices();
+  TurboFluxEngine engine;
+  CountingSink init;
+  ASSERT_TRUE(engine.Init(q, g0, init, Deadline::Infinite()));
+  CountingSink s;
+  ASSERT_TRUE(engine.ApplyUpdate(UpdateOp::Insert(0, 0, 999), s,
+                                 Deadline::Infinite()));
+  ASSERT_TRUE(engine.ApplyUpdate(UpdateOp::Delete(999, 0, 0), s,
+                                 Deadline::Infinite()));
+  EXPECT_EQ(s.total(), 0u);
+}
+
+TEST(TurboFlux, HomomorphismMapsTwoQueryVerticesToOneDataVertex) {
+  // q: u0:A -> u1:B, u0 -> u2:B. One B in the data: homomorphism maps u1
+  // and u2 both to it; isomorphism rejects.
+  QueryGraph q;
+  QVertexId u0 = q.AddVertex(LabelSet{0});
+  QVertexId u1 = q.AddVertex(LabelSet{1});
+  QVertexId u2 = q.AddVertex(LabelSet{1});
+  q.AddEdge(u0, 0, u1);
+  q.AddEdge(u0, 0, u2);
+
+  Graph g0;
+  g0.AddVertex(LabelSet{0});
+  g0.AddVertex(LabelSet{1});
+
+  TurboFluxEngine hom;
+  CountingSink hs;
+  ASSERT_TRUE(hom.Init(q, g0, hs, Deadline::Infinite()));
+  CountingSink h1;
+  ASSERT_TRUE(hom.ApplyUpdate(UpdateOp::Insert(0, 0, 1), h1,
+                              Deadline::Infinite()));
+  EXPECT_EQ(h1.positive(), 1u);  // u1=u2=v1, reported exactly once
+
+  TurboFluxOptions iso_opts;
+  iso_opts.semantics = MatchSemantics::kIsomorphism;
+  TurboFluxEngine iso(iso_opts);
+  CountingSink is;
+  ASSERT_TRUE(iso.Init(q, g0, is, Deadline::Infinite()));
+  CountingSink i1;
+  ASSERT_TRUE(iso.ApplyUpdate(UpdateOp::Insert(0, 0, 1), i1,
+                              Deadline::Infinite()));
+  EXPECT_EQ(i1.positive(), 0u);
+}
+
+TEST(TurboFlux, SelfLoopDataEdge) {
+  // q: u0:A -> u1:A (same label); data self-loop (v0, v0) maps both.
+  QueryGraph q;
+  QVertexId u0 = q.AddVertex(LabelSet{0});
+  QVertexId u1 = q.AddVertex(LabelSet{0});
+  q.AddEdge(u0, 0, u1);
+  Graph g0;
+  g0.AddVertex(LabelSet{0});
+  TurboFluxEngine engine;
+  CountingSink init;
+  ASSERT_TRUE(engine.Init(q, g0, init, Deadline::Infinite()));
+  CountingSink s;
+  ASSERT_TRUE(engine.ApplyUpdate(UpdateOp::Insert(0, 0, 0), s,
+                                 Deadline::Infinite()));
+  EXPECT_EQ(s.positive(), 1u);
+  EXPECT_EQ(engine.dcg().Snapshot(), engine.RebuildDcgFromScratch().Snapshot());
+}
+
+TEST(TurboFlux, WildcardQueryOnUnlabeledGraph) {
+  // Netflow-style: unlabeled vertices, label-only-on-edges query.
+  QueryGraph q;
+  QVertexId u0 = q.AddVertex(LabelSet{});
+  QVertexId u1 = q.AddVertex(LabelSet{});
+  QVertexId u2 = q.AddVertex(LabelSet{});
+  q.AddEdge(u0, 3, u1);
+  q.AddEdge(u1, 5, u2);
+  Graph g0;
+  for (int i = 0; i < 4; ++i) g0.AddVertex(LabelSet{});
+  g0.AddEdge(0, 3, 1);
+  TurboFluxEngine engine;
+  CountingSink init;
+  ASSERT_TRUE(engine.Init(q, g0, init, Deadline::Infinite()));
+  CountingSink s;
+  ASSERT_TRUE(engine.ApplyUpdate(UpdateOp::Insert(1, 5, 2), s,
+                                 Deadline::Infinite()));
+  EXPECT_EQ(s.positive(), 1u);
+  CountingSink s2;
+  ASSERT_TRUE(engine.ApplyUpdate(UpdateOp::Insert(3, 3, 1), s2,
+                                 Deadline::Infinite()));
+  EXPECT_EQ(s2.positive(), 1u);  // new A-side completes another match
+}
+
+TEST(TurboFlux, TimeoutReturnsFalse) {
+  QueryGraph q = PathQuery();
+  Graph g0 = AbcVertices();
+  g0.AddEdge(0, 0, 1);
+  TurboFluxEngine engine;
+  CountingSink init;
+  ASSERT_TRUE(engine.Init(q, g0, init, Deadline::Infinite()));
+  CountingSink s;
+  EXPECT_FALSE(engine.ApplyUpdate(UpdateOp::Insert(1, 1, 2), s,
+                                  Deadline::AfterMillis(0)));
+}
+
+TEST(TurboFlux, IntermediateSizeTracksDcg) {
+  QueryGraph q = PathQuery();
+  Graph g0 = AbcVertices();
+  TurboFluxEngine engine;
+  CountingSink sink;
+  ASSERT_TRUE(engine.Init(q, g0, sink, Deadline::Infinite()));
+  // Start vertices: the matching vertices of the chosen root get
+  // artificial edges.
+  EXPECT_EQ(engine.IntermediateSize(), engine.dcg().EdgeCount());
+  CountingSink s;
+  ASSERT_TRUE(engine.ApplyUpdate(UpdateOp::Insert(0, 0, 1), s,
+                                 Deadline::Infinite()));
+  EXPECT_GE(engine.IntermediateSize(), 1u);
+}
+
+}  // namespace
+}  // namespace turboflux

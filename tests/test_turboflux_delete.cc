@@ -1,0 +1,170 @@
+#include "gtest/gtest.h"
+#include "testutil.h"
+#include "turboflux/core/turboflux.h"
+
+namespace turboflux {
+namespace {
+
+// q: u0:A -0-> u1:B -1-> u2:C (same fixture as the basic tests).
+QueryGraph PathQuery() {
+  QueryGraph q;
+  QVertexId u0 = q.AddVertex(LabelSet{0});
+  QVertexId u1 = q.AddVertex(LabelSet{1});
+  QVertexId u2 = q.AddVertex(LabelSet{2});
+  q.AddEdge(u0, 0, u1);
+  q.AddEdge(u1, 1, u2);
+  return q;
+}
+
+TEST(TurboFluxDelete, DeletionReportsNegativeMatch) {
+  QueryGraph q = PathQuery();
+  Graph g0;
+  g0.AddVertex(LabelSet{0});
+  g0.AddVertex(LabelSet{1});
+  g0.AddVertex(LabelSet{2});
+  g0.AddEdge(0, 0, 1);
+  g0.AddEdge(1, 1, 2);
+  TurboFluxEngine engine;
+  CountingSink init;
+  ASSERT_TRUE(engine.Init(q, g0, init, Deadline::Infinite()));
+  ASSERT_EQ(init.positive(), 1u);
+
+  CollectingSink s;
+  ASSERT_TRUE(engine.ApplyUpdate(UpdateOp::Delete(1, 1, 2), s,
+                                 Deadline::Infinite()));
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_FALSE(s.records()[0].positive);
+  EXPECT_EQ(s.records()[0].mapping, (Mapping{0, 1, 2}));
+  EXPECT_EQ(engine.dcg().Snapshot(), engine.RebuildDcgFromScratch().Snapshot());
+}
+
+TEST(TurboFluxDelete, DeletingSharedPrefixReportsAllMatches) {
+  // Two Cs below the same B: deleting A->B kills both matches.
+  QueryGraph q = PathQuery();
+  Graph g0;
+  g0.AddVertex(LabelSet{0});
+  g0.AddVertex(LabelSet{1});
+  g0.AddVertex(LabelSet{2});
+  g0.AddVertex(LabelSet{2});
+  g0.AddEdge(0, 0, 1);
+  g0.AddEdge(1, 1, 2);
+  g0.AddEdge(1, 1, 3);
+  TurboFluxEngine engine;
+  CountingSink init;
+  ASSERT_TRUE(engine.Init(q, g0, init, Deadline::Infinite()));
+  ASSERT_EQ(init.positive(), 2u);
+
+  CountingSink s;
+  ASSERT_TRUE(engine.ApplyUpdate(UpdateOp::Delete(0, 0, 1), s,
+                                 Deadline::Infinite()));
+  EXPECT_EQ(s.negative(), 2u);
+  EXPECT_EQ(engine.dcg().Snapshot(), engine.RebuildDcgFromScratch().Snapshot());
+}
+
+TEST(TurboFluxDelete, DeleteNonexistentEdgeIsNoop) {
+  QueryGraph q = PathQuery();
+  Graph g0;
+  g0.AddVertex(LabelSet{0});
+  g0.AddVertex(LabelSet{1});
+  TurboFluxEngine engine;
+  CountingSink init;
+  ASSERT_TRUE(engine.Init(q, g0, init, Deadline::Infinite()));
+  CountingSink s;
+  ASSERT_TRUE(engine.ApplyUpdate(UpdateOp::Delete(0, 0, 1), s,
+                                 Deadline::Infinite()));
+  EXPECT_EQ(s.total(), 0u);
+}
+
+TEST(TurboFluxDelete, DeletionOfIrrelevantEdge) {
+  QueryGraph q = PathQuery();
+  Graph g0;
+  g0.AddVertex(LabelSet{0});
+  g0.AddVertex(LabelSet{1});
+  g0.AddVertex(LabelSet{2});
+  g0.AddEdge(0, 0, 1);
+  g0.AddEdge(1, 1, 2);
+  g0.AddEdge(0, 9, 2);  // matches nothing
+  TurboFluxEngine engine;
+  CountingSink init;
+  ASSERT_TRUE(engine.Init(q, g0, init, Deadline::Infinite()));
+  auto before = engine.dcg().Snapshot();
+  CountingSink s;
+  ASSERT_TRUE(engine.ApplyUpdate(UpdateOp::Delete(0, 9, 2), s,
+                                 Deadline::Infinite()));
+  EXPECT_EQ(s.total(), 0u);
+  EXPECT_EQ(engine.dcg().Snapshot(), before);
+}
+
+TEST(TurboFluxDelete, PartialSupportSurvives) {
+  // Two A->B edges to the same B; deleting one keeps the match through
+  // the other and reports exactly one negative match.
+  QueryGraph q = PathQuery();
+  Graph g0;
+  g0.AddVertex(LabelSet{0});  // v0 A
+  g0.AddVertex(LabelSet{0});  // v1 A
+  g0.AddVertex(LabelSet{1});  // v2 B
+  g0.AddVertex(LabelSet{2});  // v3 C
+  g0.AddEdge(0, 0, 2);
+  g0.AddEdge(1, 0, 2);
+  g0.AddEdge(2, 1, 3);
+  TurboFluxEngine engine;
+  CountingSink init;
+  ASSERT_TRUE(engine.Init(q, g0, init, Deadline::Infinite()));
+  ASSERT_EQ(init.positive(), 2u);
+
+  CollectingSink s;
+  ASSERT_TRUE(engine.ApplyUpdate(UpdateOp::Delete(0, 0, 2), s,
+                                 Deadline::Infinite()));
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_FALSE(s.records()[0].positive);
+  EXPECT_EQ(s.records()[0].mapping[0], 0u);  // the match through v0 died
+  EXPECT_EQ(engine.dcg().Snapshot(), engine.RebuildDcgFromScratch().Snapshot());
+}
+
+TEST(TurboFluxDelete, InsertDeleteInsertRoundTrip) {
+  QueryGraph q = PathQuery();
+  Graph g0;
+  g0.AddVertex(LabelSet{0});
+  g0.AddVertex(LabelSet{1});
+  g0.AddVertex(LabelSet{2});
+  g0.AddEdge(0, 0, 1);
+  TurboFluxEngine engine;
+  CountingSink init;
+  ASSERT_TRUE(engine.Init(q, g0, init, Deadline::Infinite()));
+
+  CountingSink s;
+  UpdateOp ins = UpdateOp::Insert(1, 1, 2);
+  UpdateOp del = UpdateOp::Delete(1, 1, 2);
+  for (int round = 0; round < 3; ++round) {
+    ASSERT_TRUE(engine.ApplyUpdate(ins, s, Deadline::Infinite()));
+    ASSERT_TRUE(engine.ApplyUpdate(del, s, Deadline::Infinite()));
+    EXPECT_EQ(engine.dcg().Snapshot(),
+              engine.RebuildDcgFromScratch().Snapshot())
+        << "round " << round;
+  }
+  EXPECT_EQ(s.positive(), 3u);
+  EXPECT_EQ(s.negative(), 3u);
+}
+
+TEST(TurboFluxDelete, CascadingClearOfDeepSubtree) {
+  // Path query over a chain A->B->C; deleting the A->B edge must clear
+  // the whole downstream DCG (Transition 3/5 Case 2).
+  QueryGraph q = PathQuery();
+  Graph g0;
+  g0.AddVertex(LabelSet{0});
+  g0.AddVertex(LabelSet{1});
+  g0.AddVertex(LabelSet{2});
+  g0.AddEdge(0, 0, 1);
+  g0.AddEdge(1, 1, 2);
+  TurboFluxEngine engine;
+  CountingSink init;
+  ASSERT_TRUE(engine.Init(q, g0, init, Deadline::Infinite()));
+  CountingSink s;
+  ASSERT_TRUE(engine.ApplyUpdate(UpdateOp::Delete(0, 0, 1), s,
+                                 Deadline::Infinite()));
+  EXPECT_EQ(s.negative(), 1u);
+  EXPECT_EQ(engine.dcg().Snapshot(), engine.RebuildDcgFromScratch().Snapshot());
+}
+
+}  // namespace
+}  // namespace turboflux

@@ -1,0 +1,56 @@
+#include "turboflux/graph/update_stream.h"
+
+#include "gtest/gtest.h"
+#include "turboflux/graph/graph.h"
+
+namespace turboflux {
+namespace {
+
+Graph TwoVertexGraph() {
+  Graph g;
+  g.AddVertex(LabelSet{0});
+  g.AddVertex(LabelSet{1});
+  return g;
+}
+
+TEST(UpdateStream, ApplyInsert) {
+  Graph g = TwoVertexGraph();
+  EXPECT_TRUE(ApplyUpdate(g, UpdateOp::Insert(0, 7, 1)));
+  EXPECT_TRUE(g.HasEdge(0, 7, 1));
+}
+
+TEST(UpdateStream, ApplyDuplicateInsertReturnsFalse) {
+  Graph g = TwoVertexGraph();
+  ApplyUpdate(g, UpdateOp::Insert(0, 7, 1));
+  EXPECT_FALSE(ApplyUpdate(g, UpdateOp::Insert(0, 7, 1)));
+}
+
+TEST(UpdateStream, ApplyDelete) {
+  Graph g = TwoVertexGraph();
+  ApplyUpdate(g, UpdateOp::Insert(0, 7, 1));
+  EXPECT_TRUE(ApplyUpdate(g, UpdateOp::Delete(0, 7, 1)));
+  EXPECT_FALSE(g.HasEdge(0, 7, 1));
+  EXPECT_FALSE(ApplyUpdate(g, UpdateOp::Delete(0, 7, 1)));
+}
+
+TEST(UpdateStream, ApplyStreamCountsChanges) {
+  Graph g = TwoVertexGraph();
+  UpdateStream stream = {
+      UpdateOp::Insert(0, 1, 1), UpdateOp::Insert(0, 1, 1),  // dup
+      UpdateOp::Delete(0, 1, 1), UpdateOp::Delete(0, 2, 1),  // absent
+  };
+  EXPECT_EQ(ApplyStream(g, stream), 2u);
+  EXPECT_EQ(g.EdgeCount(), 0u);
+}
+
+TEST(UpdateStream, OpEqualityAndToString) {
+  UpdateOp a = UpdateOp::Insert(1, 2, 3);
+  UpdateOp b = UpdateOp::Insert(1, 2, 3);
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == UpdateOp::Delete(1, 2, 3));
+  EXPECT_EQ(a.ToString(), "+(1,2,3)");
+  EXPECT_EQ(UpdateOp::Delete(1, 2, 3).ToString(), "-(1,2,3)");
+}
+
+}  // namespace
+}  // namespace turboflux

@@ -1,0 +1,115 @@
+#include "turboflux/match/wco_matcher.h"
+
+#include "gtest/gtest.h"
+#include "testutil.h"
+#include "turboflux/match/static_matcher.h"
+
+namespace turboflux {
+namespace {
+
+TEST(WcoMatcher, TriangleCount) {
+  Graph g;
+  for (int i = 0; i < 4; ++i) g.AddVertex(LabelSet{});
+  g.AddEdge(0, 0, 1);
+  g.AddEdge(1, 0, 2);
+  g.AddEdge(2, 0, 0);
+  g.AddEdge(1, 0, 3);  // a dangling edge, not part of a triangle
+  QueryGraph q;
+  QVertexId a = q.AddVertex(LabelSet{});
+  QVertexId b = q.AddVertex(LabelSet{});
+  QVertexId c = q.AddVertex(LabelSet{});
+  q.AddEdge(a, 0, b);
+  q.AddEdge(b, 0, c);
+  q.AddEdge(c, 0, a);
+  WcoMatcher matcher(g, q);
+  EXPECT_EQ(matcher.CountAll(), 3u);  // three rotations of the triangle
+}
+
+TEST(WcoMatcher, RespectsLabels) {
+  Graph g;
+  g.AddVertex(LabelSet{0});
+  g.AddVertex(LabelSet{1});
+  g.AddEdge(0, 7, 1);
+  QueryGraph q;
+  QVertexId a = q.AddVertex(LabelSet{0});
+  QVertexId b = q.AddVertex(LabelSet{1});
+  q.AddEdge(a, 7, b);
+  EXPECT_EQ(WcoMatcher(g, q).CountAll(), 1u);
+  QueryGraph wrong;
+  QVertexId a2 = wrong.AddVertex(LabelSet{1});
+  QVertexId b2 = wrong.AddVertex(LabelSet{1});
+  wrong.AddEdge(a2, 7, b2);
+  EXPECT_EQ(WcoMatcher(g, wrong).CountAll(), 0u);
+}
+
+TEST(WcoMatcher, IsomorphismInjective) {
+  Graph g;
+  g.AddVertex(LabelSet{0});
+  g.AddVertex(LabelSet{1});
+  g.AddEdge(0, 0, 1);
+  QueryGraph q;
+  QVertexId a = q.AddVertex(LabelSet{0});
+  QVertexId b = q.AddVertex(LabelSet{1});
+  QVertexId c = q.AddVertex(LabelSet{1});
+  q.AddEdge(a, 0, b);
+  q.AddEdge(a, 0, c);
+  EXPECT_EQ(WcoMatcher(g, q, MatchSemantics::kHomomorphism).CountAll(), 1u);
+  EXPECT_EQ(WcoMatcher(g, q, MatchSemantics::kIsomorphism).CountAll(), 0u);
+}
+
+TEST(WcoMatcher, SelfLoop) {
+  Graph g;
+  g.AddVertex(LabelSet{0});
+  g.AddVertex(LabelSet{0});
+  g.AddEdge(0, 0, 0);
+  g.AddEdge(0, 0, 1);
+  QueryGraph q;
+  QVertexId u = q.AddVertex(LabelSet{0});
+  QVertexId w = q.AddVertex(LabelSet{0});
+  q.AddEdge(u, 0, u);
+  q.AddEdge(u, 0, w);
+  EXPECT_EQ(WcoMatcher(g, q).CountAll(), 2u);
+}
+
+TEST(WcoMatcher, DeadlineExpiry) {
+  Graph g;
+  for (int i = 0; i < 20; ++i) g.AddVertex(LabelSet{});
+  for (int i = 0; i < 19; ++i) g.AddEdge(i, 0, i + 1);
+  QueryGraph q;
+  QVertexId a = q.AddVertex(LabelSet{});
+  QVertexId b = q.AddVertex(LabelSet{});
+  q.AddEdge(a, 0, b);
+  CountingSink sink;
+  WcoMatcher matcher(g, q);
+  EXPECT_FALSE(matcher.FindAll(sink, Deadline::AfterMillis(0)));
+}
+
+// Cross-check: WcoMatcher == StaticMatcher == brute force on random tiny
+// cases under both semantics.
+class WcoMatcherProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(WcoMatcherProperty, AgreesWithStaticAndBruteForce) {
+  testutil::RandomCaseConfig config;
+  config.num_vertices = 6;
+  config.initial_edges = 11;
+  config.query_vertices = 3;
+  config.query_edges = 4;
+  testutil::RandomCase c = testutil::MakeRandomCase(GetParam(), config);
+  for (MatchSemantics sem :
+       {MatchSemantics::kHomomorphism, MatchSemantics::kIsomorphism}) {
+    WcoMatcher wco(c.g0, c.query, sem);
+    StaticMatchOptions opts;
+    opts.semantics = sem;
+    StaticMatcher backtracking(c.g0, c.query, opts);
+    uint64_t expected = BruteForceCount(c.g0, c.query, sem);
+    EXPECT_EQ(wco.CountAll(), expected)
+        << "seed=" << GetParam() << " q=" << c.query.ToString();
+    EXPECT_EQ(backtracking.CountAll(), expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WcoMatcherProperty,
+                         ::testing::Range<uint64_t>(600, 640));
+
+}  // namespace
+}  // namespace turboflux

@@ -1,0 +1,144 @@
+#include "gtest/gtest.h"
+#include "turboflux/workload/lsbench.h"
+#include "turboflux/workload/netflow.h"
+#include "turboflux/workload/schema.h"
+#include "turboflux/workload/stream_builder.h"
+
+namespace turboflux {
+namespace workload {
+namespace {
+
+TEST(Schema, RegistersTypes) {
+  Schema s;
+  Label user = s.AddVertexType("User");
+  Label post = s.AddVertexType("Post");
+  EdgeLabel likes = s.AddEdgeType(user, "likes", post);
+  EXPECT_EQ(s.VertexTypeCount(), 2u);
+  EXPECT_EQ(s.EdgeTypeCount(), 1u);
+  EXPECT_EQ(s.VertexTypeName(user), "User");
+  EXPECT_EQ(s.edge_type(likes).src_type, user);
+  EXPECT_EQ(s.edge_type(likes).dst_type, post);
+  EXPECT_EQ(s.edge_type(likes).name, "likes");
+}
+
+TEST(LsBench, DeterministicForSeed) {
+  LsBenchConfig config;
+  config.num_users = 50;
+  TemporalGraph a = GenerateLsBench(config);
+  TemporalGraph b = GenerateLsBench(config);
+  ASSERT_EQ(a.edges.size(), b.edges.size());
+  ASSERT_EQ(a.vertices.VertexCount(), b.vertices.VertexCount());
+  for (size_t i = 0; i < a.edges.size(); ++i) {
+    EXPECT_EQ(a.edges[i].from, b.edges[i].from);
+    EXPECT_EQ(a.edges[i].label, b.edges[i].label);
+    EXPECT_EQ(a.edges[i].to, b.edges[i].to);
+  }
+  config.seed = 43;
+  TemporalGraph c = GenerateLsBench(config);
+  EXPECT_NE(a.edges.size(), 0u);
+  bool differs = a.edges.size() != c.edges.size();
+  for (size_t i = 0; !differs && i < a.edges.size(); ++i) {
+    differs = !(a.edges[i].from == c.edges[i].from &&
+                a.edges[i].to == c.edges[i].to);
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(LsBench, EdgesConformToSchema) {
+  LsBenchConfig config;
+  config.num_users = 60;
+  LsBenchVocabulary voc = MakeLsBenchVocabulary();
+  TemporalGraph t = GenerateLsBench(config);
+  for (const auto& e : t.edges) {
+    ASSERT_LT(e.label, voc.schema.EdgeTypeCount());
+    const SchemaEdge& se = voc.schema.edge_type(e.label);
+    EXPECT_TRUE(t.vertices.labels(e.from).Contains(se.src_type))
+        << se.name << " from";
+    EXPECT_TRUE(t.vertices.labels(e.to).Contains(se.dst_type))
+        << se.name << " to";
+  }
+}
+
+TEST(LsBench, ScaleGrowsWithUsers) {
+  LsBenchConfig small;
+  small.num_users = 40;
+  LsBenchConfig big;
+  big.num_users = 400;
+  EXPECT_GT(GenerateLsBench(big).edges.size(),
+            5 * GenerateLsBench(small).edges.size());
+}
+
+TEST(Netflow, UnlabeledVerticesEightLabels) {
+  NetflowConfig config;
+  config.num_hosts = 100;
+  config.num_flows = 2000;
+  TemporalGraph t = GenerateNetflow(config);
+  EXPECT_EQ(t.vertices.VertexCount(), 100u);
+  for (VertexId v = 0; v < t.vertices.VertexCount(); ++v) {
+    EXPECT_TRUE(t.vertices.labels(v).empty());
+  }
+  bool labels_seen[8] = {};
+  for (const auto& e : t.edges) {
+    ASSERT_LT(e.label, 8u);
+    labels_seen[e.label] = true;
+    EXPECT_NE(e.from, e.to);  // no self loops emitted
+  }
+  for (bool seen : labels_seen) EXPECT_TRUE(seen);
+}
+
+TEST(Netflow, HeavyTailedPopularity) {
+  NetflowConfig config;
+  config.num_hosts = 200;
+  config.num_flows = 20000;
+  TemporalGraph t = GenerateNetflow(config);
+  size_t host0 = 0;
+  for (const auto& e : t.edges) host0 += e.from == 0 ? 1 : 0;
+  // Host 0 (rank 0) must send far more than the uniform share (100).
+  EXPECT_GT(host0, 500u);
+}
+
+TEST(StreamBuilder, SplitsByFraction) {
+  NetflowConfig nf;
+  nf.num_hosts = 50;
+  nf.num_flows = 5000;
+  TemporalGraph t = GenerateNetflow(nf);
+  StreamConfig sc;
+  sc.stream_fraction = 0.2;
+  Dataset ds = BuildDataset(t, sc);
+  EXPECT_GT(ds.stream.size(), 0u);
+  EXPECT_EQ(ds.stream.size(), ds.stream_insertions.size());  // no deletions
+  // The final graph equals g0 plus the stream.
+  Graph check = ds.initial;
+  ApplyStream(check, ds.stream);
+  EXPECT_EQ(check.EdgeCount(), ds.final_graph.EdgeCount());
+  // Stream is roughly 20% of the edges that survived deduplication.
+  double frac = static_cast<double>(ds.stream_insertions.size()) /
+                static_cast<double>(ds.final_graph.EdgeCount());
+  EXPECT_NEAR(frac, 0.2, 0.1);
+}
+
+TEST(StreamBuilder, InjectsDeletions) {
+  NetflowConfig nf;
+  nf.num_hosts = 50;
+  nf.num_flows = 5000;
+  TemporalGraph t = GenerateNetflow(nf);
+  StreamConfig sc;
+  sc.stream_fraction = 0.2;
+  sc.deletion_rate = 0.5;
+  Dataset ds = BuildDataset(t, sc);
+  size_t deletions = 0;
+  for (const UpdateOp& op : ds.stream) deletions += op.IsInsert() ? 0 : 1;
+  EXPECT_GT(deletions, 0u);
+  EXPECT_NEAR(static_cast<double>(deletions) /
+                  static_cast<double>(ds.stream_insertions.size()),
+              0.5, 0.1);
+  // Deletions must target edges that were present: replaying the stream
+  // against g0 must apply every op.
+  Graph check = ds.initial;
+  EXPECT_EQ(ApplyStream(check, ds.stream), ds.stream.size());
+  EXPECT_EQ(check.EdgeCount(), ds.final_graph.EdgeCount());
+}
+
+}  // namespace
+}  // namespace workload
+}  // namespace turboflux

@@ -1,0 +1,176 @@
+#include "testutil.h"
+
+#include <algorithm>
+
+#include "turboflux/common/rng.h"
+#include "turboflux/match/static_matcher.h"
+
+namespace turboflux {
+namespace testutil {
+
+bool OracleEngine::Recompute(std::unordered_map<std::string, Mapping>& out,
+                             Deadline& deadline) {
+  out.clear();
+  CollectingSink all;
+  StaticMatchOptions opts;
+  opts.semantics = semantics_;
+  StaticMatcher matcher(g_, *q_, opts);
+  if (!matcher.FindAll(all, deadline)) return false;
+  for (const auto& r : all.records()) {
+    out.emplace(MappingToString(r.mapping), r.mapping);
+  }
+  return true;
+}
+
+bool OracleEngine::Init(const QueryGraph& q, const Graph& g0, MatchSink& sink,
+                        Deadline deadline) {
+  q_ = &q;
+  g_ = g0;
+  if (!Recompute(current_, deadline)) return false;
+  for (const auto& [key, m] : current_) sink.OnMatch(true, m);
+  return true;
+}
+
+bool OracleEngine::ApplyUpdate(const UpdateOp& op, MatchSink& sink,
+                               Deadline deadline) {
+  bool changed = ::turboflux::ApplyUpdate(g_, op);
+  if (!changed) return true;
+  std::unordered_map<std::string, Mapping> next;
+  if (!Recompute(next, deadline)) return false;
+  for (const auto& [key, m] : next) {
+    if (current_.count(key) == 0) sink.OnMatch(true, m);
+  }
+  for (const auto& [key, m] : current_) {
+    if (next.count(key) == 0) sink.OnMatch(false, m);
+  }
+  current_ = std::move(next);
+  return true;
+}
+
+::testing::AssertionResult SameMatches(const CollectingSink& a,
+                                       const CollectingSink& b) {
+  auto ma = a.ToMultiset();
+  auto mb = b.ToMultiset();
+  for (const auto& [key, count] : ma) {
+    auto it = mb.find(key);
+    int other = it == mb.end() ? 0 : it->second;
+    if (other != count) {
+      return ::testing::AssertionFailure()
+             << "match " << key << " reported " << count << " vs " << other
+             << " times";
+    }
+  }
+  for (const auto& [key, count] : mb) {
+    if (ma.count(key) == 0) {
+      return ::testing::AssertionFailure()
+             << "match " << key << " reported 0 vs " << count << " times";
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+RandomCase MakeRandomCase(uint64_t seed, const RandomCaseConfig& config) {
+  Rng rng(seed);
+  RandomCase c;
+
+  auto random_label_set = [&]() {
+    LabelSet labels{static_cast<Label>(rng.NextBounded(
+        config.num_vertex_labels))};
+    if (rng.NextBool(0.2)) {
+      labels.Insert(
+          static_cast<Label>(rng.NextBounded(config.num_vertex_labels)));
+    }
+    return labels;
+  };
+
+  for (size_t i = 0; i < config.num_vertices; ++i) {
+    c.g0.AddVertex(random_label_set());
+  }
+  auto random_edge = [&]() {
+    VertexId from = static_cast<VertexId>(rng.NextIndex(config.num_vertices));
+    VertexId to = static_cast<VertexId>(rng.NextIndex(config.num_vertices));
+    EdgeLabel label =
+        static_cast<EdgeLabel>(rng.NextBounded(config.num_edge_labels));
+    return UpdateOp::Insert(from, label, to);
+  };
+  for (size_t i = 0; i < config.initial_edges; ++i) {
+    UpdateOp e = random_edge();
+    c.g0.AddEdge(e.from, e.label, e.to);
+  }
+
+  // Stream: random inserts; deletions target random pairs (sometimes
+  // hitting real edges, sometimes not — engines must no-op gracefully).
+  Graph shadow = c.g0;
+  std::vector<UpdateOp> live;
+  for (VertexId v = 0; v < shadow.VertexCount(); ++v) {
+    for (const AdjEntry& e : shadow.OutEdges(v)) {
+      live.push_back(UpdateOp::Insert(v, e.label, e.other));
+    }
+  }
+  for (size_t i = 0; i < config.stream_ops; ++i) {
+    if (rng.NextBool(config.deletion_probability) && !live.empty()) {
+      size_t pick = rng.NextIndex(live.size());
+      UpdateOp victim = live[pick];
+      UpdateOp del = UpdateOp::Delete(victim.from, victim.label, victim.to);
+      c.stream.push_back(del);
+      if (shadow.RemoveEdge(del.from, del.label, del.to)) {
+        live[pick] = live.back();
+        live.pop_back();
+      }
+    } else {
+      UpdateOp ins = random_edge();
+      c.stream.push_back(ins);
+      if (shadow.AddEdge(ins.from, ins.label, ins.to)) live.push_back(ins);
+    }
+  }
+
+  // Connected random query: a random tree plus extra (possibly
+  // cycle-closing) edges, labels drawn from the same alphabets.
+  for (size_t i = 0; i < config.query_vertices; ++i) {
+    LabelSet labels;
+    if (!rng.NextBool(0.15)) {  // 15% wildcard vertices
+      labels.Insert(
+          static_cast<Label>(rng.NextBounded(config.num_vertex_labels)));
+    }
+    c.query.AddVertex(labels);
+  }
+  for (QVertexId u = 1; u < config.query_vertices; ++u) {
+    QVertexId other = static_cast<QVertexId>(rng.NextBounded(u));
+    EdgeLabel label =
+        static_cast<EdgeLabel>(rng.NextBounded(config.num_edge_labels));
+    if (rng.NextBool(0.5)) {
+      c.query.AddEdge(other, label, u);
+    } else {
+      c.query.AddEdge(u, label, other);
+    }
+  }
+  size_t extra = config.query_edges > config.query_vertices - 1
+                     ? config.query_edges - (config.query_vertices - 1)
+                     : 0;
+  for (size_t i = 0; i < extra; ++i) {
+    QVertexId a = static_cast<QVertexId>(rng.NextIndex(config.query_vertices));
+    QVertexId b = static_cast<QVertexId>(rng.NextIndex(config.query_vertices));
+    EdgeLabel label =
+        static_cast<EdgeLabel>(rng.NextBounded(config.num_edge_labels));
+    c.query.AddEdge(a, label, b);  // duplicates rejected internally
+  }
+  return c;
+}
+
+bool RunCase(ContinuousEngine& engine, const RandomCase& c,
+             CollectingSink& stream_matches, uint64_t* initial_matches) {
+  CollectingSink init_sink;
+  if (!engine.Init(c.query, c.g0, init_sink, Deadline::Infinite())) {
+    return false;
+  }
+  if (initial_matches != nullptr) *initial_matches = init_sink.size();
+  for (const UpdateOp& op : c.stream) {
+    if (!engine.ApplyUpdate(op, stream_matches, Deadline::Infinite())) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace testutil
+}  // namespace turboflux

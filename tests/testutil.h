@@ -1,0 +1,85 @@
+#ifndef TURBOFLUX_TESTS_TESTUTIL_H_
+#define TURBOFLUX_TESTS_TESTUTIL_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "turboflux/common/match.h"
+#include "turboflux/common/types.h"
+#include "turboflux/graph/graph.h"
+#include "turboflux/graph/update_stream.h"
+#include "turboflux/harness/engine.h"
+#include "turboflux/query/query_graph.h"
+
+namespace turboflux {
+namespace testutil {
+
+/// Ground-truth continuous matching engine: recomputes the full match set
+/// M(g_i, q) with the static matcher after every update and reports the
+/// set difference against M(g_{i-1}, q). Exponentially slower than the
+/// real engines but trivially correct; property tests compare every engine
+/// against it.
+class OracleEngine : public ContinuousEngine {
+ public:
+  explicit OracleEngine(MatchSemantics semantics = MatchSemantics::kHomomorphism)
+      : semantics_(semantics) {}
+
+  bool Init(const QueryGraph& q, const Graph& g0, MatchSink& sink,
+            Deadline deadline) override;
+  bool ApplyUpdate(const UpdateOp& op, MatchSink& sink,
+                   Deadline deadline) override;
+  size_t IntermediateSize() const override { return 0; }
+  std::string name() const override { return "Oracle"; }
+
+  const Graph& graph() const { return g_; }
+
+ private:
+  /// Recomputes the match set; returns false on deadline expiry.
+  bool Recompute(std::unordered_map<std::string, Mapping>& out,
+                 Deadline& deadline);
+
+  MatchSemantics semantics_;
+  const QueryGraph* q_ = nullptr;
+  Graph g_;
+  std::unordered_map<std::string, Mapping> current_;
+};
+
+/// Asserts two sinks saw the same multiset of (sign, mapping) records.
+::testing::AssertionResult SameMatches(const CollectingSink& a,
+                                       const CollectingSink& b);
+
+/// A randomly generated continuous-matching scenario for property tests.
+struct RandomCase {
+  Graph g0;
+  UpdateStream stream;
+  QueryGraph query;
+};
+
+struct RandomCaseConfig {
+  size_t num_vertices = 10;
+  size_t num_vertex_labels = 3;
+  size_t num_edge_labels = 2;
+  size_t initial_edges = 12;
+  size_t stream_ops = 30;
+  double deletion_probability = 0.3;
+  size_t query_vertices = 3;
+  size_t query_edges = 3;  // >= query_vertices - 1; extra edges close cycles
+};
+
+/// Deterministic given `seed`. The query is always connected; the stream
+/// may contain duplicate insertions and deletions of absent edges (engines
+/// must treat those as no-ops).
+RandomCase MakeRandomCase(uint64_t seed, const RandomCaseConfig& config);
+
+/// Runs `engine` over the case and collects all stream matches (initial
+/// matches are recorded separately). Returns false on engine
+/// timeout/failure.
+bool RunCase(ContinuousEngine& engine, const RandomCase& c,
+             CollectingSink& stream_matches, uint64_t* initial_matches);
+
+}  // namespace testutil
+}  // namespace turboflux
+
+#endif  // TURBOFLUX_TESTS_TESTUTIL_H_

@@ -1,0 +1,141 @@
+// tfx_run: command-line continuous subgraph matching.
+//
+// Loads a data graph, a query, and an update stream from text files (see
+// graph_io.h / query_io.h for the format), runs a chosen engine, and
+// either prints every match or just the summary statistics.
+//
+//   tfx_run --graph=g0.txt --query=q.txt --stream=dg.txt
+//           [--engine=turboflux|sjtree|graphflow|incisomat]
+//           [--semantics=hom|iso] [--timeout_ms=N] [--print_matches]
+//
+// Exit status: 0 on success, 1 on timeout, 2 on usage/file errors.
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "turboflux/baseline/graphflow.h"
+#include "turboflux/baseline/inc_iso_mat.h"
+#include "turboflux/baseline/sj_tree.h"
+#include "turboflux/core/turboflux.h"
+#include "turboflux/graph/graph_io.h"
+#include "turboflux/harness/runner.h"
+#include "turboflux/query/query_io.h"
+
+namespace turboflux {
+namespace {
+
+class PrintSink : public MatchSink {
+ public:
+  explicit PrintSink(bool print) : print_(print) {}
+
+  void OnMatch(bool positive, const Mapping& m) override {
+    if (print_) {
+      std::printf("%s %s\n", positive ? "+" : "-",
+                  MappingToString(m).c_str());
+    }
+  }
+
+ private:
+  bool print_;
+};
+
+std::string GetFlag(int argc, char** argv, const std::string& key,
+                    const std::string& fallback) {
+  std::string prefix = "--" + key + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return argv[i] + prefix.size();
+    }
+    if (std::string(argv[i]) == "--" + key) return "1";
+  }
+  return fallback;
+}
+
+int Main(int argc, char** argv) {
+  std::string graph_path = GetFlag(argc, argv, "graph", "");
+  std::string query_path = GetFlag(argc, argv, "query", "");
+  std::string stream_path = GetFlag(argc, argv, "stream", "");
+  std::string engine_name = GetFlag(argc, argv, "engine", "turboflux");
+  std::string semantics_name = GetFlag(argc, argv, "semantics", "hom");
+  int64_t timeout_ms = std::atoll(
+      GetFlag(argc, argv, "timeout_ms", "0").c_str());
+  bool print_matches = GetFlag(argc, argv, "print_matches", "0") == "1";
+
+  if (graph_path.empty() || query_path.empty() || stream_path.empty()) {
+    std::fprintf(stderr,
+                 "usage: tfx_run --graph=G --query=Q --stream=S "
+                 "[--engine=turboflux|sjtree|graphflow|incisomat] "
+                 "[--semantics=hom|iso] [--timeout_ms=N] "
+                 "[--print_matches]\n");
+    return 2;
+  }
+
+  std::optional<Graph> g0 = ReadGraphFromFile(graph_path);
+  if (!g0) {
+    std::fprintf(stderr, "cannot read graph %s\n", graph_path.c_str());
+    return 2;
+  }
+  std::optional<QueryGraph> q = ReadQueryFromFile(query_path);
+  if (!q || q->VertexCount() == 0 || q->EdgeCount() == 0 ||
+      !q->IsConnected()) {
+    std::fprintf(stderr, "cannot read a connected query from %s\n",
+                 query_path.c_str());
+    return 2;
+  }
+  std::optional<UpdateStream> stream = ReadStreamFromFile(stream_path);
+  if (!stream) {
+    std::fprintf(stderr, "cannot read stream %s\n", stream_path.c_str());
+    return 2;
+  }
+
+  MatchSemantics semantics = semantics_name == "iso"
+                                 ? MatchSemantics::kIsomorphism
+                                 : MatchSemantics::kHomomorphism;
+  std::unique_ptr<ContinuousEngine> engine;
+  if (engine_name == "turboflux") {
+    TurboFluxOptions options;
+    options.semantics = semantics;
+    engine = std::make_unique<TurboFluxEngine>(options);
+  } else if (engine_name == "sjtree") {
+    SjTreeOptions options;
+    options.semantics = semantics;
+    engine = std::make_unique<SjTreeEngine>(options);
+  } else if (engine_name == "graphflow") {
+    GraphflowOptions options;
+    options.semantics = semantics;
+    engine = std::make_unique<GraphflowEngine>(options);
+  } else if (engine_name == "incisomat") {
+    IncIsoMatOptions options;
+    options.semantics = semantics;
+    engine = std::make_unique<IncIsoMatEngine>(options);
+  } else {
+    std::fprintf(stderr, "unknown engine %s\n", engine_name.c_str());
+    return 2;
+  }
+
+  PrintSink sink(print_matches);
+  RunOptions run_options;
+  run_options.timeout_ms = timeout_ms;
+  run_options.subtract_graph_update_cost = false;
+  RunResult r =
+      RunContinuous(*engine, *q, *g0, *stream, sink, run_options);
+
+  std::fprintf(stderr,
+               "engine=%s init=%.3fs stream=%.3fs ops=%llu initial=%llu "
+               "positive=%llu negative=%llu intermediate=%zu%s%s\n",
+               engine->name().c_str(), r.init_seconds, r.raw_stream_seconds,
+               static_cast<unsigned long long>(r.processed_ops),
+               static_cast<unsigned long long>(r.initial_matches),
+               static_cast<unsigned long long>(r.positive_matches),
+               static_cast<unsigned long long>(r.negative_matches),
+               r.final_intermediate, r.timed_out ? " TIMEOUT" : "",
+               r.unsupported ? " UNSUPPORTED" : "");
+  return r.timed_out || r.unsupported ? 1 : 0;
+}
+
+}  // namespace
+}  // namespace turboflux
+
+int main(int argc, char** argv) { return turboflux::Main(argc, argv); }

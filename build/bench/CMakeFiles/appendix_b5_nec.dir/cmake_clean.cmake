@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/appendix_b5_nec.dir/appendix_b5_nec.cc.o"
+  "CMakeFiles/appendix_b5_nec.dir/appendix_b5_nec.cc.o.d"
+  "appendix_b5_nec"
+  "appendix_b5_nec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/appendix_b5_nec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_storage_example.dir/fig02_storage_example.cc.o"
+  "CMakeFiles/fig02_storage_example.dir/fig02_storage_example.cc.o.d"
+  "fig02_storage_example"
+  "fig02_storage_example.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_storage_example.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

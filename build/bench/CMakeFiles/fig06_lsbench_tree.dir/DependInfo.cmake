@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig06_lsbench_tree.cc" "bench/CMakeFiles/fig06_lsbench_tree.dir/fig06_lsbench_tree.cc.o" "gcc" "bench/CMakeFiles/fig06_lsbench_tree.dir/fig06_lsbench_tree.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/turboflux_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/turboflux_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/turboflux_match.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/turboflux_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/turboflux_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/turboflux_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/turboflux_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/turboflux_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

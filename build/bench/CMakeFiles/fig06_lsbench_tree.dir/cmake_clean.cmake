@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_lsbench_tree.dir/fig06_lsbench_tree.cc.o"
+  "CMakeFiles/fig06_lsbench_tree.dir/fig06_lsbench_tree.cc.o.d"
+  "fig06_lsbench_tree"
+  "fig06_lsbench_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_lsbench_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_lsbench_graph.dir/fig07_lsbench_graph.cc.o"
+  "CMakeFiles/fig07_lsbench_graph.dir/fig07_lsbench_graph.cc.o.d"
+  "fig07_lsbench_graph"
+  "fig07_lsbench_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_lsbench_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_dataset_size.dir/fig09_dataset_size.cc.o"
+  "CMakeFiles/fig09_dataset_size.dir/fig09_dataset_size.cc.o.d"
+  "fig09_dataset_size"
+  "fig09_dataset_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_dataset_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

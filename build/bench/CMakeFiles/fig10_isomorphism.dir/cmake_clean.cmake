@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_isomorphism.dir/fig10_isomorphism.cc.o"
+  "CMakeFiles/fig10_isomorphism.dir/fig10_isomorphism.cc.o.d"
+  "fig10_isomorphism"
+  "fig10_isomorphism.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_isomorphism.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_deletion_rate.dir/fig11_deletion_rate.cc.o"
+  "CMakeFiles/fig11_deletion_rate.dir/fig11_deletion_rate.cc.o.d"
+  "fig11_deletion_rate"
+  "fig11_deletion_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_deletion_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_incisomat.dir/fig12_incisomat.cc.o"
+  "CMakeFiles/fig12_incisomat.dir/fig12_incisomat.cc.o.d"
+  "fig12_incisomat"
+  "fig12_incisomat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_incisomat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

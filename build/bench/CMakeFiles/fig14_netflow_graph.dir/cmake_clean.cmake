@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_netflow_graph.dir/fig14_netflow_graph.cc.o"
+  "CMakeFiles/fig14_netflow_graph.dir/fig14_netflow_graph.cc.o.d"
+  "fig14_netflow_graph"
+  "fig14_netflow_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_netflow_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

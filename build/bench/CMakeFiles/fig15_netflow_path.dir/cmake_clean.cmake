@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_netflow_path.dir/fig15_netflow_path.cc.o"
+  "CMakeFiles/fig15_netflow_path.dir/fig15_netflow_path.cc.o.d"
+  "fig15_netflow_path"
+  "fig15_netflow_path.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_netflow_path.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

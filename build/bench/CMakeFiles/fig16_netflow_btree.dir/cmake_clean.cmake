@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_netflow_btree.dir/fig16_netflow_btree.cc.o"
+  "CMakeFiles/fig16_netflow_btree.dir/fig16_netflow_btree.cc.o.d"
+  "fig16_netflow_btree"
+  "fig16_netflow_btree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_netflow_btree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

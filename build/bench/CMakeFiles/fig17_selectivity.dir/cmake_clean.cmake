@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_selectivity.dir/fig17_selectivity.cc.o"
+  "CMakeFiles/fig17_selectivity.dir/fig17_selectivity.cc.o.d"
+  "fig17_selectivity"
+  "fig17_selectivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_selectivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cyber_intrusion.dir/cyber_intrusion.cpp.o"
+  "CMakeFiles/cyber_intrusion.dir/cyber_intrusion.cpp.o.d"
+  "cyber_intrusion"
+  "cyber_intrusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cyber_intrusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/turboflux_baseline.dir/turboflux/baseline/graphflow.cc.o"
+  "CMakeFiles/turboflux_baseline.dir/turboflux/baseline/graphflow.cc.o.d"
+  "CMakeFiles/turboflux_baseline.dir/turboflux/baseline/inc_iso_mat.cc.o"
+  "CMakeFiles/turboflux_baseline.dir/turboflux/baseline/inc_iso_mat.cc.o.d"
+  "CMakeFiles/turboflux_baseline.dir/turboflux/baseline/sj_tree.cc.o"
+  "CMakeFiles/turboflux_baseline.dir/turboflux/baseline/sj_tree.cc.o.d"
+  "libturboflux_baseline.a"
+  "libturboflux_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/turboflux_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libturboflux_baseline.a"
+)

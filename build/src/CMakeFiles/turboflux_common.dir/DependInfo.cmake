@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/turboflux/common/label_set.cc" "src/CMakeFiles/turboflux_common.dir/turboflux/common/label_set.cc.o" "gcc" "src/CMakeFiles/turboflux_common.dir/turboflux/common/label_set.cc.o.d"
+  "/root/repo/src/turboflux/common/match.cc" "src/CMakeFiles/turboflux_common.dir/turboflux/common/match.cc.o" "gcc" "src/CMakeFiles/turboflux_common.dir/turboflux/common/match.cc.o.d"
+  "/root/repo/src/turboflux/common/rng.cc" "src/CMakeFiles/turboflux_common.dir/turboflux/common/rng.cc.o" "gcc" "src/CMakeFiles/turboflux_common.dir/turboflux/common/rng.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

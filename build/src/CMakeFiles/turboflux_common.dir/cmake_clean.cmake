@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/turboflux_common.dir/turboflux/common/label_set.cc.o"
+  "CMakeFiles/turboflux_common.dir/turboflux/common/label_set.cc.o.d"
+  "CMakeFiles/turboflux_common.dir/turboflux/common/match.cc.o"
+  "CMakeFiles/turboflux_common.dir/turboflux/common/match.cc.o.d"
+  "CMakeFiles/turboflux_common.dir/turboflux/common/rng.cc.o"
+  "CMakeFiles/turboflux_common.dir/turboflux/common/rng.cc.o.d"
+  "libturboflux_common.a"
+  "libturboflux_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/turboflux_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

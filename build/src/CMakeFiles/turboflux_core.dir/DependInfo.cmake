@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/turboflux/core/dcg.cc" "src/CMakeFiles/turboflux_core.dir/turboflux/core/dcg.cc.o" "gcc" "src/CMakeFiles/turboflux_core.dir/turboflux/core/dcg.cc.o.d"
+  "/root/repo/src/turboflux/core/matching_order.cc" "src/CMakeFiles/turboflux_core.dir/turboflux/core/matching_order.cc.o" "gcc" "src/CMakeFiles/turboflux_core.dir/turboflux/core/matching_order.cc.o.d"
+  "/root/repo/src/turboflux/core/multi_query.cc" "src/CMakeFiles/turboflux_core.dir/turboflux/core/multi_query.cc.o" "gcc" "src/CMakeFiles/turboflux_core.dir/turboflux/core/multi_query.cc.o.d"
+  "/root/repo/src/turboflux/core/turboflux.cc" "src/CMakeFiles/turboflux_core.dir/turboflux/core/turboflux.cc.o" "gcc" "src/CMakeFiles/turboflux_core.dir/turboflux/core/turboflux.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/turboflux_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/turboflux_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/turboflux_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/turboflux_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/turboflux_core.dir/turboflux/core/dcg.cc.o"
+  "CMakeFiles/turboflux_core.dir/turboflux/core/dcg.cc.o.d"
+  "CMakeFiles/turboflux_core.dir/turboflux/core/matching_order.cc.o"
+  "CMakeFiles/turboflux_core.dir/turboflux/core/matching_order.cc.o.d"
+  "CMakeFiles/turboflux_core.dir/turboflux/core/multi_query.cc.o"
+  "CMakeFiles/turboflux_core.dir/turboflux/core/multi_query.cc.o.d"
+  "CMakeFiles/turboflux_core.dir/turboflux/core/turboflux.cc.o"
+  "CMakeFiles/turboflux_core.dir/turboflux/core/turboflux.cc.o.d"
+  "libturboflux_core.a"
+  "libturboflux_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/turboflux_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/turboflux/graph/graph.cc" "src/CMakeFiles/turboflux_graph.dir/turboflux/graph/graph.cc.o" "gcc" "src/CMakeFiles/turboflux_graph.dir/turboflux/graph/graph.cc.o.d"
+  "/root/repo/src/turboflux/graph/graph_io.cc" "src/CMakeFiles/turboflux_graph.dir/turboflux/graph/graph_io.cc.o" "gcc" "src/CMakeFiles/turboflux_graph.dir/turboflux/graph/graph_io.cc.o.d"
+  "/root/repo/src/turboflux/graph/update_stream.cc" "src/CMakeFiles/turboflux_graph.dir/turboflux/graph/update_stream.cc.o" "gcc" "src/CMakeFiles/turboflux_graph.dir/turboflux/graph/update_stream.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/turboflux_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/turboflux_graph.dir/turboflux/graph/graph.cc.o"
+  "CMakeFiles/turboflux_graph.dir/turboflux/graph/graph.cc.o.d"
+  "CMakeFiles/turboflux_graph.dir/turboflux/graph/graph_io.cc.o"
+  "CMakeFiles/turboflux_graph.dir/turboflux/graph/graph_io.cc.o.d"
+  "CMakeFiles/turboflux_graph.dir/turboflux/graph/update_stream.cc.o"
+  "CMakeFiles/turboflux_graph.dir/turboflux/graph/update_stream.cc.o.d"
+  "libturboflux_graph.a"
+  "libturboflux_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/turboflux_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/turboflux/harness/metrics.cc" "src/CMakeFiles/turboflux_harness.dir/turboflux/harness/metrics.cc.o" "gcc" "src/CMakeFiles/turboflux_harness.dir/turboflux/harness/metrics.cc.o.d"
+  "/root/repo/src/turboflux/harness/runner.cc" "src/CMakeFiles/turboflux_harness.dir/turboflux/harness/runner.cc.o" "gcc" "src/CMakeFiles/turboflux_harness.dir/turboflux/harness/runner.cc.o.d"
+  "/root/repo/src/turboflux/harness/table.cc" "src/CMakeFiles/turboflux_harness.dir/turboflux/harness/table.cc.o" "gcc" "src/CMakeFiles/turboflux_harness.dir/turboflux/harness/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/turboflux_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/turboflux_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/turboflux_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

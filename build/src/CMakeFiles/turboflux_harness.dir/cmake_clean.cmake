@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/turboflux_harness.dir/turboflux/harness/metrics.cc.o"
+  "CMakeFiles/turboflux_harness.dir/turboflux/harness/metrics.cc.o.d"
+  "CMakeFiles/turboflux_harness.dir/turboflux/harness/runner.cc.o"
+  "CMakeFiles/turboflux_harness.dir/turboflux/harness/runner.cc.o.d"
+  "CMakeFiles/turboflux_harness.dir/turboflux/harness/table.cc.o"
+  "CMakeFiles/turboflux_harness.dir/turboflux/harness/table.cc.o.d"
+  "libturboflux_harness.a"
+  "libturboflux_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/turboflux_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/turboflux_match.dir/turboflux/match/static_matcher.cc.o"
+  "CMakeFiles/turboflux_match.dir/turboflux/match/static_matcher.cc.o.d"
+  "CMakeFiles/turboflux_match.dir/turboflux/match/wco_matcher.cc.o"
+  "CMakeFiles/turboflux_match.dir/turboflux/match/wco_matcher.cc.o.d"
+  "libturboflux_match.a"
+  "libturboflux_match.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/turboflux_match.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

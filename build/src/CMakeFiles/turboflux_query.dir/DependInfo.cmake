@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/turboflux/query/nec.cc" "src/CMakeFiles/turboflux_query.dir/turboflux/query/nec.cc.o" "gcc" "src/CMakeFiles/turboflux_query.dir/turboflux/query/nec.cc.o.d"
+  "/root/repo/src/turboflux/query/query_graph.cc" "src/CMakeFiles/turboflux_query.dir/turboflux/query/query_graph.cc.o" "gcc" "src/CMakeFiles/turboflux_query.dir/turboflux/query/query_graph.cc.o.d"
+  "/root/repo/src/turboflux/query/query_io.cc" "src/CMakeFiles/turboflux_query.dir/turboflux/query/query_io.cc.o" "gcc" "src/CMakeFiles/turboflux_query.dir/turboflux/query/query_io.cc.o.d"
+  "/root/repo/src/turboflux/query/query_stats.cc" "src/CMakeFiles/turboflux_query.dir/turboflux/query/query_stats.cc.o" "gcc" "src/CMakeFiles/turboflux_query.dir/turboflux/query/query_stats.cc.o.d"
+  "/root/repo/src/turboflux/query/query_tree.cc" "src/CMakeFiles/turboflux_query.dir/turboflux/query/query_tree.cc.o" "gcc" "src/CMakeFiles/turboflux_query.dir/turboflux/query/query_tree.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/turboflux_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/turboflux_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/turboflux_query.dir/turboflux/query/nec.cc.o"
+  "CMakeFiles/turboflux_query.dir/turboflux/query/nec.cc.o.d"
+  "CMakeFiles/turboflux_query.dir/turboflux/query/query_graph.cc.o"
+  "CMakeFiles/turboflux_query.dir/turboflux/query/query_graph.cc.o.d"
+  "CMakeFiles/turboflux_query.dir/turboflux/query/query_io.cc.o"
+  "CMakeFiles/turboflux_query.dir/turboflux/query/query_io.cc.o.d"
+  "CMakeFiles/turboflux_query.dir/turboflux/query/query_stats.cc.o"
+  "CMakeFiles/turboflux_query.dir/turboflux/query/query_stats.cc.o.d"
+  "CMakeFiles/turboflux_query.dir/turboflux/query/query_tree.cc.o"
+  "CMakeFiles/turboflux_query.dir/turboflux/query/query_tree.cc.o.d"
+  "libturboflux_query.a"
+  "libturboflux_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/turboflux_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

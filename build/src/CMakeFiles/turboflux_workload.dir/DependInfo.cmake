@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/turboflux/workload/lsbench.cc" "src/CMakeFiles/turboflux_workload.dir/turboflux/workload/lsbench.cc.o" "gcc" "src/CMakeFiles/turboflux_workload.dir/turboflux/workload/lsbench.cc.o.d"
+  "/root/repo/src/turboflux/workload/netflow.cc" "src/CMakeFiles/turboflux_workload.dir/turboflux/workload/netflow.cc.o" "gcc" "src/CMakeFiles/turboflux_workload.dir/turboflux/workload/netflow.cc.o.d"
+  "/root/repo/src/turboflux/workload/query_gen.cc" "src/CMakeFiles/turboflux_workload.dir/turboflux/workload/query_gen.cc.o" "gcc" "src/CMakeFiles/turboflux_workload.dir/turboflux/workload/query_gen.cc.o.d"
+  "/root/repo/src/turboflux/workload/schema.cc" "src/CMakeFiles/turboflux_workload.dir/turboflux/workload/schema.cc.o" "gcc" "src/CMakeFiles/turboflux_workload.dir/turboflux/workload/schema.cc.o.d"
+  "/root/repo/src/turboflux/workload/stream_builder.cc" "src/CMakeFiles/turboflux_workload.dir/turboflux/workload/stream_builder.cc.o" "gcc" "src/CMakeFiles/turboflux_workload.dir/turboflux/workload/stream_builder.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/turboflux_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/turboflux_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/turboflux_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

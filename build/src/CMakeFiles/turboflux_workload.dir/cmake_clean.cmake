@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/turboflux_workload.dir/turboflux/workload/lsbench.cc.o"
+  "CMakeFiles/turboflux_workload.dir/turboflux/workload/lsbench.cc.o.d"
+  "CMakeFiles/turboflux_workload.dir/turboflux/workload/netflow.cc.o"
+  "CMakeFiles/turboflux_workload.dir/turboflux/workload/netflow.cc.o.d"
+  "CMakeFiles/turboflux_workload.dir/turboflux/workload/query_gen.cc.o"
+  "CMakeFiles/turboflux_workload.dir/turboflux/workload/query_gen.cc.o.d"
+  "CMakeFiles/turboflux_workload.dir/turboflux/workload/schema.cc.o"
+  "CMakeFiles/turboflux_workload.dir/turboflux/workload/schema.cc.o.d"
+  "CMakeFiles/turboflux_workload.dir/turboflux/workload/stream_builder.cc.o"
+  "CMakeFiles/turboflux_workload.dir/turboflux/workload/stream_builder.cc.o.d"
+  "libturboflux_workload.a"
+  "libturboflux_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/turboflux_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

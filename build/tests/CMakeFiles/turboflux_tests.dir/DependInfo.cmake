@@ -1,0 +1,62 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_bench_flags.cc" "tests/CMakeFiles/turboflux_tests.dir/test_bench_flags.cc.o" "gcc" "tests/CMakeFiles/turboflux_tests.dir/test_bench_flags.cc.o.d"
+  "/root/repo/tests/test_dcg.cc" "tests/CMakeFiles/turboflux_tests.dir/test_dcg.cc.o" "gcc" "tests/CMakeFiles/turboflux_tests.dir/test_dcg.cc.o.d"
+  "/root/repo/tests/test_dcg_invariants.cc" "tests/CMakeFiles/turboflux_tests.dir/test_dcg_invariants.cc.o" "gcc" "tests/CMakeFiles/turboflux_tests.dir/test_dcg_invariants.cc.o.d"
+  "/root/repo/tests/test_deadline.cc" "tests/CMakeFiles/turboflux_tests.dir/test_deadline.cc.o" "gcc" "tests/CMakeFiles/turboflux_tests.dir/test_deadline.cc.o.d"
+  "/root/repo/tests/test_engine_misc.cc" "tests/CMakeFiles/turboflux_tests.dir/test_engine_misc.cc.o" "gcc" "tests/CMakeFiles/turboflux_tests.dir/test_engine_misc.cc.o.d"
+  "/root/repo/tests/test_experiment_shapes.cc" "tests/CMakeFiles/turboflux_tests.dir/test_experiment_shapes.cc.o" "gcc" "tests/CMakeFiles/turboflux_tests.dir/test_experiment_shapes.cc.o.d"
+  "/root/repo/tests/test_graph.cc" "tests/CMakeFiles/turboflux_tests.dir/test_graph.cc.o" "gcc" "tests/CMakeFiles/turboflux_tests.dir/test_graph.cc.o.d"
+  "/root/repo/tests/test_graph_io.cc" "tests/CMakeFiles/turboflux_tests.dir/test_graph_io.cc.o" "gcc" "tests/CMakeFiles/turboflux_tests.dir/test_graph_io.cc.o.d"
+  "/root/repo/tests/test_graphflow.cc" "tests/CMakeFiles/turboflux_tests.dir/test_graphflow.cc.o" "gcc" "tests/CMakeFiles/turboflux_tests.dir/test_graphflow.cc.o.d"
+  "/root/repo/tests/test_harness.cc" "tests/CMakeFiles/turboflux_tests.dir/test_harness.cc.o" "gcc" "tests/CMakeFiles/turboflux_tests.dir/test_harness.cc.o.d"
+  "/root/repo/tests/test_inc_iso_mat.cc" "tests/CMakeFiles/turboflux_tests.dir/test_inc_iso_mat.cc.o" "gcc" "tests/CMakeFiles/turboflux_tests.dir/test_inc_iso_mat.cc.o.d"
+  "/root/repo/tests/test_integration_workload.cc" "tests/CMakeFiles/turboflux_tests.dir/test_integration_workload.cc.o" "gcc" "tests/CMakeFiles/turboflux_tests.dir/test_integration_workload.cc.o.d"
+  "/root/repo/tests/test_label_set.cc" "tests/CMakeFiles/turboflux_tests.dir/test_label_set.cc.o" "gcc" "tests/CMakeFiles/turboflux_tests.dir/test_label_set.cc.o.d"
+  "/root/repo/tests/test_large_property.cc" "tests/CMakeFiles/turboflux_tests.dir/test_large_property.cc.o" "gcc" "tests/CMakeFiles/turboflux_tests.dir/test_large_property.cc.o.d"
+  "/root/repo/tests/test_match.cc" "tests/CMakeFiles/turboflux_tests.dir/test_match.cc.o" "gcc" "tests/CMakeFiles/turboflux_tests.dir/test_match.cc.o.d"
+  "/root/repo/tests/test_matching_order.cc" "tests/CMakeFiles/turboflux_tests.dir/test_matching_order.cc.o" "gcc" "tests/CMakeFiles/turboflux_tests.dir/test_matching_order.cc.o.d"
+  "/root/repo/tests/test_multi_query.cc" "tests/CMakeFiles/turboflux_tests.dir/test_multi_query.cc.o" "gcc" "tests/CMakeFiles/turboflux_tests.dir/test_multi_query.cc.o.d"
+  "/root/repo/tests/test_nec.cc" "tests/CMakeFiles/turboflux_tests.dir/test_nec.cc.o" "gcc" "tests/CMakeFiles/turboflux_tests.dir/test_nec.cc.o.d"
+  "/root/repo/tests/test_oracle_property.cc" "tests/CMakeFiles/turboflux_tests.dir/test_oracle_property.cc.o" "gcc" "tests/CMakeFiles/turboflux_tests.dir/test_oracle_property.cc.o.d"
+  "/root/repo/tests/test_paper_examples.cc" "tests/CMakeFiles/turboflux_tests.dir/test_paper_examples.cc.o" "gcc" "tests/CMakeFiles/turboflux_tests.dir/test_paper_examples.cc.o.d"
+  "/root/repo/tests/test_query_gen.cc" "tests/CMakeFiles/turboflux_tests.dir/test_query_gen.cc.o" "gcc" "tests/CMakeFiles/turboflux_tests.dir/test_query_gen.cc.o.d"
+  "/root/repo/tests/test_query_graph.cc" "tests/CMakeFiles/turboflux_tests.dir/test_query_graph.cc.o" "gcc" "tests/CMakeFiles/turboflux_tests.dir/test_query_graph.cc.o.d"
+  "/root/repo/tests/test_query_io.cc" "tests/CMakeFiles/turboflux_tests.dir/test_query_io.cc.o" "gcc" "tests/CMakeFiles/turboflux_tests.dir/test_query_io.cc.o.d"
+  "/root/repo/tests/test_query_stats.cc" "tests/CMakeFiles/turboflux_tests.dir/test_query_stats.cc.o" "gcc" "tests/CMakeFiles/turboflux_tests.dir/test_query_stats.cc.o.d"
+  "/root/repo/tests/test_query_tree.cc" "tests/CMakeFiles/turboflux_tests.dir/test_query_tree.cc.o" "gcc" "tests/CMakeFiles/turboflux_tests.dir/test_query_tree.cc.o.d"
+  "/root/repo/tests/test_rng.cc" "tests/CMakeFiles/turboflux_tests.dir/test_rng.cc.o" "gcc" "tests/CMakeFiles/turboflux_tests.dir/test_rng.cc.o.d"
+  "/root/repo/tests/test_sj_tree.cc" "tests/CMakeFiles/turboflux_tests.dir/test_sj_tree.cc.o" "gcc" "tests/CMakeFiles/turboflux_tests.dir/test_sj_tree.cc.o.d"
+  "/root/repo/tests/test_static_matcher.cc" "tests/CMakeFiles/turboflux_tests.dir/test_static_matcher.cc.o" "gcc" "tests/CMakeFiles/turboflux_tests.dir/test_static_matcher.cc.o.d"
+  "/root/repo/tests/test_turboflux_basic.cc" "tests/CMakeFiles/turboflux_tests.dir/test_turboflux_basic.cc.o" "gcc" "tests/CMakeFiles/turboflux_tests.dir/test_turboflux_basic.cc.o.d"
+  "/root/repo/tests/test_turboflux_delete.cc" "tests/CMakeFiles/turboflux_tests.dir/test_turboflux_delete.cc.o" "gcc" "tests/CMakeFiles/turboflux_tests.dir/test_turboflux_delete.cc.o.d"
+  "/root/repo/tests/test_turboflux_nontree.cc" "tests/CMakeFiles/turboflux_tests.dir/test_turboflux_nontree.cc.o" "gcc" "tests/CMakeFiles/turboflux_tests.dir/test_turboflux_nontree.cc.o.d"
+  "/root/repo/tests/test_update_stream.cc" "tests/CMakeFiles/turboflux_tests.dir/test_update_stream.cc.o" "gcc" "tests/CMakeFiles/turboflux_tests.dir/test_update_stream.cc.o.d"
+  "/root/repo/tests/test_wco_matcher.cc" "tests/CMakeFiles/turboflux_tests.dir/test_wco_matcher.cc.o" "gcc" "tests/CMakeFiles/turboflux_tests.dir/test_wco_matcher.cc.o.d"
+  "/root/repo/tests/test_workload.cc" "tests/CMakeFiles/turboflux_tests.dir/test_workload.cc.o" "gcc" "tests/CMakeFiles/turboflux_tests.dir/test_workload.cc.o.d"
+  "/root/repo/tests/testutil.cc" "tests/CMakeFiles/turboflux_tests.dir/testutil.cc.o" "gcc" "tests/CMakeFiles/turboflux_tests.dir/testutil.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/turboflux_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/turboflux_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/turboflux_match.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/turboflux_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/turboflux_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/turboflux_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/turboflux_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/turboflux_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tfx_run.dir/tfx_run.cc.o"
+  "CMakeFiles/tfx_run.dir/tfx_run.cc.o.d"
+  "tfx_run"
+  "tfx_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tfx_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -125,6 +125,7 @@ int Main(int argc, char** argv) {
     std::printf("A3: storage trade-off, DCG vs SJ-Tree materialization\n");
     ExperimentOptions options;
     options.timeout_ms = timeout_ms;
+    ApplyStreamingFlags(flags, options);
     QuerySetResult tf =
         RunQuerySet(EngineKind::kTurboFlux, dataset, queries, options);
     QuerySetResult sj =

@@ -31,6 +31,7 @@ int Main(int argc, char** argv) {
   int64_t num_queries = flags.GetInt("queries", 20);
   ExperimentOptions options;
   options.timeout_ms = flags.GetInt("timeout_ms", 3000);
+  ApplyStreamingFlags(flags, options);
   uint64_t seed = flags.GetInt("seed", 42);
 
   std::printf("Appendix B.5: SJ-Tree with NEC query compression "

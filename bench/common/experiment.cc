@@ -30,11 +30,13 @@ const char* EngineName(EngineKind kind) {
 }
 
 std::unique_ptr<ContinuousEngine> MakeEngine(EngineKind kind,
-                                             MatchSemantics semantics) {
+                                             MatchSemantics semantics,
+                                             int64_t threads) {
   switch (kind) {
     case EngineKind::kTurboFlux: {
       TurboFluxOptions options;
       options.semantics = semantics;
+      options.threads = threads > 1 ? static_cast<size_t>(threads) : 1;
       return std::make_unique<TurboFluxEngine>(options);
     }
     case EngineKind::kSjTree: {
@@ -58,6 +60,14 @@ std::unique_ptr<ContinuousEngine> MakeEngine(EngineKind kind,
     }
   }
   return nullptr;
+}
+
+void ApplyStreamingFlags(const Flags& flags, ExperimentOptions& options) {
+  options.threads = flags.Threads();
+  options.batch = flags.Batch();
+  // `--threads` implies batching: a window of 1 op cannot be parallelized,
+  // so give the batched path something to chew on unless overridden.
+  if (options.threads > 1 && options.batch <= 1) options.batch = 64;
 }
 
 workload::Dataset MakeLsBenchDataset(double scale, double stream_fraction,
@@ -107,10 +117,11 @@ QuerySetResult RunQuerySet(EngineKind engine_kind,
   out.aggregate = Aggregate0(EngineName(engine_kind));
   for (const QueryGraph& q : queries) {
     std::unique_ptr<ContinuousEngine> engine =
-        MakeEngine(engine_kind, options.semantics);
+        MakeEngine(engine_kind, options.semantics, options.threads);
     CountingSink sink;
     RunOptions run_options;
     run_options.timeout_ms = options.timeout_ms;
+    run_options.batch_size = options.batch;
     RunResult r = RunContinuous(*engine, q, dataset.initial, dataset.stream,
                                 sink, run_options);
     Accumulate(out.aggregate, r);

@@ -20,8 +20,11 @@ enum class EngineKind { kTurboFlux, kSjTree, kGraphflow, kIncIsoMat };
 
 const char* EngineName(EngineKind kind);
 
+/// `threads` > 1 enables TurboFlux's parallel batched-update path (other
+/// engines ignore it and stay sequential).
 std::unique_ptr<ContinuousEngine> MakeEngine(EngineKind kind,
-                                             MatchSemantics semantics);
+                                             MatchSemantics semantics,
+                                             int64_t threads = 1);
 
 /// Scaled-down stand-ins for the paper's datasets (Section 5.1). `scale`
 /// multiplies the default size (1.0 = the default laptop-size dataset);
@@ -46,7 +49,17 @@ struct QuerySetResult {
 struct ExperimentOptions {
   int64_t timeout_ms = 2000;
   MatchSemantics semantics = MatchSemantics::kHomomorphism;
+  /// Worker threads for TurboFlux's ApplyBatch path (1 = the paper's
+  /// sequential model); ignored by the baseline engines.
+  int64_t threads = 1;
+  /// Update-window size handed to ApplyBatch per call; 1 streams ops one
+  /// ApplyUpdate at a time. Output is identical either way.
+  int64_t batch = 1;
 };
+
+/// Fills `threads`/`batch` from the implicit `--threads`/`--batch` flags
+/// (and the THREADS/BATCH environment, via reproduce_all.sh).
+void ApplyStreamingFlags(const Flags& flags, ExperimentOptions& options);
 
 /// Runs `engine_kind` over every query; prints nothing.
 QuerySetResult RunQuerySet(EngineKind engine_kind,

@@ -8,6 +8,9 @@ namespace turboflux {
 namespace bench {
 
 Flags::Flags(int argc, char** argv, const std::vector<std::string>& known) {
+  std::vector<std::string> all_known = known;
+  all_known.push_back("threads");
+  all_known.push_back("batch");
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg.rfind("--", 0) != 0) {
@@ -18,9 +21,11 @@ Flags::Flags(int argc, char** argv, const std::vector<std::string>& known) {
     size_t eq = body.find('=');
     std::string key = eq == std::string::npos ? body : body.substr(0, eq);
     std::string value = eq == std::string::npos ? "1" : body.substr(eq + 1);
-    if (std::find(known.begin(), known.end(), key) == known.end()) {
+    if (std::find(all_known.begin(), all_known.end(), key) ==
+        all_known.end()) {
       std::fprintf(stderr, "unknown flag --%s; known flags:", key.c_str());
-      for (const std::string& k : known) std::fprintf(stderr, " --%s", k.c_str());
+      for (const std::string& k : all_known)
+        std::fprintf(stderr, " --%s", k.c_str());
       std::fprintf(stderr, "\n");
       std::exit(2);
     }

@@ -21,6 +21,7 @@ int Main(int argc, char** argv) {
   int64_t num_queries = flags.GetInt("queries", 8);
   ExperimentOptions options;
   options.timeout_ms = flags.GetInt("timeout_ms", 3000);
+  ApplyStreamingFlags(flags, options);
   uint64_t seed = flags.GetInt("seed", 42);
   std::vector<int64_t> rates = flags.GetIntList("rates", {2, 4, 6, 8, 10});
   int64_t size = flags.GetInt("size", 6);

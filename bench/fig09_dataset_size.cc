@@ -21,6 +21,7 @@ int Main(int argc, char** argv) {
   int64_t num_queries = flags.GetInt("queries", 8);
   ExperimentOptions options;
   options.timeout_ms = flags.GetInt("timeout_ms", 3000);
+  ApplyStreamingFlags(flags, options);
   uint64_t seed = flags.GetInt("seed", 42);
   // Scale percentages of the default dataset: 50%, 100%, 200%.
   std::vector<int64_t> scales = flags.GetIntList("scales", {50, 100, 200});

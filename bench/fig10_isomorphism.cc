@@ -20,6 +20,7 @@ int Main(int argc, char** argv) {
   int64_t num_queries = flags.GetInt("queries", 8);
   ExperimentOptions options;
   options.timeout_ms = flags.GetInt("timeout_ms", 3000);
+  ApplyStreamingFlags(flags, options);
   options.semantics = MatchSemantics::kIsomorphism;
   uint64_t seed = flags.GetInt("seed", 42);
 

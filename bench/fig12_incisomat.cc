@@ -23,6 +23,7 @@ int Main(int argc, char** argv) {
   int64_t num_queries = flags.GetInt("queries", 8);
   ExperimentOptions options;
   options.timeout_ms = flags.GetInt("timeout_ms", 5000);
+  ApplyStreamingFlags(flags, options);
   uint64_t seed = flags.GetInt("seed", 42);
   int64_t size = flags.GetInt("size", 6);
   size_t ops = static_cast<size_t>(flags.GetInt("ops", 1000));

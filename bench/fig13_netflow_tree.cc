@@ -23,6 +23,7 @@ int Main(int argc, char** argv) {
   int64_t num_queries = flags.GetInt("queries", 4);
   ExperimentOptions options;
   options.timeout_ms = flags.GetInt("timeout_ms", 1500);
+  ApplyStreamingFlags(flags, options);
   uint64_t seed = flags.GetInt("seed", 7);
   std::vector<int64_t> sizes = flags.GetIntList("sizes", {3, 6, 9, 12});
 

@@ -21,6 +21,7 @@ int Main(int argc, char** argv) {
   int64_t num_queries = flags.GetInt("queries", 8);
   ExperimentOptions options;
   options.timeout_ms = flags.GetInt("timeout_ms", 2000);
+  ApplyStreamingFlags(flags, options);
   uint64_t seed = flags.GetInt("seed", 7);
   std::vector<int64_t> sizes = flags.GetIntList("sizes", {3, 4, 5});
 

@@ -2,11 +2,20 @@
 # Reproduces the whole evaluation: builds, runs the test suite, then every
 # figure bench. Outputs land in test_output.txt and bench_output.txt at
 # the repository root. Expect ~20-40 minutes on a laptop.
+#
+# THREADS=N (and optionally BATCH=K) in the environment are forwarded to
+# every figure binary as --threads=N --batch=K, enabling TurboFlux's
+# parallel batched-update path. Defaults (1/1) reproduce the paper's
+# sequential model; outputs are identical either way.
 set -e
 cd "$(dirname "$0")/.."
+THREADS="${THREADS:-1}"
+BATCH="${BATCH:-1}"
+BENCH_FLAGS="--threads=$THREADS --batch=$BATCH"
 cmake -B build -G Ninja
 cmake --build build
 ctest --test-dir build 2>&1 | tee test_output.txt
 (for b in build/bench/*; do
-   [ -x "$b" ] && [ -f "$b" ] && echo "=== $b ===" && "$b"
+   [ -x "$b" ] && [ -f "$b" ] && echo "=== $b $BENCH_FLAGS ===" \
+     && "$b" $BENCH_FLAGS
  done) 2>&1 | tee bench_output.txt

@@ -1,6 +1,7 @@
 #ifndef TURBOFLUX_COMMON_DEADLINE_H_
 #define TURBOFLUX_COMMON_DEADLINE_H_
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 
@@ -10,12 +11,35 @@ namespace turboflux {
 /// Expired() periodically and unwind when it returns true; reading the
 /// clock is amortized over kCheckInterval calls so the check is cheap
 /// enough for inner loops.
+///
+/// Thread safety: a single Deadline instance may be polled concurrently
+/// from multiple threads (the parallel batch executor shares one deadline
+/// across workers). The amortization counter and the sticky expired bit
+/// are atomics with relaxed ordering — expiry is a monotone flag, so the
+/// worst case of a relaxed race is one extra clock read. Copying is not
+/// atomic; copy a Deadline only before handing it to other threads.
 class Deadline {
  public:
   using Clock = std::chrono::steady_clock;
 
   /// A deadline that never expires.
   Deadline() : when_(Clock::time_point::max()), infinite_(true) {}
+
+  Deadline(const Deadline& other)
+      : when_(other.when_),
+        infinite_(other.infinite_),
+        expired_(other.expired_.load(std::memory_order_relaxed)),
+        calls_(other.calls_.load(std::memory_order_relaxed)) {}
+
+  Deadline& operator=(const Deadline& other) {
+    when_ = other.when_;
+    infinite_ = other.infinite_;
+    expired_.store(other.expired_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+    calls_.store(other.calls_.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
+    return *this;
+  }
 
   static Deadline Infinite() { return Deadline(); }
 
@@ -34,17 +58,25 @@ class Deadline {
   /// kCheckInterval calls; once expired, stays expired.
   bool Expired() {
     if (infinite_) return false;
-    if (expired_) return true;
-    if (++calls_ % kCheckInterval != 0) return false;
-    expired_ = Clock::now() >= when_;
-    return expired_;
+    if (expired_.load(std::memory_order_relaxed)) return true;
+    uint32_t n = calls_.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (n % kCheckInterval != 0) return false;
+    if (Clock::now() >= when_) {
+      expired_.store(true, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
   }
 
   /// Reads the clock immediately (no amortization).
   bool ExpiredNow() {
     if (infinite_) return false;
-    if (!expired_) expired_ = Clock::now() >= when_;
-    return expired_;
+    if (expired_.load(std::memory_order_relaxed)) return true;
+    if (Clock::now() >= when_) {
+      expired_.store(true, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
   }
 
   bool infinite() const { return infinite_; }
@@ -54,8 +86,8 @@ class Deadline {
 
   Clock::time_point when_;
   bool infinite_ = false;
-  bool expired_ = false;
-  uint32_t calls_ = 0;
+  std::atomic<bool> expired_{false};
+  std::atomic<uint32_t> calls_{0};
 };
 
 /// A simple wall-clock stopwatch.

@@ -35,6 +35,13 @@ class MatchSink {
   virtual void OnMatch(bool positive, const Mapping& m) = 0;
 };
 
+/// Drops every match; used when an engine replays updates purely for
+/// their state effect.
+class DiscardSink : public MatchSink {
+ public:
+  void OnMatch(bool, const Mapping&) override {}
+};
+
 /// Counts matches without retaining them.
 class CountingSink : public MatchSink {
  public:

@@ -32,6 +32,20 @@ void Dcg::Reset(size_t num_data_vertices, const QueryTree& tree) {
   explicit_per_qv_.assign(num_qv_, 0);
 }
 
+void Dcg::CopyFrom(const Dcg& other, const QueryTree& tree) {
+  assert(tree.VertexCount() == other.num_qv_);
+  tree_ = &tree;
+  num_qv_ = other.num_qv_;
+  nodes_.clear();
+  nodes_.resize(other.nodes_.size());
+  for (size_t v = 0; v < other.nodes_.size(); ++v) {
+    if (other.nodes_[v]) nodes_[v] = std::make_unique<Node>(*other.nodes_[v]);
+  }
+  edge_count_ = other.edge_count_;
+  explicit_count_ = other.explicit_count_;
+  explicit_per_qv_ = other.explicit_per_qv_;
+}
+
 Dcg::Node& Dcg::EnsureNode(VertexId v) {
   assert(v < nodes_.size());
   if (!nodes_[v]) nodes_[v] = std::make_unique<Node>(num_qv_);

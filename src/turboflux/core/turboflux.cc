@@ -1,12 +1,48 @@
 #include "turboflux/core/turboflux.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
+#include <functional>
+#include <utility>
 
 #include "turboflux/core/matching_order.h"
 #include "turboflux/query/query_stats.h"
 
 namespace turboflux {
+
+namespace {
+
+/// Buffers one op's matches so the batch executor can merge per-op
+/// buffers in stream order after the parallel phase. Matches are stored
+/// flattened (sign + the mapping's vertex ids appended to one growing
+/// array): a heap allocation per match would dominate the parallel
+/// path's cost on match-dense streams.
+class FlatMatchBuffer : public MatchSink {
+ public:
+  void OnMatch(bool positive, const Mapping& m) override {
+    signs_.push_back(positive ? 1 : 0);
+    sizes_.push_back(static_cast<uint32_t>(m.size()));
+    flat_.insert(flat_.end(), m.begin(), m.end());
+  }
+
+  void Flush(MatchSink& sink, Mapping& scratch) const {
+    size_t pos = 0;
+    for (size_t i = 0; i < signs_.size(); ++i) {
+      scratch.assign(flat_.begin() + static_cast<ptrdiff_t>(pos),
+                     flat_.begin() + static_cast<ptrdiff_t>(pos + sizes_[i]));
+      pos += sizes_[i];
+      sink.OnMatch(signs_[i] != 0, scratch);
+    }
+  }
+
+ private:
+  std::vector<char> signs_;
+  std::vector<uint32_t> sizes_;
+  std::vector<VertexId> flat_;
+};
+
+}  // namespace
 
 TurboFluxEngine::TurboFluxEngine(TurboFluxOptions options)
     : options_(options) {}
@@ -24,6 +60,12 @@ bool TurboFluxEngine::Init(const QueryGraph& q, const Graph& g0,
   deadline_ = &deadline;
   dead_ = false;
   has_updated_edge_ = false;
+
+  // Any previous parallel runtime is bound to the old query/graph.
+  replicas_.clear();
+  scheduler_.reset();
+  state_version_ = 0;
+  replica_version_ = 0;
 
   QueryStats stats = ComputeQueryStats(q, g_);
   QVertexId root = ChooseStartQVertex(q, stats);
@@ -91,7 +133,9 @@ bool TurboFluxEngine::Init(const QueryGraph& q, const Graph& g0,
 
 bool TurboFluxEngine::ApplyUpdate(const UpdateOp& op, MatchSink& sink,
                                   Deadline deadline) {
-  assert(q_ != nullptr && !dead_);
+  assert(q_ != nullptr);
+  if (dead_) return false;
+  ++state_version_;
   deadline_ = &deadline;
   has_updated_edge_ = true;
   upd_from_ = op.from;
@@ -118,7 +162,10 @@ bool TurboFluxEngine::ApplyUpdate(const UpdateOp& op, MatchSink& sink,
     dead_ = true;
     return false;
   }
-  MaybeAdjustMatchingOrder();
+  // In batched mode the primary runs the drift check once per batch and
+  // pushes the result to its replicas; per-op checks would let replicas
+  // diverge (they see the sub-batch in a different application order).
+  if (!suppress_adjust_) MaybeAdjustMatchingOrder();
   return true;
 }
 
@@ -376,6 +423,9 @@ void TurboFluxEngine::ClearDcg(QVertexId child, VertexId pv, VertexId cv) {
 // --- Subgraph search (Algorithm 7) ---
 
 void TurboFluxEngine::RunSearch(QEdgeId eq, bool positive, MatchSink& sink) {
+  // State-only replay: all DCG transitions driving this call already
+  // happened in the caller; the search itself never mutates the DCG.
+  if (!search_enabled_) return;
   if (options_.semantics == MatchSemantics::kIsomorphism) {
     // The fixed seed path must itself be injective.
     for (size_t i = 0; i < m_.size(); ++i) {
@@ -460,6 +510,154 @@ void TurboFluxEngine::Report(QEdgeId eq, bool positive, MatchSink& sink) {
     }
   }
   sink.OnMatch(positive, m_);
+}
+
+// --- Parallel batched evaluation ---
+
+std::unique_ptr<TurboFluxEngine> TurboFluxEngine::CloneReplica() const {
+  auto r = std::make_unique<TurboFluxEngine>(options_);
+  r->options_.threads = 1;  // replicas never nest parallelism
+  r->q_ = q_;
+  r->g_ = g_;
+  r->tree_ = tree_;
+  r->dcg_.CopyFrom(dcg_, r->tree_);
+  r->mo_ = mo_;
+  r->start_vertices_ = start_vertices_;
+  r->dedup_rank_ = dedup_rank_;
+  r->tree_children_by_label_ = tree_children_by_label_;
+  r->non_tree_by_label_ = non_tree_by_label_;
+  r->m_ = m_;
+  r->order_counts_snapshot_ = order_counts_snapshot_;
+  r->ops_since_adjust_check_ = ops_since_adjust_check_;
+  r->order_recomputes_ = order_recomputes_;
+  r->suppress_adjust_ = true;  // the primary pushes order updates instead
+  return r;
+}
+
+bool TurboFluxEngine::ApplyUpdateStateOnly(const UpdateOp& op,
+                                           Deadline deadline) {
+  DiscardSink sink;
+  search_enabled_ = false;
+  bool ok = ApplyUpdate(op, sink, deadline);
+  search_enabled_ = true;
+  return ok;
+}
+
+void TurboFluxEngine::EnsureParallelRuntime() {
+  const size_t workers = options_.threads - 1;
+  if (!pool_ || pool_->size() != workers) {
+    pool_ = std::make_unique<parallel::ThreadPool>(workers);
+  }
+  if (!scheduler_) {
+    scheduler_ =
+        std::make_unique<parallel::BatchScheduler>(*q_, options_.scheduler);
+  }
+  if (replicas_.size() != workers || replica_version_ != state_version_) {
+    replicas_.clear();
+    replicas_.reserve(workers);
+    for (size_t i = 0; i < workers; ++i) replicas_.push_back(CloneReplica());
+    replica_version_ = state_version_;
+  }
+}
+
+bool TurboFluxEngine::ApplyBatch(std::span<const UpdateOp> ops,
+                                 MatchSink& sink, Deadline deadline) {
+  assert(q_ != nullptr);
+  if (dead_) return false;
+  const size_t nthreads = std::max<size_t>(1, options_.threads);
+  if (nthreads == 1 || ops.size() <= 1) {
+    return ContinuousEngine::ApplyBatch(ops, sink, deadline);
+  }
+  EnsureParallelRuntime();
+  const std::vector<std::vector<size_t>> sub_batches =
+      scheduler_->Partition(g_, ops);
+
+  // Per-op match buffers, merged into `sink` in stream order at the end so
+  // the output is independent of worker interleaving. `completed[i]` is
+  // written by exactly one worker (distinct element per op — no race).
+  std::vector<FlatMatchBuffer> buffers(ops.size());
+  std::vector<char> completed(ops.size(), 0);
+  std::atomic<bool> failed{false};
+
+  suppress_adjust_ = true;
+  for (const std::vector<size_t>& sub : sub_batches) {
+    if (failed.load(std::memory_order_relaxed)) break;
+
+    // Phase 1: worker w fully evaluates its round-robin share of the
+    // sub-batch. Ops within a sub-batch are conflict-free, so every DCG
+    // node an evaluation reads is untouched by the sibling ops and the
+    // per-op matches equal sequential ApplyUpdate's.
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(nthreads);
+    for (size_t w = 0; w < nthreads; ++w) {
+      TurboFluxEngine* eng = w == 0 ? this : replicas_[w - 1].get();
+      tasks.push_back([&, w, eng] {
+        for (size_t k = w; k < sub.size(); k += nthreads) {
+          if (deadline.Expired() ||  // shared deadline, thread-safe poll
+              failed.load(std::memory_order_relaxed)) {
+            failed.store(true, std::memory_order_relaxed);
+            return;
+          }
+          const size_t idx = sub[k];
+          if (!eng->ApplyUpdate(ops[idx], buffers[idx], deadline)) {
+            failed.store(true, std::memory_order_relaxed);
+            return;
+          }
+          completed[idx] = 1;
+        }
+      });
+    }
+    pool_->RunAll(std::move(tasks));
+    if (failed.load(std::memory_order_relaxed)) break;
+
+    // Phase 2: resynchronize — every engine replays the ops the other
+    // workers evaluated, state-only. Conflict-freedom makes the state
+    // changes commute, so all engines land on the same post-sub-batch
+    // state regardless of per-worker application order.
+    tasks.clear();
+    for (size_t w = 0; w < nthreads; ++w) {
+      TurboFluxEngine* eng = w == 0 ? this : replicas_[w - 1].get();
+      tasks.push_back([&, w, eng] {
+        for (size_t k = 0; k < sub.size(); ++k) {
+          if (k % nthreads == w) continue;
+          if (!eng->ApplyUpdateStateOnly(ops[sub[k]], deadline)) {
+            failed.store(true, std::memory_order_relaxed);
+            return;
+          }
+        }
+      });
+    }
+    pool_->RunAll(std::move(tasks));
+    if (failed.load(std::memory_order_relaxed)) break;
+  }
+  suppress_adjust_ = false;
+
+  // Deterministic merge. When the batch was cut short, flush only the
+  // longest prefix of ops that fully evaluated: the matches delivered then
+  // equal sequential execution of exactly ops[0..limit).
+  size_t limit = ops.size();
+  if (failed.load(std::memory_order_relaxed)) {
+    limit = 0;
+    while (limit < ops.size() && completed[limit]) ++limit;
+  }
+  Mapping scratch;
+  for (size_t i = 0; i < limit; ++i) buffers[i].Flush(sink, scratch);
+  if (failed.load(std::memory_order_relaxed)) {
+    dead_ = true;  // replicas may be mid-sub-batch; the engine is unusable
+    return false;
+  }
+
+  // Batch-boundary matching-order maintenance, pushed to the replicas so
+  // every engine enters the next batch with an identical order.
+  for (size_t i = 0; i < ops.size(); ++i) MaybeAdjustMatchingOrder();
+  for (const std::unique_ptr<TurboFluxEngine>& r : replicas_) {
+    r->mo_ = mo_;
+    r->order_counts_snapshot_ = order_counts_snapshot_;
+    r->ops_since_adjust_check_ = ops_since_adjust_check_;
+    r->order_recomputes_ = order_recomputes_;
+  }
+  replica_version_ = state_version_;
+  return true;
 }
 
 // --- Matching order maintenance ---

@@ -2,7 +2,9 @@
 #define TURBOFLUX_CORE_TURBOFLUX_H_
 
 #include <cstdint>
+#include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -14,6 +16,8 @@
 #include "turboflux/graph/graph.h"
 #include "turboflux/graph/update_stream.h"
 #include "turboflux/harness/engine.h"
+#include "turboflux/parallel/batch.h"
+#include "turboflux/parallel/thread_pool.h"
 #include "turboflux/query/query_graph.h"
 #include "turboflux/query/query_tree.h"
 
@@ -27,6 +31,13 @@ struct TurboFluxOptions {
   /// tree (ablation baseline).
   enum class OrderPolicy { kCostBased, kBfs };
   OrderPolicy order_policy = OrderPolicy::kCostBased;
+
+  /// Worker threads used by ApplyBatch (1 = sequential; N > 1 runs the
+  /// calling thread plus N-1 pool workers over conflict-free sub-batches).
+  size_t threads = 1;
+
+  /// Conflict-region size cap handed to the batch scheduler.
+  parallel::BatchSchedulerOptions scheduler;
 
   /// Updates between AdjustMatchingOrder drift checks.
   size_t adjust_interval = 1024;
@@ -61,6 +72,19 @@ class TurboFluxEngine : public ContinuousEngine {
             Deadline deadline) override;
   bool ApplyUpdate(const UpdateOp& op, MatchSink& sink,
                    Deadline deadline) override;
+
+  /// Parallel batched evaluation (DESIGN.md "Parallel batch evaluation"):
+  /// partitions `ops` into conflict-free sub-batches, evaluates each
+  /// sub-batch's ops concurrently on engine replicas with per-op match
+  /// buffers, resynchronizes every replica by replaying the other workers'
+  /// ops state-only, and flushes the buffers to `sink` in stream order —
+  /// the reported matches per op equal sequential ApplyUpdate's and the
+  /// final DCG is identical. Falls back to the sequential loop when
+  /// options.threads <= 1. On deadline expiry, flushes only the longest
+  /// fully-evaluated op prefix and leaves the engine dead.
+  bool ApplyBatch(std::span<const UpdateOp> ops, MatchSink& sink,
+                  Deadline deadline) override;
+
   size_t IntermediateSize() const override { return dcg_.EdgeCount(); }
   std::string name() const override;
 
@@ -131,6 +155,22 @@ class TurboFluxEngine : public ContinuousEngine {
   void MaybeAdjustMatchingOrder();
   void RecomputeMatchingOrder();
 
+  // --- Parallel batch machinery ---
+
+  /// Deep copy of the engine's matching state (graph, tree, DCG, orders);
+  /// the replica suppresses matching-order self-adjustment — the primary
+  /// pushes order updates to replicas at batch boundaries.
+  std::unique_ptr<TurboFluxEngine> CloneReplica() const;
+
+  /// ApplyUpdate with search/reporting disabled: performs exactly the same
+  /// graph and DCG maintenance (SubgraphSearch never mutates the DCG), so
+  /// the post-state is identical to a full ApplyUpdate.
+  bool ApplyUpdateStateOnly(const UpdateOp& op, Deadline deadline);
+
+  /// Lazily builds/refreshes the pool, scheduler, and replicas; replicas
+  /// are rebuilt when interleaved single-op updates made them stale.
+  void EnsureParallelRuntime();
+
   bool Expired() { return deadline_ != nullptr && deadline_->Expired(); }
 
   TurboFluxOptions options_;
@@ -157,6 +197,18 @@ class TurboFluxEngine : public ContinuousEngine {
   std::vector<uint64_t> order_counts_snapshot_;
   size_t ops_since_adjust_check_ = 0;
   size_t order_recomputes_ = 0;
+
+  // Parallel batch state. `state_version_` counts applied updates on this
+  // instance; replicas are in sync iff replica_version_ == state_version_.
+  // `search_enabled_`/`suppress_adjust_` gate the state-only replay path
+  // and batch-boundary order adjustment (see ApplyBatch).
+  bool search_enabled_ = true;
+  bool suppress_adjust_ = false;
+  uint64_t state_version_ = 0;
+  uint64_t replica_version_ = 0;
+  std::vector<std::unique_ptr<TurboFluxEngine>> replicas_;
+  std::unique_ptr<parallel::ThreadPool> pool_;
+  std::unique_ptr<parallel::BatchScheduler> scheduler_;
 };
 
 }  // namespace turboflux

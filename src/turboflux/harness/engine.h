@@ -1,6 +1,7 @@
 #ifndef TURBOFLUX_HARNESS_ENGINE_H_
 #define TURBOFLUX_HARNESS_ENGINE_H_
 
+#include <span>
 #include <string>
 
 #include "turboflux/common/deadline.h"
@@ -32,6 +33,21 @@ class ContinuousEngine {
   /// the engine must not be used further).
   virtual bool ApplyUpdate(const UpdateOp& op, MatchSink& sink,
                            Deadline deadline) = 0;
+
+  /// Applies a window of consecutive update operations, reporting matches
+  /// exactly as the equivalent sequence of ApplyUpdate calls would (same
+  /// per-op match sets, ops reported in stream order). The default is the
+  /// sequential loop; engines with a parallel path override this. Returns
+  /// false if the deadline expired mid-batch — the matches reported by
+  /// then correspond to a consistent prefix of the batch, and the engine
+  /// must not be used further.
+  virtual bool ApplyBatch(std::span<const UpdateOp> ops, MatchSink& sink,
+                          Deadline deadline) {
+    for (const UpdateOp& op : ops) {
+      if (!ApplyUpdate(op, sink, deadline)) return false;
+    }
+    return true;
+  }
 
   /// Current size of maintained intermediate results, in the engine's
   /// natural unit: DCG edges for TurboFlux, stored partial-solution vertex

@@ -1,6 +1,7 @@
 #include "turboflux/harness/runner.h"
 
 #include <algorithm>
+#include <span>
 
 #include "turboflux/common/deadline.h"
 
@@ -80,14 +81,29 @@ RunResult RunContinuous(ContinuousEngine& engine, const QueryGraph& q,
   result.peak_intermediate = engine.IntermediateSize();
 
   Stopwatch stream_watch;
-  for (const UpdateOp& op : stream) {
-    if (!engine.ApplyUpdate(op, phase_sink, deadline)) {
-      result.timed_out = true;
-      break;
+  if (options.batch_size <= 1) {
+    for (const UpdateOp& op : stream) {
+      if (!engine.ApplyUpdate(op, phase_sink, deadline)) {
+        result.timed_out = true;
+        break;
+      }
+      ++result.processed_ops;
+      result.peak_intermediate =
+          std::max(result.peak_intermediate, engine.IntermediateSize());
     }
-    ++result.processed_ops;
-    result.peak_intermediate =
-        std::max(result.peak_intermediate, engine.IntermediateSize());
+  } else {
+    const size_t batch = static_cast<size_t>(options.batch_size);
+    for (size_t i = 0; i < stream.size(); i += batch) {
+      const size_t n = std::min(batch, stream.size() - i);
+      std::span<const UpdateOp> window(stream.data() + i, n);
+      if (!engine.ApplyBatch(window, phase_sink, deadline)) {
+        result.timed_out = true;
+        break;
+      }
+      result.processed_ops += n;
+      result.peak_intermediate =
+          std::max(result.peak_intermediate, engine.IntermediateSize());
+    }
   }
   result.raw_stream_seconds = stream_watch.ElapsedSeconds();
   result.positive_matches = phase_sink.positive();

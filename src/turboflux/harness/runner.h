@@ -17,6 +17,12 @@ struct RunOptions {
   /// When true, stream_seconds subtracts the time of a bare graph-update
   /// pass over the same stream, mirroring the paper's cost(M(Δg, q)).
   bool subtract_graph_update_cost = true;
+
+  /// Updates handed to the engine per ApplyBatch call. 1 feeds the stream
+  /// one ApplyUpdate at a time (the paper's model); larger values enable
+  /// the engine's batched path (parallel for TurboFlux when its `threads`
+  /// option is > 1). Output is equivalent either way.
+  int64_t batch_size = 1;
 };
 
 /// Runs `engine` on query `q`: initializes with `g0`, then feeds `stream`

@@ -1,0 +1,106 @@
+#include "turboflux/parallel/batch.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace turboflux {
+namespace parallel {
+
+BatchScheduler::BatchScheduler(const QueryGraph& q,
+                               BatchSchedulerOptions options)
+    : q_(&q), options_(options) {
+  for (const QEdge& qe : q.edges()) query_edge_labels_.insert(qe.label);
+  // Ball radius covering both DCG maintenance (≤ tree height hops) and
+  // match enumeration (≤ query diameter hops): |V(q)| bounds both.
+  radius_ = q.VertexCount();
+}
+
+BatchScheduler::Region BatchScheduler::ComputeRegion(
+    const Graph& g, const UpdateOp& op,
+    const std::unordered_map<VertexId, std::vector<VertexId>>& overlay)
+    const {
+  Region region;
+  std::queue<std::pair<VertexId, size_t>> frontier;
+  auto push = [&](VertexId v, size_t depth) {
+    if (region.global) return;
+    if (!region.vertices.insert(v).second) return;
+    if (region.vertices.size() > options_.max_region_size) {
+      region.global = true;
+      return;
+    }
+    if (depth < radius_) frontier.push({v, depth});
+  };
+  push(op.from, 0);
+  push(op.to, 0);
+  while (!frontier.empty() && !region.global) {
+    auto [v, depth] = frontier.front();
+    frontier.pop();
+    if (g.IsValidVertex(v)) {
+      for (const AdjEntry& e : g.OutEdges(v)) {
+        if (query_edge_labels_.count(e.label)) push(e.other, depth + 1);
+      }
+      for (const AdjEntry& e : g.InEdges(v)) {
+        if (query_edge_labels_.count(e.label)) push(e.other, depth + 1);
+      }
+    }
+    auto it = overlay.find(v);
+    if (it != overlay.end()) {
+      for (VertexId other : it->second) push(other, depth + 1);
+    }
+  }
+  return region;
+}
+
+bool BatchScheduler::Conflicts(const Region& a, const Region& b) {
+  if (a.global || b.global) return true;
+  const Region& small = a.vertices.size() <= b.vertices.size() ? a : b;
+  const Region& large = (&small == &a) ? b : a;
+  for (VertexId v : small.vertices) {
+    if (large.vertices.count(v)) return true;
+  }
+  return false;
+}
+
+std::vector<std::vector<size_t>> BatchScheduler::Partition(
+    const Graph& g, std::span<const UpdateOp> ops) const {
+  // Overlay adjacency of every edge the batch touches (inserts may not be
+  // in g yet; regions must see them to stay conservative across the whole
+  // window). Only query-labeled edges can influence the DCG, so the rest
+  // are skipped.
+  std::unordered_map<VertexId, std::vector<VertexId>> overlay;
+  for (const UpdateOp& op : ops) {
+    if (!query_edge_labels_.count(op.label)) continue;
+    overlay[op.from].push_back(op.to);
+    overlay[op.to].push_back(op.from);
+  }
+
+  std::vector<Region> regions;
+  regions.reserve(ops.size());
+  for (const UpdateOp& op : ops) {
+    regions.push_back(ComputeRegion(g, op, overlay));
+  }
+
+  // Greedy chain scheduling: op j goes one sub-batch past the last earlier
+  // op it conflicts with. Conflicting pairs therefore never share a
+  // sub-batch and keep their stream order across sub-batches.
+  std::vector<size_t> level(ops.size(), 0);
+  size_t max_level = 0;
+  for (size_t j = 0; j < ops.size(); ++j) {
+    for (size_t i = 0; i < j; ++i) {
+      if (level[i] >= level[j] && Conflicts(regions[i], regions[j])) {
+        level[j] = level[i] + 1;
+      }
+    }
+    max_level = std::max(max_level, level[j]);
+  }
+
+  std::vector<std::vector<size_t>> sub_batches(ops.empty() ? 0
+                                                           : max_level + 1);
+  for (size_t j = 0; j < ops.size(); ++j) {
+    sub_batches[level[j]].push_back(j);
+  }
+  return sub_batches;
+}
+
+}  // namespace parallel
+}  // namespace turboflux

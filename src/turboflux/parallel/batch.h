@@ -1,0 +1,79 @@
+#ifndef TURBOFLUX_PARALLEL_BATCH_H_
+#define TURBOFLUX_PARALLEL_BATCH_H_
+
+#include <cstddef>
+#include <span>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "turboflux/common/types.h"
+#include "turboflux/graph/graph.h"
+#include "turboflux/graph/update_stream.h"
+#include "turboflux/query/query_graph.h"
+
+namespace turboflux {
+namespace parallel {
+
+struct BatchSchedulerOptions {
+  /// Influence regions larger than this are not materialized; the op is
+  /// treated as conflicting with every other op (it runs in a sub-batch
+  /// ordered against everything), trading parallelism for bounded
+  /// scheduling cost on hub-heavy graphs.
+  size_t max_region_size = 4096;
+};
+
+/// Groups a window of consecutive update operations into conflict-free
+/// sub-batches for the parallel executor.
+///
+/// The influence region of an update (v, l, v') is every data vertex the
+/// engine can read or write while applying it: DCG maintenance walks at
+/// most tree-height hops up/down from the endpoints and SubgraphSearch
+/// enumerates matches spanning at most the query diameter, so a ball of
+/// radius |V(q)| around {v, v'} over edges whose label occurs in the query
+/// (the query's label index) covers both. The BFS runs on the pre-batch
+/// graph plus an overlay of every edge mentioned by the batch, which is an
+/// adjacency superset of every intermediate graph state — deletions only
+/// shrink reachability — so regions are conservative.
+///
+/// Two ops conflict iff their regions intersect (ops sharing an endpoint
+/// vertex always conflict). Scheduling preserves stream order between
+/// conflicting ops: an op lands in the sub-batch right after the last
+/// earlier op it conflicts with, so e.g. a deletion of an edge inserted
+/// earlier in the window is ordered after that insertion. Within a
+/// sub-batch no two ops conflict, hence they commute: applying them in any
+/// order yields the same DCG state and the same per-op match sets.
+class BatchScheduler {
+ public:
+  explicit BatchScheduler(const QueryGraph& q,
+                          BatchSchedulerOptions options = {});
+
+  /// Partitions ops[0..n) into ordered sub-batches of indices. Every index
+  /// appears exactly once; within a sub-batch indices ascend; conflicting
+  /// ops are always in distinct sub-batches with the earlier op first.
+  std::vector<std::vector<size_t>> Partition(
+      const Graph& g, std::span<const UpdateOp> ops) const;
+
+ private:
+  struct Region {
+    std::unordered_set<VertexId> vertices;
+    bool global = false;  // region exceeded max_region_size
+  };
+
+  Region ComputeRegion(const Graph& g, const UpdateOp& op,
+                       const std::unordered_map<VertexId,
+                                                std::vector<VertexId>>&
+                           overlay) const;
+
+  static bool Conflicts(const Region& a, const Region& b);
+
+  const QueryGraph* q_;
+  BatchSchedulerOptions options_;
+  std::unordered_set<EdgeLabel> query_edge_labels_;
+  size_t radius_;
+};
+
+}  // namespace parallel
+}  // namespace turboflux
+
+#endif  // TURBOFLUX_PARALLEL_BATCH_H_

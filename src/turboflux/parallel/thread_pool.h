@@ -1,0 +1,57 @@
+#ifndef TURBOFLUX_PARALLEL_THREAD_POOL_H_
+#define TURBOFLUX_PARALLEL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace turboflux {
+namespace parallel {
+
+/// A small fixed-size thread pool for the parallel batch executor.
+///
+///  * Submit enqueues a task and returns a future; exceptions thrown by the
+///    task are captured and rethrown from future.get().
+///  * RunAll runs task[0] on the calling thread and the rest on workers,
+///    waits for every task, and rethrows the first captured exception —
+///    the batch executor's one-barrier-per-phase primitive.
+///  * The destructor finishes every already-queued task before joining
+///    (shutdown never drops work).
+///
+/// A pool of size 0 is valid: Submit and RunAll then execute inline on the
+/// calling thread, which keeps `--threads=1` free of any thread machinery.
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t size() const { return workers_.size(); }
+
+  std::future<void> Submit(std::function<void()> task);
+
+  /// Runs all tasks to completion (task[0] inline on the caller when the
+  /// pool has workers to run the rest). Rethrows the first exception.
+  void RunAll(std::vector<std::function<void()>> tasks);
+
+ private:
+  void WorkerLoop();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::packaged_task<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace parallel
+}  // namespace turboflux
+
+#endif  // TURBOFLUX_PARALLEL_THREAD_POOL_H_

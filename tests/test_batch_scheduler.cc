@@ -1,0 +1,188 @@
+// BatchScheduler unit tests: the partition must cover every op exactly
+// once, never co-schedule ops whose influence regions overlap (in
+// particular ops sharing an endpoint vertex, and a deletion of an edge
+// inserted earlier in the same window), keep conflicting ops in stream
+// order across sub-batches, and degrade to fully sequential singletons
+// when regions blow past max_region_size.
+
+#include <span>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "turboflux/graph/graph.h"
+#include "turboflux/graph/update_stream.h"
+#include "turboflux/parallel/batch.h"
+#include "turboflux/query/query_graph.h"
+
+namespace turboflux {
+namespace parallel {
+namespace {
+
+// Query: u0 -(label 0)-> u1 over vertex labels {0} -> {1}.
+QueryGraph PairQuery() {
+  QueryGraph q;
+  QVertexId u0 = q.AddVertex(LabelSet{0});
+  QVertexId u1 = q.AddVertex(LabelSet{1});
+  q.AddEdge(u0, 0, u1);
+  return q;
+}
+
+// `clusters` disconnected (source, sink) vertex pairs.
+Graph ClusterGraph(size_t clusters) {
+  Graph g;
+  for (size_t i = 0; i < clusters; ++i) {
+    g.AddVertex(LabelSet{0});
+    g.AddVertex(LabelSet{1});
+  }
+  return g;
+}
+
+// Flattens a partition and checks it is a permutation of 0..n-1.
+void ExpectCoversAll(const std::vector<std::vector<size_t>>& sub_batches,
+                     size_t n) {
+  std::vector<int> seen(n, 0);
+  for (const auto& sub : sub_batches) {
+    for (size_t idx : sub) {
+      ASSERT_LT(idx, n);
+      ++seen[idx];
+    }
+  }
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(seen[i], 1) << "op " << i << " scheduled " << seen[i]
+                          << " times";
+  }
+}
+
+// Sub-batch index each op landed in.
+std::vector<size_t> LevelOf(const std::vector<std::vector<size_t>>& sub_batches,
+                            size_t n) {
+  std::vector<size_t> level(n, 0);
+  for (size_t s = 0; s < sub_batches.size(); ++s) {
+    for (size_t idx : sub_batches[s]) level[idx] = s;
+  }
+  return level;
+}
+
+TEST(BatchScheduler, DisjointOpsShareOneSubBatch) {
+  QueryGraph q = PairQuery();
+  Graph g = ClusterGraph(8);
+  BatchScheduler scheduler(q);
+  UpdateStream ops;
+  for (VertexId i = 0; i < 8; ++i) {
+    ops.push_back(UpdateOp::Insert(2 * i, 0, 2 * i + 1));
+  }
+  auto sub_batches = scheduler.Partition(g, ops);
+  ExpectCoversAll(sub_batches, ops.size());
+  EXPECT_EQ(sub_batches.size(), 1u);
+  EXPECT_EQ(sub_batches[0].size(), ops.size());
+}
+
+TEST(BatchScheduler, SameVertexOpsNeverCoScheduled) {
+  QueryGraph q = PairQuery();
+  Graph g = ClusterGraph(4);
+  BatchScheduler scheduler(q);
+  // All four inserts share source vertex 0.
+  UpdateStream ops;
+  for (VertexId i = 0; i < 4; ++i) {
+    ops.push_back(UpdateOp::Insert(0, 0, 2 * i + 1));
+  }
+  auto sub_batches = scheduler.Partition(g, ops);
+  ExpectCoversAll(sub_batches, ops.size());
+  for (const auto& sub : sub_batches) {
+    EXPECT_EQ(sub.size(), 1u) << "ops sharing vertex 0 were co-scheduled";
+  }
+  // Stream order is preserved between conflicting ops.
+  std::vector<size_t> level = LevelOf(sub_batches, ops.size());
+  for (size_t i = 1; i < ops.size(); ++i) {
+    EXPECT_LT(level[i - 1], level[i]);
+  }
+}
+
+TEST(BatchScheduler, DeleteOrderedAfterInsertOfSameEdge) {
+  QueryGraph q = PairQuery();
+  Graph g = ClusterGraph(2);
+  BatchScheduler scheduler(q);
+  UpdateStream ops;
+  ops.push_back(UpdateOp::Insert(0, 0, 1));
+  ops.push_back(UpdateOp::Delete(0, 0, 1));
+  auto sub_batches = scheduler.Partition(g, ops);
+  ExpectCoversAll(sub_batches, ops.size());
+  std::vector<size_t> level = LevelOf(sub_batches, ops.size());
+  EXPECT_LT(level[0], level[1])
+      << "deletion must run after the insertion of the same edge";
+}
+
+TEST(BatchScheduler, OverlayConflictsSeenThroughPendingInserts) {
+  QueryGraph q = PairQuery();
+  // Three isolated vertices; no pre-existing edges at all.
+  Graph g;
+  g.AddVertex(LabelSet{0});  // 0
+  g.AddVertex(LabelSet{1});  // 1
+  g.AddVertex(LabelSet{0});  // 2
+  BatchScheduler scheduler(q);
+  // Op 0 inserts 0->1; op 1 inserts 2->1. They only meet through the
+  // overlay (the pre-batch graph has no adjacency), yet both can reach
+  // vertex 1, so they must not be co-scheduled.
+  UpdateStream ops;
+  ops.push_back(UpdateOp::Insert(0, 0, 1));
+  ops.push_back(UpdateOp::Insert(2, 0, 1));
+  auto sub_batches = scheduler.Partition(g, ops);
+  ExpectCoversAll(sub_batches, ops.size());
+  std::vector<size_t> level = LevelOf(sub_batches, ops.size());
+  EXPECT_NE(level[0], level[1]);
+  EXPECT_LT(level[0], level[1]);
+}
+
+TEST(BatchScheduler, ChainedConflictsStaySequential) {
+  QueryGraph q = PairQuery();
+  Graph g;
+  for (unsigned i = 0; i < 5; ++i) g.AddVertex(LabelSet{i % 2});
+  BatchScheduler scheduler(q);
+  // 0->1, 1->2, 2->3, 3->4: each op conflicts with its neighbour.
+  UpdateStream ops;
+  for (VertexId i = 0; i + 1 < 5; ++i) {
+    ops.push_back(UpdateOp::Insert(i, 0, i + 1));
+  }
+  auto sub_batches = scheduler.Partition(g, ops);
+  ExpectCoversAll(sub_batches, ops.size());
+  std::vector<size_t> level = LevelOf(sub_batches, ops.size());
+  for (size_t i = 1; i < ops.size(); ++i) {
+    EXPECT_LT(level[i - 1], level[i]) << "chain link " << i;
+  }
+}
+
+TEST(BatchScheduler, TinyRegionCapFallsBackToSequential) {
+  QueryGraph q = PairQuery();
+  Graph g = ClusterGraph(4);
+  BatchSchedulerOptions options;
+  options.max_region_size = 1;  // every region goes global
+  BatchScheduler scheduler(q, options);
+  UpdateStream ops;
+  for (VertexId i = 0; i < 4; ++i) {
+    ops.push_back(UpdateOp::Insert(2 * i, 0, 2 * i + 1));
+  }
+  auto sub_batches = scheduler.Partition(g, ops);
+  ExpectCoversAll(sub_batches, ops.size());
+  std::vector<size_t> level = LevelOf(sub_batches, ops.size());
+  for (size_t i = 1; i < ops.size(); ++i) {
+    EXPECT_LT(level[i - 1], level[i])
+        << "global regions must serialize in stream order";
+  }
+}
+
+TEST(BatchScheduler, EmptyAndSingletonWindows) {
+  QueryGraph q = PairQuery();
+  Graph g = ClusterGraph(1);
+  BatchScheduler scheduler(q);
+  UpdateStream empty;
+  EXPECT_TRUE(scheduler.Partition(g, empty).empty());
+  UpdateStream one;
+  one.push_back(UpdateOp::Insert(0, 0, 1));
+  auto sub_batches = scheduler.Partition(g, one);
+  ASSERT_EQ(sub_batches.size(), 1u);
+  EXPECT_EQ(sub_batches[0], std::vector<size_t>{0});
+}
+
+}  // namespace
+}  // namespace parallel
+}  // namespace turboflux

@@ -1,0 +1,169 @@
+// Deadline under concurrency (the parallel batch path polls one shared
+// deadline from every worker) plus the engine's cut-short-batch
+// semantics: when a deadline expires mid-batch, ApplyBatch must return
+// false, report exactly the matches of some prefix of the window (whole
+// ops, in stream order), and leave the engine dead to further updates.
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "testutil.h"
+#include "turboflux/common/deadline.h"
+#include "turboflux/core/turboflux.h"
+
+namespace turboflux {
+namespace {
+
+using testutil::MakeRandomCase;
+using testutil::RandomCase;
+using testutil::RandomCaseConfig;
+
+RandomCaseConfig TreeConfig() {
+  RandomCaseConfig config;
+  config.num_vertices = 9;
+  config.num_vertex_labels = 3;
+  config.num_edge_labels = 2;
+  config.initial_edges = 14;
+  config.stream_ops = 40;
+  config.query_vertices = 4;
+  config.query_edges = 3;
+  return config;
+}
+
+TEST(DeadlineConcurrent, InfiniteNeverExpiresUnderContention) {
+  Deadline d = Deadline::Infinite();
+  std::vector<std::thread> threads;
+  std::atomic<bool> any_expired{false};
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 100000; ++i) {
+        if (d.Expired()) any_expired = true;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_FALSE(any_expired.load());
+}
+
+TEST(DeadlineConcurrent, ExpiryIsObservedByAllPollersAndSticks) {
+  Deadline d = Deadline::AfterMillis(20);
+  std::vector<std::thread> threads;
+  std::atomic<int> observed{0};
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      // Each poll increments the shared sample counter; the clock is
+      // only consulted every kCheckInterval calls, so spin until the
+      // expiry actually becomes visible to this thread.
+      while (!d.Expired()) {
+      }
+      ++observed;
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(observed.load(), 4);
+  // Sticky: once expired, always expired — no clock re-check that could
+  // flip the answer back.
+  EXPECT_TRUE(d.Expired());
+  EXPECT_TRUE(d.ExpiredNow());
+  // Copies made after expiry inherit the flag immediately.
+  Deadline copy = d;
+  EXPECT_TRUE(copy.Expired());
+}
+
+using Records = std::vector<CollectingSink::Record>;
+
+// Sequentially replays `stream` on a fresh engine, returning each op's
+// match records separately (the reference for prefix checks).
+std::vector<Records> SequentialPerOp(const RandomCase& c,
+                                     const UpdateStream& stream) {
+  TurboFluxEngine seq;
+  CountingSink init;
+  EXPECT_TRUE(seq.Init(c.query, c.g0, init, Deadline::Infinite()));
+  std::vector<Records> out;
+  for (const UpdateOp& op : stream) {
+    CollectingSink sink;
+    EXPECT_TRUE(seq.ApplyUpdate(op, sink, Deadline::Infinite()));
+    out.push_back(sink.records());
+  }
+  return out;
+}
+
+bool SameRecord(const CollectingSink::Record& a,
+                const CollectingSink::Record& b) {
+  return a.positive == b.positive && a.mapping == b.mapping;
+}
+
+// True iff `got` equals the concatenation of per_op[0..k) for some k.
+bool IsPerOpPrefix(const Records& got, const std::vector<Records>& per_op) {
+  size_t pos = 0;
+  if (got.empty()) return true;
+  for (const Records& op_records : per_op) {
+    for (const CollectingSink::Record& r : op_records) {
+      if (pos == got.size()) return false;  // cut inside an op
+      if (!SameRecord(got[pos], r)) return false;
+      ++pos;
+    }
+    if (pos == got.size()) return true;
+  }
+  return pos == got.size();
+}
+
+TEST(DeadlineConcurrent, PreExpiredDeadlineCutsBatchToEmptyPrefix) {
+  RandomCase c = MakeRandomCase(3, TreeConfig());
+  TurboFluxOptions opt;
+  opt.threads = 4;
+  TurboFluxEngine engine(opt);
+  CountingSink init;
+  ASSERT_TRUE(engine.Init(c.query, c.g0, init, Deadline::Infinite()));
+
+  Deadline d = Deadline::AfterMillis(1);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  while (!d.Expired()) {
+  }
+  CollectingSink sink;
+  EXPECT_FALSE(engine.ApplyBatch(c.stream, sink, d));
+  EXPECT_EQ(sink.size(), 0u);
+  // The engine is dead after a cut-short batch: further updates refuse.
+  EXPECT_FALSE(
+      engine.ApplyUpdate(c.stream[0], sink, Deadline::Infinite()));
+  EXPECT_EQ(sink.size(), 0u);
+}
+
+TEST(DeadlineConcurrent, MidBatchExpiryReportsWholeOpPrefix) {
+  RandomCase c = MakeRandomCase(5, TreeConfig());
+  // Lengthen the window (repeats are legal: duplicate inserts and
+  // deletes of absent edges are no-ops) so a short deadline can land
+  // mid-batch rather than before or after it.
+  UpdateStream stream;
+  for (int r = 0; r < 8; ++r) {
+    for (const UpdateOp& op : c.stream) stream.push_back(op);
+  }
+  std::vector<Records> per_op = SequentialPerOp(c, stream);
+
+  // Whether the deadline fires before, during, or after the batch is
+  // timing-dependent; all three outcomes must satisfy the contract.
+  TurboFluxOptions opt;
+  opt.threads = 4;
+  TurboFluxEngine engine(opt);
+  CountingSink init;
+  ASSERT_TRUE(engine.Init(c.query, c.g0, init, Deadline::Infinite()));
+  CollectingSink sink;
+  bool ok = engine.ApplyBatch(stream, sink, Deadline::AfterMillis(2));
+  if (ok) {
+    size_t total = 0;
+    for (const Records& r : per_op) total += r.size();
+    EXPECT_EQ(sink.size(), total);
+  } else {
+    EXPECT_FALSE(
+        engine.ApplyUpdate(stream[0], sink, Deadline::Infinite()));
+  }
+  EXPECT_TRUE(IsPerOpPrefix(sink.records(), per_op))
+      << "reported " << sink.size()
+      << " records, not a whole-op prefix of the sequential run";
+}
+
+}  // namespace
+}  // namespace turboflux

@@ -1,0 +1,105 @@
+// ThreadPool unit tests: task execution, clean shutdown (queued work
+// drains before the workers join), exception propagation through both
+// Submit futures and RunAll, and the size-0 inline-execution mode.
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "turboflux/parallel/thread_pool.h"
+
+namespace turboflux {
+namespace parallel {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  std::atomic<int> count{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.Submit([&] { ++count; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, DestructorDrainsQueue) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 64; ++i) {
+      pool.Submit([&] {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+        ++count;
+      });
+    }
+    // Destructor must wait for all 64, not just the in-flight ones.
+  }
+  EXPECT_EQ(count.load(), 64);
+}
+
+TEST(ThreadPool, SubmitPropagatesExceptions) {
+  ThreadPool pool(2);
+  std::future<void> f =
+      pool.Submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+  // The worker survives the exception and keeps serving tasks.
+  std::atomic<bool> ran{false};
+  pool.Submit([&] { ran = true; }).get();
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(ThreadPool, RunAllExecutesEverythingAndRethrows) {
+  ThreadPool pool(3);
+  std::atomic<int> count{0};
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 8; ++i) {
+    tasks.push_back([&, i] {
+      ++count;
+      if (i == 5) throw std::runtime_error("task 5");
+    });
+  }
+  EXPECT_THROW(pool.RunAll(std::move(tasks)), std::runtime_error);
+  // RunAll is a barrier: every task ran even though one threw.
+  EXPECT_EQ(count.load(), 8);
+}
+
+TEST(ThreadPool, ZeroWorkersRunsInline) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 0u);
+  std::thread::id main_id = std::this_thread::get_id();
+  std::thread::id task_id;
+  pool.Submit([&] { task_id = std::this_thread::get_id(); }).get();
+  EXPECT_EQ(task_id, main_id);
+  std::atomic<int> count{0};
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 4; ++i) tasks.push_back([&] { ++count; });
+  pool.RunAll(std::move(tasks));
+  EXPECT_EQ(count.load(), 4);
+}
+
+TEST(ThreadPool, ConcurrentSubmitters) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < 4; ++t) {
+    submitters.emplace_back([&] {
+      std::vector<std::future<void>> futures;
+      for (int i = 0; i < 50; ++i) {
+        futures.push_back(pool.Submit([&] { ++count; }));
+      }
+      for (auto& f : futures) f.get();
+    });
+  }
+  for (auto& t : submitters) t.join();
+  EXPECT_EQ(count.load(), 200);
+}
+
+}  // namespace
+}  // namespace parallel
+}  // namespace turboflux

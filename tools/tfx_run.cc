@@ -7,6 +7,11 @@
 //   tfx_run --graph=g0.txt --query=q.txt --stream=dg.txt
 //           [--engine=turboflux|sjtree|graphflow|incisomat]
 //           [--semantics=hom|iso] [--timeout_ms=N] [--print_matches]
+//           [--threads=N] [--batch=K]
+//
+// --batch=K feeds the stream to the engine in windows of K ops via
+// ApplyBatch; --threads=N (TurboFlux only) evaluates each window on N
+// threads. Output is identical to the sequential run.
 //
 // Exit status: 0 on success, 1 on timeout, 2 on usage/file errors.
 
@@ -62,13 +67,20 @@ int Main(int argc, char** argv) {
   int64_t timeout_ms = std::atoll(
       GetFlag(argc, argv, "timeout_ms", "0").c_str());
   bool print_matches = GetFlag(argc, argv, "print_matches", "0") == "1";
+  int64_t threads = std::atoll(GetFlag(argc, argv, "threads", "1").c_str());
+  int64_t batch = std::atoll(GetFlag(argc, argv, "batch", "1").c_str());
 
   if (graph_path.empty() || query_path.empty() || stream_path.empty()) {
     std::fprintf(stderr,
                  "usage: tfx_run --graph=G --query=Q --stream=S "
                  "[--engine=turboflux|sjtree|graphflow|incisomat] "
                  "[--semantics=hom|iso] [--timeout_ms=N] "
-                 "[--print_matches]\n");
+                 "[--print_matches] [--threads=N] [--batch=K]\n");
+    return 2;
+  }
+  if (threads > 1 && engine_name != "turboflux") {
+    std::fprintf(stderr,
+                 "--threads is only supported by --engine=turboflux\n");
     return 2;
   }
 
@@ -97,6 +109,7 @@ int Main(int argc, char** argv) {
   if (engine_name == "turboflux") {
     TurboFluxOptions options;
     options.semantics = semantics;
+    options.threads = threads > 1 ? static_cast<size_t>(threads) : 1;
     engine = std::make_unique<TurboFluxEngine>(options);
   } else if (engine_name == "sjtree") {
     SjTreeOptions options;
@@ -119,6 +132,7 @@ int Main(int argc, char** argv) {
   RunOptions run_options;
   run_options.timeout_ms = timeout_ms;
   run_options.subtract_graph_update_cost = false;
+  run_options.batch_size = batch > 1 ? batch : 1;
   RunResult r =
       RunContinuous(*engine, *q, *g0, *stream, sink, run_options);
 

@@ -25,19 +25,22 @@ class Deadline {
   /// A deadline that never expires.
   Deadline() : when_(Clock::time_point::max()), infinite_(true) {}
 
+  // Copies reset the amortization counter so the copy's *first* Expired()
+  // call reads the clock: a near-expired deadline copied into a fresh
+  // operation must not defer its first clock read by up to kCheckInterval
+  // calls (the copy inherits none of the original's polling history).
   Deadline(const Deadline& other)
       : when_(other.when_),
         infinite_(other.infinite_),
         expired_(other.expired_.load(std::memory_order_relaxed)),
-        calls_(other.calls_.load(std::memory_order_relaxed)) {}
+        calls_(kCheckInterval - 1) {}
 
   Deadline& operator=(const Deadline& other) {
     when_ = other.when_;
     infinite_ = other.infinite_;
     expired_.store(other.expired_.load(std::memory_order_relaxed),
                    std::memory_order_relaxed);
-    calls_.store(other.calls_.load(std::memory_order_relaxed),
-                 std::memory_order_relaxed);
+    calls_.store(kCheckInterval - 1, std::memory_order_relaxed);
     return *this;
   }
 
@@ -77,6 +80,20 @@ class Deadline {
       return true;
     }
     return false;
+  }
+
+  /// Wall-clock time left before expiry, saturating at zero. Infinite
+  /// deadlines report milliseconds::max(). Reads the clock (no
+  /// amortization); intended for progress reporting and for callers
+  /// deciding whether a recovery attempt is still worth starting.
+  std::chrono::milliseconds Remaining() const {
+    if (infinite_) return std::chrono::milliseconds::max();
+    if (expired_.load(std::memory_order_relaxed)) {
+      return std::chrono::milliseconds(0);
+    }
+    Clock::time_point now = Clock::now();
+    if (now >= when_) return std::chrono::milliseconds(0);
+    return std::chrono::duration_cast<std::chrono::milliseconds>(when_ - now);
   }
 
   bool infinite() const { return infinite_; }

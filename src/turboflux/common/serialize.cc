@@ -1,0 +1,146 @@
+#include "turboflux/common/serialize.h"
+
+#include <array>
+#include <cstring>
+#include <istream>
+#include <ostream>
+
+namespace turboflux {
+namespace bin {
+
+void PutU8(std::string& buf, uint8_t v) {
+  buf.push_back(static_cast<char>(v));
+}
+
+void PutU32(std::string& buf, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    buf.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void PutU64(std::string& buf, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    buf.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+bool Reader::GetU8(uint8_t* v) {
+  if (remaining() < 1) return false;
+  *v = static_cast<uint8_t>(data_[pos_++]);
+  return true;
+}
+
+bool Reader::GetU32(uint32_t* v) {
+  if (remaining() < 4) return false;
+  uint32_t out = 0;
+  for (int i = 0; i < 4; ++i) {
+    out |= static_cast<uint32_t>(static_cast<uint8_t>(data_[pos_ + i]))
+           << (8 * i);
+  }
+  pos_ += 4;
+  *v = out;
+  return true;
+}
+
+bool Reader::GetU64(uint64_t* v) {
+  if (remaining() < 8) return false;
+  uint64_t out = 0;
+  for (int i = 0; i < 8; ++i) {
+    out |= static_cast<uint64_t>(static_cast<uint8_t>(data_[pos_ + i]))
+           << (8 * i);
+  }
+  pos_ += 8;
+  *v = out;
+  return true;
+}
+
+bool Reader::GetLength(uint32_t* n, uint64_t max_elems) {
+  uint32_t len = 0;
+  if (!GetU32(&len)) return false;
+  if (len > max_elems) return false;
+  *n = len;
+  return true;
+}
+
+namespace {
+
+std::array<uint32_t, 256> MakeCrcTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32(std::string_view data) {
+  static const std::array<uint32_t, 256> table = MakeCrcTable();
+  uint32_t crc = 0xFFFFFFFFu;
+  for (char ch : data) {
+    crc = table[(crc ^ static_cast<uint8_t>(ch)) & 0xff] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+Status WriteSection(std::ostream& out, uint32_t tag,
+                    const std::string& payload) {
+  std::string header;
+  PutU32(header, tag);
+  PutU64(header, payload.size());
+  out.write(header.data(), static_cast<std::streamsize>(header.size()));
+  out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  std::string footer;
+  PutU32(footer, Crc32(payload));
+  out.write(footer.data(), static_cast<std::streamsize>(footer.size()));
+  if (!out) return Status::IoError("short write while emitting section");
+  return Status::Ok();
+}
+
+Status ReadSection(std::istream& in, uint32_t expected_tag,
+                   std::string* payload) {
+  char header[12];
+  in.read(header, sizeof(header));
+  if (in.gcount() != sizeof(header)) {
+    return Status::Corruption("truncated section header");
+  }
+  Reader hr(std::string_view(header, sizeof(header)));
+  uint32_t tag = 0;
+  uint64_t size = 0;
+  hr.GetU32(&tag);
+  hr.GetU64(&size);
+  if (tag != expected_tag) {
+    return Status::Corruption("unexpected section tag " + std::to_string(tag) +
+                              " (want " + std::to_string(expected_tag) + ")");
+  }
+  if (size > kMaxSectionBytes) {
+    return Status::Corruption("absurd section size " + std::to_string(size));
+  }
+  payload->resize(size);
+  if (size > 0) {
+    in.read(payload->data(), static_cast<std::streamsize>(size));
+    if (static_cast<uint64_t>(in.gcount()) != size) {
+      return Status::Corruption("truncated section payload");
+    }
+  }
+  char footer[4];
+  in.read(footer, sizeof(footer));
+  if (in.gcount() != sizeof(footer)) {
+    return Status::Corruption("truncated section checksum");
+  }
+  Reader fr(std::string_view(footer, sizeof(footer)));
+  uint32_t stored_crc = 0;
+  fr.GetU32(&stored_crc);
+  if (stored_crc != Crc32(*payload)) {
+    return Status::Corruption("section checksum mismatch (tag " +
+                              std::to_string(tag) + ")");
+  }
+  return Status::Ok();
+}
+
+}  // namespace bin
+}  // namespace turboflux

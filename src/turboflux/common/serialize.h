@@ -1,0 +1,70 @@
+#ifndef TURBOFLUX_COMMON_SERIALIZE_H_
+#define TURBOFLUX_COMMON_SERIALIZE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "turboflux/common/status.h"
+
+namespace turboflux {
+namespace bin {
+
+/// Little-endian binary encoding primitives plus CRC32-framed sections —
+/// the substrate of the checkpoint format (DESIGN.md §3.7). Writers append
+/// to a std::string payload; the bounds-checked Reader never reads past
+/// the payload, so corrupted length fields fail cleanly instead of
+/// crashing.
+
+void PutU8(std::string& buf, uint8_t v);
+void PutU32(std::string& buf, uint32_t v);
+void PutU64(std::string& buf, uint64_t v);
+
+/// Bounds-checked cursor over an encoded payload. Every Get returns false
+/// (leaving the output untouched) once the payload is exhausted.
+class Reader {
+ public:
+  explicit Reader(std::string_view data) : data_(data) {}
+
+  bool GetU8(uint8_t* v);
+  bool GetU32(uint32_t* v);
+  bool GetU64(uint64_t* v);
+
+  /// Reads a u32 length field and fails unless at least that many bytes
+  /// remain AND the length is at most `max_elems` (corruption guard for
+  /// element-count fields).
+  bool GetLength(uint32_t* n, uint64_t max_elems);
+
+  size_t remaining() const { return data_.size() - pos_; }
+  bool exhausted() const { return pos_ == data_.size(); }
+
+ private:
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) of `data`.
+uint32_t Crc32(std::string_view data);
+
+/// Section framing: tag (u32), payload size (u64), payload bytes, CRC32 of
+/// the payload (u32). A checkpoint is a fixed header followed by a fixed
+/// sequence of sections.
+Status WriteSection(std::ostream& out, uint32_t tag,
+                    const std::string& payload);
+
+/// Reads one section and verifies its tag and checksum. On any mismatch
+/// (wrong tag, truncated stream, CRC failure, absurd size) returns a
+/// kCorruption/kIoError status and leaves `payload` unspecified.
+Status ReadSection(std::istream& in, uint32_t expected_tag,
+                   std::string* payload);
+
+/// Cap on a single section's payload; a corrupted size field larger than
+/// this is reported as corruption instead of attempting the allocation.
+inline constexpr uint64_t kMaxSectionBytes = uint64_t{1} << 34;  // 16 GiB
+
+}  // namespace bin
+}  // namespace turboflux
+
+#endif  // TURBOFLUX_COMMON_SERIALIZE_H_

@@ -1,0 +1,110 @@
+#ifndef TURBOFLUX_COMMON_STATUS_H_
+#define TURBOFLUX_COMMON_STATUS_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+namespace turboflux {
+
+/// Canonical error space for every fallible, non-deadline operation in the
+/// repository (snapshot IO, parsers, update validation). Kept deliberately
+/// small; see DESIGN.md §3.5/§3.7.
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  /// The caller supplied something structurally wrong (bad flag value,
+  /// malformed record, unparsable number).
+  kInvalidArgument = 1,
+  /// An id or label is outside the valid universe (vertex id >= |V|,
+  /// label above the declared alphabet).
+  kOutOfRange = 2,
+  /// The referenced entity does not exist (deleting an absent edge).
+  kNotFound = 3,
+  /// Stored bytes fail validation: bad magic, checksum mismatch,
+  /// truncated section, or internally inconsistent structures.
+  kCorruption = 4,
+  /// The underlying stream/file could not be read or written.
+  kIoError = 5,
+  /// A cooperative deadline expired mid-operation.
+  kDeadlineExceeded = 6,
+  /// The operation is not valid in the current engine state.
+  kFailedPrecondition = 7,
+  /// The snapshot (or file) is a format version this build cannot read.
+  kUnsupportedVersion = 8,
+};
+
+const char* StatusCodeName(StatusCode code);
+
+/// A status-or-error result in the absl::Status mold, minus the
+/// dependency: a code plus a human-readable message, and an optional
+/// 1-based input line number for parser errors (0 = not applicable).
+class Status {
+ public:
+  Status() = default;  // OK
+
+  static Status Ok() { return Status(); }
+
+  static Status Error(StatusCode code, std::string message) {
+    Status s;
+    s.code_ = code;
+    s.message_ = std::move(message);
+    return s;
+  }
+
+  static Status InvalidArgument(std::string message) {
+    return Error(StatusCode::kInvalidArgument, std::move(message));
+  }
+  static Status OutOfRange(std::string message) {
+    return Error(StatusCode::kOutOfRange, std::move(message));
+  }
+  static Status NotFound(std::string message) {
+    return Error(StatusCode::kNotFound, std::move(message));
+  }
+  static Status Corruption(std::string message) {
+    return Error(StatusCode::kCorruption, std::move(message));
+  }
+  static Status IoError(std::string message) {
+    return Error(StatusCode::kIoError, std::move(message));
+  }
+  static Status DeadlineExceeded(std::string message) {
+    return Error(StatusCode::kDeadlineExceeded, std::move(message));
+  }
+  static Status FailedPrecondition(std::string message) {
+    return Error(StatusCode::kFailedPrecondition, std::move(message));
+  }
+  static Status UnsupportedVersion(std::string message) {
+    return Error(StatusCode::kUnsupportedVersion, std::move(message));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// 1-based line of the input that caused a parse error; 0 when the
+  /// error is not tied to a line.
+  size_t line() const { return line_; }
+
+  /// Returns a copy of this status annotated with an input line number.
+  Status AtLine(size_t line) const {
+    Status s = *this;
+    s.line_ = line;
+    return s;
+  }
+
+  /// "OK" or "CORRUPTION: bad checksum (line 12)".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_ &&
+           a.line_ == b.line_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+  size_t line_ = 0;
+};
+
+}  // namespace turboflux
+
+#endif  // TURBOFLUX_COMMON_STATUS_H_

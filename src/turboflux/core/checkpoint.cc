@@ -1,0 +1,341 @@
+// Checkpoint/Restore: crash-consistent binary snapshots of the full engine
+// state (DESIGN.md §3.7).
+//
+// Layout: magic "TFXC", format version (u32), then CRC32-framed sections in
+// fixed order — meta (stream position + semantics), query graph, spanning
+// tree, data graph, DCG, matching-order state. Anything derivable from
+// those (dedup ranks, seed indexes, start vertices, DCG bitmaps/counters)
+// is recomputed on restore; anything whose *order* is observable through
+// match enumeration (both graph adjacency directions, DCG node lists, the
+// matching order itself) is stored verbatim so a restored engine reproduces
+// the original's subsequent match stream byte-for-byte.
+
+#include <cstring>
+#include <istream>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "turboflux/common/serialize.h"
+#include "turboflux/core/turboflux.h"
+
+namespace turboflux {
+
+namespace {
+
+constexpr char kMagic[4] = {'T', 'F', 'X', 'C'};
+constexpr uint32_t kFormatVersion = 1;
+
+// Section tags (arbitrary distinct constants), in write order.
+enum SectionTag : uint32_t {
+  kSectionMeta = 0x4154454d,    // "META"
+  kSectionQuery = 0x47595251,   // "QRYG"
+  kSectionTree = 0x45455254,    // "TREE"
+  kSectionGraph = 0x48505247,   // "GRPH"
+  kSectionDcg = 0x31474344,     // "DCG1"
+  kSectionEngine = 0x53474e45,  // "ENGS"
+};
+
+// Generous per-field element cap: no section legitimately holds more
+// elements than this, and rejecting earlier keeps corrupted length fields
+// from driving large allocations.
+constexpr uint64_t kMaxElems = uint64_t{1} << 32;
+
+}  // namespace
+
+Status TurboFluxEngine::Checkpoint(std::ostream& out) const {
+  if (q_ == nullptr) {
+    return Status::FailedPrecondition("Checkpoint before Init");
+  }
+  if (dead_) {
+    return Status::FailedPrecondition(
+        "engine is dead; a snapshot would capture partial state");
+  }
+  const QueryGraph& q = *q_;
+
+  out.write(kMagic, sizeof(kMagic));
+  std::string hdr;
+  bin::PutU32(hdr, kFormatVersion);
+  out.write(hdr.data(), static_cast<std::streamsize>(hdr.size()));
+
+  std::string meta;
+  bin::PutU64(meta, applied_ops_);
+  bin::PutU8(meta,
+             options_.semantics == MatchSemantics::kIsomorphism ? 1 : 0);
+  bin::PutU8(
+      meta,
+      options_.order_policy == TurboFluxOptions::OrderPolicy::kBfs ? 1 : 0);
+  Status st = bin::WriteSection(out, kSectionMeta, meta);
+  if (!st.ok()) return st;
+
+  std::string qbuf;
+  bin::PutU32(qbuf, static_cast<uint32_t>(q.VertexCount()));
+  for (QVertexId u = 0; u < q.VertexCount(); ++u) {
+    const std::vector<Label>& ls = q.labels(u).labels();
+    bin::PutU32(qbuf, static_cast<uint32_t>(ls.size()));
+    for (Label l : ls) bin::PutU32(qbuf, l);
+  }
+  bin::PutU32(qbuf, static_cast<uint32_t>(q.EdgeCount()));
+  for (const QEdge& e : q.edges()) {
+    bin::PutU32(qbuf, e.from);
+    bin::PutU32(qbuf, e.label);
+    bin::PutU32(qbuf, e.to);
+  }
+  st = bin::WriteSection(out, kSectionQuery, qbuf);
+  if (!st.ok()) return st;
+
+  std::string tbuf;
+  bin::PutU32(tbuf, tree_.root());
+  for (QVertexId u = 0; u < q.VertexCount(); ++u) {
+    const QueryTree::ParentEdge& pe = tree_.parent_edge(u);
+    bin::PutU32(tbuf, pe.parent);
+    bin::PutU32(tbuf, pe.label);
+    bin::PutU8(tbuf, pe.forward ? 1 : 0);
+    bin::PutU32(tbuf, pe.qedge);
+  }
+  st = bin::WriteSection(out, kSectionTree, tbuf);
+  if (!st.ok()) return st;
+
+  std::string gbuf;
+  g_.Serialize(gbuf);
+  st = bin::WriteSection(out, kSectionGraph, gbuf);
+  if (!st.ok()) return st;
+
+  std::string dbuf;
+  dcg_.Serialize(dbuf);
+  st = bin::WriteSection(out, kSectionDcg, dbuf);
+  if (!st.ok()) return st;
+
+  std::string ebuf;
+  bin::PutU32(ebuf, static_cast<uint32_t>(mo_.size()));
+  for (QVertexId u : mo_) bin::PutU32(ebuf, u);
+  bin::PutU32(ebuf, static_cast<uint32_t>(order_counts_snapshot_.size()));
+  for (uint64_t c : order_counts_snapshot_) bin::PutU64(ebuf, c);
+  bin::PutU64(ebuf, ops_since_adjust_check_);
+  bin::PutU64(ebuf, order_recomputes_);
+  st = bin::WriteSection(out, kSectionEngine, ebuf);
+  if (!st.ok()) return st;
+
+  out.flush();
+  if (!out) return Status::IoError("checkpoint stream write failed");
+  return Status::Ok();
+}
+
+Status TurboFluxEngine::Restore(std::istream& in) {
+  // Any failure past this point may leave partially-overwritten state, so
+  // the engine is marked dead — the caller either retries with an intact
+  // snapshot or discards the engine.
+  auto fail = [this](Status st) {
+    dead_ = true;
+    return st;
+  };
+
+  char magic[sizeof(kMagic)];
+  in.read(magic, sizeof(magic));
+  if (in.gcount() != sizeof(magic) ||
+      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return fail(Status::Corruption("bad checkpoint magic"));
+  }
+  char vbytes[4];
+  in.read(vbytes, sizeof(vbytes));
+  if (in.gcount() != sizeof(vbytes)) {
+    return fail(Status::Corruption("truncated checkpoint header"));
+  }
+  uint32_t version = 0;
+  bin::Reader vr(std::string_view(vbytes, sizeof(vbytes)));
+  vr.GetU32(&version);
+  if (version != kFormatVersion) {
+    return fail(Status::UnsupportedVersion(
+        "checkpoint format version " + std::to_string(version) +
+        " (this build reads version " + std::to_string(kFormatVersion) +
+        ")"));
+  }
+
+  std::string meta, qbuf, tbuf, gbuf, dbuf, ebuf;
+  Status st;
+  if (!(st = bin::ReadSection(in, kSectionMeta, &meta)).ok() ||
+      !(st = bin::ReadSection(in, kSectionQuery, &qbuf)).ok() ||
+      !(st = bin::ReadSection(in, kSectionTree, &tbuf)).ok() ||
+      !(st = bin::ReadSection(in, kSectionGraph, &gbuf)).ok() ||
+      !(st = bin::ReadSection(in, kSectionDcg, &dbuf)).ok() ||
+      !(st = bin::ReadSection(in, kSectionEngine, &ebuf)).ok()) {
+    return fail(st);
+  }
+
+  // Meta: stream position + the options the snapshot was taken under.
+  bin::Reader mr(meta);
+  uint64_t applied = 0;
+  uint8_t sem = 0, pol = 0;
+  if (!mr.GetU64(&applied) || !mr.GetU8(&sem) || !mr.GetU8(&pol) ||
+      sem > 1 || pol > 1 || !mr.exhausted()) {
+    return fail(Status::Corruption("malformed meta section"));
+  }
+  MatchSemantics semantics =
+      sem ? MatchSemantics::kIsomorphism : MatchSemantics::kHomomorphism;
+  TurboFluxOptions::OrderPolicy policy =
+      pol ? TurboFluxOptions::OrderPolicy::kBfs
+          : TurboFluxOptions::OrderPolicy::kCostBased;
+  if (semantics != options_.semantics || policy != options_.order_policy) {
+    return fail(Status::FailedPrecondition(
+        "snapshot semantics/order policy do not match this engine's "
+        "options"));
+  }
+
+  // Query graph, into engine-owned storage so the restored engine does not
+  // depend on any caller-provided QueryGraph staying alive.
+  bin::Reader qr(qbuf);
+  auto q = std::make_unique<QueryGraph>();
+  uint32_t nq = 0;
+  if (!qr.GetU32(&nq) || nq == 0 || nq > kMaxQueryVertices) {
+    return fail(Status::Corruption("bad query vertex count"));
+  }
+  for (QVertexId u = 0; u < nq; ++u) {
+    uint32_t nl = 0;
+    if (!qr.GetLength(&nl, kMaxElems)) {
+      return fail(Status::Corruption("bad query vertex label count"));
+    }
+    std::vector<Label> ls(nl);
+    for (uint32_t i = 0; i < nl; ++i) {
+      if (!qr.GetU32(&ls[i])) {
+        return fail(Status::Corruption("truncated query vertex labels"));
+      }
+    }
+    q->AddVertex(LabelSet(std::move(ls)));
+  }
+  uint32_t ne = 0;
+  if (!qr.GetLength(&ne, kMaxElems)) {
+    return fail(Status::Corruption("bad query edge count"));
+  }
+  for (QEdgeId e = 0; e < ne; ++e) {
+    uint32_t from = 0, label = 0, to = 0;
+    if (!qr.GetU32(&from) || !qr.GetU32(&label) || !qr.GetU32(&to)) {
+      return fail(Status::Corruption("truncated query edge"));
+    }
+    if (from >= nq || to >= nq || q->AddEdge(from, label, to) != e) {
+      return fail(Status::Corruption("invalid or duplicate query edge"));
+    }
+  }
+  if (!qr.exhausted() || q->EdgeCount() == 0 || !q->IsConnected()) {
+    return fail(Status::Corruption("malformed query section"));
+  }
+
+  // Spanning tree, validated structurally by FromParentEdges.
+  bin::Reader tr(tbuf);
+  uint32_t root = 0;
+  if (!tr.GetU32(&root) || root >= nq) {
+    return fail(Status::Corruption("bad tree root"));
+  }
+  std::vector<QueryTree::ParentEdge> parents(nq);
+  for (QVertexId u = 0; u < nq; ++u) {
+    uint32_t parent = 0, label = 0, qedge = 0;
+    uint8_t fwd = 0;
+    if (!tr.GetU32(&parent) || !tr.GetU32(&label) || !tr.GetU8(&fwd) ||
+        fwd > 1 || !tr.GetU32(&qedge)) {
+      return fail(Status::Corruption("truncated tree parent edge"));
+    }
+    parents[u] = {parent, label, fwd == 1, qedge};
+  }
+  if (!tr.exhausted()) {
+    return fail(Status::Corruption("trailing bytes in tree section"));
+  }
+  QueryTree tree;
+  if (!QueryTree::FromParentEdges(*q, root, parents, &tree)) {
+    return fail(
+        Status::Corruption("parent edges do not form a spanning tree"));
+  }
+
+  // Data graph (self-validating: mirrors cross-checked, ids bounded).
+  Graph g;
+  bin::Reader gr(gbuf);
+  if (!(st = g.Deserialize(gr)).ok()) return fail(st);
+  if (!gr.exhausted()) {
+    return fail(Status::Corruption("trailing bytes in graph section"));
+  }
+
+  // Commit the engine's identity, then decode the DCG bound to the
+  // now-final tree_ member (the Dcg keeps a pointer to it).
+  owned_q_ = std::move(q);
+  q_ = owned_q_.get();
+  g_ = std::move(g);
+  tree_ = std::move(tree);
+  bin::Reader dr(dbuf);
+  if (!(st = dcg_.Deserialize(dr, g_.VertexCount(), tree_)).ok()) {
+    return fail(st);
+  }
+  if (!dr.exhausted()) {
+    return fail(Status::Corruption("trailing bytes in DCG section"));
+  }
+
+  // Matching-order state. The order must be a permutation in which every
+  // vertex follows its tree parent, or SubgraphSearch would dereference an
+  // unmapped parent.
+  bin::Reader er(ebuf);
+  uint32_t nmo = 0;
+  if (!er.GetU32(&nmo) || nmo != nq) {
+    return fail(Status::Corruption("bad matching-order length"));
+  }
+  std::vector<QVertexId> mo(nmo);
+  uint64_t seen = 0;
+  std::vector<size_t> pos(nq, 0);
+  for (uint32_t i = 0; i < nmo; ++i) {
+    if (!er.GetU32(&mo[i]) || mo[i] >= nq || (seen & (uint64_t{1} << mo[i]))) {
+      return fail(Status::Corruption("matching order is not a permutation"));
+    }
+    seen |= uint64_t{1} << mo[i];
+    pos[mo[i]] = i;
+  }
+  for (QVertexId u = 0; u < nq; ++u) {
+    if (u != root && pos[tree_.Parent(u)] >= pos[u]) {
+      return fail(Status::Corruption(
+          "matching order places a vertex before its tree parent"));
+    }
+  }
+  uint32_t ncnt = 0;
+  if (!er.GetU32(&ncnt) || ncnt != nq) {
+    return fail(Status::Corruption("bad order-counts length"));
+  }
+  std::vector<uint64_t> counts(ncnt);
+  for (uint32_t i = 0; i < ncnt; ++i) {
+    if (!er.GetU64(&counts[i])) {
+      return fail(Status::Corruption("truncated order counts"));
+    }
+  }
+  uint64_t since_check = 0, recomputes = 0;
+  if (!er.GetU64(&since_check) || !er.GetU64(&recomputes) ||
+      !er.exhausted()) {
+    return fail(Status::Corruption("malformed engine-state section"));
+  }
+
+  mo_ = std::move(mo);
+  order_counts_snapshot_ = std::move(counts);
+  ops_since_adjust_check_ = static_cast<size_t>(since_check);
+  order_recomputes_ = static_cast<size_t>(recomputes);
+
+  RebuildDerivedIndexes();
+
+  applied_ops_ = applied;
+  // Quarantine reports at or past the snapshot position will be re-issued
+  // by replay; drop them so each consumed op is reported exactly once.
+  std::erase_if(quarantine_, [this](const QuarantinedOp& e) {
+    return e.index >= applied_ops_;
+  });
+
+  has_updated_edge_ = false;
+  deadline_ = nullptr;
+  search_enabled_ = true;
+  suppress_adjust_ = false;
+  dead_ = false;
+
+  // The parallel runtime is bound to the pre-restore query/graph; rebuild
+  // it lazily on the next batch.
+  replicas_.clear();
+  scheduler_.reset();
+  state_version_ = 0;
+  replica_version_ = 0;
+  return Status::Ok();
+}
+
+}  // namespace turboflux

@@ -162,6 +162,116 @@ void Dcg::SetState(VertexId from, QVertexId u, VertexId to, DcgState next) {
   }
 }
 
+void Dcg::Serialize(std::string& out) const {
+  size_t populated = 0;
+  for (const std::unique_ptr<Node>& node : nodes_) {
+    if (node) ++populated;
+  }
+  bin::PutU64(out, nodes_.size());
+  bin::PutU32(out, static_cast<uint32_t>(num_qv_));
+  bin::PutU64(out, populated);
+  for (VertexId v = 0; v < nodes_.size(); ++v) {
+    const Node* node = nodes_[v].get();
+    if (node == nullptr) continue;
+    bin::PutU32(out, v);
+    for (QVertexId u = 0; u < num_qv_; ++u) {
+      bin::PutU32(out, static_cast<uint32_t>(node->in[u].size()));
+      for (const InEdge& e : node->in[u]) {
+        bin::PutU32(out, e.from);
+        bin::PutU8(out, static_cast<uint8_t>(e.state));
+      }
+      bin::PutU32(out, static_cast<uint32_t>(node->out[u].size()));
+      for (const OutEdge& e : node->out[u]) {
+        bin::PutU32(out, e.to);
+        bin::PutU8(out, static_cast<uint8_t>(e.state));
+      }
+    }
+  }
+}
+
+Status Dcg::Deserialize(bin::Reader& in, size_t num_data_vertices,
+                        const QueryTree& tree) {
+  Reset(num_data_vertices, tree);
+  auto fail = [this](const std::string& what) {
+    nodes_.clear();
+    edge_count_ = 0;
+    explicit_count_ = 0;
+    explicit_per_qv_.assign(num_qv_, 0);
+    return Status::Corruption("dcg: " + what);
+  };
+  uint64_t nv = 0;
+  uint32_t nq = 0;
+  uint64_t populated = 0;
+  if (!in.GetU64(&nv) || !in.GetU32(&nq) || !in.GetU64(&populated)) {
+    return fail("truncated header");
+  }
+  if (nv != num_data_vertices || nq != num_qv_ || populated > nv) {
+    return fail("header disagrees with bound universe");
+  }
+  auto decode_state = [](uint8_t raw, DcgState* out_state) {
+    if (raw != static_cast<uint8_t>(DcgState::kImplicit) &&
+        raw != static_cast<uint8_t>(DcgState::kExplicit)) {
+      return false;  // stored edges are never NULL
+    }
+    *out_state = static_cast<DcgState>(raw);
+    return true;
+  };
+  for (uint64_t i = 0; i < populated; ++i) {
+    uint32_t v = 0;
+    if (!in.GetU32(&v) || v >= nodes_.size()) return fail("bad node id");
+    if (nodes_[v]) return fail("duplicate node");
+    Node& node = EnsureNode(v);
+    for (QVertexId u = 0; u < num_qv_; ++u) {
+      uint32_t n_in = 0;
+      if (!in.GetLength(&n_in, in.remaining() / 5)) {
+        return fail("bad in-list length");
+      }
+      node.in[u].resize(n_in);
+      for (uint32_t k = 0; k < n_in; ++k) {
+        InEdge& e = node.in[u][k];
+        uint8_t raw = 0;
+        if (!in.GetU32(&e.from) || !in.GetU8(&raw) ||
+            !decode_state(raw, &e.state)) {
+          return fail("bad in edge");
+        }
+        if (e.from != kArtificialVertex && e.from >= nodes_.size()) {
+          return fail("in edge source out of range");
+        }
+        ++edge_count_;
+        if (e.state == DcgState::kExplicit) {
+          ++explicit_count_;
+          ++explicit_per_qv_[u];
+        }
+      }
+      if (n_in > 0) node.in_bits |= (uint64_t{1} << u);
+      uint32_t n_out = 0;
+      if (!in.GetLength(&n_out, in.remaining() / 5)) {
+        return fail("bad out-list length");
+      }
+      node.out[u].resize(n_out);
+      for (uint32_t k = 0; k < n_out; ++k) {
+        OutEdge& e = node.out[u][k];
+        uint8_t raw = 0;
+        if (!in.GetU32(&e.to) || !in.GetU8(&raw) ||
+            !decode_state(raw, &e.state)) {
+          return fail("bad out edge");
+        }
+        if (e.to >= nodes_.size()) return fail("out edge target out of range");
+        if (e.state == DcgState::kExplicit) {
+          if (++node.explicit_out[u] == 1) {
+            node.explicit_out_bits |= (uint64_t{1} << u);
+          }
+        }
+      }
+    }
+  }
+  // The decoded lists must form a mutually consistent DCG (in/out mirrors
+  // agree edge-for-edge); Validate also recounts every counter.
+  std::string violation = Validate();
+  if (!violation.empty()) return fail(violation);
+  return Status::Ok();
+}
+
 std::vector<Dcg::EdgeTuple> Dcg::Snapshot() const {
   std::vector<EdgeTuple> edges;
   edges.reserve(edge_count_);

@@ -7,6 +7,8 @@
 #include <tuple>
 #include <vector>
 
+#include "turboflux/common/serialize.h"
+#include "turboflux/common/status.h"
 #include "turboflux/common/types.h"
 #include "turboflux/query/query_tree.h"
 
@@ -110,6 +112,20 @@ class Dcg {
   /// Sorted list of every stored edge; equality of snapshots is the
   /// "incrementally maintained DCG == rebuilt-from-scratch DCG" oracle.
   std::vector<EdgeTuple> Snapshot() const;
+
+  /// Appends a binary encoding of the DCG to `out`. The per-node in/out
+  /// adjacency *orders* are preserved exactly (they determine match
+  /// enumeration order), so a deserialized DCG reproduces the original's
+  /// subsequent match stream byte-for-byte, not just its edge set.
+  void Serialize(std::string& out) const;
+
+  /// Rebuilds the DCG from `in`, bound to `tree` over a data-vertex
+  /// universe of `num_data_vertices`. Bitmaps and counters are recomputed
+  /// from the decoded lists and the result is cross-checked with
+  /// Validate(), so corrupted input yields a kCorruption status (with the
+  /// DCG left empty), never a crash or an inconsistent structure.
+  Status Deserialize(bin::Reader& in, size_t num_data_vertices,
+                     const QueryTree& tree);
 
   /// Exhaustive internal-consistency check: the in/out mirrors agree
   /// edge-for-edge and state-for-state, every bitmap bit reflects its

@@ -1,0 +1,159 @@
+#include "turboflux/core/recovery.h"
+
+#include <algorithm>
+#include <fstream>
+#include <span>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "turboflux/common/deadline.h"
+#include "turboflux/common/match.h"
+
+namespace turboflux {
+
+namespace {
+
+/// Holds matches back until the surrounding run commits them. A failed op
+/// or batch drops the buffer wholesale, which is what turns the engine's
+/// at-least-once replay into the sink's exactly-once delivery.
+class BufferSink : public MatchSink {
+ public:
+  void OnMatch(bool positive, const Mapping& m) override {
+    matches_.emplace_back(positive, m);
+  }
+
+  void FlushTo(MatchSink& sink) {
+    for (const auto& [positive, m] : matches_) sink.OnMatch(positive, m);
+    matches_.clear();
+  }
+
+  void Drop() { matches_.clear(); }
+
+ private:
+  std::vector<std::pair<bool, Mapping>> matches_;
+};
+
+}  // namespace
+
+ResilientResult RunResilient(TurboFluxEngine& engine, const QueryGraph& q,
+                             const Graph& g0, const UpdateStream& stream,
+                             MatchSink& sink,
+                             const ResilientOptions& options) {
+  ResilientResult result;
+  Stopwatch watch;
+  Deadline deadline = options.timeout_ms > 0
+                          ? Deadline::AfterMillis(options.timeout_ms)
+                          : Deadline::Infinite();
+  engine.set_fault_injector(options.injector);
+
+  BufferSink pending;
+  std::string snapshot;    // last committed snapshot bytes
+  uint64_t committed = 0;  // stream position of that snapshot
+
+  auto finish = [&](bool ok, Status st) {
+    engine.set_fault_injector(nullptr);
+    result.ok = ok;
+    result.status = std::move(st);
+    result.ops_consumed = ok ? engine.applied_ops() : committed;
+    result.quarantined = engine.quarantine().size();
+    result.seconds = watch.ElapsedSeconds();
+    return result;
+  };
+
+  auto commit = [&]() -> Status {
+    std::ostringstream os;
+    Status st = engine.Checkpoint(os);
+    if (!st.ok()) return st;
+    snapshot = os.str();
+    if (!options.checkpoint_path.empty()) {
+      std::ofstream f(options.checkpoint_path,
+                      std::ios::binary | std::ios::trunc);
+      f.write(snapshot.data(),
+              static_cast<std::streamsize>(snapshot.size()));
+      f.flush();
+      if (!f) {
+        return Status::IoError("failed to write checkpoint file " +
+                               options.checkpoint_path);
+      }
+    }
+    pending.FlushTo(sink);
+    committed = engine.applied_ops();
+    ++result.checkpoints;
+    return Status::Ok();
+  };
+
+  if (!options.restore_from.empty()) {
+    std::ifstream f(options.restore_from, std::ios::binary);
+    std::ostringstream contents;
+    contents << f.rdbuf();
+    if (!f) {
+      return finish(false, Status::IoError("cannot read snapshot file " +
+                                           options.restore_from));
+    }
+    snapshot = contents.str();
+    std::istringstream is(snapshot);
+    Status st = engine.Restore(is);
+    if (!st.ok()) return finish(false, std::move(st));
+    committed = engine.applied_ops();
+  } else {
+    // Initial matches are counted, not forwarded — the same convention as
+    // RunContinuous, so the stream of matches delivered to `sink` is
+    // identical across the plain and resilient runners.
+    CountingSink initial;
+    if (!engine.Init(q, g0, initial, deadline)) {
+      return finish(false, Status::DeadlineExceeded(
+                               "Init exceeded the time budget"));
+    }
+    result.initial_matches = initial.positive();
+  }
+  Status st = commit();
+  if (!st.ok()) return finish(false, std::move(st));
+
+  while (engine.applied_ops() < stream.size()) {
+    const size_t pos = static_cast<size_t>(engine.applied_ops());
+    const size_t n =
+        options.batch_size > 1
+            ? std::min(static_cast<size_t>(options.batch_size),
+                       stream.size() - pos)
+            : 1;
+    Status step =
+        n > 1 ? engine.TryApplyBatch(
+                    std::span<const UpdateOp>(stream.data() + pos, n),
+                    pending, deadline)
+              : engine.TryApplyUpdate(stream[pos], pending, deadline);
+    if (engine.dead()) {
+      // Crash path: the partial matches in the buffer are unreliable.
+      // Recover only when the real budget still has room (an injected
+      // fault leaves the caller's deadline untouched).
+      if (deadline.ExpiredNow()) {
+        return finish(false, std::move(step));
+      }
+      if (++result.recoveries > options.max_recoveries) {
+        return finish(false,
+                      Status::FailedPrecondition(
+                          "gave up after " +
+                          std::to_string(options.max_recoveries) +
+                          " recoveries"));
+      }
+      pending.Drop();
+      std::istringstream is(snapshot);
+      Status rst = engine.Restore(is);
+      if (!rst.ok()) return finish(false, std::move(rst));
+      continue;
+    }
+    // step is OK or an informational quarantine/no-op status; either way
+    // the op(s) were consumed.
+    if (options.checkpoint_every > 0 &&
+        engine.applied_ops() - committed >= options.checkpoint_every) {
+      st = commit();
+      if (!st.ok()) return finish(false, std::move(st));
+    }
+  }
+
+  st = commit();  // final flush (and final on-disk snapshot, if enabled)
+  if (!st.ok()) return finish(false, std::move(st));
+  return finish(true, Status::Ok());
+}
+
+}  // namespace turboflux

@@ -56,10 +56,13 @@ bool TurboFluxEngine::Init(const QueryGraph& q, const Graph& g0,
                            MatchSink& sink, Deadline deadline) {
   assert(q.VertexCount() > 0 && q.EdgeCount() > 0 && q.IsConnected());
   q_ = &q;
+  owned_q_.reset();
   g_ = g0;
   deadline_ = &deadline;
   dead_ = false;
   has_updated_edge_ = false;
+  applied_ops_ = 0;
+  quarantine_.clear();
 
   // Any previous parallel runtime is bound to the old query/graph.
   replicas_.clear();
@@ -71,35 +74,9 @@ bool TurboFluxEngine::Init(const QueryGraph& q, const Graph& g0,
   QVertexId root = ChooseStartQVertex(q, stats);
   tree_ = QueryTree::Build(q, root, stats);
 
-  // Duplicate-elimination rank: tree edges (by id) before non-tree edges.
-  dedup_rank_.assign(q.EdgeCount(), 0);
-  for (QEdgeId e = 0; e < q.EdgeCount(); ++e) {
-    dedup_rank_[e] =
-        e + (tree_.IsTreeEdge(e) ? 0 : static_cast<uint32_t>(q.EdgeCount()));
-  }
-
-  // Label-indexed seed lists, ascending dedup rank (tree edges are
-  // visited in query-edge-id order, which is ascending rank).
-  tree_children_by_label_.clear();
-  non_tree_by_label_.clear();
-  for (QEdgeId e = 0; e < q.EdgeCount(); ++e) {
-    const QEdge& qe = q.edge(e);
-    if (tree_.IsTreeEdge(e)) {
-      QVertexId child =
-          tree_.parent_edge(qe.from).qedge == e ? qe.from : qe.to;
-      tree_children_by_label_[qe.label].push_back(child);
-    } else {
-      non_tree_by_label_[qe.label].push_back(e);
-    }
-  }
-
+  RebuildDerivedIndexes();
   dcg_.Reset(g_.VertexCount(), tree_);
-  m_.assign(q.VertexCount(), kNullVertex);
 
-  start_vertices_.clear();
-  for (VertexId v = 0; v < g_.VertexCount(); ++v) {
-    if (q.VertexMatches(root, g_, v)) start_vertices_.push_back(v);
-  }
   for (VertexId v : start_vertices_) {
     BuildDcg(dcg_, root, kArtificialVertex, v);
     if (Expired()) {
@@ -131,12 +108,54 @@ bool TurboFluxEngine::Init(const QueryGraph& q, const Graph& g0,
   return true;
 }
 
+void TurboFluxEngine::RebuildDerivedIndexes() {
+  const QueryGraph& q = *q_;
+  const QVertexId root = tree_.root();
+
+  // Duplicate-elimination rank: tree edges (by id) before non-tree edges.
+  dedup_rank_.assign(q.EdgeCount(), 0);
+  for (QEdgeId e = 0; e < q.EdgeCount(); ++e) {
+    dedup_rank_[e] =
+        e + (tree_.IsTreeEdge(e) ? 0 : static_cast<uint32_t>(q.EdgeCount()));
+  }
+
+  // Label-indexed seed lists, ascending dedup rank (tree edges are
+  // visited in query-edge-id order, which is ascending rank).
+  tree_children_by_label_.clear();
+  non_tree_by_label_.clear();
+  for (QEdgeId e = 0; e < q.EdgeCount(); ++e) {
+    const QEdge& qe = q.edge(e);
+    if (tree_.IsTreeEdge(e)) {
+      QVertexId child =
+          tree_.parent_edge(qe.from).qedge == e ? qe.from : qe.to;
+      tree_children_by_label_[qe.label].push_back(child);
+    } else {
+      non_tree_by_label_[qe.label].push_back(e);
+    }
+  }
+
+  m_.assign(q.VertexCount(), kNullVertex);
+
+  start_vertices_.clear();
+  for (VertexId v = 0; v < g_.VertexCount(); ++v) {
+    if (q.VertexMatches(root, g_, v)) start_vertices_.push_back(v);
+  }
+}
+
 bool TurboFluxEngine::ApplyUpdate(const UpdateOp& op, MatchSink& sink,
                                   Deadline deadline) {
   assert(q_ != nullptr);
   if (dead_) return false;
   ++state_version_;
-  deadline_ = &deadline;
+  // Crash simulation: on the op the fault plan marks, evaluate against an
+  // already-expired deadline. The amortized expiry check trips partway
+  // through the op's transitions, abandoning it at a genuine
+  // partial-progress point — exactly what a crash mid-op leaves behind.
+  // The caller's deadline is untouched, so harnesses can distinguish an
+  // injected fault (deadline.ExpiredNow() == false) from a real expiry.
+  Deadline poison = Deadline::AfterMillis(0);
+  const bool injected = injector_ != nullptr && injector_->ShouldFailOp();
+  deadline_ = injected ? &poison : &deadline;
   has_updated_edge_ = true;
   upd_from_ = op.from;
   upd_label_ = op.label;
@@ -158,15 +177,71 @@ bool TurboFluxEngine::ApplyUpdate(const UpdateOp& op, MatchSink& sink,
 
   has_updated_edge_ = false;
   deadline_ = nullptr;
-  if (deadline.ExpiredNow() || dead_) {
+  if (deadline.ExpiredNow() || injected || dead_) {
     dead_ = true;
     return false;
   }
+  ++applied_ops_;
   // In batched mode the primary runs the drift check once per batch and
   // pushes the result to its replicas; per-op checks would let replicas
   // diverge (they see the sub-batch in a different application order).
   if (!suppress_adjust_) MaybeAdjustMatchingOrder();
   return true;
+}
+
+Status TurboFluxEngine::TryApplyUpdate(const UpdateOp& op, MatchSink& sink,
+                                       Deadline deadline) {
+  assert(q_ != nullptr);
+  if (dead_) {
+    return Status::FailedPrecondition("engine is dead; Restore() it first");
+  }
+  Status v = ValidateOp(g_, op);
+  if (v.code() == StatusCode::kOutOfRange) {
+    // Applying this op would index past the adjacency arrays: quarantine
+    // it and consume it from the stream as a no-op.
+    quarantine_.push_back({applied_ops_, op, v});
+    ++applied_ops_;
+    return v;
+  }
+  // kNotFound (deleting an absent edge) and kFailedPrecondition (duplicate
+  // insertion) are legal no-ops; ApplyUpdate handles them without state
+  // damage and the informational status is passed through.
+  if (!ApplyUpdate(op, sink, deadline)) {
+    return Status::DeadlineExceeded("update " + op.ToString() +
+                                    " abandoned mid-evaluation");
+  }
+  return v;
+}
+
+Status TurboFluxEngine::TryApplyBatch(std::span<const UpdateOp> ops,
+                                      MatchSink& sink, Deadline deadline) {
+  assert(q_ != nullptr);
+  if (dead_) {
+    return Status::FailedPrecondition("engine is dead; Restore() it first");
+  }
+  // The data-vertex universe is fixed (updates are edge-only), so the
+  // out-of-range screen is order-independent and can run up front.
+  std::vector<UpdateOp> clean;
+  clean.reserve(ops.size());
+  size_t rejected = 0;
+  for (size_t i = 0; i < ops.size(); ++i) {
+    const UpdateOp& op = ops[i];
+    if (!g_.IsValidVertex(op.from) || !g_.IsValidVertex(op.to)) {
+      quarantine_.push_back(
+          {applied_ops_ + i,  // stream position once the batch commits
+           op,
+           Status::OutOfRange("op " + op.ToString() +
+                              " references unseen vertex")});
+      ++rejected;
+    } else {
+      clean.push_back(op);
+    }
+  }
+  if (!ApplyBatch(clean, sink, deadline)) {
+    return Status::DeadlineExceeded("batch abandoned mid-evaluation");
+  }
+  applied_ops_ += rejected;  // ApplyBatch already counted the clean ops
+  return Status::Ok();
 }
 
 bool TurboFluxEngine::EnumerateCurrentMatches(MatchSink& sink,
@@ -589,12 +664,17 @@ bool TurboFluxEngine::ApplyBatch(std::span<const UpdateOp> ops,
     // per-op matches equal sequential ApplyUpdate's.
     std::vector<std::function<void()>> tasks;
     tasks.reserve(nthreads);
+    FaultInjector* inj = injector_;  // replicas never carry an injector
     for (size_t w = 0; w < nthreads; ++w) {
       TurboFluxEngine* eng = w == 0 ? this : replicas_[w - 1].get();
-      tasks.push_back([&, w, eng] {
+      tasks.push_back([&, w, eng, inj] {
         for (size_t k = w; k < sub.size(); k += nthreads) {
           if (deadline.Expired() ||  // shared deadline, thread-safe poll
-              failed.load(std::memory_order_relaxed)) {
+              failed.load(std::memory_order_relaxed) ||
+              // Injected phase-1 fault: abandon the batch as a deadline
+              // expiry here would, leaving some ops evaluated and others
+              // not — the partial-batch recovery path.
+              (inj != nullptr && inj->ShouldFailBatchEval())) {
             failed.store(true, std::memory_order_relaxed);
             return;
           }

@@ -2,6 +2,7 @@
 #define TURBOFLUX_CORE_TURBOFLUX_H_
 
 #include <cstdint>
+#include <iosfwd>
 #include <memory>
 #include <optional>
 #include <span>
@@ -11,11 +12,13 @@
 
 #include "turboflux/common/deadline.h"
 #include "turboflux/common/match.h"
+#include "turboflux/common/status.h"
 #include "turboflux/common/types.h"
 #include "turboflux/core/dcg.h"
 #include "turboflux/graph/graph.h"
 #include "turboflux/graph/update_stream.h"
 #include "turboflux/harness/engine.h"
+#include "turboflux/harness/fault_injection.h"
 #include "turboflux/parallel/batch.h"
 #include "turboflux/parallel/thread_pool.h"
 #include "turboflux/query/query_graph.h"
@@ -88,6 +91,71 @@ class TurboFluxEngine : public ContinuousEngine {
   size_t IntermediateSize() const override { return dcg_.EdgeCount(); }
   std::string name() const override;
 
+  // --- Fault tolerance (DESIGN.md §3.7) ---
+
+  /// An update op rejected before evaluation: applying it would have
+  /// corrupted the engine (e.g. it references a vertex outside the data
+  /// universe). The op was consumed from the stream as a no-op.
+  struct QuarantinedOp {
+    uint64_t index;  ///< 0-based stream position at which the op arrived
+    UpdateOp op;
+    Status status;
+  };
+
+  /// Writes a crash-consistent snapshot of the full engine state: format
+  /// header (magic + version), then per-section CRC32-framed payloads for
+  /// the query, spanning tree, data graph, DCG, and matching-order state.
+  /// Adjacency and DCG list *orders* are preserved exactly, so an engine
+  /// restored from the snapshot reproduces the original's subsequent match
+  /// stream byte-for-byte. Requires Init to have succeeded and the engine
+  /// to be alive.
+  Status Checkpoint(std::ostream& out) const;
+
+  /// Rebuilds the engine from a Checkpoint snapshot, replacing all current
+  /// state (the query graph is deserialized into engine-owned storage, so
+  /// the snapshot outlives any QueryGraph passed to Init). Every section is
+  /// checksum- and structure-validated; a corrupted or truncated snapshot
+  /// yields a non-OK status and never crashes. On success the engine is
+  /// alive and `applied_ops()` reports the snapshot's stream position — the
+  /// caller resumes by replaying the update stream from that index. On
+  /// failure the engine is left dead (its state may be partially
+  /// overwritten).
+  Status Restore(std::istream& in);
+
+  /// ApplyUpdate with graceful degradation: ops that would corrupt the
+  /// engine (out-of-range endpoints) are quarantined and consumed as
+  /// no-ops (kOutOfRange); legal no-ops are applied and reported
+  /// (kNotFound for deleting an absent edge, kFailedPrecondition for a
+  /// duplicate insertion); deadline expiry returns kDeadlineExceeded and
+  /// leaves the engine dead *without* consuming the op — Restore() and
+  /// replay from applied_ops().
+  Status TryApplyUpdate(const UpdateOp& op, MatchSink& sink,
+                        Deadline deadline);
+
+  /// Batch counterpart of TryApplyUpdate: quarantines out-of-range ops up
+  /// front and evaluates the rest via ApplyBatch. On kDeadlineExceeded
+  /// only a stream-order prefix of the batch's matches was flushed and the
+  /// engine is dead; applied_ops() is only meaningful again after
+  /// Restore().
+  Status TryApplyBatch(std::span<const UpdateOp> ops, MatchSink& sink,
+                       Deadline deadline);
+
+  /// Number of stream ops consumed so far (applied + quarantined) — the
+  /// journal position persisted by Checkpoint.
+  uint64_t applied_ops() const { return applied_ops_; }
+
+  /// True once an op or batch was abandoned (deadline expiry or injected
+  /// fault); a dead engine rejects further updates until Restore().
+  bool dead() const { return dead_; }
+
+  /// Ops quarantined since Init (pruned on Restore to positions before the
+  /// snapshot, so replay re-reports exactly the re-consumed ones).
+  const std::vector<QuarantinedOp>& quarantine() const { return quarantine_; }
+
+  /// Installs a test-only fault injector (nullptr to disarm). Not owned;
+  /// replicas never inherit it.
+  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
+
   // --- Introspection (tests, benches, examples) ---
 
   const Dcg& dcg() const { return dcg_; }
@@ -155,6 +223,11 @@ class TurboFluxEngine : public ContinuousEngine {
   void MaybeAdjustMatchingOrder();
   void RecomputeMatchingOrder();
 
+  /// Rebuilds everything derivable from (q_, tree_, g_): dedup ranks,
+  /// label-indexed seed lists, the mapping scratch, and start_vertices_.
+  /// Shared by Init and Restore.
+  void RebuildDerivedIndexes();
+
   // --- Parallel batch machinery ---
 
   /// Deep copy of the engine's matching state (graph, tree, DCG, orders);
@@ -175,6 +248,9 @@ class TurboFluxEngine : public ContinuousEngine {
 
   TurboFluxOptions options_;
   const QueryGraph* q_ = nullptr;
+  // After Restore, q_ points at this engine-owned deserialized copy
+  // instead of a caller-provided graph.
+  std::unique_ptr<QueryGraph> owned_q_;
   Graph g_;
   QueryTree tree_;
   Dcg dcg_;
@@ -193,6 +269,11 @@ class TurboFluxEngine : public ContinuousEngine {
 
   Deadline* deadline_ = nullptr;
   bool dead_ = false;
+
+  // Fault-tolerance state (see TryApplyUpdate / Checkpoint).
+  uint64_t applied_ops_ = 0;
+  std::vector<QuarantinedOp> quarantine_;
+  FaultInjector* injector_ = nullptr;  // not owned; never copied to replicas
 
   std::vector<uint64_t> order_counts_snapshot_;
   size_t ops_since_adjust_check_ = 0;

@@ -3,10 +3,13 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "turboflux/common/label_set.h"
+#include "turboflux/common/serialize.h"
+#include "turboflux/common/status.h"
 #include "turboflux/common/types.h"
 
 namespace turboflux {
@@ -79,6 +82,26 @@ class Graph {
   /// Returns an empty vector reference when there is no such pair.
   const std::vector<EdgeLabel>& EdgeLabelsBetween(VertexId from,
                                                   VertexId to) const;
+
+  /// Appends a binary encoding of the graph to `out`. The encoding
+  /// preserves the exact order of both adjacency lists (observable through
+  /// OutEdges/InEdges and hence through match enumeration order), so a
+  /// deserialized graph is behaviorally byte-identical, not merely
+  /// isomorphic. Used by the engine checkpoint (DESIGN.md §3.7).
+  void Serialize(std::string& out) const;
+
+  /// Rebuilds the graph from `in` (replacing all current state). Every id
+  /// is bounds-checked and the in/out adjacency mirrors are
+  /// cross-validated, so corrupted input yields a kCorruption status
+  /// (with the graph left empty), never a crash or an inconsistent graph.
+  Status Deserialize(bin::Reader& in);
+
+  /// Exhaustive internal-consistency check: the in-adjacency mirrors the
+  /// out-adjacency edge-for-edge, the (from, to) -> labels index matches
+  /// both, and edge_count_ equals a recount. Returns an empty string when
+  /// consistent, else a description of the first violation. O(|E|);
+  /// meant for tests and snapshot validation.
+  std::string CheckConsistency() const;
 
  private:
   static uint64_t PairKey(VertexId from, VertexId to) {

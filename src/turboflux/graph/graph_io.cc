@@ -1,5 +1,6 @@
 #include "turboflux/graph/graph_io.h"
 
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -13,34 +14,196 @@ bool IsSkippable(const std::string& line) {
   return line.empty() || line[0] == '#';
 }
 
+/// Splits on spaces/tabs (multiple separators collapse, like istream>>).
+std::vector<std::string> Tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t' ||
+                               line[i] == '\r')) {
+      ++i;
+    }
+    size_t start = i;
+    while (i < line.size() && line[i] != ' ' && line[i] != '\t' &&
+           line[i] != '\r') {
+      ++i;
+    }
+    if (i > start) tokens.push_back(line.substr(start, i - start));
+  }
+  return tokens;
+}
+
+/// Strict uint32 parse: digits only (no sign, no trailing junk, no
+/// overflow wrap — `std::istream >> uint32_t` silently wraps "-5", which
+/// is exactly the silent acceptance this parser exists to reject).
+bool ParseU32(const std::string& token, uint32_t* out) {
+  if (token.empty() || token.size() > 10) return false;
+  uint64_t value = 0;
+  for (char c : token) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<uint64_t>(c - '0');
+  }
+  if (value > std::numeric_limits<uint32_t>::max()) return false;
+  *out = static_cast<uint32_t>(value);
+  return true;
+}
+
+/// Shared skip-or-fail policy: in strict mode the first bad record aborts
+/// with `error` at `line_no`; in lenient mode it is counted and skipped.
+bool HandleBadRecord(const IoOptions& options, IoStats* stats, size_t line_no,
+                     const Status& error, Status* out_status) {
+  if (stats != nullptr) {
+    ++stats->skipped;
+    if (stats->first_bad_line == 0) stats->first_bad_line = line_no;
+  }
+  if (options.lenient) return true;  // keep going
+  *out_status = error.AtLine(line_no);
+  return false;
+}
+
 }  // namespace
+
+Status ReadGraph(std::istream& in, Graph* out, const IoOptions& options,
+                 IoStats* stats) {
+  *out = Graph();
+  IoStats local_stats;
+  IoStats* st = stats != nullptr ? stats : &local_stats;
+  *st = IoStats();
+  std::string line;
+  size_t line_no = 0;
+  Status status;
+  while (std::getline(in, line)) {
+    ++line_no;
+    ++st->lines;
+    if (IsSkippable(line)) continue;
+    std::vector<std::string> tok = Tokenize(line);
+    if (tok.empty()) continue;
+    Status bad;
+    if (tok[0] == "v") {
+      uint32_t id = 0;
+      if (tok.size() < 2 || !ParseU32(tok[1], &id)) {
+        bad = Status::InvalidArgument("unparsable vertex id");
+      } else if (id != out->VertexCount()) {
+        bad = Status::InvalidArgument(
+            "vertex ids must be dense and in order (got " + tok[1] +
+            ", expected " + std::to_string(out->VertexCount()) + ")");
+      } else if (id >= options.max_vertices) {
+        bad = Status::OutOfRange("vertex id " + tok[1] + " exceeds limit");
+      } else {
+        std::vector<Label> labels;
+        labels.reserve(tok.size() - 2);
+        for (size_t i = 2; i < tok.size() && bad.ok(); ++i) {
+          Label l = 0;
+          if (!ParseU32(tok[i], &l)) {
+            bad = Status::InvalidArgument("unparsable vertex label '" +
+                                          tok[i] + "'");
+          } else if (l >= options.vertex_label_limit) {
+            bad = Status::OutOfRange("unknown vertex label " + tok[i]);
+          } else {
+            labels.push_back(l);
+          }
+        }
+        if (bad.ok()) {
+          out->AddVertex(LabelSet(std::move(labels)));
+          ++st->records;
+          continue;
+        }
+      }
+    } else if (tok[0] == "e") {
+      uint32_t from = 0, label = 0, to = 0;
+      if (tok.size() != 4 || !ParseU32(tok[1], &from) ||
+          !ParseU32(tok[2], &label) || !ParseU32(tok[3], &to)) {
+        bad = Status::InvalidArgument(
+            "edge record must be `e <from> <label> <to>`");
+      } else if (!out->IsValidVertex(from) || !out->IsValidVertex(to)) {
+        bad = Status::OutOfRange("edge endpoint references unseen vertex");
+      } else if (label >= options.edge_label_limit) {
+        bad = Status::OutOfRange("unknown edge label " + tok[2]);
+      } else {
+        if (out->AddEdge(from, label, to)) {
+          ++st->records;
+        } else {
+          ++st->duplicates;  // duplicate (from,label,to): accepted no-op
+        }
+        continue;
+      }
+    } else {
+      bad = Status::InvalidArgument("unknown record kind '" + tok[0] + "'");
+    }
+    if (!HandleBadRecord(options, st, line_no, bad, &status)) {
+      *out = Graph();
+      return status;
+    }
+  }
+  if (in.bad()) {
+    *out = Graph();
+    return Status::IoError("read failure");
+  }
+  return Status::Ok();
+}
+
+Status ReadGraphFromFile(const std::string& path, Graph* out,
+                         const IoOptions& options, IoStats* stats) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open " + path);
+  return ReadGraph(in, out, options, stats);
+}
+
+Status ReadStream(std::istream& in, UpdateStream* out,
+                  const IoOptions& options, IoStats* stats) {
+  out->clear();
+  IoStats local_stats;
+  IoStats* st = stats != nullptr ? stats : &local_stats;
+  *st = IoStats();
+  std::string line;
+  size_t line_no = 0;
+  Status status;
+  while (std::getline(in, line)) {
+    ++line_no;
+    ++st->lines;
+    if (IsSkippable(line)) continue;
+    std::vector<std::string> tok = Tokenize(line);
+    if (tok.empty()) continue;
+    Status bad;
+    uint32_t from = 0, label = 0, to = 0;
+    if (tok[0] != "+" && tok[0] != "-") {
+      bad = Status::InvalidArgument("unknown op kind '" + tok[0] + "'");
+    } else if (tok.size() != 4 || !ParseU32(tok[1], &from) ||
+               !ParseU32(tok[2], &label) || !ParseU32(tok[3], &to)) {
+      bad = Status::InvalidArgument(
+          "op record must be `+|- <from> <label> <to>`");
+    } else if (from >= options.max_vertices || to >= options.max_vertices) {
+      bad = Status::OutOfRange("op endpoint references unseen vertex");
+    } else if (label >= options.edge_label_limit) {
+      bad = Status::OutOfRange("unknown edge label " + tok[2]);
+    } else {
+      out->push_back(tok[0] == "+" ? UpdateOp::Insert(from, label, to)
+                                   : UpdateOp::Delete(from, label, to));
+      ++st->records;
+      continue;
+    }
+    if (!HandleBadRecord(options, st, line_no, bad, &status)) {
+      out->clear();
+      return status;
+    }
+  }
+  if (in.bad()) {
+    out->clear();
+    return Status::IoError("read failure");
+  }
+  return Status::Ok();
+}
+
+Status ReadStreamFromFile(const std::string& path, UpdateStream* out,
+                          const IoOptions& options, IoStats* stats) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open " + path);
+  return ReadStream(in, out, options, stats);
+}
 
 std::optional<Graph> ReadGraph(std::istream& in) {
   Graph g;
-  std::string line;
-  while (std::getline(in, line)) {
-    if (IsSkippable(line)) continue;
-    std::istringstream ls(line);
-    std::string kind;
-    ls >> kind;
-    if (kind == "v") {
-      VertexId id;
-      if (!(ls >> id)) return std::nullopt;
-      if (id != g.VertexCount()) return std::nullopt;  // ids must be dense
-      std::vector<Label> labels;
-      Label l;
-      while (ls >> l) labels.push_back(l);
-      g.AddVertex(LabelSet(std::move(labels)));
-    } else if (kind == "e") {
-      VertexId from, to;
-      EdgeLabel label;
-      if (!(ls >> from >> label >> to)) return std::nullopt;
-      if (!g.IsValidVertex(from) || !g.IsValidVertex(to)) return std::nullopt;
-      g.AddEdge(from, label, to);
-    } else {
-      return std::nullopt;
-    }
-  }
+  if (!ReadGraph(in, &g).ok()) return std::nullopt;
   return g;
 }
 
@@ -48,6 +211,18 @@ std::optional<Graph> ReadGraphFromFile(const std::string& path) {
   std::ifstream in(path);
   if (!in) return std::nullopt;
   return ReadGraph(in);
+}
+
+std::optional<UpdateStream> ReadStream(std::istream& in) {
+  UpdateStream stream;
+  if (!ReadStream(in, &stream).ok()) return std::nullopt;
+  return stream;
+}
+
+std::optional<UpdateStream> ReadStreamFromFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  return ReadStream(in);
 }
 
 void WriteGraph(const Graph& g, std::ostream& out) {
@@ -68,33 +243,6 @@ bool WriteGraphToFile(const Graph& g, const std::string& path) {
   if (!out) return false;
   WriteGraph(g, out);
   return static_cast<bool>(out);
-}
-
-std::optional<UpdateStream> ReadStream(std::istream& in) {
-  UpdateStream stream;
-  std::string line;
-  while (std::getline(in, line)) {
-    if (IsSkippable(line)) continue;
-    std::istringstream ls(line);
-    std::string kind;
-    VertexId from, to;
-    EdgeLabel label;
-    if (!(ls >> kind >> from >> label >> to)) return std::nullopt;
-    if (kind == "+") {
-      stream.push_back(UpdateOp::Insert(from, label, to));
-    } else if (kind == "-") {
-      stream.push_back(UpdateOp::Delete(from, label, to));
-    } else {
-      return std::nullopt;
-    }
-  }
-  return stream;
-}
-
-std::optional<UpdateStream> ReadStreamFromFile(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) return std::nullopt;
-  return ReadStream(in);
 }
 
 void WriteStream(const UpdateStream& stream, std::ostream& out) {

@@ -1,10 +1,13 @@
 #ifndef TURBOFLUX_GRAPH_GRAPH_IO_H_
 #define TURBOFLUX_GRAPH_GRAPH_IO_H_
 
+#include <cstdint>
 #include <iosfwd>
+#include <limits>
 #include <optional>
 #include <string>
 
+#include "turboflux/common/status.h"
 #include "turboflux/graph/graph.h"
 #include "turboflux/graph/update_stream.h"
 
@@ -19,15 +22,66 @@ namespace turboflux {
 ///
 /// Blank lines and lines starting with `#` are ignored.
 ///
-/// All readers return std::nullopt on malformed input (no exceptions).
+/// The Status-returning readers are the primary API: every malformed
+/// record — unknown record kind, missing/extra fields, unparsable or
+/// out-of-range numbers, non-dense vertex ids, edge endpoints referencing
+/// undeclared vertices, labels outside a declared alphabet — is rejected
+/// with a Status carrying the offending 1-based line number. In lenient
+/// mode bad records are skipped and counted instead (stats report how
+/// many and where the first one was). A re-inserted duplicate
+/// (from, label, to) edge is not malformed; it is accepted as a no-op and
+/// counted in `IoStats::duplicates` in either mode.
+///
+/// The std::optional wrappers are legacy shims over strict mode.
 
+/// Sentinel for "no limit" in IoOptions.
+inline constexpr uint64_t kNoIoLimit = std::numeric_limits<uint64_t>::max();
+
+struct IoOptions {
+  /// Strict (default): the first malformed record aborts the read with an
+  /// error Status. Lenient: malformed records are skipped and counted.
+  bool lenient = false;
+
+  /// Exclusive upper bound on vertex ids. For graphs this caps the number
+  /// of `v` records; for streams it bounds endpoint ids (pass
+  /// g.VertexCount() to reject ops referencing unseen vertices).
+  uint64_t max_vertices = kNoIoLimit;
+
+  /// Exclusive upper bound on vertex labels (`v` records).
+  uint64_t vertex_label_limit = kNoIoLimit;
+
+  /// Exclusive upper bound on edge labels (`e` and stream records).
+  uint64_t edge_label_limit = kNoIoLimit;
+};
+
+struct IoStats {
+  size_t lines = 0;           ///< lines scanned (including blank/comment)
+  size_t records = 0;         ///< records accepted
+  size_t skipped = 0;         ///< malformed records skipped (lenient mode)
+  size_t duplicates = 0;      ///< duplicate edge insertions (accepted no-ops)
+  size_t first_bad_line = 0;  ///< 1-based line of the first bad record; 0 = none
+};
+
+Status ReadGraph(std::istream& in, Graph* out, const IoOptions& options = {},
+                 IoStats* stats = nullptr);
+Status ReadGraphFromFile(const std::string& path, Graph* out,
+                         const IoOptions& options = {},
+                         IoStats* stats = nullptr);
+
+Status ReadStream(std::istream& in, UpdateStream* out,
+                  const IoOptions& options = {}, IoStats* stats = nullptr);
+Status ReadStreamFromFile(const std::string& path, UpdateStream* out,
+                          const IoOptions& options = {},
+                          IoStats* stats = nullptr);
+
+// Legacy shims: strict mode, no limits; std::nullopt on any error.
 std::optional<Graph> ReadGraph(std::istream& in);
 std::optional<Graph> ReadGraphFromFile(const std::string& path);
-void WriteGraph(const Graph& g, std::ostream& out);
-bool WriteGraphToFile(const Graph& g, const std::string& path);
-
 std::optional<UpdateStream> ReadStream(std::istream& in);
 std::optional<UpdateStream> ReadStreamFromFile(const std::string& path);
+
+void WriteGraph(const Graph& g, std::ostream& out);
+bool WriteGraphToFile(const Graph& g, const std::string& path);
 void WriteStream(const UpdateStream& stream, std::ostream& out);
 bool WriteStreamToFile(const UpdateStream& stream, const std::string& path);
 

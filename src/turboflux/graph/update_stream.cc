@@ -16,6 +16,21 @@ std::string UpdateOp::ToString() const {
   return out;
 }
 
+Status ValidateOp(const Graph& g, const UpdateOp& op) {
+  if (!g.IsValidVertex(op.from) || !g.IsValidVertex(op.to)) {
+    return Status::OutOfRange("op " + op.ToString() +
+                              " references unseen vertex");
+  }
+  const bool present = g.HasEdge(op.from, op.label, op.to);
+  if (op.IsInsert() && present) {
+    return Status::FailedPrecondition("duplicate insertion " + op.ToString());
+  }
+  if (!op.IsInsert() && !present) {
+    return Status::NotFound("deletion of absent edge " + op.ToString());
+  }
+  return Status::Ok();
+}
+
 bool ApplyUpdate(Graph& g, const UpdateOp& op) {
   if (op.IsInsert()) return g.AddEdge(op.from, op.label, op.to);
   return g.RemoveEdge(op.from, op.label, op.to);

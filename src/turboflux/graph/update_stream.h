@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "turboflux/common/status.h"
 #include "turboflux/common/types.h"
 
 namespace turboflux {
@@ -37,6 +38,19 @@ struct UpdateOp {
 
 /// A graph update stream Δg = (Δo1, Δo2, ...).
 using UpdateStream = std::vector<UpdateOp>;
+
+/// Classifies `op` against the current state of `g` without applying it:
+///
+///  * kOutOfRange  — an endpoint id is not a vertex of g (malformed op;
+///                   applying it is guaranteed to be a no-op, and resilient
+///                   callers quarantine it);
+///  * kNotFound    — deletion of an edge that does not exist (a legal
+///                   stream no-op under Definition 2, reported so callers
+///                   can count dangling deletions);
+///  * kFailedPrecondition — insertion of an already-present edge (likewise
+///                   a legal no-op);
+///  * OK           — the op will change the graph.
+Status ValidateOp(const class Graph& g, const UpdateOp& op);
 
 /// Applies `op` to `g`; returns true if the graph changed (i.e., the
 /// inserted edge was new / the deleted edge existed).

@@ -30,7 +30,8 @@ class ContinuousEngine {
   /// Applies one update operation and reports the positive (insertion) or
   /// negative (deletion) matches it causes. Returns false if the deadline
   /// expired mid-operation (reported matches may then be incomplete and
-  /// the engine must not be used further).
+  /// the engine must not be used further — except TurboFlux, which can be
+  /// brought back with TurboFluxEngine::Restore; see DESIGN.md §3.7).
   virtual bool ApplyUpdate(const UpdateOp& op, MatchSink& sink,
                            Deadline deadline) = 0;
 
@@ -40,7 +41,7 @@ class ContinuousEngine {
   /// sequential loop; engines with a parallel path override this. Returns
   /// false if the deadline expired mid-batch — the matches reported by
   /// then correspond to a consistent prefix of the batch, and the engine
-  /// must not be used further.
+  /// must not be used further (TurboFlux again excepted via Restore).
   virtual bool ApplyBatch(std::span<const UpdateOp> ops, MatchSink& sink,
                           Deadline deadline) {
     for (const UpdateOp& op : ops) {

@@ -1,0 +1,11 @@
+#include "turboflux/harness/fault_injection.h"
+
+namespace turboflux {
+
+bool CorruptSnapshot(std::string& snapshot, size_t byte_index) {
+  if (byte_index >= snapshot.size()) return false;
+  snapshot[byte_index] = static_cast<char>(snapshot[byte_index] ^ 0x01);
+  return true;
+}
+
+}  // namespace turboflux

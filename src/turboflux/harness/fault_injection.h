@@ -1,0 +1,73 @@
+#ifndef TURBOFLUX_HARNESS_FAULT_INJECTION_H_
+#define TURBOFLUX_HARNESS_FAULT_INJECTION_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace turboflux {
+
+/// Declarative description of the single fault a test run should inject.
+/// All triggers are one-shot and independently optional; a default plan
+/// injects nothing. Counters are 1-based ("fail the Nth"); 0 disables.
+struct FaultPlan {
+  /// Fail the Nth update op applied through the engine (counted across
+  /// ApplyUpdate and ApplyBatch). The engine simulates a crash mid-op by
+  /// swapping in an already-expired deadline, so the op is abandoned at a
+  /// genuine partial-progress point.
+  uint64_t fail_at_op = 0;
+
+  /// Expire the deadline inside phase 1 of the Nth parallel ApplyBatch
+  /// evaluation step, exercising the partial-batch recovery path.
+  uint64_t batch_phase1_fail_after = 0;
+
+  /// Bit-flip byte K of a snapshot before restoring it (applied by the
+  /// test via CorruptSnapshot, not by the engine). SIZE_MAX disables.
+  size_t corrupt_snapshot_byte = SIZE_MAX;
+};
+
+/// Thread-safe one-shot trigger shared between a test harness and the
+/// engine under test. The engine polls ShouldFailOp / ShouldFailBatchEval
+/// at its injection points; each fires at most once per injector.
+class FaultInjector {
+ public:
+  explicit FaultInjector(const FaultPlan& plan) : plan_(plan) {}
+
+  /// Called once per applied update op; true on the op the plan marks.
+  bool ShouldFailOp() {
+    if (plan_.fail_at_op == 0) return false;
+    return ops_seen_.fetch_add(1, std::memory_order_relaxed) + 1 ==
+           plan_.fail_at_op;
+  }
+
+  /// Called per evaluation step in ApplyBatch phase 1 (any worker thread).
+  bool ShouldFailBatchEval() {
+    if (plan_.batch_phase1_fail_after == 0) return false;
+    return evals_seen_.fetch_add(1, std::memory_order_relaxed) + 1 ==
+           plan_.batch_phase1_fail_after;
+  }
+
+  const FaultPlan& plan() const { return plan_; }
+  uint64_t ops_seen() const { return ops_seen_.load(std::memory_order_relaxed); }
+  bool fired() const {
+    return (plan_.fail_at_op != 0 && ops_seen() >= plan_.fail_at_op) ||
+           (plan_.batch_phase1_fail_after != 0 &&
+            evals_seen_.load(std::memory_order_relaxed) >=
+                plan_.batch_phase1_fail_after);
+  }
+
+ private:
+  FaultPlan plan_;
+  std::atomic<uint64_t> ops_seen_{0};
+  std::atomic<uint64_t> evals_seen_{0};
+};
+
+/// Flips one bit of `snapshot` (byte `byte_index`, bit 0). Out-of-range
+/// indexes are a no-op so fuzz loops can sweep past the end harmlessly.
+/// Returns true iff a byte was modified.
+bool CorruptSnapshot(std::string& snapshot, size_t byte_index);
+
+}  // namespace turboflux
+
+#endif  // TURBOFLUX_HARNESS_FAULT_INJECTION_H_

@@ -6,22 +6,77 @@
 
 namespace turboflux {
 
+namespace {
+
+/// Derives everything a QueryTree holds beyond (q, root, parent edges):
+/// children lists/masks, depths, BFS order, and non-tree edge indexes.
+/// Returns false unless the parent edges describe a spanning tree (every
+/// vertex reaches the root, no cycles).
+bool FinalizeTree(QueryTree& t, const QueryGraph& q, QVertexId root,
+                  std::vector<QueryTree::ParentEdge> parents,
+                  // private-member accessors, filled by the caller
+                  std::vector<QueryTree::ParentEdge>& parent_out,
+                  std::vector<std::vector<QVertexId>>& children,
+                  std::vector<uint64_t>& children_mask,
+                  std::vector<QVertexId>& bfs_order,
+                  std::vector<QEdgeId>& non_tree_edges,
+                  std::vector<bool>& is_tree_edge,
+                  std::vector<std::vector<QEdgeId>>& incident_non_tree,
+                  std::vector<size_t>& depth) {
+  const size_t n = q.VertexCount();
+  parent_out = std::move(parents);
+  children.assign(n, {});
+  children_mask.assign(n, 0);
+  is_tree_edge.assign(q.EdgeCount(), false);
+  incident_non_tree.assign(n, {});
+  depth.assign(n, 0);
+  bfs_order.clear();
+  non_tree_edges.clear();
+
+  for (QVertexId u = 0; u < n; ++u) {
+    if (u == root) continue;
+    const QueryTree::ParentEdge& pe = parent_out[u];
+    if (pe.parent >= n || pe.qedge >= q.EdgeCount()) return false;
+    children[pe.parent].push_back(u);
+    children_mask[pe.parent] |= (uint64_t{1} << u);
+    is_tree_edge[pe.qedge] = true;
+  }
+
+  // BFS order (parents before children); also validates reachability —
+  // visiting all n vertices from the root proves the parent relation is a
+  // spanning tree.
+  std::deque<QVertexId> queue = {root};
+  while (!queue.empty()) {
+    QVertexId u = queue.front();
+    queue.pop_front();
+    bfs_order.push_back(u);
+    for (QVertexId c : children[u]) {
+      depth[c] = depth[u] + 1;
+      queue.push_back(c);
+    }
+  }
+  if (bfs_order.size() != n) return false;
+
+  for (const QEdge& e : q.edges()) {
+    if (!is_tree_edge[e.id]) {
+      non_tree_edges.push_back(e.id);
+      incident_non_tree[e.from].push_back(e.id);
+      if (e.to != e.from) incident_non_tree[e.to].push_back(e.id);
+    }
+  }
+  (void)t;
+  return true;
+}
+
+}  // namespace
+
 QueryTree QueryTree::Build(const QueryGraph& q, QVertexId root,
                            const QueryStats& stats) {
   assert(root < q.VertexCount());
   assert(q.IsConnected());
   const size_t n = q.VertexCount();
 
-  QueryTree t;
-  t.q_ = &q;
-  t.root_ = root;
-  t.parent_.assign(n, ParentEdge{});
-  t.children_.assign(n, {});
-  t.children_mask_.assign(n, 0);
-  t.is_tree_edge_.assign(q.EdgeCount(), false);
-  t.incident_non_tree_.assign(n, {});
-  t.depth_.assign(n, 0);
-
+  std::vector<ParentEdge> parents(n);
   std::vector<bool> in_tree(n, false);
   in_tree[root] = true;
   size_t tree_size = 1;
@@ -44,32 +99,51 @@ QueryTree QueryTree::Build(const QueryGraph& q, QVertexId root,
     bool forward = in_tree[e.from];  // parent is the endpoint already in tree
     QVertexId parent = forward ? e.from : e.to;
     QVertexId child = forward ? e.to : e.from;
-    t.parent_[child] = {parent, e.label, forward, e.id};
-    t.children_[parent].push_back(child);
-    t.children_mask_[parent] |= (uint64_t{1} << child);
-    t.depth_[child] = t.depth_[parent] + 1;
-    t.is_tree_edge_[e.id] = true;
+    parents[child] = {parent, e.label, forward, e.id};
     in_tree[child] = true;
     ++tree_size;
   }
 
-  for (const QEdge& e : q.edges()) {
-    if (!t.is_tree_edge_[e.id]) {
-      t.non_tree_edges_.push_back(e.id);
-      t.incident_non_tree_[e.from].push_back(e.id);
-      if (e.to != e.from) t.incident_non_tree_[e.to].push_back(e.id);
+  QueryTree t;
+  t.q_ = &q;
+  t.root_ = root;
+  bool ok = FinalizeTree(t, q, root, std::move(parents), t.parent_,
+                         t.children_, t.children_mask_, t.bfs_order_,
+                         t.non_tree_edges_, t.is_tree_edge_,
+                         t.incident_non_tree_, t.depth_);
+  assert(ok);
+  (void)ok;
+  return t;
+}
+
+bool QueryTree::FromParentEdges(const QueryGraph& q, QVertexId root,
+                                const std::vector<ParentEdge>& parents,
+                                QueryTree* out) {
+  const size_t n = q.VertexCount();
+  if (root >= n || parents.size() != n) return false;
+  // Every non-root parent edge must be a real query edge with the
+  // recorded endpoints, label, and orientation.
+  for (QVertexId u = 0; u < n; ++u) {
+    if (u == root) continue;
+    const ParentEdge& pe = parents[u];
+    if (pe.parent >= n || pe.qedge >= q.EdgeCount()) return false;
+    const QEdge& e = q.edge(pe.qedge);
+    QVertexId expect_from = pe.forward ? pe.parent : u;
+    QVertexId expect_to = pe.forward ? u : pe.parent;
+    if (e.from != expect_from || e.to != expect_to || e.label != pe.label) {
+      return false;
     }
   }
-
-  // BFS order (parents before children) for matching-order construction.
-  std::deque<QVertexId> queue = {root};
-  while (!queue.empty()) {
-    QVertexId u = queue.front();
-    queue.pop_front();
-    t.bfs_order_.push_back(u);
-    for (QVertexId c : t.children_[u]) queue.push_back(c);
+  QueryTree t;
+  t.q_ = &q;
+  t.root_ = root;
+  if (!FinalizeTree(t, q, root, parents, t.parent_, t.children_,
+                    t.children_mask_, t.bfs_order_, t.non_tree_edges_,
+                    t.is_tree_edge_, t.incident_non_tree_, t.depth_)) {
+    return false;
   }
-  return t;
+  *out = std::move(t);
+  return true;
 }
 
 std::string QueryTree::ToString() const {

@@ -34,6 +34,17 @@ class QueryTree {
   static QueryTree Build(const QueryGraph& q, QVertexId root,
                          const QueryStats& stats);
 
+  /// Reconstructs a tree from explicit parent edges (one entry per query
+  /// vertex; the root's entry is ignored) — the checkpoint-restore path,
+  /// where the original greedy Build cannot be replayed because its
+  /// data-graph statistics have since evolved. Returns false (leaving
+  /// `out` unspecified) unless the entries describe a spanning tree of q
+  /// rooted at `root` whose every parent edge is a real query edge with
+  /// the recorded label and orientation.
+  static bool FromParentEdges(const QueryGraph& q, QVertexId root,
+                              const std::vector<ParentEdge>& parents,
+                              QueryTree* out);
+
   const QueryGraph& query() const { return *q_; }
   QVertexId root() const { return root_; }
   size_t VertexCount() const { return parent_.size(); }

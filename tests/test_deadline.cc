@@ -46,6 +46,40 @@ TEST(Deadline, ExpiresAfterSleep) {
   EXPECT_TRUE(d.ExpiredNow());
 }
 
+TEST(Deadline, RemainingReportsBudget) {
+  EXPECT_EQ(Deadline::Infinite().Remaining(), std::chrono::milliseconds::max());
+
+  Deadline generous = Deadline::AfterMillis(60'000);
+  std::chrono::milliseconds left = generous.Remaining();
+  EXPECT_GT(left.count(), 30'000);
+  EXPECT_LE(left.count(), 60'000);
+
+  Deadline spent = Deadline::AfterMillis(0);
+  EXPECT_TRUE(spent.ExpiredNow());
+  EXPECT_EQ(spent.Remaining(), std::chrono::milliseconds(0));
+}
+
+// Copying a deadline resets the amortization counter, so the copy's first
+// Expired() consults the clock instead of inheriting up to kCheckInterval-1
+// free passes from the original — a copy made after expiry must never
+// report "not expired".
+TEST(Deadline, CopyChecksClockImmediately) {
+  Deadline d = Deadline::AfterMillis(0);
+  Deadline copy = d;                       // copy-construct
+  EXPECT_TRUE(copy.Expired());             // first call already fires
+
+  Deadline assigned = Deadline::Infinite();
+  assigned = d;                            // copy-assign
+  EXPECT_TRUE(assigned.Expired());
+
+  // The original still amortizes: a factory-made deadline's early Expired()
+  // calls may return false before the interval elapses. (Behavioral anchor
+  // for the fault-injection poison deadline, which relies on partial
+  // progress before the amortized check fires.)
+  Deadline fresh = Deadline::AfterMillis(0);
+  EXPECT_FALSE(fresh.Expired());
+}
+
 TEST(Stopwatch, MeasuresElapsedTime) {
   Stopwatch watch;
   std::this_thread::sleep_for(std::chrono::milliseconds(12));

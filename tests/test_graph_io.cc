@@ -79,5 +79,134 @@ TEST(GraphIo, FileRoundTrip) {
   EXPECT_FALSE(ReadGraphFromFile("/nonexistent/nowhere.txt").has_value());
 }
 
+// --- Status API: strict mode pinpoints the offending line. ---
+
+TEST(GraphIo, StrictErrorsCarryLineNumbers) {
+  {
+    std::stringstream in("v 0 1\nv 1 2\nx 0 0 1\n");
+    Graph g;
+    Status st = ReadGraph(in, &g);
+    EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+    EXPECT_EQ(st.line(), 3u);
+  }
+  {
+    // Comments and blanks still count toward the line number.
+    std::stringstream in("# header\n\nv 0\ne 0 not_a_number 0\n");
+    Graph g;
+    Status st = ReadGraph(in, &g);
+    EXPECT_FALSE(st.ok());
+    EXPECT_EQ(st.line(), 4u);
+  }
+  {
+    std::stringstream in("+ 0 1 2\n- 0 1\n");
+    UpdateStream s;
+    Status st = ReadStream(in, &s);
+    EXPECT_FALSE(st.ok());
+    EXPECT_EQ(st.line(), 2u);
+  }
+  {
+    // Numeric overflow of the id type is out-of-range, not a silent wrap.
+    std::stringstream in("v 0\nv 1\ne 0 99999999999999999999 1\n");
+    Graph g;
+    Status st = ReadGraph(in, &g);
+    EXPECT_FALSE(st.ok());
+    EXPECT_EQ(st.line(), 3u);
+  }
+}
+
+TEST(GraphIo, LenientModeSkipsAndCounts) {
+  std::stringstream in(
+      "v 0 1\n"
+      "v 1 2\n"
+      "bogus line\n"       // skipped
+      "e 0 4 1\n"
+      "e 0 4\n"            // skipped (missing field)
+      "e 1 5 0\n"
+      "e 0 4 1\n");        // duplicate: accepted no-op, counted
+  IoOptions options;
+  options.lenient = true;
+  IoStats stats;
+  Graph g;
+  Status st = ReadGraph(in, &g, options, &stats);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_EQ(g.VertexCount(), 2u);
+  EXPECT_EQ(g.EdgeCount(), 2u);
+  EXPECT_EQ(stats.lines, 7u);
+  EXPECT_EQ(stats.records, 4u);  // 2 vertices + 2 new edges
+  EXPECT_EQ(stats.skipped, 2u);
+  EXPECT_EQ(stats.duplicates, 1u);
+  EXPECT_EQ(stats.first_bad_line, 3u);
+}
+
+TEST(GraphIo, LenientStreamSkipsMalformedOps) {
+  std::stringstream in("+ 0 1 2\n? 9 9 9\n- 0 1 2\n+ 1 junk 2\n");
+  IoOptions options;
+  options.lenient = true;
+  IoStats stats;
+  UpdateStream s;
+  Status st = ReadStream(in, &s, options, &stats);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_EQ(s[0], UpdateOp::Insert(0, 1, 2));
+  EXPECT_EQ(s[1], UpdateOp::Delete(0, 1, 2));
+  EXPECT_EQ(stats.skipped, 2u);
+  EXPECT_EQ(stats.first_bad_line, 2u);
+}
+
+TEST(GraphIo, LimitsRejectOutOfRangeIds) {
+  {
+    IoOptions options;
+    options.max_vertices = 2;
+    std::stringstream in("v 0\nv 1\nv 2\n");
+    Graph g;
+    Status st = ReadGraph(in, &g, options);
+    EXPECT_EQ(st.code(), StatusCode::kOutOfRange);
+    EXPECT_EQ(st.line(), 3u);
+  }
+  {
+    IoOptions options;
+    options.vertex_label_limit = 4;
+    std::stringstream in("v 0 3\nv 1 4\n");
+    Graph g;
+    EXPECT_EQ(ReadGraph(in, &g, options).code(), StatusCode::kOutOfRange);
+  }
+  {
+    IoOptions options;
+    options.edge_label_limit = 2;
+    std::stringstream in("v 0\nv 1\ne 0 2 1\n");
+    Graph g;
+    EXPECT_EQ(ReadGraph(in, &g, options).code(), StatusCode::kOutOfRange);
+  }
+  {
+    // Stream endpoint bound: reject ops referencing unseen vertices.
+    IoOptions options;
+    options.max_vertices = 3;
+    std::stringstream in("+ 0 1 2\n+ 0 1 3\n");
+    UpdateStream s;
+    Status st = ReadStream(in, &s, options);
+    EXPECT_EQ(st.code(), StatusCode::kOutOfRange);
+    EXPECT_EQ(st.line(), 2u);
+  }
+}
+
+TEST(GraphIo, StrictStatusReaderStillCountsDuplicates) {
+  std::stringstream in("v 0\nv 1\ne 0 1 1\ne 0 1 1\n");
+  IoStats stats;
+  Graph g;
+  Status st = ReadGraph(in, &g, {}, &stats);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_EQ(g.EdgeCount(), 1u);
+  EXPECT_EQ(stats.duplicates, 1u);
+}
+
+TEST(GraphIo, FileReaderReportsIoError) {
+  Graph g;
+  EXPECT_EQ(ReadGraphFromFile("/nonexistent/nowhere.txt", &g).code(),
+            StatusCode::kIoError);
+  UpdateStream s;
+  EXPECT_EQ(ReadStreamFromFile("/nonexistent/nowhere.txt", &s).code(),
+            StatusCode::kIoError);
+}
+
 }  // namespace
 }  // namespace turboflux

@@ -1,0 +1,270 @@
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "testutil.h"
+#include "turboflux/core/recovery.h"
+#include "turboflux/core/turboflux.h"
+#include "turboflux/harness/fault_injection.h"
+
+namespace turboflux {
+namespace {
+
+bool LongTests() {
+  const char* env = std::getenv("TFX_LONG_TESTS");
+  return env != nullptr && env[0] == '1';
+}
+
+void ExpectSameRecords(const CollectingSink& want, const CollectingSink& got,
+                       const std::string& what) {
+  ASSERT_EQ(want.size(), got.size()) << what;
+  for (size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(want.records()[i].positive, got.records()[i].positive)
+        << what << " record " << i;
+    EXPECT_EQ(want.records()[i].mapping, got.records()[i].mapping)
+        << what << " record " << i;
+  }
+}
+
+/// Runs the case uninterrupted through RunResilient; the oracle every
+/// faulted run is compared against.
+ResilientResult RunOracle(const testutil::RandomCase& c, size_t threads,
+                          int64_t batch, CollectingSink& sink,
+                          std::string* final_dcg) {
+  TurboFluxOptions opts;
+  opts.threads = threads;
+  TurboFluxEngine engine(opts);
+  ResilientOptions ro;
+  ro.checkpoint_every = 10;
+  ro.batch_size = batch;
+  ResilientResult r = RunResilient(engine, c.query, c.g0, c.stream, sink, ro);
+  EXPECT_TRUE(r.ok) << r.status.ToString();
+  *final_dcg = engine.dcg().ToString();
+  return r;
+}
+
+/// The recovery property: kill the engine at op `kill_at`, restore from the
+/// last checkpoint, replay — the sink must see exactly the records an
+/// uninterrupted run delivers, and the final DCG must be byte-identical.
+void CheckRecoveryProperty(uint64_t seed, uint64_t kill_at, size_t threads,
+                           int64_t batch) {
+  SCOPED_TRACE("seed=" + std::to_string(seed) +
+               " kill_at=" + std::to_string(kill_at) +
+               " threads=" + std::to_string(threads) +
+               " batch=" + std::to_string(batch));
+  testutil::RandomCase c = testutil::MakeRandomCase(seed, {});
+
+  CollectingSink oracle_sink;
+  std::string oracle_dcg;
+  RunOracle(c, threads, batch, oracle_sink, &oracle_dcg);
+
+  FaultPlan plan;
+  plan.fail_at_op = kill_at;
+  FaultInjector inj(plan);
+
+  TurboFluxOptions opts;
+  opts.threads = threads;
+  TurboFluxEngine engine(opts);
+  ResilientOptions ro;
+  ro.checkpoint_every = 10;
+  ro.batch_size = batch;
+  ro.injector = &inj;
+  CollectingSink sink;
+  ResilientResult r = RunResilient(engine, c.query, c.g0, c.stream, sink, ro);
+  ASSERT_TRUE(r.ok) << r.status.ToString();
+  EXPECT_EQ(r.ops_consumed, c.stream.size());
+  if (kill_at > 0 && kill_at <= c.stream.size()) {
+    EXPECT_TRUE(inj.fired());
+    EXPECT_GE(r.recoveries, 1u);
+  }
+  ExpectSameRecords(oracle_sink, sink, "faulted vs oracle");
+  EXPECT_EQ(engine.dcg().ToString(), oracle_dcg);
+  EXPECT_TRUE(engine.dcg().Validate().empty());
+}
+
+// Anchor: the resilient runner with no faults is observationally identical
+// to the plain Init + ApplyUpdate loop. Initial matches are counted, not
+// forwarded (the RunContinuous convention).
+TEST(Recovery, NoFaultMatchesPlainLoop) {
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    testutil::RandomCase c = testutil::MakeRandomCase(seed, {});
+
+    TurboFluxEngine plain;
+    CountingSink init_counter;
+    ASSERT_TRUE(plain.Init(c.query, c.g0, init_counter, Deadline::Infinite()));
+    CollectingSink plain_sink;
+    for (const UpdateOp& op : c.stream) {
+      ASSERT_TRUE(plain.ApplyUpdate(op, plain_sink, Deadline::Infinite()));
+    }
+
+    CollectingSink sink;
+    std::string dcg;
+    ResilientResult r = RunOracle(c, /*threads=*/1, /*batch=*/1, sink, &dcg);
+    EXPECT_EQ(r.ops_consumed, c.stream.size());
+    EXPECT_EQ(r.initial_matches, init_counter.positive());
+    EXPECT_EQ(r.recoveries, 0u);
+    EXPECT_GE(r.checkpoints, 2u);  // initial + final at minimum
+    ExpectSameRecords(plain_sink, sink, "resilient vs plain");
+    EXPECT_EQ(dcg, plain.dcg().ToString());
+  }
+}
+
+// The main randomized sweep: >= 100 (seed, kill-point) pairs across thread
+// counts and batch sizes, more under TFX_LONG_TESTS=1.
+TEST(Recovery, KillRestoreReplayMatchesOracle) {
+  const uint64_t seeds = LongTests() ? 20 : 5;
+  const std::vector<uint64_t> kills = {1, 3, 7, 12, 20};
+  const std::vector<std::pair<size_t, int64_t>> configs = {
+      {1, 1}, {1, 8}, {4, 1}, {4, 8}};
+  for (uint64_t seed = 1; seed <= seeds; ++seed) {
+    for (uint64_t kill : kills) {
+      for (const auto& [threads, batch] : configs) {
+        CheckRecoveryProperty(seed, kill, threads, batch);
+      }
+    }
+  }
+}
+
+// Kill past the end of the stream: the injector never fires and the run is
+// just the oracle.
+TEST(Recovery, KillPointBeyondStreamIsBenign) {
+  CheckRecoveryProperty(/*seed=*/4, /*kill_at=*/10'000, /*threads=*/1,
+                        /*batch=*/1);
+}
+
+// Fault inside phase 1 of the parallel batch evaluator: a worker thread
+// aborts the batch mid-flight; recovery must still converge to the oracle.
+TEST(Recovery, BatchPhase1FaultRecovers) {
+  for (uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    for (uint64_t after : {1u, 5u, 15u}) {
+      SCOPED_TRACE("seed=" + std::to_string(seed) +
+                   " after=" + std::to_string(after));
+      testutil::RandomCase c = testutil::MakeRandomCase(seed, {});
+
+      CollectingSink oracle_sink;
+      std::string oracle_dcg;
+      RunOracle(c, /*threads=*/4, /*batch=*/8, oracle_sink, &oracle_dcg);
+
+      FaultPlan plan;
+      plan.batch_phase1_fail_after = after;
+      FaultInjector inj(plan);
+      TurboFluxOptions opts;
+      opts.threads = 4;
+      TurboFluxEngine engine(opts);
+      ResilientOptions ro;
+      ro.checkpoint_every = 10;
+      ro.batch_size = 8;
+      ro.injector = &inj;
+      CollectingSink sink;
+      ResilientResult r =
+          RunResilient(engine, c.query, c.g0, c.stream, sink, ro);
+      ASSERT_TRUE(r.ok) << r.status.ToString();
+      EXPECT_TRUE(inj.fired());
+      EXPECT_GE(r.recoveries, 1u);
+      ExpectSameRecords(oracle_sink, sink, "batch fault vs oracle");
+      EXPECT_EQ(engine.dcg().ToString(), oracle_dcg);
+    }
+  }
+}
+
+// Malformed ops in the stream are quarantined, not fatal, and recovery
+// around a kill point still reaches the oracle of the same dirty stream.
+TEST(Recovery, QuarantineAndKillCompose) {
+  testutil::RandomCase c = testutil::MakeRandomCase(8, {});
+  const VertexId bogus = static_cast<VertexId>(c.g0.VertexCount()) + 9;
+  UpdateStream dirty = c.stream;
+  dirty.insert(dirty.begin() + 4, UpdateOp::Insert(0, 0, bogus));
+  dirty.insert(dirty.begin() + 11, UpdateOp::Delete(bogus, 1, 2));
+
+  CollectingSink oracle_sink;
+  std::string oracle_dcg;
+  {
+    TurboFluxEngine engine;
+    ResilientOptions ro;
+    ro.checkpoint_every = 7;
+    ResilientResult r =
+        RunResilient(engine, c.query, c.g0, dirty, oracle_sink, ro);
+    ASSERT_TRUE(r.ok) << r.status.ToString();
+    EXPECT_EQ(r.quarantined, 2u);
+    oracle_dcg = engine.dcg().ToString();
+  }
+
+  for (uint64_t kill : {2u, 5u, 13u}) {
+    SCOPED_TRACE("kill=" + std::to_string(kill));
+    FaultPlan plan;
+    plan.fail_at_op = kill;
+    FaultInjector inj(plan);
+    TurboFluxEngine engine;
+    ResilientOptions ro;
+    ro.checkpoint_every = 7;
+    ro.injector = &inj;
+    CollectingSink sink;
+    ResilientResult r = RunResilient(engine, c.query, c.g0, dirty, sink, ro);
+    ASSERT_TRUE(r.ok) << r.status.ToString();
+    // Each quarantined op is reported exactly once despite the replay.
+    EXPECT_EQ(r.quarantined, 2u);
+    ExpectSameRecords(oracle_sink, sink, "dirty stream recovery");
+    EXPECT_EQ(engine.dcg().ToString(), oracle_dcg);
+  }
+}
+
+// Checkpoint files on disk: a second process-equivalent run restores from
+// the file a prior run wrote and resumes where it left off.
+TEST(Recovery, RestartFromCheckpointFile) {
+  testutil::RandomCase c = testutil::MakeRandomCase(10, {});
+  const std::string path = testing::TempDir() + "tfx_recovery_ckpt.bin";
+
+  std::string dcg_after_first;
+  {
+    TurboFluxEngine engine;
+    ResilientOptions ro;
+    ro.checkpoint_every = 5;
+    ro.checkpoint_path = path;
+    CollectingSink sink;
+    ResilientResult r = RunResilient(engine, c.query, c.g0, c.stream, sink, ro);
+    ASSERT_TRUE(r.ok) << r.status.ToString();
+    dcg_after_first = engine.dcg().ToString();
+  }
+  {
+    // Simulated restart: all stream ops were already consumed before the
+    // final checkpoint, so the resumed run emits nothing new and lands on
+    // the identical DCG.
+    TurboFluxEngine engine;
+    ResilientOptions ro;
+    ro.restore_from = path;
+    CollectingSink sink;
+    ResilientResult r = RunResilient(engine, c.query, c.g0, c.stream, sink, ro);
+    ASSERT_TRUE(r.ok) << r.status.ToString();
+    EXPECT_EQ(r.ops_consumed, c.stream.size());
+    EXPECT_EQ(sink.size(), 0u);
+    EXPECT_EQ(engine.dcg().ToString(), dcg_after_first);
+  }
+  {
+    // A corrupted checkpoint file is a clean failure, not a crash.
+    std::string bytes;
+    {
+      std::ifstream in(path, std::ios::binary);
+      std::ostringstream os;
+      os << in.rdbuf();
+      bytes = os.str();
+    }
+    ASSERT_FALSE(bytes.empty());
+    CorruptSnapshot(bytes, bytes.size() / 2);
+    std::ofstream(path, std::ios::binary | std::ios::trunc) << bytes;
+    TurboFluxEngine engine;
+    ResilientOptions ro;
+    ro.restore_from = path;
+    CollectingSink sink;
+    ResilientResult r = RunResilient(engine, c.query, c.g0, c.stream, sink, ro);
+    EXPECT_FALSE(r.ok);
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace turboflux

@@ -1,0 +1,58 @@
+#include "turboflux/common/status.h"
+
+#include "gtest/gtest.h"
+
+namespace turboflux {
+namespace {
+
+TEST(Status, OkIsOk) {
+  Status ok = Status::Ok();
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.code(), StatusCode::kOk);
+  EXPECT_TRUE(ok.message().empty());
+  EXPECT_EQ(ok.line(), 0u);
+  EXPECT_EQ(ok.ToString(), "OK");
+}
+
+TEST(Status, FactoriesCarryCodeAndMessage) {
+  EXPECT_EQ(Status::InvalidArgument("x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::Corruption("x").code(), StatusCode::kCorruption);
+  EXPECT_EQ(Status::IoError("x").code(), StatusCode::kIoError);
+  EXPECT_EQ(Status::DeadlineExceeded("x").code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::UnsupportedVersion("x").code(),
+            StatusCode::kUnsupportedVersion);
+
+  Status st = Status::Corruption("bad byte");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.message(), "bad byte");
+}
+
+TEST(Status, AtLineAttachesParsePosition) {
+  Status st = Status::InvalidArgument("unknown record kind").AtLine(12);
+  EXPECT_EQ(st.line(), 12u);
+  EXPECT_NE(st.ToString().find("line 12"), std::string::npos);
+  EXPECT_NE(st.ToString().find("unknown record kind"), std::string::npos);
+}
+
+TEST(Status, ToStringNamesTheCode) {
+  EXPECT_NE(Status::Corruption("m").ToString().find("CORRUPTION"),
+            std::string::npos);
+  EXPECT_NE(Status::DeadlineExceeded("m").ToString().find("DEADLINE"),
+            std::string::npos);
+}
+
+TEST(Status, EqualityComparesCodeMessageAndLine) {
+  EXPECT_EQ(Status::Ok(), Status::Ok());
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::Corruption("a"));
+  EXPECT_FALSE(Status::NotFound("a").AtLine(1) == Status::NotFound("a"));
+}
+
+}  // namespace
+}  // namespace turboflux

@@ -52,5 +52,38 @@ TEST(UpdateStream, OpEqualityAndToString) {
   EXPECT_EQ(UpdateOp::Delete(1, 2, 3).ToString(), "-(1,2,3)");
 }
 
+TEST(UpdateStream, ValidateOpClassifiesFourWays) {
+  Graph g = TwoVertexGraph();
+  g.AddEdge(0, 7, 1);
+
+  // Effective ops are OK.
+  EXPECT_TRUE(ValidateOp(g, UpdateOp::Insert(1, 7, 0)).ok());
+  EXPECT_TRUE(ValidateOp(g, UpdateOp::Delete(0, 7, 1)).ok());
+
+  // Out-of-range endpoints (either side) are malformed.
+  EXPECT_EQ(ValidateOp(g, UpdateOp::Insert(2, 0, 0)).code(),
+            StatusCode::kOutOfRange);
+  EXPECT_EQ(ValidateOp(g, UpdateOp::Insert(0, 0, 99)).code(),
+            StatusCode::kOutOfRange);
+  EXPECT_EQ(ValidateOp(g, UpdateOp::Delete(5, 7, 1)).code(),
+            StatusCode::kOutOfRange);
+
+  // Dangling deletion: legal no-op, reported as kNotFound.
+  EXPECT_EQ(ValidateOp(g, UpdateOp::Delete(1, 7, 0)).code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(ValidateOp(g, UpdateOp::Delete(0, 8, 1)).code(),
+            StatusCode::kNotFound);
+
+  // Duplicate insertion: legal no-op, reported as kFailedPrecondition.
+  EXPECT_EQ(ValidateOp(g, UpdateOp::Insert(0, 7, 1)).code(),
+            StatusCode::kFailedPrecondition);
+
+  // The verdicts agree with what ApplyUpdate actually does.
+  EXPECT_FALSE(ApplyUpdate(g, UpdateOp::Insert(0, 7, 1)));
+  EXPECT_FALSE(ApplyUpdate(g, UpdateOp::Delete(1, 7, 0)));
+  EXPECT_FALSE(ApplyUpdate(g, UpdateOp::Insert(2, 0, 0)));
+  EXPECT_TRUE(ApplyUpdate(g, UpdateOp::Delete(0, 7, 1)));
+}
+
 }  // namespace
 }  // namespace turboflux

@@ -7,13 +7,24 @@
 //   tfx_run --graph=g0.txt --query=q.txt --stream=dg.txt
 //           [--engine=turboflux|sjtree|graphflow|incisomat]
 //           [--semantics=hom|iso] [--timeout_ms=N] [--print_matches]
-//           [--threads=N] [--batch=K]
+//           [--threads=N] [--batch=K] [--lenient]
+//           [--checkpoint-every=N] [--checkpoint-path=F] [--restore-from=F]
 //
 // --batch=K feeds the stream to the engine in windows of K ops via
 // ApplyBatch; --threads=N (TurboFlux only) evaluates each window on N
 // threads. Output is identical to the sequential run.
 //
-// Exit status: 0 on success, 1 on timeout, 2 on usage/file errors.
+// --lenient skips (and counts to stderr) malformed graph/stream records
+// instead of aborting on the first one.
+//
+// The checkpoint flags (TurboFlux only) switch to the crash-consistent
+// resilient runner (DESIGN.md §3.7): --checkpoint-every=N snapshots engine
+// state every N consumed ops, --checkpoint-path=F persists each snapshot
+// to F (atomically overwritten), and --restore-from=F resumes a previous
+// run from its snapshot, replaying only the unconsumed stream suffix.
+//
+// Exit status: 0 on success, 1 on timeout/engine failure, 2 on usage/file
+// errors.
 
 #include <cstdio>
 #include <cstring>
@@ -23,6 +34,7 @@
 #include "turboflux/baseline/graphflow.h"
 #include "turboflux/baseline/inc_iso_mat.h"
 #include "turboflux/baseline/sj_tree.h"
+#include "turboflux/core/recovery.h"
 #include "turboflux/core/turboflux.h"
 #include "turboflux/graph/graph_io.h"
 #include "turboflux/harness/runner.h"
@@ -69,13 +81,22 @@ int Main(int argc, char** argv) {
   bool print_matches = GetFlag(argc, argv, "print_matches", "0") == "1";
   int64_t threads = std::atoll(GetFlag(argc, argv, "threads", "1").c_str());
   int64_t batch = std::atoll(GetFlag(argc, argv, "batch", "1").c_str());
+  bool lenient = GetFlag(argc, argv, "lenient", "0") == "1";
+  int64_t checkpoint_every =
+      std::atoll(GetFlag(argc, argv, "checkpoint-every", "0").c_str());
+  std::string checkpoint_path = GetFlag(argc, argv, "checkpoint-path", "");
+  std::string restore_from = GetFlag(argc, argv, "restore-from", "");
+  bool resilient = checkpoint_every > 0 || !checkpoint_path.empty() ||
+                   !restore_from.empty();
 
   if (graph_path.empty() || query_path.empty() || stream_path.empty()) {
     std::fprintf(stderr,
                  "usage: tfx_run --graph=G --query=Q --stream=S "
                  "[--engine=turboflux|sjtree|graphflow|incisomat] "
                  "[--semantics=hom|iso] [--timeout_ms=N] "
-                 "[--print_matches] [--threads=N] [--batch=K]\n");
+                 "[--print_matches] [--threads=N] [--batch=K] [--lenient] "
+                 "[--checkpoint-every=N] [--checkpoint-path=F] "
+                 "[--restore-from=F]\n");
     return 2;
   }
   if (threads > 1 && engine_name != "turboflux") {
@@ -83,10 +104,21 @@ int Main(int argc, char** argv) {
                  "--threads is only supported by --engine=turboflux\n");
     return 2;
   }
+  if (resilient && engine_name != "turboflux") {
+    std::fprintf(stderr,
+                 "--checkpoint-every/--checkpoint-path/--restore-from are "
+                 "only supported by --engine=turboflux\n");
+    return 2;
+  }
 
-  std::optional<Graph> g0 = ReadGraphFromFile(graph_path);
-  if (!g0) {
-    std::fprintf(stderr, "cannot read graph %s\n", graph_path.c_str());
+  IoOptions io_options;
+  io_options.lenient = lenient;
+  IoStats graph_stats, stream_stats;
+  Graph g0;
+  Status io = ReadGraphFromFile(graph_path, &g0, io_options, &graph_stats);
+  if (!io.ok()) {
+    std::fprintf(stderr, "cannot read graph %s: %s\n", graph_path.c_str(),
+                 io.ToString().c_str());
     return 2;
   }
   std::optional<QueryGraph> q = ReadQueryFromFile(query_path);
@@ -96,15 +128,65 @@ int Main(int argc, char** argv) {
                  query_path.c_str());
     return 2;
   }
-  std::optional<UpdateStream> stream = ReadStreamFromFile(stream_path);
-  if (!stream) {
-    std::fprintf(stderr, "cannot read stream %s\n", stream_path.c_str());
+  UpdateStream stream;
+  // In lenient mode, additionally screen stream endpoints against the
+  // loaded graph so out-of-range ops are dropped at the door.
+  if (lenient) io_options.max_vertices = g0.VertexCount();
+  io = ReadStreamFromFile(stream_path, &stream, io_options, &stream_stats);
+  if (!io.ok()) {
+    std::fprintf(stderr, "cannot read stream %s: %s\n", stream_path.c_str(),
+                 io.ToString().c_str());
     return 2;
+  }
+  if (graph_stats.skipped + stream_stats.skipped > 0) {
+    std::fprintf(stderr,
+                 "lenient: skipped %zu graph and %zu stream records "
+                 "(first bad lines %zu / %zu)\n",
+                 graph_stats.skipped, stream_stats.skipped,
+                 graph_stats.first_bad_line, stream_stats.first_bad_line);
   }
 
   MatchSemantics semantics = semantics_name == "iso"
                                  ? MatchSemantics::kIsomorphism
                                  : MatchSemantics::kHomomorphism;
+
+  if (resilient) {
+    TurboFluxOptions options;
+    options.semantics = semantics;
+    options.threads = threads > 1 ? static_cast<size_t>(threads) : 1;
+    TurboFluxEngine tf(options);
+
+    PrintSink printer(print_matches);
+    CountingSink counter;
+    TeeSink sink(&printer, &counter);
+
+    ResilientOptions ro;
+    ro.timeout_ms = timeout_ms;
+    ro.checkpoint_every =
+        checkpoint_every > 0 ? static_cast<size_t>(checkpoint_every) : 0;
+    ro.batch_size = batch > 1 ? batch : 1;
+    ro.checkpoint_path = checkpoint_path;
+    ro.restore_from = restore_from;
+    ResilientResult rr = RunResilient(tf, *q, g0, stream, sink, ro);
+
+    std::fprintf(stderr,
+                 "engine=turboflux-resilient stream=%.3fs ops=%llu "
+                 "initial=%llu positive=%llu negative=%llu recoveries=%zu "
+                 "quarantined=%zu checkpoints=%zu%s\n",
+                 rr.seconds, static_cast<unsigned long long>(rr.ops_consumed),
+                 static_cast<unsigned long long>(rr.initial_matches),
+                 static_cast<unsigned long long>(counter.positive()),
+                 static_cast<unsigned long long>(counter.negative()),
+                 rr.recoveries, rr.quarantined, rr.checkpoints,
+                 rr.ok ? "" : " FAILED");
+    if (!rr.ok) {
+      std::fprintf(stderr, "resilient run failed: %s\n",
+                   rr.status.ToString().c_str());
+      return rr.status.code() == StatusCode::kIoError ? 2 : 1;
+    }
+    return 0;
+  }
+
   std::unique_ptr<ContinuousEngine> engine;
   if (engine_name == "turboflux") {
     TurboFluxOptions options;
@@ -134,7 +216,7 @@ int Main(int argc, char** argv) {
   run_options.subtract_graph_update_cost = false;
   run_options.batch_size = batch > 1 ? batch : 1;
   RunResult r =
-      RunContinuous(*engine, *q, *g0, *stream, sink, run_options);
+      RunContinuous(*engine, *q, g0, stream, sink, run_options);
 
   std::fprintf(stderr,
                "engine=%s init=%.3fs stream=%.3fs ops=%llu initial=%llu "

@@ -1,7 +1,9 @@
 #include "common/experiment.h"
 
 #include <cstdio>
+#include <fstream>
 #include <iostream>
+#include <map>
 
 #include "turboflux/baseline/graphflow.h"
 #include "turboflux/baseline/inc_iso_mat.h"
@@ -65,10 +67,42 @@ std::unique_ptr<ContinuousEngine> MakeEngine(EngineKind kind,
 void ApplyStreamingFlags(const Flags& flags, ExperimentOptions& options) {
   options.threads = flags.Threads();
   options.batch = flags.Batch();
+  options.stats_json = flags.StatsJson();
   // `--threads` implies batching: a window of 1 op cannot be parallelized,
   // so give the batched path something to chew on unless overridden.
   if (options.threads > 1 && options.batch <= 1) options.batch = 64;
 }
+
+namespace {
+
+// Process-wide per-engine accumulation for the --stats_json artifact.
+// Counters sum and histograms bucket-merge across every run the binary
+// executes, so the final file reflects the whole figure, not just the last
+// query set.
+std::map<std::string, obs::StatsSnapshot>& GlobalEngineStats() {
+  static std::map<std::string, obs::StatsSnapshot> stats;
+  return stats;
+}
+
+// Rewrites the artifact wholesale (latest accumulation wins), so a crash
+// mid-figure still leaves a parseable file from the last completed set.
+void WriteStatsArtifact(const std::string& path) {
+  std::ofstream f(path, std::ios::trunc);
+  f << "{\n  \"engines\": {";
+  bool first = true;
+  for (const auto& [name, snap] : GlobalEngineStats()) {
+    f << (first ? "\n" : ",\n") << "    \"" << name
+      << "\": " << snap.ToJson();
+    first = false;
+  }
+  f << "\n  }\n}\n";
+  if (!f.flush()) {
+    std::fprintf(stderr, "warning: cannot write stats artifact %s\n",
+                 path.c_str());
+  }
+}
+
+}  // namespace
 
 workload::Dataset MakeLsBenchDataset(double scale, double stream_fraction,
                                      double deletion_rate, uint64_t seed) {
@@ -122,12 +156,17 @@ QuerySetResult RunQuerySet(EngineKind engine_kind,
     RunOptions run_options;
     run_options.timeout_ms = options.timeout_ms;
     run_options.batch_size = options.batch;
+    run_options.collect_stats = !options.stats_json.empty();
     RunResult r = RunContinuous(*engine, q, dataset.initial, dataset.stream,
                                 sink, run_options);
     Accumulate(out.aggregate, r);
     out.per_query_seconds.push_back(
         r.timed_out || r.unsupported ? -1.0 : r.stream_seconds);
+    if (r.stats) {
+      GlobalEngineStats()[EngineName(engine_kind)].MergeFrom(*r.stats);
+    }
   }
+  if (!options.stats_json.empty()) WriteStatsArtifact(options.stats_json);
   return out;
 }
 

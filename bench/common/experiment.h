@@ -55,10 +55,16 @@ struct ExperimentOptions {
   /// Update-window size handed to ApplyBatch per call; 1 streams ops one
   /// ApplyUpdate at a time. Output is identical either way.
   int64_t batch = 1;
+  /// When non-empty, every run collects an observability snapshot and the
+  /// process-wide per-engine accumulation is rewritten to this JSON file
+  /// after each query set — the machine-readable perf-trajectory artifact
+  /// reproduce_all.sh collects (DESIGN.md §3.8).
+  std::string stats_json;
 };
 
-/// Fills `threads`/`batch` from the implicit `--threads`/`--batch` flags
-/// (and the THREADS/BATCH environment, via reproduce_all.sh).
+/// Fills `threads`/`batch`/`stats_json` from the implicit
+/// `--threads`/`--batch`/`--stats_json` flags (and the THREADS/BATCH/
+/// STATS_DIR environment, via reproduce_all.sh).
 void ApplyStreamingFlags(const Flags& flags, ExperimentOptions& options);
 
 /// Runs `engine_kind` over every query; prints nothing.

@@ -233,6 +233,9 @@ int main(int argc, char** argv) {
       turboflux::bench::g_threads = std::atoll(argv[i] + 10);
     } else if (std::strncmp(argv[i], "--batch=", 8) == 0) {
       turboflux::bench::g_batch = std::atoll(argv[i] + 8);
+    } else if (std::strncmp(argv[i], "--stats_json=", 13) == 0) {
+      // Fleet-wide flag from reproduce_all.sh; microbenchmarks measure
+      // wall time only, so the stats artifact does not apply here.
     } else {
       filtered.push_back(argv[i]);
     }

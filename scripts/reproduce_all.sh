@@ -7,15 +7,28 @@
 # every figure binary as --threads=N --batch=K, enabling TurboFlux's
 # parallel batched-update path. Defaults (1/1) reproduce the paper's
 # sequential model; outputs are identical either way.
+#
+# STATS_DIR=dir additionally passes --stats_json=dir/<bench>.stats.json to
+# every figure binary, producing one machine-readable per-engine counter/
+# latency artifact per bench (DESIGN.md §3.8) — the perf trajectory of the
+# whole reproduction.
 set -e
 cd "$(dirname "$0")/.."
 THREADS="${THREADS:-1}"
 BATCH="${BATCH:-1}"
+STATS_DIR="${STATS_DIR:-}"
 BENCH_FLAGS="--threads=$THREADS --batch=$BATCH"
+if [ -n "$STATS_DIR" ]; then mkdir -p "$STATS_DIR"; fi
 cmake -B build -G Ninja
 cmake --build build
 ctest --test-dir build 2>&1 | tee test_output.txt
 (for b in build/bench/*; do
-   [ -x "$b" ] && [ -f "$b" ] && echo "=== $b $BENCH_FLAGS ===" \
-     && "$b" $BENCH_FLAGS
+   if [ -x "$b" ] && [ -f "$b" ]; then
+     STATS_FLAG=""
+     if [ -n "$STATS_DIR" ]; then
+       STATS_FLAG="--stats_json=$STATS_DIR/$(basename "$b").stats.json"
+     fi
+     echo "=== $b $BENCH_FLAGS $STATS_FLAG ==="
+     "$b" $BENCH_FLAGS $STATS_FLAG
+   fi
  done) 2>&1 | tee bench_output.txt

@@ -24,6 +24,7 @@ bool GraphflowEngine::Init(const QueryGraph& q, const Graph& g0,
   mapped_.assign(q.VertexCount(), false);
   dead_ = false;
   has_updated_edge_ = false;
+  stats_.Reset();
   // Initial matches of g0 (a one-off static evaluation).
   StaticMatchOptions opts;
   opts.semantics = options_.semantics;
@@ -40,13 +41,17 @@ bool GraphflowEngine::ApplyUpdate(const UpdateOp& op, MatchSink& sink,
   assert(q_ != nullptr && !dead_);
   deadline_ = &deadline;
   if (op.IsInsert()) {
+    stats_.ops_insert.Inc();
     if (g_.AddEdge(op.from, op.label, op.to)) {
+      stats_.insert_evals.Inc();
       EvalUpdate(op.from, op.label, op.to, /*positive=*/true, sink);
     }
   } else {
+    stats_.ops_delete.Inc();
     if (g_.HasEdge(op.from, op.label, op.to)) {
       // Negative matches are those using the edge in the pre-deletion
       // graph; evaluate first, then delete.
+      stats_.delete_evals.Inc();
       EvalUpdate(op.from, op.label, op.to, /*positive=*/false, sink);
       g_.RemoveEdge(op.from, op.label, op.to);
     }
@@ -86,7 +91,10 @@ void GraphflowEngine::EvalUpdate(VertexId v, EdgeLabel l, VertexId v2,
         break;
       }
     }
-    if (seed_ok) ExtendSeed(qe.id, positive, sink);
+    if (seed_ok) {
+      stats_.search_seeds.Inc();
+      ExtendSeed(qe.id, positive, sink);
+    }
     m_[qe.from] = m_[qe.to] = kNullVertex;
     mapped_[qe.from] = mapped_[qe.to] = false;
     if (deadline_->Expired()) break;
@@ -120,6 +128,7 @@ bool GraphflowEngine::EdgesToMappedOk(QVertexId u, VertexId v) const {
 void GraphflowEngine::Extend(size_t matched_count, QEdgeId eq, bool positive,
                              MatchSink& sink) {
   if (deadline_->Expired()) return;
+  stats_.search_states.Inc();
   if (matched_count == q_->VertexCount()) {
     Report(eq, positive, sink);
     return;
@@ -195,6 +204,7 @@ void GraphflowEngine::Report(QEdgeId eq, bool positive, MatchSink& sink) {
       }
     }
   }
+  (positive ? stats_.matches_positive : stats_.matches_negative).Inc();
   sink.OnMatch(positive, m_);
 }
 

@@ -37,6 +37,7 @@ class GraphflowEngine : public ContinuousEngine {
                    Deadline deadline) override;
   size_t IntermediateSize() const override { return 0; }
   std::string name() const override;
+  const obs::EngineStats* engine_stats() const override { return &stats_; }
 
   const Graph& graph() const { return g_; }
 
@@ -63,6 +64,8 @@ class GraphflowEngine : public ContinuousEngine {
 
   Deadline* deadline_ = nullptr;
   bool dead_ = false;
+  obs::EngineStats stats_;  // stream-phase counters; Init matches are not
+                            // seeded searches and are left uncounted
 };
 
 }  // namespace turboflux

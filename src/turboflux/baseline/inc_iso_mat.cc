@@ -23,6 +23,7 @@ bool IncIsoMatEngine::Init(const QueryGraph& q, const Graph& g0,
   g_ = g0;
   diameter_ = q.UndirectedDiameter();
   dead_ = false;
+  stats_.Reset();
   StaticMatchOptions opts;
   opts.semantics = options_.semantics;
   StaticMatcher matcher(g_, q, opts);
@@ -112,6 +113,7 @@ bool IncIsoMatEngine::DiffAndReport(const ExtractedSubgraph& sub,
   StaticMatcher matcher_with(sub.graph, *q_, opts);
   if (!matcher_with.FindAll(after, deadline)) return false;
 
+  stats_.search_seeds.Inc();
   Mapping remapped(q_->VertexCount(), kNullVertex);
   for (const auto& r : after.records()) {
     uint64_t h = HashMapping(r.mapping);
@@ -128,6 +130,7 @@ bool IncIsoMatEngine::DiffAndReport(const ExtractedSubgraph& sub,
     for (QVertexId u = 0; u < q_->VertexCount(); ++u) {
       remapped[u] = sub.original_id[r.mapping[u]];
     }
+    (positive ? stats_.matches_positive : stats_.matches_negative).Inc();
     sink.OnMatch(positive, remapped);
   }
   return true;
@@ -145,8 +148,10 @@ bool IncIsoMatEngine::ApplyUpdate(const UpdateOp& op, MatchSink& sink,
   };
 
   if (op.IsInsert()) {
+    stats_.ops_insert.Inc();
     if (!g_.AddEdge(op.from, op.label, op.to)) return true;  // duplicate
     if (!relevant()) return true;
+    stats_.insert_evals.Inc();
     ExtractedSubgraph sub = ExtractAffected(op.from, op.to);
     std::vector<VertexId> to_sub(g_.VertexCount(), kNullVertex);
     for (VertexId i = 0; i < sub.original_id.size(); ++i) {
@@ -160,8 +165,10 @@ bool IncIsoMatEngine::ApplyUpdate(const UpdateOp& op, MatchSink& sink,
       return false;
     }
   } else {
+    stats_.ops_delete.Inc();
     if (!g_.HasEdge(op.from, op.label, op.to)) return true;
     if (relevant()) {
+      stats_.delete_evals.Inc();
       ExtractedSubgraph sub = ExtractAffected(op.from, op.to);
       std::vector<VertexId> to_sub(g_.VertexCount(), kNullVertex);
       for (VertexId i = 0; i < sub.original_id.size(); ++i) {

@@ -31,6 +31,7 @@ class IncIsoMatEngine : public ContinuousEngine {
                    Deadline deadline) override;
   size_t IntermediateSize() const override { return 0; }
   std::string name() const override;
+  const obs::EngineStats* engine_stats() const override { return &stats_; }
 
   const Graph& graph() const { return g_; }
 
@@ -55,6 +56,9 @@ class IncIsoMatEngine : public ContinuousEngine {
   size_t diameter_ = 0;
 
   bool dead_ = false;
+  obs::EngineStats stats_;  // search_seeds = affected-subgraph evaluations;
+                            // per-state counts stay 0 (StaticMatcher is
+                            // opaque to the engine)
 };
 
 }  // namespace turboflux

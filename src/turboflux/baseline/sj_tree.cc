@@ -61,6 +61,7 @@ bool SjTreeEngine::Init(const QueryGraph& q, const Graph& g0, MatchSink& sink,
   budget_blown_ = false;
   stored_tuples_ = 0;
   stored_vertex_slots_ = 0;
+  stats_.Reset();
 
   // Selectivity-based left-deep decomposition: order query edges by
   // ascending matching-data-edge count, keeping every prefix connected.
@@ -145,6 +146,8 @@ bool SjTreeEngine::Init(const QueryGraph& q, const Graph& g0, MatchSink& sink,
     }
   }
   deadline_ = nullptr;
+  stats_.intermediate_size.Set(stored_vertex_slots_);
+  stats_.peak_intermediate.SetMax(stored_vertex_slots_);
   return !dead_;
 }
 
@@ -154,10 +157,13 @@ bool SjTreeEngine::ApplyUpdate(const UpdateOp& op, MatchSink& sink,
   if (!op.IsInsert()) {
     // The original SJ-Tree has no deletion support; the runner screens
     // streams with SupportsDeletion(), but fail safe here too.
+    stats_.ops_delete.Inc();
     dead_ = true;
     return false;
   }
+  stats_.ops_insert.Inc();
   if (!g_.AddEdge(op.from, op.label, op.to)) return true;  // duplicate
+  stats_.insert_evals.Inc();
   deadline_ = &deadline;
   for (size_t i = 0; i < edge_order_.size(); ++i) {
     const QEdge& qe = q_->edge(edge_order_[i]);
@@ -176,6 +182,8 @@ bool SjTreeEngine::ApplyUpdate(const UpdateOp& op, MatchSink& sink,
     }
   }
   deadline_ = nullptr;
+  stats_.intermediate_size.Set(stored_vertex_slots_);
+  stats_.peak_intermediate.SetMax(stored_vertex_slots_);
   return !dead_;
 }
 
@@ -191,6 +199,7 @@ bool SjTreeEngine::CheckBudget() {
 bool SjTreeEngine::InsertEdgeMatch(size_t slot, const Tuple& t,
                                    MatchSink& sink) {
   if (!CheckBudget()) return false;
+  stats_.search_seeds.Inc();
   if (slot == 0) return AddToPrefix(0, t, sink);
 
   Node& leaf = leaves_[slot];
@@ -223,6 +232,7 @@ bool SjTreeEngine::InsertEdgeMatch(size_t slot, const Tuple& t,
 
 bool SjTreeEngine::MergeAndDescend(size_t prefix_idx, const Tuple& a,
                                    const Tuple& b, MatchSink& sink) {
+  stats_.search_states.Inc();
   // Verify consistency on the overlap and merge.
   Tuple merged(q_->VertexCount(), kNullVertex);
   for (QVertexId u = 0; u < q_->VertexCount(); ++u) {
@@ -253,6 +263,7 @@ bool SjTreeEngine::AddToPrefix(size_t i, Tuple t, MatchSink& sink) {
   if (is_root) {
     // Complete solution. The root table is still materialized (SJ-Tree
     // stores results at every node).
+    stats_.matches_positive.Inc();
     sink.OnMatch(true, t);
   }
   node.tuples.push_back(t);

@@ -46,6 +46,7 @@ class SjTreeEngine : public ContinuousEngine {
   size_t IntermediateSize() const override { return stored_vertex_slots_; }
   bool SupportsDeletion() const override { return false; }
   std::string name() const override;
+  const obs::EngineStats* engine_stats() const override { return &stats_; }
 
   const Graph& graph() const { return g_; }
   /// The selectivity-ordered query-edge sequence (for tests).
@@ -90,6 +91,8 @@ class SjTreeEngine : public ContinuousEngine {
   Deadline* deadline_ = nullptr;
   bool dead_ = false;
   bool budget_blown_ = false;
+  obs::EngineStats stats_;  // search_seeds = matching leaf insertions,
+                            // search_states = join attempts
 };
 
 }  // namespace turboflux

@@ -19,6 +19,7 @@
 #include <utility>
 #include <vector>
 
+#include "turboflux/common/deadline.h"
 #include "turboflux/common/serialize.h"
 #include "turboflux/core/turboflux.h"
 
@@ -55,6 +56,8 @@ Status TurboFluxEngine::Checkpoint(std::ostream& out) const {
         "engine is dead; a snapshot would capture partial state");
   }
   const QueryGraph& q = *q_;
+  Stopwatch watch;
+  const std::streampos start_pos = out.tellp();
 
   out.write(kMagic, sizeof(kMagic));
   std::string hdr;
@@ -121,6 +124,12 @@ Status TurboFluxEngine::Checkpoint(std::ostream& out) const {
 
   out.flush();
   if (!out) return Status::IoError("checkpoint stream write failed");
+  stats_.checkpoints.Inc();
+  stats_.checkpoint_seconds.RecordSeconds(watch.ElapsedSeconds());
+  if (const std::streampos end_pos = out.tellp();
+      start_pos != std::streampos(-1) && end_pos != std::streampos(-1)) {
+    stats_.checkpoint_bytes.Inc(static_cast<uint64_t>(end_pos - start_pos));
+  }
   return Status::Ok();
 }
 
@@ -132,6 +141,8 @@ Status TurboFluxEngine::Restore(std::istream& in) {
     dead_ = true;
     return st;
   };
+  Stopwatch watch;
+  const std::streampos start_pos = in.tellg();
 
   char magic[sizeof(kMagic)];
   in.read(magic, sizeof(magic));
@@ -335,6 +346,19 @@ Status TurboFluxEngine::Restore(std::istream& in) {
   scheduler_.reset();
   state_version_ = 0;
   replica_version_ = 0;
+
+  // Restore is not an op-stream event: engine counters keep accumulating
+  // across it (replayed ops are re-counted; DESIGN.md §3.8), only the
+  // gauges are re-pointed at the restored structure.
+  stats_.restores.Inc();
+  stats_.restore_seconds.RecordSeconds(watch.ElapsedSeconds());
+  if (const std::streampos end_pos = in.tellg();
+      start_pos != std::streampos(-1) && end_pos != std::streampos(-1)) {
+    stats_.restore_bytes.Inc(static_cast<uint64_t>(end_pos - start_pos));
+  }
+  stats_.intermediate_size.Set(dcg_.EdgeCount());
+  stats_.peak_intermediate.SetMax(dcg_.EdgeCount());
+  NotePeakIntermediate();
   return Status::Ok();
 }
 

@@ -105,6 +105,21 @@ void Dcg::SetState(VertexId from, QVertexId u, VertexId to, DcgState next) {
   // 5: I->N.
   assert(prev != DcgState::kNull || next == DcgState::kImplicit);
 
+  if (stats_ != nullptr) {
+    stats_->transitions.Inc();
+    if (prev == DcgState::kNull) {
+      stats_->null_to_implicit.Inc();
+    } else if (prev == DcgState::kImplicit) {
+      (next == DcgState::kExplicit ? stats_->implicit_to_explicit
+                                   : stats_->implicit_to_null)
+          .Inc();
+    } else {
+      (next == DcgState::kImplicit ? stats_->explicit_to_implicit
+                                   : stats_->explicit_to_null)
+          .Inc();
+    }
+  }
+
   const bool has_out_mirror = from != kArtificialVertex;
 
   // Maintain the in-list.

@@ -10,6 +10,7 @@
 #include "turboflux/common/serialize.h"
 #include "turboflux/common/status.h"
 #include "turboflux/common/types.h"
+#include "turboflux/obs/engine_stats.h"
 #include "turboflux/query/query_tree.h"
 
 namespace turboflux {
@@ -136,6 +137,12 @@ class Dcg {
 
   std::string ToString() const;
 
+  /// Binds transition counters bumped by SetState (nullptr detaches). The
+  /// binding is an observer, not state: Reset/CopyFrom/Deserialize leave
+  /// it untouched, and Deserialize's direct list rebuild is not counted —
+  /// the counters track logical transitions only.
+  void set_stats(obs::DcgStats* stats) { stats_ = stats; }
+
  private:
   struct Node {
     explicit Node(size_t nq)
@@ -159,6 +166,7 @@ class Dcg {
   size_t edge_count_ = 0;
   size_t explicit_count_ = 0;
   std::vector<uint64_t> explicit_per_qv_;
+  obs::DcgStats* stats_ = nullptr;  // not owned; see set_stats
 };
 
 }  // namespace turboflux

@@ -58,6 +58,18 @@ ResilientResult RunResilient(TurboFluxEngine& engine, const QueryGraph& q,
     result.ops_consumed = ok ? engine.applied_ops() : committed;
     result.quarantined = engine.quarantine().size();
     result.seconds = watch.ElapsedSeconds();
+    if (options.collect_stats) {
+      obs::StatsSnapshot s;
+      s.AddCounter("run.ops_consumed", result.ops_consumed);
+      s.AddCounter("run.initial_matches", result.initial_matches);
+      s.AddCounter("run.recoveries", result.recoveries);
+      s.AddCounter("run.checkpoints", result.checkpoints);
+      s.AddCounter("run.quarantined", result.quarantined);
+      if (const obs::EngineStats* es = engine.engine_stats()) {
+        es->AppendTo(s, "engine.");
+      }
+      result.stats = std::move(s);
+    }
     return result;
   };
 

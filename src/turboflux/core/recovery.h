@@ -2,11 +2,13 @@
 #define TURBOFLUX_CORE_RECOVERY_H_
 
 #include <cstdint>
+#include <optional>
 #include <string>
 
 #include "turboflux/common/status.h"
 #include "turboflux/core/turboflux.h"
 #include "turboflux/harness/fault_injection.h"
+#include "turboflux/obs/stats.h"
 
 namespace turboflux {
 
@@ -41,6 +43,12 @@ struct ResilientOptions {
   /// Optional fault injector threaded through the engine for the run
   /// (tests); nullptr injects nothing.
   FaultInjector* injector = nullptr;
+
+  /// Export the engine's hot-path counters (plus run.* bookkeeping) into
+  /// ResilientResult::stats. Note that engine counters accumulate across
+  /// restore-and-replay cycles, so after a recovery they over-count the
+  /// logical stream (DESIGN.md §3.8).
+  bool collect_stats = false;
 };
 
 struct ResilientResult {
@@ -57,6 +65,8 @@ struct ResilientResult {
   size_t quarantined = 0;
   size_t checkpoints = 0;
   double seconds = 0.0;
+  /// Populated when ResilientOptions::collect_stats is set.
+  std::optional<obs::StatsSnapshot> stats;
 };
 
 /// Runs `engine` over `stream` with crash-consistent recovery: matches are

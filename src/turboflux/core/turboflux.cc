@@ -63,6 +63,7 @@ bool TurboFluxEngine::Init(const QueryGraph& q, const Graph& g0,
   has_updated_edge_ = false;
   applied_ops_ = 0;
   quarantine_.clear();
+  stats_.Reset();
 
   // Any previous parallel runtime is bound to the old query/graph.
   replicas_.clear();
@@ -105,6 +106,9 @@ bool TurboFluxEngine::Init(const QueryGraph& q, const Graph& g0,
     dead_ = true;
     return false;
   }
+  stats_.intermediate_size.Set(dcg_.EdgeCount());
+  stats_.peak_intermediate.SetMax(dcg_.EdgeCount());
+  ResetPeakIntermediate();
   return true;
 }
 
@@ -136,6 +140,10 @@ void TurboFluxEngine::RebuildDerivedIndexes() {
 
   m_.assign(q.VertexCount(), kNullVertex);
 
+  // (Re)bind DCG transition counters: shared by Init and Restore, and the
+  // binding must survive dcg_.Reset/Deserialize.
+  dcg_.set_stats(&stats_.dcg);
+
   start_vertices_.clear();
   for (VertexId v = 0; v < g_.VertexCount(); ++v) {
     if (q.VertexMatches(root, g_, v)) start_vertices_.push_back(v);
@@ -162,14 +170,18 @@ bool TurboFluxEngine::ApplyUpdate(const UpdateOp& op, MatchSink& sink,
   upd_to_ = op.to;
 
   if (op.IsInsert()) {
+    stats_.ops_insert.Inc();
     // Line 15-16 of Algorithm 2: insert into g first, then evaluate.
     if (g_.AddEdge(op.from, op.label, op.to)) {
+      stats_.insert_evals.Inc();
       InsertEdgeAndEval(op.from, op.label, op.to, sink);
     }
   } else {
+    stats_.ops_delete.Inc();
     // Line 18-19: evaluate first (negative matches need the edge), then
     // delete from g.
     if (g_.HasEdge(op.from, op.label, op.to)) {
+      stats_.delete_evals.Inc();
       DeleteEdgeAndEval(op.from, op.label, op.to, sink);
       g_.RemoveEdge(op.from, op.label, op.to);
     }
@@ -182,6 +194,9 @@ bool TurboFluxEngine::ApplyUpdate(const UpdateOp& op, MatchSink& sink,
     return false;
   }
   ++applied_ops_;
+  stats_.intermediate_size.Set(dcg_.EdgeCount());
+  stats_.peak_intermediate.SetMax(dcg_.EdgeCount());
+  NotePeakIntermediate();
   // In batched mode the primary runs the drift check once per batch and
   // pushes the result to its replicas; per-op checks would let replicas
   // diverge (they see the sub-batch in a different application order).
@@ -501,6 +516,7 @@ void TurboFluxEngine::RunSearch(QEdgeId eq, bool positive, MatchSink& sink) {
   // State-only replay: all DCG transitions driving this call already
   // happened in the caller; the search itself never mutates the DCG.
   if (!search_enabled_) return;
+  stats_.search_seeds.Inc();
   if (options_.semantics == MatchSemantics::kIsomorphism) {
     // The fixed seed path must itself be injective.
     for (size_t i = 0; i < m_.size(); ++i) {
@@ -516,6 +532,7 @@ void TurboFluxEngine::RunSearch(QEdgeId eq, bool positive, MatchSink& sink) {
 void TurboFluxEngine::SubgraphSearch(size_t depth, QEdgeId eq, bool positive,
                                      MatchSink& sink) {
   if (Expired()) return;
+  stats_.search_states.Inc();
   if (depth == mo_.size()) {
     Report(eq, positive, sink);
     return;
@@ -584,6 +601,7 @@ void TurboFluxEngine::Report(QEdgeId eq, bool positive, MatchSink& sink) {
       }
     }
   }
+  (positive ? stats_.matches_positive : stats_.matches_negative).Inc();
   sink.OnMatch(positive, m_);
 }
 
@@ -596,6 +614,9 @@ std::unique_ptr<TurboFluxEngine> TurboFluxEngine::CloneReplica() const {
   r->g_ = g_;
   r->tree_ = tree_;
   r->dcg_.CopyFrom(dcg_, r->tree_);
+  // CopyFrom leaves the stats binding alone; point the replica's DCG at its
+  // own counters (fresh zeros) so phase-1 search work is attributable.
+  r->dcg_.set_stats(&r->stats_.dcg);
   r->mo_ = mo_;
   r->start_vertices_ = start_vertices_;
   r->dedup_rank_ = dedup_rank_;
@@ -626,6 +647,7 @@ void TurboFluxEngine::EnsureParallelRuntime() {
   if (!scheduler_) {
     scheduler_ =
         std::make_unique<parallel::BatchScheduler>(*q_, options_.scheduler);
+    scheduler_->set_stats(&stats_.scheduler);
   }
   if (replicas_.size() != workers || replica_version_ != state_version_) {
     replicas_.clear();
@@ -639,11 +661,14 @@ bool TurboFluxEngine::ApplyBatch(std::span<const UpdateOp> ops,
                                  MatchSink& sink, Deadline deadline) {
   assert(q_ != nullptr);
   if (dead_) return false;
+  stats_.batches.Inc();
   const size_t nthreads = std::max<size_t>(1, options_.threads);
   if (nthreads == 1 || ops.size() <= 1) {
     return ContinuousEngine::ApplyBatch(ops, sink, deadline);
   }
   EnsureParallelRuntime();
+  stats_.parallel_batches.Inc();
+  if (stats_.worker_ops.size() < nthreads) stats_.worker_ops.resize(nthreads);
   const std::vector<std::vector<size_t>> sub_batches =
       scheduler_->Partition(g_, ops);
 
@@ -684,10 +709,13 @@ bool TurboFluxEngine::ApplyBatch(std::span<const UpdateOp> ops,
             return;
           }
           completed[idx] = 1;
+          stats_.worker_ops[w].Inc();  // counter w written only by worker w
         }
       });
     }
+    Stopwatch phase1_watch;
     pool_->RunAll(std::move(tasks));
+    stats_.phase1_seconds.RecordSeconds(phase1_watch.ElapsedSeconds());
     if (failed.load(std::memory_order_relaxed)) break;
 
     // Phase 2: resynchronize — every engine replays the ops the other
@@ -707,10 +735,19 @@ bool TurboFluxEngine::ApplyBatch(std::span<const UpdateOp> ops,
         }
       });
     }
+    Stopwatch phase2_watch;
     pool_->RunAll(std::move(tasks));
+    stats_.phase2_seconds.RecordSeconds(phase2_watch.ElapsedSeconds());
     if (failed.load(std::memory_order_relaxed)) break;
   }
   suppress_adjust_ = false;
+
+  // Replica search/match counters merge into the primary's here, at a
+  // single-threaded point, so engine_stats() totals are exact regardless
+  // of which worker evaluated each op.
+  for (const std::unique_ptr<TurboFluxEngine>& r : replicas_) {
+    stats_.DrainSearchCountersFrom(r->stats_);
+  }
 
   // Deterministic merge. When the batch was cut short, flush only the
   // longest prefix of ops that fully evaluated: the matches delivered then
@@ -767,6 +804,7 @@ void TurboFluxEngine::MaybeAdjustMatchingOrder() {
                                         lo, 1))) {
       RecomputeMatchingOrder();
       ++order_recomputes_;
+      stats_.order_recomputes.Inc();
       return;
     }
   }

@@ -90,6 +90,7 @@ class TurboFluxEngine : public ContinuousEngine {
 
   size_t IntermediateSize() const override { return dcg_.EdgeCount(); }
   std::string name() const override;
+  const obs::EngineStats* engine_stats() const override { return &stats_; }
 
   // --- Fault tolerance (DESIGN.md §3.7) ---
 
@@ -269,6 +270,11 @@ class TurboFluxEngine : public ContinuousEngine {
 
   Deadline* deadline_ = nullptr;
   bool dead_ = false;
+
+  // Hot-path counters (reset on Init; see obs/engine_stats.h for the
+  // parallel-mode accounting). Mutable because the const Checkpoint path
+  // records bytes/durations too.
+  mutable obs::EngineStats stats_;
 
   // Fault-tolerance state (see TryApplyUpdate / Checkpoint).
   uint64_t applied_ops_ = 0;

@@ -1,6 +1,7 @@
 #ifndef TURBOFLUX_HARNESS_ENGINE_H_
 #define TURBOFLUX_HARNESS_ENGINE_H_
 
+#include <algorithm>
 #include <span>
 #include <string>
 
@@ -8,6 +9,7 @@
 #include "turboflux/common/match.h"
 #include "turboflux/graph/graph.h"
 #include "turboflux/graph/update_stream.h"
+#include "turboflux/obs/engine_stats.h"
 #include "turboflux/query/query_graph.h"
 
 namespace turboflux {
@@ -46,6 +48,7 @@ class ContinuousEngine {
                           Deadline deadline) {
     for (const UpdateOp& op : ops) {
       if (!ApplyUpdate(op, sink, deadline)) return false;
+      NotePeakIntermediate();
     }
     return true;
   }
@@ -60,6 +63,30 @@ class ContinuousEngine {
   virtual bool SupportsDeletion() const { return true; }
 
   virtual std::string name() const = 0;
+
+  /// The engine's hot-path counters (obs/engine_stats.h); nullptr when the
+  /// engine is not instrumented. Values reset on Init.
+  virtual const obs::EngineStats* engine_stats() const { return nullptr; }
+
+  /// Largest IntermediateSize() observed after any individual op since the
+  /// last ResetPeakIntermediate(), never less than the current size.
+  /// Instrumented engines (and the default ApplyBatch loop) note the peak
+  /// after every op, so batch-mode peaks inside a window are not missed.
+  size_t PeakIntermediateSize() const {
+    return std::max(peak_intermediate_, IntermediateSize());
+  }
+
+  /// Restarts the watermark at the current size (the harness calls this
+  /// right after Init so the initial structure is the baseline).
+  void ResetPeakIntermediate() { peak_intermediate_ = IntermediateSize(); }
+
+ protected:
+  void NotePeakIntermediate() {
+    peak_intermediate_ = std::max(peak_intermediate_, IntermediateSize());
+  }
+
+ private:
+  size_t peak_intermediate_ = 0;
 };
 
 }  // namespace turboflux

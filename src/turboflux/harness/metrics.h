@@ -2,8 +2,11 @@
 #define TURBOFLUX_HARNESS_METRICS_H_
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
+
+#include "turboflux/obs/stats.h"
 
 namespace turboflux {
 
@@ -27,6 +30,12 @@ struct RunResult {
 
   size_t peak_intermediate = 0;
   size_t final_intermediate = 0;
+
+  /// Populated when RunOptions::collect_stats is set: run-level counters
+  /// and latency histograms under "run.*" plus the engine's own hot-path
+  /// counters under "engine.*" (engines without engine_stats() contribute
+  /// only the run.* entries).
+  std::optional<obs::StatsSnapshot> stats;
 };
 
 /// Aggregate over a query set, mirroring how the paper reports averages

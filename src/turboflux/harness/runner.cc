@@ -1,6 +1,7 @@
 #include "turboflux/harness/runner.h"
 
 #include <algorithm>
+#include <ostream>
 #include <span>
 
 #include "turboflux/common/deadline.h"
@@ -78,43 +79,91 @@ RunResult RunContinuous(ContinuousEngine& engine, const QueryGraph& q,
   result.init_seconds = init_watch.ElapsedSeconds();
   result.initial_matches = phase_sink.initial();
   phase_sink.EndInitPhase();
+  engine.ResetPeakIntermediate();
   result.peak_intermediate = engine.IntermediateSize();
+
+  // Run-level latency distributions, recorded directly into HistogramData:
+  // this loop is not an engine hot path, so collection is a runtime choice
+  // (works the same in TFX_STATS=0 builds).
+  const bool collect = options.collect_stats;
+  obs::HistogramData op_latency;
+  obs::HistogramData batch_latency;
+
+  auto build_snapshot = [&]() {
+    obs::StatsSnapshot s;
+    s.AddCounter("run.processed_ops", result.processed_ops);
+    s.AddCounter("run.initial_matches", result.initial_matches);
+    s.AddCounter("run.positive_matches", phase_sink.positive());
+    s.AddCounter("run.negative_matches", phase_sink.negative());
+    s.AddCounter("run.peak_intermediate", result.peak_intermediate);
+    s.AddCounter("run.current_intermediate", engine.IntermediateSize());
+    if (op_latency.count > 0) s.AddHistogram("run.op_latency_ns", op_latency);
+    if (batch_latency.count > 0) {
+      s.AddHistogram("run.batch_latency_ns", batch_latency);
+    }
+    if (const obs::EngineStats* es = engine.engine_stats()) {
+      es->AppendTo(s, "engine.");
+    }
+    return s;
+  };
+  const uint64_t every =
+      options.stats_every > 0 && options.stats_sink != nullptr && collect
+          ? static_cast<uint64_t>(options.stats_every)
+          : 0;
+  uint64_t next_emit = every;
+  auto maybe_emit = [&]() {
+    if (every == 0 || result.processed_ops < next_emit) return;
+    *options.stats_sink << build_snapshot().ToJson() << "\n";
+    while (next_emit <= result.processed_ops) next_emit += every;
+  };
 
   Stopwatch stream_watch;
   if (options.batch_size <= 1) {
     for (const UpdateOp& op : stream) {
+      Stopwatch op_watch;
       if (!engine.ApplyUpdate(op, phase_sink, deadline)) {
         result.timed_out = true;
         break;
       }
+      if (collect) op_latency.RecordSeconds(op_watch.ElapsedSeconds());
       ++result.processed_ops;
       result.peak_intermediate =
           std::max(result.peak_intermediate, engine.IntermediateSize());
+      maybe_emit();
     }
   } else {
     const size_t batch = static_cast<size_t>(options.batch_size);
     for (size_t i = 0; i < stream.size(); i += batch) {
       const size_t n = std::min(batch, stream.size() - i);
       std::span<const UpdateOp> window(stream.data() + i, n);
+      Stopwatch batch_watch;
       if (!engine.ApplyBatch(window, phase_sink, deadline)) {
         result.timed_out = true;
         break;
       }
+      if (collect) batch_latency.RecordSeconds(batch_watch.ElapsedSeconds());
       result.processed_ops += n;
       result.peak_intermediate =
           std::max(result.peak_intermediate, engine.IntermediateSize());
+      maybe_emit();
     }
   }
   result.raw_stream_seconds = stream_watch.ElapsedSeconds();
   result.positive_matches = phase_sink.positive();
   result.negative_matches = phase_sink.negative();
   result.final_intermediate = engine.IntermediateSize();
+  // Batched runs only sample IntermediateSize() at window boundaries; the
+  // engine-side watermark (noted after every op) recovers peaks hit
+  // mid-window.
+  result.peak_intermediate =
+      std::max(result.peak_intermediate, engine.PeakIntermediateSize());
 
   result.stream_seconds = result.raw_stream_seconds;
   if (!result.timed_out && options.subtract_graph_update_cost) {
     double base = MeasureGraphUpdateSeconds(g0, stream);
     result.stream_seconds = std::max(0.0, result.raw_stream_seconds - base);
   }
+  if (collect) result.stats = build_snapshot();
   return result;
 }
 

@@ -2,6 +2,7 @@
 #define TURBOFLUX_HARNESS_RUNNER_H_
 
 #include <cstdint>
+#include <iosfwd>
 
 #include "turboflux/harness/engine.h"
 #include "turboflux/harness/metrics.h"
@@ -23,6 +24,18 @@ struct RunOptions {
   /// the engine's batched path (parallel for TurboFlux when its `threads`
   /// option is > 1). Output is equivalent either way.
   int64_t batch_size = 1;
+
+  /// Collect per-op/per-batch latency histograms and export the engine's
+  /// hot-path counters into RunResult::stats. Runtime-gated: works (and
+  /// records the run.* metrics) even in TFX_STATS=0 builds, where the
+  /// engine.* entries are absent.
+  bool collect_stats = false;
+
+  /// With collect_stats: every N processed ops, write an intermediate
+  /// snapshot as one JSON line to *stats_sink (ignored when either is
+  /// unset). Lines are self-contained — a poor man's time series.
+  int64_t stats_every = 0;
+  std::ostream* stats_sink = nullptr;
 };
 
 /// Runs `engine` on query `q`: initializes with `g0`, then feeds `stream`

@@ -1,0 +1,119 @@
+#include "turboflux/obs/engine_stats.h"
+
+namespace turboflux {
+namespace obs {
+
+void DcgStats::Reset() {
+  transitions.Reset();
+  null_to_implicit.Reset();
+  implicit_to_explicit.Reset();
+  explicit_to_null.Reset();
+  explicit_to_implicit.Reset();
+  implicit_to_null.Reset();
+}
+
+void DcgStats::AppendTo(StatsSnapshot& out, const std::string& prefix) const {
+  out.AddCounter(prefix + "transitions", transitions.value());
+  out.AddCounter(prefix + "null_to_implicit", null_to_implicit.value());
+  out.AddCounter(prefix + "implicit_to_explicit",
+                 implicit_to_explicit.value());
+  out.AddCounter(prefix + "explicit_to_null", explicit_to_null.value());
+  out.AddCounter(prefix + "explicit_to_implicit",
+                 explicit_to_implicit.value());
+  out.AddCounter(prefix + "implicit_to_null", implicit_to_null.value());
+}
+
+void SchedulerStats::Reset() {
+  partitions.Reset();
+  scheduled_ops.Reset();
+  sub_batches.Reset();
+  global_region_ops.Reset();
+}
+
+void SchedulerStats::AppendTo(StatsSnapshot& out,
+                              const std::string& prefix) const {
+  out.AddCounter(prefix + "partitions", partitions.value());
+  out.AddCounter(prefix + "scheduled_ops", scheduled_ops.value());
+  out.AddCounter(prefix + "sub_batches", sub_batches.value());
+  out.AddCounter(prefix + "global_region_ops", global_region_ops.value());
+}
+
+void EngineStats::Reset() {
+  ops_insert.Reset();
+  ops_delete.Reset();
+  insert_evals.Reset();
+  delete_evals.Reset();
+  search_seeds.Reset();
+  search_states.Reset();
+  matches_positive.Reset();
+  matches_negative.Reset();
+  order_recomputes.Reset();
+  intermediate_size.Reset();
+  peak_intermediate.Reset();
+  batches.Reset();
+  parallel_batches.Reset();
+  phase1_seconds.Reset();
+  phase2_seconds.Reset();
+  for (Counter& c : worker_ops) c.Reset();
+  checkpoints.Reset();
+  restores.Reset();
+  checkpoint_bytes.Reset();
+  restore_bytes.Reset();
+  checkpoint_seconds.Reset();
+  restore_seconds.Reset();
+  dcg.Reset();
+  scheduler.Reset();
+}
+
+void EngineStats::DrainSearchCountersFrom(EngineStats& worker) {
+  search_seeds.Inc(worker.search_seeds.value());
+  search_states.Inc(worker.search_states.value());
+  matches_positive.Inc(worker.matches_positive.value());
+  matches_negative.Inc(worker.matches_negative.value());
+  worker.search_seeds.Reset();
+  worker.search_states.Reset();
+  worker.matches_positive.Reset();
+  worker.matches_negative.Reset();
+}
+
+void EngineStats::AppendTo(StatsSnapshot& out,
+                           const std::string& prefix) const {
+  out.AddCounter(prefix + "ops_insert", ops_insert.value());
+  out.AddCounter(prefix + "ops_delete", ops_delete.value());
+  out.AddCounter(prefix + "insert_evals", insert_evals.value());
+  out.AddCounter(prefix + "delete_evals", delete_evals.value());
+  out.AddCounter(prefix + "search_seeds", search_seeds.value());
+  out.AddCounter(prefix + "search_states", search_states.value());
+  out.AddCounter(prefix + "matches_positive", matches_positive.value());
+  out.AddCounter(prefix + "matches_negative", matches_negative.value());
+  out.AddCounter(prefix + "order_recomputes", order_recomputes.value());
+  out.AddCounter(prefix + "intermediate_size", intermediate_size.value());
+  out.AddCounter(prefix + "peak_intermediate", peak_intermediate.value());
+  out.AddCounter(prefix + "batches", batches.value());
+  out.AddCounter(prefix + "parallel_batches", parallel_batches.value());
+  for (size_t w = 0; w < worker_ops.size(); ++w) {
+    out.AddCounter(prefix + "worker_ops." + std::to_string(w),
+                   worker_ops[w].value());
+  }
+  out.AddCounter(prefix + "checkpoints", checkpoints.value());
+  out.AddCounter(prefix + "restores", restores.value());
+  out.AddCounter(prefix + "checkpoint_bytes", checkpoint_bytes.value());
+  out.AddCounter(prefix + "restore_bytes", restore_bytes.value());
+  if (phase1_seconds.data().count > 0) {
+    out.AddHistogram(prefix + "phase1_ns", phase1_seconds.data());
+  }
+  if (phase2_seconds.data().count > 0) {
+    out.AddHistogram(prefix + "phase2_ns", phase2_seconds.data());
+  }
+  if (checkpoint_seconds.data().count > 0) {
+    out.AddHistogram(prefix + "checkpoint_ns", checkpoint_seconds.data());
+  }
+  if (restore_seconds.data().count > 0) {
+    out.AddHistogram(prefix + "restore_ns", restore_seconds.data());
+  }
+  dcg.AppendTo(out, prefix + "dcg.");
+  scheduler.AppendTo(out, prefix + "scheduler.");
+}
+
+}  // namespace obs
+}  // namespace turboflux

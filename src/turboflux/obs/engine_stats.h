@@ -1,0 +1,104 @@
+#ifndef TURBOFLUX_OBS_ENGINE_STATS_H_
+#define TURBOFLUX_OBS_ENGINE_STATS_H_
+
+#include <string>
+#include <vector>
+
+#include "turboflux/obs/stats.h"
+
+// Typed hot-path counters (DESIGN.md §3.8). Engines own one EngineStats
+// each and bump named members directly — no string lookup or registry
+// indirection on a path executed per DCG transition. The structs compile
+// to (nearly) empty shells when TFX_STATS=0; every increment site
+// disappears entirely.
+
+namespace turboflux {
+namespace obs {
+
+/// Per-DCG counters, bumped inside Dcg::SetState — the single funnel all
+/// DCG mutations go through. The transition taxonomy is the paper's
+/// Figure 5; candidate-list churn is derivable: list appends equal
+/// null_to_implicit (Transition 1 is the only way an edge materializes),
+/// list removals equal explicit_to_null + implicit_to_null, and in-place
+/// state flips equal implicit_to_explicit + explicit_to_implicit.
+struct DcgStats {
+  Counter transitions;           ///< every legal state change
+  Counter null_to_implicit;      ///< Transition 1 (edge stored)
+  Counter implicit_to_explicit;  ///< Transition 2
+  Counter explicit_to_null;      ///< Transition 3 (edge removed)
+  Counter explicit_to_implicit;  ///< Transition 4
+  Counter implicit_to_null;      ///< Transition 5 (edge removed)
+
+  void Reset();
+  void AppendTo(StatsSnapshot& out, const std::string& prefix) const;
+};
+
+/// Batch-scheduler counters (parallel/batch.cc).
+struct SchedulerStats {
+  Counter partitions;         ///< Partition() calls
+  Counter scheduled_ops;      ///< ops partitioned in total
+  Counter sub_batches;        ///< conflict-free sub-batches produced
+  Counter global_region_ops;  ///< ops whose influence region overflowed
+
+  void Reset();
+  void AppendTo(StatsSnapshot& out, const std::string& prefix) const;
+};
+
+/// Counters shared by every ContinuousEngine implementation (exposed via
+/// ContinuousEngine::engine_stats()). TurboFlux populates all of them; the
+/// baselines populate the subset that applies (ops, search, matches).
+///
+/// Parallel-mode accounting (TurboFlux): the primary engine performs every
+/// op's graph/DCG maintenance exactly once (phase-1 own share in full,
+/// phase-2 replay of the rest state-only), so op and DCG counters on the
+/// primary match a sequential run exactly. Search and match counters fire
+/// only on the phase-1 owner of each op, so the primary drains them from
+/// its replicas at each batch boundary (DrainSearchCountersFrom) — again
+/// landing on the sequential totals.
+struct EngineStats {
+  Counter ops_insert;    ///< insertion ops evaluated (incl. no-op dups)
+  Counter ops_delete;    ///< deletion ops evaluated (incl. absent-edge)
+  Counter insert_evals;  ///< insertions that changed the graph
+  Counter delete_evals;  ///< deletions that changed the graph
+  Counter search_seeds;  ///< RunSearch invocations (seed paths reached)
+  Counter search_states; ///< backtracking states explored (SubgraphSearch)
+  Counter matches_positive;  ///< positive matches emitted (incl. initial)
+  Counter matches_negative;
+  Counter order_recomputes;    ///< matching-order drift recomputations
+  Gauge intermediate_size;     ///< IntermediateSize() after the last op
+  Gauge peak_intermediate;     ///< high-water IntermediateSize()
+
+  Counter batches;           ///< ApplyBatch calls
+  Counter parallel_batches;  ///< ... that took the parallel path
+  Histogram phase1_seconds;  ///< per-sub-batch parallel evaluation time
+  Histogram phase2_seconds;  ///< per-sub-batch state-only resync time
+  std::vector<Counter> worker_ops;  ///< phase-1 ops evaluated per worker
+
+  Counter checkpoints;       ///< successful Checkpoint() calls
+  Counter restores;          ///< successful Restore() calls
+  Counter checkpoint_bytes;  ///< total snapshot bytes written
+  Counter restore_bytes;     ///< total snapshot bytes read
+  Histogram checkpoint_seconds;
+  Histogram restore_seconds;
+
+  DcgStats dcg;
+  SchedulerStats scheduler;
+
+  void Reset();
+
+  /// Batch-boundary merge: adds `worker`'s search/match counters
+  /// (search_seeds, search_states, matches_positive/negative) into this
+  /// and zeroes them on `worker`, so replica counters are never double
+  /// counted across batches.
+  void DrainSearchCountersFrom(EngineStats& worker);
+
+  /// Exports every metric as prefix + member name ("engine." yields
+  /// "engine.search_states", "engine.dcg.transitions", ...). Histograms
+  /// get a "_ns" suffix and are recorded in nanoseconds.
+  void AppendTo(StatsSnapshot& out, const std::string& prefix) const;
+};
+
+}  // namespace obs
+}  // namespace turboflux
+
+#endif  // TURBOFLUX_OBS_ENGINE_STATS_H_

@@ -1,0 +1,203 @@
+#include "turboflux/obs/stats.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+
+namespace turboflux {
+namespace obs {
+
+const HistogramData NoopHistogram::kEmpty{};
+
+uint64_t HistogramData::Percentile(double p) const {
+  if (count == 0) return 0;
+  p = std::clamp(p, 0.0, 1.0);
+  uint64_t rank = static_cast<uint64_t>(
+      std::ceil(p * static_cast<double>(count)));
+  if (rank == 0) rank = 1;
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    cumulative += buckets[i];
+    if (cumulative >= rank) {
+      return std::clamp(BucketUpperBound(i), min, max);
+    }
+  }
+  return max;  // unreachable when counters are consistent
+}
+
+bool StatsSnapshot::Has(std::string_view name) const {
+  for (const auto& [n, v] : counters) {
+    if (n == name) return true;
+  }
+  return FindHistogram(name) != nullptr;
+}
+
+uint64_t StatsSnapshot::Value(std::string_view name) const {
+  for (const auto& [n, v] : counters) {
+    if (n == name) return v;
+  }
+  return 0;
+}
+
+const HistogramData* StatsSnapshot::FindHistogram(
+    std::string_view name) const {
+  for (const auto& [n, h] : histograms) {
+    if (n == name) return &h;
+  }
+  return nullptr;
+}
+
+void StatsSnapshot::MergeFrom(const StatsSnapshot& other) {
+  for (const auto& [name, value] : other.counters) {
+    bool found = false;
+    for (auto& [n, v] : counters) {
+      if (n == name) {
+        v += value;
+        found = true;
+        break;
+      }
+    }
+    if (!found) counters.emplace_back(name, value);
+  }
+  for (const auto& [name, h] : other.histograms) {
+    bool found = false;
+    for (auto& [n, mine] : histograms) {
+      if (n == name) {
+        mine.Merge(h);
+        found = true;
+        break;
+      }
+    }
+    if (!found) histograms.emplace_back(name, h);
+  }
+}
+
+namespace {
+
+void AppendJsonNumber(std::string& out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  out += buf;
+}
+
+void AppendU64(std::string& out, uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  out += buf;
+}
+
+void AppendHistogramJson(std::string& out, const HistogramData& h) {
+  out += "{\"count\": ";
+  AppendU64(out, h.count);
+  out += ", \"sum\": ";
+  AppendU64(out, h.sum);
+  out += ", \"min\": ";
+  AppendU64(out, h.count == 0 ? 0 : h.min);
+  out += ", \"max\": ";
+  AppendU64(out, h.max);
+  out += ", \"mean\": ";
+  AppendJsonNumber(out, h.Mean());
+  out += ", \"p50\": ";
+  AppendU64(out, h.Percentile(0.50));
+  out += ", \"p95\": ";
+  AppendU64(out, h.Percentile(0.95));
+  out += ", \"p99\": ";
+  AppendU64(out, h.Percentile(0.99));
+  out += "}";
+}
+
+}  // namespace
+
+std::string StatsSnapshot::ToJson() const {
+  std::string out = "{\"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    if (!first) out += ", ";
+    first = false;
+    out += "\"" + name + "\": ";
+    AppendU64(out, value);
+  }
+  out += "}, \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms) {
+    if (!first) out += ", ";
+    first = false;
+    out += "\"" + name + "\": ";
+    AppendHistogramJson(out, h);
+  }
+  out += "}}";
+  return out;
+}
+
+std::string StatsSnapshot::ToCsv() const {
+  std::string out = "metric,value\n";
+  for (const auto& [name, value] : counters) {
+    out += name + ",";
+    AppendU64(out, value);
+    out += "\n";
+  }
+  for (const auto& [name, h] : histograms) {
+    out += name + ".count,";
+    AppendU64(out, h.count);
+    out += "\n" + name + ".mean,";
+    AppendJsonNumber(out, h.Mean());
+    out += "\n" + name + ".p50,";
+    AppendU64(out, h.Percentile(0.50));
+    out += "\n" + name + ".p95,";
+    AppendU64(out, h.Percentile(0.95));
+    out += "\n" + name + ".p99,";
+    AppendU64(out, h.Percentile(0.99));
+    out += "\n" + name + ".max,";
+    AppendU64(out, h.max);
+    out += "\n";
+  }
+  return out;
+}
+
+std::string StatsRegistry::Key(std::string_view scope,
+                               std::string_view name) {
+  if (scope.empty()) return std::string(name);
+  std::string key(scope);
+  key += '.';
+  key += name;
+  return key;
+}
+
+Counter& StatsRegistry::GetCounter(std::string_view scope,
+                                   std::string_view name) {
+  if (!enabled_) return scratch_counter_;
+  return counters_[Key(scope, name)];
+}
+
+Gauge& StatsRegistry::GetGauge(std::string_view scope,
+                               std::string_view name) {
+  if (!enabled_) return scratch_gauge_;
+  return gauges_[Key(scope, name)];
+}
+
+Histogram& StatsRegistry::GetHistogram(std::string_view scope,
+                                       std::string_view name) {
+  if (!enabled_) return scratch_histogram_;
+  return histograms_[Key(scope, name)];
+}
+
+StatsSnapshot StatsRegistry::Snapshot() const {
+  StatsSnapshot out;
+  if (!enabled_) return out;
+  for (const auto& [name, c] : counters_) out.AddCounter(name, c.value());
+  for (const auto& [name, g] : gauges_) out.AddCounter(name, g.value());
+  for (const auto& [name, h] : histograms_) {
+    out.AddHistogram(name, h.data());
+  }
+  return out;
+}
+
+void StatsRegistry::Reset() {
+  for (auto& [name, c] : counters_) c.Reset();
+  for (auto& [name, g] : gauges_) g.Reset();
+  for (auto& [name, h] : histograms_) h.Reset();
+}
+
+}  // namespace obs
+}  // namespace turboflux

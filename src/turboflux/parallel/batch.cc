@@ -99,6 +99,14 @@ std::vector<std::vector<size_t>> BatchScheduler::Partition(
   for (size_t j = 0; j < ops.size(); ++j) {
     sub_batches[level[j]].push_back(j);
   }
+  if (stats_ != nullptr) {
+    stats_->partitions.Inc();
+    stats_->scheduled_ops.Inc(ops.size());
+    stats_->sub_batches.Inc(sub_batches.size());
+    for (const Region& r : regions) {
+      if (r.global) stats_->global_region_ops.Inc();
+    }
+  }
   return sub_batches;
 }
 

@@ -10,6 +10,7 @@
 #include "turboflux/common/types.h"
 #include "turboflux/graph/graph.h"
 #include "turboflux/graph/update_stream.h"
+#include "turboflux/obs/engine_stats.h"
 #include "turboflux/query/query_graph.h"
 
 namespace turboflux {
@@ -54,6 +55,10 @@ class BatchScheduler {
   std::vector<std::vector<size_t>> Partition(
       const Graph& g, std::span<const UpdateOp> ops) const;
 
+  /// Binds scheduling counters bumped by Partition (nullptr detaches). An
+  /// observer binding like Dcg::set_stats; Partition stays const.
+  void set_stats(obs::SchedulerStats* stats) { stats_ = stats; }
+
  private:
   struct Region {
     std::unordered_set<VertexId> vertices;
@@ -71,6 +76,7 @@ class BatchScheduler {
   BatchSchedulerOptions options_;
   std::unordered_set<EdgeLabel> query_edge_labels_;
   size_t radius_;
+  obs::SchedulerStats* stats_ = nullptr;  // not owned; see set_stats
 };
 
 }  // namespace parallel

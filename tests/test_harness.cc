@@ -1,4 +1,5 @@
 #include <sstream>
+#include <string>
 
 #include "gtest/gtest.h"
 #include "testutil.h"
@@ -123,6 +124,97 @@ TEST(Table, Formatters) {
   EXPECT_EQ(Table::FormatCount(3.2e6), "3.20M");
   EXPECT_EQ(Table::FormatRatio(2.0), "2.00x");
   EXPECT_EQ(Table::FormatRatio(0.0), "n/a");
+}
+
+// Regression: a peak hit *inside* a batch window must not be missed.
+// The batched runner only samples IntermediateSize() between windows, so
+// an insert-spike-then-delete sequence within one window used to report
+// the (smaller) end-of-window size; the engine-side watermark now catches
+// it (harness/engine.h PeakIntermediateSize).
+TEST(Runner, PeakIntermediateSeesMidBatchSpike) {
+  Case c;
+  QVertexId u0 = c.q.AddVertex(LabelSet{0});
+  QVertexId u1 = c.q.AddVertex(LabelSet{1});
+  c.q.AddEdge(u0, 0, u1);
+  c.g0.AddVertex(LabelSet{0});
+  for (int i = 0; i < 8; ++i) c.g0.AddVertex(LabelSet{1});
+  // Spike: eight inserts grow the DCG, then eight deletes drain it —
+  // all within a single 16-op batch window.
+  for (VertexId v = 1; v <= 8; ++v) c.stream.push_back(UpdateOp::Insert(0, 0, v));
+  for (VertexId v = 1; v <= 8; ++v) c.stream.push_back(UpdateOp::Delete(0, 0, v));
+
+  RunOptions per_op;
+  per_op.subtract_graph_update_cost = false;
+  TurboFluxEngine seq;
+  CountingSink seq_sink;
+  RunResult r_seq = RunContinuous(seq, c.q, c.g0, c.stream, seq_sink, per_op);
+
+  RunOptions batched = per_op;
+  batched.batch_size = static_cast<int64_t>(c.stream.size());
+  TurboFluxEngine bat;
+  CountingSink bat_sink;
+  RunResult r_bat = RunContinuous(bat, c.q, c.g0, c.stream, bat_sink, batched);
+
+  EXPECT_FALSE(r_seq.timed_out);
+  EXPECT_FALSE(r_bat.timed_out);
+  // The spike grows the DCG by 8 edges above its final (drained) size;
+  // the batched run must see the same peak as the per-op run, not the
+  // end-of-window size.
+  EXPECT_EQ(r_seq.peak_intermediate, r_seq.final_intermediate + 8);
+  EXPECT_EQ(r_bat.peak_intermediate, r_seq.peak_intermediate);
+  EXPECT_EQ(r_bat.final_intermediate, r_seq.final_intermediate);
+}
+
+TEST(Runner, StatsSnapshotCoversRunAndEngineScopes) {
+  Case c = MakeCase();
+  TurboFluxEngine engine;
+  CountingSink sink;
+  RunOptions options;
+  options.subtract_graph_update_cost = false;
+  options.collect_stats = true;
+  RunResult r = RunContinuous(engine, c.q, c.g0, c.stream, sink, options);
+  ASSERT_TRUE(r.stats.has_value());
+  const obs::StatsSnapshot& s = *r.stats;
+  // run.* metrics mirror the RunResult fields and work in every build.
+  EXPECT_EQ(s.Value("run.processed_ops"), r.processed_ops);
+  EXPECT_EQ(s.Value("run.initial_matches"), r.initial_matches);
+  EXPECT_EQ(s.Value("run.positive_matches"), r.positive_matches);
+  EXPECT_EQ(s.Value("run.negative_matches"), r.negative_matches);
+  EXPECT_EQ(s.Value("run.peak_intermediate"), r.peak_intermediate);
+  const obs::HistogramData* lat = s.FindHistogram("run.op_latency_ns");
+  ASSERT_NE(lat, nullptr);
+  EXPECT_EQ(lat->count, r.processed_ops);
+  // engine.* metrics exist whenever the counters are compiled in.
+  if (obs::kStatsCompiled) {
+    EXPECT_TRUE(s.Has("engine.ops_insert"));
+    EXPECT_GT(s.Value("engine.dcg.transitions"), 0u);
+    EXPECT_EQ(s.Value("engine.intermediate_size"), r.final_intermediate);
+  }
+}
+
+TEST(Runner, PeriodicStatsEmitSelfContainedJsonLines) {
+  Case c = MakeCase();
+  TurboFluxEngine engine;
+  CountingSink sink;
+  std::ostringstream lines;
+  RunOptions options;
+  options.subtract_graph_update_cost = false;
+  options.collect_stats = true;
+  options.stats_every = 1;
+  options.stats_sink = &lines;
+  RunResult r = RunContinuous(engine, c.q, c.g0, c.stream, sink, options);
+  EXPECT_EQ(r.processed_ops, 2u);
+  std::istringstream in(lines.str());
+  std::string line;
+  size_t n = 0;
+  while (std::getline(in, line)) {
+    ++n;
+    ASSERT_FALSE(line.empty());
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    EXPECT_NE(line.find("\"run.processed_ops\": "), std::string::npos);
+  }
+  EXPECT_EQ(n, 2u);  // one line per op at stats_every=1
 }
 
 TEST(Runner, TimeoutProducesTimedOutResult) {

@@ -1,0 +1,124 @@
+// Unit tests for the harness aggregation helpers (harness/metrics.h):
+// Aggregate0/Accumulate running means and the exclusion rules for
+// timed-out/unsupported runs, plus MeanRatio's geometric mean.
+
+#include <cmath>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "turboflux/harness/metrics.h"
+
+namespace turboflux {
+namespace {
+
+RunResult Completed(double stream_seconds, size_t peak, uint64_t pos = 0,
+                    uint64_t neg = 0) {
+  RunResult r;
+  r.stream_seconds = stream_seconds;
+  r.peak_intermediate = peak;
+  r.positive_matches = pos;
+  r.negative_matches = neg;
+  return r;
+}
+
+TEST(Aggregate, Aggregate0IsZeroedWithEngineName) {
+  Aggregate a = Aggregate0("TurboFlux");
+  EXPECT_EQ(a.engine, "TurboFlux");
+  EXPECT_EQ(a.completed, 0u);
+  EXPECT_EQ(a.timed_out, 0u);
+  EXPECT_EQ(a.unsupported, 0u);
+  EXPECT_EQ(a.mean_stream_seconds, 0.0);
+  EXPECT_EQ(a.mean_peak_intermediate, 0.0);
+  EXPECT_EQ(a.total_positive, 0u);
+  EXPECT_EQ(a.total_negative, 0u);
+}
+
+TEST(Aggregate, RunningMeanOverCompletedRuns) {
+  Aggregate a = Aggregate0("e");
+  Accumulate(a, Completed(1.0, 10, 5, 1));
+  EXPECT_DOUBLE_EQ(a.mean_stream_seconds, 1.0);
+  EXPECT_DOUBLE_EQ(a.mean_peak_intermediate, 10.0);
+  Accumulate(a, Completed(3.0, 30, 7, 2));
+  EXPECT_EQ(a.completed, 2u);
+  EXPECT_DOUBLE_EQ(a.mean_stream_seconds, 2.0);
+  EXPECT_DOUBLE_EQ(a.mean_peak_intermediate, 20.0);
+  EXPECT_EQ(a.total_positive, 12u);
+  EXPECT_EQ(a.total_negative, 3u);
+  Accumulate(a, Completed(2.0, 20));
+  EXPECT_EQ(a.completed, 3u);
+  EXPECT_DOUBLE_EQ(a.mean_stream_seconds, 2.0);
+  EXPECT_DOUBLE_EQ(a.mean_peak_intermediate, 20.0);
+}
+
+TEST(Aggregate, TimedOutRunsAreCountedButExcludedFromMeans) {
+  Aggregate a = Aggregate0("e");
+  Accumulate(a, Completed(1.0, 10));
+  RunResult timeout = Completed(100.0, 1000, 99, 99);
+  timeout.timed_out = true;
+  Accumulate(a, timeout);
+  EXPECT_EQ(a.completed, 1u);
+  EXPECT_EQ(a.timed_out, 1u);
+  EXPECT_DOUBLE_EQ(a.mean_stream_seconds, 1.0);
+  EXPECT_DOUBLE_EQ(a.mean_peak_intermediate, 10.0);
+  // Matches from excluded runs do not leak into the totals either.
+  EXPECT_EQ(a.total_positive, 0u);
+  EXPECT_EQ(a.total_negative, 0u);
+}
+
+TEST(Aggregate, UnsupportedOutranksTimedOut) {
+  // SJ-Tree deletion streams report unsupported and possibly timed_out;
+  // the run must land in exactly one bucket (unsupported).
+  Aggregate a = Aggregate0("e");
+  RunResult r = Completed(5.0, 5);
+  r.unsupported = true;
+  r.timed_out = true;
+  Accumulate(a, r);
+  EXPECT_EQ(a.unsupported, 1u);
+  EXPECT_EQ(a.timed_out, 0u);
+  EXPECT_EQ(a.completed, 0u);
+}
+
+TEST(Aggregate, OnlyExcludedRunsYieldsEmptyAggregate) {
+  Aggregate a = Aggregate0("e");
+  RunResult t = Completed(1.0, 1);
+  t.timed_out = true;
+  Accumulate(a, t);
+  Accumulate(a, t);
+  EXPECT_EQ(a.completed, 0u);
+  EXPECT_EQ(a.timed_out, 2u);
+  EXPECT_DOUBLE_EQ(a.mean_stream_seconds, 0.0);
+}
+
+TEST(MeanRatio, EmptyInputsGiveZero) {
+  EXPECT_EQ(MeanRatio({}, {}), 0.0);
+  EXPECT_EQ(MeanRatio({1.0}, {}), 0.0);
+  EXPECT_EQ(MeanRatio({}, {1.0}), 0.0);
+}
+
+TEST(MeanRatio, SingleElementIsThePlainRatio) {
+  EXPECT_DOUBLE_EQ(MeanRatio({2.0}, {1.0}), 2.0);
+  EXPECT_DOUBLE_EQ(MeanRatio({1.0}, {4.0}), 0.25);
+}
+
+TEST(MeanRatio, GeometricMeanOfRatios) {
+  // Ratios 2 and 8: geometric mean is 4 (the arithmetic mean would be 5).
+  EXPECT_NEAR(MeanRatio({2.0, 8.0}, {1.0, 1.0}), 4.0, 1e-12);
+  // Reciprocal pairs cancel exactly under a geometric mean.
+  EXPECT_NEAR(MeanRatio({2.0, 0.5}, {1.0, 1.0}), 1.0, 1e-12);
+}
+
+TEST(MeanRatio, NonPositiveEntriesAreSkipped) {
+  // -1 marks timeout/unsupported in per_query_seconds; a pair with either
+  // side <= 0 must not contribute.
+  EXPECT_DOUBLE_EQ(MeanRatio({2.0, -1.0, 3.0}, {1.0, 5.0, -1.0}), 2.0);
+  EXPECT_DOUBLE_EQ(MeanRatio({0.0, 4.0}, {1.0, 2.0}), 2.0);
+  // All pairs skipped -> 0, not NaN.
+  EXPECT_EQ(MeanRatio({-1.0}, {-1.0}), 0.0);
+}
+
+TEST(MeanRatio, MismatchedLengthsUseCommonPrefix) {
+  EXPECT_DOUBLE_EQ(MeanRatio({2.0, 100.0}, {1.0}), 2.0);
+}
+
+}  // namespace
+}  // namespace turboflux

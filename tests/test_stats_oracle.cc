@@ -1,0 +1,336 @@
+// Metrics-vs-oracle differential suite (DESIGN.md §3.8): every hot-path
+// counter the engine exports must EXACTLY equal ground truth recomputed
+// independently — op counts from the stream itself, effective updates
+// from a bare graph replay, match counts from the OracleEngine, DCG sizes
+// from RebuildDcgFromScratch, checkpoint bytes from the snapshot string.
+//
+// Structure per (seed, config): the oracle and a plain graph replay
+// establish ground truth once; a sequential TurboFlux run is checked
+// against it; then threads x batch variants are checked for the *same*
+// counter values (the parallel path must not change what is counted, only
+// who counts it — see the drain accounting in obs/engine_stats.h).
+// 2 configs x 25 seeds x 4 engine runs = 200 seeded cases.
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <sstream>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "testutil.h"
+#include "turboflux/common/deadline.h"
+#include "turboflux/core/turboflux.h"
+#include "turboflux/graph/update_stream.h"
+#include "turboflux/obs/engine_stats.h"
+
+namespace turboflux {
+namespace {
+
+testutil::RandomCaseConfig TreeConfig() {
+  testutil::RandomCaseConfig config;
+  config.num_vertices = 9;
+  config.num_vertex_labels = 3;
+  config.num_edge_labels = 2;
+  config.initial_edges = 14;
+  config.stream_ops = 40;
+  config.query_vertices = 4;
+  config.query_edges = 3;
+  return config;
+}
+
+testutil::RandomCaseConfig CyclicConfig() {
+  testutil::RandomCaseConfig config = TreeConfig();
+  config.query_edges = 5;
+  return config;
+}
+
+/// Ground truth recomputed without the engine: stream composition from
+/// the ops themselves, effective updates from a bare graph replay, match
+/// counts from the oracle.
+struct GroundTruth {
+  uint64_t ops_insert = 0;
+  uint64_t ops_delete = 0;
+  uint64_t insert_evals = 0;
+  uint64_t delete_evals = 0;
+  uint64_t initial_matches = 0;
+  uint64_t stream_positive = 0;
+  uint64_t stream_negative = 0;
+  size_t final_edges = 0;
+  CollectingSink oracle_stream;
+};
+
+void ComputeGroundTruth(const testutil::RandomCase& c, GroundTruth& gt) {
+  for (const UpdateOp& op : c.stream) {
+    (op.IsInsert() ? gt.ops_insert : gt.ops_delete) += 1;
+  }
+  Graph replay = c.g0;
+  for (const UpdateOp& op : c.stream) {
+    if (ApplyUpdate(replay, op)) {
+      (op.IsInsert() ? gt.insert_evals : gt.delete_evals) += 1;
+    }
+  }
+  gt.final_edges = replay.EdgeCount();
+
+  testutil::OracleEngine oracle;
+  ASSERT_TRUE(testutil::RunCase(oracle, c, gt.oracle_stream,
+                                &gt.initial_matches));
+  for (const CollectingSink::Record& r : gt.oracle_stream.records()) {
+    (r.positive ? gt.stream_positive : gt.stream_negative) += 1;
+  }
+}
+
+/// The counter values that must be identical across every threads/batch
+/// configuration (parallel evaluation may only move work, never change
+/// totals).
+struct CounterFingerprint {
+  uint64_t ops_insert, ops_delete, insert_evals, delete_evals;
+  uint64_t search_seeds, search_states;
+  uint64_t matches_positive, matches_negative;
+  uint64_t transitions, n2i, i2e, e2n, e2i, i2n;
+  uint64_t intermediate_size;
+
+  static CounterFingerprint Of(const obs::EngineStats& es) {
+    return {es.ops_insert.value(),       es.ops_delete.value(),
+            es.insert_evals.value(),     es.delete_evals.value(),
+            es.search_seeds.value(),     es.search_states.value(),
+            es.matches_positive.value(), es.matches_negative.value(),
+            es.dcg.transitions.value(),  es.dcg.null_to_implicit.value(),
+            es.dcg.implicit_to_explicit.value(),
+            es.dcg.explicit_to_null.value(),
+            es.dcg.explicit_to_implicit.value(),
+            es.dcg.implicit_to_null.value(),
+            es.intermediate_size.value()};
+  }
+  bool operator==(const CounterFingerprint&) const = default;
+};
+
+/// Runs TurboFlux over the case with the given threads/batch and checks
+/// every exported counter against the ground truth. Returns the
+/// fingerprint for cross-configuration comparison.
+CounterFingerprint RunAndCheck(const testutil::RandomCase& c,
+                               const GroundTruth& gt, size_t threads,
+                               size_t batch) {
+  TurboFluxOptions options;
+  options.threads = threads;
+  TurboFluxEngine engine(options);
+  CollectingSink init_sink;
+  EXPECT_TRUE(engine.Init(c.query, c.g0, init_sink, Deadline::Infinite()));
+  EXPECT_EQ(init_sink.size(), gt.initial_matches);
+
+  CollectingSink stream_sink;
+  uint64_t windows = 0, parallel_windows = 0, parallel_ops = 0;
+  for (size_t i = 0; i < c.stream.size(); i += batch) {
+    const size_t n = std::min(batch, c.stream.size() - i);
+    std::span<const UpdateOp> window(c.stream.data() + i, n);
+    EXPECT_TRUE(engine.ApplyBatch(window, stream_sink, Deadline::Infinite()));
+    ++windows;
+    if (threads > 1 && n > 1) {
+      ++parallel_windows;
+      parallel_ops += n;
+    }
+  }
+  EXPECT_TRUE(testutil::SameMatches(stream_sink, gt.oracle_stream));
+
+  const obs::EngineStats* es = engine.engine_stats();
+  EXPECT_NE(es, nullptr);
+
+  // Op counters: exactly the stream composition; eval counters: exactly
+  // the ops that changed the graph.
+  EXPECT_EQ(es->ops_insert.value(), gt.ops_insert);
+  EXPECT_EQ(es->ops_delete.value(), gt.ops_delete);
+  EXPECT_EQ(es->insert_evals.value(), gt.insert_evals);
+  EXPECT_EQ(es->delete_evals.value(), gt.delete_evals);
+
+  // Match counters: TurboFlux reports initial matches through the same
+  // Report funnel, so positives include them.
+  EXPECT_EQ(es->matches_positive.value(),
+            gt.initial_matches + gt.stream_positive);
+  EXPECT_EQ(es->matches_negative.value(), gt.stream_negative);
+
+  // Gauges vs the live structure and a from-scratch rebuild.
+  EXPECT_EQ(es->intermediate_size.value(), engine.IntermediateSize());
+  EXPECT_EQ(engine.RebuildDcgFromScratch().EdgeCount(),
+            engine.IntermediateSize());
+  EXPECT_GE(es->peak_intermediate.value(), es->intermediate_size.value());
+  EXPECT_LE(engine.PeakIntermediateSize(),
+            std::max(es->peak_intermediate.value(),
+                     static_cast<uint64_t>(engine.IntermediateSize())));
+
+  // DCG transition taxonomy: the five legal transitions partition the
+  // total, and stores minus removals is the live edge count.
+  const obs::DcgStats& d = es->dcg;
+  EXPECT_EQ(d.transitions.value(),
+            d.null_to_implicit.value() + d.implicit_to_explicit.value() +
+                d.explicit_to_null.value() + d.explicit_to_implicit.value() +
+                d.implicit_to_null.value());
+  EXPECT_EQ(d.null_to_implicit.value() -
+                (d.explicit_to_null.value() + d.implicit_to_null.value()),
+            engine.IntermediateSize());
+
+  // Batch accounting: one `batches` tick per ApplyBatch call; the
+  // parallel path only engages for multi-op windows with threads > 1, and
+  // then every window op is phase-1-evaluated by exactly one worker.
+  EXPECT_EQ(es->batches.value(), windows);
+  EXPECT_EQ(es->parallel_batches.value(), parallel_windows);
+  EXPECT_EQ(es->scheduler.partitions.value(), parallel_windows);
+  EXPECT_EQ(es->scheduler.scheduled_ops.value(), parallel_ops);
+  uint64_t worker_total = 0;
+  for (const obs::Counter& w : es->worker_ops) worker_total += w.value();
+  EXPECT_EQ(worker_total, parallel_ops);
+  // Sub-batches cover the scheduled ops (conflicts split windows, so
+  // their count lies between "all singletons" and "one per window").
+  EXPECT_GE(es->scheduler.sub_batches.value(), parallel_windows);
+  EXPECT_LE(es->scheduler.sub_batches.value(), parallel_ops);
+  if (threads > 1) {
+    EXPECT_EQ(es->phase1_seconds.data().count, es->phase2_seconds.data().count);
+  }
+
+  // Final structure sanity against the bare replay.
+  EXPECT_EQ(engine.graph().EdgeCount(), gt.final_edges);
+  return CounterFingerprint::Of(*es);
+}
+
+class StatsOracle
+    : public ::testing::TestWithParam<std::tuple<uint64_t, int>> {};
+
+TEST_P(StatsOracle, CountersEqualGroundTruthAcrossThreadsAndBatches) {
+  if (!obs::kStatsCompiled) GTEST_SKIP() << "built with TFX_STATS=0";
+  const auto [seed, which] = GetParam();
+  testutil::RandomCase c = testutil::MakeRandomCase(
+      seed, which == 0 ? TreeConfig() : CyclicConfig());
+  GroundTruth gt;
+  ASSERT_NO_FATAL_FAILURE(ComputeGroundTruth(c, gt));
+
+  const CounterFingerprint sequential = RunAndCheck(c, gt, 1, 1);
+  // The same totals must come out of every evaluation strategy: batched
+  // sequential, parallel per-op (degenerates to sequential), and the real
+  // two-phase parallel path.
+  EXPECT_EQ(RunAndCheck(c, gt, 1, 7), sequential);
+  EXPECT_EQ(RunAndCheck(c, gt, 2, 1), sequential);
+  EXPECT_EQ(RunAndCheck(c, gt, 2, 7), sequential);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, StatsOracle,
+    ::testing::Combine(::testing::Range<uint64_t>(0, 25),
+                       ::testing::Values(0, 1)));
+
+// ---------------------------------------------------------------------------
+// Per-op gauge tracking: after *every* op the intermediate_size gauge,
+// the live DCG, a from-scratch rebuild, and the transition-count invariant
+// must all agree, and the peak gauge must be the running maximum.
+
+class StatsPerOp : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(StatsPerOp, GaugesTrackEveryOp) {
+  if (!obs::kStatsCompiled) GTEST_SKIP() << "built with TFX_STATS=0";
+  testutil::RandomCase c = testutil::MakeRandomCase(GetParam(), TreeConfig());
+  TurboFluxEngine engine;
+  CollectingSink sink;
+  ASSERT_TRUE(engine.Init(c.query, c.g0, sink, Deadline::Infinite()));
+  const obs::EngineStats* es = engine.engine_stats();
+  ASSERT_NE(es, nullptr);
+  EXPECT_EQ(es->intermediate_size.value(), engine.IntermediateSize());
+
+  uint64_t expected_peak = engine.IntermediateSize();
+  for (const UpdateOp& op : c.stream) {
+    ASSERT_TRUE(engine.ApplyUpdate(op, sink, Deadline::Infinite()));
+    const uint64_t size = engine.IntermediateSize();
+    expected_peak = std::max(expected_peak, size);
+    EXPECT_EQ(es->intermediate_size.value(), size);
+    EXPECT_EQ(es->peak_intermediate.value(), expected_peak);
+    EXPECT_EQ(engine.RebuildDcgFromScratch().EdgeCount(), size);
+    EXPECT_EQ(es->dcg.null_to_implicit.value() -
+                  (es->dcg.explicit_to_null.value() +
+                   es->dcg.implicit_to_null.value()),
+              size);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StatsPerOp,
+                         ::testing::Range<uint64_t>(0, 10));
+
+// ---------------------------------------------------------------------------
+// Checkpoint/restore byte accounting: counted bytes must equal the actual
+// snapshot size, on both ends.
+
+class StatsCheckpoint : public ::testing::Test {};
+
+TEST_F(StatsCheckpoint, CheckpointBytesEqualSnapshotSize) {
+  if (!obs::kStatsCompiled) GTEST_SKIP() << "built with TFX_STATS=0";
+  testutil::RandomCase c = testutil::MakeRandomCase(3, TreeConfig());
+  TurboFluxEngine engine;
+  CollectingSink sink;
+  ASSERT_TRUE(engine.Init(c.query, c.g0, sink, Deadline::Infinite()));
+  for (size_t i = 0; i < c.stream.size() / 2; ++i) {
+    ASSERT_TRUE(engine.ApplyUpdate(c.stream[i], sink, Deadline::Infinite()));
+  }
+  const obs::EngineStats* es = engine.engine_stats();
+  ASSERT_NE(es, nullptr);
+  EXPECT_EQ(es->checkpoints.value(), 0u);
+  EXPECT_EQ(es->checkpoint_bytes.value(), 0u);
+
+  std::ostringstream first;
+  ASSERT_TRUE(engine.Checkpoint(first).ok());
+  EXPECT_EQ(es->checkpoints.value(), 1u);
+  EXPECT_EQ(es->checkpoint_bytes.value(), first.str().size());
+  EXPECT_EQ(es->checkpoint_seconds.data().count, 1u);
+
+  // Bytes accumulate across snapshots (it is a Counter, not a Gauge).
+  std::ostringstream second;
+  ASSERT_TRUE(engine.Checkpoint(second).ok());
+  EXPECT_EQ(es->checkpoints.value(), 2u);
+  EXPECT_EQ(es->checkpoint_bytes.value(),
+            first.str().size() + second.str().size());
+}
+
+TEST_F(StatsCheckpoint, RestoreBytesEqualSnapshotSize) {
+  if (!obs::kStatsCompiled) GTEST_SKIP() << "built with TFX_STATS=0";
+  testutil::RandomCase c = testutil::MakeRandomCase(4, TreeConfig());
+  std::string snapshot;
+  {
+    TurboFluxEngine engine;
+    CollectingSink sink;
+    ASSERT_TRUE(engine.Init(c.query, c.g0, sink, Deadline::Infinite()));
+    for (const UpdateOp& op : c.stream) {
+      ASSERT_TRUE(engine.ApplyUpdate(op, sink, Deadline::Infinite()));
+    }
+    std::ostringstream out;
+    ASSERT_TRUE(engine.Checkpoint(out).ok());
+    snapshot = out.str();
+  }
+
+  TurboFluxEngine restored;
+  CollectingSink sink;
+  ASSERT_TRUE(restored.Init(c.query, c.g0, sink, Deadline::Infinite()));
+  std::istringstream in(snapshot);
+  ASSERT_TRUE(restored.Restore(in).ok());
+  const obs::EngineStats* es = restored.engine_stats();
+  ASSERT_NE(es, nullptr);
+  EXPECT_EQ(es->restores.value(), 1u);
+  EXPECT_EQ(es->restore_bytes.value(), snapshot.size());
+  EXPECT_EQ(es->restore_seconds.data().count, 1u);
+  // The gauges must re-point at the restored structure.
+  EXPECT_EQ(es->intermediate_size.value(), restored.IntermediateSize());
+  EXPECT_GE(es->peak_intermediate.value(), es->intermediate_size.value());
+}
+
+TEST_F(StatsCheckpoint, FailedRestoreCountsNothing) {
+  if (!obs::kStatsCompiled) GTEST_SKIP() << "built with TFX_STATS=0";
+  testutil::RandomCase c = testutil::MakeRandomCase(5, TreeConfig());
+  TurboFluxEngine engine;
+  CollectingSink sink;
+  ASSERT_TRUE(engine.Init(c.query, c.g0, sink, Deadline::Infinite()));
+  std::istringstream garbage("not a snapshot");
+  ASSERT_FALSE(engine.Restore(garbage).ok());
+  const obs::EngineStats* es = engine.engine_stats();
+  ASSERT_NE(es, nullptr);
+  EXPECT_EQ(es->restores.value(), 0u);
+  EXPECT_EQ(es->restore_bytes.value(), 0u);
+}
+
+}  // namespace
+}  // namespace turboflux

@@ -1,0 +1,146 @@
+// Zero-cost guarantees of the observability layer. Two halves:
+//
+//  * compile-time — the Noop metric types must be empty, constexpr-usable
+//    and vanish under [[no_unique_address]], so a TFX_STATS=0 build pays
+//    nothing for the instrumentation sites (the CI `observability` job
+//    builds both flag settings);
+//  * run-time — with stats compiled in, collecting a run's stats must not
+//    slow the stream down by more than the ISSUE budget (5% + noise
+//    allowance). Timing is inherently jittery, so the gate is min-of-N
+//    and only armed under TFX_LONG_TESTS=1 (the Release CI job).
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <type_traits>
+
+#include "gtest/gtest.h"
+#include "testutil.h"
+#include "turboflux/common/deadline.h"
+#include "turboflux/core/turboflux.h"
+#include "turboflux/harness/runner.h"
+#include "turboflux/obs/stats.h"
+
+namespace turboflux {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Compile-time zero cost.
+
+static_assert(std::is_empty_v<obs::NoopCounter>,
+              "NoopCounter must carry no state");
+static_assert(std::is_empty_v<obs::NoopGauge>,
+              "NoopGauge must carry no state");
+static_assert(std::is_empty_v<obs::NoopHistogram>,
+              "NoopHistogram must carry no state (kEmpty is static)");
+
+// A disabled-build instrumented struct costs exactly its payload.
+struct Instrumented {
+  uint64_t payload;
+  [[no_unique_address]] obs::NoopCounter ops;
+  [[no_unique_address]] obs::NoopGauge size;
+  [[no_unique_address]] obs::NoopHistogram latency;
+};
+static_assert(sizeof(Instrumented) == sizeof(uint64_t),
+              "no_unique_address must erase the Noop members");
+
+// Every Noop operation must be a constant expression — the compiler can
+// delete the call outright, not merely inline an empty body.
+constexpr bool ExerciseNoops() {
+  obs::NoopCounter c;
+  c.Inc();
+  c.Inc(1000);
+  c.Reset();
+  obs::NoopGauge g;
+  g.Set(42);
+  g.SetMax(43);
+  g.Reset();
+  obs::NoopHistogram h;
+  h.Record(7);
+  h.RecordSeconds(0.5);
+  h.Reset();
+  return c.value() == 0 && g.value() == 0;
+}
+static_assert(ExerciseNoops(), "Noop metric ops must be constexpr no-ops");
+
+TEST(StatsOverhead, CompiledFlagIsConsistent) {
+  // kStatsCompiled and the alias selection must agree; the engine suite
+  // relies on this to skip value assertions in TFX_STATS=0 builds.
+  if (obs::kStatsCompiled) {
+    EXPECT_TRUE((std::is_same_v<obs::Counter, obs::EnabledCounter>));
+  } else {
+    EXPECT_TRUE((std::is_same_v<obs::Counter, obs::NoopCounter>));
+    EXPECT_TRUE(std::is_empty_v<obs::Counter>);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Run-time overhead gate.
+
+testutil::RandomCaseConfig OverheadConfig() {
+  testutil::RandomCaseConfig config;
+  config.num_vertices = 60;
+  config.num_vertex_labels = 3;
+  config.num_edge_labels = 2;
+  config.initial_edges = 150;
+  config.stream_ops = 40000;
+  config.deletion_probability = 0.3;
+  config.query_vertices = 4;
+  config.query_edges = 3;
+  return config;
+}
+
+double MinStreamSeconds(const testutil::RandomCase& c, bool collect_stats,
+                        int repetitions) {
+  double best = 0.0;
+  for (int i = 0; i < repetitions; ++i) {
+    TurboFluxEngine engine;
+    CountingSink sink;
+    RunOptions options;
+    options.subtract_graph_update_cost = false;
+    options.collect_stats = collect_stats;
+    RunResult r = RunContinuous(engine, c.query, c.g0, c.stream, sink,
+                                options);
+    EXPECT_FALSE(r.timed_out);
+    if (i == 0 || r.raw_stream_seconds < best) best = r.raw_stream_seconds;
+  }
+  return best;
+}
+
+TEST(StatsOverhead, CollectingStatsStaysWithinBudget) {
+  const char* env = std::getenv("TFX_LONG_TESTS");
+  if (env == nullptr || env[0] != '1') {
+    GTEST_SKIP() << "timing gate runs only under TFX_LONG_TESTS=1";
+  }
+  testutil::RandomCase c = testutil::MakeRandomCase(11, OverheadConfig());
+  // Warm-up run so first-touch page faults and allocator growth hit
+  // neither measurement.
+  MinStreamSeconds(c, false, 1);
+  const double off = MinStreamSeconds(c, false, 5);
+  const double on = MinStreamSeconds(c, true, 5);
+  // 5% relative budget plus an absolute floor for scheduler noise on
+  // short runs.
+  EXPECT_LE(on, off * 1.05 + 0.010)
+      << "stats-on min " << on << "s vs stats-off min " << off << "s";
+}
+
+TEST(StatsOverhead, DisabledCollectionLeavesNoTrace) {
+  // collect_stats=false must not populate RunResult::stats at all.
+  testutil::RandomCase c = testutil::MakeRandomCase(2, {});
+  TurboFluxEngine engine;
+  CountingSink sink;
+  RunOptions options;
+  RunResult r = RunContinuous(engine, c.query, c.g0, c.stream, sink, options);
+  EXPECT_FALSE(r.stats.has_value());
+
+  options.collect_stats = true;
+  TurboFluxEngine engine2;
+  CountingSink sink2;
+  RunResult r2 = RunContinuous(engine2, c.query, c.g0, c.stream, sink2,
+                               options);
+  ASSERT_TRUE(r2.stats.has_value());
+  EXPECT_EQ(r2.stats->Value("run.processed_ops"), r2.processed_ops);
+}
+
+}  // namespace
+}  // namespace turboflux

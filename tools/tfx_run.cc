@@ -9,6 +9,7 @@
 //           [--semantics=hom|iso] [--timeout_ms=N] [--print_matches]
 //           [--threads=N] [--batch=K] [--lenient]
 //           [--checkpoint-every=N] [--checkpoint-path=F] [--restore-from=F]
+//           [--stats[=json|csv]] [--stats-every=N]
 //
 // --batch=K feeds the stream to the engine in windows of K ops via
 // ApplyBatch; --threads=N (TurboFlux only) evaluates each window on N
@@ -16,6 +17,11 @@
 //
 // --lenient skips (and counts to stderr) malformed graph/stream records
 // instead of aborting on the first one.
+//
+// --stats collects the engine's hot-path counters and the run's latency
+// histograms (DESIGN.md §3.8) and prints one JSON (or CSV) document to
+// stdout after the run; --stats-every=N additionally streams an
+// intermediate JSON snapshot line to stderr every N processed ops.
 //
 // The checkpoint flags (TurboFlux only) switch to the crash-consistent
 // resilient runner (DESIGN.md §3.7): --checkpoint-every=N snapshots engine
@@ -28,6 +34,7 @@
 
 #include <cstdio>
 #include <cstring>
+#include <iostream>
 #include <memory>
 #include <string>
 
@@ -88,6 +95,15 @@ int Main(int argc, char** argv) {
   std::string restore_from = GetFlag(argc, argv, "restore-from", "");
   bool resilient = checkpoint_every > 0 || !checkpoint_path.empty() ||
                    !restore_from.empty();
+  std::string stats_mode = GetFlag(argc, argv, "stats", "");
+  if (stats_mode == "1") stats_mode = "json";  // bare --stats
+  int64_t stats_every =
+      std::atoll(GetFlag(argc, argv, "stats-every", "0").c_str());
+  if (!stats_mode.empty() && stats_mode != "json" && stats_mode != "csv") {
+    std::fprintf(stderr, "--stats takes json or csv, got %s\n",
+                 stats_mode.c_str());
+    return 2;
+  }
 
   if (graph_path.empty() || query_path.empty() || stream_path.empty()) {
     std::fprintf(stderr,
@@ -96,7 +112,8 @@ int Main(int argc, char** argv) {
                  "[--semantics=hom|iso] [--timeout_ms=N] "
                  "[--print_matches] [--threads=N] [--batch=K] [--lenient] "
                  "[--checkpoint-every=N] [--checkpoint-path=F] "
-                 "[--restore-from=F]\n");
+                 "[--restore-from=F] [--stats[=json|csv]] "
+                 "[--stats-every=N]\n");
     return 2;
   }
   if (threads > 1 && engine_name != "turboflux") {
@@ -167,7 +184,12 @@ int Main(int argc, char** argv) {
     ro.batch_size = batch > 1 ? batch : 1;
     ro.checkpoint_path = checkpoint_path;
     ro.restore_from = restore_from;
+    ro.collect_stats = !stats_mode.empty();
     ResilientResult rr = RunResilient(tf, *q, g0, stream, sink, ro);
+    if (rr.stats) {
+      std::printf("%s\n", stats_mode == "csv" ? rr.stats->ToCsv().c_str()
+                                              : rr.stats->ToJson().c_str());
+    }
 
     std::fprintf(stderr,
                  "engine=turboflux-resilient stream=%.3fs ops=%llu "
@@ -215,8 +237,15 @@ int Main(int argc, char** argv) {
   run_options.timeout_ms = timeout_ms;
   run_options.subtract_graph_update_cost = false;
   run_options.batch_size = batch > 1 ? batch : 1;
+  run_options.collect_stats = !stats_mode.empty();
+  run_options.stats_every = stats_every;
+  run_options.stats_sink = &std::cerr;
   RunResult r =
       RunContinuous(*engine, *q, g0, stream, sink, run_options);
+  if (r.stats) {
+    std::printf("%s\n", stats_mode == "csv" ? r.stats->ToCsv().c_str()
+                                            : r.stats->ToJson().c_str());
+  }
 
   std::fprintf(stderr,
                "engine=%s init=%.3fs stream=%.3fs ops=%llu initial=%llu "

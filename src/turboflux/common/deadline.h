@@ -12,12 +12,17 @@ namespace turboflux {
 /// clock is amortized over kCheckInterval calls so the check is cheap
 /// enough for inner loops.
 ///
-/// Thread safety: a single Deadline instance may be polled concurrently
-/// from multiple threads (the parallel batch executor shares one deadline
-/// across workers). The amortization counter and the sticky expired bit
-/// are atomics with relaxed ordering — expiry is a monotone flag, so the
-/// worst case of a relaxed race is one extra clock read. Copying is not
-/// atomic; copy a Deadline only before handing it to other threads.
+/// Thread safety (DESIGN.md §3.9): a single Deadline instance may be
+/// polled concurrently from multiple threads (the parallel batch executor
+/// shares one deadline across workers). The amortization counter and the
+/// sticky expired bit are atomics with relaxed ordering — expiry is a
+/// monotone flag, so the worst case of a relaxed race is one extra clock
+/// read. This type is intentionally lock-free rather than Mutex-guarded:
+/// Expired() sits in the engine's innermost search loops. Copying is not
+/// atomic (when_/infinite_ are plain fields); copy-from a shared instance
+/// is safe while others poll it, but assign-to a Deadline only before
+/// handing it to other threads (test_sync_stress.cc exercises both under
+/// TSan).
 class Deadline {
  public:
   using Clock = std::chrono::steady_clock;
@@ -59,7 +64,7 @@ class Deadline {
 
   /// True once the deadline has passed. Only actually reads the clock every
   /// kCheckInterval calls; once expired, stays expired.
-  bool Expired() {
+  [[nodiscard]] bool Expired() {
     if (infinite_) return false;
     if (expired_.load(std::memory_order_relaxed)) return true;
     uint32_t n = calls_.fetch_add(1, std::memory_order_relaxed) + 1;
@@ -72,7 +77,7 @@ class Deadline {
   }
 
   /// Reads the clock immediately (no amortization).
-  bool ExpiredNow() {
+  [[nodiscard]] bool ExpiredNow() {
     if (infinite_) return false;
     if (expired_.load(std::memory_order_relaxed)) return true;
     if (Clock::now() >= when_) {
@@ -86,7 +91,7 @@ class Deadline {
   /// deadlines report milliseconds::max(). Reads the clock (no
   /// amortization); intended for progress reporting and for callers
   /// deciding whether a recovery attempt is still worth starting.
-  std::chrono::milliseconds Remaining() const {
+  [[nodiscard]] std::chrono::milliseconds Remaining() const {
     if (infinite_) return std::chrono::milliseconds::max();
     if (expired_.load(std::memory_order_relaxed)) {
       return std::chrono::milliseconds(0);

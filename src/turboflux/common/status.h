@@ -38,7 +38,14 @@ const char* StatusCodeName(StatusCode code);
 /// A status-or-error result in the absl::Status mold, minus the
 /// dependency: a code plus a human-readable message, and an optional
 /// 1-based input line number for parser errors (0 = not applicable).
-class Status {
+///
+/// [[nodiscard]] at class scope: silently dropping a Status return is a
+/// compile error (-Werror=unused-result) everywhere in the tree — an
+/// ignored restore or checkpoint failure is exactly the silent-corruption
+/// bug class DESIGN.md §3.9 exists to prevent. Intentionally-discarded
+/// results (rare; e.g. best-effort cleanup) must say so with a
+/// `(void)` cast.
+class [[nodiscard]] Status {
  public:
   Status() = default;  // OK
 

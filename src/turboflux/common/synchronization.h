@@ -1,0 +1,102 @@
+#ifndef TURBOFLUX_COMMON_SYNCHRONIZATION_H_
+#define TURBOFLUX_COMMON_SYNCHRONIZATION_H_
+
+#include <condition_variable>
+#include <mutex>
+
+#include "turboflux/common/thread_annotations.h"
+
+// Annotated synchronization primitives (DESIGN.md §3.9).
+//
+// Thin wrappers over the standard primitives that carry Clang Thread
+// Safety attributes, so a Clang build with `-Wthread-safety` proves at
+// compile time that every GUARDED_BY member is only touched under its
+// mutex. They add no state and no overhead beyond std::mutex /
+// std::condition_variable; the value is purely that the analysis can
+// see the acquire/release points.
+//
+// This header is the only file in the repository allowed to name
+// std::mutex / std::lock_guard / std::condition_variable directly —
+// `tfx_lint` (check `raw-sync`) rejects raw uses anywhere else.
+//
+// Usage:
+//
+//   class Queue {
+//    public:
+//     void Push(int v) EXCLUDES(mu_) {
+//       {
+//         MutexLock lock(mu_);
+//         items_.push_back(v);
+//       }
+//       cv_.NotifyOne();
+//     }
+//    private:
+//     Mutex mu_;
+//     CondVar cv_;
+//     std::vector<int> items_ GUARDED_BY(mu_);
+//   };
+
+namespace turboflux {
+
+/// A non-reentrant mutual-exclusion lock, annotated as a capability.
+/// Prefer MutexLock over manual Lock/Unlock pairs.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() ACQUIRE() { mu_.lock(); }
+  void Unlock() RELEASE() { mu_.unlock(); }
+  bool TryLock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// Documents (to the analysis and the reader) that the caller holds
+  /// this mutex on a path the analysis cannot follow. No runtime check.
+  void AssertHeld() const ASSERT_CAPABILITY(this) {}
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// RAII scope lock for Mutex.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable paired with Mutex. Wait atomically releases the
+/// mutex, blocks, and reacquires it before returning — exactly
+/// std::condition_variable semantics, but the REQUIRES annotation makes
+/// "the mutex must be held" a compile-time contract. Spurious wakeups
+/// are possible; always wait in a `while (!condition)` loop so the
+/// guarded predicate is re-checked under the lock.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void Wait(Mutex& mu) REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();  // the caller still logically holds `mu`
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace turboflux
+
+#endif  // TURBOFLUX_COMMON_SYNCHRONIZATION_H_

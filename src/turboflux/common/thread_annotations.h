@@ -1,0 +1,90 @@
+#ifndef TURBOFLUX_COMMON_THREAD_ANNOTATIONS_H_
+#define TURBOFLUX_COMMON_THREAD_ANNOTATIONS_H_
+
+// Clang Thread Safety Analysis attributes (DESIGN.md §3.9).
+//
+// These macros expand to Clang's `thread_safety` attributes when the
+// compiler supports them and to nothing otherwise, so the tree compiles
+// identically under GCC while Clang builds (the CI `static-analysis`
+// job) verify lock discipline at compile time with
+// `-Wthread-safety -Werror=thread-safety`.
+//
+// Conventions:
+//  * every member protected by a turboflux::Mutex is tagged
+//    GUARDED_BY(mu_) at its declaration;
+//  * private helpers that expect the caller to hold the lock are tagged
+//    REQUIRES(mu_); public methods that must NOT be called with the lock
+//    held (they take it themselves, or call back into user code) are
+//    tagged EXCLUDES(mu_);
+//  * raw std::mutex / std::lock_guard are banned outside
+//    common/synchronization.h — `tfx_lint` enforces this (check
+//    `raw-sync`), because the analysis only sees locks acquired through
+//    annotated wrappers.
+//
+// The spellings follow Abseil's thread_annotations.h so the idiom is
+// recognizable; only the macros this repository actually uses are
+// defined.
+
+#if defined(__clang__) && (!defined(SWIG))
+#define TFX_THREAD_ANNOTATION_ATTRIBUTE_(x) __attribute__((x))
+#else
+#define TFX_THREAD_ANNOTATION_ATTRIBUTE_(x)  // no-op
+#endif
+
+#ifndef GUARDED_BY
+#define GUARDED_BY(x) TFX_THREAD_ANNOTATION_ATTRIBUTE_(guarded_by(x))
+#endif
+
+#ifndef PT_GUARDED_BY
+#define PT_GUARDED_BY(x) TFX_THREAD_ANNOTATION_ATTRIBUTE_(pt_guarded_by(x))
+#endif
+
+#ifndef REQUIRES
+#define REQUIRES(...) \
+  TFX_THREAD_ANNOTATION_ATTRIBUTE_(requires_capability(__VA_ARGS__))
+#endif
+
+#ifndef EXCLUDES
+#define EXCLUDES(...) \
+  TFX_THREAD_ANNOTATION_ATTRIBUTE_(locks_excluded(__VA_ARGS__))
+#endif
+
+#ifndef ACQUIRE
+#define ACQUIRE(...) \
+  TFX_THREAD_ANNOTATION_ATTRIBUTE_(acquire_capability(__VA_ARGS__))
+#endif
+
+#ifndef RELEASE
+#define RELEASE(...) \
+  TFX_THREAD_ANNOTATION_ATTRIBUTE_(release_capability(__VA_ARGS__))
+#endif
+
+#ifndef TRY_ACQUIRE
+#define TRY_ACQUIRE(...) \
+  TFX_THREAD_ANNOTATION_ATTRIBUTE_(try_acquire_capability(__VA_ARGS__))
+#endif
+
+#ifndef CAPABILITY
+#define CAPABILITY(x) TFX_THREAD_ANNOTATION_ATTRIBUTE_(capability(x))
+#endif
+
+#ifndef SCOPED_CAPABILITY
+#define SCOPED_CAPABILITY TFX_THREAD_ANNOTATION_ATTRIBUTE_(scoped_lockable)
+#endif
+
+#ifndef ASSERT_CAPABILITY
+#define ASSERT_CAPABILITY(x) \
+  TFX_THREAD_ANNOTATION_ATTRIBUTE_(assert_capability(x))
+#endif
+
+#ifndef RETURN_CAPABILITY
+#define RETURN_CAPABILITY(x) \
+  TFX_THREAD_ANNOTATION_ATTRIBUTE_(lock_returned(x))
+#endif
+
+#ifndef NO_THREAD_SAFETY_ANALYSIS
+#define NO_THREAD_SAFETY_ANALYSIS \
+  TFX_THREAD_ANNOTATION_ATTRIBUTE_(no_thread_safety_analysis)
+#endif
+
+#endif  // TURBOFLUX_COMMON_THREAD_ANNOTATIONS_H_

@@ -9,6 +9,8 @@
 
 #include "turboflux/common/deadline.h"
 #include "turboflux/common/match.h"
+#include "turboflux/common/synchronization.h"
+#include "turboflux/common/thread_annotations.h"
 
 namespace turboflux {
 
@@ -17,21 +19,37 @@ namespace {
 /// Holds matches back until the surrounding run commits them. A failed op
 /// or batch drops the buffer wholesale, which is what turns the engine's
 /// at-least-once replay into the sink's exactly-once delivery.
+///
+/// mu_ guards the pending buffer: today the engine flushes batch matches
+/// to the sink on the primary thread, but MatchSink makes no
+/// single-threaded promise under parallel ApplyBatch, and the commit path
+/// must never interleave with a late append. FlushTo forwards to the
+/// downstream sink with mu_ released — the sink is user code and may
+/// block or re-enter.
 class BufferSink : public MatchSink {
  public:
-  void OnMatch(bool positive, const Mapping& m) override {
+  void OnMatch(bool positive, const Mapping& m) override EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     matches_.emplace_back(positive, m);
   }
 
-  void FlushTo(MatchSink& sink) {
-    for (const auto& [positive, m] : matches_) sink.OnMatch(positive, m);
+  void FlushTo(MatchSink& sink) EXCLUDES(mu_) {
+    std::vector<std::pair<bool, Mapping>> drained;
+    {
+      MutexLock lock(mu_);
+      drained.swap(matches_);
+    }
+    for (const auto& [positive, m] : drained) sink.OnMatch(positive, m);
+  }
+
+  void Drop() EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     matches_.clear();
   }
 
-  void Drop() { matches_.clear(); }
-
  private:
-  std::vector<std::pair<bool, Mapping>> matches_;
+  Mutex mu_;
+  std::vector<std::pair<bool, Mapping>> matches_ GUARDED_BY(mu_);
 };
 
 }  // namespace

@@ -110,7 +110,7 @@ class TurboFluxEngine : public ContinuousEngine {
   /// restored from the snapshot reproduces the original's subsequent match
   /// stream byte-for-byte. Requires Init to have succeeded and the engine
   /// to be alive.
-  Status Checkpoint(std::ostream& out) const;
+  [[nodiscard]] Status Checkpoint(std::ostream& out) const;
 
   /// Rebuilds the engine from a Checkpoint snapshot, replacing all current
   /// state (the query graph is deserialized into engine-owned storage, so
@@ -121,7 +121,7 @@ class TurboFluxEngine : public ContinuousEngine {
   /// caller resumes by replaying the update stream from that index. On
   /// failure the engine is left dead (its state may be partially
   /// overwritten).
-  Status Restore(std::istream& in);
+  [[nodiscard]] Status Restore(std::istream& in);
 
   /// ApplyUpdate with graceful degradation: ops that would corrupt the
   /// engine (out-of-range endpoints) are quarantined and consumed as
@@ -130,16 +130,16 @@ class TurboFluxEngine : public ContinuousEngine {
   /// duplicate insertion); deadline expiry returns kDeadlineExceeded and
   /// leaves the engine dead *without* consuming the op — Restore() and
   /// replay from applied_ops().
-  Status TryApplyUpdate(const UpdateOp& op, MatchSink& sink,
-                        Deadline deadline);
+  [[nodiscard]] Status TryApplyUpdate(const UpdateOp& op, MatchSink& sink,
+                                      Deadline deadline);
 
   /// Batch counterpart of TryApplyUpdate: quarantines out-of-range ops up
   /// front and evaluates the rest via ApplyBatch. On kDeadlineExceeded
   /// only a stream-order prefix of the batch's matches was flushed and the
   /// engine is dead; applied_ops() is only meaningful again after
   /// Restore().
-  Status TryApplyBatch(std::span<const UpdateOp> ops, MatchSink& sink,
-                       Deadline deadline);
+  [[nodiscard]] Status TryApplyBatch(std::span<const UpdateOp> ops,
+                                     MatchSink& sink, Deadline deadline);
 
   /// Number of stream ops consumed so far (applied + quarantined) — the
   /// journal position persisted by Checkpoint.

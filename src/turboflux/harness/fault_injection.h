@@ -30,19 +30,25 @@ struct FaultPlan {
 /// Thread-safe one-shot trigger shared between a test harness and the
 /// engine under test. The engine polls ShouldFailOp / ShouldFailBatchEval
 /// at its injection points; each fires at most once per injector.
+///
+/// Lock-free by design (DESIGN.md §3.9): the triggers are polled from
+/// every batch worker on the op hot path, so the counters are relaxed
+/// atomics and `plan_` is immutable after construction — there is no
+/// guarded state, hence no Mutex. Re-arming means constructing a fresh
+/// injector.
 class FaultInjector {
  public:
   explicit FaultInjector(const FaultPlan& plan) : plan_(plan) {}
 
   /// Called once per applied update op; true on the op the plan marks.
-  bool ShouldFailOp() {
+  [[nodiscard]] bool ShouldFailOp() {
     if (plan_.fail_at_op == 0) return false;
     return ops_seen_.fetch_add(1, std::memory_order_relaxed) + 1 ==
            plan_.fail_at_op;
   }
 
   /// Called per evaluation step in ApplyBatch phase 1 (any worker thread).
-  bool ShouldFailBatchEval() {
+  [[nodiscard]] bool ShouldFailBatchEval() {
     if (plan_.batch_phase1_fail_after == 0) return false;
     return evals_seen_.fetch_add(1, std::memory_order_relaxed) + 1 ==
            plan_.batch_phase1_fail_after;
@@ -65,8 +71,9 @@ class FaultInjector {
 
 /// Flips one bit of `snapshot` (byte `byte_index`, bit 0). Out-of-range
 /// indexes are a no-op so fuzz loops can sweep past the end harmlessly.
-/// Returns true iff a byte was modified.
-bool CorruptSnapshot(std::string& snapshot, size_t byte_index);
+/// Returns true iff a byte was modified — callers must branch on this
+/// (a test that "corrupted" nothing would silently assert on clean data).
+[[nodiscard]] bool CorruptSnapshot(std::string& snapshot, size_t byte_index);
 
 }  // namespace turboflux
 

@@ -166,24 +166,28 @@ std::string StatsRegistry::Key(std::string_view scope,
 
 Counter& StatsRegistry::GetCounter(std::string_view scope,
                                    std::string_view name) {
+  MutexLock lock(mu_);
   if (!enabled_) return scratch_counter_;
   return counters_[Key(scope, name)];
 }
 
 Gauge& StatsRegistry::GetGauge(std::string_view scope,
                                std::string_view name) {
+  MutexLock lock(mu_);
   if (!enabled_) return scratch_gauge_;
   return gauges_[Key(scope, name)];
 }
 
 Histogram& StatsRegistry::GetHistogram(std::string_view scope,
                                        std::string_view name) {
+  MutexLock lock(mu_);
   if (!enabled_) return scratch_histogram_;
   return histograms_[Key(scope, name)];
 }
 
 StatsSnapshot StatsRegistry::Snapshot() const {
   StatsSnapshot out;
+  MutexLock lock(mu_);
   if (!enabled_) return out;
   for (const auto& [name, c] : counters_) out.AddCounter(name, c.value());
   for (const auto& [name, g] : gauges_) out.AddCounter(name, g.value());
@@ -194,6 +198,7 @@ StatsSnapshot StatsRegistry::Snapshot() const {
 }
 
 void StatsRegistry::Reset() {
+  MutexLock lock(mu_);
   for (auto& [name, c] : counters_) c.Reset();
   for (auto& [name, g] : gauges_) g.Reset();
   for (auto& [name, h] : histograms_) h.Reset();

@@ -11,6 +11,9 @@
 #include <utility>
 #include <vector>
 
+#include "turboflux/common/synchronization.h"
+#include "turboflux/common/thread_annotations.h"
+
 // Low-overhead observability primitives (DESIGN.md §3.8).
 //
 // Two implementations of each metric type exist unconditionally:
@@ -208,31 +211,49 @@ struct StatsSnapshot {
 /// instead — no string lookups per op). References returned by the
 /// accessors stay valid for the registry's lifetime. When disabled at
 /// runtime, accessors hand out shared scratch metrics whose contents are
-/// meaningless and Snapshot() is empty. Not thread-safe.
+/// meaningless and Snapshot() is empty.
+///
+/// Thread safety (DESIGN.md §3.9): registration, lookup, Snapshot, and
+/// Reset may be called concurrently — mu_ guards the maps and the enabled
+/// flag. Mutating a *metric* through a returned reference is NOT
+/// synchronized by the registry (a Counter increment stays a bare word
+/// add); by convention each metric is mutated from a single thread, and
+/// Snapshot/Reset only run at quiescent points (batch boundaries).
 class StatsRegistry {
  public:
   explicit StatsRegistry(bool enabled = true) : enabled_(enabled) {}
 
-  bool enabled() const { return enabled_; }
-  void set_enabled(bool enabled) { enabled_ = enabled; }
+  bool enabled() const EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return enabled_;
+  }
+  void set_enabled(bool enabled) EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    enabled_ = enabled;
+  }
 
-  Counter& GetCounter(std::string_view scope, std::string_view name);
-  Gauge& GetGauge(std::string_view scope, std::string_view name);
-  Histogram& GetHistogram(std::string_view scope, std::string_view name);
+  Counter& GetCounter(std::string_view scope, std::string_view name)
+      EXCLUDES(mu_);
+  Gauge& GetGauge(std::string_view scope, std::string_view name)
+      EXCLUDES(mu_);
+  Histogram& GetHistogram(std::string_view scope, std::string_view name)
+      EXCLUDES(mu_);
 
   /// All registered metrics as "scope.name" entries, in name order.
-  StatsSnapshot Snapshot() const;
+  StatsSnapshot Snapshot() const EXCLUDES(mu_);
 
-  void Reset();
+  void Reset() EXCLUDES(mu_);
 
  private:
   static std::string Key(std::string_view scope, std::string_view name);
 
-  bool enabled_;
-  // std::map: node-based, so references survive later insertions.
-  std::map<std::string, Counter, std::less<>> counters_;
-  std::map<std::string, Gauge, std::less<>> gauges_;
-  std::map<std::string, Histogram, std::less<>> histograms_;
+  mutable Mutex mu_;
+  bool enabled_ GUARDED_BY(mu_);
+  // std::map: node-based, so references survive later insertions and can
+  // safely escape the registration lock.
+  std::map<std::string, Counter, std::less<>> counters_ GUARDED_BY(mu_);
+  std::map<std::string, Gauge, std::less<>> gauges_ GUARDED_BY(mu_);
+  std::map<std::string, Histogram, std::less<>> histograms_ GUARDED_BY(mu_);
   Counter scratch_counter_;
   Gauge scratch_gauge_;
   Histogram scratch_histogram_;

@@ -52,7 +52,12 @@ class BatchScheduler {
   /// Partitions ops[0..n) into ordered sub-batches of indices. Every index
   /// appears exactly once; within a sub-batch indices ascend; conflicting
   /// ops are always in distinct sub-batches with the earlier op first.
-  std::vector<std::vector<size_t>> Partition(
+  ///
+  /// Thread safety (DESIGN.md §3.9): Partition is logically const and
+  /// holds no lock; it is called from the primary thread only, before the
+  /// workers start. The bound SchedulerStats pointer is the one mutable
+  /// path — set_stats must not race with Partition.
+  [[nodiscard]] std::vector<std::vector<size_t>> Partition(
       const Graph& g, std::span<const UpdateOp> ops) const;
 
   /// Binds scheduling counters bumped by Partition (nullptr detaches). An

@@ -1,14 +1,15 @@
 #ifndef TURBOFLUX_PARALLEL_THREAD_POOL_H_
 #define TURBOFLUX_PARALLEL_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "turboflux/common/synchronization.h"
+#include "turboflux/common/thread_annotations.h"
 
 namespace turboflux {
 namespace parallel {
@@ -25,6 +26,10 @@ namespace parallel {
 ///
 /// A pool of size 0 is valid: Submit and RunAll then execute inline on the
 /// calling thread, which keeps `--threads=1` free of any thread machinery.
+///
+/// Lock discipline (verified by -Wthread-safety, DESIGN.md §3.9): mu_
+/// guards the task queue and the stop flag; tasks themselves always run
+/// with mu_ released, so a task may Submit recursively without deadlock.
 class ThreadPool {
  public:
   explicit ThreadPool(size_t num_threads);
@@ -35,19 +40,20 @@ class ThreadPool {
 
   size_t size() const { return workers_.size(); }
 
-  std::future<void> Submit(std::function<void()> task);
+  std::future<void> Submit(std::function<void()> task) EXCLUDES(mu_);
 
   /// Runs all tasks to completion (task[0] inline on the caller when the
   /// pool has workers to run the rest). Rethrows the first exception.
-  void RunAll(std::vector<std::function<void()>> tasks);
+  void RunAll(std::vector<std::function<void()>> tasks) EXCLUDES(mu_);
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() EXCLUDES(mu_);
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::packaged_task<void()>> queue_;
-  bool stopping_ = false;
+  Mutex mu_;
+  CondVar cv_;
+  std::deque<std::packaged_task<void()>> queue_ GUARDED_BY(mu_);
+  bool stopping_ GUARDED_BY(mu_) = false;
+  // Immutable after the constructor returns; joined by the destructor.
   std::vector<std::thread> workers_;
 };
 

@@ -254,7 +254,7 @@ TEST(Recovery, RestartFromCheckpointFile) {
       bytes = os.str();
     }
     ASSERT_FALSE(bytes.empty());
-    CorruptSnapshot(bytes, bytes.size() / 2);
+    ASSERT_TRUE(CorruptSnapshot(bytes, bytes.size() / 2));
     std::ofstream(path, std::ios::binary | std::ios::trunc) << bytes;
     TurboFluxEngine engine;
     ResilientOptions ro;

@@ -8,7 +8,7 @@
 namespace turboflux {
 namespace testutil {
 
-bool OracleEngine::Recompute(std::unordered_map<std::string, Mapping>& out,
+bool OracleEngine::Recompute(std::map<std::string, Mapping>& out,
                              Deadline& deadline) {
   out.clear();
   CollectingSink all;
@@ -35,7 +35,10 @@ bool OracleEngine::ApplyUpdate(const UpdateOp& op, MatchSink& sink,
                                Deadline deadline) {
   bool changed = ::turboflux::ApplyUpdate(g_, op);
   if (!changed) return true;
-  std::unordered_map<std::string, Mapping> next;
+  // std::map, not unordered: the oracle emits while iterating, and a
+  // deterministic (key-sorted) emission order keeps tfx_lint's
+  // unordered-emission invariant intact tree-wide.
+  std::map<std::string, Mapping> next;
   if (!Recompute(next, deadline)) return false;
   for (const auto& [key, m] : next) {
     if (current_.count(key) == 0) sink.OnMatch(true, m);

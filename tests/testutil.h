@@ -1,8 +1,8 @@
 #ifndef TURBOFLUX_TESTS_TESTUTIL_H_
 #define TURBOFLUX_TESTS_TESTUTIL_H_
 
+#include <map>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "gtest/gtest.h"
@@ -37,13 +37,13 @@ class OracleEngine : public ContinuousEngine {
 
  private:
   /// Recomputes the match set; returns false on deadline expiry.
-  bool Recompute(std::unordered_map<std::string, Mapping>& out,
+  bool Recompute(std::map<std::string, Mapping>& out,
                  Deadline& deadline);
 
   MatchSemantics semantics_;
   const QueryGraph* q_ = nullptr;
   Graph g_;
-  std::unordered_map<std::string, Mapping> current_;
+  std::map<std::string, Mapping> current_;
 };
 
 /// Asserts two sinks saw the same multiset of (sign, mapping) records.

@@ -1,0 +1,91 @@
+#ifndef TURBOFLUX_TOOLS_LINT_LINT_H_
+#define TURBOFLUX_TOOLS_LINT_LINT_H_
+
+#include <string>
+#include <vector>
+
+// tfx_lint — project-specific static checks (DESIGN.md §3.9).
+//
+// Enforces repository invariants that neither the compiler nor clang-tidy
+// can express:
+//
+//   raw-sync            std::mutex / std::lock_guard / std::unique_lock /
+//                       std::condition_variable / friends anywhere except
+//                       common/synchronization.h. Raw primitives are
+//                       invisible to Clang's thread-safety analysis, so a
+//                       raw lock silently exempts its critical section
+//                       from the -Wthread-safety gate.
+//   discarded-status    A call to a Status-returning function whose result
+//                       is dropped at statement level. Function names are
+//                       harvested from `Status Name(...)` declarations
+//                       across the linted file set, so project-local
+//                       helpers are covered even where [[nodiscard]]
+//                       was forgotten.
+//   hot-path-registry   String-keyed StatsRegistry lookups
+//                       (GetCounter/GetGauge/GetHistogram) inside engine
+//                       hot-path directories (src/turboflux/{core,match,
+//                       parallel,baseline}/). Engines must use the typed
+//                       structs in obs/engine_stats.h — a map lookup per
+//                       op is exactly the overhead the Noop/Enabled split
+//                       exists to avoid.
+//   unordered-emission  A range-for over a std::unordered_map /
+//                       std::unordered_set whose body reports matches
+//                       (calls OnMatch). Unordered iteration order is
+//                       implementation-defined, so matches emitted from
+//                       such a loop break the deterministic-output
+//                       guarantee the differential tests rely on.
+//
+// Suppression: a finding is silenced when the offending line, or the line
+// directly above it, contains `tfx-lint: allow(<check>)` in a comment.
+//
+// The checker is token-based (comments and string/char literals are
+// stripped first), not a full parser: it trades soundness at the margins
+// for zero build-time dependencies — the repository ships no libclang.
+// The seeded-violation tests in tests/test_tfx_lint.cc pin down exactly
+// what each check catches.
+
+namespace tfx_lint {
+
+struct Finding {
+  std::string file;
+  size_t line = 0;       // 1-based
+  std::string check;     // e.g. "raw-sync"
+  std::string message;
+
+  /// "file:line: [check] message" — one finding per output line.
+  std::string ToString() const;
+};
+
+/// One file handed to the linter (content already read, so tests can lint
+/// in-memory snippets).
+struct FileInput {
+  std::string path;
+  std::string content;
+};
+
+/// Names of every implemented check, in report order.
+std::vector<std::string> CheckNames();
+
+/// Lints `files` as one project: pass 1 harvests Status-returning
+/// function names and unordered-container declarations, pass 2 runs the
+/// checks. Findings are ordered by (file, line).
+std::vector<Finding> Lint(const std::vector<FileInput>& files);
+
+/// Reads each path and lints the set; unreadable paths produce a finding
+/// with check "io-error" instead of aborting the run.
+std::vector<Finding> LintPaths(const std::vector<std::string>& paths);
+
+/// Extracts the source-file list from a compile_commands.json ("file"
+/// entries, resolved against each entry's "directory"). Returns an empty
+/// list and sets *error on malformed input. Duplicates are removed; order
+/// follows first appearance.
+std::vector<std::string> FilesFromCompileCommands(const std::string& json,
+                                                  std::string* error);
+
+/// Replaces comments and string/char literal contents with spaces,
+/// preserving line structure. Exposed for tests.
+std::string StripCommentsAndStrings(const std::string& content);
+
+}  // namespace tfx_lint
+
+#endif  // TURBOFLUX_TOOLS_LINT_LINT_H_

@@ -1,0 +1,130 @@
+// tfx_lint — the project lint gate (DESIGN.md §3.9).
+//
+// Usage:
+//   tfx_lint -p build/compile_commands.json [--root DIR]
+//   tfx_lint FILE...
+//   tfx_lint --list-checks
+//
+// With -p, lints every translation unit in the compilation database that
+// lives under --root (default: the current directory), plus every .h file
+// found under the conventional source directories (headers do not appear
+// in a compilation database). Positional FILEs lint exactly those files.
+//
+// Exit status: 0 clean, 1 findings reported, 2 usage or I/O error.
+
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint/lint.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string Canonical(const std::string& path) {
+  std::error_code ec;
+  fs::path p = fs::weakly_canonical(fs::path(path), ec);
+  return ec ? path : p.string();
+}
+
+bool Under(const std::string& path, const std::string& dir) {
+  return path.size() > dir.size() && path.compare(0, dir.size(), dir) == 0 &&
+         path[dir.size()] == '/';
+}
+
+void AddHeadersUnder(const fs::path& dir, const std::string& build_dir,
+                     std::vector<std::string>* out) {
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec)) return;
+  for (fs::recursive_directory_iterator it(dir, ec), end; it != end;
+       it.increment(ec)) {
+    if (ec) break;
+    if (!it->is_regular_file(ec)) continue;
+    const std::string p = Canonical(it->path().string());
+    if (!build_dir.empty() && Under(p, build_dir)) continue;
+    if (it->path().extension() == ".h") out->push_back(p);
+  }
+}
+
+int Usage() {
+  std::cerr << "usage: tfx_lint -p compile_commands.json [--root DIR]\n"
+            << "       tfx_lint FILE...\n"
+            << "       tfx_lint --list-checks\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string compile_commands;
+  std::string root = ".";
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list-checks") {
+      for (const std::string& c : tfx_lint::CheckNames()) {
+        std::cout << c << "\n";
+      }
+      return 0;
+    } else if (arg == "-p") {
+      if (++i >= argc) return Usage();
+      compile_commands = argv[i];
+    } else if (arg.rfind("-p=", 0) == 0) {
+      compile_commands = arg.substr(3);
+    } else if (arg == "--root") {
+      if (++i >= argc) return Usage();
+      root = argv[i];
+    } else if (arg.rfind("--root=", 0) == 0) {
+      root = arg.substr(7);
+    } else if (!arg.empty() && arg[0] == '-') {
+      return Usage();
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  if (compile_commands.empty() && positional.empty()) return Usage();
+
+  std::vector<std::string> paths = positional;
+  if (!compile_commands.empty()) {
+    std::ifstream in(compile_commands, std::ios::binary);
+    if (!in) {
+      std::cerr << "tfx_lint: cannot read " << compile_commands << "\n";
+      return 2;
+    }
+    std::ostringstream os;
+    os << in.rdbuf();
+    std::string error;
+    std::vector<std::string> tus =
+        tfx_lint::FilesFromCompileCommands(os.str(), &error);
+    if (tus.empty()) {
+      std::cerr << "tfx_lint: " << compile_commands << ": " << error << "\n";
+      return 2;
+    }
+    const std::string canon_root = Canonical(root);
+    const std::string build_dir =
+        Canonical(fs::path(compile_commands).parent_path().string());
+    for (const std::string& tu : tus) {
+      const std::string p = Canonical(tu);
+      if (Under(p, canon_root) && !Under(p, build_dir)) paths.push_back(p);
+    }
+    for (const char* dir : {"src", "tools", "tests", "bench", "examples"}) {
+      AddHeadersUnder(fs::path(canon_root) / dir, build_dir, &paths);
+    }
+  }
+
+  const std::vector<tfx_lint::Finding> findings = tfx_lint::LintPaths(paths);
+  for (const tfx_lint::Finding& f : findings) {
+    std::cout << f.ToString() << "\n";
+  }
+  if (findings.empty()) {
+    std::cerr << "tfx_lint: " << paths.size() << " files clean\n";
+    return 0;
+  }
+  std::cerr << "tfx_lint: " << findings.size() << " finding(s) in "
+            << paths.size() << " files\n";
+  return 1;
+}

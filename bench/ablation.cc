@@ -59,7 +59,7 @@ int Main(int argc, char** argv) {
       }
       Stopwatch inc_watch;
       for (const UpdateOp& op : truncated.stream) {
-        engine.ApplyUpdate(op, sink, Deadline::Infinite());
+        (void)engine.ApplyUpdate(op, sink, Deadline::Infinite());
       }
       double incremental = inc_watch.ElapsedSeconds();
       // Rebuild cost: one from-scratch DCG construction per update on the

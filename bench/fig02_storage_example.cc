@@ -75,13 +75,13 @@ int Main() {
   add_row("g0", "(init)", tf_init.positive());
 
   CountingSink tf1, sj1;
-  tf.ApplyUpdate(delta1, tf1, Deadline::Infinite());
-  sj.ApplyUpdate(delta1, sj1, Deadline::Infinite());
+  (void)tf.ApplyUpdate(delta1, tf1, Deadline::Infinite());
+  (void)sj.ApplyUpdate(delta1, sj1, Deadline::Infinite());
   add_row("g1", "do1=+(v1,v2)", tf1.positive());
 
   CountingSink tf2, sj2;
-  tf.ApplyUpdate(delta2, tf2, Deadline::Infinite());
-  sj.ApplyUpdate(delta2, sj2, Deadline::Infinite());
+  (void)tf.ApplyUpdate(delta2, tf2, Deadline::Infinite());
+  (void)sj.ApplyUpdate(delta2, sj2, Deadline::Infinite());
   add_row("g2", "do2=+(v104,v414)", tf2.positive());
 
   std::printf("Figure 1/2: running example -- DCG vs SJ-Tree storage\n");

@@ -141,7 +141,7 @@ void BM_InsertEdgeAndEval(benchmark::State& state) {
   engine.Init(queries[0], ds.initial, sink, Deadline::Infinite());
   size_t i = 0;
   for (auto _ : state) {
-    engine.ApplyUpdate(ops[i], sink, Deadline::Infinite());
+    (void)engine.ApplyUpdate(ops[i], sink, Deadline::Infinite());
     i = (i + 1) % ops.size();
   }
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
@@ -208,7 +208,7 @@ void BM_ApplyBatch(benchmark::State& state) {
   for (auto _ : state) {
     size_t n = std::min(batch, ops.size() - i);
     std::span<const UpdateOp> window(ops.data() + i, n);
-    engine.ApplyBatch(window, sink, Deadline::Infinite());
+    (void)engine.ApplyBatch(window, sink, Deadline::Infinite());
     total_ops += static_cast<int64_t>(n);
     i += n;
     if (i == ops.size()) i = 0;

@@ -54,12 +54,12 @@ int main() {
   if (!engine.Init(query, g0, sink, Deadline::Infinite())) return 1;
 
   std::printf("insert account -> merchant payment:\n");
-  engine.ApplyUpdate(UpdateOp::Insert(acct, kPaysTo, shop), sink,
-                     Deadline::Infinite());
+  (void)engine.ApplyUpdate(UpdateOp::Insert(acct, kPaysTo, shop), sink,
+                           Deadline::Infinite());
 
   std::printf("delete the ownership edge (match breaks):\n");
-  engine.ApplyUpdate(UpdateOp::Delete(alice, kOwns, acct), sink,
-                     Deadline::Infinite());
+  (void)engine.ApplyUpdate(UpdateOp::Delete(alice, kOwns, acct), sink,
+                           Deadline::Infinite());
 
   std::printf("DCG currently stores %zu intermediate edges\n",
               engine.IntermediateSize());

@@ -55,7 +55,6 @@ Status TurboFluxEngine::Checkpoint(std::ostream& out) const {
     return Status::FailedPrecondition(
         "engine is dead; a snapshot would capture partial state");
   }
-  const QueryGraph& q = *q_;
   Stopwatch watch;
   const std::streampos start_pos = out.tellp();
 
@@ -63,6 +62,27 @@ Status TurboFluxEngine::Checkpoint(std::ostream& out) const {
   std::string hdr;
   bin::PutU32(hdr, kFormatVersion);
   out.write(hdr.data(), static_cast<std::streamsize>(hdr.size()));
+
+  Status st = WriteStateSections(out, /*include_graph=*/true);
+  if (!st.ok()) return st;
+
+  out.flush();
+  if (!out) return Status::IoError("checkpoint stream write failed");
+  stats_.checkpoints.Inc();
+  stats_.checkpoint_seconds.RecordSeconds(watch.ElapsedSeconds());
+  if (const std::streampos end_pos = out.tellp();
+      start_pos != std::streampos(-1) && end_pos != std::streampos(-1)) {
+    stats_.checkpoint_bytes.Inc(static_cast<uint64_t>(end_pos - start_pos));
+  }
+  return Status::Ok();
+}
+
+Status TurboFluxEngine::WriteStateSections(std::ostream& out,
+                                           bool include_graph) const {
+  if (q_ == nullptr) {
+    return Status::FailedPrecondition("WriteStateSections before Init");
+  }
+  const QueryGraph& q = *q_;
 
   std::string meta;
   bin::PutU64(meta, applied_ops_);
@@ -102,10 +122,14 @@ Status TurboFluxEngine::Checkpoint(std::ostream& out) const {
   st = bin::WriteSection(out, kSectionTree, tbuf);
   if (!st.ok()) return st;
 
-  std::string gbuf;
-  g_.Serialize(gbuf);
-  st = bin::WriteSection(out, kSectionGraph, gbuf);
-  if (!st.ok()) return st;
+  // In a QuerySet snapshot the container persists the shared graph once in
+  // its own section; each engine's state then omits the graph entirely.
+  if (include_graph) {
+    std::string gbuf;
+    G().Serialize(gbuf);
+    st = bin::WriteSection(out, kSectionGraph, gbuf);
+    if (!st.ok()) return st;
+  }
 
   std::string dbuf;
   dcg_.Serialize(dbuf);
@@ -121,26 +145,11 @@ Status TurboFluxEngine::Checkpoint(std::ostream& out) const {
   bin::PutU64(ebuf, order_recomputes_);
   st = bin::WriteSection(out, kSectionEngine, ebuf);
   if (!st.ok()) return st;
-
-  out.flush();
-  if (!out) return Status::IoError("checkpoint stream write failed");
-  stats_.checkpoints.Inc();
-  stats_.checkpoint_seconds.RecordSeconds(watch.ElapsedSeconds());
-  if (const std::streampos end_pos = out.tellp();
-      start_pos != std::streampos(-1) && end_pos != std::streampos(-1)) {
-    stats_.checkpoint_bytes.Inc(static_cast<uint64_t>(end_pos - start_pos));
-  }
+  if (!out) return Status::IoError("state section stream write failed");
   return Status::Ok();
 }
 
 Status TurboFluxEngine::Restore(std::istream& in) {
-  // Any failure past this point may leave partially-overwritten state, so
-  // the engine is marked dead — the caller either retries with an intact
-  // snapshot or discards the engine.
-  auto fail = [this](Status st) {
-    dead_ = true;
-    return st;
-  };
   Stopwatch watch;
   const std::streampos start_pos = in.tellg();
 
@@ -148,29 +157,55 @@ Status TurboFluxEngine::Restore(std::istream& in) {
   in.read(magic, sizeof(magic));
   if (in.gcount() != sizeof(magic) ||
       std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
-    return fail(Status::Corruption("bad checkpoint magic"));
+    dead_ = true;
+    return Status::Corruption("bad checkpoint magic");
   }
   char vbytes[4];
   in.read(vbytes, sizeof(vbytes));
   if (in.gcount() != sizeof(vbytes)) {
-    return fail(Status::Corruption("truncated checkpoint header"));
+    dead_ = true;
+    return Status::Corruption("truncated checkpoint header");
   }
   uint32_t version = 0;
   bin::Reader vr(std::string_view(vbytes, sizeof(vbytes)));
   vr.GetU32(&version);
   if (version != kFormatVersion) {
-    return fail(Status::UnsupportedVersion(
+    dead_ = true;
+    return Status::UnsupportedVersion(
         "checkpoint format version " + std::to_string(version) +
         " (this build reads version " + std::to_string(kFormatVersion) +
-        ")"));
+        ")");
   }
+
+  Status st = ReadStateSections(in, /*shared_graph=*/nullptr);
+  if (!st.ok()) return st;  // ReadStateSections left the engine dead
+
+  stats_.restores.Inc();
+  stats_.restore_seconds.RecordSeconds(watch.ElapsedSeconds());
+  if (const std::streampos end_pos = in.tellg();
+      start_pos != std::streampos(-1) && end_pos != std::streampos(-1)) {
+    stats_.restore_bytes.Inc(static_cast<uint64_t>(end_pos - start_pos));
+  }
+  return Status::Ok();
+}
+
+Status TurboFluxEngine::ReadStateSections(std::istream& in,
+                                          const Graph* shared_graph) {
+  // Any failure past this point may leave partially-overwritten state, so
+  // the engine is marked dead — the caller either retries with an intact
+  // snapshot or discards the engine.
+  auto fail = [this](Status st) {
+    dead_ = true;
+    return st;
+  };
 
   std::string meta, qbuf, tbuf, gbuf, dbuf, ebuf;
   Status st;
   if (!(st = bin::ReadSection(in, kSectionMeta, &meta)).ok() ||
       !(st = bin::ReadSection(in, kSectionQuery, &qbuf)).ok() ||
       !(st = bin::ReadSection(in, kSectionTree, &tbuf)).ok() ||
-      !(st = bin::ReadSection(in, kSectionGraph, &gbuf)).ok() ||
+      (shared_graph == nullptr &&
+       !(st = bin::ReadSection(in, kSectionGraph, &gbuf)).ok()) ||
       !(st = bin::ReadSection(in, kSectionDcg, &dbuf)).ok() ||
       !(st = bin::ReadSection(in, kSectionEngine, &ebuf)).ok()) {
     return fail(st);
@@ -258,12 +293,17 @@ Status TurboFluxEngine::Restore(std::istream& in) {
         Status::Corruption("parent edges do not form a spanning tree"));
   }
 
-  // Data graph (self-validating: mirrors cross-checked, ids bounded).
+  // Data graph: deserialized from the snapshot in standalone mode
+  // (self-validating: mirrors cross-checked, ids bounded), or bound to the
+  // caller's shared graph, which must already hold the state the snapshot
+  // was taken against.
   Graph g;
-  bin::Reader gr(gbuf);
-  if (!(st = g.Deserialize(gr)).ok()) return fail(st);
-  if (!gr.exhausted()) {
-    return fail(Status::Corruption("trailing bytes in graph section"));
+  if (shared_graph == nullptr) {
+    bin::Reader gr(gbuf);
+    if (!(st = g.Deserialize(gr)).ok()) return fail(st);
+    if (!gr.exhausted()) {
+      return fail(Status::Corruption("trailing bytes in graph section"));
+    }
   }
 
   // Commit the engine's identity, then decode the DCG bound to the
@@ -271,9 +311,10 @@ Status TurboFluxEngine::Restore(std::istream& in) {
   owned_q_ = std::move(q);
   q_ = owned_q_.get();
   g_ = std::move(g);
+  shared_g_ = shared_graph;
   tree_ = std::move(tree);
   bin::Reader dr(dbuf);
-  if (!(st = dcg_.Deserialize(dr, g_.VertexCount(), tree_)).ok()) {
+  if (!(st = dcg_.Deserialize(dr, G().VertexCount(), tree_)).ok()) {
     return fail(st);
   }
   if (!dr.exhausted()) {
@@ -350,12 +391,6 @@ Status TurboFluxEngine::Restore(std::istream& in) {
   // Restore is not an op-stream event: engine counters keep accumulating
   // across it (replayed ops are re-counted; DESIGN.md §3.8), only the
   // gauges are re-pointed at the restored structure.
-  stats_.restores.Inc();
-  stats_.restore_seconds.RecordSeconds(watch.ElapsedSeconds());
-  if (const std::streampos end_pos = in.tellg();
-      start_pos != std::streampos(-1) && end_pos != std::streampos(-1)) {
-    stats_.restore_bytes.Inc(static_cast<uint64_t>(end_pos - start_pos));
-  }
   stats_.intermediate_size.Set(dcg_.EdgeCount());
   stats_.peak_intermediate.SetMax(dcg_.EdgeCount());
   NotePeakIntermediate();

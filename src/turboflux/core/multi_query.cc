@@ -43,10 +43,17 @@ bool MultiQueryEngine::Init(const Graph& g0, Sink& sink, Deadline deadline) {
 
 bool MultiQueryEngine::ApplyUpdate(const UpdateOp& op, Sink& sink,
                                    Deadline deadline) {
+  return ApplyUpdateReporting(op, sink, deadline, nullptr);
+}
+
+bool MultiQueryEngine::ApplyUpdateReporting(const UpdateOp& op, Sink& sink,
+                                            Deadline deadline,
+                                            std::vector<QueryId>* applied) {
   assert(initialized_);
   for (QueryId id = 0; id < engines_.size(); ++id) {
     TaggingSink tagged(id, sink);
     if (!engines_[id]->ApplyUpdate(op, tagged, deadline)) return false;
+    if (applied != nullptr) applied->push_back(id);
   }
   return true;
 }

@@ -13,15 +13,18 @@ namespace turboflux {
 /// Identifier of a registered query within a MultiQueryEngine.
 using QueryId = uint32_t;
 
+/// DEPRECATED — use multi::QuerySet (DESIGN.md §3.10) for new code: it
+/// shares one data graph across queries, routes each update to only the
+/// queries it can affect, supports online Register/Deregister, and has a
+/// whole-set checkpoint. This class is kept as the naive fan-out baseline
+/// (per-query graph copies, every query evaluated on every update) for
+/// the multi-query scaling bench and as a correctness reference.
+///
 /// Monitors many query patterns over one update stream — the deployment
 /// shape of the paper's motivating applications (a fraud team or SOC
 /// registers dozens of patterns, not one). Each registered query runs its
 /// own TurboFlux engine; ApplyUpdate fans the update out and tags every
 /// reported match with the originating query.
-///
-/// Each engine keeps a private copy of the data graph (the per-query DCGs
-/// are independent anyway); sharing one graph across engines is a
-/// possible future optimization and would not change any result.
 class MultiQueryEngine {
  public:
   /// Receives (query id, sign, mapping) callbacks.
@@ -47,6 +50,19 @@ class MultiQueryEngine {
   /// the deadline (remaining engines are skipped; the MultiQueryEngine is
   /// then unusable).
   bool ApplyUpdate(const UpdateOp& op, Sink& sink, Deadline deadline);
+
+  /// ApplyUpdate that reports the partial-fan-out hazard instead of hiding
+  /// it: appends to `applied` the id of every query whose engine fully
+  /// applied the op. On a mid-loop deadline expiry the result is a strict
+  /// prefix of the registered queries — the caller can see exactly which
+  /// engines are desynchronized (the failed engine and every skipped one),
+  /// rather than inferring it from a bare false. A false return still
+  /// leaves this MultiQueryEngine unusable; there is no recovery path —
+  /// that is inherent to the per-query-copy design and one of the reasons
+  /// it is deprecated in favor of multi::QuerySet, which keeps the op
+  /// un-consumed and restores the whole set from one snapshot.
+  bool ApplyUpdateReporting(const UpdateOp& op, Sink& sink, Deadline deadline,
+                            std::vector<QueryId>* applied);
 
   /// Sum of the per-query DCG sizes.
   size_t IntermediateSize() const;

@@ -54,10 +54,25 @@ std::string TurboFluxEngine::name() const {
 
 bool TurboFluxEngine::Init(const QueryGraph& q, const Graph& g0,
                            MatchSink& sink, Deadline deadline) {
-  assert(q.VertexCount() > 0 && q.EdgeCount() > 0 && q.IsConnected());
   q_ = &q;
   owned_q_.reset();
+  shared_g_ = nullptr;
   g_ = g0;
+  return InitCommon(sink, deadline);
+}
+
+bool TurboFluxEngine::InitShared(const QueryGraph& q, const Graph* shared,
+                                 MatchSink& sink, Deadline deadline) {
+  assert(shared != nullptr);
+  q_ = &q;
+  owned_q_.reset();
+  g_ = Graph();  // reads go through *shared; keep no private copy
+  shared_g_ = shared;
+  return InitCommon(sink, deadline);
+}
+
+bool TurboFluxEngine::InitCommon(MatchSink& sink, Deadline deadline) {
+  assert(q_->VertexCount() > 0 && q_->EdgeCount() > 0 && q_->IsConnected());
   deadline_ = &deadline;
   dead_ = false;
   has_updated_edge_ = false;
@@ -71,12 +86,12 @@ bool TurboFluxEngine::Init(const QueryGraph& q, const Graph& g0,
   state_version_ = 0;
   replica_version_ = 0;
 
-  QueryStats stats = ComputeQueryStats(q, g_);
-  QVertexId root = ChooseStartQVertex(q, stats);
-  tree_ = QueryTree::Build(q, root, stats);
+  QueryStats stats = ComputeQueryStats(*q_, G());
+  QVertexId root = ChooseStartQVertex(*q_, stats);
+  tree_ = QueryTree::Build(*q_, root, stats);
 
   RebuildDerivedIndexes();
-  dcg_.Reset(g_.VertexCount(), tree_);
+  dcg_.Reset(G().VertexCount(), tree_);
 
   for (VertexId v : start_vertices_) {
     BuildDcg(dcg_, root, kArtificialVertex, v);
@@ -145,14 +160,15 @@ void TurboFluxEngine::RebuildDerivedIndexes() {
   dcg_.set_stats(&stats_.dcg);
 
   start_vertices_.clear();
-  for (VertexId v = 0; v < g_.VertexCount(); ++v) {
-    if (q.VertexMatches(root, g_, v)) start_vertices_.push_back(v);
+  for (VertexId v = 0; v < G().VertexCount(); ++v) {
+    if (q.VertexMatches(root, G(), v)) start_vertices_.push_back(v);
   }
 }
 
 bool TurboFluxEngine::ApplyUpdate(const UpdateOp& op, MatchSink& sink,
                                   Deadline deadline) {
   assert(q_ != nullptr);
+  assert(!shared_mode());  // the graph owner drives EvalSharedUpdate instead
   if (dead_) return false;
   ++state_version_;
   // Crash simulation: on the op the fault plan marks, evaluate against an
@@ -204,13 +220,51 @@ bool TurboFluxEngine::ApplyUpdate(const UpdateOp& op, MatchSink& sink,
   return true;
 }
 
+bool TurboFluxEngine::EvalSharedUpdate(const UpdateOp& op, MatchSink& sink,
+                                       Deadline deadline) {
+  assert(q_ != nullptr && shared_mode());
+  if (dead_) return false;
+  ++state_version_;
+  deadline_ = &deadline;
+  has_updated_edge_ = true;
+  upd_from_ = op.from;
+  upd_label_ = op.label;
+  upd_to_ = op.to;
+
+  // The owner already screened no-ops and applied the graph mutation
+  // protocol (insert before, delete after), so both branches evaluate
+  // unconditionally against a graph that contains op's edge.
+  if (op.IsInsert()) {
+    stats_.ops_insert.Inc();
+    stats_.insert_evals.Inc();
+    InsertEdgeAndEval(op.from, op.label, op.to, sink);
+  } else {
+    stats_.ops_delete.Inc();
+    stats_.delete_evals.Inc();
+    DeleteEdgeAndEval(op.from, op.label, op.to, sink);
+  }
+
+  has_updated_edge_ = false;
+  deadline_ = nullptr;
+  if (deadline.ExpiredNow() || dead_) {
+    dead_ = true;
+    return false;
+  }
+  ++applied_ops_;
+  stats_.intermediate_size.Set(dcg_.EdgeCount());
+  stats_.peak_intermediate.SetMax(dcg_.EdgeCount());
+  NotePeakIntermediate();
+  MaybeAdjustMatchingOrder();
+  return true;
+}
+
 Status TurboFluxEngine::TryApplyUpdate(const UpdateOp& op, MatchSink& sink,
                                        Deadline deadline) {
   assert(q_ != nullptr);
   if (dead_) {
     return Status::FailedPrecondition("engine is dead; Restore() it first");
   }
-  Status v = ValidateOp(g_, op);
+  Status v = ValidateOp(G(), op);
   if (v.code() == StatusCode::kOutOfRange) {
     // Applying this op would index past the adjacency arrays: quarantine
     // it and consume it from the stream as a no-op.
@@ -241,7 +295,7 @@ Status TurboFluxEngine::TryApplyBatch(std::span<const UpdateOp> ops,
   size_t rejected = 0;
   for (size_t i = 0; i < ops.size(); ++i) {
     const UpdateOp& op = ops[i];
-    if (!g_.IsValidVertex(op.from) || !g_.IsValidVertex(op.to)) {
+    if (!G().IsValidVertex(op.from) || !G().IsValidVertex(op.to)) {
       quarantine_.push_back(
           {applied_ops_ + i,  // stream position once the batch commits
            op,
@@ -291,10 +345,10 @@ void TurboFluxEngine::BuildDcg(Dcg& dcg, QVertexId child, VertexId pv,
     for (QVertexId cc : tree_.Children(child)) {
       const QueryTree::ParentEdge& pe = tree_.parent_edge(cc);
       const std::vector<AdjEntry>& adj =
-          pe.forward ? g_.OutEdges(cv) : g_.InEdges(cv);
+          pe.forward ? G().OutEdges(cv) : G().InEdges(cv);
       for (const AdjEntry& e : adj) {
         if (e.label != pe.label) continue;
-        if (!q_->VertexMatches(cc, g_, e.other)) continue;
+        if (!q_->VertexMatches(cc, G(), e.other)) continue;
         BuildDcg(dcg, cc, cv, e.other);
       }
     }
@@ -307,10 +361,10 @@ void TurboFluxEngine::BuildDcg(Dcg& dcg, QVertexId child, VertexId pv,
 
 Dcg TurboFluxEngine::RebuildDcgFromScratch() const {
   Dcg fresh;
-  fresh.Reset(g_.VertexCount(), tree_);
+  fresh.Reset(G().VertexCount(), tree_);
   QVertexId root = tree_.root();
-  for (VertexId v = 0; v < g_.VertexCount(); ++v) {
-    if (q_->VertexMatches(root, g_, v)) {
+  for (VertexId v = 0; v < G().VertexCount(); ++v) {
+    if (q_->VertexMatches(root, G(), v)) {
       BuildDcg(fresh, root, kArtificialVertex, v);
     }
   }
@@ -350,7 +404,7 @@ void TurboFluxEngine::InsertEdgeAndEval(VertexId v, EdgeLabel l, VertexId v2,
     // Case 2 of Transition 0: no incoming edge labeled u at pv.
     if (!dcg_.HasInEdge(pv, u)) continue;
     // Case 1 of Transition 0: endpoint labels must match.
-    if (!q_->VertexMatches(child, g_, cv)) continue;
+    if (!q_->VertexMatches(child, G(), cv)) continue;
     // Build downwards unless a concurrent seed's cascade already did.
     if (dcg_.GetState(pv, child, cv) == DcgState::kNull) {
       BuildDcg(dcg_, child, pv, cv);
@@ -425,7 +479,7 @@ void TurboFluxEngine::DeleteEdgeAndEval(VertexId v, EdgeLabel l, VertexId v2,
     VertexId cv = pe.forward ? v2 : v;
     QVertexId u = pe.parent;
     if (!dcg_.HasInEdge(pv, u)) continue;
-    if (!q_->VertexMatches(child, g_, cv)) continue;
+    if (!q_->VertexMatches(child, G(), cv)) continue;
     DcgState st = dcg_.GetState(pv, child, cv);
     if (st == DcgState::kNull) continue;  // cleared by an earlier cascade
     if (st == DcgState::kExplicit && dcg_.MatchAllChildren(pv, u)) {
@@ -573,7 +627,7 @@ bool TurboFluxEngine::IsJoinable(QVertexId u, VertexId v, QEdgeId eq,
     VertexId sv = qe.from == u ? v : m_[qe.from];
     VertexId dv = qe.to == u ? v : m_[qe.to];
     if (sv == kNullVertex || dv == kNullVertex) continue;  // not yet mapped
-    if (!g_.HasEdge(sv, qe.label, dv)) return false;
+    if (!G().HasEdge(sv, qe.label, dv)) return false;
     // Total-order duplicate elimination (Algorithm 7, IsJoinable lines
     // 5-11): when another query edge also maps onto the updated data edge,
     // only the maximum-rank seed reports on insertion (minimum on
@@ -612,6 +666,7 @@ std::unique_ptr<TurboFluxEngine> TurboFluxEngine::CloneReplica() const {
   r->options_.threads = 1;  // replicas never nest parallelism
   r->q_ = q_;
   r->g_ = g_;
+  r->shared_g_ = shared_g_;
   r->tree_ = tree_;
   r->dcg_.CopyFrom(dcg_, r->tree_);
   // CopyFrom leaves the stats binding alone; point the replica's DCG at its
@@ -670,7 +725,7 @@ bool TurboFluxEngine::ApplyBatch(std::span<const UpdateOp> ops,
   stats_.parallel_batches.Inc();
   if (stats_.worker_ops.size() < nthreads) stats_.worker_ops.resize(nthreads);
   const std::vector<std::vector<size_t>> sub_batches =
-      scheduler_->Partition(g_, ops);
+      scheduler_->Partition(G(), ops);
 
   // Per-op match buffers, merged into `sink` in stream order at the end so
   // the output is independent of worker interleaving. `completed[i]` is

@@ -76,6 +76,35 @@ class TurboFluxEngine : public ContinuousEngine {
   bool ApplyUpdate(const UpdateOp& op, MatchSink& sink,
                    Deadline deadline) override;
 
+  // --- Shared-graph mode (the QuerySet serving layer, DESIGN.md §3.10) ---
+  //
+  // A shared-mode engine reads the data graph through a caller-owned
+  // pointer instead of its private copy, so N co-registered queries share
+  // one graph while keeping per-query DCG/matching-order state. The owner
+  // (QuerySet) is the only graph mutator and follows the engine's own
+  // update protocol: on insertion it adds the edge *before* any engine
+  // evaluates; on deletion it removes the edge only *after* every engine
+  // evaluated (negative matches need the edge present). The graph is
+  // therefore constant during evaluation, which also makes concurrent
+  // EvalSharedUpdate calls on distinct engines safe.
+
+  /// Init against a caller-owned graph: identical bootstrap (tree choice,
+  /// DCG build, matching order, initial-solution report) without copying
+  /// `*shared`. Both `q` and `*shared` must outlive the engine's use; the
+  /// vertex universe of `*shared` must stay fixed (updates are edge-only).
+  bool InitShared(const QueryGraph& q, const Graph* shared, MatchSink& sink,
+                  Deadline deadline);
+
+  /// Shared-mode counterpart of ApplyUpdate: evaluates the op's DCG
+  /// transitions and match delta assuming the owner already applied the
+  /// protocol above, i.e. the shared graph currently *contains* op's edge
+  /// (for both insertion and deletion). Must only be called for effective
+  /// ops — the owner skips duplicate insertions / absent deletions.
+  bool EvalSharedUpdate(const UpdateOp& op, MatchSink& sink,
+                        Deadline deadline);
+
+  bool shared_mode() const { return shared_g_ != nullptr; }
+
   /// Parallel batched evaluation (DESIGN.md "Parallel batch evaluation"):
   /// partitions `ops` into conflict-free sub-batches, evaluates each
   /// sub-batch's ops concurrently on engine replicas with per-op match
@@ -123,6 +152,25 @@ class TurboFluxEngine : public ContinuousEngine {
   /// overwritten).
   [[nodiscard]] Status Restore(std::istream& in);
 
+  /// Writes only the CRC32-framed state sections (no format header): meta,
+  /// query, tree, optionally the data graph, DCG, matching-order state.
+  /// Multi-engine containers (QuerySet) call this with
+  /// `include_graph=false` to persist N engines against one shared graph
+  /// section of their own; Checkpoint is exactly header +
+  /// WriteStateSections(out, true).
+  [[nodiscard]] Status WriteStateSections(std::ostream& out,
+                                          bool include_graph) const;
+
+  /// Reads back what WriteStateSections wrote and commits it, validating
+  /// every section. With `shared_graph == nullptr` the snapshot must
+  /// contain a graph section, which is restored into the engine's private
+  /// copy (standalone mode). With a non-null `shared_graph` the snapshot
+  /// must lack the graph section and the engine comes up in shared mode
+  /// bound to `*shared_graph` (which must already hold the graph state the
+  /// snapshot was taken against). On failure the engine is left dead.
+  [[nodiscard]] Status ReadStateSections(std::istream& in,
+                                         const Graph* shared_graph);
+
   /// ApplyUpdate with graceful degradation: ops that would corrupt the
   /// engine (out-of-range endpoints) are quarantined and consumed as
   /// no-ops (kOutOfRange); legal no-ops are applied and reported
@@ -161,7 +209,8 @@ class TurboFluxEngine : public ContinuousEngine {
 
   const Dcg& dcg() const { return dcg_; }
   const QueryTree& tree() const { return tree_; }
-  const Graph& graph() const { return g_; }
+  const QueryGraph& query() const { return *q_; }
+  const Graph& graph() const { return G(); }
   const std::vector<QVertexId>& matching_order() const { return mo_; }
   QVertexId start_query_vertex() const { return tree_.root(); }
   size_t matching_order_recomputations() const { return order_recomputes_; }
@@ -178,6 +227,15 @@ class TurboFluxEngine : public ContinuousEngine {
                                Deadline deadline = Deadline::Infinite());
 
  private:
+  /// Everything Init does after the query/graph bindings are in place;
+  /// shared by Init and InitShared.
+  bool InitCommon(MatchSink& sink, Deadline deadline);
+
+  /// The data graph all read paths go through: the shared graph in shared
+  /// mode, the engine's private copy otherwise. Writes never use this —
+  /// only ApplyUpdate mutates, and only in standalone mode.
+  const Graph& G() const { return shared_g_ != nullptr ? *shared_g_ : g_; }
+
   // Algorithm 3: builds the DCG for the subtree of `child` hanging off the
   // data edge (pv, cv), applying Transition 1 and 2. Operates on `dcg` so
   // RebuildDcgFromScratch can share it.
@@ -253,6 +311,10 @@ class TurboFluxEngine : public ContinuousEngine {
   // instead of a caller-provided graph.
   std::unique_ptr<QueryGraph> owned_q_;
   Graph g_;
+  // Non-null in shared-graph mode; then g_ stays empty and all graph reads
+  // resolve through G(). Not owned — the QuerySet keeps it alive and is the
+  // sole mutator (see the shared-mode protocol above).
+  const Graph* shared_g_ = nullptr;
   QueryTree tree_;
   Dcg dcg_;
   std::vector<QVertexId> mo_;

@@ -1,0 +1,64 @@
+#include "turboflux/multi/routing_index.h"
+
+#include <algorithm>
+
+namespace turboflux {
+namespace multi {
+
+RoutingIndex::Key RoutingIndex::KeyFor(const QueryGraph& q, QEdgeId e) {
+  const QEdge& qe = q.edge(e);
+  return Key{qe.label, q.labels(qe.from).FirstOr(kAnyRoutingLabel),
+             q.labels(qe.to).FirstOr(kAnyRoutingLabel)};
+}
+
+void RoutingIndex::Add(uint32_t target, const QueryGraph& q) {
+  for (QEdgeId e = 0; e < q.EdgeCount(); ++e) {
+    std::vector<uint32_t>& targets = index_[KeyFor(q, e)];
+    // A query with several same-key edges registers once per key.
+    if (targets.empty() || targets.back() != target) {
+      targets.push_back(target);
+    }
+  }
+}
+
+void RoutingIndex::Remove(uint32_t target, const QueryGraph& q) {
+  for (QEdgeId e = 0; e < q.EdgeCount(); ++e) {
+    auto it = index_.find(KeyFor(q, e));
+    if (it == index_.end()) continue;
+    std::erase(it->second, target);
+    if (it->second.empty()) index_.erase(it);
+  }
+}
+
+void RoutingIndex::Probe(EdgeLabel l, Label s, Label d,
+                         std::vector<uint32_t>* out) {
+  auto it = index_.find(Key{l, s, d});
+  if (it == index_.end()) return;
+  for (uint32_t t : it->second) {
+    if (t >= stamp_.size()) stamp_.resize(t + 1, 0);
+    if (stamp_[t] == epoch_) continue;
+    stamp_[t] = epoch_;
+    out->push_back(t);
+  }
+}
+
+void RoutingIndex::Route(EdgeLabel l, const LabelSet& src,
+                         const LabelSet& dst, std::vector<uint32_t>* out) {
+  out->clear();
+  if (++epoch_ == 0) {  // epoch wrapped: invalidate all stamps
+    std::fill(stamp_.begin(), stamp_.end(), 0);
+    epoch_ = 1;
+  }
+  // The probe fan: every concrete/wildcard combination of the endpoints'
+  // labels. See the class comment for why this cannot miss a target.
+  Probe(l, kAnyRoutingLabel, kAnyRoutingLabel, out);
+  for (Label d : dst.labels()) Probe(l, kAnyRoutingLabel, d, out);
+  for (Label s : src.labels()) {
+    Probe(l, s, kAnyRoutingLabel, out);
+    for (Label d : dst.labels()) Probe(l, s, d, out);
+  }
+  std::sort(out->begin(), out->end());
+}
+
+}  // namespace multi
+}  // namespace turboflux

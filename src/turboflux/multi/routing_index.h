@@ -1,0 +1,90 @@
+#ifndef TURBOFLUX_MULTI_ROUTING_INDEX_H_
+#define TURBOFLUX_MULTI_ROUTING_INDEX_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "turboflux/common/label_set.h"
+#include "turboflux/common/types.h"
+#include "turboflux/query/query_graph.h"
+
+namespace turboflux {
+namespace multi {
+
+/// Wildcard sentinel in routing keys: the endpoint's label set is empty
+/// (unconstrained), so the key matches updates touching any vertex.
+inline constexpr Label kAnyRoutingLabel = 0xFFFFFFFFu;
+
+/// The (edge-label, src-label, dst-label) -> targets inverted index that
+/// makes multi-query serving sublinear in query count (DESIGN.md §3.10):
+/// an update only reaches the runtimes whose query edges can possibly
+/// match it; everything else is provably a no-op and is never consulted.
+///
+/// Key derivation: every query edge e contributes one key
+/// (e.label, s*, d*) where s* is the *first* label of L(e.from) — or the
+/// wildcard sentinel when the set is empty — and d* likewise for e.to.
+/// Soundness: a query is affected by update (v, l, v2) only if it has an
+/// edge e with e.label == l, L(e.from) ⊆ L(v) and L(e.to) ⊆ L(v2)
+/// (Transition 0 / non-tree seed preconditions). When L(e.from) ⊆ L(v)
+/// and is non-empty, its first label is one of v's labels; so probing
+/// every (l, s, d) with s ∈ L(v) ∪ {any} and d ∈ L(v2) ∪ {any} — a
+/// (|L(v)|+1)·(|L(v2)|+1) probe fan, typically 4 — can never miss an
+/// affected query. It may over-approximate (the subset test is not fully
+/// encoded in one label), which only costs a wasted no-op evaluation.
+///
+/// Targets are small dense integers (runtime slots). Route() deduplicates
+/// across keys with an epoch-stamped scratch vector, so the hot path
+/// allocates nothing once warmed up.
+class RoutingIndex {
+ public:
+  /// Registers `target` under one key per edge of `q`.
+  void Add(uint32_t target, const QueryGraph& q);
+
+  /// Removes `target` from every key `q` hashed it under. The same `q`
+  /// that was passed to Add must be used (keys are recomputed from it).
+  void Remove(uint32_t target, const QueryGraph& q);
+
+  /// Appends every target with at least one key compatible with an update
+  /// of label `l` between endpoints labeled `src` / `dst`. Output is
+  /// sorted ascending and duplicate-free; `out` is cleared first.
+  void Route(EdgeLabel l, const LabelSet& src, const LabelSet& dst,
+             std::vector<uint32_t>* out);
+
+  size_t KeyCount() const { return index_.size(); }
+
+ private:
+  // (edge label, src label, dst label) packed for hashing.
+  struct Key {
+    EdgeLabel l;
+    Label s;
+    Label d;
+    friend bool operator==(const Key& a, const Key& b) {
+      return a.l == b.l && a.s == b.s && a.d == b.d;
+    }
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      uint64_t h = (uint64_t{k.l} << 32) ^ (uint64_t{k.s} << 16) ^ k.d;
+      h *= 0x9e3779b97f4a7c15ull;  // Fibonacci mix
+      return static_cast<size_t>(h ^ (h >> 32));
+    }
+  };
+
+  static Key KeyFor(const QueryGraph& q, QEdgeId e);
+
+  void Probe(EdgeLabel l, Label s, Label d, std::vector<uint32_t>* out);
+
+  std::unordered_map<Key, std::vector<uint32_t>, KeyHash> index_;
+
+  // Per-target dedup stamps for Route: stamp_[t] == epoch_ means target t
+  // is already in the current output.
+  std::vector<uint32_t> stamp_;
+  uint32_t epoch_ = 0;
+};
+
+}  // namespace multi
+}  // namespace turboflux
+
+#endif  // TURBOFLUX_MULTI_ROUTING_INDEX_H_

@@ -122,18 +122,29 @@ bool FindClosingPath(const Graph& g, Rng& rng, Instance& inst, VertexId cur,
   return false;
 }
 
+/// Label choice for one abstracted vertex: the data vertex's full label
+/// set or only its primary label (see QueryGenConfig::keep_full_labels).
+LabelSet AbstractLabels(const Graph& g, Rng& rng, VertexId v,
+                        double keep_full_labels) {
+  const LabelSet& full = g.labels(v);
+  if (full.size() <= 1 || rng.NextBool(keep_full_labels)) return full;
+  return LabelSet{full.FirstOr(0)};
+}
+
 /// Turns an instance into a query graph. Each distinct data vertex becomes
-/// a query vertex carrying either the data vertex's full label set or only
-/// its primary label (see QueryGenConfig::keep_full_labels).
+/// a query vertex. When `fixed_prefix` is non-null its entries are used
+/// verbatim for the leading vertices (shared-prefix group generation needs
+/// byte-identical prefixes across group members); the rest draw fresh
+/// label choices.
 QueryGraph AbstractInstance(const Graph& g, const Instance& inst, Rng& rng,
-                            double keep_full_labels) {
+                            double keep_full_labels,
+                            const std::vector<LabelSet>* fixed_prefix) {
   QueryGraph q;
-  for (VertexId v : inst.vertices) {
-    const LabelSet& full = g.labels(v);
-    if (full.size() <= 1 || rng.NextBool(keep_full_labels)) {
-      q.AddVertex(full);
+  for (size_t i = 0; i < inst.vertices.size(); ++i) {
+    if (fixed_prefix != nullptr && i < fixed_prefix->size()) {
+      q.AddVertex((*fixed_prefix)[i]);
     } else {
-      q.AddVertex(LabelSet{full.FirstOr(0)});
+      q.AddVertex(AbstractLabels(g, rng, inst.vertices[i], keep_full_labels));
     }
   }
   for (const Instance::Edge& e : inst.edges) {
@@ -142,6 +153,111 @@ QueryGraph AbstractInstance(const Graph& g, const Instance& inst, Rng& rng,
   }
   return q;
 }
+
+/// Grows a seeded instance to config.num_edges edges following
+/// config.shape. Returns true iff the instance reached the target size.
+bool GrowToShape(const Graph& g, Rng& rng, Instance& inst,
+                 const QueryGenConfig& config, VertexId seed_from,
+                 VertexId seed_to) {
+  bool ok = true;
+  switch (config.shape) {
+    case QueryShape::kTree: {
+      while (ok && inst.edges.size() < config.num_edges) {
+        ok = GrowTreeEdge(g, rng, inst, inst.vertices, nullptr);
+      }
+      break;
+    }
+    case QueryShape::kPath: {
+      VertexId head = seed_from;
+      VertexId tail = seed_to;
+      while (ok && inst.edges.size() < config.num_edges) {
+        bool extend_tail = rng.NextBool(0.5);
+        VertexId end = extend_tail ? tail : head;
+        VertexId added = kNullVertex;
+        ok = GrowTreeEdge(g, rng, inst, {end}, &added);
+        if (ok) {
+          (extend_tail ? tail : head) = added;
+        }
+      }
+      break;
+    }
+    case QueryShape::kBinaryTree: {
+      // BFS growth with at most two sprouts per vertex.
+      std::vector<VertexId> frontier = {seed_from, seed_to};
+      std::unordered_map<VertexId, int> sprouts;
+      sprouts[seed_from] = 1;  // the seed edge counts as one
+      while (ok && inst.edges.size() < config.num_edges) {
+        std::vector<VertexId> eligible;
+        for (VertexId v : frontier) {
+          if (sprouts[v] < 2) eligible.push_back(v);
+        }
+        if (eligible.empty()) {
+          ok = false;
+          break;
+        }
+        VertexId added = kNullVertex;
+        VertexId base = eligible[rng.NextIndex(eligible.size())];
+        ok = GrowTreeEdge(g, rng, inst, {base}, &added);
+        if (ok) {
+          ++sprouts[base];
+          frontier.push_back(added);
+        } else if (eligible.size() > 1) {
+          // This vertex may be a dead end; poison it and keep trying.
+          sprouts[base] = 2;
+          ok = true;
+        }
+      }
+      break;
+    }
+    case QueryShape::kGraph: {
+      size_t cycle = config.cycle_length != 0 ? config.cycle_length
+                                              : 3 + rng.NextBounded(3);
+      if (cycle > config.num_edges) cycle = config.num_edges;
+      int budget = 4096;
+      ok = cycle >= 3 && FindClosingPath(g, rng, inst, seed_to, seed_from,
+                                         cycle - 1, budget);
+      while (ok && inst.edges.size() < config.num_edges) {
+        ok = GrowTreeEdge(g, rng, inst, inst.vertices, nullptr);
+      }
+      break;
+    }
+  }
+  return ok && inst.edges.size() == config.num_edges;
+}
+
+/// Most frequent edge label among the stream's insertions (smallest label
+/// wins ties, so the choice is independent of hash iteration order).
+EdgeLabel ModalInsertionLabel(const Dataset& dataset) {
+  std::unordered_map<EdgeLabel, size_t> freq;
+  for (const UpdateOp& op : dataset.stream_insertions) ++freq[op.label];
+  EdgeLabel best = 0;
+  size_t best_count = 0;
+  for (const auto& [label, count] : freq) {
+    if (count > best_count || (count == best_count && label < best)) {
+      best = label;
+      best_count = count;
+    }
+  }
+  return best;
+}
+
+/// Samples a usable seed edge (a stream insertion surviving to the final
+/// graph, not a self-loop). When `want_hot` is set only edges carrying
+/// `hot_label` qualify. Returns nullptr if sampling keeps missing.
+const UpdateOp* PickSeed(const Dataset& dataset, const Graph& g, Rng& rng,
+                         bool want_hot, EdgeLabel hot_label) {
+  for (int attempt = 0; attempt < 128; ++attempt) {
+    const UpdateOp& seed = dataset.stream_insertions[rng.NextIndex(
+        dataset.stream_insertions.size())];
+    if (!g.HasEdge(seed.from, seed.label, seed.to)) continue;
+    if (seed.from == seed.to) continue;
+    if (want_hot && seed.label != hot_label) continue;
+    return &seed;
+  }
+  return nullptr;
+}
+
+double Clamp01(double x) { return x < 0.0 ? 0.0 : (x > 1.0 ? 1.0 : x); }
 
 }  // namespace
 
@@ -169,81 +285,134 @@ std::vector<QueryGraph> GenerateQueries(const Dataset& dataset,
     inst.Add(seed.from);
     inst.Add(seed.to);
     inst.edges.push_back({seed.from, seed.label, seed.to});
+    if (!GrowToShape(g, rng, inst, config, seed.from, seed.to)) continue;
 
-    bool ok = true;
-    switch (config.shape) {
-      case QueryShape::kTree: {
-        while (ok && inst.edges.size() < config.num_edges) {
-          ok = GrowTreeEdge(g, rng, inst, inst.vertices, nullptr);
-        }
-        break;
-      }
-      case QueryShape::kPath: {
-        VertexId head = seed.from;
-        VertexId tail = seed.to;
-        while (ok && inst.edges.size() < config.num_edges) {
-          bool extend_tail = rng.NextBool(0.5);
-          VertexId end = extend_tail ? tail : head;
-          VertexId added = kNullVertex;
-          ok = GrowTreeEdge(g, rng, inst, {end}, &added);
-          if (ok) {
-            (extend_tail ? tail : head) = added;
-          }
-        }
-        break;
-      }
-      case QueryShape::kBinaryTree: {
-        // BFS growth with at most two sprouts per vertex.
-        std::vector<VertexId> frontier = {seed.from, seed.to};
-        std::unordered_map<VertexId, int> sprouts;
-        sprouts[seed.from] = 1;  // the seed edge counts as one
-        while (ok && inst.edges.size() < config.num_edges) {
-          std::vector<VertexId> eligible;
-          for (VertexId v : frontier) {
-            if (sprouts[v] < 2) eligible.push_back(v);
-          }
-          if (eligible.empty()) {
-            ok = false;
-            break;
-          }
-          VertexId added = kNullVertex;
-          VertexId base = eligible[rng.NextIndex(eligible.size())];
-          ok = GrowTreeEdge(g, rng, inst, {base}, &added);
-          if (ok) {
-            ++sprouts[base];
-            frontier.push_back(added);
-          } else if (eligible.size() > 1) {
-            // This vertex may be a dead end; poison it and keep trying.
-            sprouts[base] = 2;
-            ok = true;
-          }
-        }
-        break;
-      }
-      case QueryShape::kGraph: {
-        size_t cycle = config.cycle_length != 0
-                           ? config.cycle_length
-                           : 3 + rng.NextBounded(3);
-        if (cycle > config.num_edges) cycle = config.num_edges;
-        int budget = 4096;
-        ok = cycle >= 3 &&
-             FindClosingPath(g, rng, inst, seed.to, seed.from, cycle - 1,
-                             budget);
-        while (ok && inst.edges.size() < config.num_edges) {
-          ok = GrowTreeEdge(g, rng, inst, inst.vertices, nullptr);
-        }
-        break;
-      }
-    }
-    if (!ok || inst.edges.size() != config.num_edges) continue;
-
-    QueryGraph q =
-        AbstractInstance(g, inst, rng, config.keep_full_labels);
+    QueryGraph q = AbstractInstance(g, inst, rng, config.keep_full_labels,
+                                    /*fixed_prefix=*/nullptr);
     if (q.EdgeCount() != config.num_edges || !q.IsConnected()) continue;
     queries.push_back(std::move(q));
     attempts = 0;  // reset the budget after every success
   }
   return queries;
+}
+
+std::vector<QueryGraph> GenerateQuerySet(const Dataset& dataset,
+                                         const QuerySetGenConfig& config) {
+  std::vector<QueryGraph> out;
+  const Graph& g = dataset.final_graph;
+  const QueryGenConfig& base = config.base;
+  if (dataset.stream_insertions.empty() || base.num_edges == 0 ||
+      base.count == 0) {
+    return out;
+  }
+  Rng rng(base.seed);
+
+  const double overlap = Clamp01(config.prefix_overlap);
+  const double dup_fraction = Clamp01(config.duplicate_fraction);
+  const double skew = Clamp01(config.label_skew);
+  const size_t group_size = std::max<size_t>(2, config.prefix_group_size);
+  size_t prefix_edges = config.prefix_edges;
+  if (prefix_edges == 0) prefix_edges = 1;
+  if (base.num_edges > 1 && prefix_edges > base.num_edges - 1) {
+    prefix_edges = base.num_edges - 1;
+  }
+
+  // Partition the budget: duplicates come out of the total, groups out of
+  // the distinct share (rounded down to whole groups).
+  size_t num_dup = static_cast<size_t>(
+      static_cast<double>(base.count) * dup_fraction);
+  if (num_dup >= base.count) num_dup = base.count - 1;
+  const size_t num_distinct = base.count - num_dup;
+  size_t num_grouped = static_cast<size_t>(
+      static_cast<double>(num_distinct) * overlap);
+  const size_t num_groups = num_grouped / group_size;
+  num_grouped = num_groups * group_size;
+  const size_t num_single = num_distinct - num_grouped;
+
+  const EdgeLabel hot_label = ModalInsertionLabel(dataset);
+
+  // Shared-prefix groups: one prefix instance abstracted once (fixed
+  // labels), then a different tree completion per member. Because the
+  // instance only ever appends, every member's leading vertices/edges are
+  // byte-identical to the group prefix.
+  const int kGroupAttempts = 400;
+  int attempts = 0;
+  for (size_t done = 0; done < num_groups && attempts < kGroupAttempts;) {
+    ++attempts;
+    const bool want_hot = skew > 0.0 && rng.NextBool(skew);
+    const UpdateOp* seed = PickSeed(dataset, g, rng, want_hot, hot_label);
+    if (seed == nullptr) continue;
+
+    Instance prefix;
+    prefix.Add(seed->from);
+    prefix.Add(seed->to);
+    prefix.edges.push_back({seed->from, seed->label, seed->to});
+    bool ok = true;
+    while (ok && prefix.edges.size() < prefix_edges) {
+      ok = GrowTreeEdge(g, rng, prefix, prefix.vertices, nullptr);
+    }
+    if (!ok || prefix.edges.size() != prefix_edges) continue;
+
+    std::vector<LabelSet> prefix_labels;
+    for (VertexId v : prefix.vertices) {
+      prefix_labels.push_back(
+          AbstractLabels(g, rng, v, base.keep_full_labels));
+    }
+
+    std::vector<QueryGraph> members;
+    for (size_t m = 0; m < group_size; ++m) {
+      for (int attempt = 0; attempt < 64; ++attempt) {
+        Instance inst = prefix;
+        bool grown = true;
+        while (grown && inst.edges.size() < base.num_edges) {
+          grown = GrowTreeEdge(g, rng, inst, inst.vertices, nullptr);
+        }
+        if (!grown || inst.edges.size() != base.num_edges) continue;
+        QueryGraph q = AbstractInstance(g, inst, rng, base.keep_full_labels,
+                                        &prefix_labels);
+        if (q.EdgeCount() != base.num_edges || !q.IsConnected()) continue;
+        members.push_back(std::move(q));
+        break;
+      }
+      if (members.size() != m + 1) break;  // this prefix is a dead end
+    }
+    if (members.size() != group_size) continue;
+    for (QueryGraph& q : members) out.push_back(std::move(q));
+    ++done;
+    attempts = 0;
+  }
+
+  // Independent queries: the base recipe's shape, with skewed seeds.
+  const int kSingleAttempts = 400;
+  attempts = 0;
+  for (size_t done = 0; done < num_single && attempts < kSingleAttempts;) {
+    ++attempts;
+    const bool want_hot = skew > 0.0 && rng.NextBool(skew);
+    const UpdateOp* seed = PickSeed(dataset, g, rng, want_hot, hot_label);
+    if (seed == nullptr) continue;
+
+    Instance inst;
+    inst.Add(seed->from);
+    inst.Add(seed->to);
+    inst.edges.push_back({seed->from, seed->label, seed->to});
+    if (!GrowToShape(g, rng, inst, base, seed->from, seed->to)) continue;
+    QueryGraph q = AbstractInstance(g, inst, rng, base.keep_full_labels,
+                                    /*fixed_prefix=*/nullptr);
+    if (q.EdgeCount() != base.num_edges || !q.IsConnected()) continue;
+    out.push_back(std::move(q));
+    ++done;
+    attempts = 0;
+  }
+
+  // Byte-identical duplicates of random earlier queries, appended last —
+  // the QuerySet should serve each from its original's runtime.
+  if (!out.empty()) {
+    const size_t distinct = out.size();
+    for (size_t i = 0; i < num_dup; ++i) {
+      out.push_back(out[rng.NextIndex(distinct)]);
+    }
+  }
+  return out;
 }
 
 }  // namespace workload

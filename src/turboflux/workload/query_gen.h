@@ -48,6 +48,47 @@ struct QueryGenConfig {
 std::vector<QueryGraph> GenerateQueries(const Dataset& dataset,
                                         const QueryGenConfig& config);
 
+/// Workload knobs for multi-query serving experiments (multi::QuerySet):
+/// a base single-query recipe plus controllable shared-prefix overlap,
+/// byte-identical duplicates, and seed-label skew.
+struct QuerySetGenConfig {
+  /// Base recipe: size, count, labels, seed. `base.shape` applies to the
+  /// independent (non-grouped) queries; shared-prefix groups always grow
+  /// tree completions from their common prefix.
+  QueryGenConfig base;
+
+  /// Fraction of the distinct queries generated in shared-prefix groups:
+  /// each group abstracts ONE sampled prefix instance with fixed label
+  /// sets, so group members' leading `prefix_edges` edges (and the
+  /// vertices they touch) are byte-identical, then grows a different
+  /// completion per member. 0 disables grouping.
+  double prefix_overlap = 0.0;
+
+  /// Edges in the shared prefix (clamped to [1, base.num_edges - 1]).
+  size_t prefix_edges = 2;
+
+  /// Queries per shared-prefix group (min 2).
+  size_t prefix_group_size = 4;
+
+  /// Fraction of the emitted set that are byte-identical copies of
+  /// earlier queries — exercises the QuerySet's signature-sharing path.
+  /// Duplicates are appended after the distinct queries.
+  double duplicate_fraction = 0.0;
+
+  /// Probability that a query's seed edge is forced onto the stream's
+  /// modal (most frequent) insertion label. 0 = uniform seed sampling;
+  /// 1 = every seed carries the hot label, concentrating the routing
+  /// index on few keys (the adversarial case for per-update routing).
+  double label_skew = 0.0;
+};
+
+/// Generates a query set for multi-query experiments. Output order:
+/// shared-prefix groups (members adjacent), then independent queries,
+/// then duplicates. Returns up to base.count queries (fewer if the
+/// dataset cannot support the recipe). Deterministic given base.seed.
+std::vector<QueryGraph> GenerateQuerySet(const Dataset& dataset,
+                                         const QuerySetGenConfig& config);
+
 }  // namespace workload
 }  // namespace turboflux
 

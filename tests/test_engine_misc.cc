@@ -206,10 +206,10 @@ TEST(Stress, HubHeavyInsertDeleteChurn) {
     ASSERT_EQ(engine.dcg().Snapshot(),
               engine.RebuildDcgFromScratch().Snapshot());
     for (VertexId s = 1; s <= 30; ++s) {
-      engine.ApplyUpdate(UpdateOp::Delete(0, 0, s), sink,
-                         Deadline::Infinite());
-      engine.ApplyUpdate(UpdateOp::Delete(s, 1, 31), sink,
-                         Deadline::Infinite());
+      ASSERT_TRUE(engine.ApplyUpdate(UpdateOp::Delete(0, 0, s), sink,
+                                     Deadline::Infinite()));
+      ASSERT_TRUE(engine.ApplyUpdate(UpdateOp::Delete(s, 1, 31), sink,
+                                     Deadline::Infinite()));
     }
   }
   EXPECT_EQ(engine.dcg().Validate(), "");

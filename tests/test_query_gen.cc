@@ -3,6 +3,7 @@
 #include "gtest/gtest.h"
 #include "turboflux/core/turboflux.h"
 #include "turboflux/match/static_matcher.h"
+#include "turboflux/multi/query_set.h"
 #include "turboflux/workload/lsbench.h"
 #include "turboflux/workload/netflow.h"
 
@@ -155,6 +156,88 @@ TEST(QueryGen, EmptyWhenNoStream) {
   Dataset empty;
   QueryGenConfig config;
   EXPECT_TRUE(GenerateQueries(empty, config).empty());
+}
+
+TEST(QuerySetGen, SharedPrefixGroupsAreByteIdentical) {
+  Dataset ds = LsDataset();
+  QuerySetGenConfig config;
+  config.base.num_edges = 4;
+  config.base.count = 9;
+  config.prefix_overlap = 1.0;
+  config.prefix_edges = 2;
+  config.prefix_group_size = 3;
+  std::vector<QueryGraph> qs = GenerateQuerySet(ds, config);
+  ASSERT_GE(qs.size(), 3u);
+  ASSERT_EQ(qs.size() % 3, 0u);  // whole groups only
+
+  for (size_t g = 0; g + 3 <= qs.size(); g += 3) {
+    const QueryGraph& first = qs[g];
+    for (size_t m = 1; m < 3; ++m) {
+      const QueryGraph& other = qs[g + m];
+      for (size_t e = 0; e < config.prefix_edges; ++e) {
+        EXPECT_EQ(first.edge(e).from, other.edge(e).from);
+        EXPECT_EQ(first.edge(e).label, other.edge(e).label);
+        EXPECT_EQ(first.edge(e).to, other.edge(e).to);
+        EXPECT_EQ(first.labels(first.edge(e).from),
+                  other.labels(other.edge(e).from));
+        EXPECT_EQ(first.labels(first.edge(e).to),
+                  other.labels(other.edge(e).to));
+      }
+    }
+  }
+}
+
+TEST(QuerySetGen, DuplicatesAreByteIdenticalCopies) {
+  Dataset ds = LsDataset();
+  QuerySetGenConfig config;
+  config.base.num_edges = 4;
+  config.base.count = 10;
+  config.duplicate_fraction = 0.4;
+  std::vector<QueryGraph> qs = GenerateQuerySet(ds, config);
+  ASSERT_GE(qs.size(), 7u);
+  // The trailing 4 are copies of earlier queries: same signature as some
+  // predecessor (compare via the multi-layer's structural signature).
+  size_t distinct = qs.size() - 4;
+  for (size_t i = distinct; i < qs.size(); ++i) {
+    bool found = false;
+    for (size_t j = 0; j < distinct && !found; ++j) {
+      found = multi::QuerySignature(qs[i]) == multi::QuerySignature(qs[j]);
+    }
+    EXPECT_TRUE(found) << "query " << i << " is not a duplicate";
+  }
+}
+
+TEST(QuerySetGen, LabelSkewConcentratesSeedLabels) {
+  Dataset ds = LsDataset();
+  QuerySetGenConfig uniform;
+  uniform.base.num_edges = 3;
+  uniform.base.count = 20;
+  QuerySetGenConfig skewed = uniform;
+  skewed.label_skew = 1.0;
+
+  std::vector<QueryGraph> qs = GenerateQuerySet(ds, skewed);
+  ASSERT_GE(qs.size(), 10u);
+  // With skew 1.0 every seed edge (edge 0 of every query) carries the
+  // stream's modal label; all seed labels must therefore agree.
+  EdgeLabel seed_label = qs[0].edge(0).label;
+  for (const QueryGraph& q : qs) {
+    EXPECT_EQ(q.edge(0).label, seed_label);
+  }
+}
+
+TEST(QuerySetGen, DeterministicForSeed) {
+  Dataset ds = NetflowDataset();
+  QuerySetGenConfig config;
+  config.base.num_edges = 3;
+  config.base.count = 12;
+  config.prefix_overlap = 0.5;
+  config.duplicate_fraction = 0.25;
+  std::vector<QueryGraph> a = GenerateQuerySet(ds, config);
+  std::vector<QueryGraph> b = GenerateQuerySet(ds, config);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].ToString(), b[i].ToString());
+  }
 }
 
 }  // namespace

@@ -21,13 +21,13 @@ TEST(UpdateStream, ApplyInsert) {
 
 TEST(UpdateStream, ApplyDuplicateInsertReturnsFalse) {
   Graph g = TwoVertexGraph();
-  ApplyUpdate(g, UpdateOp::Insert(0, 7, 1));
+  ASSERT_TRUE(ApplyUpdate(g, UpdateOp::Insert(0, 7, 1)));
   EXPECT_FALSE(ApplyUpdate(g, UpdateOp::Insert(0, 7, 1)));
 }
 
 TEST(UpdateStream, ApplyDelete) {
   Graph g = TwoVertexGraph();
-  ApplyUpdate(g, UpdateOp::Insert(0, 7, 1));
+  ASSERT_TRUE(ApplyUpdate(g, UpdateOp::Insert(0, 7, 1)));
   EXPECT_TRUE(ApplyUpdate(g, UpdateOp::Delete(0, 7, 1)));
   EXPECT_FALSE(g.HasEdge(0, 7, 1));
   EXPECT_FALSE(ApplyUpdate(g, UpdateOp::Delete(0, 7, 1)));

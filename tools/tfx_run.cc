@@ -11,6 +11,14 @@
 //           [--checkpoint-every=N] [--checkpoint-path=F] [--restore-from=F]
 //           [--stats[=json|csv]] [--stats-every=N]
 //
+// Multi-query mode (DESIGN.md §3.10): --queries=DIR instead of --query=Q
+// registers every query file in DIR (sorted by filename) in one
+// multi::QuerySet over a single shared graph, routes each stream update
+// to only the queries it can affect, and reports per-query match counts
+// to stderr. --threads=N evaluates routed queries in parallel; --stats
+// prints the set's counters including per-query cost attribution.
+// Matches printed by --print_matches are prefixed with the query id.
+//
 // --batch=K feeds the stream to the engine in windows of K ops via
 // ApplyBatch; --threads=N (TurboFlux only) evaluates each window on N
 // threads. Output is identical to the sequential run.
@@ -32,11 +40,14 @@
 // Exit status: 0 on success, 1 on timeout/engine failure, 2 on usage/file
 // errors.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <iostream>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "turboflux/baseline/graphflow.h"
 #include "turboflux/baseline/inc_iso_mat.h"
@@ -45,6 +56,8 @@
 #include "turboflux/core/turboflux.h"
 #include "turboflux/graph/graph_io.h"
 #include "turboflux/harness/runner.h"
+#include "turboflux/multi/query_set.h"
+#include "turboflux/obs/stats.h"
 #include "turboflux/query/query_io.h"
 
 namespace turboflux {
@@ -65,6 +78,131 @@ class PrintSink : public MatchSink {
   bool print_;
 };
 
+/// Tagged sink for multi-query mode: prints "q<ID> +/- mapping" lines.
+class QuerySetPrintSink : public multi::QuerySet::Sink {
+ public:
+  explicit QuerySetPrintSink(bool print) : print_(print) {}
+
+  void OnMatch(multi::QueryId query, bool positive,
+               const Mapping& m) override {
+    if (print_) {
+      std::printf("q%u %s %s\n", query, positive ? "+" : "-",
+                  MappingToString(m).c_str());
+    }
+  }
+
+ private:
+  bool print_;
+};
+
+/// Multi-query mode: every query file in `queries_dir` (sorted by
+/// filename) registered in one QuerySet over the shared graph.
+int RunQuerySet(const std::string& queries_dir, const Graph& g0,
+                const UpdateStream& stream, MatchSemantics semantics,
+                int64_t timeout_ms, int64_t threads, int64_t batch,
+                bool print_matches, const std::string& stats_mode) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> files;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(queries_dir, ec)) {
+    if (entry.is_regular_file()) files.push_back(entry.path().string());
+  }
+  if (ec) {
+    std::fprintf(stderr, "cannot list query directory %s: %s\n",
+                 queries_dir.c_str(), ec.message().c_str());
+    return 2;
+  }
+  std::sort(files.begin(), files.end());
+  if (files.empty()) {
+    std::fprintf(stderr, "no query files in %s\n", queries_dir.c_str());
+    return 2;
+  }
+
+  multi::QuerySetOptions options;
+  options.engine.semantics = semantics;
+  options.threads = threads > 1 ? static_cast<size_t>(threads) : 1;
+  multi::QuerySet set(options);
+  set.Bind(g0);
+
+  QuerySetPrintSink sink(print_matches);
+  Deadline deadline = timeout_ms > 0 ? Deadline::AfterMillis(timeout_ms)
+                                     : Deadline::Infinite();
+
+  Stopwatch init_watch;
+  std::vector<std::pair<multi::QueryId, std::string>> registered;
+  for (const std::string& path : files) {
+    std::optional<QueryGraph> q = ReadQueryFromFile(path);
+    if (!q || q->VertexCount() == 0 || q->EdgeCount() == 0 ||
+        !q->IsConnected()) {
+      std::fprintf(stderr, "skipping %s: not a connected query\n",
+                   path.c_str());
+      continue;
+    }
+    multi::QueryId id = 0;
+    Status st = set.Register(*q, sink, deadline, &id);
+    if (!st.ok()) {
+      std::fprintf(stderr, "cannot register %s: %s\n", path.c_str(),
+                   st.ToString().c_str());
+      return st.code() == StatusCode::kDeadlineExceeded ? 1 : 2;
+    }
+    registered.emplace_back(id, fs::path(path).filename().string());
+  }
+  if (registered.empty()) {
+    std::fprintf(stderr, "no usable query files in %s\n",
+                 queries_dir.c_str());
+    return 2;
+  }
+  double init_seconds = init_watch.ElapsedSeconds();
+
+  Stopwatch stream_watch;
+  Status run = Status::Ok();
+  const size_t window = batch > 1 ? static_cast<size_t>(batch) : 1;
+  for (size_t i = 0; run.ok() && i < stream.size(); i += window) {
+    const size_t n = std::min(window, stream.size() - i);
+    run = set.ApplyBatch(std::span<const UpdateOp>(stream.data() + i, n),
+                         sink, deadline);
+  }
+  double stream_seconds = stream_watch.ElapsedSeconds();
+
+  if (!stats_mode.empty()) {
+    obs::StatsSnapshot snapshot;
+    set.AppendStats(snapshot);
+    std::printf("%s\n", stats_mode == "csv" ? snapshot.ToCsv().c_str()
+                                            : snapshot.ToJson().c_str());
+  }
+
+  uint64_t positive = 0, negative = 0;
+  for (const auto& [id, name] : registered) {
+    multi::QuerySet::QueryCosts costs = set.Costs(id);
+    positive += costs.matches_positive;
+    negative += costs.matches_negative;
+    std::fprintf(stderr,
+                 "query q%u file=%s routed=%llu positive=%llu "
+                 "negative=%llu\n",
+                 id, name.c_str(),
+                 static_cast<unsigned long long>(costs.routed_ops),
+                 static_cast<unsigned long long>(costs.matches_positive),
+                 static_cast<unsigned long long>(costs.matches_negative));
+  }
+  std::fprintf(
+      stderr,
+      "engine=queryset queries=%zu runtimes=%zu init=%.3fs stream=%.3fs "
+      "ops=%llu consulted=%llu positive=%llu negative=%llu "
+      "intermediate=%zu%s\n",
+      set.QueryCount(), set.RuntimeCount(), init_seconds, stream_seconds,
+      static_cast<unsigned long long>(set.applied_ops()),
+      static_cast<unsigned long long>(set.ConsultedEvals()),
+      static_cast<unsigned long long>(positive),
+      static_cast<unsigned long long>(negative), set.IntermediateSize(),
+      run.ok() ? "" : " FAILED");
+  if (!run.ok()) {
+    std::fprintf(stderr, "query-set run failed: %s\n",
+                 run.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}
+
 std::string GetFlag(int argc, char** argv, const std::string& key,
                     const std::string& fallback) {
   std::string prefix = "--" + key + "=";
@@ -80,6 +218,7 @@ std::string GetFlag(int argc, char** argv, const std::string& key,
 int Main(int argc, char** argv) {
   std::string graph_path = GetFlag(argc, argv, "graph", "");
   std::string query_path = GetFlag(argc, argv, "query", "");
+  std::string queries_dir = GetFlag(argc, argv, "queries", "");
   std::string stream_path = GetFlag(argc, argv, "stream", "");
   std::string engine_name = GetFlag(argc, argv, "engine", "turboflux");
   std::string semantics_name = GetFlag(argc, argv, "semantics", "hom");
@@ -105,9 +244,11 @@ int Main(int argc, char** argv) {
     return 2;
   }
 
-  if (graph_path.empty() || query_path.empty() || stream_path.empty()) {
+  if (graph_path.empty() || stream_path.empty() ||
+      (query_path.empty() == queries_dir.empty())) {
     std::fprintf(stderr,
-                 "usage: tfx_run --graph=G --query=Q --stream=S "
+                 "usage: tfx_run --graph=G (--query=Q | --queries=DIR) "
+                 "--stream=S "
                  "[--engine=turboflux|sjtree|graphflow|incisomat] "
                  "[--semantics=hom|iso] [--timeout_ms=N] "
                  "[--print_matches] [--threads=N] [--batch=K] [--lenient] "
@@ -127,6 +268,12 @@ int Main(int argc, char** argv) {
                  "only supported by --engine=turboflux\n");
     return 2;
   }
+  if (!queries_dir.empty() && (resilient || engine_name != "turboflux")) {
+    std::fprintf(stderr,
+                 "--queries only supports --engine=turboflux without "
+                 "checkpoint flags\n");
+    return 2;
+  }
 
   IoOptions io_options;
   io_options.lenient = lenient;
@@ -138,12 +285,15 @@ int Main(int argc, char** argv) {
                  io.ToString().c_str());
     return 2;
   }
-  std::optional<QueryGraph> q = ReadQueryFromFile(query_path);
-  if (!q || q->VertexCount() == 0 || q->EdgeCount() == 0 ||
-      !q->IsConnected()) {
-    std::fprintf(stderr, "cannot read a connected query from %s\n",
-                 query_path.c_str());
-    return 2;
+  std::optional<QueryGraph> q;
+  if (queries_dir.empty()) {
+    q = ReadQueryFromFile(query_path);
+    if (!q || q->VertexCount() == 0 || q->EdgeCount() == 0 ||
+        !q->IsConnected()) {
+      std::fprintf(stderr, "cannot read a connected query from %s\n",
+                   query_path.c_str());
+      return 2;
+    }
   }
   UpdateStream stream;
   // In lenient mode, additionally screen stream endpoints against the
@@ -166,6 +316,11 @@ int Main(int argc, char** argv) {
   MatchSemantics semantics = semantics_name == "iso"
                                  ? MatchSemantics::kIsomorphism
                                  : MatchSemantics::kHomomorphism;
+
+  if (!queries_dir.empty()) {
+    return RunQuerySet(queries_dir, g0, stream, semantics, timeout_ms,
+                       threads, batch, print_matches, stats_mode);
+  }
 
   if (resilient) {
     TurboFluxOptions options;

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""CI perf-smoke gate (ROADMAP item 4, DESIGN.md §3.11).
+
+Compares a fresh `micro_ops --pinned_json=...` run against the committed
+BENCH_7.json baseline and fails on latency regression. The comparison uses
+the PR 3 log2-bucket histogram percentiles (hist_p50_ns / hist_p99_ns):
+bucket upper bounds quantize away scheduler jitter, so a failure means the
+measured op latency moved at least one power of two past a generous
+multiple of the baseline — a real regression, not CI-runner noise. Exact
+percentiles are printed for humans but never gated on.
+
+Usage:
+    perf_smoke.py --fresh pinned.json [--baseline BENCH_7.json]
+                  [--threshold 4.0]
+
+Exit status 0 when every (scale, mix) row passes, 1 otherwise.
+"""
+
+import argparse
+import json
+import sys
+
+GATED_KEYS = ("hist_p50_ns", "hist_p99_ns")
+REPORT_KEYS = ("p50_ns", "p90_ns", "p99_ns", "mean_ns")
+
+
+def baseline_rows(doc):
+    """Baseline rows keyed by (scale, mix).
+
+    Accepts either the committed A/B artifact (rows carry a 'csr' object —
+    the reworked layout is what CI runs, so that is the comparison side)
+    or a raw pinned run (flat rows), so the gate can be repointed at any
+    future BENCH_<n>.json without a format change.
+    """
+    rows = {}
+    for row in doc["engine_ops"]:
+        side = row.get("csr", row)
+        rows[(row["scale"], row["mix"])] = (side, row["ops"])
+    return rows
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--fresh", required=True,
+                        help="pinned JSON written by micro_ops --pinned_json")
+    parser.add_argument("--baseline", default="BENCH_7.json")
+    parser.add_argument("--threshold", type=float, default=4.0,
+                        help="fail when fresh hist percentile exceeds "
+                             "baseline * threshold (default: 4.0)")
+    args = parser.parse_args()
+
+    with open(args.baseline) as f:
+        baseline = baseline_rows(json.load(f))
+    with open(args.fresh) as f:
+        fresh = json.load(f)
+
+    failures = []
+    seen = set()
+    for row in fresh["engine_ops"]:
+        key = (row["scale"], row["mix"])
+        if key not in baseline:
+            failures.append(f"{key}: not in baseline {args.baseline}")
+            continue
+        seen.add(key)
+        base, base_ops = baseline[key]
+        if row["ops"] != base_ops:
+            failures.append(
+                f"{key}: op count drifted ({row['ops']} vs {base_ops}) — "
+                "the pinned config changed; regenerate the baseline")
+            continue
+        verdicts = []
+        for k in GATED_KEYS:
+            limit = base[k] * args.threshold
+            ok = row[k] <= limit
+            verdicts.append(f"{k} {row[k]} vs {base[k]} "
+                            f"(limit {limit:.0f}) {'ok' if ok else 'FAIL'}")
+            if not ok:
+                failures.append(f"{key}: {k} regressed: "
+                                f"{row[k]} > {base[k]} * {args.threshold}")
+        exact = ", ".join(f"{k}={row[k]}" for k in REPORT_KEYS)
+        print(f"scale={key[0]} mix={key[1]}: {'; '.join(verdicts)} [{exact}]")
+    missing = set(baseline) - seen
+    if missing:
+        failures.append(f"fresh run is missing rows: {sorted(missing)}")
+
+    if failures:
+        print("\nperf smoke FAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print(f"\nperf smoke passed: {len(seen)} rows within "
+          f"{args.threshold}x of {args.baseline}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,8 +1,10 @@
 #include "turboflux/baseline/graphflow.h"
 
+#include <algorithm>
 #include <cassert>
 #include <limits>
 
+#include "turboflux/common/galloping.h"
 #include "turboflux/match/static_matcher.h"
 
 namespace turboflux {
@@ -15,11 +17,78 @@ std::string GraphflowEngine::name() const {
                                                             : "Graphflow";
 }
 
+// --- Sorted adjacency mirrors ---
+
+std::pair<const VertexId*, size_t> GraphflowEngine::LabelSpan(
+    const SortedAdj& adj, EdgeLabel l) {
+  auto lo = std::lower_bound(adj.labels.begin(), adj.labels.end(), l);
+  auto hi = std::upper_bound(lo, adj.labels.end(), l);
+  const size_t offset = static_cast<size_t>(lo - adj.labels.begin());
+  return {adj.others.data() + offset, static_cast<size_t>(hi - lo)};
+}
+
+void GraphflowEngine::MirrorInsert(SortedAdj& adj, EdgeLabel l, VertexId v) {
+  const size_t lo = static_cast<size_t>(
+      std::lower_bound(adj.labels.begin(), adj.labels.end(), l) -
+      adj.labels.begin());
+  const size_t hi = static_cast<size_t>(
+      std::upper_bound(adj.labels.begin() + static_cast<ptrdiff_t>(lo),
+                       adj.labels.end(), l) -
+      adj.labels.begin());
+  const size_t pos = static_cast<size_t>(
+      std::lower_bound(adj.others.begin() + static_cast<ptrdiff_t>(lo),
+                       adj.others.begin() + static_cast<ptrdiff_t>(hi), v) -
+      adj.others.begin());
+  adj.labels.insert(adj.labels.begin() + static_cast<ptrdiff_t>(pos), l);
+  adj.others.insert(adj.others.begin() + static_cast<ptrdiff_t>(pos), v);
+}
+
+void GraphflowEngine::MirrorErase(SortedAdj& adj, EdgeLabel l, VertexId v) {
+  const size_t lo = static_cast<size_t>(
+      std::lower_bound(adj.labels.begin(), adj.labels.end(), l) -
+      adj.labels.begin());
+  const size_t hi = static_cast<size_t>(
+      std::upper_bound(adj.labels.begin() + static_cast<ptrdiff_t>(lo),
+                       adj.labels.end(), l) -
+      adj.labels.begin());
+  const size_t pos = static_cast<size_t>(
+      std::lower_bound(adj.others.begin() + static_cast<ptrdiff_t>(lo),
+                       adj.others.begin() + static_cast<ptrdiff_t>(hi), v) -
+      adj.others.begin());
+  assert(pos < hi && adj.others[pos] == v && adj.labels[pos] == l);
+  adj.labels.erase(adj.labels.begin() + static_cast<ptrdiff_t>(pos));
+  adj.others.erase(adj.others.begin() + static_cast<ptrdiff_t>(pos));
+}
+
+void GraphflowEngine::RebuildMirrors() {
+  sorted_out_.assign(g_.VertexCount(), {});
+  sorted_in_.assign(g_.VertexCount(), {});
+  std::vector<std::pair<EdgeLabel, VertexId>> entries;
+  auto fill = [&entries](SortedAdj& adj, Graph::AdjView view) {
+    entries.clear();
+    entries.reserve(view.size());
+    for (const AdjEntry& e : view) entries.emplace_back(e.label, e.other);
+    std::sort(entries.begin(), entries.end());
+    adj.labels.reserve(entries.size());
+    adj.others.reserve(entries.size());
+    for (const auto& [l, v] : entries) {
+      adj.labels.push_back(l);
+      adj.others.push_back(v);
+    }
+  };
+  for (VertexId v = 0; v < g_.VertexCount(); ++v) {
+    fill(sorted_out_[v], g_.OutEdges(v));
+    fill(sorted_in_[v], g_.InEdges(v));
+  }
+}
+
 bool GraphflowEngine::Init(const QueryGraph& q, const Graph& g0,
                            MatchSink& sink, Deadline deadline) {
   assert(q.VertexCount() > 0 && q.EdgeCount() > 0 && q.IsConnected());
   q_ = &q;
   g_ = g0;
+  RebuildMirrors();
+  cand_bufs_.assign(q.VertexCount() + 1, {});
   m_.assign(q.VertexCount(), kNullVertex);
   mapped_.assign(q.VertexCount(), false);
   dead_ = false;
@@ -43,6 +112,8 @@ bool GraphflowEngine::ApplyUpdate(const UpdateOp& op, MatchSink& sink,
   if (op.IsInsert()) {
     stats_.ops_insert.Inc();
     if (g_.AddEdge(op.from, op.label, op.to)) {
+      MirrorInsert(sorted_out_[op.from], op.label, op.to);
+      MirrorInsert(sorted_in_[op.to], op.label, op.from);
       stats_.insert_evals.Inc();
       EvalUpdate(op.from, op.label, op.to, /*positive=*/true, sink);
     }
@@ -50,10 +121,12 @@ bool GraphflowEngine::ApplyUpdate(const UpdateOp& op, MatchSink& sink,
     stats_.ops_delete.Inc();
     if (g_.HasEdge(op.from, op.label, op.to)) {
       // Negative matches are those using the edge in the pre-deletion
-      // graph; evaluate first, then delete.
+      // graph; evaluate first, then delete (mirrors included).
       stats_.delete_evals.Inc();
       EvalUpdate(op.from, op.label, op.to, /*positive=*/false, sink);
       g_.RemoveEdge(op.from, op.label, op.to);
+      MirrorErase(sorted_out_[op.from], op.label, op.to);
+      MirrorErase(sorted_in_[op.to], op.label, op.from);
     }
   }
   deadline_ = nullptr;
@@ -108,19 +181,12 @@ void GraphflowEngine::ExtendSeed(QEdgeId eq, bool positive, MatchSink& sink) {
   Extend(matched, eq, positive, sink);
 }
 
-bool GraphflowEngine::EdgesToMappedOk(QVertexId u, VertexId v) const {
+bool GraphflowEngine::SelfLoopsOk(QVertexId u, VertexId v) const {
+  // Non-self constraints to mapped vertices are enforced by the candidate
+  // intersection in Extend; self-loop query edges remain per-candidate.
   for (QEdgeId e : q_->OutEdgeIds(u)) {
     const QEdge& qe = q_->edge(e);
-    VertexId w = qe.to == u ? v : m_[qe.to];
-    if (w == kNullVertex) continue;
-    if (!g_.HasEdge(v, qe.label, w)) return false;
-  }
-  for (QEdgeId e : q_->InEdgeIds(u)) {
-    const QEdge& qe = q_->edge(e);
-    if (qe.from == u) continue;  // self-loop, already checked above
-    VertexId w = m_[qe.from];
-    if (w == kNullVertex) continue;
-    if (!g_.HasEdge(w, qe.label, v)) return false;
+    if (qe.to == u && !g_.HasEdge(v, qe.label, v)) return false;
   }
   return true;
 }
@@ -135,11 +201,12 @@ void GraphflowEngine::Extend(size_t matched_count, QEdgeId eq, bool positive,
   }
 
   // Generic Join: pick the unmapped query vertex (adjacent to a mapped
-  // one) with the smallest candidate-set bound; its candidates come from
-  // the smallest adjacency list among its mapped neighbours.
+  // one) with the smallest candidate-set bound. The sorted mirrors make
+  // the bound label-exact (the run length, not the whole degree).
   QVertexId best_u = kNullQVertex;
+  QEdgeId best_e = 0;  // the anchor's query edge; skipped when filtering
   size_t best_size = std::numeric_limits<size_t>::max();
-  bool best_out = true;  // direction of the anchor adjacency scan
+  bool best_out = true;  // direction of the anchor adjacency run
   VertexId best_base = kNullVertex;
   EdgeLabel best_label = 0;
 
@@ -148,10 +215,11 @@ void GraphflowEngine::Extend(size_t matched_count, QEdgeId eq, bool positive,
     for (QEdgeId e : q_->InEdgeIds(u)) {
       const QEdge& qe = q_->edge(e);
       if (qe.from == u || !mapped_[qe.from]) continue;
-      size_t size = g_.OutDegree(m_[qe.from]);
+      size_t size = LabelSpan(sorted_out_[m_[qe.from]], qe.label).second;
       if (size < best_size) {
         best_size = size;
         best_u = u;
+        best_e = e;
         best_out = true;
         best_base = m_[qe.from];
         best_label = qe.label;
@@ -160,10 +228,11 @@ void GraphflowEngine::Extend(size_t matched_count, QEdgeId eq, bool positive,
     for (QEdgeId e : q_->OutEdgeIds(u)) {
       const QEdge& qe = q_->edge(e);
       if (qe.to == u || !mapped_[qe.to]) continue;
-      size_t size = g_.InDegree(m_[qe.to]);
+      size_t size = LabelSpan(sorted_in_[m_[qe.to]], qe.label).second;
       if (size < best_size) {
         best_size = size;
         best_u = u;
+        best_e = e;
         best_out = false;
         best_base = m_[qe.to];
         best_label = qe.label;
@@ -172,15 +241,38 @@ void GraphflowEngine::Extend(size_t matched_count, QEdgeId eq, bool positive,
   }
   assert(best_u != kNullQVertex);  // query is connected
 
+  // Candidate set: the anchor's sorted run, narrowed by galloping
+  // intersection against every other mapped neighbour's run — replacing
+  // the per-candidate HasEdge probes of the scan-and-filter approach.
+  std::vector<VertexId>& buf = cand_bufs_[matched_count];
+  {
+    auto [data, n] = LabelSpan(
+        best_out ? sorted_out_[best_base] : sorted_in_[best_base],
+        best_label);
+    buf.assign(data, data + n);
+  }
+  size_t ncand = buf.size();
+  for (QEdgeId e : q_->InEdgeIds(best_u)) {
+    if (ncand == 0) break;
+    const QEdge& qe = q_->edge(e);
+    if (e == best_e || qe.from == best_u || !mapped_[qe.from]) continue;
+    auto [data, n] = LabelSpan(sorted_out_[m_[qe.from]], qe.label);
+    ncand = GallopFilterInPlace(buf.data(), ncand, data, n);
+  }
+  for (QEdgeId e : q_->OutEdgeIds(best_u)) {
+    if (ncand == 0) break;
+    const QEdge& qe = q_->edge(e);
+    if (e == best_e || qe.to == best_u || !mapped_[qe.to]) continue;
+    auto [data, n] = LabelSpan(sorted_in_[m_[qe.to]], qe.label);
+    ncand = GallopFilterInPlace(buf.data(), ncand, data, n);
+  }
+
   const bool iso = options_.semantics == MatchSemantics::kIsomorphism;
-  const std::vector<AdjEntry>& adj =
-      best_out ? g_.OutEdges(best_base) : g_.InEdges(best_base);
-  for (const AdjEntry& a : adj) {
-    if (a.label != best_label) continue;
-    VertexId x = a.other;
+  for (size_t i = 0; i < ncand; ++i) {
+    const VertexId x = buf[i];
     if (!q_->VertexMatches(best_u, g_, x)) continue;
     if (iso && MappingContains(m_, x)) continue;
-    if (!EdgesToMappedOk(best_u, x)) continue;
+    if (!SelfLoopsOk(best_u, x)) continue;
     m_[best_u] = x;
     mapped_[best_u] = true;
     Extend(matched_count + 1, eq, positive, sink);

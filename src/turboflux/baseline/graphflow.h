@@ -2,6 +2,7 @@
 #define TURBOFLUX_BASELINE_GRAPHFLOW_H_
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "turboflux/common/types.h"
@@ -42,11 +43,29 @@ class GraphflowEngine : public ContinuousEngine {
   const Graph& graph() const { return g_; }
 
  private:
+  /// Sorted adjacency mirror of one vertex/direction (DESIGN.md §3.11):
+  /// parallel (label, neighbor) arrays sorted by (label, neighbor), so a
+  /// label's neighbors form one contiguous ascending VertexId run directly
+  /// usable by the galloping intersection primitives. (label, neighbor)
+  /// pairs are unique per direction — Graph rejects duplicate edges.
+  struct SortedAdj {
+    std::vector<EdgeLabel> labels;
+    std::vector<VertexId> others;
+  };
+
+  /// The contiguous sorted neighbor run of `adj` under label `l`.
+  static std::pair<const VertexId*, size_t> LabelSpan(const SortedAdj& adj,
+                                                      EdgeLabel l);
+  static void MirrorInsert(SortedAdj& adj, EdgeLabel l, VertexId v);
+  static void MirrorErase(SortedAdj& adj, EdgeLabel l, VertexId v);
+  /// Rebuilds both mirrors from g_ (Init).
+  void RebuildMirrors();
+
   /// Runs one seeded Generic Join: m_ already maps qe's endpoints.
   void ExtendSeed(QEdgeId eq, bool positive, MatchSink& sink);
   void Extend(size_t matched_count, QEdgeId eq, bool positive,
               MatchSink& sink);
-  bool EdgesToMappedOk(QVertexId u, VertexId v) const;
+  bool SelfLoopsOk(QVertexId u, VertexId v) const;
   void Report(QEdgeId eq, bool positive, MatchSink& sink);
   void EvalUpdate(VertexId v, EdgeLabel l, VertexId v2, bool positive,
                   MatchSink& sink);
@@ -54,6 +73,13 @@ class GraphflowEngine : public ContinuousEngine {
   GraphflowOptions options_;
   const QueryGraph* q_ = nullptr;
   Graph g_;
+  // Sorted mirrors of g_'s adjacency, maintained under every update; the
+  // extension step reads candidates from these, never from g_ directly.
+  std::vector<SortedAdj> sorted_out_;
+  std::vector<SortedAdj> sorted_in_;
+  // Per-depth candidate buffers (index = matched_count) so the recursive
+  // intersection never allocates once warm.
+  std::vector<std::vector<VertexId>> cand_bufs_;
   Mapping m_;
   std::vector<bool> mapped_;
 

@@ -3,7 +3,7 @@
 
 #include <cstdint>
 #include <string>
-#include <unordered_map>
+#include <unordered_map>  // tfx-lint: allow(hot-path-map): SJ-tree baseline fidelity
 #include <vector>
 
 #include "turboflux/common/types.h"

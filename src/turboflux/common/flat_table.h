@@ -1,0 +1,324 @@
+#ifndef TURBOFLUX_COMMON_FLAT_TABLE_H_
+#define TURBOFLUX_COMMON_FLAT_TABLE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "turboflux/common/adj_pool.h"
+#include "turboflux/common/types.h"
+
+namespace turboflux {
+
+/// Flat open-addressing map from a packed (from, to) vertex-pair key to
+/// the labels of the parallel edges between them — the probe path behind
+/// `Graph::HasEdge` / `EdgeLabelsBetween` / `IsJoinable` (DESIGN.md
+/// §3.11). Replaces `std::unordered_map<uint64_t, std::vector<EdgeLabel>>`:
+/// one power-of-two bucket array, linear probing, and the single-label
+/// common case stored inline in the bucket so a probe is one cache line
+/// with no pointer chase. Pairs with 2+ parallel labels (rare) spill to an
+/// overflow side table of small vectors recycled through a free list.
+///
+/// Semantics match the old map exactly where observable: label lists keep
+/// insertion order, Remove erases order-preservingly (this order feeds
+/// workload::query_gen's deterministic edge sampling), and a list that
+/// empties leaves a tombstone that rehash sweeps away. The table rehashes
+/// up at 7/8 occupancy (full + tombstones) and rehashes DOWN when live
+/// keys drop below 1/8 of capacity, so delete-heavy streams cannot pin
+/// memory at the high-water mark.
+class FlatPairTable {
+ public:
+  /// View of one pair's labels; invalidated by any mutation of the table.
+  using LabelView = Span<EdgeLabel>;
+
+  FlatPairTable() = default;
+
+  static uint64_t MakeKey(VertexId from, VertexId to) {
+    return (static_cast<uint64_t>(from) << 32) | to;
+  }
+  static VertexId KeyFrom(uint64_t key) {
+    return static_cast<VertexId>(key >> 32);
+  }
+  static VertexId KeyTo(uint64_t key) {
+    return static_cast<VertexId>(key & 0xffffffffu);
+  }
+
+  /// Labels for `key`; empty view when the pair has no edges.
+  LabelView Find(uint64_t key) const {
+    if (buckets_.empty()) return LabelView();
+    size_t i = FindBucket(key);
+    if (i == kNotFound) return LabelView();
+    const Bucket& b = buckets_[i];
+    if (b.state == kFullInline) return LabelView(&b.inline_label, 1);
+    return LabelView(overflow_[b.overflow].data(), overflow_[b.overflow].size());
+  }
+
+  bool Contains(uint64_t key, EdgeLabel label) const {
+    LabelView labels = Find(key);
+    for (EdgeLabel l : labels) {
+      if (l == label) return true;
+    }
+    return false;
+  }
+
+  /// Appends `label` to the pair's list. Returns false (no change) if the
+  /// (key, label) combination is already present.
+  bool Add(uint64_t key, EdgeLabel label) {
+    if (Contains(key, label)) return false;
+    GrowIfNeeded();
+    size_t i = ProbeForInsert(key);
+    Bucket& b = buckets_[i];
+    if (b.state == kEmpty || b.state == kTombstone) {
+      if (b.state == kTombstone) --tombstones_;
+      b.key = key;
+      b.state = kFullInline;
+      b.inline_label = label;
+      ++size_;
+      return true;
+    }
+    if (b.state == kFullInline) {
+      uint32_t slot = AcquireOverflowSlot();
+      PushOverflow(slot, b.inline_label);
+      PushOverflow(slot, label);
+      b.state = kFullOverflow;
+      b.overflow = slot;
+      return true;
+    }
+    PushOverflow(b.overflow, label);
+    return true;
+  }
+
+  /// Order-preserving erase of `label` from the pair's list; the bucket
+  /// becomes a tombstone when the list empties. Returns false if absent.
+  bool Remove(uint64_t key, EdgeLabel label) {
+    if (buckets_.empty()) return false;
+    size_t i = FindBucket(key);
+    if (i == kNotFound) return false;
+    Bucket& b = buckets_[i];
+    if (b.state == kFullInline) {
+      if (b.inline_label != label) return false;
+      b.state = kTombstone;
+      ++tombstones_;
+      --size_;
+      ShrinkIfNeeded();
+      return true;
+    }
+    std::vector<EdgeLabel>& labels = overflow_[b.overflow];
+    for (size_t j = 0; j < labels.size(); ++j) {
+      if (labels[j] == label) {
+        labels.erase(labels.begin() + static_cast<ptrdiff_t>(j));
+        if (labels.size() == 1) {
+          b.inline_label = labels[0];
+          ReleaseOverflowSlot(b.overflow);
+          b.state = kFullInline;
+        }
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void Clear() {
+    buckets_.clear();
+    buckets_.shrink_to_fit();
+    overflow_.clear();
+    overflow_.shrink_to_fit();
+    overflow_free_.clear();
+    overflow_label_capacity_ = 0;
+    size_ = 0;
+    tombstones_ = 0;
+    rehashes_ = 0;
+  }
+
+  /// Calls `fn(key, LabelView)` for every live pair, in bucket order
+  /// (unspecified and layout-dependent — callers must not let this order
+  /// become observable; see tfx_lint's unordered-emission check).
+  template <typename Fn>
+  void ForEach(Fn fn) const {
+    for (const Bucket& b : buckets_) {
+      if (b.state == kFullInline) {
+        fn(b.key, LabelView(&b.inline_label, 1));
+      } else if (b.state == kFullOverflow) {
+        fn(b.key, LabelView(overflow_[b.overflow].data(),
+                            overflow_[b.overflow].size()));
+      }
+    }
+  }
+
+  /// Number of live keys (pairs with at least one label).
+  size_t PairCount() const { return size_; }
+  size_t TombstoneCount() const { return tombstones_; }
+  size_t BucketCapacity() const { return buckets_.size(); }
+  uint64_t RehashCount() const { return rehashes_; }
+  /// O(1): the engine samples this per update op for the layout gauges,
+  /// so overflow-buffer capacity is tracked incrementally, never summed.
+  size_t MemoryBytes() const {
+    return buckets_.capacity() * sizeof(Bucket) +
+           overflow_.capacity() * sizeof(std::vector<EdgeLabel>) +
+           overflow_free_.capacity() * sizeof(uint32_t) +
+           overflow_label_capacity_ * sizeof(EdgeLabel);
+  }
+
+  /// Internal-consistency check for tests: probe reachability of every
+  /// live key, overflow slot sanity, size/tombstone recounts. Empty string
+  /// when consistent.
+  std::string CheckConsistency() const {
+    size_t live = 0, tombs = 0;
+    for (size_t i = 0; i < buckets_.size(); ++i) {
+      const Bucket& b = buckets_[i];
+      if (b.state == kTombstone) ++tombs;
+      if (b.state != kFullInline && b.state != kFullOverflow) continue;
+      ++live;
+      if (b.state == kFullOverflow) {
+        if (b.overflow >= overflow_.size()) {
+          return "flat_table: overflow index out of range";
+        }
+        if (overflow_[b.overflow].size() < 2) {
+          return "flat_table: overflow list below inline threshold";
+        }
+      }
+      if (FindBucket(b.key) != i) return "flat_table: key not probe-reachable";
+    }
+    if (live != size_) return "flat_table: size mismatch";
+    if (tombs != tombstones_) return "flat_table: tombstone count mismatch";
+    size_t label_capacity = 0;
+    for (const std::vector<EdgeLabel>& v : overflow_) {
+      label_capacity += v.capacity();
+    }
+    if (label_capacity != overflow_label_capacity_) {
+      return "flat_table: overflow capacity tracking drifted";
+    }
+    return "";
+  }
+
+ private:
+  enum BucketState : uint8_t {
+    kEmpty = 0,
+    kTombstone = 1,
+    kFullInline = 2,
+    kFullOverflow = 3,
+  };
+
+  struct Bucket {
+    uint64_t key = 0;
+    EdgeLabel inline_label = 0;
+    uint32_t overflow = 0;
+    uint8_t state = kEmpty;
+  };
+
+  static constexpr size_t kNotFound = static_cast<size_t>(-1);
+  static constexpr size_t kMinBuckets = 16;
+
+  // splitmix64 finalizer: the raw key is two vertex ids packed into one
+  // word, so low-entropy id patterns need thorough mixing before masking.
+  static size_t Hash(uint64_t key) {
+    key ^= key >> 30;
+    key *= 0xbf58476d1ce4e5b9ULL;
+    key ^= key >> 27;
+    key *= 0x94d049bb133111ebULL;
+    key ^= key >> 31;
+    return static_cast<size_t>(key);
+  }
+
+  size_t Mask() const { return buckets_.size() - 1; }
+
+  /// Index of the full bucket holding `key`, or kNotFound.
+  size_t FindBucket(uint64_t key) const {
+    size_t i = Hash(key) & Mask();
+    while (true) {
+      const Bucket& b = buckets_[i];
+      if (b.state == kEmpty) return kNotFound;
+      if (b.state != kTombstone && b.key == key) return i;
+      i = (i + 1) & Mask();
+    }
+  }
+
+  /// Index to insert `key` at: its existing full bucket, else the first
+  /// tombstone or empty slot in its probe chain.
+  size_t ProbeForInsert(uint64_t key) {
+    size_t i = Hash(key) & Mask();
+    size_t first_tombstone = kNotFound;
+    while (true) {
+      Bucket& b = buckets_[i];
+      if (b.state == kEmpty) {
+        return first_tombstone != kNotFound ? first_tombstone : i;
+      }
+      if (b.state == kTombstone) {
+        if (first_tombstone == kNotFound) first_tombstone = i;
+      } else if (b.key == key) {
+        return i;
+      }
+      i = (i + 1) & Mask();
+    }
+  }
+
+  void PushOverflow(uint32_t slot, EdgeLabel label) {
+    std::vector<EdgeLabel>& v = overflow_[slot];
+    const size_t before = v.capacity();
+    v.push_back(label);
+    overflow_label_capacity_ += v.capacity() - before;
+  }
+
+  uint32_t AcquireOverflowSlot() {
+    if (!overflow_free_.empty()) {
+      uint32_t slot = overflow_free_.back();
+      overflow_free_.pop_back();
+      return slot;
+    }
+    overflow_.emplace_back();
+    return static_cast<uint32_t>(overflow_.size() - 1);
+  }
+
+  void ReleaseOverflowSlot(uint32_t slot) {
+    overflow_[slot].clear();
+    overflow_free_.push_back(slot);
+  }
+
+  void GrowIfNeeded() {
+    if (buckets_.empty()) {
+      Rehash(kMinBuckets);
+      return;
+    }
+    // 7/8 occupancy counting tombstones: a tombstone-saturated table
+    // rehashes at the same capacity, purging the tombstones.
+    if ((size_ + tombstones_ + 1) * 8 > buckets_.size() * 7) {
+      Rehash(size_ * 4 >= buckets_.size() ? buckets_.size() * 2
+                                          : buckets_.size());
+    }
+  }
+
+  void ShrinkIfNeeded() {
+    if (buckets_.size() > kMinBuckets && size_ * 8 < buckets_.size()) {
+      size_t target = buckets_.size();
+      while (target > kMinBuckets && size_ * 4 < target) target /= 2;
+      Rehash(target);
+    }
+  }
+
+  void Rehash(size_t new_capacity) {
+    std::vector<Bucket> old = std::move(buckets_);
+    buckets_.assign(new_capacity, Bucket{});
+    tombstones_ = 0;
+    ++rehashes_;
+    for (const Bucket& b : old) {
+      if (b.state != kFullInline && b.state != kFullOverflow) continue;
+      size_t i = Hash(b.key) & Mask();
+      while (buckets_[i].state != kEmpty) i = (i + 1) & Mask();
+      buckets_[i] = b;
+    }
+  }
+
+  std::vector<Bucket> buckets_;
+  std::vector<std::vector<EdgeLabel>> overflow_;
+  std::vector<uint32_t> overflow_free_;
+  // Sum of overflow_[i].capacity() — kept incrementally for MemoryBytes.
+  size_t overflow_label_capacity_ = 0;
+  size_t size_ = 0;
+  size_t tombstones_ = 0;
+  uint64_t rehashes_ = 0;
+};
+
+}  // namespace turboflux
+
+#endif  // TURBOFLUX_COMMON_FLAT_TABLE_H_

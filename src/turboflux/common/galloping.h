@@ -1,0 +1,88 @@
+#ifndef TURBOFLUX_COMMON_GALLOPING_H_
+#define TURBOFLUX_COMMON_GALLOPING_H_
+
+#include <cstddef>
+
+namespace turboflux {
+
+/// Sorted-list primitives for worst-case-optimal-style candidate
+/// intersection (DESIGN.md §3.11). Used by the Graphflow baseline's
+/// extension step: instead of probing HasEdge per candidate per
+/// constraint, candidates and constraint adjacencies are kept as sorted
+/// runs and intersected with exponential (galloping) search, which is
+/// O(small * log(large)) when sizes are skewed — the common case when one
+/// mapped vertex has few neighbors and another is a hub.
+
+/// First index i in sorted [data, data+size) with data[i] >= target
+/// (lower bound), found by doubling probes from `hint` then binary search.
+template <typename T>
+size_t GallopLowerBound(const T* data, size_t size, size_t hint, T target) {
+  size_t lo = hint;
+  size_t step = 1;
+  size_t hi = hint;
+  while (hi < size && data[hi] < target) {
+    lo = hi + 1;
+    hi += step;
+    step *= 2;
+  }
+  if (hi > size) hi = size;
+  // Binary search in (lo-1, hi]; invariant: data[lo-1] < target <= data[hi].
+  while (lo < hi) {
+    size_t mid = lo + (hi - lo) / 2;
+    if (data[mid] < target) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+/// True iff `target` occurs in the sorted run [data, data+size).
+template <typename T>
+bool GallopContains(const T* data, size_t size, T target) {
+  size_t i = GallopLowerBound(data, size, 0, target);
+  return i < size && data[i] == target;
+}
+
+/// Intersects two sorted runs into `out` (caller-sized to >= min(na, nb));
+/// returns the number of results. Gallops through the longer run so the
+/// cost is near-linear in the shorter one.
+template <typename T>
+size_t GallopIntersect(const T* a, size_t na, const T* b, size_t nb, T* out) {
+  if (na > nb) {
+    return GallopIntersect(b, nb, a, na, out);
+  }
+  size_t n = 0;
+  size_t bi = 0;
+  for (size_t ai = 0; ai < na; ++ai) {
+    bi = GallopLowerBound(b, nb, bi, a[ai]);
+    if (bi == nb) break;
+    if (b[bi] == a[ai]) {
+      out[n++] = a[ai];
+      ++bi;
+    }
+  }
+  return n;
+}
+
+/// In-place filter of the sorted run [io, io+n) to elements also present
+/// in sorted [b, b+nb); returns the new size.
+template <typename T>
+size_t GallopFilterInPlace(T* io, size_t n, const T* b, size_t nb) {
+  size_t kept = 0;
+  size_t bi = 0;
+  for (size_t i = 0; i < n; ++i) {
+    bi = GallopLowerBound(b, nb, bi, io[i]);
+    if (bi == nb) break;
+    if (b[bi] == io[i]) {
+      io[kept++] = io[i];
+      ++bi;
+    }
+  }
+  return kept;
+}
+
+}  // namespace turboflux
+
+#endif  // TURBOFLUX_COMMON_GALLOPING_H_

@@ -25,8 +25,8 @@ char DcgStateChar(DcgState s) {
 void Dcg::Reset(size_t num_data_vertices, const QueryTree& tree) {
   tree_ = &tree;
   num_qv_ = tree.VertexCount();
-  nodes_.clear();
-  nodes_.resize(num_data_vertices);
+  slot_of_.assign(num_data_vertices, kNoSlot);
+  pool_.clear();
   edge_count_ = 0;
   explicit_count_ = 0;
   explicit_per_qv_.assign(num_qv_, 0);
@@ -36,20 +36,20 @@ void Dcg::CopyFrom(const Dcg& other, const QueryTree& tree) {
   assert(tree.VertexCount() == other.num_qv_);
   tree_ = &tree;
   num_qv_ = other.num_qv_;
-  nodes_.clear();
-  nodes_.resize(other.nodes_.size());
-  for (size_t v = 0; v < other.nodes_.size(); ++v) {
-    if (other.nodes_[v]) nodes_[v] = std::make_unique<Node>(*other.nodes_[v]);
-  }
+  slot_of_ = other.slot_of_;
+  pool_ = other.pool_;
   edge_count_ = other.edge_count_;
   explicit_count_ = other.explicit_count_;
   explicit_per_qv_ = other.explicit_per_qv_;
 }
 
-Dcg::Node& Dcg::EnsureNode(VertexId v) {
-  assert(v < nodes_.size());
-  if (!nodes_[v]) nodes_[v] = std::make_unique<Node>(num_qv_);
-  return *nodes_[v];
+uint32_t Dcg::EnsureSlot(VertexId v) {
+  assert(v < slot_of_.size());
+  if (slot_of_[v] == kNoSlot) {
+    slot_of_[v] = static_cast<uint32_t>(pool_.size());
+    pool_.emplace_back(num_qv_);
+  }
+  return slot_of_[v];
 }
 
 DcgState Dcg::GetState(VertexId from, QVertexId u, VertexId to) const {
@@ -91,12 +91,23 @@ bool Dcg::MatchAllChildren(VertexId v, QVertexId u) const {
 }
 
 void Dcg::SetState(VertexId from, QVertexId u, VertexId to, DcgState next) {
-  Node& to_node = EnsureNode(to);
-  std::vector<InEdge>& in = to_node.in[u];
-  auto in_it = std::find_if(in.begin(), in.end(),
-                            [&](const InEdge& e) { return e.from == from; });
-  const DcgState prev =
-      in_it == in.end() ? DcgState::kNull : in_it->state;
+  const uint32_t to_slot = EnsureSlot(to);
+  // Look up the edge by index, not reference: EnsureSlot(from) below can
+  // grow the pool and move every Node, which would dangle a held
+  // reference to to's in-list (the vector object moves with its Node).
+  size_t in_idx;
+  DcgState prev = DcgState::kNull;
+  {
+    const std::vector<InEdge>& in = pool_[to_slot].in[u];
+    in_idx = in.size();
+    for (size_t i = 0; i < in.size(); ++i) {
+      if (in[i].from == from) {
+        in_idx = i;
+        prev = in[i].state;
+        break;
+      }
+    }
+  }
   if (prev == next) {
     assert(prev == DcgState::kNull);  // only NULL->NULL is an idempotent call
     return;
@@ -121,6 +132,13 @@ void Dcg::SetState(VertexId from, QVertexId u, VertexId to, DcgState next) {
   }
 
   const bool has_out_mirror = from != kArtificialVertex;
+  // Ensure the mirror's slot BEFORE taking any Node reference: this is
+  // the only call left that can grow the pool and move nodes. It stays
+  // behind the early NULL->NULL return above — a no-op call must not
+  // newly populate `from`'s node (the populated set is serialized).
+  const uint32_t from_slot = has_out_mirror ? EnsureSlot(from) : kNoSlot;
+  Node& to_node = pool_[to_slot];
+  std::vector<InEdge>& in = to_node.in[u];
 
   // Maintain the in-list.
   if (prev == DcgState::kNull) {
@@ -128,17 +146,17 @@ void Dcg::SetState(VertexId from, QVertexId u, VertexId to, DcgState next) {
     to_node.in_bits |= (uint64_t{1} << u);
     ++edge_count_;
   } else if (next == DcgState::kNull) {
-    *in_it = in.back();
+    in[in_idx] = in.back();
     in.pop_back();
     if (in.empty()) to_node.in_bits &= ~(uint64_t{1} << u);
     --edge_count_;
   } else {
-    in_it->state = next;
+    in[in_idx].state = next;
   }
 
   // Maintain the out-mirror.
   if (has_out_mirror) {
-    Node& from_node = EnsureNode(from);
+    Node& from_node = pool_[from_slot];
     std::vector<OutEdge>& out = from_node.out[u];
     if (prev == DcgState::kNull) {
       out.push_back({to, next});
@@ -178,15 +196,13 @@ void Dcg::SetState(VertexId from, QVertexId u, VertexId to, DcgState next) {
 }
 
 void Dcg::Serialize(std::string& out) const {
-  size_t populated = 0;
-  for (const std::unique_ptr<Node>& node : nodes_) {
-    if (node) ++populated;
-  }
-  bin::PutU64(out, nodes_.size());
+  bin::PutU64(out, slot_of_.size());
   bin::PutU32(out, static_cast<uint32_t>(num_qv_));
-  bin::PutU64(out, populated);
-  for (VertexId v = 0; v < nodes_.size(); ++v) {
-    const Node* node = nodes_[v].get();
+  bin::PutU64(out, pool_.size());
+  // Iteration is by vertex id, not slot order, so the bytes are
+  // independent of pool allocation order.
+  for (VertexId v = 0; v < slot_of_.size(); ++v) {
+    const Node* node = GetNode(v);
     if (node == nullptr) continue;
     bin::PutU32(out, v);
     for (QVertexId u = 0; u < num_qv_; ++u) {
@@ -208,7 +224,8 @@ Status Dcg::Deserialize(bin::Reader& in, size_t num_data_vertices,
                         const QueryTree& tree) {
   Reset(num_data_vertices, tree);
   auto fail = [this](const std::string& what) {
-    nodes_.clear();
+    slot_of_.clear();
+    pool_.clear();
     edge_count_ = 0;
     explicit_count_ = 0;
     explicit_per_qv_.assign(num_qv_, 0);
@@ -233,9 +250,11 @@ Status Dcg::Deserialize(bin::Reader& in, size_t num_data_vertices,
   };
   for (uint64_t i = 0; i < populated; ++i) {
     uint32_t v = 0;
-    if (!in.GetU32(&v) || v >= nodes_.size()) return fail("bad node id");
-    if (nodes_[v]) return fail("duplicate node");
-    Node& node = EnsureNode(v);
+    if (!in.GetU32(&v) || v >= slot_of_.size()) return fail("bad node id");
+    if (slot_of_[v] != kNoSlot) return fail("duplicate node");
+    // Safe to hold across the body: EnsureSlot is not called again until
+    // the next loop iteration re-takes the reference.
+    Node& node = pool_[EnsureSlot(v)];
     for (QVertexId u = 0; u < num_qv_; ++u) {
       uint32_t n_in = 0;
       if (!in.GetLength(&n_in, in.remaining() / 5)) {
@@ -249,7 +268,7 @@ Status Dcg::Deserialize(bin::Reader& in, size_t num_data_vertices,
             !decode_state(raw, &e.state)) {
           return fail("bad in edge");
         }
-        if (e.from != kArtificialVertex && e.from >= nodes_.size()) {
+        if (e.from != kArtificialVertex && e.from >= slot_of_.size()) {
           return fail("in edge source out of range");
         }
         ++edge_count_;
@@ -271,7 +290,9 @@ Status Dcg::Deserialize(bin::Reader& in, size_t num_data_vertices,
             !decode_state(raw, &e.state)) {
           return fail("bad out edge");
         }
-        if (e.to >= nodes_.size()) return fail("out edge target out of range");
+        if (e.to >= slot_of_.size()) {
+          return fail("out edge target out of range");
+        }
         if (e.state == DcgState::kExplicit) {
           if (++node.explicit_out[u] == 1) {
             node.explicit_out_bits |= (uint64_t{1} << u);
@@ -290,8 +311,8 @@ Status Dcg::Deserialize(bin::Reader& in, size_t num_data_vertices,
 std::vector<Dcg::EdgeTuple> Dcg::Snapshot() const {
   std::vector<EdgeTuple> edges;
   edges.reserve(edge_count_);
-  for (VertexId v = 0; v < nodes_.size(); ++v) {
-    const Node* node = nodes_[v].get();
+  for (VertexId v = 0; v < slot_of_.size(); ++v) {
+    const Node* node = GetNode(v);
     if (node == nullptr) continue;
     for (QVertexId u = 0; u < num_qv_; ++u) {
       for (const InEdge& e : node->in[u]) {
@@ -324,8 +345,8 @@ std::string Dcg::Validate() const {
   size_t explicit_edges = 0;
   std::vector<uint64_t> explicit_per_qv(num_qv_, 0);
 
-  for (VertexId v = 0; v < nodes_.size(); ++v) {
-    const Node* node = nodes_[v].get();
+  for (VertexId v = 0; v < slot_of_.size(); ++v) {
+    const Node* node = GetNode(v);
     if (node == nullptr) continue;
     for (QVertexId u = 0; u < num_qv_; ++u) {
       // in_bits bit u <=> in[u] non-empty.

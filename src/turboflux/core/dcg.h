@@ -2,7 +2,6 @@
 #define TURBOFLUX_CORE_DCG_H_
 
 #include <cstdint>
-#include <memory>
 #include <string>
 #include <tuple>
 #include <vector>
@@ -143,6 +142,11 @@ class Dcg {
   /// the counters track logical transitions only.
   void set_stats(obs::DcgStats* stats) { stats_ = stats; }
 
+  /// Number of data vertices that ever had a node allocated (a node is
+  /// never freed once allocated, even when all its edges are removed —
+  /// the populated set is part of the serialized format).
+  size_t PopulatedNodeCount() const { return pool_.size(); }
+
  private:
   struct Node {
     explicit Node(size_t nq)
@@ -155,14 +159,29 @@ class Dcg {
     uint64_t explicit_out_bits = 0;  // bit u: explicit_out[u] > 0
   };
 
+  // Nodes live in one contiguous pool (DESIGN.md §3.11), indexed through
+  // slot_of_ (kNoSlot = not populated), replacing a unique_ptr per vertex:
+  // the lookup is an index load instead of a pointer chase, and nodes
+  // touched together sit near each other. Slot assignment order is an
+  // allocation detail — Serialize/Snapshot iterate by vertex id — so it
+  // is not observable.
+  //
+  // Lifetime rule: pool growth (EnsureSlot) moves Node objects, so Node
+  // references must be re-taken after any EnsureSlot call. Iterators into
+  // a node's INNER lists survive growth (vector move keeps heap buffers),
+  // but plain `Node&`/`Node*` do not.
+  static constexpr uint32_t kNoSlot = 0xffffffffu;
+
   Node* GetNode(VertexId v) const {
-    return v < nodes_.size() ? nodes_[v].get() : nullptr;
+    if (v >= slot_of_.size() || slot_of_[v] == kNoSlot) return nullptr;
+    return const_cast<Node*>(&pool_[slot_of_[v]]);
   }
-  Node& EnsureNode(VertexId v);
+  uint32_t EnsureSlot(VertexId v);
 
   const QueryTree* tree_ = nullptr;
   size_t num_qv_ = 0;
-  std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<uint32_t> slot_of_;
+  std::vector<Node> pool_;
   size_t edge_count_ = 0;
   size_t explicit_count_ = 0;
   std::vector<uint64_t> explicit_per_qv_;

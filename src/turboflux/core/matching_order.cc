@@ -2,7 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
-#include <unordered_map>
+#include <unordered_map>  // tfx-lint: allow(hot-path-map)
 
 namespace turboflux {
 
@@ -11,7 +11,8 @@ std::vector<double> ExplicitPathCounts(const QueryTree& tree, const Dcg& dcg,
   const size_t nq = tree.VertexCount();
   std::vector<double> counts(nq, 0.0);
   // frontier[u]: data vertex -> number of explicit paths spelling
-  // u_s ~> u that end at it.
+  // u_s ~> u that end at it. Per-recompute scratch, not per-op probe
+  // state. tfx-lint: allow(hot-path-map)
   std::vector<std::unordered_map<VertexId, double>> frontier(nq);
 
   QVertexId root = tree.root();

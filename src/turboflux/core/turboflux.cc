@@ -124,7 +124,17 @@ bool TurboFluxEngine::InitCommon(MatchSink& sink, Deadline deadline) {
   stats_.intermediate_size.Set(dcg_.EdgeCount());
   stats_.peak_intermediate.SetMax(dcg_.EdgeCount());
   ResetPeakIntermediate();
+  NoteGraphGauges();
   return true;
+}
+
+void TurboFluxEngine::NoteGraphGauges() {
+  const Graph& g = G();
+  stats_.graph.adj_bytes.Set(g.AdjacencyMemoryBytes());
+  stats_.graph.adj_dead_slots.Set(g.AdjacencyDeadSlots());
+  stats_.graph.pair_table_bytes.Set(g.PairTableMemoryBytes());
+  stats_.graph.compactions.Set(g.CompactionEpochs());
+  stats_.graph.rehashes.Set(g.PairTableRehashes());
 }
 
 void TurboFluxEngine::RebuildDerivedIndexes() {
@@ -139,19 +149,35 @@ void TurboFluxEngine::RebuildDerivedIndexes() {
   }
 
   // Label-indexed seed lists, ascending dedup rank (tree edges are
-  // visited in query-edge-id order, which is ascending rank).
+  // visited in query-edge-id order, which is ascending rank). Appending
+  // preserves per-label order; only the spine is sorted, for the binary
+  // search in the ForLabel accessors.
   tree_children_by_label_.clear();
   non_tree_by_label_.clear();
+  auto list_for = [](auto& index, EdgeLabel l) -> auto& {
+    for (auto& entry : index) {
+      if (entry.first == l) return entry.second;
+    }
+    index.emplace_back();
+    index.back().first = l;
+    return index.back().second;
+  };
   for (QEdgeId e = 0; e < q.EdgeCount(); ++e) {
     const QEdge& qe = q.edge(e);
     if (tree_.IsTreeEdge(e)) {
       QVertexId child =
           tree_.parent_edge(qe.from).qedge == e ? qe.from : qe.to;
-      tree_children_by_label_[qe.label].push_back(child);
+      list_for(tree_children_by_label_, qe.label).push_back(child);
     } else {
-      non_tree_by_label_[qe.label].push_back(e);
+      list_for(non_tree_by_label_, qe.label).push_back(e);
     }
   }
+  auto by_label = [](const auto& a, const auto& b) {
+    return a.first < b.first;
+  };
+  std::sort(tree_children_by_label_.begin(), tree_children_by_label_.end(),
+            by_label);
+  std::sort(non_tree_by_label_.begin(), non_tree_by_label_.end(), by_label);
 
   m_.assign(q.VertexCount(), kNullVertex);
 
@@ -171,6 +197,7 @@ bool TurboFluxEngine::ApplyUpdate(const UpdateOp& op, MatchSink& sink,
   assert(!shared_mode());  // the graph owner drives EvalSharedUpdate instead
   if (dead_) return false;
   ++state_version_;
+  scratch_.Reset();
   // Crash simulation: on the op the fault plan marks, evaluate against an
   // already-expired deadline. The amortized expiry check trips partway
   // through the op's transitions, abandoning it at a genuine
@@ -213,6 +240,7 @@ bool TurboFluxEngine::ApplyUpdate(const UpdateOp& op, MatchSink& sink,
   stats_.intermediate_size.Set(dcg_.EdgeCount());
   stats_.peak_intermediate.SetMax(dcg_.EdgeCount());
   NotePeakIntermediate();
+  NoteGraphGauges();
   // In batched mode the primary runs the drift check once per batch and
   // pushes the result to its replicas; per-op checks would let replicas
   // diverge (they see the sub-batch in a different application order).
@@ -225,6 +253,7 @@ bool TurboFluxEngine::EvalSharedUpdate(const UpdateOp& op, MatchSink& sink,
   assert(q_ != nullptr && shared_mode());
   if (dead_) return false;
   ++state_version_;
+  scratch_.Reset();
   deadline_ = &deadline;
   has_updated_edge_ = true;
   upd_from_ = op.from;
@@ -254,6 +283,7 @@ bool TurboFluxEngine::EvalSharedUpdate(const UpdateOp& op, MatchSink& sink,
   stats_.intermediate_size.Set(dcg_.EdgeCount());
   stats_.peak_intermediate.SetMax(dcg_.EdgeCount());
   NotePeakIntermediate();
+  NoteGraphGauges();
   MaybeAdjustMatchingOrder();
   return true;
 }
@@ -344,7 +374,7 @@ void TurboFluxEngine::BuildDcg(Dcg& dcg, QVertexId child, VertexId pv,
   if (dcg.InCount(cv, child) == 1) {
     for (QVertexId cc : tree_.Children(child)) {
       const QueryTree::ParentEdge& pe = tree_.parent_edge(cc);
-      const std::vector<AdjEntry>& adj =
+      const Graph::AdjView adj =
           pe.forward ? G().OutEdges(cv) : G().InEdges(cv);
       for (const AdjEntry& e : adj) {
         if (e.label != pe.label) continue;
@@ -378,16 +408,31 @@ const std::vector<QVertexId> kNoChildren;
 const std::vector<QEdgeId> kNoEdges;
 }  // namespace
 
+namespace {
+/// Binary search over a label-sorted spine (RebuildDerivedIndexes sorts).
+template <typename Index>
+const typename Index::value_type::second_type* FindLabel(const Index& index,
+                                                         EdgeLabel l) {
+  auto it = std::lower_bound(
+      index.begin(), index.end(), l,
+      [](const typename Index::value_type& e, EdgeLabel key) {
+        return e.first < key;
+      });
+  if (it == index.end() || it->first != l) return nullptr;
+  return &it->second;
+}
+}  // namespace
+
 const std::vector<QVertexId>& TurboFluxEngine::TreeChildrenForLabel(
     EdgeLabel l) const {
-  auto it = tree_children_by_label_.find(l);
-  return it == tree_children_by_label_.end() ? kNoChildren : it->second;
+  const std::vector<QVertexId>* found = FindLabel(tree_children_by_label_, l);
+  return found != nullptr ? *found : kNoChildren;
 }
 
 const std::vector<QEdgeId>& TurboFluxEngine::NonTreeEdgesForLabel(
     EdgeLabel l) const {
-  auto it = non_tree_by_label_.find(l);
-  return it == non_tree_by_label_.end() ? kNoEdges : it->second;
+  const std::vector<QEdgeId>* found = FindLabel(non_tree_by_label_, l);
+  return found != nullptr ? *found : kNoEdges;
 }
 
 // --- Edge insertion (Algorithm 5) ---
@@ -555,11 +600,14 @@ void TurboFluxEngine::ClearDcg(QVertexId child, VertexId pv, VertexId cv) {
   // longer has path support: clear it recursively.
   if (dcg_.InCount(cv, child) == 0) {
     for (QVertexId cc : tree_.Children(child)) {
+      // The recursion mutates dcg_'s out-list, so the targets are copied
+      // out first — into arena scratch (reset once per update), not a
+      // per-level heap vector.
       const std::vector<Dcg::OutEdge>& out = dcg_.OutEdgesOf(cv, cc);
-      std::vector<VertexId> targets;
-      targets.reserve(out.size());
-      for (const Dcg::OutEdge& e : out) targets.push_back(e.to);
-      for (VertexId x : targets) ClearDcg(cc, cv, x);
+      const size_t n = out.size();
+      VertexId* targets = scratch_.AllocateArray<VertexId>(n);
+      for (size_t i = 0; i < n; ++i) targets[i] = out[i].to;
+      for (size_t i = 0; i < n; ++i) ClearDcg(cc, cv, targets[i]);
     }
   }
 }

@@ -7,9 +7,10 @@
 #include <optional>
 #include <span>
 #include <string>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
+#include "turboflux/common/arena.h"
 #include "turboflux/common/deadline.h"
 #include "turboflux/common/match.h"
 #include "turboflux/common/status.h"
@@ -282,6 +283,10 @@ class TurboFluxEngine : public ContinuousEngine {
   void MaybeAdjustMatchingOrder();
   void RecomputeMatchingOrder();
 
+  /// Refreshes the graph memory-layout gauges (adjacency slab bytes, dead
+  /// slots, pair-table bytes, compaction/rehash counts) from G().
+  void NoteGraphGauges();
+
   /// Rebuilds everything derivable from (q_, tree_, g_): dedup ranks,
   /// label-indexed seed lists, the mapping scratch, and start_vertices_.
   /// Shared by Init and Restore.
@@ -320,11 +325,20 @@ class TurboFluxEngine : public ContinuousEngine {
   std::vector<QVertexId> mo_;
   std::vector<VertexId> start_vertices_;
   std::vector<uint32_t> dedup_rank_;
-  std::unordered_map<EdgeLabel, std::vector<QVertexId>>
+  // Flat label→seed-list indexes (DESIGN.md §3.11): a short spine sorted
+  // by label, binary-searched by the ForLabel accessors — queries carry a
+  // handful of distinct labels, so this beats hashing and keeps the spine
+  // in one cache line. Per-label lists stay in ascending dedup rank.
+  std::vector<std::pair<EdgeLabel, std::vector<QVertexId>>>
       tree_children_by_label_;
-  std::unordered_map<EdgeLabel, std::vector<QEdgeId>> non_tree_by_label_;
+  std::vector<std::pair<EdgeLabel, std::vector<QEdgeId>>> non_tree_by_label_;
 
   Mapping m_;
+  // Per-op scratch (DESIGN.md §3.11): bump-allocated worklists (ClearDcg
+  // recursion targets) reset at the top of every update, so a warm engine
+  // performs no heap allocation on the delete hot path. Replicas own their
+  // own arena (CloneReplica constructs a fresh engine).
+  Arena scratch_;
   bool has_updated_edge_ = false;
   VertexId upd_from_ = kNullVertex;
   EdgeLabel upd_label_ = 0;

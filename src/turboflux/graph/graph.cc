@@ -1,77 +1,55 @@
 #include "turboflux/graph/graph.h"
 
 #include <algorithm>
+#include <unordered_map>  // tfx-lint: allow(hot-path-map)
 #include <utility>
 
 namespace turboflux {
 
-namespace {
-const std::vector<EdgeLabel> kNoLabels;
-}  // namespace
-
 VertexId Graph::AddVertex(LabelSet labels) {
   VertexId id = static_cast<VertexId>(vertex_labels_.size());
   vertex_labels_.push_back(std::move(labels));
-  out_adj_.emplace_back();
-  in_adj_.emplace_back();
+  out_adj_.AddList();
+  in_adj_.AddList();
   return id;
 }
 
 bool Graph::AddEdge(VertexId from, EdgeLabel label, VertexId to) {
   if (!IsValidVertex(from) || !IsValidVertex(to)) return false;
-  std::vector<EdgeLabel>& labels = edge_labels_[PairKey(from, to)];
-  if (std::find(labels.begin(), labels.end(), label) != labels.end()) {
-    return false;
-  }
-  labels.push_back(label);
-  out_adj_[from].push_back({to, label});
-  in_adj_[to].push_back({from, label});
+  if (!pair_index_.Add(FlatPairTable::MakeKey(from, to), label)) return false;
+  out_adj_.PushBack(from, {to, label});
+  in_adj_.PushBack(to, {from, label});
   ++edge_count_;
   return true;
 }
 
 bool Graph::RemoveEdge(VertexId from, EdgeLabel label, VertexId to) {
-  if (!HasEdge(from, label, to)) return false;
-  auto it = edge_labels_.find(PairKey(from, to));
-  std::vector<EdgeLabel>& labels = it->second;
-  labels.erase(std::find(labels.begin(), labels.end(), label));
-  if (labels.empty()) edge_labels_.erase(it);
-  RemoveAdjEntry(out_adj_[from], to, label);
-  RemoveAdjEntry(in_adj_[to], from, label);
+  if (!IsValidVertex(from) || !IsValidVertex(to)) return false;
+  if (!pair_index_.Remove(FlatPairTable::MakeKey(from, to), label)) {
+    return false;
+  }
+  // Swap-with-last, exactly the old RemoveAdjEntry semantics (entry order
+  // after deletion is observable through Serialize).
+  out_adj_.SwapRemove(from, [&](const AdjEntry& e) {
+    return e.other == to && e.label == label;
+  });
+  in_adj_.SwapRemove(to, [&](const AdjEntry& e) {
+    return e.other == from && e.label == label;
+  });
   --edge_count_;
   return true;
 }
 
 bool Graph::HasEdge(VertexId from, EdgeLabel label, VertexId to) const {
   if (!IsValidVertex(from) || !IsValidVertex(to)) return false;
-  auto it = edge_labels_.find(PairKey(from, to));
-  if (it == edge_labels_.end()) return false;
-  const std::vector<EdgeLabel>& labels = it->second;
-  return std::find(labels.begin(), labels.end(), label) != labels.end();
-}
-
-const std::vector<EdgeLabel>& Graph::EdgeLabelsBetween(VertexId from,
-                                                       VertexId to) const {
-  auto it = edge_labels_.find(PairKey(from, to));
-  return it == edge_labels_.end() ? kNoLabels : it->second;
-}
-
-void Graph::RemoveAdjEntry(std::vector<AdjEntry>& adj, VertexId other,
-                           EdgeLabel label) {
-  for (size_t i = 0; i < adj.size(); ++i) {
-    if (adj[i].other == other && adj[i].label == label) {
-      adj[i] = adj.back();
-      adj.pop_back();
-      return;
-    }
-  }
+  return pair_index_.Contains(FlatPairTable::MakeKey(from, to), label);
 }
 
 namespace {
 
-void SerializeAdjacency(const std::vector<std::vector<AdjEntry>>& adj,
-                        std::string& out) {
-  for (const std::vector<AdjEntry>& entries : adj) {
+void SerializeAdjacency(const AdjPool<AdjEntry>& adj, std::string& out) {
+  for (size_t v = 0; v < adj.ListCount(); ++v) {
+    Span<AdjEntry> entries = adj.View(v);
     bin::PutU32(out, static_cast<uint32_t>(entries.size()));
     for (const AdjEntry& e : entries) {
       bin::PutU32(out, e.other);
@@ -116,16 +94,16 @@ Status Graph::Deserialize(bin::Reader& in) {
   }
   // Both adjacency directions are stored verbatim; out-adjacency also
   // rebuilds the (from, to) -> labels index and the edge count.
-  auto read_adj = [&](std::vector<std::vector<AdjEntry>>& adj) -> Status {
-    adj.assign(nv, {});
+  auto read_adj = [&](AdjPool<AdjEntry>& adj) -> Status {
+    adj.Clear();
+    for (uint64_t v = 0; v < nv; ++v) adj.AddList();
     for (uint64_t v = 0; v < nv; ++v) {
       uint32_t deg = 0;
       if (!in.GetLength(&deg, in.remaining() / 8)) {
         return Status::Corruption("graph: bad adjacency length");
       }
-      adj[v].resize(deg);
       for (uint32_t i = 0; i < deg; ++i) {
-        AdjEntry& e = adj[v][i];
+        AdjEntry e;
         if (!in.GetU32(&e.other) || !in.GetU32(&e.label)) {
           return Status::Corruption("graph: truncated adjacency entry");
         }
@@ -133,6 +111,7 @@ Status Graph::Deserialize(bin::Reader& in) {
           *this = Graph();
           return Status::Corruption("graph: adjacency vertex out of range");
         }
+        adj.PushBack(v, e);
       }
     }
     return Status::Ok();
@@ -148,13 +127,11 @@ Status Graph::Deserialize(bin::Reader& in) {
     return s;
   }
   for (VertexId v = 0; v < vertex_labels_.size(); ++v) {
-    for (const AdjEntry& e : out_adj_[v]) {
-      std::vector<EdgeLabel>& labels = edge_labels_[PairKey(v, e.other)];
-      if (std::find(labels.begin(), labels.end(), e.label) != labels.end()) {
+    for (const AdjEntry& e : out_adj_.View(v)) {
+      if (!pair_index_.Add(FlatPairTable::MakeKey(v, e.other), e.label)) {
         *this = Graph();
         return Status::Corruption("graph: duplicate edge in out-adjacency");
       }
-      labels.push_back(e.label);
       ++edge_count_;
     }
   }
@@ -167,17 +144,25 @@ Status Graph::Deserialize(bin::Reader& in) {
 }
 
 std::string Graph::CheckConsistency() const {
-  if (out_adj_.size() != vertex_labels_.size() ||
-      in_adj_.size() != vertex_labels_.size()) {
+  if (out_adj_.ListCount() != vertex_labels_.size() ||
+      in_adj_.ListCount() != vertex_labels_.size()) {
     return "adjacency/vertex size mismatch";
   }
+  std::string pool = out_adj_.CheckConsistency();
+  if (pool.empty()) pool = in_adj_.CheckConsistency();
+  if (pool.empty()) pool = pair_index_.CheckConsistency();
+  if (!pool.empty()) return pool;
   // Every in-adjacency entry must consume exactly one out-adjacency edge.
-  std::unordered_map<uint64_t, std::vector<std::pair<EdgeLabel, int>>> counts;
+  // Validation-only scratch, not a probe path (the probe path is
+  // pair_index_); a std map keyed by the packed pair is fine here.
+  // tfx-lint: allow(hot-path-map)
+  std::unordered_map<uint64_t, std::vector<std::pair<EdgeLabel, int>>>
+      counts;
   size_t out_total = 0;
-  for (VertexId v = 0; v < out_adj_.size(); ++v) {
-    for (const AdjEntry& e : out_adj_[v]) {
+  for (VertexId v = 0; v < out_adj_.ListCount(); ++v) {
+    for (const AdjEntry& e : out_adj_.View(v)) {
       std::vector<std::pair<EdgeLabel, int>>& slot =
-          counts[PairKey(v, e.other)];
+          counts[FlatPairTable::MakeKey(v, e.other)];
       for (const std::pair<EdgeLabel, int>& p : slot) {
         if (p.first == e.label) return "duplicate (from,label,to) edge";
       }
@@ -185,9 +170,9 @@ std::string Graph::CheckConsistency() const {
       ++out_total;
     }
   }
-  for (VertexId v = 0; v < in_adj_.size(); ++v) {
-    for (const AdjEntry& e : in_adj_[v]) {
-      auto it = counts.find(PairKey(e.other, v));
+  for (VertexId v = 0; v < in_adj_.ListCount(); ++v) {
+    for (const AdjEntry& e : in_adj_.View(v)) {
+      auto it = counts.find(FlatPairTable::MakeKey(e.other, v));
       if (it == counts.end()) return "in-adjacency entry without out mirror";
       bool matched = false;
       for (std::pair<EdgeLabel, int>& p : it->second) {
@@ -200,31 +185,40 @@ std::string Graph::CheckConsistency() const {
       if (!matched) return "in-adjacency entry without out mirror";
     }
   }
-  size_t in_total = 0;
-  for (VertexId v = 0; v < in_adj_.size(); ++v) in_total += in_adj_[v].size();
+  size_t in_total = in_adj_.LiveEntries();
   if (in_total != out_total) return "in/out adjacency totals differ";
   if (out_total != edge_count_) return "edge_count_ mismatch";
   // The pair index must cover exactly the out-adjacency.
   size_t indexed = 0;
-  for (const auto& [key, labels] : edge_labels_) {
-    VertexId from = static_cast<VertexId>(key >> 32);
-    VertexId to = static_cast<VertexId>(key & 0xffffffffu);
-    if (from >= out_adj_.size() || to >= out_adj_.size()) {
-      return "pair index key out of range";
+  std::string index_violation;
+  pair_index_.ForEach([&](uint64_t key, FlatPairTable::LabelView labels) {
+    if (!index_violation.empty()) return;
+    VertexId from = FlatPairTable::KeyFrom(key);
+    VertexId to = FlatPairTable::KeyTo(key);
+    if (from >= out_adj_.ListCount() || to >= out_adj_.ListCount()) {
+      index_violation = "pair index key out of range";
+      return;
     }
-    if (labels.empty()) return "empty label list in pair index";
+    if (labels.empty()) {
+      index_violation = "empty label list in pair index";
+      return;
+    }
     for (EdgeLabel l : labels) {
       bool found = false;
-      for (const AdjEntry& e : out_adj_[from]) {
+      for (const AdjEntry& e : out_adj_.View(from)) {
         if (e.other == to && e.label == l) {
           found = true;
           break;
         }
       }
-      if (!found) return "pair index entry without out-adjacency edge";
+      if (!found) {
+        index_violation = "pair index entry without out-adjacency edge";
+        return;
+      }
       ++indexed;
     }
-  }
+  });
+  if (!index_violation.empty()) return index_violation;
   if (indexed != out_total) return "pair index size mismatch";
   return "";
 }

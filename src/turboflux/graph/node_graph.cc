@@ -1,0 +1,231 @@
+#include "turboflux/graph/node_graph.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace turboflux {
+namespace legacy {
+
+namespace {
+const std::vector<EdgeLabel> kNoLabels;
+}  // namespace
+
+VertexId NodeGraph::AddVertex(LabelSet labels) {
+  VertexId id = static_cast<VertexId>(vertex_labels_.size());
+  vertex_labels_.push_back(std::move(labels));
+  out_adj_.emplace_back();
+  in_adj_.emplace_back();
+  return id;
+}
+
+bool NodeGraph::AddEdge(VertexId from, EdgeLabel label, VertexId to) {
+  if (!IsValidVertex(from) || !IsValidVertex(to)) return false;
+  std::vector<EdgeLabel>& labels = edge_labels_[PairKey(from, to)];
+  if (std::find(labels.begin(), labels.end(), label) != labels.end()) {
+    return false;
+  }
+  labels.push_back(label);
+  out_adj_[from].push_back({to, label});
+  in_adj_[to].push_back({from, label});
+  ++edge_count_;
+  return true;
+}
+
+bool NodeGraph::RemoveEdge(VertexId from, EdgeLabel label, VertexId to) {
+  if (!HasEdge(from, label, to)) return false;
+  auto it = edge_labels_.find(PairKey(from, to));
+  std::vector<EdgeLabel>& labels = it->second;
+  labels.erase(std::find(labels.begin(), labels.end(), label));
+  if (labels.empty()) edge_labels_.erase(it);
+  RemoveAdjEntry(out_adj_[from], to, label);
+  RemoveAdjEntry(in_adj_[to], from, label);
+  --edge_count_;
+  return true;
+}
+
+bool NodeGraph::HasEdge(VertexId from, EdgeLabel label, VertexId to) const {
+  if (!IsValidVertex(from) || !IsValidVertex(to)) return false;
+  auto it = edge_labels_.find(PairKey(from, to));
+  if (it == edge_labels_.end()) return false;
+  const std::vector<EdgeLabel>& labels = it->second;
+  return std::find(labels.begin(), labels.end(), label) != labels.end();
+}
+
+const std::vector<EdgeLabel>& NodeGraph::EdgeLabelsBetween(VertexId from,
+                                                           VertexId to) const {
+  auto it = edge_labels_.find(PairKey(from, to));
+  return it == edge_labels_.end() ? kNoLabels : it->second;
+}
+
+void NodeGraph::RemoveAdjEntry(std::vector<AdjEntry>& adj, VertexId other,
+                               EdgeLabel label) {
+  for (size_t i = 0; i < adj.size(); ++i) {
+    if (adj[i].other == other && adj[i].label == label) {
+      adj[i] = adj.back();
+      adj.pop_back();
+      return;
+    }
+  }
+}
+
+namespace {
+
+void SerializeAdjacency(const std::vector<std::vector<AdjEntry>>& adj,
+                        std::string& out) {
+  for (const std::vector<AdjEntry>& entries : adj) {
+    bin::PutU32(out, static_cast<uint32_t>(entries.size()));
+    for (const AdjEntry& e : entries) {
+      bin::PutU32(out, e.other);
+      bin::PutU32(out, e.label);
+    }
+  }
+}
+
+}  // namespace
+
+void NodeGraph::Serialize(std::string& out) const {
+  bin::PutU64(out, vertex_labels_.size());
+  for (const LabelSet& ls : vertex_labels_) {
+    bin::PutU32(out, static_cast<uint32_t>(ls.size()));
+    for (Label l : ls.labels()) bin::PutU32(out, l);
+  }
+  SerializeAdjacency(out_adj_, out);
+  SerializeAdjacency(in_adj_, out);
+}
+
+Status NodeGraph::Deserialize(bin::Reader& in) {
+  *this = NodeGraph();
+  uint64_t nv = 0;
+  if (!in.GetU64(&nv) || nv >= kNullVertex) {
+    return Status::Corruption("graph: bad vertex count");
+  }
+  vertex_labels_.reserve(nv);
+  for (uint64_t v = 0; v < nv; ++v) {
+    uint32_t nl = 0;
+    if (!in.GetLength(&nl, in.remaining() / 4)) {
+      *this = NodeGraph();
+      return Status::Corruption("graph: bad label count");
+    }
+    std::vector<Label> labels(nl);
+    for (uint32_t i = 0; i < nl; ++i) {
+      if (!in.GetU32(&labels[i])) {
+        *this = NodeGraph();
+        return Status::Corruption("graph: truncated vertex labels");
+      }
+    }
+    vertex_labels_.emplace_back(std::move(labels));
+  }
+  auto read_adj = [&](std::vector<std::vector<AdjEntry>>& adj) -> Status {
+    adj.assign(nv, {});
+    for (uint64_t v = 0; v < nv; ++v) {
+      uint32_t deg = 0;
+      if (!in.GetLength(&deg, in.remaining() / 8)) {
+        return Status::Corruption("graph: bad adjacency length");
+      }
+      adj[v].resize(deg);
+      for (uint32_t i = 0; i < deg; ++i) {
+        AdjEntry& e = adj[v][i];
+        if (!in.GetU32(&e.other) || !in.GetU32(&e.label)) {
+          return Status::Corruption("graph: truncated adjacency entry");
+        }
+        if (e.other >= nv) {
+          *this = NodeGraph();
+          return Status::Corruption("graph: adjacency vertex out of range");
+        }
+      }
+    }
+    return Status::Ok();
+  };
+  Status s = read_adj(out_adj_);
+  if (!s.ok()) {
+    *this = NodeGraph();
+    return s;
+  }
+  s = read_adj(in_adj_);
+  if (!s.ok()) {
+    *this = NodeGraph();
+    return s;
+  }
+  for (VertexId v = 0; v < vertex_labels_.size(); ++v) {
+    for (const AdjEntry& e : out_adj_[v]) {
+      std::vector<EdgeLabel>& labels = edge_labels_[PairKey(v, e.other)];
+      if (std::find(labels.begin(), labels.end(), e.label) != labels.end()) {
+        *this = NodeGraph();
+        return Status::Corruption("graph: duplicate edge in out-adjacency");
+      }
+      labels.push_back(e.label);
+      ++edge_count_;
+    }
+  }
+  std::string violation = CheckConsistency();
+  if (!violation.empty()) {
+    *this = NodeGraph();
+    return Status::Corruption("graph: " + violation);
+  }
+  return Status::Ok();
+}
+
+std::string NodeGraph::CheckConsistency() const {
+  if (out_adj_.size() != vertex_labels_.size() ||
+      in_adj_.size() != vertex_labels_.size()) {
+    return "adjacency/vertex size mismatch";
+  }
+  // Validation-only recount scratch. tfx-lint: allow(hot-path-map)
+  std::unordered_map<uint64_t, std::vector<std::pair<EdgeLabel, int>>> counts;
+  size_t out_total = 0;
+  for (VertexId v = 0; v < out_adj_.size(); ++v) {
+    for (const AdjEntry& e : out_adj_[v]) {
+      std::vector<std::pair<EdgeLabel, int>>& slot =
+          counts[PairKey(v, e.other)];
+      for (const std::pair<EdgeLabel, int>& p : slot) {
+        if (p.first == e.label) return "duplicate (from,label,to) edge";
+      }
+      slot.emplace_back(e.label, 1);
+      ++out_total;
+    }
+  }
+  for (VertexId v = 0; v < in_adj_.size(); ++v) {
+    for (const AdjEntry& e : in_adj_[v]) {
+      auto it = counts.find(PairKey(e.other, v));
+      if (it == counts.end()) return "in-adjacency entry without out mirror";
+      bool matched = false;
+      for (std::pair<EdgeLabel, int>& p : it->second) {
+        if (p.first == e.label && p.second > 0) {
+          --p.second;
+          matched = true;
+          break;
+        }
+      }
+      if (!matched) return "in-adjacency entry without out mirror";
+    }
+  }
+  size_t in_total = 0;
+  for (VertexId v = 0; v < in_adj_.size(); ++v) in_total += in_adj_[v].size();
+  if (in_total != out_total) return "in/out adjacency totals differ";
+  if (out_total != edge_count_) return "edge_count_ mismatch";
+  size_t indexed = 0;
+  for (const auto& [key, labels] : edge_labels_) {
+    VertexId from = static_cast<VertexId>(key >> 32);
+    VertexId to = static_cast<VertexId>(key & 0xffffffffu);
+    if (from >= out_adj_.size() || to >= out_adj_.size()) {
+      return "pair index key out of range";
+    }
+    if (labels.empty()) return "empty label list in pair index";
+    for (EdgeLabel l : labels) {
+      bool found = false;
+      for (const AdjEntry& e : out_adj_[from]) {
+        if (e.other == to && e.label == l) {
+          found = true;
+          break;
+        }
+      }
+      if (!found) return "pair index entry without out-adjacency edge";
+      ++indexed;
+    }
+  }
+  if (indexed != out_total) return "pair index size mismatch";
+  return "";
+}
+
+}  // namespace legacy
+}  // namespace turboflux

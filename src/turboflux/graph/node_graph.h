@@ -1,0 +1,79 @@
+#ifndef TURBOFLUX_GRAPH_NODE_GRAPH_H_
+#define TURBOFLUX_GRAPH_NODE_GRAPH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <unordered_map>  // tfx-lint: allow(hot-path-map)
+#include <vector>
+
+#include "turboflux/common/label_set.h"
+#include "turboflux/common/serialize.h"
+#include "turboflux/common/status.h"
+#include "turboflux/common/types.h"
+#include "turboflux/graph/graph.h"
+
+namespace turboflux {
+namespace legacy {
+
+/// The pre-§3.11 node-based data graph, preserved verbatim: adjacency as
+/// vector-of-vectors, edge labels in a std::unordered_map. It is NOT used
+/// by any engine — it exists as (a) the oracle for the layout-differential
+/// tests, which pin the CSR `Graph` to the exact observable behavior
+/// (entry orders, serialized bytes) this implementation defines, and
+/// (b) the "before" side of the `micro_ops` layout A/B benchmarks.
+///
+/// Mutation/read API and semantics are identical to `Graph`'s; see
+/// graph.h for documentation. Keep the two in behavioral lockstep — the
+/// differential suite fails otherwise.
+class NodeGraph {
+ public:
+  NodeGraph() = default;
+
+  VertexId AddVertex(LabelSet labels);
+  bool AddEdge(VertexId from, EdgeLabel label, VertexId to);
+  bool RemoveEdge(VertexId from, EdgeLabel label, VertexId to);
+  bool HasEdge(VertexId from, EdgeLabel label, VertexId to) const;
+
+  size_t VertexCount() const { return vertex_labels_.size(); }
+  size_t EdgeCount() const { return edge_count_; }
+  bool IsValidVertex(VertexId v) const { return v < vertex_labels_.size(); }
+  const LabelSet& labels(VertexId v) const { return vertex_labels_[v]; }
+
+  const std::vector<AdjEntry>& OutEdges(VertexId v) const {
+    return out_adj_[v];
+  }
+  const std::vector<AdjEntry>& InEdges(VertexId v) const { return in_adj_[v]; }
+
+  size_t OutDegree(VertexId v) const { return out_adj_[v].size(); }
+  size_t InDegree(VertexId v) const { return in_adj_[v].size(); }
+  size_t Degree(VertexId v) const { return OutDegree(v) + InDegree(v); }
+
+  const std::vector<EdgeLabel>& EdgeLabelsBetween(VertexId from,
+                                                  VertexId to) const;
+
+  void Serialize(std::string& out) const;
+  Status Deserialize(bin::Reader& in);
+  std::string CheckConsistency() const;
+
+ private:
+  static uint64_t PairKey(VertexId from, VertexId to) {
+    return (static_cast<uint64_t>(from) << 32) | to;
+  }
+
+  static void RemoveAdjEntry(std::vector<AdjEntry>& adj, VertexId other,
+                             EdgeLabel label);
+
+  std::vector<LabelSet> vertex_labels_;
+  std::vector<std::vector<AdjEntry>> out_adj_;
+  std::vector<std::vector<AdjEntry>> in_adj_;
+  // tfx-lint: allow(hot-path-map): this IS the frozen pre-rework layout.
+  std::unordered_map<uint64_t, std::vector<EdgeLabel>>
+      edge_labels_;
+  size_t edge_count_ = 0;
+};
+
+}  // namespace legacy
+}  // namespace turboflux
+
+#endif  // TURBOFLUX_GRAPH_NODE_GRAPH_H_

@@ -134,7 +134,7 @@ bool StaticMatcher::Backtrack(size_t depth, Mapping& m, MatchSink& sink,
 
   const Constraint& anchor = cons.front();
   VertexId base = m[anchor.earlier];
-  const std::vector<AdjEntry>& adj =
+  const Graph::AdjView adj =
       anchor.out ? g_.OutEdges(base) : g_.InEdges(base);
   for (const AdjEntry& e : adj) {
     if (e.label != anchor.label) continue;

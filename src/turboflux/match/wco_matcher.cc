@@ -109,19 +109,21 @@ bool WcoMatcher::Extend(size_t depth, Mapping& m, MatchSink& sink,
   // Generic Join: scan the smallest adjacency list among the matched
   // neighbours; `satisfies` performs the residual intersection via O(1)
   // probes. Self-loop constraints never anchor the scan.
-  const std::vector<AdjEntry>* smallest = nullptr;
+  Graph::AdjView smallest;
+  bool have_anchor = false;
   EdgeLabel anchor_label = 0;
   for (const NeighborConstraint& c : cons) {
     if (c.other == u) continue;
-    const std::vector<AdjEntry>& adj =
+    Graph::AdjView adj =
         c.out ? g_.OutEdges(m[c.other]) : g_.InEdges(m[c.other]);
-    if (smallest == nullptr || adj.size() < smallest->size()) {
-      smallest = &adj;
+    if (!have_anchor || adj.size() < smallest.size()) {
+      smallest = adj;
       anchor_label = c.label;
+      have_anchor = true;
     }
   }
-  assert(smallest != nullptr);  // order construction guarantees an anchor
-  for (const AdjEntry& e : *smallest) {
+  assert(have_anchor);  // order construction guarantees an anchor
+  for (const AdjEntry& e : smallest) {
     if (e.label != anchor_label) continue;
     if (!satisfies(e.other)) continue;
     m[u] = e.other;

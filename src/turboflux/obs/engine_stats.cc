@@ -23,6 +23,23 @@ void DcgStats::AppendTo(StatsSnapshot& out, const std::string& prefix) const {
   out.AddCounter(prefix + "implicit_to_null", implicit_to_null.value());
 }
 
+void GraphLayoutStats::Reset() {
+  adj_bytes.Reset();
+  adj_dead_slots.Reset();
+  pair_table_bytes.Reset();
+  compactions.Reset();
+  rehashes.Reset();
+}
+
+void GraphLayoutStats::AppendTo(StatsSnapshot& out,
+                                const std::string& prefix) const {
+  out.AddCounter(prefix + "adj_bytes", adj_bytes.value());
+  out.AddCounter(prefix + "adj_dead_slots", adj_dead_slots.value());
+  out.AddCounter(prefix + "pair_table_bytes", pair_table_bytes.value());
+  out.AddCounter(prefix + "compactions", compactions.value());
+  out.AddCounter(prefix + "rehashes", rehashes.value());
+}
+
 void SchedulerStats::Reset() {
   partitions.Reset();
   scheduled_ops.Reset();
@@ -62,6 +79,7 @@ void EngineStats::Reset() {
   checkpoint_seconds.Reset();
   restore_seconds.Reset();
   dcg.Reset();
+  graph.Reset();
   scheduler.Reset();
 }
 
@@ -112,6 +130,7 @@ void EngineStats::AppendTo(StatsSnapshot& out,
     out.AddHistogram(prefix + "restore_ns", restore_seconds.data());
   }
   dcg.AppendTo(out, prefix + "dcg.");
+  graph.AppendTo(out, prefix + "graph.");
   scheduler.AppendTo(out, prefix + "scheduler.");
 }
 

@@ -33,6 +33,22 @@ struct DcgStats {
   void AppendTo(StatsSnapshot& out, const std::string& prefix) const;
 };
 
+/// Data-graph memory-layout gauges (DESIGN.md §3.11), sampled from the
+/// Graph accessors after every applied update. `adj_dead_slots` vs the
+/// live entry count is the signal the tombstone/compaction regression
+/// tests watch; `compactions`/`rehashes` are monotonic event counts
+/// surfaced as gauges because the Graph owns the authoritative tally.
+struct GraphLayoutStats {
+  Gauge adj_bytes;         ///< adjacency slab + span bytes (out + in)
+  Gauge adj_dead_slots;    ///< relocation holes awaiting compaction
+  Gauge pair_table_bytes;  ///< flat edge-label pair-table bytes
+  Gauge compactions;       ///< adjacency compaction epochs (out + in)
+  Gauge rehashes;          ///< pair-table rehashes (grow/shrink/purge)
+
+  void Reset();
+  void AppendTo(StatsSnapshot& out, const std::string& prefix) const;
+};
+
 /// Batch-scheduler counters (parallel/batch.cc).
 struct SchedulerStats {
   Counter partitions;         ///< Partition() calls
@@ -82,6 +98,7 @@ struct EngineStats {
   Histogram restore_seconds;
 
   DcgStats dcg;
+  GraphLayoutStats graph;
   SchedulerStats scheduler;
 
   void Reset();

@@ -17,6 +17,7 @@ BatchScheduler::BatchScheduler(const QueryGraph& q,
 
 BatchScheduler::Region BatchScheduler::ComputeRegion(
     const Graph& g, const UpdateOp& op,
+    // tfx-lint: allow(hot-path-map)
     const std::unordered_map<VertexId, std::vector<VertexId>>& overlay)
     const {
   Region region;
@@ -66,7 +67,7 @@ std::vector<std::vector<size_t>> BatchScheduler::Partition(
   // Overlay adjacency of every edge the batch touches (inserts may not be
   // in g yet; regions must see them to stay conservative across the whole
   // window). Only query-labeled edges can influence the DCG, so the rest
-  // are skipped.
+  // are skipped. Per-batch scratch. tfx-lint: allow(hot-path-map)
   std::unordered_map<VertexId, std::vector<VertexId>> overlay;
   for (const UpdateOp& op : ops) {
     if (!query_edge_labels_.count(op.label)) continue;

@@ -3,7 +3,7 @@
 
 #include <cstddef>
 #include <span>
-#include <unordered_map>
+#include <unordered_map>  // tfx-lint: allow(hot-path-map): per-batch scratch
 #include <unordered_set>
 #include <vector>
 
@@ -71,6 +71,7 @@ class BatchScheduler {
   };
 
   Region ComputeRegion(const Graph& g, const UpdateOp& op,
+                       // tfx-lint: allow(hot-path-map)
                        const std::unordered_map<VertexId,
                                                 std::vector<VertexId>>&
                            overlay) const;

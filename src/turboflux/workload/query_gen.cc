@@ -87,12 +87,12 @@ bool FindClosingPath(const Graph& g, Rng& rng, Instance& inst, VertexId cur,
   if (--budget < 0) return false;
   if (remaining == 1) {
     // Need a direct data edge between cur and target, either direction.
-    const std::vector<EdgeLabel>& fwd = g.EdgeLabelsBetween(cur, target);
+    Graph::LabelView fwd = g.EdgeLabelsBetween(cur, target);
     if (!fwd.empty()) {
       inst.edges.push_back({cur, fwd[rng.NextIndex(fwd.size())], target});
       return true;
     }
-    const std::vector<EdgeLabel>& rev = g.EdgeLabelsBetween(target, cur);
+    Graph::LabelView rev = g.EdgeLabelsBetween(target, cur);
     if (!rev.empty()) {
       inst.edges.push_back({target, rev[rng.NextIndex(rev.size())], cur});
       return true;

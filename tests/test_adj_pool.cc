@@ -1,0 +1,220 @@
+// Property/fuzz suite for AdjPool (DESIGN.md §3.11): every operation is
+// mirrored against a std::vector<std::vector<T>> oracle and the pool must
+// stay observation-equivalent — identical per-list contents in identical
+// order — through relocations and compactions. Runs under the sanitizer
+// CI jobs, so span arithmetic and slab reuse get ASan/UBSan coverage too.
+
+#include <cstdint>
+#include <cstdlib>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "turboflux/common/adj_pool.h"
+
+namespace turboflux {
+namespace {
+
+bool LongTests() {
+  const char* env = std::getenv("TFX_LONG_TESTS");
+  return env != nullptr && env[0] == '1';
+}
+
+using Oracle = std::vector<std::vector<uint32_t>>;
+
+void ExpectSameState(const AdjPool<uint32_t>& pool, const Oracle& oracle,
+                     const std::string& context) {
+  ASSERT_EQ(pool.ListCount(), oracle.size()) << context;
+  size_t live = 0;
+  for (size_t l = 0; l < oracle.size(); ++l) {
+    ASSERT_EQ(pool.Size(l), oracle[l].size()) << context << " list " << l;
+    EXPECT_TRUE(pool.View(l) == Span<uint32_t>(oracle[l]))
+        << context << " list " << l;
+    live += oracle[l].size();
+  }
+  EXPECT_EQ(pool.LiveEntries(), live) << context;
+  EXPECT_EQ(pool.CheckConsistency(), "") << context;
+}
+
+TEST(AdjPool, BasicAppendAndView) {
+  AdjPool<uint32_t> pool;
+  size_t a = pool.AddList();
+  size_t b = pool.AddList();
+  EXPECT_TRUE(pool.Empty(a));
+  for (uint32_t i = 0; i < 10; ++i) pool.PushBack(a, i);
+  pool.PushBack(b, 99);
+  EXPECT_EQ(pool.Size(a), 10u);
+  EXPECT_EQ(pool.At(a, 3), 3u);
+  EXPECT_EQ(pool.View(b).front(), 99u);
+  EXPECT_EQ(pool.LiveEntries(), 11u);
+  EXPECT_EQ(pool.CheckConsistency(), "");
+}
+
+TEST(AdjPool, SwapRemoveMatchesVectorSemantics) {
+  AdjPool<uint32_t> pool;
+  Oracle oracle(1);
+  pool.AddList();
+  for (uint32_t i = 0; i < 8; ++i) {
+    pool.PushBack(0, i);
+    oracle[0].push_back(i);
+  }
+  // Swap-with-last on both sides: overwrite the match with the tail.
+  auto is_3 = [](uint32_t v) { return v == 3; };
+  EXPECT_TRUE(pool.SwapRemove(0, is_3));
+  oracle[0][3] = oracle[0].back();
+  oracle[0].pop_back();
+  ExpectSameState(pool, oracle, "after swap-remove");
+  EXPECT_FALSE(pool.SwapRemove(0, is_3));  // already gone
+}
+
+TEST(AdjPool, ErasePreservingKeepsOrder) {
+  AdjPool<uint32_t> pool;
+  pool.AddList();
+  for (uint32_t v : {5u, 1u, 7u, 1u, 9u}) pool.PushBack(0, v);
+  EXPECT_TRUE(pool.ErasePreserving(0, [](uint32_t v) { return v == 1; }));
+  std::vector<uint32_t> expected = {5, 7, 1, 9};  // first match only
+  EXPECT_TRUE(pool.View(0) == Span<uint32_t>(expected));
+  EXPECT_EQ(pool.CheckConsistency(), "");
+}
+
+TEST(AdjPool, RelocationPreservesOtherLists) {
+  AdjPool<uint32_t> pool;
+  Oracle oracle(3);
+  for (int i = 0; i < 3; ++i) pool.AddList();
+  // Interleave appends so lists relocate past each other repeatedly.
+  for (uint32_t i = 0; i < 200; ++i) {
+    size_t l = i % 3;
+    pool.PushBack(l, i);
+    oracle[l].push_back(i);
+  }
+  ExpectSameState(pool, oracle, "after interleaved growth");
+}
+
+TEST(AdjPool, CompactPreservesOrderAndBumpsEpoch) {
+  AdjPool<uint32_t> pool;
+  Oracle oracle(4);
+  for (int i = 0; i < 4; ++i) pool.AddList();
+  for (uint32_t i = 0; i < 100; ++i) {
+    size_t l = i % 4;
+    pool.PushBack(l, i * 7);
+    oracle[l].push_back(i * 7);
+  }
+  const uint64_t before = pool.Epoch();
+  pool.Compact();
+  EXPECT_EQ(pool.Epoch(), before + 1);
+  // Packed at exact capacity: no dead slots survive an explicit compaction.
+  EXPECT_EQ(pool.DeadSlots(), 0u);
+  ExpectSameState(pool, oracle, "after explicit compact");
+}
+
+TEST(AdjPool, CompactionTriggersUnderDeleteHeavyLoad) {
+  AdjPool<uint32_t> pool;
+  const size_t kLists = 64;
+  for (size_t i = 0; i < kLists; ++i) pool.AddList();
+  // Grow every list well past the 4096-slot compaction floor, then delete
+  // ~95% of the entries: dead slots must overtake live entries and fire
+  // the automatic compaction, keeping the slab bounded.
+  for (uint32_t i = 0; i < 8192; ++i) pool.PushBack(i % kLists, i);
+  std::mt19937_64 rng(7);
+  size_t live = pool.LiveEntries();
+  while (live > 8192 / 20) {
+    size_t l = rng() % kLists;
+    if (pool.SwapRemove(l, [](uint32_t) { return true; })) --live;
+  }
+  EXPECT_GT(pool.Epoch(), 0u) << "compaction never triggered";
+  // Post-compaction invariant: dead space never exceeds live entries by
+  // more than one pre-compaction overshoot (the trigger re-arms each op).
+  EXPECT_LE(pool.DeadSlots(), pool.LiveEntries() + 4096);
+  EXPECT_EQ(pool.CheckConsistency(), "");
+}
+
+TEST(AdjPool, ClearResetsEverything) {
+  AdjPool<uint32_t> pool;
+  pool.AddList();
+  for (uint32_t i = 0; i < 50; ++i) pool.PushBack(0, i);
+  pool.Compact();
+  pool.Clear();
+  EXPECT_EQ(pool.ListCount(), 0u);
+  EXPECT_EQ(pool.LiveEntries(), 0u);
+  EXPECT_EQ(pool.DeadSlots(), 0u);
+  EXPECT_EQ(pool.Epoch(), 0u);
+  EXPECT_EQ(pool.CheckConsistency(), "");
+}
+
+// The fuzz driver: a random op tape (append-heavy, delete-heavy, and
+// mixed phases) applied to the pool and the oracle in lockstep, with a
+// full-state comparison at every step boundary.
+void FuzzSeed(uint64_t seed, size_t ops) {
+  SCOPED_TRACE("seed=" + std::to_string(seed));
+  std::mt19937_64 rng(seed);
+  AdjPool<uint32_t> pool;
+  Oracle oracle;
+
+  for (size_t step = 0; step < ops; ++step) {
+    // Phase-dependent op mix: first third grows, middle third churns,
+    // last third is delete-heavy so compaction paths get exercised.
+    const int phase = static_cast<int>(3 * step / ops);
+    const int roll = static_cast<int>(rng() % 100);
+    const int add_list_cut = phase == 0 ? 10 : 2;
+    const int push_cut = phase == 0 ? 85 : (phase == 1 ? 55 : 25);
+
+    if (oracle.empty() || roll < add_list_cut) {
+      pool.AddList();
+      oracle.emplace_back();
+    } else if (roll < push_cut) {
+      size_t l = rng() % oracle.size();
+      uint32_t v = static_cast<uint32_t>(rng() % 1000);
+      pool.PushBack(l, v);
+      oracle[l].push_back(v);
+    } else if (roll < push_cut + (100 - push_cut) / 2) {
+      size_t l = rng() % oracle.size();
+      uint32_t v = static_cast<uint32_t>(rng() % 1000);
+      auto pred = [v](uint32_t x) { return x == v; };
+      bool removed = pool.SwapRemove(l, pred);
+      bool oracle_removed = false;
+      for (size_t i = 0; i < oracle[l].size(); ++i) {
+        if (oracle[l][i] == v) {
+          oracle[l][i] = oracle[l].back();
+          oracle[l].pop_back();
+          oracle_removed = true;
+          break;
+        }
+      }
+      ASSERT_EQ(removed, oracle_removed);
+    } else {
+      size_t l = rng() % oracle.size();
+      uint32_t v = static_cast<uint32_t>(rng() % 1000);
+      auto pred = [v](uint32_t x) { return x == v; };
+      bool removed = pool.ErasePreserving(l, pred);
+      bool oracle_removed = false;
+      for (size_t i = 0; i < oracle[l].size(); ++i) {
+        if (oracle[l][i] == v) {
+          oracle[l].erase(oracle[l].begin() + static_cast<ptrdiff_t>(i));
+          oracle_removed = true;
+          break;
+        }
+      }
+      ASSERT_EQ(removed, oracle_removed);
+    }
+
+    // Occasionally force a compaction mid-tape.
+    if (rng() % 257 == 0) pool.Compact();
+    if (step % 64 == 0 || step + 1 == ops) {
+      ExpectSameState(pool, oracle, "step " + std::to_string(step));
+    }
+  }
+}
+
+TEST(AdjPoolFuzz, RandomOpTapesMatchVectorOracle) {
+  const uint64_t seeds = LongTests() ? 50 : 12;
+  for (uint64_t seed = 0; seed < seeds; ++seed) FuzzSeed(seed, 2000);
+}
+
+TEST(AdjPoolFuzz, LargeTapeCrossesCompactionThreshold) {
+  // One long tape guaranteed to push the slab past kCompactMinSlots.
+  FuzzSeed(9999, LongTests() ? 40000 : 12000);
+}
+
+}  // namespace
+}  // namespace turboflux

@@ -1,0 +1,141 @@
+// Checkpoint cross-layout compatibility (ISSUE 7 satellite 3).
+//
+// tests/data/ckpt_node_layout.tfx was written by the pre-rework build,
+// whose Graph stored adjacency as std::vector<std::vector<AdjEntry>> and
+// edge labels in a std::unordered_map. The CSR/slab rework must (a)
+// Restore that snapshot cleanly — the serialized TFX format is layout-
+// independent — and (b) reproduce the *same bytes* when an engine built
+// from scratch over the same deterministic scenario checkpoints at the
+// same stream position. Together these guard the "format unchanged"
+// claim: old snapshots keep working, and new snapshots are byte-equal to
+// what the old layout would have written.
+//
+// Regenerating the fixture (only needed if the *scenario* changes, never
+// for a layout change): build at the old layout and run with
+// TFX_REGEN_FIXTURES=1, e.g.
+//   TFX_REGEN_FIXTURES=1 ./turboflux_tests \
+//       --gtest_filter=CheckpointCompat.RegenerateFixture
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "gtest/gtest.h"
+#include "testutil.h"
+#include "turboflux/core/turboflux.h"
+
+namespace turboflux {
+namespace {
+
+#ifndef TFX_TEST_DATA_DIR
+#error "TFX_TEST_DATA_DIR must be defined by the build (tests/CMakeLists.txt)"
+#endif
+
+const char kFixturePath[] = TFX_TEST_DATA_DIR "/ckpt_node_layout.tfx";
+
+// The pinned scenario. Everything here is deterministic and independent
+// of graph memory layout: MakeRandomCase only uses the seeded Rng plus
+// AddVertex/AddEdge, and the engine's evaluation order is pinned by the
+// serialized adjacency/DCG list orders.
+constexpr uint64_t kScenarioSeed = 4242;
+constexpr size_t kScenarioOps = 80;
+
+testutil::RandomCase MakeScenario() {
+  testutil::RandomCaseConfig cfg;
+  cfg.stream_ops = kScenarioOps;
+  return testutil::MakeRandomCase(kScenarioSeed, cfg);
+}
+
+// Init + first half of the stream: the fixture's stream position.
+void BuildToFixturePosition(TurboFluxEngine& engine,
+                            const testutil::RandomCase& c, MatchSink& sink) {
+  ASSERT_TRUE(engine.Init(c.query, c.g0, sink, Deadline::Infinite()));
+  for (size_t i = 0; i < c.stream.size() / 2; ++i) {
+    ASSERT_TRUE(engine.ApplyUpdate(c.stream[i], sink, Deadline::Infinite()));
+  }
+}
+
+std::string ReadFileOrEmpty(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return {};
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+TEST(CheckpointCompat, RegenerateFixture) {
+  if (std::getenv("TFX_REGEN_FIXTURES") == nullptr) {
+    GTEST_SKIP() << "set TFX_REGEN_FIXTURES=1 to (re)write " << kFixturePath;
+  }
+  testutil::RandomCase c = MakeScenario();
+  TurboFluxEngine engine;
+  DiscardSink discard;
+  BuildToFixturePosition(engine, c, discard);
+  std::ofstream out(kFixturePath, std::ios::binary | std::ios::trunc);
+  ASSERT_TRUE(out.is_open()) << kFixturePath;
+  Status st = engine.Checkpoint(out);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  out.flush();
+  ASSERT_TRUE(out.good());
+}
+
+TEST(CheckpointCompat, NodeLayoutFixtureRestoresCleanly) {
+  std::string fixture = ReadFileOrEmpty(kFixturePath);
+  ASSERT_FALSE(fixture.empty()) << "missing fixture " << kFixturePath;
+
+  TurboFluxEngine restored;
+  std::istringstream in(fixture);
+  Status st = restored.Restore(in);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_EQ(restored.applied_ops(), kScenarioOps / 2);
+  EXPECT_TRUE(restored.graph().CheckConsistency().empty());
+  EXPECT_TRUE(restored.dcg().Validate().empty());
+}
+
+TEST(CheckpointCompat, CurrentLayoutWritesIdenticalBytes) {
+  std::string fixture = ReadFileOrEmpty(kFixturePath);
+  ASSERT_FALSE(fixture.empty()) << "missing fixture " << kFixturePath;
+
+  // A from-scratch engine at the same stream position must checkpoint to
+  // exactly the fixture's bytes, whatever its in-memory layout.
+  testutil::RandomCase c = MakeScenario();
+  TurboFluxEngine fresh;
+  DiscardSink discard;
+  BuildToFixturePosition(fresh, c, discard);
+  std::ostringstream out;
+  Status st = fresh.Checkpoint(out);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_EQ(out.str(), fixture);
+}
+
+TEST(CheckpointCompat, RestoredFixtureRoundTripsByteIdentically) {
+  std::string fixture = ReadFileOrEmpty(kFixturePath);
+  ASSERT_FALSE(fixture.empty()) << "missing fixture " << kFixturePath;
+
+  TurboFluxEngine restored;
+  std::istringstream in(fixture);
+  ASSERT_TRUE(restored.Restore(in).ok());
+  std::ostringstream out;
+  ASSERT_TRUE(restored.Checkpoint(out).ok());
+  EXPECT_EQ(out.str(), fixture);
+
+  // And the continuation matches a from-scratch engine op for op.
+  testutil::RandomCase c = MakeScenario();
+  TurboFluxEngine fresh;
+  DiscardSink discard;
+  BuildToFixturePosition(fresh, c, discard);
+  CollectingSink a, b;
+  for (size_t i = c.stream.size() / 2; i < c.stream.size(); ++i) {
+    ASSERT_TRUE(fresh.ApplyUpdate(c.stream[i], a, Deadline::Infinite()));
+    ASSERT_TRUE(restored.ApplyUpdate(c.stream[i], b, Deadline::Infinite()));
+  }
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.records()[i].positive, b.records()[i].positive) << "at " << i;
+    EXPECT_EQ(a.records()[i].mapping, b.records()[i].mapping) << "at " << i;
+  }
+}
+
+}  // namespace
+}  // namespace turboflux

@@ -1,0 +1,286 @@
+// Property/fuzz suite for FlatPairTable (DESIGN.md §3.11): the open-
+// addressing (from, to) → labels table is mirrored against a
+// std::map<uint64_t, std::vector<EdgeLabel>> oracle. Covers the inline ↔
+// overflow promotion path for parallel edges, tombstone accumulation and
+// purge via same-capacity rehash, growth under load, and the shrink
+// trigger that keeps delete-heavy streams from pinning peak memory. Runs
+// under the sanitizer CI jobs for probe-arithmetic coverage.
+
+#include <cstdint>
+#include <cstdlib>
+#include <map>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "turboflux/common/flat_table.h"
+
+namespace turboflux {
+namespace {
+
+bool LongTests() {
+  const char* env = std::getenv("TFX_LONG_TESTS");
+  return env != nullptr && env[0] == '1';
+}
+
+using Oracle = std::map<uint64_t, std::vector<EdgeLabel>>;
+
+void ExpectSameState(const FlatPairTable& table, const Oracle& oracle,
+                     const std::string& context) {
+  ASSERT_EQ(table.PairCount(), oracle.size()) << context;
+  for (const auto& [key, labels] : oracle) {
+    FlatPairTable::LabelView view = table.Find(key);
+    ASSERT_EQ(view.size(), labels.size()) << context << " key " << key;
+    for (size_t i = 0; i < labels.size(); ++i) {
+      EXPECT_EQ(view[i], labels[i])
+          << context << " key " << key << " label index " << i;
+    }
+  }
+  // ForEach must visit exactly the live pairs (order is unspecified).
+  size_t visited = 0;
+  table.ForEach([&](uint64_t key, FlatPairTable::LabelView view) {
+    ++visited;
+    auto it = oracle.find(key);
+    ASSERT_NE(it, oracle.end()) << context << " ForEach ghost key " << key;
+    EXPECT_EQ(view.size(), it->second.size()) << context << " key " << key;
+  });
+  EXPECT_EQ(visited, oracle.size()) << context;
+  EXPECT_EQ(table.CheckConsistency(), "") << context;
+}
+
+TEST(FlatPairTable, KeyPackingRoundTrips) {
+  const uint64_t key = FlatPairTable::MakeKey(0x12345u, 0xabcdeu);
+  EXPECT_EQ(FlatPairTable::KeyFrom(key), 0x12345u);
+  EXPECT_EQ(FlatPairTable::KeyTo(key), 0xabcdeu);
+  // Asymmetric: (a, b) and (b, a) are distinct pairs.
+  EXPECT_NE(key, FlatPairTable::MakeKey(0xabcdeu, 0x12345u));
+}
+
+TEST(FlatPairTable, EmptyTableFindsNothing) {
+  FlatPairTable table;
+  EXPECT_TRUE(table.Find(FlatPairTable::MakeKey(1, 2)).empty());
+  EXPECT_FALSE(table.Contains(FlatPairTable::MakeKey(1, 2), 0));
+  EXPECT_FALSE(table.Remove(FlatPairTable::MakeKey(1, 2), 0));
+  EXPECT_EQ(table.PairCount(), 0u);
+  EXPECT_EQ(table.CheckConsistency(), "");
+}
+
+TEST(FlatPairTable, SingleLabelStaysInline) {
+  FlatPairTable table;
+  const uint64_t key = FlatPairTable::MakeKey(3, 9);
+  EXPECT_TRUE(table.Add(key, 7));
+  EXPECT_FALSE(table.Add(key, 7));  // duplicate (key, label) rejected
+  FlatPairTable::LabelView view = table.Find(key);
+  ASSERT_EQ(view.size(), 1u);
+  EXPECT_EQ(view[0], 7);
+  EXPECT_TRUE(table.Contains(key, 7));
+  EXPECT_FALSE(table.Contains(key, 8));
+  EXPECT_EQ(table.CheckConsistency(), "");
+}
+
+TEST(FlatPairTable, ParallelEdgeMultiLabelRoundTrip) {
+  // The inline → overflow → inline promotion cycle: one pair accumulates
+  // parallel-edge labels, sheds them order-preservingly, and demotes back
+  // to the inline representation at exactly one remaining label.
+  FlatPairTable table;
+  const uint64_t key = FlatPairTable::MakeKey(5, 6);
+  for (EdgeLabel l : {4, 1, 9, 2}) EXPECT_TRUE(table.Add(key, l));
+  FlatPairTable::LabelView view = table.Find(key);
+  ASSERT_EQ(view.size(), 4u);
+  // Insertion order preserved through the overflow promotion.
+  EXPECT_EQ(view[0], 4);
+  EXPECT_EQ(view[1], 1);
+  EXPECT_EQ(view[2], 9);
+  EXPECT_EQ(view[3], 2);
+
+  // Order-preserving erase from the middle.
+  EXPECT_TRUE(table.Remove(key, 1));
+  view = table.Find(key);
+  ASSERT_EQ(view.size(), 3u);
+  EXPECT_EQ(view[0], 4);
+  EXPECT_EQ(view[1], 9);
+  EXPECT_EQ(view[2], 2);
+
+  // Down to one label: must demote to inline and free the overflow slot.
+  EXPECT_TRUE(table.Remove(key, 4));
+  EXPECT_TRUE(table.Remove(key, 2));
+  view = table.Find(key);
+  ASSERT_EQ(view.size(), 1u);
+  EXPECT_EQ(view[0], 9);
+  EXPECT_EQ(table.CheckConsistency(), "");
+
+  // Removing the last label leaves a tombstone, not a live empty list.
+  EXPECT_TRUE(table.Remove(key, 9));
+  EXPECT_TRUE(table.Find(key).empty());
+  EXPECT_EQ(table.PairCount(), 0u);
+  EXPECT_EQ(table.CheckConsistency(), "");
+}
+
+TEST(FlatPairTable, OverflowSlotsAreRecycled) {
+  FlatPairTable table;
+  // Cycle many pairs through the overflow representation; the free list
+  // must recycle slots instead of growing the side table monotonically.
+  for (int round = 0; round < 50; ++round) {
+    const uint64_t key = FlatPairTable::MakeKey(1, static_cast<VertexId>(round));
+    EXPECT_TRUE(table.Add(key, 1));
+    EXPECT_TRUE(table.Add(key, 2));  // promotes to overflow
+    EXPECT_TRUE(table.Remove(key, 1));  // demotes, releases the slot
+  }
+  const size_t bytes_after_churn = table.MemoryBytes();
+  for (int round = 0; round < 50; ++round) {
+    const uint64_t key = FlatPairTable::MakeKey(2, static_cast<VertexId>(round));
+    EXPECT_TRUE(table.Add(key, 1));
+    EXPECT_TRUE(table.Add(key, 2));
+    EXPECT_TRUE(table.Remove(key, 1));
+  }
+  // Second churn round reuses recycled slots: memory may grow for the new
+  // keys but not proportionally to another 50 overflow lists.
+  EXPECT_LE(table.MemoryBytes(), bytes_after_churn * 4);
+  EXPECT_EQ(table.CheckConsistency(), "");
+}
+
+TEST(FlatPairTable, GrowthRehashesUnderLoad) {
+  FlatPairTable table;
+  Oracle oracle;
+  for (uint32_t i = 0; i < 2000; ++i) {
+    const uint64_t key = FlatPairTable::MakeKey(i / 50, i % 50);
+    if (table.Add(key, static_cast<EdgeLabel>(i % 7))) {
+      oracle[key].push_back(static_cast<EdgeLabel>(i % 7));
+    }
+  }
+  EXPECT_GT(table.RehashCount(), 3u) << "table never grew under load";
+  EXPECT_GE(table.BucketCapacity() * 7, table.PairCount() * 8)
+      << "occupancy above the 7/8 growth threshold";
+  ExpectSameState(table, oracle, "after growth");
+}
+
+TEST(FlatPairTable, TombstoneSaturationPurgesAtSameCapacity) {
+  FlatPairTable table;
+  // Insert/delete churn at a stable live size: tombstones accumulate until
+  // the occupancy check fires a same-capacity rehash that purges them.
+  for (uint32_t i = 0; i < 8; ++i) {
+    table.Add(FlatPairTable::MakeKey(0, i), 1);
+  }
+  bool saw_purge = false;
+  for (uint32_t round = 0; round < 400; ++round) {
+    const uint64_t key = FlatPairTable::MakeKey(1, round);
+    table.Add(key, 1);
+    // A purge (rehash during some Add) leaves zero tombstones; sample
+    // before the Remove below re-creates one.
+    saw_purge = saw_purge || (round > 0 && table.TombstoneCount() == 0);
+    table.Remove(key, 1);
+    // Occupancy (live + tombstones) stays under the 7/8 growth threshold
+    // between ops — tombstones are purged, not accumulated forever.
+    ASSERT_LE((table.PairCount() + table.TombstoneCount()) * 8,
+              table.BucketCapacity() * 7 + 8);
+  }
+  EXPECT_TRUE(saw_purge) << "tombstones were never purged";
+  EXPECT_GT(table.RehashCount(), 0u);
+  // Capacity stabilizes at a small multiple of the live size (the grow
+  // policy doubles until live*4 < capacity, then purges in place), so a
+  // pure churn workload cannot balloon it.
+  EXPECT_LE(table.BucketCapacity(), (table.PairCount() + 1) * 8)
+      << "tombstone churn must not balloon capacity";
+  EXPECT_EQ(table.CheckConsistency(), "");
+}
+
+TEST(FlatPairTable, ShrinksAfterDeleteHeavyStream) {
+  FlatPairTable table;
+  std::vector<uint64_t> keys;
+  for (uint32_t i = 0; i < 4096; ++i) {
+    const uint64_t key = FlatPairTable::MakeKey(i, i + 1);
+    table.Add(key, 3);
+    keys.push_back(key);
+  }
+  const size_t peak_capacity = table.BucketCapacity();
+  const size_t peak_bytes = table.MemoryBytes();
+  // Delete 99% of the keys — the shrink trigger must walk capacity back
+  // down instead of pinning the high-water mark.
+  for (size_t i = 0; i < keys.size() - 40; ++i) table.Remove(keys[i], 3);
+  EXPECT_LT(table.BucketCapacity(), peak_capacity / 8);
+  EXPECT_LT(table.MemoryBytes(), peak_bytes / 8);
+  // Survivors still resolve.
+  for (size_t i = keys.size() - 40; i < keys.size(); ++i) {
+    EXPECT_TRUE(table.Contains(keys[i], 3));
+  }
+  EXPECT_EQ(table.CheckConsistency(), "");
+}
+
+TEST(FlatPairTable, ClearReleasesEverything) {
+  FlatPairTable table;
+  for (uint32_t i = 0; i < 100; ++i) {
+    table.Add(FlatPairTable::MakeKey(i, i), 1);
+    table.Add(FlatPairTable::MakeKey(i, i), 2);
+  }
+  table.Clear();
+  EXPECT_EQ(table.PairCount(), 0u);
+  EXPECT_EQ(table.TombstoneCount(), 0u);
+  EXPECT_EQ(table.BucketCapacity(), 0u);
+  EXPECT_TRUE(table.Find(FlatPairTable::MakeKey(3, 3)).empty());
+  EXPECT_EQ(table.CheckConsistency(), "");
+}
+
+// Fuzz driver: random (key, label) op tape with a skewed key distribution
+// (small vertex universe → frequent parallel-edge collisions) applied to
+// the table and a std::map oracle in lockstep.
+void FuzzSeed(uint64_t seed, size_t ops) {
+  SCOPED_TRACE("seed=" + std::to_string(seed));
+  std::mt19937_64 rng(seed);
+  FlatPairTable table;
+  Oracle oracle;
+
+  for (size_t step = 0; step < ops; ++step) {
+    // Delete-heavy tail so the shrink path and tombstone purge both fire.
+    const int phase = static_cast<int>(3 * step / ops);
+    const int add_cut = phase == 0 ? 75 : (phase == 1 ? 50 : 20);
+    const VertexId universe = phase == 0 ? 40 : 60;
+
+    const VertexId from = static_cast<VertexId>(rng() % universe);
+    const VertexId to = static_cast<VertexId>(rng() % universe);
+    const uint64_t key = FlatPairTable::MakeKey(from, to);
+    const EdgeLabel label = static_cast<EdgeLabel>(rng() % 5);
+
+    if (static_cast<int>(rng() % 100) < add_cut) {
+      const bool added = table.Add(key, label);
+      std::vector<EdgeLabel>& labels = oracle[key];
+      bool present = false;
+      for (EdgeLabel l : labels) present = present || l == label;
+      ASSERT_EQ(added, !present) << "step " << step;
+      if (added) labels.push_back(label);
+      if (labels.empty()) oracle.erase(key);
+    } else {
+      const bool removed = table.Remove(key, label);
+      auto it = oracle.find(key);
+      bool oracle_removed = false;
+      if (it != oracle.end()) {
+        std::vector<EdgeLabel>& labels = it->second;
+        for (size_t i = 0; i < labels.size(); ++i) {
+          if (labels[i] == label) {
+            labels.erase(labels.begin() + static_cast<ptrdiff_t>(i));
+            oracle_removed = true;
+            break;
+          }
+        }
+        if (labels.empty()) oracle.erase(it);
+      }
+      ASSERT_EQ(removed, oracle_removed) << "step " << step;
+    }
+
+    if (step % 64 == 0 || step + 1 == ops) {
+      ExpectSameState(table, oracle, "step " + std::to_string(step));
+    }
+  }
+}
+
+TEST(FlatPairTableFuzz, RandomOpTapesMatchMapOracle) {
+  const uint64_t seeds = LongTests() ? 50 : 12;
+  for (uint64_t seed = 0; seed < seeds; ++seed) FuzzSeed(seed, 3000);
+}
+
+TEST(FlatPairTableFuzz, LargeTapeCrossesRehashAndShrink) {
+  FuzzSeed(424242, LongTests() ? 60000 : 15000);
+}
+
+}  // namespace
+}  // namespace turboflux

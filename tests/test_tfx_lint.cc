@@ -28,9 +28,10 @@ bool HasCheck(const std::vector<Finding>& findings, const std::string& check) {
 
 TEST(TfxLint, ChecksAreListed) {
   const std::vector<std::string> names = tfx_lint::CheckNames();
-  EXPECT_EQ(names.size(), 4u);
+  EXPECT_EQ(names.size(), 5u);
   for (const char* expected : {"raw-sync", "discarded-status",
-                               "hot-path-registry", "unordered-emission"}) {
+                               "hot-path-registry", "hot-path-map",
+                               "unordered-emission"}) {
     EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
         << expected;
   }
@@ -163,6 +164,61 @@ TEST(TfxLintHotPathRegistry, HarnessAndTestsMayUseRegistry) {
       "void Collect() { reg.GetCounter(\"run\", \"ops\").Inc(); }\n";
   EXPECT_TRUE(LintOne("src/turboflux/harness/runner.cc", ok).empty());
   EXPECT_TRUE(LintOne("tests/test_obs.cc", ok).empty());
+}
+
+// --- hot-path-map ---
+
+TEST(TfxLintHotPathMap, FlagsUnorderedMapInHotPathDirs) {
+  const std::string bad =
+      "class Index {\n"
+      "  std::unordered_map<uint64_t, std::vector<EdgeLabel>> edges_;\n"
+      "};\n";
+  for (const char* dir : {"core", "match", "parallel", "baseline", "graph"}) {
+    const std::vector<Finding> findings =
+        LintOne("src/turboflux/" + std::string(dir) + "/a.h", bad);
+    ASSERT_TRUE(HasCheck(findings, "hot-path-map")) << dir;
+    EXPECT_EQ(findings[0].line, 2u) << dir;
+  }
+}
+
+TEST(TfxLintHotPathMap, FlagsIncludeLineToo) {
+  const std::string bad = "#include <unordered_map>\n";
+  EXPECT_TRUE(HasCheck(LintOne("src/turboflux/core/a.cc", bad),
+                       "hot-path-map"));
+}
+
+TEST(TfxLintHotPathMap, ColdPathsAndTestsAreExempt) {
+  const std::string snippet =
+      "std::unordered_map<VertexId, size_t> index;\n";
+  EXPECT_TRUE(LintOne("src/turboflux/workload/query_gen.cc", snippet).empty());
+  EXPECT_TRUE(LintOne("src/turboflux/multi/query_set.h", snippet).empty());
+  EXPECT_TRUE(LintOne("tests/test_graph.cc", snippet).empty());
+}
+
+TEST(TfxLintHotPathMap, SuppressionOnLineOrLineAboveSilences) {
+  const std::string same_line =
+      "std::unordered_map<int, int> m;  // tfx-lint: allow(hot-path-map)\n";
+  const std::string line_above =
+      "// scratch only. tfx-lint: allow(hot-path-map)\n"
+      "std::unordered_map<int, int> m;\n";
+  // A marker BELOW the declaration must not suppress — placement matters.
+  const std::string line_below =
+      "std::unordered_map<int, int>\n"
+      "    m;  // tfx-lint: allow(hot-path-map)\n";
+  EXPECT_TRUE(LintOne("src/turboflux/core/a.cc", same_line).empty());
+  EXPECT_TRUE(LintOne("src/turboflux/core/a.cc", line_above).empty());
+  EXPECT_TRUE(HasCheck(LintOne("src/turboflux/core/a.cc", line_below),
+                       "hot-path-map"));
+}
+
+TEST(TfxLintHotPathMap, OrderedMapAndFlatTableAreClean) {
+  const std::string good =
+      "#include \"turboflux/common/flat_table.h\"\n"
+      "class G {\n"
+      "  FlatPairTable pair_index_;\n"
+      "  std::map<uint64_t, int> debug_only_;\n"
+      "};\n";
+  EXPECT_TRUE(LintOne("src/turboflux/graph/g.h", good).empty());
 }
 
 // --- unordered-emission ---

@@ -200,7 +200,7 @@ bool PathEndsWith(const std::string& path, const char* suffix) {
 bool IsHotPathFile(const std::string& path) {
   const std::string p = NormalizePath(path);
   for (const char* dir :
-       {"/core/", "/match/", "/parallel/", "/baseline/"}) {
+       {"/core/", "/match/", "/parallel/", "/baseline/", "/graph/"}) {
     if (p.find("turboflux" + std::string(dir)) != std::string::npos) {
       return true;
     }
@@ -312,6 +312,22 @@ void CheckHotPathRegistry(const FileInput& file, const std::vector<Token>& t,
                     "string-keyed StatsRegistry lookup `" + t[i].text +
                         "` on an engine hot path; use the typed structs in "
                         "obs/engine_stats.h"});
+  }
+}
+
+void CheckHotPathMap(const FileInput& file, const std::vector<Token>& t,
+                     const std::vector<std::string>& lines,
+                     std::vector<Finding>* out) {
+  if (!IsHotPathFile(file.path)) return;
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (!t[i].ident || t[i].text != "unordered_map") continue;
+    if (Suppressed(lines, t[i].line, "hot-path-map")) continue;
+    out->push_back(
+        {file.path, t[i].line, "hot-path-map",
+         "std::unordered_map on an engine hot-path file; per-probe "
+         "pointer chasing is what DESIGN.md §3.11 removed — use "
+         "FlatPairTable, AdjPool, or a sorted vector, or suppress with a "
+         "rationale if this is validation/setup scratch"});
   }
 }
 
@@ -443,7 +459,7 @@ std::string Finding::ToString() const {
 
 std::vector<std::string> CheckNames() {
   return {"raw-sync", "discarded-status", "hot-path-registry",
-          "unordered-emission"};
+          "hot-path-map", "unordered-emission"};
 }
 
 std::vector<Finding> Lint(const std::vector<FileInput>& files) {
@@ -472,6 +488,7 @@ std::vector<Finding> Lint(const std::vector<FileInput>& files) {
     CheckRawSync(*p.file, p.tokens, p.lines, &findings);
     CheckDiscardedStatus(*p.file, p.tokens, p.lines, ctx, &findings);
     CheckHotPathRegistry(*p.file, p.tokens, p.lines, &findings);
+    CheckHotPathMap(*p.file, p.tokens, p.lines, &findings);
     CheckUnorderedEmission(*p.file, p.tokens, p.lines, &findings);
   }
   std::stable_sort(findings.begin(), findings.end(),

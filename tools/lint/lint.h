@@ -28,6 +28,13 @@
 //                       structs in obs/engine_stats.h — a map lookup per
 //                       op is exactly the overhead the Noop/Enabled split
 //                       exists to avoid.
+//   hot-path-map        Any mention of std::unordered_map in an engine
+//                       hot-path file (src/turboflux/{core,match,parallel,
+//                       baseline,graph}/). The §3.11 layout rework replaced
+//                       per-probe pointer chasing with FlatPairTable /
+//                       AdjPool; this check stops the old idiom from
+//                       creeping back. Validation, setup, or per-batch
+//                       scratch is fine — suppress with a rationale.
 //   unordered-emission  A range-for over a std::unordered_map /
 //                       std::unordered_set whose body reports matches
 //                       (calls OnMatch). Unordered iteration order is

@@ -1,8 +1,9 @@
 // Multi-query serving scalability (DESIGN.md §3.10): per-update cost of
-// serving N standing queries over one LSBench stream, naive fan-out
-// (MultiQueryEngine: one graph copy per query, every query evaluated on
-// every update) vs the multi::QuerySet serving layer (one shared graph,
-// per-update routing, signature sharing).
+// serving N standing queries over one LSBench stream, naive fan-out (one
+// independent TurboFluxEngine — and thus one private graph copy — per
+// query, every query evaluated on every update) vs the multi::QuerySet
+// serving layer (one shared graph, per-update routing, signature
+// sharing).
 //
 //   multi_query_scaling [--counts=1,10,100,1000] [--ops=N] [--scale=F]
 //                       [--num_edges=K] [--overlap=F] [--dup=F] [--skew=F]
@@ -27,13 +28,14 @@
 #include <algorithm>
 #include <cstdio>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "common/experiment.h"
 #include "common/flags.h"
-#include "turboflux/core/multi_query.h"
+#include "turboflux/core/turboflux.h"
 #include "turboflux/multi/query_set.h"
 
 namespace turboflux {
@@ -53,12 +55,20 @@ struct PerQueryCounts {
   }
 };
 
-class NaiveSink : public MultiQueryEngine::Sink {
+/// Adapter routing one engine's untagged matches to a shared per-query
+/// tally — the glue that lets N independent engines stand in for the
+/// naive one-engine-per-query baseline.
+class TaggedSink : public MatchSink {
  public:
-  void OnMatch(QueryId query, bool positive, const Mapping&) override {
-    counts.Note(query, positive);
+  TaggedSink(uint32_t id, PerQueryCounts* counts)
+      : id_(id), counts_(counts) {}
+  void OnMatch(bool positive, const Mapping&) override {
+    counts_->Note(id_, positive);
   }
-  PerQueryCounts counts;
+
+ private:
+  uint32_t id_;
+  PerQueryCounts* counts_;
 };
 
 class SetSink : public multi::QuerySet::Sink {
@@ -92,17 +102,30 @@ PointResult RunPoint(const workload::Dataset& dataset,
   r.ops = dataset.stream.size();
   Deadline deadline = Deadline::Infinite();
 
-  // Naive fan-out baseline.
-  NaiveSink naive_sink;
+  // Naive fan-out baseline: one independent engine (private graph copy)
+  // per query; every engine evaluates every update.
+  PerQueryCounts naive_counts;
   {
-    MultiQueryEngine naive;
-    for (const QueryGraph& q : queries) naive.AddQuery(q);
+    std::vector<std::unique_ptr<TurboFluxEngine>> engines;
+    std::vector<TaggedSink> sinks;
+    engines.reserve(queries.size());
+    sinks.reserve(queries.size());
+    for (uint32_t i = 0; i < queries.size(); ++i) {
+      engines.push_back(std::make_unique<TurboFluxEngine>());
+      sinks.emplace_back(i, &naive_counts);
+    }
     Stopwatch init;
-    if (!naive.Init(dataset.initial, naive_sink, deadline)) return r;
+    for (size_t i = 0; i < queries.size(); ++i) {
+      if (!engines[i]->Init(queries[i], dataset.initial, sinks[i], deadline)) {
+        return r;
+      }
+    }
     r.naive_init_seconds = init.ElapsedSeconds();
     Stopwatch stream;
     for (const UpdateOp& op : dataset.stream) {
-      if (!naive.ApplyUpdate(op, naive_sink, deadline)) return r;
+      for (size_t i = 0; i < engines.size(); ++i) {
+        if (!engines[i]->ApplyUpdate(op, sinks[i], deadline)) return r;
+      }
     }
     r.naive_stream_seconds = stream.ElapsedSeconds();
     // The naive layer evaluates every registered query on every op.
@@ -150,11 +173,11 @@ PointResult RunPoint(const workload::Dataset& dataset,
   }
 
   // End-to-end guard: per-query totals must agree exactly.
-  size_t n = std::max(naive_sink.counts.counts.size(),
+  size_t n = std::max(naive_counts.counts.size(),
                       set_sink.counts.counts.size());
-  naive_sink.counts.counts.resize(n, {0, 0});
+  naive_counts.counts.resize(n, {0, 0});
   set_sink.counts.counts.resize(n, {0, 0});
-  r.totals_equal = naive_sink.counts.counts == set_sink.counts.counts;
+  r.totals_equal = naive_counts.counts == set_sink.counts.counts;
   r.ok = true;
   return r;
 }

@@ -2,15 +2,16 @@
 // spread in a phone/computer network can be modeled as a query graph. A
 // worm signature here is a cascade: an infected machine contacts two
 // distinct peers over the same exploit port within the monitored window,
-// and one of those peers contacts a third. Demonstrates the multi-query
-// engine: several signatures monitored simultaneously over one stream.
+// and one of those peers contacts a third. Demonstrates the multi::QuerySet
+// serving layer: several signatures monitored simultaneously over one
+// shared graph and one stream.
 //
 //   run: ./build/examples/emergency_response
 
 #include <cstdio>
 
 #include "turboflux/common/rng.h"
-#include "turboflux/core/multi_query.h"
+#include "turboflux/multi/query_set.h"
 
 using namespace turboflux;
 
@@ -18,14 +19,14 @@ namespace {
 
 constexpr EdgeLabel kExploit = 0, kHttp = 1, kDns = 2;
 
-class OpsConsole : public MultiQueryEngine::Sink {
+class OpsConsole : public multi::QuerySet::Sink {
  public:
-  void OnMatch(QueryId query, bool positive, const Mapping&) override {
+  void OnMatch(multi::QueryId query, bool positive, const Mapping&) override {
     if (positive) {
       ++alerts_[query];
     }
   }
-  size_t alerts(QueryId q) const { return alerts_[q]; }
+  size_t alerts(multi::QueryId q) const { return alerts_[q]; }
 
  private:
   size_t alerts_[8] = {};
@@ -61,11 +62,6 @@ int main() {
     beacon.AddEdge(b, kDns, a);
   }
 
-  MultiQueryEngine engine;
-  QueryId q_cascade = engine.AddQuery(cascade);
-  QueryId q_fanout = engine.AddQuery(fanout);
-  QueryId q_beacon = engine.AddQuery(beacon);
-
   // Benign background network: HTTP and DNS chatter among 300 machines.
   const size_t kHosts = 300;
   Graph g0;
@@ -79,9 +75,16 @@ int main() {
   }
 
   OpsConsole console;
-  if (!engine.Init(g0, console, Deadline::Infinite())) return 1;
+  multi::QuerySet set;
+  set.Bind(g0);
+  multi::QueryId q_cascade = 0, q_fanout = 0, q_beacon = 0;
+  if (!set.Register(cascade, console, Deadline::Infinite(), &q_cascade).ok() ||
+      !set.Register(fanout, console, Deadline::Infinite(), &q_fanout).ok() ||
+      !set.Register(beacon, console, Deadline::Infinite(), &q_beacon).ok()) {
+    return 1;
+  }
   std::printf("monitoring %zu machines with 3 signatures; total DCG %zu "
-              "edges\n", kHosts, engine.IntermediateSize());
+              "edges\n", kHosts, set.IntermediateSize());
 
   // Live traffic with a simulated worm outbreak: patient zero exploits
   // two machines, one of which exploits a third and phones home.
@@ -99,7 +102,8 @@ int main() {
   live.push_back(UpdateOp::Insert(third, kDns, first));       // beacon
 
   for (const UpdateOp& op : live) {
-    if (!engine.ApplyUpdate(op, console, Deadline::Infinite())) return 1;
+    Status st = set.ApplyUpdate(op, console, Deadline::Infinite());
+    if (st.code() == StatusCode::kDeadlineExceeded) return 1;
   }
   std::printf("alerts: cascade=%zu fan-out=%zu beacon=%zu (each >=1 "
               "expected)\n",

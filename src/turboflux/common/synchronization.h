@@ -1,6 +1,7 @@
 #ifndef TURBOFLUX_COMMON_SYNCHRONIZATION_H_
 #define TURBOFLUX_COMMON_SYNCHRONIZATION_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 
@@ -88,6 +89,17 @@ class CondVar {
     std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
     cv_.wait(lock);
     lock.release();  // the caller still logically holds `mu`
+  }
+
+  /// Wait bounded by `timeout`. Returns false on timeout, true on a
+  /// notification (or spurious wakeup — re-check the predicate either
+  /// way). The ingestion service uses this for drain pacing and bounded
+  /// ack waits; like Wait, the mutex is held again when this returns.
+  bool WaitFor(Mutex& mu, std::chrono::milliseconds timeout) REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    std::cv_status st = cv_.wait_for(lock, timeout);
+    lock.release();
+    return st == std::cv_status::no_timeout;
   }
 
   void NotifyOne() { cv_.notify_one(); }

@@ -174,8 +174,12 @@ ResilientResult RunResilient(TurboFluxEngine& engine, const QueryGraph& q,
     }
     // step is OK or an informational quarantine/no-op status; either way
     // the op(s) were consumed.
-    if (options.checkpoint_every > 0 &&
-        engine.applied_ops() - committed >= options.checkpoint_every) {
+    bool timer_fired =
+        options.checkpoint_request != nullptr &&
+        options.checkpoint_request->exchange(false, std::memory_order_acq_rel);
+    if (timer_fired ||
+        (options.checkpoint_every > 0 &&
+         engine.applied_ops() - committed >= options.checkpoint_every)) {
       st = commit();
       if (!st.ok()) return finish(false, std::move(st));
     }

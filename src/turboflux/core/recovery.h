@@ -1,6 +1,7 @@
 #ifndef TURBOFLUX_CORE_RECOVERY_H_
 #define TURBOFLUX_CORE_RECOVERY_H_
 
+#include <atomic>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -43,6 +44,16 @@ struct ResilientOptions {
   /// Optional fault injector threaded through the engine for the run
   /// (tests); nullptr injects nothing.
   FaultInjector* injector = nullptr;
+
+  /// Optional externally-driven checkpoint trigger (a timer thread in the
+  /// ingestion service, a test's race probe). When non-null, the runner
+  /// polls it between engine calls; if set, it commits immediately —
+  /// exactly as if checkpoint_every had just elapsed — and clears the
+  /// flag. The poll point is deliberately *between* ops, never inside
+  /// one: a commit can land between an op's journal append (the engine
+  /// consuming it) and its match flush, which is the race the concurrent-
+  /// checkpoint property test pins as exactly-once-safe.
+  std::atomic<bool>* checkpoint_request = nullptr;
 
   /// Export the engine's hot-path counters (plus run.* bookkeeping) into
   /// ResilientResult::stats. Note that engine counters accumulate across

@@ -29,7 +29,7 @@ namespace multi {
 
 /// Identifier of a registered query within a QuerySet: dense from 0 in
 /// registration order, never reused after Deregister. Structurally the
-/// same type as the deprecated MultiQueryEngine's QueryId.
+/// monotonically assigned by the owning set, never reused.
 using QueryId = uint32_t;
 
 /// Byte-exact structural identity of a query graph (vertex labels in id
@@ -75,7 +75,7 @@ struct QuerySetOptions {
 /// through an inverted (edge-label, src-label, dst-label) index so each
 /// update only touches the queries it can affect.
 ///
-/// Replaces the naive MultiQueryEngine fan-out (one private graph copy per
+/// Replaces a naive per-query engine fan-out (one private graph copy per
 /// query, every query evaluated on every update). Per-query match streams
 /// are exactly those of N independent TurboFluxEngine runs — the
 /// differential suite (test_query_set_differential.cc) pins this per

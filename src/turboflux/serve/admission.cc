@@ -1,0 +1,107 @@
+#include "turboflux/serve/admission.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+namespace turboflux {
+namespace serve {
+
+uint32_t AdmissionQueue::BackoffHintLocked() {
+  uint32_t shift = std::min<uint32_t>(consecutive_rejects_, 16);
+  uint64_t hint = static_cast<uint64_t>(config_.retry_base_ms) << shift;
+  return static_cast<uint32_t>(
+      std::min<uint64_t>(hint, config_.retry_max_ms));
+}
+
+AdmitResult AdmissionQueue::TryPush(std::span<const PendingOp> ops) {
+  AdmitResult result;
+  bool admitted = false;
+  {
+    MutexLock lock(mu_);
+    result.depth = queue_.size();
+    if (closed_) {
+      result.retry_after_ms = 0;  // shutdown: retrying is pointless
+      return result;
+    }
+    if (queue_.size() + ops.size() > config_.queue_cap) {
+      ++consecutive_rejects_;
+      ++rejected_batches_;
+      result.retry_after_ms = BackoffHintLocked();
+      return result;
+    }
+    queue_.insert(queue_.end(), ops.begin(), ops.end());
+    consecutive_rejects_ = 0;
+    accepted_ops_ += ops.size();
+    result.accepted = true;
+    result.depth = queue_.size();
+    admitted = true;
+  }
+  if (admitted) cv_.NotifyAll();
+  return result;
+}
+
+size_t AdmissionQueue::Drain(size_t max, uint32_t wait_ms,
+                             std::vector<PendingOp>* out) {
+  MutexLock lock(mu_);
+  if (queue_.empty() && !closed_ && wait_ms > 0) {
+    // One bounded wait; spurious wakeups and timeouts both fall through
+    // to the snapshot below — the caller loops anyway.
+    (void)cv_.WaitFor(mu_, std::chrono::milliseconds(wait_ms));
+  }
+  size_t n = std::min(max, queue_.size());
+  for (size_t i = 0; i < n; ++i) {
+    out->push_back(queue_.front());
+    queue_.pop_front();
+  }
+  return n;
+}
+
+void AdmissionQueue::Close() {
+  {
+    MutexLock lock(mu_);
+    closed_ = true;
+  }
+  cv_.NotifyAll();
+}
+
+size_t AdmissionQueue::Depth() const {
+  MutexLock lock(mu_);
+  return queue_.size();
+}
+
+uint64_t AdmissionQueue::accepted_ops() const {
+  MutexLock lock(mu_);
+  return accepted_ops_;
+}
+
+uint64_t AdmissionQueue::rejected_batches() const {
+  MutexLock lock(mu_);
+  return rejected_batches_;
+}
+
+bool TokenBucket::TryAcquire(double n, int64_t now_us,
+                             uint32_t* retry_after_ms) {
+  *retry_after_ms = 0;
+  if (rate_ <= 0) return true;
+  if (!primed_) {
+    primed_ = true;
+    last_us_ = now_us;
+  }
+  if (now_us > last_us_) {
+    tokens_ = std::min(
+        burst_, tokens_ + rate_ * static_cast<double>(now_us - last_us_) / 1e6);
+    last_us_ = now_us;
+  }
+  if (tokens_ >= n) {
+    tokens_ -= n;
+    return true;
+  }
+  double deficit = n - tokens_;
+  double wait_ms = std::ceil(deficit / rate_ * 1e3);
+  *retry_after_ms = static_cast<uint32_t>(std::max(1.0, wait_ms));
+  return false;
+}
+
+}  // namespace serve
+}  // namespace turboflux

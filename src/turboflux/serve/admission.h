@@ -1,0 +1,116 @@
+#ifndef TURBOFLUX_SERVE_ADMISSION_H_
+#define TURBOFLUX_SERVE_ADMISSION_H_
+
+#include <cstdint>
+#include <deque>
+#include <span>
+#include <vector>
+
+#include "turboflux/common/synchronization.h"
+#include "turboflux/common/thread_annotations.h"
+#include "turboflux/graph/update_stream.h"
+
+namespace turboflux {
+namespace serve {
+
+/// One admitted update op, tagged with its producer channel and the
+/// channel-local sequence number (used for exactly-once ack bookkeeping).
+struct PendingOp {
+  uint64_t channel = 0;
+  uint64_t seq = 0;
+  UpdateOp op{UpdateOp::Type::kInsert, 0, 0, 0};
+};
+
+struct AdmissionConfig {
+  /// Maximum ops buffered between producers and the ingest thread. This
+  /// is the server's memory bound under overload: nothing past the WAL
+  /// grows with arrival rate.
+  size_t queue_cap = 4096;
+
+  /// Exponential-backoff hint schedule for RETRY responses:
+  /// min(retry_max_ms, retry_base_ms << min(consecutive_rejects, 16)).
+  uint32_t retry_base_ms = 1;
+  uint32_t retry_max_ms = 1000;
+};
+
+/// Outcome of an admission attempt.
+struct AdmitResult {
+  bool accepted = false;
+  /// When rejected: how long the producer should wait before retrying.
+  uint32_t retry_after_ms = 0;
+  /// Queue depth observed at decision time (diagnostics for RETRY).
+  size_t depth = 0;
+};
+
+/// Bounded MPSC hand-off between connection threads and the single ingest
+/// thread. Admission is all-or-nothing per submit batch — a partially
+/// admitted batch would force the producer to split its exactly-once
+/// sequence range. Rejection is explicit (AdmitResult with a backoff
+/// hint), never a silent drop; the backoff hint grows exponentially with
+/// consecutive rejections so a spinning producer self-paces.
+class AdmissionQueue {
+ public:
+  explicit AdmissionQueue(const AdmissionConfig& config)
+      : config_(config) {}
+
+  /// Producer side. Admits all of `ops` or none. Never blocks.
+  AdmitResult TryPush(std::span<const PendingOp> ops) EXCLUDES(mu_);
+
+  /// Consumer side: moves up to `max` ops into `out` (appended). Blocks
+  /// up to `wait_ms` for the first op; returns the number moved (0 on
+  /// timeout or when closed and drained).
+  size_t Drain(size_t max, uint32_t wait_ms, std::vector<PendingOp>* out)
+      EXCLUDES(mu_);
+
+  /// Wakes the consumer and makes every later TryPush reject immediately
+  /// with retry_after_ms = 0 (shutdown, not backpressure).
+  void Close() EXCLUDES(mu_);
+
+  size_t Depth() const EXCLUDES(mu_);
+  size_t Capacity() const { return config_.queue_cap; }
+
+  /// Totals since construction (observability).
+  uint64_t accepted_ops() const EXCLUDES(mu_);
+  uint64_t rejected_batches() const EXCLUDES(mu_);
+
+ private:
+  uint32_t BackoffHintLocked() REQUIRES(mu_);
+
+  const AdmissionConfig config_;
+
+  mutable Mutex mu_;
+  CondVar cv_;  // paired with mu_; notified outside the lock
+  std::deque<PendingOp> queue_ GUARDED_BY(mu_);
+  bool closed_ GUARDED_BY(mu_) = false;
+  uint32_t consecutive_rejects_ GUARDED_BY(mu_) = 0;
+  uint64_t accepted_ops_ GUARDED_BY(mu_) = 0;
+  uint64_t rejected_batches_ GUARDED_BY(mu_) = 0;
+};
+
+/// Deterministic token bucket for per-connection rate limiting. The
+/// caller supplies the clock (microseconds, any monotone origin), which
+/// keeps the policy unit-testable without sleeping and lets the TCP layer
+/// share one steady_clock read across checks.
+class TokenBucket {
+ public:
+  /// `rate_per_sec` tokens accrue per second up to `burst`. A rate of 0
+  /// disables limiting entirely.
+  TokenBucket(double rate_per_sec, double burst)
+      : rate_(rate_per_sec), burst_(burst), tokens_(burst) {}
+
+  /// Takes `n` tokens if available. On refusal returns false and sets
+  /// *retry_after_ms to the time until `n` tokens will have accrued.
+  bool TryAcquire(double n, int64_t now_us, uint32_t* retry_after_ms);
+
+ private:
+  const double rate_;
+  const double burst_;
+  double tokens_;
+  int64_t last_us_ = 0;
+  bool primed_ = false;
+};
+
+}  // namespace serve
+}  // namespace turboflux
+
+#endif  // TURBOFLUX_SERVE_ADMISSION_H_

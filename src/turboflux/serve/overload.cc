@@ -1,0 +1,41 @@
+#include "turboflux/serve/overload.h"
+
+namespace turboflux {
+namespace serve {
+
+Tier OverloadController::TargetFor(double frac) const {
+  if (frac >= config_.reject_frac) return Tier::kReject;
+  if (frac >= config_.widen_frac) return Tier::kWiden;
+  if (frac >= config_.shed_frac) return Tier::kShed;
+  if (frac <= config_.recover_frac) return Tier::kNormal;
+  // Between recover and shed: no pressure either way, hold current tier.
+  return tier_;
+}
+
+Tier OverloadController::Observe(size_t depth, size_t cap, int64_t now_us) {
+  double frac = cap == 0 ? 0.0
+                         : static_cast<double>(depth) / static_cast<double>(cap);
+  Tier target = TargetFor(frac);
+  if (target == tier_) {
+    pending_active_ = false;
+    return tier_;
+  }
+  if (!pending_active_ || pending_ != target) {
+    pending_ = target;
+    pending_since_us_ = now_us;
+    pending_active_ = true;
+  }
+  // Escalation and recovery use different dwell times: get out of the
+  // way quickly under pressure, come back conservatively.
+  int64_t dwell = static_cast<uint8_t>(target) > static_cast<uint8_t>(tier_)
+                      ? config_.sustain_us
+                      : config_.recover_us;
+  if (now_us - pending_since_us_ >= dwell) {
+    tier_ = target;
+    pending_active_ = false;
+  }
+  return tier_;
+}
+
+}  // namespace serve
+}  // namespace turboflux

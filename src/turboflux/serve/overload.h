@@ -1,0 +1,61 @@
+#ifndef TURBOFLUX_SERVE_OVERLOAD_H_
+#define TURBOFLUX_SERVE_OVERLOAD_H_
+
+#include <cstdint>
+
+#include "turboflux/serve/protocol.h"
+
+namespace turboflux {
+namespace serve {
+
+/// Degradation policy (DESIGN.md §3.12). Tiers escalate on sustained
+/// admission-queue pressure and de-escalate only after the queue has
+/// stayed comfortably drained — hysteresis on both edges so a bursty
+/// arrival pattern does not flap the service between modes:
+///
+///   kNormal → kShed   deregister lowest-priority standing queries
+///   kShed   → kWiden  additionally widen the consumer's batch window
+///   kWiden  → kReject additionally reject all new work with diagnostics
+///
+/// Thresholds are fractions of queue capacity; escalation requires the
+/// fraction to hold for `sustain_us`, recovery requires depth below
+/// `recover_frac` for `recover_us`.
+struct OverloadConfig {
+  double shed_frac = 0.50;
+  double widen_frac = 0.75;
+  double reject_frac = 0.90;
+  double recover_frac = 0.25;
+  int64_t sustain_us = 2000;
+  int64_t recover_us = 10000;
+};
+
+/// Pure state machine: the caller feeds (queue depth, now). Time is
+/// injected, so tier transitions are deterministic in tests. Not thread
+/// safe — only the ingest thread calls Observe; the resulting tier is
+/// published through an atomic on the server.
+class OverloadController {
+ public:
+  explicit OverloadController(const OverloadConfig& config)
+      : config_(config) {}
+
+  /// Ingests one observation and returns the (possibly new) tier.
+  Tier Observe(size_t depth, size_t cap, int64_t now_us);
+
+  Tier tier() const { return tier_; }
+
+ private:
+  /// The tier `frac` alone calls for, ignoring hysteresis.
+  Tier TargetFor(double frac) const;
+
+  const OverloadConfig config_;
+  Tier tier_ = Tier::kNormal;
+  /// Pending transition the depth has been arguing for, and since when.
+  Tier pending_ = Tier::kNormal;
+  int64_t pending_since_us_ = 0;
+  bool pending_active_ = false;
+};
+
+}  // namespace serve
+}  // namespace turboflux
+
+#endif  // TURBOFLUX_SERVE_OVERLOAD_H_

@@ -1,0 +1,85 @@
+#ifndef TURBOFLUX_SERVE_PAUSE_DETECTOR_H_
+#define TURBOFLUX_SERVE_PAUSE_DETECTOR_H_
+
+#include <chrono>
+#include <thread>
+
+#include "turboflux/common/deadline.h"
+#include "turboflux/common/synchronization.h"
+#include "turboflux/common/thread_annotations.h"
+
+namespace turboflux {
+namespace serve {
+
+/// Detects wall-clock pauses of the whole process (SIGSTOP, container
+/// freeze, VM suspend, debugger) and reports them to Deadline::NotePause
+/// so in-flight deadlines are not mass-expired the instant the process
+/// resumes (DESIGN.md §3.12, ISSUE 8 satellite 3).
+///
+/// Mechanism: a heartbeat thread sleeps `interval` and measures how long
+/// the sleep actually took. Scheduling jitter is tolerated up to
+/// `threshold`; anything beyond that is attributed to a pause, and the
+/// excess over the intended interval becomes pause credit. The detector
+/// can only run *after* resume, so a deadline polled between resume and
+/// the next heartbeat may still latch expired — the interval bounds that
+/// window (see Deadline::NotePause).
+class PauseDetector {
+ public:
+  explicit PauseDetector(
+      std::chrono::milliseconds interval = std::chrono::milliseconds(100),
+      std::chrono::milliseconds threshold = std::chrono::milliseconds(250))
+      : interval_(interval), threshold_(threshold) {
+    thread_ = std::thread([this] { Run(); });
+  }
+
+  ~PauseDetector() {
+    {
+      MutexLock lock(mu_);
+      stop_ = true;
+    }
+    cv_.NotifyAll();
+    thread_.join();
+  }
+
+  PauseDetector(const PauseDetector&) = delete;
+  PauseDetector& operator=(const PauseDetector&) = delete;
+
+  /// Pauses detected so far (observability/tests).
+  uint64_t pauses_detected() const {
+    MutexLock lock(mu_);
+    return pauses_;
+  }
+
+ private:
+  void Run() EXCLUDES(mu_) {
+    using Clock = Deadline::Clock;
+    Clock::time_point before = Clock::now();
+    MutexLock lock(mu_);
+    while (!stop_) {
+      (void)cv_.WaitFor(mu_, interval_);
+      Clock::time_point after = Clock::now();
+      auto slept = after - before;
+      before = after;
+      if (slept > interval_ + threshold_) {
+        Deadline::NotePause(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(slept -
+                                                                 interval_));
+        ++pauses_;
+      }
+    }
+  }
+
+  const std::chrono::milliseconds interval_;
+  const std::chrono::milliseconds threshold_;
+
+  mutable Mutex mu_;
+  CondVar cv_;  // paired with mu_; notified outside the lock
+  bool stop_ GUARDED_BY(mu_) = false;
+  uint64_t pauses_ GUARDED_BY(mu_) = 0;
+  std::thread thread_;
+};
+
+}  // namespace serve
+}  // namespace turboflux
+
+#endif  // TURBOFLUX_SERVE_PAUSE_DETECTOR_H_

@@ -1,0 +1,150 @@
+#include "turboflux/workload/traffic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace turboflux {
+namespace workload {
+
+std::vector<uint64_t> GenerateArrivalTimes(size_t n,
+                                           const ArrivalConfig& config) {
+  std::vector<uint64_t> arrivals;
+  arrivals.reserve(n);
+  if (n == 0) return arrivals;
+  Rng rng(config.seed);
+  uint64_t t = 0;
+  switch (config.shape) {
+    case ArrivalShape::kUniform: {
+      for (size_t i = 0; i < n; ++i) {
+        arrivals.push_back(t);
+        t += config.mean_gap_us;
+      }
+      break;
+    }
+    case ArrivalShape::kBurst: {
+      // A train of burst_len ops arrives back-to-back, then the stream
+      // idles long enough that the long-run rate matches mean_gap_us:
+      // one train spans burst_len ops, so each idle gap averages
+      // burst_len * mean_gap_us (jittered ±50% to avoid lockstep).
+      size_t len = std::max<size_t>(1, config.burst_len);
+      uint64_t idle_mean = config.mean_gap_us * len;
+      size_t in_train = 0;
+      for (size_t i = 0; i < n; ++i) {
+        arrivals.push_back(t);
+        if (++in_train >= len) {
+          in_train = 0;
+          uint64_t lo = idle_mean / 2;
+          t += lo + rng.NextBounded(idle_mean + 1);
+        } else {
+          t += 1;  // back-to-back within the train
+        }
+      }
+      break;
+    }
+    case ArrivalShape::kPowerLaw: {
+      // Pareto with tail index alpha has mean xm * alpha / (alpha - 1);
+      // choose the scale xm so the mean equals mean_gap_us.
+      double alpha = std::max(1.0001, config.alpha);
+      double xm = static_cast<double>(config.mean_gap_us) * (alpha - 1.0) /
+                  alpha;
+      for (size_t i = 0; i < n; ++i) {
+        arrivals.push_back(t);
+        double u = rng.NextDouble();
+        if (u >= 1.0) u = std::nextafter(1.0, 0.0);
+        double gap = xm / std::pow(1.0 - u, 1.0 / alpha);
+        // Clamp the tail at 10^4 mean gaps so one astronomically rare
+        // draw cannot make a replay run effectively hang.
+        double cap = static_cast<double>(config.mean_gap_us) * 1e4;
+        t += static_cast<uint64_t>(std::min(gap, cap));
+      }
+      break;
+    }
+  }
+  return arrivals;
+}
+
+double ArrivalGapCv(const std::vector<uint64_t>& arrivals) {
+  if (arrivals.size() < 2) return 0.0;
+  std::vector<double> gaps;
+  gaps.reserve(arrivals.size() - 1);
+  for (size_t i = 1; i < arrivals.size(); ++i) {
+    gaps.push_back(static_cast<double>(arrivals[i] - arrivals[i - 1]));
+  }
+  double mean = 0.0;
+  for (double g : gaps) mean += g;
+  mean /= static_cast<double>(gaps.size());
+  if (mean <= 0.0) return 0.0;
+  double var = 0.0;
+  for (double g : gaps) var += (g - mean) * (g - mean);
+  var /= static_cast<double>(gaps.size());
+  return std::sqrt(var) / mean;
+}
+
+UpdateStream MakeHotspotStream(const Graph& g, const HotspotConfig& config) {
+  UpdateStream stream;
+  if (g.VertexCount() == 0 || config.ops == 0) return stream;
+  Rng rng(config.seed);
+
+  // Label alphabet: what the graph actually uses (so every op is legal
+  // for the standing queries' label universe); label 0 if edgeless.
+  std::set<EdgeLabel> label_set;
+  for (VertexId v = 0; v < g.VertexCount() && label_set.size() < 16; ++v) {
+    for (const AdjEntry& e : g.OutEdges(v)) label_set.insert(e.label);
+  }
+  std::vector<EdgeLabel> labels(label_set.begin(), label_set.end());
+  if (labels.empty()) labels.push_back(0);
+
+  // Hot centers: the highest-degree vertices — the DCG's worst case is
+  // churn on exactly the vertices with the most incident state.
+  std::vector<VertexId> by_degree(g.VertexCount());
+  for (VertexId v = 0; v < g.VertexCount(); ++v) by_degree[v] = v;
+  std::sort(by_degree.begin(), by_degree.end(), [&g](VertexId a, VertexId b) {
+    size_t da = g.Degree(a), db = g.Degree(b);
+    return da != db ? da > db : a < b;
+  });
+  size_t hot_n = std::min(std::max<size_t>(1, config.hot_vertices),
+                          by_degree.size());
+  std::vector<VertexId> hot(by_degree.begin(), by_degree.begin() + hot_n);
+  ZipfSampler hot_rank(hot_n, config.zipf_exponent);
+
+  // Storm edges inserted so far — the pool churn deletions draw from.
+  std::vector<UpdateOp> inserted;
+  while (stream.size() < config.ops) {
+    bool churn = !inserted.empty() && rng.NextBool(config.churn_fraction);
+    if (churn) {
+      size_t i = rng.NextIndex(inserted.size());
+      UpdateOp del = inserted[i];
+      del.type = UpdateOp::Type::kDelete;
+      stream.push_back(del);
+      inserted[i] = inserted.back();
+      inserted.pop_back();
+      continue;
+    }
+    VertexId from, to;
+    if (rng.NextBool(config.hot_fraction)) {
+      // Hot op: one endpoint is a Zipf-ranked hot center.
+      VertexId center = hot[hot_rank.Sample(rng)];
+      VertexId other =
+          static_cast<VertexId>(rng.NextBounded(g.VertexCount()));
+      if (rng.NextBool(0.5)) {
+        from = center;
+        to = other;
+      } else {
+        from = other;
+        to = center;
+      }
+    } else {
+      from = static_cast<VertexId>(rng.NextBounded(g.VertexCount()));
+      to = static_cast<VertexId>(rng.NextBounded(g.VertexCount()));
+    }
+    EdgeLabel label = labels[rng.NextIndex(labels.size())];
+    UpdateOp ins = UpdateOp::Insert(from, label, to);
+    stream.push_back(ins);
+    inserted.push_back(ins);
+  }
+  return stream;
+}
+
+}  // namespace workload
+}  // namespace turboflux

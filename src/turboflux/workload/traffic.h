@@ -1,0 +1,83 @@
+#ifndef TURBOFLUX_WORKLOAD_TRAFFIC_H_
+#define TURBOFLUX_WORKLOAD_TRAFFIC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "turboflux/common/rng.h"
+#include "turboflux/graph/graph.h"
+#include "turboflux/graph/update_stream.h"
+
+namespace turboflux {
+namespace workload {
+
+// Traffic shaping for the ingestion service tests (ROADMAP item 5,
+// ISSUE 8 satellite): the chaos and backpressure suites need load that
+// looks like production streams — bursts, heavy-tailed gaps, and
+// adversarial hot spots — not a uniform drip. Everything here is
+// deterministic from the config seed.
+
+/// Inter-arrival models for a replayed update stream.
+enum class ArrivalShape : uint8_t {
+  /// Constant gap `mean_gap_us` (smooth replay).
+  kUniform,
+  /// Trains of `burst_len` back-to-back ops (gap ~0) separated by idle
+  /// gaps sized so the overall mean rate still matches mean_gap_us.
+  kBurst,
+  /// Pareto (power-law) inter-arrivals with tail index `alpha`, scaled
+  /// to mean mean_gap_us: most gaps are tiny, occasional gaps are huge —
+  /// the classic self-similar traffic model.
+  kPowerLaw,
+};
+
+struct ArrivalConfig {
+  ArrivalShape shape = ArrivalShape::kUniform;
+  /// Mean inter-arrival gap in microseconds (the target average rate).
+  uint64_t mean_gap_us = 100;
+  /// kBurst: ops per train.
+  size_t burst_len = 32;
+  /// kPowerLaw: Pareto tail index; must be > 1 for a finite mean.
+  double alpha = 1.5;
+  uint64_t seed = 1;
+};
+
+/// Monotone arrival timestamps (microseconds from 0) for `n` ops under
+/// `config`. arrivals[i] is when op i should be submitted; a replayer
+/// sleeps the gaps to reproduce the shape in real time, or feeds the
+/// timestamps to a deterministic token-bucket/overload simulation.
+std::vector<uint64_t> GenerateArrivalTimes(size_t n,
+                                           const ArrivalConfig& config);
+
+/// Sample coefficient of variation (stddev / mean) of the inter-arrival
+/// gaps — the burstiness measure the tests assert on (uniform CV = 0,
+/// bursty/power-law CV >> 0).
+double ArrivalGapCv(const std::vector<uint64_t>& arrivals);
+
+struct HotspotConfig {
+  /// Ops in the generated storm.
+  size_t ops = 1024;
+  /// Number of hot vertices the storm centers on.
+  size_t hot_vertices = 4;
+  /// Fraction of ops that touch a hot vertex (the rest are uniform
+  /// background noise).
+  double hot_fraction = 0.9;
+  /// Zipf exponent ranking the hot vertices among themselves.
+  double zipf_exponent = 1.2;
+  /// Fraction of storm ops that are deletions of previously inserted
+  /// storm edges (insert/delete churn on the same hot neighborhood).
+  double churn_fraction = 0.25;
+  uint64_t seed = 1;
+};
+
+/// An adversarial hot-vertex edge storm over the vertices of `g`: a
+/// stream whose edges concentrate on a few high-degree centers, the
+/// worst case for a DCG built around those vertices (every op routes to
+/// the same engines, and deletions force contraction work). Ops are
+/// well-formed for `g`'s vertex universe and label alphabet; edges may
+/// duplicate (legal no-op churn for the service path).
+UpdateStream MakeHotspotStream(const Graph& g, const HotspotConfig& config);
+
+}  // namespace workload
+}  // namespace turboflux
+
+#endif  // TURBOFLUX_WORKLOAD_TRAFFIC_H_

@@ -216,5 +216,27 @@ TEST(Stress, HubHeavyInsertDeleteChurn) {
   EXPECT_EQ(sink.positive(), sink.negative());  // everything churned away
 }
 
+TEST(EnumerateCurrentMatches, MatchesStaticCount) {
+  testutil::RandomCaseConfig config;
+  config.stream_ops = 20;
+  for (uint64_t seed = 950; seed < 956; ++seed) {
+    testutil::RandomCase c = testutil::MakeRandomCase(seed, config);
+    TurboFluxEngine engine;
+    CountingSink sink;
+    ASSERT_TRUE(engine.Init(c.query, c.g0, sink, Deadline::Infinite()));
+    for (const UpdateOp& op : c.stream) {
+      ASSERT_TRUE(engine.ApplyUpdate(op, sink, Deadline::Infinite()));
+    }
+    CountingSink current;
+    ASSERT_TRUE(engine.EnumerateCurrentMatches(current));
+    // Oracle: full static enumeration over the engine's current graph.
+    testutil::OracleEngine oracle;
+    CollectingSink oracle_sink;
+    ASSERT_TRUE(oracle.Init(c.query, engine.graph(), oracle_sink,
+                            Deadline::Infinite()));
+    EXPECT_EQ(current.positive(), oracle_sink.size()) << "seed=" << seed;
+  }
+}
+
 }  // namespace
 }  // namespace turboflux

@@ -56,7 +56,7 @@ class CollectingSetSink : public QuerySet::Sink {
 };
 
 // Two queries over one A->B->C world: a 2-edge path and a single edge
-// (same fixture as the deprecated MultiQueryEngine's tests).
+// (the classic shared-fixture used by the multi-query suites).
 struct Fixture {
   QueryGraph path;    // A -0-> B -1-> C
   QueryGraph single;  // B -1-> C

@@ -1,8 +1,11 @@
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "gtest/gtest.h"
@@ -264,6 +267,117 @@ TEST(Recovery, RestartFromCheckpointFile) {
     EXPECT_FALSE(r.ok);
   }
   std::remove(path.c_str());
+}
+
+// --- Concurrent checkpoint trigger (ResilientOptions::checkpoint_request,
+// ISSUE 8 satellite): an external thread — the ingestion service's timer —
+// demands commits at arbitrary points relative to the op flow. The sink
+// stream must stay exactly-once regardless of where the commits land.
+
+// Saturated variant: a spinner re-arms the request as fast as scheduling
+// allows. On a many-core box nearly every between-ops poll point commits;
+// on a single CPU the startup barrier still guarantees at least one
+// trigger-driven commit, with a kill thrown in so a request-driven
+// snapshot is immediately followed by restore-and-replay.
+TEST(Recovery, CheckpointRequestAtEveryOpBoundary) {
+  testutil::RandomCase c = testutil::MakeRandomCase(21, {});
+
+  CollectingSink oracle_sink;
+  std::string oracle_dcg;
+  RunOracle(c, /*threads=*/1, /*batch=*/1, oracle_sink, &oracle_dcg);
+
+  FaultPlan plan;
+  plan.fail_at_op = 7;
+  FaultInjector inj(plan);
+
+  std::atomic<bool> request{false};
+  std::atomic<bool> stop{false};
+  std::thread spinner([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      request.store(true, std::memory_order_relaxed);
+    }
+  });
+  // The whole run can finish in microseconds — don't start until the
+  // spinner is actually scheduled and arming the flag.
+  while (!request.load(std::memory_order_relaxed)) {
+    std::this_thread::yield();
+  }
+
+  TurboFluxEngine engine;
+  ResilientOptions ro;
+  ro.checkpoint_every = 1000;  // only the external trigger drives commits
+  ro.injector = &inj;
+  ro.checkpoint_request = &request;
+  CollectingSink sink;
+  ResilientResult r = RunResilient(engine, c.query, c.g0, c.stream, sink, ro);
+  stop.store(true, std::memory_order_relaxed);
+  spinner.join();
+
+  ASSERT_TRUE(r.ok) << r.status.ToString();
+  EXPECT_EQ(r.ops_consumed, c.stream.size());
+  EXPECT_TRUE(inj.fired());
+  // checkpoint_every is 1000, so any commit beyond the mandatory initial
+  // and final ones came from the external trigger — and the armed flag at
+  // the first poll point guarantees at least one.
+  EXPECT_GE(r.checkpoints, 3u);
+  ExpectSameRecords(oracle_sink, sink, "saturated checkpoint_request");
+  EXPECT_EQ(engine.dcg().ToString(), oracle_dcg);
+}
+
+// Timer-race variant: a 1 ms timer thread fires the request while the
+// runner chews parallel batches, so commits land at unpredictable batch
+// boundaries — swept across kill points and batch shapes.
+TEST(Recovery, CheckpointRequestTimerRacesKillAndReplay) {
+  const std::vector<uint64_t> kills = {1, 5, 12, 20};
+  const std::vector<std::pair<size_t, int64_t>> configs = {{1, 1}, {4, 8}};
+  for (uint64_t seed : {31u, 32u}) {
+    for (uint64_t kill : kills) {
+      for (const auto& [threads, batch] : configs) {
+        SCOPED_TRACE("seed=" + std::to_string(seed) +
+                     " kill=" + std::to_string(kill) +
+                     " threads=" + std::to_string(threads) +
+                     " batch=" + std::to_string(batch));
+        testutil::RandomCase c = testutil::MakeRandomCase(seed, {});
+
+        CollectingSink oracle_sink;
+        std::string oracle_dcg;
+        RunOracle(c, threads, batch, oracle_sink, &oracle_dcg);
+
+        FaultPlan plan;
+        plan.fail_at_op = kill;
+        FaultInjector inj(plan);
+
+        std::atomic<bool> request{false};
+        std::atomic<bool> stop{false};
+        std::thread timer([&] {
+          while (!stop.load(std::memory_order_relaxed)) {
+            request.store(true, std::memory_order_relaxed);
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+          }
+        });
+
+        TurboFluxOptions opts;
+        opts.threads = threads;
+        TurboFluxEngine engine(opts);
+        ResilientOptions ro;
+        ro.checkpoint_every = 10;  // both schedules active at once
+        ro.batch_size = batch;
+        ro.injector = &inj;
+        ro.checkpoint_request = &request;
+        CollectingSink sink;
+        ResilientResult r =
+            RunResilient(engine, c.query, c.g0, c.stream, sink, ro);
+        stop.store(true, std::memory_order_relaxed);
+        timer.join();
+
+        ASSERT_TRUE(r.ok) << r.status.ToString();
+        EXPECT_EQ(r.ops_consumed, c.stream.size());
+        ExpectSameRecords(oracle_sink, sink, "timer-raced checkpoints");
+        EXPECT_EQ(engine.dcg().ToString(), oracle_dcg);
+        EXPECT_TRUE(engine.dcg().Validate().empty());
+      }
+    }
+  }
 }
 
 }  // namespace

@@ -1,0 +1,233 @@
+// Backpressure primitives of the ingestion service: the bounded
+// admission queue (all-or-nothing batches, exponential RETRY hints), the
+// deterministic token bucket, and the tiered overload controller's
+// hysteresis (serve/admission.h, serve/overload.h).
+
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "turboflux/serve/admission.h"
+#include "turboflux/serve/overload.h"
+
+namespace turboflux {
+namespace serve {
+namespace {
+
+std::vector<PendingOp> MakeOps(uint64_t channel, uint64_t first_seq,
+                               size_t n) {
+  std::vector<PendingOp> ops;
+  for (size_t i = 0; i < n; ++i) {
+    ops.push_back(
+        PendingOp{channel, first_seq + i, UpdateOp::Insert(0, 0, 1)});
+  }
+  return ops;
+}
+
+TEST(AdmissionQueue, AcceptsUpToCapacityThenRejects) {
+  AdmissionConfig config;
+  config.queue_cap = 8;
+  AdmissionQueue queue(config);
+
+  AdmitResult r = queue.TryPush(MakeOps(1, 1, 8));
+  EXPECT_TRUE(r.accepted);
+  EXPECT_EQ(queue.Depth(), 8u);
+
+  r = queue.TryPush(MakeOps(1, 9, 1));
+  EXPECT_FALSE(r.accepted);
+  EXPECT_GT(r.retry_after_ms, 0u);
+  EXPECT_EQ(r.depth, 8u);
+  EXPECT_EQ(queue.accepted_ops(), 8u);
+  EXPECT_EQ(queue.rejected_batches(), 1u);
+}
+
+TEST(AdmissionQueue, BatchAdmissionIsAllOrNothing) {
+  AdmissionConfig config;
+  config.queue_cap = 8;
+  AdmissionQueue queue(config);
+  ASSERT_TRUE(queue.TryPush(MakeOps(1, 1, 6)).accepted);
+  // 6 + 3 > 8: the whole batch must bounce, not its first two ops — a
+  // split batch would tear the producer's contiguous sequence range.
+  EXPECT_FALSE(queue.TryPush(MakeOps(1, 7, 3)).accepted);
+  EXPECT_EQ(queue.Depth(), 6u);
+  EXPECT_TRUE(queue.TryPush(MakeOps(1, 7, 2)).accepted);
+}
+
+TEST(AdmissionQueue, BackoffHintGrowsExponentiallyAndResets) {
+  AdmissionConfig config;
+  config.queue_cap = 1;
+  config.retry_base_ms = 1;
+  config.retry_max_ms = 64;
+  AdmissionQueue queue(config);
+  ASSERT_TRUE(queue.TryPush(MakeOps(1, 1, 1)).accepted);
+
+  std::vector<uint32_t> hints;
+  for (int i = 0; i < 10; ++i) {
+    AdmitResult r = queue.TryPush(MakeOps(1, 2, 1));
+    ASSERT_FALSE(r.accepted);
+    hints.push_back(r.retry_after_ms);
+  }
+  // 1, 2, 4, ... doubling until the cap, then pinned at the cap.
+  for (size_t i = 1; i < hints.size(); ++i) {
+    EXPECT_GE(hints[i], hints[i - 1]) << i;
+    EXPECT_LE(hints[i], config.retry_max_ms) << i;
+  }
+  EXPECT_GT(hints.back(), hints.front());
+  EXPECT_EQ(hints.back(), config.retry_max_ms);
+
+  // An accepted push resets the consecutive-reject streak: the next hint
+  // restarts from the bottom of the schedule.
+  std::vector<PendingOp> out;
+  ASSERT_EQ(queue.Drain(10, 0, &out), 1u);
+  ASSERT_TRUE(queue.TryPush(MakeOps(1, 2, 1)).accepted);
+  AdmitResult r = queue.TryPush(MakeOps(1, 3, 1));
+  ASSERT_FALSE(r.accepted);
+  EXPECT_EQ(r.retry_after_ms, hints.front());
+}
+
+TEST(AdmissionQueue, DrainMovesInFifoOrderAcrossBatches) {
+  AdmissionConfig config;
+  config.queue_cap = 100;
+  AdmissionQueue queue(config);
+  ASSERT_TRUE(queue.TryPush(MakeOps(1, 1, 3)).accepted);
+  ASSERT_TRUE(queue.TryPush(MakeOps(2, 1, 2)).accepted);
+
+  std::vector<PendingOp> out;
+  EXPECT_EQ(queue.Drain(4, 0, &out), 4u);
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_EQ(out[0].channel, 1u);
+  EXPECT_EQ(out[0].seq, 1u);
+  EXPECT_EQ(out[2].seq, 3u);
+  EXPECT_EQ(out[3].channel, 2u);
+  EXPECT_EQ(out[3].seq, 1u);
+  EXPECT_EQ(queue.Drain(4, 0, &out), 1u);  // appended, not replaced
+  EXPECT_EQ(out.size(), 5u);
+  EXPECT_EQ(queue.Depth(), 0u);
+}
+
+TEST(AdmissionQueue, DrainWakesOnConcurrentPush) {
+  AdmissionConfig config;
+  AdmissionQueue queue(config);
+  std::thread producer([&queue] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    (void)queue.TryPush(MakeOps(7, 1, 1));
+  });
+  std::vector<PendingOp> out;
+  // Generous timeout: the wait must end on the push, not the clock.
+  size_t n = queue.Drain(1, 5000, &out);
+  producer.join();
+  EXPECT_EQ(n, 1u);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].channel, 7u);
+}
+
+TEST(AdmissionQueue, CloseRejectsImmediatelyWithZeroHint) {
+  AdmissionConfig config;
+  AdmissionQueue queue(config);
+  queue.Close();
+  AdmitResult r = queue.TryPush(MakeOps(1, 1, 1));
+  EXPECT_FALSE(r.accepted);
+  // retry_after_ms = 0 is the shutdown signal — "don't bother backing
+  // off", as opposed to a growing backpressure hint.
+  EXPECT_EQ(r.retry_after_ms, 0u);
+  std::vector<PendingOp> out;
+  EXPECT_EQ(queue.Drain(1, 1000, &out), 0u);  // returns without waiting
+}
+
+TEST(TokenBucket, ZeroRateDisablesLimiting) {
+  TokenBucket bucket(0, 0);
+  uint32_t retry = 0;
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(bucket.TryAcquire(100, i, &retry));
+  }
+}
+
+TEST(TokenBucket, BurstThenRefusalWithRefillHint) {
+  // 1000 tokens/sec, burst 10, clock injected in microseconds.
+  TokenBucket bucket(1000, 10);
+  uint32_t retry = 0;
+  int64_t now = 0;
+  EXPECT_TRUE(bucket.TryAcquire(10, now, &retry));  // whole burst at once
+  EXPECT_FALSE(bucket.TryAcquire(5, now, &retry));
+  // 5 tokens at 1000/sec accrue in 5 ms.
+  EXPECT_GE(retry, 1u);
+  EXPECT_LE(retry, 5u);
+
+  now += 5000;  // +5 ms refills ~5 tokens
+  EXPECT_TRUE(bucket.TryAcquire(5, now, &retry));
+  EXPECT_FALSE(bucket.TryAcquire(1, now, &retry));
+}
+
+TEST(TokenBucket, RefillCapsAtBurst) {
+  TokenBucket bucket(1000, 4);
+  uint32_t retry = 0;
+  EXPECT_TRUE(bucket.TryAcquire(4, 0, &retry));
+  // A long idle period must not bank more than `burst` tokens.
+  EXPECT_TRUE(bucket.TryAcquire(4, 60'000'000, &retry));
+  EXPECT_FALSE(bucket.TryAcquire(5, 60'000'000, &retry));
+}
+
+TEST(OverloadController, EscalatesOnlyAfterSustainedPressure) {
+  OverloadConfig config;
+  config.sustain_us = 1000;
+  OverloadController controller(config);
+  const size_t cap = 100;
+
+  // A momentary spike does not change the tier — the dip back below
+  // recover_frac clears the pending escalation.
+  EXPECT_EQ(controller.Observe(60, cap, 0), Tier::kNormal);
+  EXPECT_EQ(controller.Observe(10, cap, 500), Tier::kNormal);
+
+  // Sustained pressure above shed_frac for sustain_us escalates.
+  EXPECT_EQ(controller.Observe(60, cap, 1000), Tier::kNormal);
+  EXPECT_EQ(controller.Observe(60, cap, 1500), Tier::kNormal);
+  EXPECT_EQ(controller.Observe(60, cap, 2100), Tier::kShed);
+}
+
+TEST(OverloadController, WalksThroughAllTiersUnderRisingDepth) {
+  OverloadConfig config;
+  config.sustain_us = 10;
+  OverloadController controller(config);
+  const size_t cap = 100;
+  int64_t now = 0;
+  auto hold = [&](size_t depth) {
+    (void)controller.Observe(depth, cap, now);
+    now += config.sustain_us + 1;
+    return controller.Observe(depth, cap, now);
+  };
+  EXPECT_EQ(hold(55), Tier::kShed);
+  EXPECT_EQ(hold(80), Tier::kWiden);
+  EXPECT_EQ(hold(95), Tier::kReject);
+}
+
+TEST(OverloadController, RecoversOnlyAfterSustainedCalm) {
+  OverloadConfig config;
+  config.sustain_us = 10;
+  config.recover_us = 1000;
+  OverloadController controller(config);
+  const size_t cap = 100;
+  int64_t now = 0;
+  (void)controller.Observe(95, cap, now);
+  now += config.sustain_us + 1;
+  ASSERT_EQ(controller.Observe(95, cap, now), Tier::kReject);
+
+  // Depth in the dead zone (between recover_frac and the tier's entry
+  // threshold) holds the current tier — no flapping.
+  now += 100;
+  EXPECT_EQ(controller.Observe(40, cap, now), Tier::kReject);
+  now += 100000;
+  EXPECT_EQ(controller.Observe(40, cap, now), Tier::kReject);
+
+  // Calm below recover_frac must persist for recover_us before the tier
+  // releases.
+  now += 100;
+  EXPECT_EQ(controller.Observe(5, cap, now), Tier::kReject);
+  now += config.recover_us / 2;
+  EXPECT_EQ(controller.Observe(5, cap, now), Tier::kReject);
+  now += config.recover_us;
+  EXPECT_EQ(controller.Observe(5, cap, now), Tier::kNormal);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace turboflux

@@ -1,0 +1,227 @@
+// Wire protocol of the ingestion service: frame codec and request/
+// response line parsing (serve/protocol.h). Every encoder output must
+// round-trip through its parser, and malformed input must fail without
+// touching out-params' invariants.
+
+#include "turboflux/serve/protocol.h"
+
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace turboflux {
+namespace serve {
+namespace {
+
+TEST(FrameCodec, RoundTripsSingleFrame) {
+  std::string wire;
+  EncodeFrame("HELLO world", wire);
+  FrameDecoder decoder;
+  decoder.Feed(wire);
+  std::string payload;
+  ASSERT_TRUE(decoder.Next(&payload));
+  EXPECT_EQ(payload, "HELLO world");
+  EXPECT_FALSE(decoder.Next(&payload));
+  EXPECT_TRUE(decoder.status().ok());
+  EXPECT_EQ(decoder.buffered(), 0u);
+}
+
+TEST(FrameCodec, ReassemblesByteAtATime) {
+  std::string wire;
+  EncodeFrame("first", wire);
+  EncodeFrame("", wire);  // empty payloads are legal frames
+  EncodeFrame("third frame", wire);
+  FrameDecoder decoder;
+  std::vector<std::string> got;
+  for (char c : wire) {
+    decoder.Feed(std::string_view(&c, 1));
+    std::string payload;
+    while (decoder.Next(&payload)) got.push_back(payload);
+  }
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_EQ(got[0], "first");
+  EXPECT_EQ(got[1], "");
+  EXPECT_EQ(got[2], "third frame");
+}
+
+TEST(FrameCodec, PartialFrameStaysBuffered) {
+  std::string wire;
+  EncodeFrame("0123456789", wire);
+  FrameDecoder decoder;
+  decoder.Feed(std::string_view(wire).substr(0, wire.size() - 3));
+  std::string payload;
+  EXPECT_FALSE(decoder.Next(&payload));
+  EXPECT_GT(decoder.buffered(), 0u);
+  decoder.Feed(std::string_view(wire).substr(wire.size() - 3));
+  ASSERT_TRUE(decoder.Next(&payload));
+  EXPECT_EQ(payload, "0123456789");
+}
+
+TEST(FrameCodec, OversizedLengthPoisonsDecoder) {
+  // A length field above kMaxFrameBytes is unrecoverable: the stream
+  // offset is lost, so the decoder must refuse everything afterwards.
+  std::string wire;
+  uint32_t huge = kMaxFrameBytes + 1;
+  for (int i = 0; i < 4; ++i) {
+    wire.push_back(static_cast<char>((huge >> (8 * i)) & 0xff));
+  }
+  FrameDecoder decoder;
+  decoder.Feed(wire);
+  std::string payload;
+  EXPECT_FALSE(decoder.Next(&payload));
+  EXPECT_FALSE(decoder.status().ok());
+  // Even a well-formed frame afterwards stays undecoded.
+  std::string good;
+  EncodeFrame("late", good);
+  decoder.Feed(good);
+  EXPECT_FALSE(decoder.Next(&payload));
+  EXPECT_FALSE(decoder.status().ok());
+}
+
+std::vector<UpdateOp> SampleOps() {
+  return {UpdateOp::Insert(3, 1, 7), UpdateOp::Delete(7, 0, 2),
+          UpdateOp::Insert(0, 2, 0)};
+}
+
+TEST(RequestCodec, SubmitRoundTrips) {
+  std::vector<UpdateOp> ops = SampleOps();
+  Request request = MakeSubmit(42, 17, ops);
+  Request parsed;
+  ASSERT_TRUE(ParseRequest(EncodeRequest(request), &parsed).ok());
+  EXPECT_EQ(parsed.kind, Request::Kind::kSubmit);
+  EXPECT_EQ(parsed.channel, 42u);
+  EXPECT_EQ(parsed.seq, 17u);
+  ASSERT_EQ(parsed.ops.size(), ops.size());
+  for (size_t i = 0; i < ops.size(); ++i) {
+    EXPECT_EQ(parsed.ops[i].type, ops[i].type) << i;
+    EXPECT_EQ(parsed.ops[i].from, ops[i].from) << i;
+    EXPECT_EQ(parsed.ops[i].label, ops[i].label) << i;
+    EXPECT_EQ(parsed.ops[i].to, ops[i].to) << i;
+  }
+}
+
+TEST(RequestCodec, SimpleVerbsRoundTrip) {
+  for (Request::Kind kind :
+       {Request::Kind::kPos, Request::Kind::kHealth, Request::Kind::kStats,
+        Request::Kind::kMatches, Request::Kind::kPing}) {
+    Request request;
+    request.kind = kind;
+    request.channel = 9;
+    request.start = 5;
+    request.limit = 100;
+    Request parsed;
+    ASSERT_TRUE(ParseRequest(EncodeRequest(request), &parsed).ok())
+        << static_cast<int>(kind);
+    EXPECT_EQ(parsed.kind, kind);
+  }
+  Request matches;
+  matches.kind = Request::Kind::kMatches;
+  matches.start = 5;
+  matches.limit = 100;
+  Request parsed;
+  ASSERT_TRUE(ParseRequest(EncodeRequest(matches), &parsed).ok());
+  EXPECT_EQ(parsed.start, 5u);
+  EXPECT_EQ(parsed.limit, 100u);
+}
+
+TEST(RequestCodec, MalformedLinesAreRejected) {
+  Request out;
+  EXPECT_FALSE(ParseRequest("", &out).ok());
+  EXPECT_FALSE(ParseRequest("NOPE 1 2", &out).ok());
+  EXPECT_FALSE(ParseRequest("U 1", &out).ok());            // missing fields
+  EXPECT_FALSE(ParseRequest("U 1 1 2 I 0 0 1", &out).ok());  // count mismatch
+  EXPECT_FALSE(ParseRequest("U 1 1 1 X 0 0 1", &out).ok());  // bad op type
+  EXPECT_FALSE(ParseRequest("U a 1 0", &out).ok());        // bad number
+  EXPECT_FALSE(ParseRequest("POS 1 junk", &out).ok());     // trailing garbage
+  EXPECT_FALSE(ParseRequest("PING extra", &out).ok());
+}
+
+TEST(ResponseCodec, AckAndRetryRoundTrip) {
+  Response ok;
+  ok.kind = Response::Kind::kOk;
+  ok.seq = 123;
+  Response parsed;
+  ASSERT_TRUE(ParseResponse(EncodeResponse(ok), &parsed).ok());
+  EXPECT_EQ(parsed.kind, Response::Kind::kOk);
+  EXPECT_EQ(parsed.seq, 123u);
+
+  Response retry;
+  retry.kind = Response::Kind::kRetry;
+  retry.retry_after_ms = 64;
+  retry.queue_depth = 4000;
+  retry.queue_cap = 4096;
+  retry.tier = Tier::kWiden;
+  ASSERT_TRUE(ParseResponse(EncodeResponse(retry), &parsed).ok());
+  EXPECT_EQ(parsed.kind, Response::Kind::kRetry);
+  EXPECT_EQ(parsed.retry_after_ms, 64u);
+  EXPECT_EQ(parsed.queue_depth, 4000u);
+  EXPECT_EQ(parsed.queue_cap, 4096u);
+  EXPECT_EQ(parsed.tier, Tier::kWiden);
+}
+
+TEST(ResponseCodec, HealthAndErrRoundTrip) {
+  Response health;
+  health.kind = Response::Kind::kHealth;
+  health.tier = Tier::kShed;
+  health.queue_depth = 10;
+  health.queue_cap = 64;
+  health.accepted = 1000;
+  health.committed = 990;
+  Response parsed;
+  ASSERT_TRUE(ParseResponse(EncodeResponse(health), &parsed).ok());
+  EXPECT_EQ(parsed.kind, Response::Kind::kHealth);
+  EXPECT_EQ(parsed.tier, Tier::kShed);
+  EXPECT_EQ(parsed.accepted, 1000u);
+  EXPECT_EQ(parsed.committed, 990u);
+
+  Response err;
+  err.kind = Response::Kind::kErr;
+  err.code = StatusCode::kFailedPrecondition;
+  err.text = "sequence gap: durable high-water is 7, got seq 9";
+  ASSERT_TRUE(ParseResponse(EncodeResponse(err), &parsed).ok());
+  EXPECT_EQ(parsed.kind, Response::Kind::kErr);
+  EXPECT_EQ(parsed.code, StatusCode::kFailedPrecondition);
+  EXPECT_EQ(parsed.text, err.text);
+}
+
+TEST(ResponseCodec, MatchesRoundTrip) {
+  Response r;
+  r.kind = Response::Kind::kMatches;
+  MatchRecord a;
+  a.op_index = 12;
+  a.query = 3;
+  a.positive = 1;
+  a.mapping = {4, 9, 2};
+  MatchRecord b;
+  b.op_index = 13;
+  b.query = 0;
+  b.positive = 0;
+  b.mapping = {1};
+  r.matches = {a, b};
+  Response parsed;
+  ASSERT_TRUE(ParseResponse(EncodeResponse(r), &parsed).ok());
+  EXPECT_EQ(parsed.kind, Response::Kind::kMatches);
+  ASSERT_EQ(parsed.matches.size(), 2u);
+  EXPECT_TRUE(parsed.matches[0] == a);
+  EXPECT_TRUE(parsed.matches[1] == b);
+}
+
+TEST(ResponseCodec, PongAndDupRoundTrip) {
+  Response pong;
+  pong.kind = Response::Kind::kPong;
+  Response parsed;
+  ASSERT_TRUE(ParseResponse(EncodeResponse(pong), &parsed).ok());
+  EXPECT_EQ(parsed.kind, Response::Kind::kPong);
+
+  Response dup;
+  dup.kind = Response::Kind::kDup;
+  dup.seq = 55;
+  ASSERT_TRUE(ParseResponse(EncodeResponse(dup), &parsed).ok());
+  EXPECT_EQ(parsed.kind, Response::Kind::kDup);
+  EXPECT_EQ(parsed.seq, 55u);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace turboflux

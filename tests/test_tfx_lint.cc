@@ -54,6 +54,14 @@ TEST(TfxLintRawSync, FlagsRawMutexOutsideWrapperHeader) {
   EXPECT_EQ(findings[0].line, 3u);
 }
 
+TEST(TfxLintRawSync, CoversServeDirectory) {
+  // The ingestion service is all cross-thread hand-off; pin that its
+  // files go through the annotated wrappers like everything else.
+  const std::string bad = "std::condition_variable cv_;\n";
+  EXPECT_TRUE(HasCheck(LintOne("src/turboflux/serve/queue.h", bad),
+                       "raw-sync"));
+}
+
 TEST(TfxLintRawSync, WrapperHeaderIsExempt) {
   const std::string wrapper =
       "struct Mutex { std::mutex mu_; };\n"
@@ -173,7 +181,8 @@ TEST(TfxLintHotPathMap, FlagsUnorderedMapInHotPathDirs) {
       "class Index {\n"
       "  std::unordered_map<uint64_t, std::vector<EdgeLabel>> edges_;\n"
       "};\n";
-  for (const char* dir : {"core", "match", "parallel", "baseline", "graph"}) {
+  for (const char* dir :
+       {"core", "match", "parallel", "baseline", "graph", "serve"}) {
     const std::vector<Finding> findings =
         LintOne("src/turboflux/" + std::string(dir) + "/a.h", bad);
     ASSERT_TRUE(HasCheck(findings, "hot-path-map")) << dir;

@@ -1,0 +1,198 @@
+// Workload traffic shapes (workload/traffic.h): arrival-time generators
+// for burst and power-law load, and the adversarial hot-vertex storm the
+// serve chaos/overload suites replay. Everything must be deterministic
+// from the config seed and legal for the target graph.
+
+#include <algorithm>
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "testutil.h"
+#include "turboflux/workload/traffic.h"
+
+namespace turboflux {
+namespace workload {
+namespace {
+
+TEST(ArrivalTimes, MonotoneSizedAndDeterministic) {
+  for (ArrivalShape shape :
+       {ArrivalShape::kUniform, ArrivalShape::kBurst,
+        ArrivalShape::kPowerLaw}) {
+    ArrivalConfig config;
+    config.shape = shape;
+    config.seed = 42;
+    std::vector<uint64_t> a = GenerateArrivalTimes(500, config);
+    ASSERT_EQ(a.size(), 500u);
+    EXPECT_EQ(a.front(), 0u);
+    for (size_t i = 1; i < a.size(); ++i) {
+      ASSERT_LE(a[i - 1], a[i]) << "shape " << static_cast<int>(shape);
+    }
+    EXPECT_EQ(a, GenerateArrivalTimes(500, config)) << "not deterministic";
+  }
+  EXPECT_TRUE(GenerateArrivalTimes(0, ArrivalConfig{}).empty());
+}
+
+TEST(ArrivalTimes, UniformShapeHasZeroGapVariation) {
+  ArrivalConfig config;
+  config.shape = ArrivalShape::kUniform;
+  config.mean_gap_us = 100;
+  std::vector<uint64_t> a = GenerateArrivalTimes(200, config);
+  EXPECT_DOUBLE_EQ(ArrivalGapCv(a), 0.0);
+  EXPECT_EQ(a.back(), 199u * 100u);
+}
+
+TEST(ArrivalTimes, BurstAndPowerLawAreBurstierThanUniform) {
+  ArrivalConfig uniform;
+  uniform.shape = ArrivalShape::kUniform;
+
+  ArrivalConfig burst = uniform;
+  burst.shape = ArrivalShape::kBurst;
+  burst.burst_len = 32;
+
+  ArrivalConfig power = uniform;
+  power.shape = ArrivalShape::kPowerLaw;
+  power.alpha = 1.5;
+
+  double cv_uniform = ArrivalGapCv(GenerateArrivalTimes(2000, uniform));
+  double cv_burst = ArrivalGapCv(GenerateArrivalTimes(2000, burst));
+  double cv_power = ArrivalGapCv(GenerateArrivalTimes(2000, power));
+  EXPECT_DOUBLE_EQ(cv_uniform, 0.0);
+  // Trains of back-to-back ops separated by long idles: the gap
+  // distribution is strongly bimodal, CV well above 1.
+  EXPECT_GT(cv_burst, 1.0);
+  // Pareto gaps are heavy-tailed; CV clearly above the uniform baseline.
+  EXPECT_GT(cv_power, 0.5);
+}
+
+TEST(ArrivalTimes, BurstMeanRateTracksMeanGap) {
+  ArrivalConfig config;
+  config.shape = ArrivalShape::kBurst;
+  config.mean_gap_us = 100;
+  config.burst_len = 16;
+  std::vector<uint64_t> a = GenerateArrivalTimes(5000, config);
+  double mean_gap =
+      static_cast<double>(a.back()) / static_cast<double>(a.size() - 1);
+  // The idle gaps are jittered ±50%, so allow a wide but meaningful band
+  // around the configured long-run mean.
+  EXPECT_GT(mean_gap, 50.0);
+  EXPECT_LT(mean_gap, 200.0);
+}
+
+TEST(HotspotStream, DeterministicLegalAndSized) {
+  testutil::RandomCaseConfig gconfig;
+  gconfig.num_vertices = 40;
+  gconfig.initial_edges = 80;
+  testutil::RandomCase c = testutil::MakeRandomCase(515, gconfig);
+
+  HotspotConfig config;
+  config.ops = 600;
+  config.seed = 9;
+  UpdateStream storm = MakeHotspotStream(c.g0, config);
+  ASSERT_EQ(storm.size(), config.ops);
+
+  // Determinism: the same seed reproduces the same storm byte-for-byte.
+  UpdateStream again = MakeHotspotStream(c.g0, config);
+  ASSERT_EQ(again.size(), storm.size());
+  for (size_t i = 0; i < storm.size(); ++i) {
+    EXPECT_EQ(storm[i].type, again[i].type) << i;
+    EXPECT_EQ(storm[i].from, again[i].from) << i;
+    EXPECT_EQ(storm[i].label, again[i].label) << i;
+    EXPECT_EQ(storm[i].to, again[i].to) << i;
+  }
+
+  // Legality: endpoints inside the vertex universe, labels drawn from the
+  // graph's own alphabet.
+  std::set<EdgeLabel> labels;
+  for (VertexId v = 0; v < c.g0.VertexCount(); ++v) {
+    for (const AdjEntry& e : c.g0.OutEdges(v)) labels.insert(e.label);
+  }
+  for (const UpdateOp& op : storm) {
+    ASSERT_LT(op.from, c.g0.VertexCount());
+    ASSERT_LT(op.to, c.g0.VertexCount());
+    ASSERT_TRUE(labels.count(op.label) > 0);
+  }
+}
+
+TEST(HotspotStream, ConcentratesOnHighDegreeCenters) {
+  testutil::RandomCaseConfig gconfig;
+  gconfig.num_vertices = 60;
+  gconfig.initial_edges = 120;
+  testutil::RandomCase c = testutil::MakeRandomCase(516, gconfig);
+
+  // The implementation's hot set: top-k by degree, ties by id.
+  std::vector<VertexId> by_degree(c.g0.VertexCount());
+  for (VertexId v = 0; v < c.g0.VertexCount(); ++v) by_degree[v] = v;
+  std::sort(by_degree.begin(), by_degree.end(),
+            [&](VertexId a, VertexId b) {
+              size_t da = c.g0.Degree(a), db = c.g0.Degree(b);
+              return da != db ? da > db : a < b;
+            });
+  std::set<VertexId> hot(by_degree.begin(), by_degree.begin() + 3);
+
+  HotspotConfig focused;
+  focused.ops = 500;
+  focused.hot_vertices = 3;
+  focused.hot_fraction = 1.0;
+  focused.churn_fraction = 0.3;
+  focused.seed = 2;
+  UpdateStream storm = MakeHotspotStream(c.g0, focused);
+  // hot_fraction 1.0: every insert touches a hot center, and churn
+  // deletions recycle those same edges — so every op touches the hot set.
+  for (const UpdateOp& op : storm) {
+    EXPECT_TRUE(hot.count(op.from) > 0 || hot.count(op.to) > 0);
+  }
+
+  // Contrast: with hot_fraction 0 the endpoints are uniform over 60
+  // vertices; only a small minority can touch the 3 "hot" ids.
+  HotspotConfig diffuse = focused;
+  diffuse.hot_fraction = 0.0;
+  diffuse.churn_fraction = 0.0;
+  UpdateStream background = MakeHotspotStream(c.g0, diffuse);
+  size_t touching = 0;
+  for (const UpdateOp& op : background) {
+    if (hot.count(op.from) > 0 || hot.count(op.to) > 0) ++touching;
+  }
+  EXPECT_LT(touching, background.size() / 2);
+}
+
+TEST(HotspotStream, ChurnDeletesOnlyPreviouslyInsertedStormEdges) {
+  testutil::RandomCase c = testutil::MakeRandomCase(517, {});
+
+  HotspotConfig config;
+  config.ops = 400;
+  config.churn_fraction = 0.4;
+  config.seed = 77;
+  UpdateStream storm = MakeHotspotStream(c.g0, config);
+
+  size_t deletions = 0;
+  std::multiset<std::tuple<VertexId, EdgeLabel, VertexId>> live;
+  for (const UpdateOp& op : storm) {
+    auto key = std::make_tuple(op.from, op.label, op.to);
+    if (op.type == UpdateOp::Type::kInsert) {
+      live.insert(key);
+    } else {
+      ++deletions;
+      auto it = live.find(key);
+      ASSERT_TRUE(it != live.end())
+          << "deletion of an edge the storm never inserted";
+      live.erase(it);
+    }
+  }
+  // churn_fraction 0.4 must actually produce deletions, not just inserts.
+  EXPECT_GT(deletions, storm.size() / 10);
+}
+
+TEST(HotspotStream, EmptyInputsYieldEmptyStreams) {
+  Graph empty;
+  HotspotConfig config;
+  EXPECT_TRUE(MakeHotspotStream(empty, config).empty());
+  testutil::RandomCase c = testutil::MakeRandomCase(518, {});
+  config.ops = 0;
+  EXPECT_TRUE(MakeHotspotStream(c.g0, config).empty());
+}
+
+}  // namespace
+}  // namespace workload
+}  // namespace turboflux

@@ -200,7 +200,8 @@ bool PathEndsWith(const std::string& path, const char* suffix) {
 bool IsHotPathFile(const std::string& path) {
   const std::string p = NormalizePath(path);
   for (const char* dir :
-       {"/core/", "/match/", "/parallel/", "/baseline/", "/graph/"}) {
+       {"/core/", "/match/", "/parallel/", "/baseline/", "/graph/",
+        "/serve/"}) {
     if (p.find("turboflux" + std::string(dir)) != std::string::npos) {
       return true;
     }

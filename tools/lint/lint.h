@@ -30,7 +30,7 @@
 //                       exists to avoid.
 //   hot-path-map        Any mention of std::unordered_map in an engine
 //                       hot-path file (src/turboflux/{core,match,parallel,
-//                       baseline,graph}/). The §3.11 layout rework replaced
+//                       baseline,graph,serve}/). The §3.11 layout rework replaced
 //                       per-probe pointer chasing with FlatPairTable /
 //                       AdjPool; this check stops the old idiom from
 //                       creeping back. Validation, setup, or per-batch

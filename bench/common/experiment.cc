@@ -10,6 +10,7 @@
 #include "turboflux/baseline/sj_tree.h"
 #include "turboflux/core/turboflux.h"
 #include "turboflux/harness/runner.h"
+#include "turboflux/symbi/symbi.h"
 #include "turboflux/harness/table.h"
 #include "turboflux/workload/lsbench.h"
 #include "turboflux/workload/netflow.h"
@@ -21,6 +22,8 @@ const char* EngineName(EngineKind kind) {
   switch (kind) {
     case EngineKind::kTurboFlux:
       return "TurboFlux";
+    case EngineKind::kSymBi:
+      return "SymBi";
     case EngineKind::kSjTree:
       return "SJ-Tree";
     case EngineKind::kGraphflow:
@@ -40,6 +43,11 @@ std::unique_ptr<ContinuousEngine> MakeEngine(EngineKind kind,
       options.semantics = semantics;
       options.threads = threads > 1 ? static_cast<size_t>(threads) : 1;
       return std::make_unique<TurboFluxEngine>(options);
+    }
+    case EngineKind::kSymBi: {
+      symbi::SymBiOptions options;
+      options.semantics = semantics;
+      return std::make_unique<symbi::SymBiEngine>(options);
     }
     case EngineKind::kSjTree: {
       SjTreeOptions options;

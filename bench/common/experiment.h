@@ -15,8 +15,10 @@
 namespace turboflux {
 namespace bench {
 
-/// Engines evaluated in the paper.
-enum class EngineKind { kTurboFlux, kSjTree, kGraphflow, kIncIsoMat };
+/// Engines evaluated in the paper, plus the SymBi sibling engine
+/// (DESIGN.md §3.13).
+enum class EngineKind { kTurboFlux, kSymBi, kSjTree, kGraphflow,
+                        kIncIsoMat };
 
 const char* EngineName(EngineKind kind);
 

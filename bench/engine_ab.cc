@@ -1,0 +1,242 @@
+// Engine A/B (ISSUE 9, DESIGN.md §3.13): TurboFlux vs SymBi over
+// identical LSBench workloads. Both engines answer the same queries over
+// the same g0/Δg, so the interesting axes are work (consulted candidates:
+// engine.search_states, plus seeds and evals) and wall-clock, alongside a
+// per-query match-count agreement check — a cheap standing differential.
+//
+//   engine_ab [--scale=F] [--queries=N] [--timeout_ms=N] [--seed=N]
+//             [--out=BENCH_9.json]
+//
+// With --out the machine-readable comparison is (re)written as JSON (the
+// committed BENCH_9.json artifact); either way a human-readable summary
+// table goes to stdout.
+
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/experiment.h"
+#include "common/flags.h"
+#include "turboflux/harness/runner.h"
+#include "turboflux/obs/stats.h"
+
+namespace turboflux {
+namespace bench {
+namespace {
+
+struct Workload {
+  std::string name;
+  workload::QueryShape shape;
+  double deletion_rate;
+  double stream_fraction;
+  double keep_full_labels;
+};
+
+/// Sentinel in the per-query match digests for a timed-out run; agreement
+/// only compares queries both engines completed.
+constexpr uint64_t kTimedOut = ~0ull;
+
+/// Per-engine totals over one workload's query set.
+struct EngineTotals {
+  double stream_seconds = 0.0;
+  double init_seconds = 0.0;
+  uint64_t initial = 0;
+  uint64_t positive = 0;
+  uint64_t negative = 0;
+  uint64_t search_seeds = 0;
+  uint64_t search_states = 0;
+  uint64_t insert_evals = 0;
+  uint64_t delete_evals = 0;
+  size_t peak_intermediate = 0;
+  size_t timeouts = 0;
+};
+
+EngineTotals RunEngine(EngineKind kind, const workload::Dataset& dataset,
+                       const std::vector<QueryGraph>& queries,
+                       int64_t timeout_ms,
+                       std::vector<uint64_t>* per_query_matches) {
+  EngineTotals t;
+  for (const QueryGraph& q : queries) {
+    std::unique_ptr<ContinuousEngine> engine =
+        MakeEngine(kind, MatchSemantics::kHomomorphism);
+    DiscardSink sink;
+    RunOptions options;
+    options.timeout_ms = timeout_ms;
+    options.subtract_graph_update_cost = false;
+    RunResult r = RunContinuous(*engine, q, dataset.initial,
+                                dataset.stream, sink, options);
+    if (r.timed_out || r.unsupported) {
+      ++t.timeouts;
+      per_query_matches->push_back(kTimedOut);
+      continue;
+    }
+    t.stream_seconds += r.raw_stream_seconds;
+    t.init_seconds += r.init_seconds;
+    t.initial += r.initial_matches;
+    t.positive += r.positive_matches;
+    t.negative += r.negative_matches;
+    if (r.peak_intermediate > t.peak_intermediate) {
+      t.peak_intermediate = r.peak_intermediate;
+    }
+    per_query_matches->push_back(r.initial_matches * 1000003ull +
+                                 r.positive_matches * 1009ull +
+                                 r.negative_matches);
+    if (const obs::EngineStats* s = engine->engine_stats()) {
+      t.search_seeds += s->search_seeds.value();
+      t.search_states += s->search_states.value();
+      t.insert_evals += s->insert_evals.value();
+      t.delete_evals += s->delete_evals.value();
+    }
+  }
+  return t;
+}
+
+void EmitEngineJson(std::ostream& out, const char* indent,
+                    const EngineTotals& t) {
+  out << "{\n"
+      << indent << "  \"stream_seconds\": " << t.stream_seconds << ",\n"
+      << indent << "  \"init_seconds\": " << t.init_seconds << ",\n"
+      << indent << "  \"initial_matches\": " << t.initial << ",\n"
+      << indent << "  \"positive_matches\": " << t.positive << ",\n"
+      << indent << "  \"negative_matches\": " << t.negative << ",\n"
+      << indent << "  \"search_seeds\": " << t.search_seeds << ",\n"
+      << indent << "  \"search_states\": " << t.search_states << ",\n"
+      << indent << "  \"insert_evals\": " << t.insert_evals << ",\n"
+      << indent << "  \"delete_evals\": " << t.delete_evals << ",\n"
+      << indent << "  \"peak_intermediate\": " << t.peak_intermediate
+      << ",\n"
+      << indent << "  \"timeouts\": " << t.timeouts << "\n"
+      << indent << "}";
+}
+
+int Main(int argc, char** argv) {
+  Flags flags(argc, argv,
+              {"scale", "queries", "timeout_ms", "seed", "out"});
+  double scale = flags.GetDouble("scale", 1.0);
+  int64_t num_queries = flags.GetInt("queries", 8);
+  int64_t timeout_ms = flags.GetInt("timeout_ms", 5000);
+  uint64_t seed = flags.GetInt("seed", 42);
+  std::string out_path = flags.GetString("out", "");
+
+  const std::vector<Workload> workloads = {
+      {"lsbench_tree_insert", workload::QueryShape::kTree, 0.0, 0.10, 0.6},
+      {"lsbench_cyclic_insert", workload::QueryShape::kGraph, 0.0, 0.10,
+       0.6},
+      {"lsbench_tree_churn", workload::QueryShape::kTree, 0.30, 0.15,
+       0.9},
+  };
+
+  std::printf("Engine A/B: TurboFlux vs SymBi (scale=%.2f, %lld queries "
+              "of 6 edges per workload)\n\n",
+              scale, static_cast<long long>(num_queries));
+
+  struct Row {
+    Workload workload;
+    EngineTotals turboflux, symbi;
+    bool agree;
+  };
+  std::vector<Row> rows;
+  for (const Workload& w : workloads) {
+    workload::Dataset dataset = MakeLsBenchDataset(
+        scale, w.stream_fraction, w.deletion_rate, seed);
+    workload::QueryGenConfig qc;
+    qc.shape = w.shape;
+    qc.num_edges = 6;
+    qc.count = static_cast<size_t>(num_queries);
+    qc.seed = seed + 7;
+    qc.keep_full_labels = w.keep_full_labels;
+    std::vector<QueryGraph> queries =
+        workload::GenerateQueries(dataset, qc);
+
+    std::vector<uint64_t> tf_matches, sym_matches;
+    Row row;
+    row.workload = w;
+    row.turboflux = RunEngine(EngineKind::kTurboFlux, dataset, queries,
+                              timeout_ms, &tf_matches);
+    row.symbi = RunEngine(EngineKind::kSymBi, dataset, queries, timeout_ms,
+                          &sym_matches);
+    row.agree = tf_matches.size() == sym_matches.size();
+    for (size_t i = 0; row.agree && i < tf_matches.size(); ++i) {
+      if (tf_matches[i] == kTimedOut || sym_matches[i] == kTimedOut) {
+        continue;
+      }
+      row.agree = tf_matches[i] == sym_matches[i];
+    }
+    rows.push_back(row);
+
+    std::printf("%-22s %-10s states=%-10llu seeds=%-9llu %.3fs%s\n",
+                w.name.c_str(), "TurboFlux",
+                static_cast<unsigned long long>(row.turboflux.search_states),
+                static_cast<unsigned long long>(row.turboflux.search_seeds),
+                row.turboflux.stream_seconds,
+                row.turboflux.timeouts ? " TIMEOUTS" : "");
+    std::printf("%-22s %-10s states=%-10llu seeds=%-9llu %.3fs%s%s\n",
+                "", "SymBi",
+                static_cast<unsigned long long>(row.symbi.search_states),
+                static_cast<unsigned long long>(row.symbi.search_seeds),
+                row.symbi.stream_seconds,
+                row.symbi.timeouts ? " TIMEOUTS" : "",
+                row.agree ? "" : "  MATCH-COUNT MISMATCH");
+  }
+
+  bool all_agree = true;
+  for (const Row& row : rows) all_agree = all_agree && row.agree;
+  std::printf("\nmatch-count agreement: %s\n",
+              all_agree ? "yes" : "NO — engines disagree, investigate");
+
+  if (!out_path.empty()) {
+    std::ofstream out(out_path, std::ios::trunc);
+    out << "{\n"
+        << "  \"bench\": \"engine_ab_turboflux_vs_symbi\",\n"
+        << "  \"description\": \"Same LSBench workloads through both "
+           "production engines (DESIGN.md 3.13). search_states counts "
+           "consulted candidate states during enumeration; the DCS's "
+           "bidirectional (top-down AND bottom-up) filtering is why SymBi "
+           "consults fewer on the filtering-heavy workloads. Match counts "
+           "per query are cross-checked (match_agreement).\",\n"
+        << "  \"config\": {\n"
+        << "    \"dataset\": \"lsbench\",\n"
+        << "    \"scale\": " << scale << ",\n"
+        << "    \"queries_per_workload\": " << num_queries << ",\n"
+        << "    \"query_edges\": 6,\n"
+        << "    \"seed\": " << seed << ",\n"
+        << "    \"timeout_ms\": " << timeout_ms << ",\n"
+        << "    \"stats_compiled\": "
+        << (obs::kStatsCompiled ? "true" : "false") << "\n"
+        << "  },\n"
+        << "  \"match_agreement\": " << (all_agree ? "true" : "false")
+        << ",\n"
+        << "  \"workloads\": [";
+    for (size_t i = 0; i < rows.size(); ++i) {
+      const Row& row = rows[i];
+      out << (i ? ",\n" : "\n") << "    {\n"
+          << "      \"name\": \"" << row.workload.name << "\",\n"
+          << "      \"deletion_rate\": " << row.workload.deletion_rate
+          << ",\n"
+          << "      \"stream_fraction\": " << row.workload.stream_fraction
+          << ",\n"
+          << "      \"keep_full_labels\": "
+          << row.workload.keep_full_labels << ",\n"
+          << "      \"turboflux\": ";
+      EmitEngineJson(out, "      ", row.turboflux);
+      out << ",\n      \"symbi\": ";
+      EmitEngineJson(out, "      ", row.symbi);
+      out << "\n    }";
+    }
+    out << "\n  ]\n}\n";
+    if (!out.flush()) {
+      std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", out_path.c_str());
+  }
+  return all_agree ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace turboflux
+
+int main(int argc, char** argv) { return turboflux::bench::Main(argc, argv); }

@@ -278,9 +278,16 @@ namespace {
 struct PinnedMixResult {
   double scale = 0;
   std::string mix;
+  std::string engine = "turboflux";
   obs::HistogramData hist;
   std::vector<uint64_t> samples;  // exact ns per op, measurement order
 };
+
+/// The lowercase names scripts/perf_smoke.py keys rows by (its default
+/// for rows without an "engine" field is "turboflux").
+const char* PinnedEngineName(EngineKind kind) {
+  return kind == EngineKind::kSymBi ? "symbi" : "turboflux";
+}
 
 uint64_t ExactPercentile(std::vector<uint64_t> samples, double p) {
   if (samples.empty()) return 0;
@@ -289,12 +296,13 @@ uint64_t ExactPercentile(std::vector<uint64_t> samples, double p) {
   return samples[static_cast<size_t>(rank + 0.5)];
 }
 
-void MeasureOps(TurboFluxEngine& engine, const std::vector<UpdateOp>& ops,
-                double scale, const char* mix,
+void MeasureOps(ContinuousEngine& engine, const std::vector<UpdateOp>& ops,
+                double scale, const char* mix, const char* engine_name,
                 std::vector<PinnedMixResult>& out) {
   PinnedMixResult r;
   r.scale = scale;
   r.mix = mix;
+  r.engine = engine_name;
   r.samples.reserve(ops.size());
   CountingSink sink;
   for (const UpdateOp& op : ops) {
@@ -311,7 +319,9 @@ void MeasureOps(TurboFluxEngine& engine, const std::vector<UpdateOp>& ops,
 
 // One engine per (scale, mix) tuple so every mix starts from the same
 // warm state regardless of which mixes ran before it.
-void RunPinnedScale(double scale, std::vector<PinnedMixResult>& out) {
+void RunPinnedScale(EngineKind kind, double scale,
+                    std::vector<PinnedMixResult>& out) {
+  const char* engine_name = PinnedEngineName(kind);
   constexpr size_t kOpsCap = 2000;
   workload::QueryGenConfig qc;
   qc.shape = workload::QueryShape::kTree;
@@ -335,11 +345,12 @@ void RunPinnedScale(double scale, std::vector<PinnedMixResult>& out) {
     deletes.push_back(UpdateOp::Delete(op.from, op.label, op.to));
   }
   {
-    TurboFluxEngine engine;
+    std::unique_ptr<ContinuousEngine> engine =
+        MakeEngine(kind, MatchSemantics::kHomomorphism);
     CountingSink sink;
-    engine.Init(queries[0], ds.initial, sink, Deadline::Infinite());
-    MeasureOps(engine, inserts, scale, "insert", out);
-    MeasureOps(engine, deletes, scale, "delete", out);
+    engine->Init(queries[0], ds.initial, sink, Deadline::Infinite());
+    MeasureOps(*engine, inserts, scale, "insert", engine_name, out);
+    MeasureOps(*engine, deletes, scale, "delete", engine_name, out);
   }
 
   // Mixed mix: a 30%-deletion stream over the same dataset seed.
@@ -351,10 +362,11 @@ void RunPinnedScale(double scale, std::vector<PinnedMixResult>& out) {
     mops.push_back(op);
     if (mops.size() >= kOpsCap) break;
   }
-  TurboFluxEngine engine;
+  std::unique_ptr<ContinuousEngine> engine =
+      MakeEngine(kind, MatchSemantics::kHomomorphism);
   CountingSink sink;
-  engine.Init(mqueries[0], mixed.initial, sink, Deadline::Infinite());
-  MeasureOps(engine, mops, scale, "mixed", out);
+  engine->Init(mqueries[0], mixed.initial, sink, Deadline::Infinite());
+  MeasureOps(*engine, mops, scale, "mixed", engine_name, out);
 }
 
 void AppendJsonNumber(std::string& out, double v) {
@@ -363,10 +375,27 @@ void AppendJsonNumber(std::string& out, double v) {
   out += buf;
 }
 
-int RunPinnedConfig(const std::string& path, const std::string& layout) {
+int RunPinnedConfig(const std::string& path, const std::string& layout,
+                    const std::string& engines) {
+  std::vector<EngineKind> kinds;
+  if (engines.find("turboflux") != std::string::npos) {
+    kinds.push_back(EngineKind::kTurboFlux);
+  }
+  if (engines.find("symbi") != std::string::npos) {
+    kinds.push_back(EngineKind::kSymBi);
+  }
+  if (kinds.empty()) {
+    std::fprintf(stderr,
+                 "micro_ops: --engines takes a comma list of "
+                 "turboflux,symbi; got %s\n",
+                 engines.c_str());
+    return 1;
+  }
   std::vector<PinnedMixResult> results;
   const double scales[] = {0.25, 0.5, 1.0};
-  for (double s : scales) RunPinnedScale(s, results);
+  for (EngineKind kind : kinds) {
+    for (double s : scales) RunPinnedScale(kind, s, results);
+  }
 
   std::string json = "{\n  \"bench\": \"micro_ops_pinned\",\n";
   json += "  \"layout\": \"" + layout + "\",\n";
@@ -380,6 +409,7 @@ int RunPinnedConfig(const std::string& path, const std::string& layout) {
     json += "    {\"scale\": ";
     AppendJsonNumber(json, r.scale);
     json += ", \"mix\": \"" + r.mix + "\"";
+    json += ", \"engine\": \"" + r.engine + "\"";
     json += ", \"ops\": " + std::to_string(r.samples.size());
     json += ", \"hist_p50_ns\": " + std::to_string(r.hist.Percentile(0.50));
     json += ", \"hist_p99_ns\": " + std::to_string(r.hist.Percentile(0.99));
@@ -413,6 +443,7 @@ int RunPinnedConfig(const std::string& path, const std::string& layout) {
 int main(int argc, char** argv) {
   std::string pinned_json;
   std::string layout_name = "current";
+  std::string pinned_engines = "turboflux";
   std::vector<char*> filtered;
   filtered.push_back(argv[0]);
   for (int i = 1; i < argc; ++i) {
@@ -424,6 +455,8 @@ int main(int argc, char** argv) {
       pinned_json = argv[i] + 14;
     } else if (std::strncmp(argv[i], "--layout_name=", 14) == 0) {
       layout_name = argv[i] + 14;
+    } else if (std::strncmp(argv[i], "--engines=", 10) == 0) {
+      pinned_engines = argv[i] + 10;
     } else if (std::strncmp(argv[i], "--stats_json=", 13) == 0) {
       // Fleet-wide flag from reproduce_all.sh; microbenchmarks measure
       // wall time only, so the stats artifact does not apply here.
@@ -432,7 +465,8 @@ int main(int argc, char** argv) {
     }
   }
   if (!pinned_json.empty()) {
-    return turboflux::bench::RunPinnedConfig(pinned_json, layout_name);
+    return turboflux::bench::RunPinnedConfig(pinned_json, layout_name,
+                                             pinned_engines);
   }
   int fargc = static_cast<int>(filtered.size());
   benchmark::Initialize(&fargc, filtered.data());

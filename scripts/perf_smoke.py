@@ -24,8 +24,14 @@ GATED_KEYS = ("hist_p50_ns", "hist_p99_ns")
 REPORT_KEYS = ("p50_ns", "p90_ns", "p99_ns", "mean_ns")
 
 
+def row_key(row):
+    """(scale, mix, engine); rows predating the engine field (the whole
+    BENCH_7.json baseline) are TurboFlux rows."""
+    return (row["scale"], row["mix"], row.get("engine", "turboflux"))
+
+
 def baseline_rows(doc):
-    """Baseline rows keyed by (scale, mix).
+    """Baseline rows keyed by (scale, mix, engine).
 
     Accepts either the committed A/B artifact (rows carry a 'csr' object —
     the reworked layout is what CI runs, so that is the comparison side)
@@ -35,7 +41,7 @@ def baseline_rows(doc):
     rows = {}
     for row in doc["engine_ops"]:
         side = row.get("csr", row)
-        rows[(row["scale"], row["mix"])] = (side, row["ops"])
+        rows[row_key(row)] = (side, row["ops"])
     return rows
 
 
@@ -57,9 +63,18 @@ def main():
     failures = []
     seen = set()
     for row in fresh["engine_ops"]:
-        key = (row["scale"], row["mix"])
+        key = row_key(row)
         if key not in baseline:
-            failures.append(f"{key}: not in baseline {args.baseline}")
+            # Rows from engines the baseline does not cover (e.g. a
+            # `--engines=turboflux,symbi` run against the TurboFlux-only
+            # BENCH_7.json) are informational, never gated: a missing
+            # baseline row is only a failure for the baseline's engine.
+            if any(b[2] == key[2] for b in baseline):
+                failures.append(f"{key}: not in baseline {args.baseline}")
+            else:
+                exact = ", ".join(f"{k}={row[k]}" for k in REPORT_KEYS)
+                print(f"scale={key[0]} mix={key[1]} engine={key[2]}: "
+                      f"no baseline, reporting only [{exact}]")
             continue
         seen.add(key)
         base, base_ops = baseline[key]
@@ -78,7 +93,8 @@ def main():
                 failures.append(f"{key}: {k} regressed: "
                                 f"{row[k]} > {base[k]} * {args.threshold}")
         exact = ", ".join(f"{k}={row[k]}" for k in REPORT_KEYS)
-        print(f"scale={key[0]} mix={key[1]}: {'; '.join(verdicts)} [{exact}]")
+        print(f"scale={key[0]} mix={key[1]} engine={key[2]}: "
+              f"{'; '.join(verdicts)} [{exact}]")
     missing = set(baseline) - seen
     if missing:
         failures.append(f"fresh run is missing rows: {sorted(missing)}")

@@ -153,18 +153,7 @@ void GraphflowEngine::EvalUpdate(VertexId v, EdgeLabel l, VertexId v2,
     mapped_[qe.from] = mapped_[qe.to] = true;
     // Verify every *other* query edge already fixed by the seed mapping
     // (reverse, parallel, and self-loop edges between the endpoints).
-    bool seed_ok = true;
-    for (const QEdge& other : q_->edges()) {
-      if (other.id == qe.id) continue;
-      if (m_[other.from] == kNullVertex || m_[other.to] == kNullVertex) {
-        continue;
-      }
-      if (!g_.HasEdge(m_[other.from], other.label, m_[other.to])) {
-        seed_ok = false;
-        break;
-      }
-    }
-    if (seed_ok) {
+    if (MappedEdgesSatisfied(*q_, g_, m_, qe.id)) {
       stats_.search_seeds.Inc();
       ExtendSeed(qe.id, positive, sink);
     }

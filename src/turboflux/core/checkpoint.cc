@@ -40,11 +40,6 @@ enum SectionTag : uint32_t {
   kSectionEngine = 0x53474e45,  // "ENGS"
 };
 
-// Generous per-field element cap: no section legitimately holds more
-// elements than this, and rejecting earlier keeps corrupted length fields
-// from driving large allocations.
-constexpr uint64_t kMaxElems = uint64_t{1} << 32;
-
 }  // namespace
 
 Status TurboFluxEngine::Checkpoint(std::ostream& out) const {
@@ -95,18 +90,7 @@ Status TurboFluxEngine::WriteStateSections(std::ostream& out,
   if (!st.ok()) return st;
 
   std::string qbuf;
-  bin::PutU32(qbuf, static_cast<uint32_t>(q.VertexCount()));
-  for (QVertexId u = 0; u < q.VertexCount(); ++u) {
-    const std::vector<Label>& ls = q.labels(u).labels();
-    bin::PutU32(qbuf, static_cast<uint32_t>(ls.size()));
-    for (Label l : ls) bin::PutU32(qbuf, l);
-  }
-  bin::PutU32(qbuf, static_cast<uint32_t>(q.EdgeCount()));
-  for (const QEdge& e : q.edges()) {
-    bin::PutU32(qbuf, e.from);
-    bin::PutU32(qbuf, e.label);
-    bin::PutU32(qbuf, e.to);
-  }
+  SerializeQueryGraph(qbuf, q);
   st = bin::WriteSection(out, kSectionQuery, qbuf);
   if (!st.ok()) return st;
 
@@ -234,39 +218,8 @@ Status TurboFluxEngine::ReadStateSections(std::istream& in,
   // depend on any caller-provided QueryGraph staying alive.
   bin::Reader qr(qbuf);
   auto q = std::make_unique<QueryGraph>();
-  uint32_t nq = 0;
-  if (!qr.GetU32(&nq) || nq == 0 || nq > kMaxQueryVertices) {
-    return fail(Status::Corruption("bad query vertex count"));
-  }
-  for (QVertexId u = 0; u < nq; ++u) {
-    uint32_t nl = 0;
-    if (!qr.GetLength(&nl, kMaxElems)) {
-      return fail(Status::Corruption("bad query vertex label count"));
-    }
-    std::vector<Label> ls(nl);
-    for (uint32_t i = 0; i < nl; ++i) {
-      if (!qr.GetU32(&ls[i])) {
-        return fail(Status::Corruption("truncated query vertex labels"));
-      }
-    }
-    q->AddVertex(LabelSet(std::move(ls)));
-  }
-  uint32_t ne = 0;
-  if (!qr.GetLength(&ne, kMaxElems)) {
-    return fail(Status::Corruption("bad query edge count"));
-  }
-  for (QEdgeId e = 0; e < ne; ++e) {
-    uint32_t from = 0, label = 0, to = 0;
-    if (!qr.GetU32(&from) || !qr.GetU32(&label) || !qr.GetU32(&to)) {
-      return fail(Status::Corruption("truncated query edge"));
-    }
-    if (from >= nq || to >= nq || q->AddEdge(from, label, to) != e) {
-      return fail(Status::Corruption("invalid or duplicate query edge"));
-    }
-  }
-  if (!qr.exhausted() || q->EdgeCount() == 0 || !q->IsConnected()) {
-    return fail(Status::Corruption("malformed query section"));
-  }
+  if (!(st = DeserializeQueryGraph(qr, q.get())).ok()) return fail(st);
+  const uint32_t nq = static_cast<uint32_t>(q->VertexCount());
 
   // Spanning tree, validated structurally by FromParentEdges.
   bin::Reader tr(tbuf);

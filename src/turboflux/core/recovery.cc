@@ -54,7 +54,7 @@ class BufferSink : public MatchSink {
 
 }  // namespace
 
-ResilientResult RunResilient(TurboFluxEngine& engine, const QueryGraph& q,
+ResilientResult RunResilient(EngineInterface& engine, const QueryGraph& q,
                              const Graph& g0, const UpdateStream& stream,
                              MatchSink& sink,
                              const ResilientOptions& options) {

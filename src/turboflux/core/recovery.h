@@ -7,7 +7,7 @@
 #include <string>
 
 #include "turboflux/common/status.h"
-#include "turboflux/core/turboflux.h"
+#include "turboflux/harness/engine.h"
 #include "turboflux/harness/fault_injection.h"
 #include "turboflux/obs/stats.h"
 
@@ -86,7 +86,7 @@ struct ResilientResult {
 /// dropping the buffer, restoring the last snapshot, and replaying the
 /// journal suffix — the sink observes exactly the match stream of an
 /// uninterrupted run, each match exactly once, in order.
-ResilientResult RunResilient(TurboFluxEngine& engine, const QueryGraph& q,
+ResilientResult RunResilient(EngineInterface& engine, const QueryGraph& q,
                              const Graph& g0, const UpdateStream& stream,
                              MatchSink& sink, const ResilientOptions& options);
 

@@ -68,7 +68,7 @@ struct TurboFluxOptions {
 /// (maximum-order seed reports on insertion, minimum on deletion), applied
 /// both inline in IsJoinable and at report time, which also covers
 /// solutions mapping several *tree* edges onto the updated data edge.
-class TurboFluxEngine : public ContinuousEngine {
+class TurboFluxEngine : public EngineInterface {
  public:
   explicit TurboFluxEngine(TurboFluxOptions options = {});
 
@@ -127,11 +127,7 @@ class TurboFluxEngine : public ContinuousEngine {
   /// An update op rejected before evaluation: applying it would have
   /// corrupted the engine (e.g. it references a vertex outside the data
   /// universe). The op was consumed from the stream as a no-op.
-  struct QuarantinedOp {
-    uint64_t index;  ///< 0-based stream position at which the op arrived
-    UpdateOp op;
-    Status status;
-  };
+  using QuarantinedOp = ::turboflux::QuarantinedOp;
 
   /// Writes a crash-consistent snapshot of the full engine state: format
   /// header (magic + version), then per-section CRC32-framed payloads for
@@ -140,7 +136,7 @@ class TurboFluxEngine : public ContinuousEngine {
   /// restored from the snapshot reproduces the original's subsequent match
   /// stream byte-for-byte. Requires Init to have succeeded and the engine
   /// to be alive.
-  [[nodiscard]] Status Checkpoint(std::ostream& out) const;
+  [[nodiscard]] Status Checkpoint(std::ostream& out) const override;
 
   /// Rebuilds the engine from a Checkpoint snapshot, replacing all current
   /// state (the query graph is deserialized into engine-owned storage, so
@@ -151,7 +147,7 @@ class TurboFluxEngine : public ContinuousEngine {
   /// caller resumes by replaying the update stream from that index. On
   /// failure the engine is left dead (its state may be partially
   /// overwritten).
-  [[nodiscard]] Status Restore(std::istream& in);
+  [[nodiscard]] Status Restore(std::istream& in) override;
 
   /// Writes only the CRC32-framed state sections (no format header): meta,
   /// query, tree, optionally the data graph, DCG, matching-order state.
@@ -160,7 +156,7 @@ class TurboFluxEngine : public ContinuousEngine {
   /// section of their own; Checkpoint is exactly header +
   /// WriteStateSections(out, true).
   [[nodiscard]] Status WriteStateSections(std::ostream& out,
-                                          bool include_graph) const;
+                                          bool include_graph) const override;
 
   /// Reads back what WriteStateSections wrote and commits it, validating
   /// every section. With `shared_graph == nullptr` the snapshot must
@@ -170,7 +166,7 @@ class TurboFluxEngine : public ContinuousEngine {
   /// bound to `*shared_graph` (which must already hold the graph state the
   /// snapshot was taken against). On failure the engine is left dead.
   [[nodiscard]] Status ReadStateSections(std::istream& in,
-                                         const Graph* shared_graph);
+                                         const Graph* shared_graph) override;
 
   /// ApplyUpdate with graceful degradation: ops that would corrupt the
   /// engine (out-of-range endpoints) are quarantined and consumed as
@@ -180,7 +176,7 @@ class TurboFluxEngine : public ContinuousEngine {
   /// leaves the engine dead *without* consuming the op — Restore() and
   /// replay from applied_ops().
   [[nodiscard]] Status TryApplyUpdate(const UpdateOp& op, MatchSink& sink,
-                                      Deadline deadline);
+                                      Deadline deadline) override;
 
   /// Batch counterpart of TryApplyUpdate: quarantines out-of-range ops up
   /// front and evaluates the rest via ApplyBatch. On kDeadlineExceeded
@@ -188,23 +184,28 @@ class TurboFluxEngine : public ContinuousEngine {
   /// engine is dead; applied_ops() is only meaningful again after
   /// Restore().
   [[nodiscard]] Status TryApplyBatch(std::span<const UpdateOp> ops,
-                                     MatchSink& sink, Deadline deadline);
+                                     MatchSink& sink,
+                                     Deadline deadline) override;
 
   /// Number of stream ops consumed so far (applied + quarantined) — the
   /// journal position persisted by Checkpoint.
-  uint64_t applied_ops() const { return applied_ops_; }
+  uint64_t applied_ops() const override { return applied_ops_; }
 
   /// True once an op or batch was abandoned (deadline expiry or injected
   /// fault); a dead engine rejects further updates until Restore().
-  bool dead() const { return dead_; }
+  bool dead() const override { return dead_; }
 
   /// Ops quarantined since Init (pruned on Restore to positions before the
   /// snapshot, so replay re-reports exactly the re-consumed ones).
-  const std::vector<QuarantinedOp>& quarantine() const { return quarantine_; }
+  const std::vector<QuarantinedOp>& quarantine() const override {
+    return quarantine_;
+  }
 
   /// Installs a test-only fault injector (nullptr to disarm). Not owned;
   /// replicas never inherit it.
-  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
+  void set_fault_injector(FaultInjector* injector) override {
+    injector_ = injector;
+  }
 
   // --- Introspection (tests, benches, examples) ---
 

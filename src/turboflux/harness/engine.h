@@ -2,13 +2,18 @@
 #define TURBOFLUX_HARNESS_ENGINE_H_
 
 #include <algorithm>
+#include <cstdint>
+#include <iosfwd>
 #include <span>
 #include <string>
+#include <vector>
 
 #include "turboflux/common/deadline.h"
 #include "turboflux/common/match.h"
+#include "turboflux/common/status.h"
 #include "turboflux/graph/graph.h"
 #include "turboflux/graph/update_stream.h"
+#include "turboflux/harness/fault_injection.h"
 #include "turboflux/obs/engine_stats.h"
 #include "turboflux/query/query_graph.h"
 
@@ -87,6 +92,91 @@ class ContinuousEngine {
 
  private:
   size_t peak_intermediate_ = 0;
+};
+
+/// An update op rejected before evaluation: applying it would have
+/// corrupted the engine (e.g. it references a vertex outside the data
+/// universe). The op was consumed from the stream as a no-op.
+struct QuarantinedOp {
+  uint64_t index;  ///< 0-based stream position at which the op arrived
+  UpdateOp op;
+  Status status;
+};
+
+/// The full production engine contract (DESIGN.md §3.13): everything a
+/// ContinuousEngine does, plus graceful-degradation updates, crash-
+/// consistent checkpointing, and stream-position accounting — the surface
+/// RunResilient and the serving layer drive. TurboFlux and SymBi implement
+/// it; the paper baselines (SJ-Tree, Graphflow, IncIsoMat) stay plain
+/// ContinuousEngines.
+///
+/// Contract notes shared by all implementations:
+///  * TryApplyUpdate consumes exactly one op: out-of-range endpoints are
+///    quarantined as no-ops (kOutOfRange), legal no-ops pass their
+///    informational status through (kNotFound / kFailedPrecondition), and
+///    deadline expiry returns kDeadlineExceeded leaving the engine dead
+///    *without* consuming the op — Restore() and replay from
+///    applied_ops().
+///  * Checkpoint is exactly a format header + WriteStateSections(out,
+///    /*include_graph=*/true); multi-engine containers persist the shared
+///    graph once themselves and call WriteStateSections(out, false).
+///  * A restored engine reproduces the original's subsequent match stream
+///    byte-for-byte (adjacency and enumeration orders are preserved or
+///    deterministically rebuilt).
+class EngineInterface : public ContinuousEngine {
+ public:
+  /// ApplyUpdate with graceful degradation; see the contract notes above.
+  [[nodiscard]] virtual Status TryApplyUpdate(const UpdateOp& op,
+                                              MatchSink& sink,
+                                              Deadline deadline) = 0;
+
+  /// Batch counterpart of TryApplyUpdate: quarantines out-of-range ops up
+  /// front and evaluates the rest via ApplyBatch. On kDeadlineExceeded
+  /// only a stream-order prefix of the batch's matches was flushed and
+  /// the engine is dead; applied_ops() is only meaningful again after
+  /// Restore().
+  [[nodiscard]] virtual Status TryApplyBatch(std::span<const UpdateOp> ops,
+                                             MatchSink& sink,
+                                             Deadline deadline) = 0;
+
+  /// Writes a crash-consistent snapshot of the full engine state (format
+  /// header + CRC32-framed sections). Requires Init to have succeeded and
+  /// the engine to be alive.
+  [[nodiscard]] virtual Status Checkpoint(std::ostream& out) const = 0;
+
+  /// Rebuilds the engine from a Checkpoint snapshot, replacing all current
+  /// state. Corrupted or truncated snapshots yield a non-OK status and
+  /// never crash; on failure the engine is left dead.
+  [[nodiscard]] virtual Status Restore(std::istream& in) = 0;
+
+  /// Writes only the CRC32-framed state sections (no format header);
+  /// `include_graph=false` omits the data-graph section for containers
+  /// that persist one shared graph themselves.
+  [[nodiscard]] virtual Status WriteStateSections(std::ostream& out,
+                                                  bool include_graph)
+      const = 0;
+
+  /// Reads back what WriteStateSections wrote and commits it, validating
+  /// every section. Engines without a shared-graph mode reject a non-null
+  /// `shared_graph` with kFailedPrecondition.
+  [[nodiscard]] virtual Status ReadStateSections(std::istream& in,
+                                                 const Graph* shared_graph)
+      = 0;
+
+  /// Number of stream ops consumed so far (applied + quarantined) — the
+  /// journal position persisted by Checkpoint.
+  virtual uint64_t applied_ops() const = 0;
+
+  /// True once an op or batch was abandoned (deadline expiry or injected
+  /// fault); a dead engine rejects further updates until Restore().
+  virtual bool dead() const = 0;
+
+  /// Ops quarantined since Init (pruned on Restore to positions before the
+  /// snapshot, so replay re-reports exactly the re-consumed ones).
+  virtual const std::vector<QuarantinedOp>& quarantine() const = 0;
+
+  /// Installs a test-only fault injector (nullptr to disarm). Not owned.
+  virtual void set_fault_injector(FaultInjector* injector) = 0;
 };
 
 }  // namespace turboflux

@@ -190,4 +190,14 @@ uint64_t BruteForceCount(const Graph& g, const QueryGraph& q,
   return count;
 }
 
+bool MappedEdgesSatisfied(const QueryGraph& q, const Graph& g,
+                          const Mapping& m, QEdgeId skip) {
+  for (const QEdge& e : q.edges()) {
+    if (e.id == skip) continue;
+    if (m[e.from] == kNullVertex || m[e.to] == kNullVertex) continue;
+    if (!g.HasEdge(m[e.from], e.label, m[e.to])) return false;
+  }
+  return true;
+}
+
 }  // namespace turboflux

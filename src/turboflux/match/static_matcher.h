@@ -67,6 +67,15 @@ class StaticMatcher {
 uint64_t BruteForceCount(const Graph& g, const QueryGraph& q,
                          MatchSemantics semantics);
 
+/// True iff every query edge with *both* endpoints mapped in `m` is
+/// satisfied in `g` (O(1) probes). `skip` names one edge assumed already
+/// checked — the seed edge of an update evaluation — or kNullQEdge to
+/// check all. Shared by the incremental engines' seed verification: a seed
+/// mapping fixes two query vertices, and every reverse, parallel and
+/// self-loop edge between them must hold before extension starts.
+bool MappedEdgesSatisfied(const QueryGraph& q, const Graph& g,
+                          const Mapping& m, QEdgeId skip);
+
 }  // namespace turboflux
 
 #endif  // TURBOFLUX_MATCH_STATIC_MATCHER_H_

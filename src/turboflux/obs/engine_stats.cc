@@ -23,6 +23,24 @@ void DcgStats::AppendTo(StatsSnapshot& out, const std::string& prefix) const {
   out.AddCounter(prefix + "implicit_to_null", implicit_to_null.value());
 }
 
+void DcsStats::Reset() {
+  transitions.Reset();
+  d1_set.Reset();
+  d1_cleared.Reset();
+  d2_set.Reset();
+  d2_cleared.Reset();
+  isolated_groups.Reset();
+}
+
+void DcsStats::AppendTo(StatsSnapshot& out, const std::string& prefix) const {
+  out.AddCounter(prefix + "transitions", transitions.value());
+  out.AddCounter(prefix + "d1_set", d1_set.value());
+  out.AddCounter(prefix + "d1_cleared", d1_cleared.value());
+  out.AddCounter(prefix + "d2_set", d2_set.value());
+  out.AddCounter(prefix + "d2_cleared", d2_cleared.value());
+  out.AddCounter(prefix + "isolated_groups", isolated_groups.value());
+}
+
 void GraphLayoutStats::Reset() {
   adj_bytes.Reset();
   adj_dead_slots.Reset();
@@ -79,6 +97,7 @@ void EngineStats::Reset() {
   checkpoint_seconds.Reset();
   restore_seconds.Reset();
   dcg.Reset();
+  dcs.Reset();
   graph.Reset();
   scheduler.Reset();
 }
@@ -130,6 +149,7 @@ void EngineStats::AppendTo(StatsSnapshot& out,
     out.AddHistogram(prefix + "restore_ns", restore_seconds.data());
   }
   dcg.AppendTo(out, prefix + "dcg.");
+  dcs.AppendTo(out, prefix + "dcs.");
   graph.AppendTo(out, prefix + "graph.");
   scheduler.AppendTo(out, prefix + "scheduler.");
 }

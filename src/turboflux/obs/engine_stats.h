@@ -33,6 +33,25 @@ struct DcgStats {
   void AppendTo(StatsSnapshot& out, const std::string& prefix) const;
 };
 
+/// Per-DCS counters (the SymBi engine, DESIGN.md §3.13), bumped inside the
+/// Dcs flag funnels — one increment per D1/D2 flag flip, which is the
+/// bidirectional-DP analogue of the DCG transition taxonomy above.
+/// `transitions` totals all four flip kinds; `isolated_groups` counts
+/// enumeration steps that took the isolated-vertex fast path (every
+/// remaining query vertex had all neighbours mapped, so candidates were
+/// produced once per vertex instead of once per backtracking state).
+struct DcsStats {
+  Counter transitions;      ///< every D1/D2 flag flip
+  Counter d1_set;           ///< top-down flag 0 -> 1
+  Counter d1_cleared;       ///< top-down flag 1 -> 0
+  Counter d2_set;           ///< bottom-up flag 0 -> 1
+  Counter d2_cleared;       ///< bottom-up flag 1 -> 0
+  Counter isolated_groups;  ///< isolated-vertex enumeration activations
+
+  void Reset();
+  void AppendTo(StatsSnapshot& out, const std::string& prefix) const;
+};
+
 /// Data-graph memory-layout gauges (DESIGN.md §3.11), sampled from the
 /// Graph accessors after every applied update. `adj_dead_slots` vs the
 /// live entry count is the signal the tombstone/compaction regression
@@ -98,6 +117,7 @@ struct EngineStats {
   Histogram restore_seconds;
 
   DcgStats dcg;
+  DcsStats dcs;
   GraphLayoutStats graph;
   SchedulerStats scheduler;
 

@@ -92,4 +92,59 @@ std::string QueryGraph::ToString() const {
   return out;
 }
 
+void SerializeQueryGraph(std::string& out, const QueryGraph& q) {
+  bin::PutU32(out, static_cast<uint32_t>(q.VertexCount()));
+  for (QVertexId u = 0; u < q.VertexCount(); ++u) {
+    const std::vector<Label>& ls = q.labels(u).labels();
+    bin::PutU32(out, static_cast<uint32_t>(ls.size()));
+    for (Label l : ls) bin::PutU32(out, l);
+  }
+  bin::PutU32(out, static_cast<uint32_t>(q.EdgeCount()));
+  for (const QEdge& e : q.edges()) {
+    bin::PutU32(out, e.from);
+    bin::PutU32(out, e.label);
+    bin::PutU32(out, e.to);
+  }
+}
+
+Status DeserializeQueryGraph(bin::Reader& in, QueryGraph* q) {
+  // Generous element cap: rejecting early keeps corrupted length fields
+  // from driving large allocations.
+  constexpr uint64_t kMaxElems = uint64_t{1} << 32;
+  uint32_t nq = 0;
+  if (!in.GetU32(&nq) || nq == 0 || nq > kMaxQueryVertices) {
+    return Status::Corruption("bad query vertex count");
+  }
+  for (QVertexId u = 0; u < nq; ++u) {
+    uint32_t nl = 0;
+    if (!in.GetLength(&nl, kMaxElems)) {
+      return Status::Corruption("bad query vertex label count");
+    }
+    std::vector<Label> ls(nl);
+    for (uint32_t i = 0; i < nl; ++i) {
+      if (!in.GetU32(&ls[i])) {
+        return Status::Corruption("truncated query vertex labels");
+      }
+    }
+    q->AddVertex(LabelSet(std::move(ls)));
+  }
+  uint32_t ne = 0;
+  if (!in.GetLength(&ne, kMaxElems)) {
+    return Status::Corruption("bad query edge count");
+  }
+  for (QEdgeId e = 0; e < ne; ++e) {
+    uint32_t from = 0, label = 0, to = 0;
+    if (!in.GetU32(&from) || !in.GetU32(&label) || !in.GetU32(&to)) {
+      return Status::Corruption("truncated query edge");
+    }
+    if (from >= nq || to >= nq || q->AddEdge(from, label, to) != e) {
+      return Status::Corruption("invalid or duplicate query edge");
+    }
+  }
+  if (!in.exhausted() || q->EdgeCount() == 0 || !q->IsConnected()) {
+    return Status::Corruption("malformed query section");
+  }
+  return Status::Ok();
+}
+
 }  // namespace turboflux

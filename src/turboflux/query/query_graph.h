@@ -86,6 +86,18 @@ class QueryGraph {
   std::vector<std::vector<QEdgeId>> in_edges_;
 };
 
+/// Appends the checkpoint binary encoding of `q` to `out`: vertex count,
+/// per-vertex label lists, edge count, per-edge (from, label, to) triples —
+/// exactly the bytes the engine snapshots have always used for their query
+/// section (shared by the TurboFlux and SymBi checkpoints).
+void SerializeQueryGraph(std::string& out, const QueryGraph& q);
+
+/// Decodes what SerializeQueryGraph wrote into `*q` (which must be empty),
+/// consuming `in` to exhaustion. Every id is bounds-checked and the result
+/// must be a connected query with at least one edge; malformed input yields
+/// kCorruption with `*q` in an unspecified state.
+[[nodiscard]] Status DeserializeQueryGraph(bin::Reader& in, QueryGraph* q);
+
 }  // namespace turboflux
 
 #endif  // TURBOFLUX_QUERY_QUERY_GRAPH_H_

@@ -1,0 +1,356 @@
+#include "turboflux/symbi/dcs.h"
+
+#include <cassert>
+#include <cstdint>
+
+#include "turboflux/common/serialize.h"
+
+namespace turboflux {
+namespace symbi {
+
+void Dcs::Build(const QueryGraph& q, const QueryDag& dag, const Graph& g,
+                obs::DcsStats* stats) {
+  q_ = &q;
+  dag_ = &dag;
+  stats_ = stats;
+  nv_ = g.VertexCount();
+  const size_t nq = q.VertexCount();
+  cand_.assign(nq, {});
+  d1_.assign(nq, {});
+  d2_.assign(nq, {});
+  n1_.assign(nq, {});
+  n2_.assign(nq, {});
+  parent_slot_of_.assign(q.EdgeCount(), SIZE_MAX);
+  child_slot_of_.assign(q.EdgeCount(), SIZE_MAX);
+  d1_count_ = d2_count_ = 0;
+  for (QVertexId u = 0; u < nq; ++u) {
+    cand_[u].assign(nv_, 0);
+    d1_[u].assign(nv_, 0);
+    d2_[u].assign(nv_, 0);
+    n1_[u].assign(dag.parents(u).size() * nv_, 0);
+    n2_[u].assign(dag.children(u).size() * nv_, 0);
+    for (VertexId v = 0; v < nv_; ++v) {
+      cand_[u][v] = q.VertexMatches(u, g, v) ? 1 : 0;
+    }
+    for (size_t i = 0; i < dag.parents(u).size(); ++i) {
+      parent_slot_of_[dag.parents(u)[i].qedge] = i;
+    }
+    for (size_t j = 0; j < dag.children(u).size(); ++j) {
+      child_slot_of_[dag.children(u)[j].qedge] = j;
+    }
+  }
+
+  // Top-down sweep in DAG order: every parent's D1 column is final before
+  // any of its children is processed.
+  for (QVertexId u : dag.order()) {
+    for (size_t s = 0; s < dag.parents(u).size(); ++s) {
+      const DagEdge& pe = dag.parents(u)[s];
+      const EdgeLabel l = q.edge(pe.qedge).label;
+      for (VertexId w = 0; w < nv_; ++w) {
+        if (!d1_[pe.other][w]) continue;
+        for (const AdjEntry& a : pe.forward ? g.OutEdges(w) : g.InEdges(w)) {
+          if (a.label == l && cand_[u][a.other] != 0) {
+            ++n1_[u][s * nv_ + a.other];
+          }
+        }
+      }
+    }
+    for (VertexId v = 0; v < nv_; ++v) {
+      if (cand_[u][v] != 0 && AllN1Positive(u, v)) {
+        d1_[u][v] = 1;
+        ++d1_count_;
+      }
+    }
+  }
+
+  // Bottom-up sweep in reverse DAG order.
+  for (size_t i = dag.order().size(); i-- > 0;) {
+    const QVertexId u = dag.order()[i];
+    for (size_t s = 0; s < dag.children(u).size(); ++s) {
+      const DagEdge& ce = dag.children(u)[s];
+      const EdgeLabel l = q.edge(ce.qedge).label;
+      for (VertexId w = 0; w < nv_; ++w) {
+        if (!d2_[ce.other][w]) continue;
+        // ce.forward: the query edge runs u -> child, so the data edge runs
+        // parent-side vertex -> w and u's candidates are w's in-neighbours.
+        for (const AdjEntry& a : ce.forward ? g.InEdges(w) : g.OutEdges(w)) {
+          if (a.label == l && cand_[u][a.other] != 0) {
+            ++n2_[u][s * nv_ + a.other];
+          }
+        }
+      }
+    }
+    for (VertexId v = 0; v < nv_; ++v) {
+      if (d1_[u][v] != 0 && AllN2Positive(u, v)) {
+        d2_[u][v] = 1;
+        ++d2_count_;
+      }
+    }
+  }
+}
+
+bool Dcs::AllN1Positive(QVertexId u, VertexId v) const {
+  const size_t slots = dag_->parents(u).size();
+  for (size_t s = 0; s < slots; ++s) {
+    if (n1_[u][s * nv_ + v] == 0) return false;
+  }
+  return true;
+}
+
+bool Dcs::AllN2Positive(QVertexId u, VertexId v) const {
+  const size_t slots = dag_->children(u).size();
+  for (size_t s = 0; s < slots; ++s) {
+    if (n2_[u][s * nv_ + v] == 0) return false;
+  }
+  return true;
+}
+
+void Dcs::IncN1(QVertexId u, size_t slot, VertexId v) {
+  if (++n1_[u][slot * nv_ + v] == 1 && d1_[u][v] == 0) {
+    queue_.emplace_back(u, v);
+  }
+}
+
+void Dcs::DecN1(QVertexId u, size_t slot, VertexId v) {
+  assert(n1_[u][slot * nv_ + v] > 0);
+  if (--n1_[u][slot * nv_ + v] == 0 && d1_[u][v] != 0) {
+    queue_.emplace_back(u, v);
+  }
+}
+
+void Dcs::IncN2(QVertexId u, size_t slot, VertexId v) {
+  if (++n2_[u][slot * nv_ + v] == 1 && d2_[u][v] == 0) {
+    queue2_.emplace_back(u, v);
+  }
+}
+
+void Dcs::DecN2(QVertexId u, size_t slot, VertexId v) {
+  assert(n2_[u][slot * nv_ + v] > 0);
+  if (--n2_[u][slot * nv_ + v] == 0 && d2_[u][v] != 0) {
+    queue2_.emplace_back(u, v);
+  }
+}
+
+void Dcs::DrainD1Set(const Graph& g) {
+  while (!queue_.empty()) {
+    const auto [u, v] = queue_.back();
+    queue_.pop_back();
+    if (d1_[u][v] != 0 || cand_[u][v] == 0 || !AllN1Positive(u, v)) continue;
+    d1_[u][v] = 1;
+    ++d1_count_;
+    d1_flips_.emplace_back(u, v);
+    if (stats_ != nullptr) {
+      stats_->transitions.Inc();
+      stats_->d1_set.Inc();
+    }
+    for (const DagEdge& ce : dag_->children(u)) {
+      const EdgeLabel l = q_->edge(ce.qedge).label;
+      for (const AdjEntry& a : ce.forward ? g.OutEdges(v) : g.InEdges(v)) {
+        if (a.label == l && cand_[ce.other][a.other] != 0) {
+          IncN1(ce.other, ce.peer_slot, a.other);
+        }
+      }
+    }
+  }
+}
+
+void Dcs::DrainD1Clear(const Graph& g) {
+  while (!queue_.empty()) {
+    const auto [u, v] = queue_.back();
+    queue_.pop_back();
+    if (d1_[u][v] == 0 || AllN1Positive(u, v)) continue;
+    d1_[u][v] = 0;
+    --d1_count_;
+    d1_flips_.emplace_back(u, v);
+    if (stats_ != nullptr) {
+      stats_->transitions.Inc();
+      stats_->d1_cleared.Inc();
+    }
+    for (const DagEdge& ce : dag_->children(u)) {
+      const EdgeLabel l = q_->edge(ce.qedge).label;
+      for (const AdjEntry& a : ce.forward ? g.OutEdges(v) : g.InEdges(v)) {
+        if (a.label == l && cand_[ce.other][a.other] != 0) {
+          DecN1(ce.other, ce.peer_slot, a.other);
+        }
+      }
+    }
+  }
+}
+
+void Dcs::DrainD2Set(const Graph& g) {
+  while (!queue2_.empty()) {
+    const auto [u, v] = queue2_.back();
+    queue2_.pop_back();
+    if (d2_[u][v] != 0 || d1_[u][v] == 0 || !AllN2Positive(u, v)) continue;
+    d2_[u][v] = 1;
+    ++d2_count_;
+    if (stats_ != nullptr) {
+      stats_->transitions.Inc();
+      stats_->d2_set.Inc();
+    }
+    for (const DagEdge& pe : dag_->parents(u)) {
+      const EdgeLabel l = q_->edge(pe.qedge).label;
+      // pe.forward: the query edge runs parent -> u, so the parent-side
+      // data candidates are v's in-neighbours.
+      for (const AdjEntry& a : pe.forward ? g.InEdges(v) : g.OutEdges(v)) {
+        if (a.label == l && cand_[pe.other][a.other] != 0) {
+          IncN2(pe.other, pe.peer_slot, a.other);
+        }
+      }
+    }
+  }
+}
+
+void Dcs::DrainD2Clear(const Graph& g) {
+  while (!queue2_.empty()) {
+    const auto [u, v] = queue2_.back();
+    queue2_.pop_back();
+    if (d2_[u][v] == 0) continue;
+    if (d1_[u][v] != 0 && AllN2Positive(u, v)) continue;
+    d2_[u][v] = 0;
+    --d2_count_;
+    if (stats_ != nullptr) {
+      stats_->transitions.Inc();
+      stats_->d2_cleared.Inc();
+    }
+    for (const DagEdge& pe : dag_->parents(u)) {
+      const EdgeLabel l = q_->edge(pe.qedge).label;
+      for (const AdjEntry& a : pe.forward ? g.InEdges(v) : g.OutEdges(v)) {
+        if (a.label == l && cand_[pe.other][a.other] != 0) {
+          DecN2(pe.other, pe.peer_slot, a.other);
+        }
+      }
+    }
+  }
+}
+
+void Dcs::ApplyInsert(const Graph& g, VertexId from, EdgeLabel label,
+                      VertexId to) {
+  assert(from < nv_ && to < nv_);
+  d1_flips_.clear();
+  queue_.clear();
+  queue2_.clear();
+  // Phase A (top-down): the new edge's direct N1 contributions — counted
+  // only where the parent-side flag was already set *before* this op; a
+  // parent pair that flips below contributes through its drain walk, which
+  // sees the new edge in the graph. Flag flips are deferred to the drain,
+  // so no flag moves during this scan.
+  for (const QEdge& e : q_->edges()) {
+    if (e.label != label || e.from == e.to) continue;
+    if (cand_[e.from][from] == 0 || cand_[e.to][to] == 0) continue;
+    const bool from_is_parent = dag_->rank(e.from) < dag_->rank(e.to);
+    const QVertexId uc = from_is_parent ? e.to : e.from;
+    const VertexId vp = from_is_parent ? from : to;
+    const VertexId vc = from_is_parent ? to : from;
+    if (d1_[from_is_parent ? e.from : e.to][vp] != 0) {
+      IncN1(uc, parent_slot_of_[e.id], vc);
+    }
+  }
+  DrainD1Set(g);
+  // Phase B (bottom-up): direct N2 contributions against the pre-op D2
+  // flags (still untouched), then D2 rechecks for every pair that gained
+  // D1 in phase A.
+  for (const QEdge& e : q_->edges()) {
+    if (e.label != label || e.from == e.to) continue;
+    if (cand_[e.from][from] == 0 || cand_[e.to][to] == 0) continue;
+    const bool from_is_parent = dag_->rank(e.from) < dag_->rank(e.to);
+    const QVertexId up = from_is_parent ? e.from : e.to;
+    const QVertexId uc = from_is_parent ? e.to : e.from;
+    const VertexId vp = from_is_parent ? from : to;
+    const VertexId vc = from_is_parent ? to : from;
+    if (d2_[uc][vc] != 0) IncN2(up, child_slot_of_[e.id], vp);
+  }
+  for (const auto& [u, v] : d1_flips_) queue2_.emplace_back(u, v);
+  DrainD2Set(g);
+}
+
+void Dcs::ApplyDelete(const Graph& g, VertexId from, EdgeLabel label,
+                      VertexId to) {
+  assert(from < nv_ && to < nv_);
+  d1_flips_.clear();
+  queue_.clear();
+  queue2_.clear();
+  // Phase A: remove the deleted edge's direct N1 contributions (they
+  // existed iff the parent-side flag is still set — pre-op value, since
+  // clears are deferred to the drain). Drain walks see the post-removal
+  // adjacency, so a cascading clear never double-decrements the deleted
+  // edge's contribution.
+  for (const QEdge& e : q_->edges()) {
+    if (e.label != label || e.from == e.to) continue;
+    if (cand_[e.from][from] == 0 || cand_[e.to][to] == 0) continue;
+    const bool from_is_parent = dag_->rank(e.from) < dag_->rank(e.to);
+    const QVertexId uc = from_is_parent ? e.to : e.from;
+    const VertexId vp = from_is_parent ? from : to;
+    const VertexId vc = from_is_parent ? to : from;
+    if (d1_[from_is_parent ? e.from : e.to][vp] != 0) {
+      DecN1(uc, parent_slot_of_[e.id], vc);
+    }
+  }
+  DrainD1Clear(g);
+  // Phase B: direct N2 removals against the pre-op D2 flags, plus D2
+  // rechecks wherever D1 was lost (D2 requires D1).
+  for (const QEdge& e : q_->edges()) {
+    if (e.label != label || e.from == e.to) continue;
+    if (cand_[e.from][from] == 0 || cand_[e.to][to] == 0) continue;
+    const bool from_is_parent = dag_->rank(e.from) < dag_->rank(e.to);
+    const QVertexId up = from_is_parent ? e.from : e.to;
+    const QVertexId uc = from_is_parent ? e.to : e.from;
+    const VertexId vp = from_is_parent ? from : to;
+    const VertexId vc = from_is_parent ? to : from;
+    if (d2_[uc][vc] != 0) DecN2(up, child_slot_of_[e.id], vp);
+  }
+  for (const auto& [u, v] : d1_flips_) queue2_.emplace_back(u, v);
+  DrainD2Clear(g);
+}
+
+std::string Dcs::Compare(const Dcs& other) const {
+  auto at = [](QVertexId u, VertexId v) {
+    return "(" + std::to_string(u) + ", " + std::to_string(v) + ")";
+  };
+  if (d1_.size() != other.d1_.size() || nv_ != other.nv_) {
+    return "universe mismatch";
+  }
+  if (d1_count_ != other.d1_count_ || d2_count_ != other.d2_count_) {
+    return "flag tallies differ: d1 " + std::to_string(d1_count_) + " vs " +
+           std::to_string(other.d1_count_) + ", d2 " +
+           std::to_string(d2_count_) + " vs " +
+           std::to_string(other.d2_count_);
+  }
+  for (QVertexId u = 0; u < d1_.size(); ++u) {
+    for (VertexId v = 0; v < nv_; ++v) {
+      if (cand_[u][v] != other.cand_[u][v]) {
+        return "cand differs at " + at(u, v);
+      }
+      if (d1_[u][v] != other.d1_[u][v]) return "D1 differs at " + at(u, v);
+      if (d2_[u][v] != other.d2_[u][v]) return "D2 differs at " + at(u, v);
+    }
+    if (n1_[u] != other.n1_[u]) return "N1 table differs at u=" +
+                                       std::to_string(u);
+    if (n2_[u] != other.n2_[u]) return "N2 table differs at u=" +
+                                       std::to_string(u);
+  }
+  return "";
+}
+
+void Dcs::SerializeFlags(std::string& out) const {
+  bin::PutU32(out, static_cast<uint32_t>(d1_.size()));
+  bin::PutU32(out, static_cast<uint32_t>(nv_));
+  auto pack = [&out, this](const std::vector<std::vector<uint8_t>>& flags) {
+    for (const std::vector<uint8_t>& row : flags) {
+      uint8_t byte = 0;
+      for (VertexId v = 0; v < nv_; ++v) {
+        if (row[v] != 0) byte |= static_cast<uint8_t>(1u << (v % 8));
+        if (v % 8 == 7) {
+          bin::PutU8(out, byte);
+          byte = 0;
+        }
+      }
+      if (nv_ % 8 != 0) bin::PutU8(out, byte);
+    }
+  };
+  pack(d1_);
+  pack(d2_);
+}
+
+}  // namespace symbi
+}  // namespace turboflux

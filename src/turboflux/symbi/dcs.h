@@ -1,0 +1,130 @@
+#ifndef TURBOFLUX_SYMBI_DCS_H_
+#define TURBOFLUX_SYMBI_DCS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "turboflux/common/types.h"
+#include "turboflux/graph/graph.h"
+#include "turboflux/obs/engine_stats.h"
+#include "turboflux/query/query_graph.h"
+#include "turboflux/symbi/query_dag.h"
+
+namespace turboflux {
+namespace symbi {
+
+/// The SymBi dynamic candidate space (DESIGN.md §3.13): for every
+/// (query vertex u, data vertex v) pair, two flags maintained by
+/// bidirectional dynamic programming over the query DAG —
+///
+///   D1(u, v)  (top-down):  cand(u, v) and, for every DAG parent edge of u,
+///             v has at least one data neighbour w along that query edge
+///             with D1(parent, w) = 1 (roots: D1 = cand);
+///   D2(u, v)  (bottom-up): D1(u, v) and, for every DAG child edge of u,
+///             v has at least one data neighbour w along that query edge
+///             with D2(child, w) = 1 (leaves: D2 = D1);
+///
+/// where cand(u, v) is the static label test L(u) ⊆ L(v). D2 = 1 is a
+/// necessary condition for v to appear in any homomorphism at u, so match
+/// enumeration is restricted to D2 candidates — the pruning that replaces
+/// the DCG's tree-only implicit/explicit states.
+///
+/// Incremental maintenance is counter-based: N1[u][i][v] counts the D1
+/// witnesses behind parent-edge slot i of u at v, N2[u][j][v] the D2
+/// witnesses behind child-edge slot j, so an edge update only walks the
+/// pairs whose flags actually flip. Counters are kept only for cand pairs
+/// (a non-cand pair can never gain a flag). Flag flips are deferred to a
+/// work queue and committed with a full recheck at pop time, which makes
+/// every (data edge, witness pair) contribution count exactly once:
+/// during the direct-increment scan over the updated edge no flag moves,
+/// and a pair that flips later re-walks its *current* adjacency — which
+/// contains the new edge on insert and no longer contains it on delete.
+class Dcs {
+ public:
+  Dcs() = default;
+
+  /// Binds to (q, dag) and computes all flags/counters from scratch over
+  /// `g` (one topological sweep for D1, one reverse sweep for D2). The
+  /// bound structures must outlive the Dcs; `stats` (optional) receives a
+  /// bump per flag flip in the incremental paths — Build itself does not
+  /// count, so counters measure stream-driven churn only.
+  void Build(const QueryGraph& q, const QueryDag& dag, const Graph& g,
+             obs::DcsStats* stats = nullptr);
+
+  /// Incremental update for the data edge (from, label, to), called
+  /// *after* g.AddEdge / g.RemoveEdge respectively. Phase A propagates D1
+  /// top-down, phase B propagates D2 bottom-up (deletes additionally clear
+  /// D2 wherever D1 was lost).
+  void ApplyInsert(const Graph& g, VertexId from, EdgeLabel label,
+                   VertexId to);
+  void ApplyDelete(const Graph& g, VertexId from, EdgeLabel label,
+                   VertexId to);
+
+  bool Cand(QVertexId u, VertexId v) const { return cand_[u][v] != 0; }
+  bool D1(QVertexId u, VertexId v) const { return d1_[u][v] != 0; }
+  bool D2(QVertexId u, VertexId v) const { return d2_[u][v] != 0; }
+
+  /// Maintained tallies of set flags (the engine's IntermediateSize).
+  size_t D1Count() const { return d1_count_; }
+  size_t D2Count() const { return d2_count_; }
+
+  size_t VertexUniverse() const { return nv_; }
+
+  /// Witness counters, for the invariant tests: slot `i` indexes
+  /// dag.parents(u) / dag.children(u).
+  uint32_t N1(QVertexId u, size_t i, VertexId v) const {
+    return n1_[u][i * nv_ + v];
+  }
+  uint32_t N2(QVertexId u, size_t j, VertexId v) const {
+    return n2_[u][j * nv_ + v];
+  }
+
+  /// Deep equality against `other` (flags, counters, tallies); returns an
+  /// empty string when equal, else a description of the first divergence.
+  /// The property tests compare the incrementally maintained Dcs against a
+  /// fresh Build after every op.
+  std::string Compare(const Dcs& other) const;
+
+  /// Appends a compact encoding of the D1/D2 bitsets (checkpoint
+  /// cross-validation: a restored engine recomputes the DCS from the
+  /// restored graph and requires bit equality with the snapshot).
+  void SerializeFlags(std::string& out) const;
+
+ private:
+  void IncN1(QVertexId u, size_t slot, VertexId v);
+  void DecN1(QVertexId u, size_t slot, VertexId v);
+  void IncN2(QVertexId u, size_t slot, VertexId v);
+  void DecN2(QVertexId u, size_t slot, VertexId v);
+  bool AllN1Positive(QVertexId u, VertexId v) const;
+  bool AllN2Positive(QVertexId u, VertexId v) const;
+  void DrainD1Set(const Graph& g);
+  void DrainD1Clear(const Graph& g);
+  void DrainD2Set(const Graph& g);
+  void DrainD2Clear(const Graph& g);
+
+  const QueryGraph* q_ = nullptr;
+  const QueryDag* dag_ = nullptr;
+  obs::DcsStats* stats_ = nullptr;
+  size_t nv_ = 0;
+
+  // Per query vertex u, arrays indexed by data vertex id.
+  std::vector<std::vector<uint8_t>> cand_, d1_, d2_;
+  // Flattened counter tables: slot-major, n1_[u][slot * nv_ + v].
+  std::vector<std::vector<uint32_t>> n1_, n2_;
+  // For each non-self-loop query edge: its slot in the DAG child's
+  // parents() list and in the DAG parent's children() list.
+  std::vector<size_t> parent_slot_of_, child_slot_of_;
+  size_t d1_count_ = 0, d2_count_ = 0;
+
+  // Scratch (member-owned so steady-state ops do not allocate).
+  std::vector<std::pair<QVertexId, VertexId>> queue_;    // D1 rechecks
+  std::vector<std::pair<QVertexId, VertexId>> queue2_;   // D2 rechecks
+  std::vector<std::pair<QVertexId, VertexId>> d1_flips_; // phase-A flips
+};
+
+}  // namespace symbi
+}  // namespace turboflux
+
+#endif  // TURBOFLUX_SYMBI_DCS_H_

@@ -1,0 +1,96 @@
+#include "turboflux/symbi/query_dag.h"
+
+#include <cassert>
+#include <deque>
+
+namespace turboflux {
+namespace symbi {
+
+QueryDag QueryDag::Build(const QueryGraph& q, QVertexId root) {
+  assert(root < q.VertexCount() && q.IsConnected());
+  QueryDag dag;
+  dag.order_.reserve(q.VertexCount());
+  std::vector<bool> seen(q.VertexCount(), false);
+  std::deque<QVertexId> frontier;
+  frontier.push_back(root);
+  seen[root] = true;
+  while (!frontier.empty()) {
+    const QVertexId u = frontier.front();
+    frontier.pop_front();
+    dag.order_.push_back(u);
+    // Expand in query-edge-id order so the BFS order — and with it every
+    // DCS counter slot — is a pure function of (q, root).
+    for (QEdgeId e : q.OutEdgeIds(u)) {
+      const QVertexId w = q.edge(e).to;
+      if (!seen[w]) {
+        seen[w] = true;
+        frontier.push_back(w);
+      }
+    }
+    for (QEdgeId e : q.InEdgeIds(u)) {
+      const QVertexId w = q.edge(e).from;
+      if (!seen[w]) {
+        seen[w] = true;
+        frontier.push_back(w);
+      }
+    }
+  }
+  assert(dag.order_.size() == q.VertexCount());  // connected
+  dag.Finish(q);
+  return dag;
+}
+
+bool QueryDag::FromOrder(const QueryGraph& q,
+                         const std::vector<QVertexId>& order, QueryDag* out) {
+  if (order.size() != q.VertexCount() || order.empty()) return false;
+  std::vector<size_t> rank(q.VertexCount(), SIZE_MAX);
+  for (size_t i = 0; i < order.size(); ++i) {
+    if (order[i] >= q.VertexCount() || rank[order[i]] != SIZE_MAX) {
+      return false;  // out of range or not a permutation
+    }
+    rank[order[i]] = i;
+  }
+  // Every non-root vertex needs an earlier neighbour, or the earlier->later
+  // orientation would leave it parentless (a disconnected DAG).
+  for (size_t i = 1; i < order.size(); ++i) {
+    const QVertexId u = order[i];
+    bool has_earlier = false;
+    for (QEdgeId e : q.OutEdgeIds(u)) {
+      const QVertexId w = q.edge(e).to;
+      if (w != u && rank[w] < i) has_earlier = true;
+    }
+    for (QEdgeId e : q.InEdgeIds(u)) {
+      const QVertexId w = q.edge(e).from;
+      if (w != u && rank[w] < i) has_earlier = true;
+    }
+    if (!has_earlier) return false;
+  }
+  out->order_ = order;
+  out->Finish(q);
+  return true;
+}
+
+void QueryDag::Finish(const QueryGraph& q) {
+  const size_t n = q.VertexCount();
+  rank_.assign(n, 0);
+  for (size_t i = 0; i < order_.size(); ++i) rank_[order_[i]] = i;
+  parents_.assign(n, {});
+  children_.assign(n, {});
+  self_loops_.assign(n, {});
+  for (const QEdge& e : q.edges()) {
+    if (e.from == e.to) {
+      self_loops_[e.from].push_back(e.id);
+      continue;
+    }
+    const bool forward = rank_[e.from] < rank_[e.to];
+    const QVertexId parent = forward ? e.from : e.to;
+    const QVertexId child = forward ? e.to : e.from;
+    const size_t child_slot = children_[parent].size();
+    const size_t parent_slot = parents_[child].size();
+    children_[parent].push_back({child, e.id, forward, parent_slot});
+    parents_[child].push_back({parent, e.id, forward, child_slot});
+  }
+}
+
+}  // namespace symbi
+}  // namespace turboflux

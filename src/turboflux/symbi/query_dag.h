@@ -1,0 +1,89 @@
+#ifndef TURBOFLUX_SYMBI_QUERY_DAG_H_
+#define TURBOFLUX_SYMBI_QUERY_DAG_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "turboflux/common/types.h"
+#include "turboflux/query/query_graph.h"
+
+namespace turboflux {
+namespace symbi {
+
+/// One query-DAG edge as seen from one of its endpoints. The DAG directs
+/// every non-self-loop query edge from the endpoint that comes earlier in
+/// the BFS order (the DAG parent) to the later one (the DAG child); the
+/// underlying query edge keeps its own direction, recorded in `forward`.
+struct DagEdge {
+  QVertexId other;  ///< the neighbour query vertex (parent or child)
+  QEdgeId qedge;    ///< underlying query edge
+  /// True iff q.edge(qedge).from is the DAG *parent* — i.e. the data edge
+  /// matching this query edge runs parent-side data vertex -> child-side.
+  bool forward;
+  /// Index of this DAG edge in the *other* endpoint's mirror list: for a
+  /// children() entry, the slot in the child's parents(); for a parents()
+  /// entry, the slot in the parent's children(). The DCS keys its N1/N2
+  /// counter tables by these slots.
+  size_t peer_slot;
+};
+
+/// The SymBi query DAG (DESIGN.md §3.13): a total BFS order over the query
+/// vertices rooted at a chosen start vertex, with every non-self-loop query
+/// edge directed earlier -> later. Self-loop query edges cannot be directed
+/// between distinct levels; they are kept aside per vertex and enforced at
+/// enumeration time (exactly like the Graphflow baseline's SelfLoopsOk).
+///
+/// Construction is deterministic given (q, root): the BFS expands
+/// neighbours in query-edge-id order, and the parents()/children() lists
+/// enumerate query edges in id order — so a DAG rebuilt from its serialized
+/// order is behaviorally identical, not merely isomorphic.
+class QueryDag {
+ public:
+  QueryDag() = default;
+
+  /// Builds the DAG for connected query `q` rooted at `root`.
+  static QueryDag Build(const QueryGraph& q, QVertexId root);
+
+  /// Rebuilds a DAG from an explicit vertex order (checkpoint restore).
+  /// Returns false unless `order` is a permutation of q's vertices in which
+  /// every vertex after the first has at least one earlier query neighbour
+  /// (the property that makes the earlier->later edge orientation a
+  /// connected DAG).
+  static bool FromOrder(const QueryGraph& q,
+                        const std::vector<QVertexId>& order, QueryDag* out);
+
+  QVertexId root() const { return order_.empty() ? kNullQVertex : order_[0]; }
+  /// The vertex order; order()[0] is the root.
+  const std::vector<QVertexId>& order() const { return order_; }
+  /// Position of u in order() (0 = root).
+  size_t rank(QVertexId u) const { return rank_[u]; }
+
+  /// DAG edges arriving at u from earlier vertices (empty for the root).
+  const std::vector<DagEdge>& parents(QVertexId u) const {
+    return parents_[u];
+  }
+  /// DAG edges leaving u towards later vertices.
+  const std::vector<DagEdge>& children(QVertexId u) const {
+    return children_[u];
+  }
+  /// Self-loop query edges on u, excluded from the DAG.
+  const std::vector<QEdgeId>& self_loops(QVertexId u) const {
+    return self_loops_[u];
+  }
+
+ private:
+  /// Shared tail of Build/FromOrder: derives ranks and the edge lists from
+  /// a committed vertex order.
+  void Finish(const QueryGraph& q);
+
+  std::vector<QVertexId> order_;
+  std::vector<size_t> rank_;
+  std::vector<std::vector<DagEdge>> parents_;
+  std::vector<std::vector<DagEdge>> children_;
+  std::vector<std::vector<QEdgeId>> self_loops_;
+};
+
+}  // namespace symbi
+}  // namespace turboflux
+
+#endif  // TURBOFLUX_SYMBI_QUERY_DAG_H_

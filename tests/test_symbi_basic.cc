@@ -1,0 +1,358 @@
+#include "turboflux/symbi/symbi.h"
+
+#include "gtest/gtest.h"
+#include "testutil.h"
+#include "turboflux/symbi/query_dag.h"
+
+namespace turboflux {
+namespace symbi {
+namespace {
+
+// q: u0:A -0-> u1:B -1-> u2:C.
+QueryGraph PathQuery() {
+  QueryGraph q;
+  QVertexId u0 = q.AddVertex(LabelSet{0});
+  QVertexId u1 = q.AddVertex(LabelSet{1});
+  QVertexId u2 = q.AddVertex(LabelSet{2});
+  q.AddEdge(u0, 0, u1);
+  q.AddEdge(u1, 1, u2);
+  return q;
+}
+
+Graph AbcVertices() {
+  Graph g;
+  g.AddVertex(LabelSet{0});  // v0: A
+  g.AddVertex(LabelSet{1});  // v1: B
+  g.AddVertex(LabelSet{2});  // v2: C
+  g.AddVertex(LabelSet{1});  // v3: B
+  g.AddVertex(LabelSet{2});  // v4: C
+  return g;
+}
+
+TEST(QueryDagShape, PathRootedAtEnd) {
+  QueryGraph q = PathQuery();
+  QueryDag dag = QueryDag::Build(q, /*root=*/2);
+  EXPECT_EQ(dag.root(), 2u);
+  // BFS from u2 visits u1 (via edge 1), then u0 (via edge 0).
+  ASSERT_EQ(dag.order().size(), 3u);
+  EXPECT_EQ(dag.order()[0], 2u);
+  EXPECT_EQ(dag.order()[1], 1u);
+  EXPECT_EQ(dag.order()[2], 0u);
+  // u1's parent is u2 via query edge 1, which runs u1 -> u2, i.e. the DAG
+  // parent is the query edge's *to* endpoint: forward = false.
+  ASSERT_EQ(dag.parents(1).size(), 1u);
+  EXPECT_EQ(dag.parents(1)[0].other, 2u);
+  EXPECT_EQ(dag.parents(1)[0].qedge, 1u);
+  EXPECT_FALSE(dag.parents(1)[0].forward);
+  // u0's parent is u1 via query edge 0 (u0 -> u1): again reverse.
+  ASSERT_EQ(dag.parents(0).size(), 1u);
+  EXPECT_EQ(dag.parents(0)[0].other, 1u);
+  EXPECT_FALSE(dag.parents(0)[0].forward);
+  // Leaves/root have the complementary lists.
+  EXPECT_TRUE(dag.parents(2).empty());
+  EXPECT_EQ(dag.children(2).size(), 1u);
+  EXPECT_EQ(dag.children(1).size(), 1u);
+  EXPECT_TRUE(dag.children(0).empty());
+  // peer_slot round trips.
+  const DagEdge& pe = dag.parents(1)[0];
+  EXPECT_EQ(dag.children(2)[pe.peer_slot].other, 1u);
+}
+
+TEST(QueryDagShape, SelfLoopsAreSegregated) {
+  QueryGraph q;
+  QVertexId u0 = q.AddVertex(LabelSet{0});
+  QVertexId u1 = q.AddVertex(LabelSet{1});
+  q.AddEdge(u0, 0, u1);
+  QEdgeId loop = q.AddEdge(u1, 2, u1);
+  QueryDag dag = QueryDag::Build(q, 0);
+  EXPECT_TRUE(dag.self_loops(0).empty());
+  ASSERT_EQ(dag.self_loops(1).size(), 1u);
+  EXPECT_EQ(dag.self_loops(1)[0], loop);
+  // The self-loop contributes no DAG edge.
+  EXPECT_EQ(dag.children(1).size(), 0u);
+  EXPECT_EQ(dag.parents(1).size(), 1u);
+}
+
+TEST(QueryDagShape, FromOrderValidates) {
+  QueryGraph q = PathQuery();
+  QueryDag dag;
+  EXPECT_TRUE(QueryDag::FromOrder(q, {1, 0, 2}, &dag));
+  EXPECT_EQ(dag.root(), 1u);
+  // Not a permutation.
+  EXPECT_FALSE(QueryDag::FromOrder(q, {1, 1, 2}, &dag));
+  EXPECT_FALSE(QueryDag::FromOrder(q, {1, 0}, &dag));
+  // u2 is not a neighbour of u0: placing them first disconnects the order.
+  EXPECT_FALSE(QueryDag::FromOrder(q, {0, 2, 1}, &dag));
+}
+
+TEST(Dcs, PathFlagsOnTinyGraph) {
+  QueryGraph q = PathQuery();
+  Graph g = AbcVertices();
+  g.AddEdge(0, 0, 1);
+  g.AddEdge(1, 1, 2);
+  QueryDag dag = QueryDag::Build(q, 0);
+  Dcs dcs;
+  dcs.Build(q, dag, g, nullptr);
+
+  // cand is the pure label test.
+  EXPECT_TRUE(dcs.Cand(0, 0));
+  EXPECT_FALSE(dcs.Cand(0, 1));
+  EXPECT_TRUE(dcs.Cand(1, 1));
+  EXPECT_TRUE(dcs.Cand(1, 3));
+  EXPECT_TRUE(dcs.Cand(2, 2));
+  EXPECT_TRUE(dcs.Cand(2, 4));
+
+  // Top-down: v3 has no incoming A-edge, so D1(u1, v3) = 0; v1 does.
+  EXPECT_TRUE(dcs.D1(0, 0));  // root: D1 = cand
+  EXPECT_TRUE(dcs.D1(1, 1));
+  EXPECT_FALSE(dcs.D1(1, 3));
+  EXPECT_TRUE(dcs.D1(2, 2));
+  EXPECT_FALSE(dcs.D1(2, 4));  // v4's only potential parent v3 lost D1
+
+  // Bottom-up: v1 keeps D2 via v2; v0 keeps D2 via v1.
+  EXPECT_TRUE(dcs.D2(0, 0));
+  EXPECT_TRUE(dcs.D2(1, 1));
+  EXPECT_FALSE(dcs.D2(1, 3));
+  EXPECT_TRUE(dcs.D2(2, 2));
+
+  EXPECT_EQ(dcs.D1Count(), 3u);
+  EXPECT_EQ(dcs.D2Count(), 3u);
+}
+
+TEST(Dcs, InsertAndDeletePropagate) {
+  QueryGraph q = PathQuery();
+  Graph g = AbcVertices();
+  g.AddEdge(0, 0, 1);
+  QueryDag dag = QueryDag::Build(q, 0);
+  Dcs dcs;
+  dcs.Build(q, dag, g, nullptr);
+  EXPECT_TRUE(dcs.D1(1, 1));
+  EXPECT_FALSE(dcs.D2(1, 1));  // no C below v1 yet
+
+  g.AddEdge(1, 1, 2);
+  dcs.ApplyInsert(g, 1, 1, 2);
+  EXPECT_TRUE(dcs.D2(1, 1));
+  EXPECT_TRUE(dcs.D2(2, 2));
+  EXPECT_TRUE(dcs.D2(0, 0));
+
+  g.RemoveEdge(0, 0, 1);
+  dcs.ApplyDelete(g, 0, 0, 1);
+  EXPECT_FALSE(dcs.D1(1, 1));  // lost its top-down witness
+  EXPECT_FALSE(dcs.D2(1, 1));
+  EXPECT_FALSE(dcs.D1(2, 2));  // cascade: v2's parent v1 lost D1
+  EXPECT_FALSE(dcs.D2(0, 0));  // bottom-up cascade back to the root
+  EXPECT_TRUE(dcs.D1(0, 0));   // root D1 is static
+}
+
+TEST(SymBiEngineBasic, ReportsInitialMatches) {
+  QueryGraph q = PathQuery();
+  Graph g0 = AbcVertices();
+  g0.AddEdge(0, 0, 1);
+  g0.AddEdge(1, 1, 2);
+  SymBiEngine engine;
+  CountingSink sink;
+  ASSERT_TRUE(engine.Init(q, g0, sink, Deadline::Infinite()));
+  EXPECT_EQ(sink.positive(), 1u);
+  EXPECT_EQ(engine.name(), "SymBi");
+}
+
+TEST(SymBiEngineBasic, InsertionCompletesMatch) {
+  QueryGraph q = PathQuery();
+  Graph g0 = AbcVertices();
+  g0.AddEdge(0, 0, 1);
+  SymBiEngine engine;
+  CountingSink init;
+  ASSERT_TRUE(engine.Init(q, g0, init, Deadline::Infinite()));
+  EXPECT_EQ(init.positive(), 0u);
+
+  CollectingSink s;
+  ASSERT_TRUE(engine.ApplyUpdate(UpdateOp::Insert(1, 1, 2), s,
+                                 Deadline::Infinite()));
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_TRUE(s.records()[0].positive);
+  EXPECT_EQ(s.records()[0].mapping, (Mapping{0, 1, 2}));
+}
+
+TEST(SymBiEngineBasic, DeletionReportsNegativeMatch) {
+  QueryGraph q = PathQuery();
+  Graph g0 = AbcVertices();
+  g0.AddEdge(0, 0, 1);
+  g0.AddEdge(1, 1, 2);
+  SymBiEngine engine;
+  CountingSink init;
+  ASSERT_TRUE(engine.Init(q, g0, init, Deadline::Infinite()));
+
+  CollectingSink s;
+  ASSERT_TRUE(engine.ApplyUpdate(UpdateOp::Delete(0, 0, 1), s,
+                                 Deadline::Infinite()));
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_FALSE(s.records()[0].positive);
+  EXPECT_EQ(s.records()[0].mapping, (Mapping{0, 1, 2}));
+  EXPECT_EQ(engine.dcs().Compare(engine.RebuildDcsFromScratch()), "");
+}
+
+TEST(SymBiEngineBasic, DuplicateInsertAndAbsentDeleteAreNoops) {
+  QueryGraph q = PathQuery();
+  Graph g0 = AbcVertices();
+  g0.AddEdge(0, 0, 1);
+  g0.AddEdge(1, 1, 2);
+  SymBiEngine engine;
+  CountingSink init;
+  ASSERT_TRUE(engine.Init(q, g0, init, Deadline::Infinite()));
+  CountingSink s;
+  ASSERT_TRUE(engine.ApplyUpdate(UpdateOp::Insert(0, 0, 1), s,
+                                 Deadline::Infinite()));
+  ASSERT_TRUE(engine.ApplyUpdate(UpdateOp::Delete(3, 1, 4), s,
+                                 Deadline::Infinite()));
+  EXPECT_EQ(s.total(), 0u);
+  EXPECT_EQ(engine.applied_ops(), 2u);
+}
+
+TEST(SymBiEngineBasic, SelfLoopQuery) {
+  // q: u0:A with a self-loop, u0 -0-> u1:B.
+  QueryGraph q;
+  QVertexId u0 = q.AddVertex(LabelSet{0});
+  QVertexId u1 = q.AddVertex(LabelSet{1});
+  q.AddEdge(u0, 0, u1);
+  q.AddEdge(u0, 2, u0);
+
+  Graph g0;
+  g0.AddVertex(LabelSet{0});  // v0: A
+  g0.AddVertex(LabelSet{1});  // v1: B
+  g0.AddVertex(LabelSet{0});  // v2: A (will get the loop)
+  g0.AddEdge(0, 0, 1);
+
+  SymBiEngine engine;
+  CountingSink init;
+  ASSERT_TRUE(engine.Init(q, g0, init, Deadline::Infinite()));
+  EXPECT_EQ(init.positive(), 0u);  // v0 lacks the self-loop
+
+  CountingSink s1;
+  ASSERT_TRUE(engine.ApplyUpdate(UpdateOp::Insert(2, 2, 2), s1,
+                                 Deadline::Infinite()));
+  EXPECT_EQ(s1.total(), 0u);  // v2 has the loop but no edge to a B
+  CollectingSink s2;
+  ASSERT_TRUE(engine.ApplyUpdate(UpdateOp::Insert(2, 0, 1), s2,
+                                 Deadline::Infinite()));
+  ASSERT_EQ(s2.size(), 1u);
+  EXPECT_EQ(s2.records()[0].mapping, (Mapping{2, 1}));
+  // Deleting the loop kills the match.
+  CollectingSink s3;
+  ASSERT_TRUE(engine.ApplyUpdate(UpdateOp::Delete(2, 2, 2), s3,
+                                 Deadline::Infinite()));
+  ASSERT_EQ(s3.size(), 1u);
+  EXPECT_FALSE(s3.records()[0].positive);
+}
+
+TEST(SymBiEngineBasic, IsomorphismSemantics) {
+  // q: A -0-> A. Under homomorphism a data self-loop on an A matches with
+  // both query vertices on the same data vertex; under isomorphism not.
+  QueryGraph q;
+  QVertexId u0 = q.AddVertex(LabelSet{0});
+  QVertexId u1 = q.AddVertex(LabelSet{0});
+  q.AddEdge(u0, 0, u1);
+
+  Graph g0;
+  g0.AddVertex(LabelSet{0});
+  g0.AddEdge(0, 0, 0);
+
+  SymBiEngine homo;
+  CountingSink hs;
+  ASSERT_TRUE(homo.Init(q, g0, hs, Deadline::Infinite()));
+  EXPECT_EQ(hs.positive(), 1u);
+
+  SymBiEngine iso(SymBiOptions{MatchSemantics::kIsomorphism});
+  CountingSink is;
+  ASSERT_TRUE(iso.Init(q, g0, is, Deadline::Infinite()));
+  EXPECT_EQ(is.positive(), 0u);
+  EXPECT_EQ(iso.name(), "SymBi-iso");
+}
+
+TEST(SymBiEngineBasic, IsolatedVertexOptimizationFires) {
+  // Star query: u0:A with B-children u1, u2 (both isolated once u0 is
+  // mapped). A hub with 3 B-neighbours yields 3*3 = 9 homomorphisms.
+  QueryGraph q;
+  QVertexId u0 = q.AddVertex(LabelSet{0});
+  QVertexId u1 = q.AddVertex(LabelSet{1});
+  QVertexId u2 = q.AddVertex(LabelSet{1});
+  q.AddEdge(u0, 0, u1);
+  q.AddEdge(u0, 0, u2);
+
+  Graph g0;
+  g0.AddVertex(LabelSet{0});
+  for (int i = 0; i < 3; ++i) g0.AddVertex(LabelSet{1});
+  g0.AddEdge(0, 0, 1);
+  g0.AddEdge(0, 0, 2);
+
+  SymBiEngine engine;
+  CountingSink init;
+  ASSERT_TRUE(engine.Init(q, g0, init, Deadline::Infinite()));
+  EXPECT_EQ(init.positive(), 4u);
+
+  CountingSink s;
+  ASSERT_TRUE(engine.ApplyUpdate(UpdateOp::Insert(0, 0, 3), s,
+                                 Deadline::Infinite()));
+  EXPECT_EQ(s.positive(), 5u);  // 9 total - 4 old
+#if TFX_STATS_ENABLED
+  ASSERT_NE(engine.engine_stats(), nullptr);
+  EXPECT_GT(engine.engine_stats()->dcs.isolated_groups.value(), 0u);
+#endif
+}
+
+TEST(SymBiEngineBasic, IntermediateSizeTracksDcs) {
+  QueryGraph q = PathQuery();
+  Graph g0 = AbcVertices();
+  g0.AddEdge(0, 0, 1);
+  g0.AddEdge(1, 1, 2);
+  SymBiEngine engine;
+  CountingSink init;
+  ASSERT_TRUE(engine.Init(q, g0, init, Deadline::Infinite()));
+  EXPECT_EQ(engine.IntermediateSize(), engine.dcs().D1Count());
+  EXPECT_GT(engine.IntermediateSize(), 0u);
+  CountingSink s;
+  ASSERT_TRUE(engine.ApplyUpdate(UpdateOp::Delete(0, 0, 1), s,
+                                 Deadline::Infinite()));
+  EXPECT_EQ(engine.IntermediateSize(), engine.dcs().D1Count());
+}
+
+TEST(SymBiEngineBasic, QuarantineAndDeadlineContract) {
+  QueryGraph q = PathQuery();
+  Graph g0 = AbcVertices();
+  SymBiEngine engine;
+  CountingSink init;
+  ASSERT_TRUE(engine.Init(q, g0, init, Deadline::Infinite()));
+
+  CountingSink s;
+  // Out-of-range endpoint: quarantined, consumed.
+  Status st = engine.TryApplyUpdate(UpdateOp::Insert(0, 0, 99), s,
+                                    Deadline::Infinite());
+  EXPECT_EQ(st.code(), StatusCode::kOutOfRange);
+  ASSERT_EQ(engine.quarantine().size(), 1u);
+  EXPECT_EQ(engine.quarantine()[0].index, 0u);
+  EXPECT_EQ(engine.applied_ops(), 1u);
+  EXPECT_FALSE(engine.dead());
+
+  // Legal no-ops pass their informational status through.
+  st = engine.TryApplyUpdate(UpdateOp::Delete(0, 0, 1), s,
+                             Deadline::Infinite());
+  EXPECT_EQ(st.code(), StatusCode::kNotFound);
+  EXPECT_EQ(engine.applied_ops(), 2u);
+
+  // Injected fault: dead without consuming.
+  FaultPlan plan;
+  plan.fail_at_op = 1;
+  FaultInjector inj(plan);
+  engine.set_fault_injector(&inj);
+  st = engine.TryApplyUpdate(UpdateOp::Insert(0, 0, 1), s,
+                             Deadline::Infinite());
+  EXPECT_EQ(st.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(engine.dead());
+  EXPECT_EQ(engine.applied_ops(), 2u);
+  st = engine.TryApplyUpdate(UpdateOp::Insert(0, 0, 1), s,
+                             Deadline::Infinite());
+  EXPECT_EQ(st.code(), StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace symbi
+}  // namespace turboflux

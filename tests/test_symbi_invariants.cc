@@ -1,0 +1,122 @@
+// DCS invariant property tests (ISSUE 9 satellite): after every stream op
+// the incrementally maintained DCS must be indistinguishable — flags,
+// witness counters, and tallies — from one rebuilt from scratch over the
+// current graph, and the structural DP invariants must hold.
+
+#include <cstdlib>
+#include <string>
+
+#include "gtest/gtest.h"
+#include "testutil.h"
+#include "turboflux/symbi/symbi.h"
+
+namespace turboflux {
+namespace symbi {
+namespace {
+
+bool LongTests() {
+  const char* env = std::getenv("TFX_LONG_TESTS");
+  return env != nullptr && env[0] == '1';
+}
+
+/// The structural invariants the bidirectional DP guarantees at rest:
+/// D2 ⊆ D1 ⊆ cand, root D1 = cand, and tallies consistent with the flags.
+void CheckStructuralInvariants(const SymBiEngine& engine) {
+  const Dcs& dcs = engine.dcs();
+  const QueryGraph& q = engine.query();
+  const QVertexId root = engine.dag().root();
+  size_t d1 = 0, d2 = 0;
+  for (QVertexId u = 0; u < q.VertexCount(); ++u) {
+    for (VertexId v = 0; v < dcs.VertexUniverse(); ++v) {
+      if (dcs.D2(u, v)) {
+        ASSERT_TRUE(dcs.D1(u, v))
+            << "D2 without D1 at (" << u << ", " << v << ")";
+      }
+      if (dcs.D1(u, v)) {
+        ASSERT_TRUE(dcs.Cand(u, v))
+            << "D1 without cand at (" << u << ", " << v << ")";
+      }
+      if (u == root) {
+        ASSERT_EQ(dcs.D1(u, v), dcs.Cand(u, v))
+            << "root D1 must equal cand at v=" << v;
+      }
+      d1 += dcs.D1(u, v) ? 1 : 0;
+      d2 += dcs.D2(u, v) ? 1 : 0;
+    }
+  }
+  ASSERT_EQ(dcs.D1Count(), d1);
+  ASSERT_EQ(dcs.D2Count(), d2);
+}
+
+void CheckIncrementalMatchesScratch(uint64_t seed,
+                                    const testutil::RandomCaseConfig& config,
+                                    MatchSemantics semantics) {
+  SCOPED_TRACE("seed=" + std::to_string(seed));
+  testutil::RandomCase c = testutil::MakeRandomCase(seed, config);
+  SymBiEngine engine(SymBiOptions{semantics});
+  CountingSink sink;
+  ASSERT_TRUE(engine.Init(c.query, c.g0, sink, Deadline::Infinite()));
+  ASSERT_EQ(engine.dcs().Compare(engine.RebuildDcsFromScratch()), "");
+  CheckStructuralInvariants(engine);
+
+  for (size_t i = 0; i < c.stream.size(); ++i) {
+    SCOPED_TRACE("op " + std::to_string(i) + ": " + c.stream[i].ToString());
+    ASSERT_TRUE(
+        engine.ApplyUpdate(c.stream[i], sink, Deadline::Infinite()));
+    ASSERT_EQ(engine.dcs().Compare(engine.RebuildDcsFromScratch()), "");
+    CheckStructuralInvariants(engine);
+  }
+}
+
+TEST(SymBiDcsInvariants, RandomStreamsSmall) {
+  const uint64_t seeds = LongTests() ? 60 : 12;
+  for (uint64_t seed = 1; seed <= seeds; ++seed) {
+    CheckIncrementalMatchesScratch(seed, {}, MatchSemantics::kHomomorphism);
+  }
+}
+
+TEST(SymBiDcsInvariants, RandomStreamsDenseQueries) {
+  // Cyclic queries (more edges than a tree) and deeper streams: every
+  // query edge constrains the DCS, so propagation crosses slots.
+  testutil::RandomCaseConfig config;
+  config.num_vertices = 14;
+  config.initial_edges = 25;
+  config.stream_ops = 50;
+  config.deletion_probability = 0.45;
+  config.query_vertices = 4;
+  config.query_edges = 6;
+  const uint64_t seeds = LongTests() ? 40 : 8;
+  for (uint64_t seed = 100; seed < 100 + seeds; ++seed) {
+    CheckIncrementalMatchesScratch(seed, config,
+                                   MatchSemantics::kHomomorphism);
+  }
+}
+
+TEST(SymBiDcsInvariants, RandomStreamsIsomorphism) {
+  // Semantics do not change the DCS (it prunes homomorphism candidates);
+  // this guards against the engine accidentally mixing injectivity into
+  // flag maintenance.
+  const uint64_t seeds = LongTests() ? 20 : 5;
+  for (uint64_t seed = 200; seed < 200 + seeds; ++seed) {
+    CheckIncrementalMatchesScratch(seed, {}, MatchSemantics::kIsomorphism);
+  }
+}
+
+TEST(SymBiDcsInvariants, DeleteHeavyChurn) {
+  // Streams that repeatedly empty and refill the graph exercise the
+  // clear-side cascades (D1 loss driving D2 loss) hardest.
+  testutil::RandomCaseConfig config;
+  config.num_vertices = 8;
+  config.initial_edges = 6;
+  config.stream_ops = 60;
+  config.deletion_probability = 0.6;
+  const uint64_t seeds = LongTests() ? 40 : 8;
+  for (uint64_t seed = 300; seed < 300 + seeds; ++seed) {
+    CheckIncrementalMatchesScratch(seed, config,
+                                   MatchSemantics::kHomomorphism);
+  }
+}
+
+}  // namespace
+}  // namespace symbi
+}  // namespace turboflux

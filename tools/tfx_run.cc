@@ -5,7 +5,7 @@
 // either prints every match or just the summary statistics.
 //
 //   tfx_run --graph=g0.txt --query=q.txt --stream=dg.txt
-//           [--engine=turboflux|sjtree|graphflow|incisomat]
+//           [--engine=turboflux|symbi|sjtree|graphflow|incisomat]
 //           [--semantics=hom|iso] [--timeout_ms=N] [--print_matches]
 //           [--threads=N] [--batch=K] [--lenient]
 //           [--checkpoint-every=N] [--checkpoint-path=F] [--restore-from=F]
@@ -31,8 +31,9 @@
 // stdout after the run; --stats-every=N additionally streams an
 // intermediate JSON snapshot line to stderr every N processed ops.
 //
-// The checkpoint flags (TurboFlux only) switch to the crash-consistent
-// resilient runner (DESIGN.md §3.7): --checkpoint-every=N snapshots engine
+// The checkpoint flags (turboflux and symbi) switch to the crash-
+// consistent resilient runner (DESIGN.md §3.7): --checkpoint-every=N
+// snapshots engine
 // state every N consumed ops, --checkpoint-path=F persists each snapshot
 // to F (atomically overwritten), and --restore-from=F resumes a previous
 // run from its snapshot, replaying only the unconsumed stream suffix.
@@ -59,6 +60,7 @@
 #include "turboflux/multi/query_set.h"
 #include "turboflux/obs/stats.h"
 #include "turboflux/query/query_io.h"
+#include "turboflux/symbi/symbi.h"
 
 namespace turboflux {
 namespace {
@@ -249,7 +251,7 @@ int Main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: tfx_run --graph=G (--query=Q | --queries=DIR) "
                  "--stream=S "
-                 "[--engine=turboflux|sjtree|graphflow|incisomat] "
+                 "[--engine=turboflux|symbi|sjtree|graphflow|incisomat] "
                  "[--semantics=hom|iso] [--timeout_ms=N] "
                  "[--print_matches] [--threads=N] [--batch=K] [--lenient] "
                  "[--checkpoint-every=N] [--checkpoint-path=F] "
@@ -262,10 +264,10 @@ int Main(int argc, char** argv) {
                  "--threads is only supported by --engine=turboflux\n");
     return 2;
   }
-  if (resilient && engine_name != "turboflux") {
+  if (resilient && engine_name != "turboflux" && engine_name != "symbi") {
     std::fprintf(stderr,
                  "--checkpoint-every/--checkpoint-path/--restore-from are "
-                 "only supported by --engine=turboflux\n");
+                 "only supported by --engine=turboflux or --engine=symbi\n");
     return 2;
   }
   if (!queries_dir.empty() && (resilient || engine_name != "turboflux")) {
@@ -323,10 +325,17 @@ int Main(int argc, char** argv) {
   }
 
   if (resilient) {
-    TurboFluxOptions options;
-    options.semantics = semantics;
-    options.threads = threads > 1 ? static_cast<size_t>(threads) : 1;
-    TurboFluxEngine tf(options);
+    std::unique_ptr<EngineInterface> resilient_engine;
+    if (engine_name == "symbi") {
+      symbi::SymBiOptions options;
+      options.semantics = semantics;
+      resilient_engine = std::make_unique<symbi::SymBiEngine>(options);
+    } else {
+      TurboFluxOptions options;
+      options.semantics = semantics;
+      options.threads = threads > 1 ? static_cast<size_t>(threads) : 1;
+      resilient_engine = std::make_unique<TurboFluxEngine>(options);
+    }
 
     PrintSink printer(print_matches);
     CountingSink counter;
@@ -340,17 +349,19 @@ int Main(int argc, char** argv) {
     ro.checkpoint_path = checkpoint_path;
     ro.restore_from = restore_from;
     ro.collect_stats = !stats_mode.empty();
-    ResilientResult rr = RunResilient(tf, *q, g0, stream, sink, ro);
+    ResilientResult rr =
+        RunResilient(*resilient_engine, *q, g0, stream, sink, ro);
     if (rr.stats) {
       std::printf("%s\n", stats_mode == "csv" ? rr.stats->ToCsv().c_str()
                                               : rr.stats->ToJson().c_str());
     }
 
     std::fprintf(stderr,
-                 "engine=turboflux-resilient stream=%.3fs ops=%llu "
+                 "engine=%s-resilient stream=%.3fs ops=%llu "
                  "initial=%llu positive=%llu negative=%llu recoveries=%zu "
                  "quarantined=%zu checkpoints=%zu%s\n",
-                 rr.seconds, static_cast<unsigned long long>(rr.ops_consumed),
+                 engine_name.c_str(), rr.seconds,
+                 static_cast<unsigned long long>(rr.ops_consumed),
                  static_cast<unsigned long long>(rr.initial_matches),
                  static_cast<unsigned long long>(counter.positive()),
                  static_cast<unsigned long long>(counter.negative()),
@@ -370,6 +381,10 @@ int Main(int argc, char** argv) {
     options.semantics = semantics;
     options.threads = threads > 1 ? static_cast<size_t>(threads) : 1;
     engine = std::make_unique<TurboFluxEngine>(options);
+  } else if (engine_name == "symbi") {
+    symbi::SymBiOptions options;
+    options.semantics = semantics;
+    engine = std::make_unique<symbi::SymBiEngine>(options);
   } else if (engine_name == "sjtree") {
     SjTreeOptions options;
     options.semantics = semantics;

@@ -1,0 +1,82 @@
+// Fuzz target: serve wire-protocol framing and payload parsing
+// (serve/protocol.h). Exercises FrameDecoder against arbitrary byte
+// streams fed in attacker-chosen chunk sizes, then throws every decoded
+// payload at ParseRequest/ParseResponse.
+//
+// Invariants checked (abort() on violation so the fuzzer minimizes):
+//   - Feed/Next never read out of bounds or allocate beyond
+//     kMaxFrameBytes for a declared frame (ASan enforces the former).
+//   - A poisoned decoder stays poisoned and stops yielding frames.
+//   - buffered() never exceeds what was fed.
+//   - A payload ParseRequest accepts must survive an
+//     EncodeRequest -> ParseRequest round trip.
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+
+#include "turboflux/serve/protocol.h"
+
+using turboflux::Status;
+using turboflux::serve::FrameDecoder;
+using turboflux::serve::Request;
+using turboflux::serve::Response;
+
+namespace {
+
+void CheckRequestRoundTrip(const std::string& payload) {
+  Request req;
+  if (!turboflux::serve::ParseRequest(payload, &req).ok()) return;
+  const std::string encoded = turboflux::serve::EncodeRequest(req);
+  Request again;
+  if (!turboflux::serve::ParseRequest(encoded, &again).ok()) abort();
+  if (again.kind != req.kind || again.channel != req.channel ||
+      again.seq != req.seq || again.ops.size() != req.ops.size()) {
+    abort();
+  }
+}
+
+void CheckResponseRoundTrip(const std::string& payload) {
+  Response resp;
+  if (!turboflux::serve::ParseResponse(payload, &resp).ok()) return;
+  const std::string encoded = turboflux::serve::EncodeResponse(resp);
+  Response again;
+  if (!turboflux::serve::ParseResponse(encoded, &again).ok()) abort();
+  if (again.kind != resp.kind || again.seq != resp.seq ||
+      again.matches.size() != resp.matches.size()) {
+    abort();
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string_view input(reinterpret_cast<const char*>(data), size);
+
+  // The first byte picks the chunk size so the corpus can exercise both
+  // byte-at-a-time reassembly and whole-buffer feeds.
+  const size_t chunk = size == 0 ? 1 : (data[0] % 64) + 1;
+  FrameDecoder decoder;
+  size_t fed = 0;
+  bool poisoned = false;
+  for (size_t off = 0; off < input.size(); off += chunk) {
+    const std::string_view piece = input.substr(off, chunk);
+    decoder.Feed(piece);
+    fed += piece.size();
+    if (decoder.buffered() > fed) abort();
+    std::string payload;
+    while (decoder.Next(&payload)) {
+      if (poisoned) abort();  // frames after poisoning
+      CheckRequestRoundTrip(payload);
+      CheckResponseRoundTrip(payload);
+    }
+    poisoned = poisoned || !decoder.status().ok();
+  }
+
+  // The raw input is also a candidate payload line in its own right.
+  CheckRequestRoundTrip(std::string(input));
+  CheckResponseRoundTrip(std::string(input));
+  return 0;
+}

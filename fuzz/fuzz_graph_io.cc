@@ -1,0 +1,99 @@
+// Fuzz target: text ingestion parsers (graph/graph_io.h) — ReadGraph and
+// ReadStream, strict and lenient, with and without the IoOptions limits
+// the serve ingestion path relies on.
+//
+// Invariants checked (abort() on violation):
+//   - No crash/OOM on arbitrary text: vertex and label limits must bound
+//     allocations even when the input declares absurd ids.
+//   - Strict mode rejects anything lenient mode skips: a strict-OK input
+//     must be lenient-OK with zero skipped records.
+//   - A graph accepted strict must survive a WriteGraph -> ReadGraph
+//     round trip with identical vertex/edge counts (same for streams).
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+#include "turboflux/graph/graph.h"
+#include "turboflux/graph/graph_io.h"
+#include "turboflux/graph/update_stream.h"
+
+using turboflux::Graph;
+using turboflux::IoOptions;
+using turboflux::IoStats;
+using turboflux::Status;
+using turboflux::UpdateStream;
+
+namespace {
+
+// Bound id-space allocations: a `v 4000000000` line must fail parsing,
+// not reserve 4 G vertex slots.
+IoOptions Limits() {
+  IoOptions o;
+  o.max_vertices = 1 << 16;
+  o.vertex_label_limit = 1 << 10;
+  o.edge_label_limit = 1 << 10;
+  return o;
+}
+
+void FuzzGraph(const std::string& text) {
+  Graph strict;
+  IoStats strict_stats;
+  std::istringstream in(text);
+  const Status st = ReadGraph(in, &strict, Limits(), &strict_stats);
+
+  Graph lenient;
+  IoStats lenient_stats;
+  IoOptions lenient_opts = Limits();
+  lenient_opts.lenient = true;
+  std::istringstream in2(text);
+  const Status st2 = ReadGraph(in2, &lenient, lenient_opts, &lenient_stats);
+
+  if (st.ok()) {
+    if (!st2.ok() || lenient_stats.skipped != 0) abort();
+    std::ostringstream out;
+    WriteGraph(strict, out);
+    Graph again;
+    std::istringstream in3(out.str());
+    if (!ReadGraph(in3, &again, Limits()).ok()) abort();
+    if (again.VertexCount() != strict.VertexCount() ||
+        again.EdgeCount() != strict.EdgeCount()) {
+      abort();
+    }
+  }
+}
+
+void FuzzStream(const std::string& text) {
+  UpdateStream strict;
+  std::istringstream in(text);
+  const Status st = ReadStream(in, &strict, Limits());
+
+  UpdateStream lenient;
+  IoStats lenient_stats;
+  IoOptions lenient_opts = Limits();
+  lenient_opts.lenient = true;
+  std::istringstream in2(text);
+  const Status st2 = ReadStream(in2, &lenient, lenient_opts, &lenient_stats);
+
+  if (st.ok()) {
+    if (!st2.ok() || lenient_stats.skipped != 0) abort();
+    if (lenient.size() != strict.size()) abort();
+    std::ostringstream out;
+    WriteStream(strict, out);
+    UpdateStream again;
+    std::istringstream in3(out.str());
+    if (!ReadStream(in3, &again, Limits()).ok()) abort();
+    if (again.size() != strict.size()) abort();
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  FuzzGraph(text);
+  FuzzStream(text);
+  return 0;
+}

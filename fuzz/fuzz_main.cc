@@ -1,0 +1,65 @@
+// Standalone corpus-replay driver, linked into the fuzz harnesses when
+// TFX_LIBFUZZER is OFF (any compiler, no sanitizer runtime required).
+// Each argument is a corpus file or a directory of them; every input is
+// run through LLVMFuzzerTestOneInput once. The FuzzCorpus ctest gates use
+// this driver so the committed corpora are replayed on every platform;
+// coverage-guided fuzzing swaps this file for libFuzzer's own main via
+// -fsanitize=fuzzer.
+//
+// Exit status: 0 when every input ran, 2 on usage or I/O error. A
+// violated harness invariant abort()s, which ctest reports as failure.
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+namespace {
+
+bool RunFile(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::cerr << "fuzz: cannot read " << path << "\n";
+    return false;
+  }
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  LLVMFuzzerTestOneInput(reinterpret_cast<const uint8_t*>(bytes.data()),
+                         bytes.size());
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << "usage: " << argv[0] << " CORPUS_FILE_OR_DIR...\n";
+    return 2;
+  }
+  size_t ran = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::filesystem::path arg = argv[i];
+    std::error_code ec;
+    if (std::filesystem::is_directory(arg, ec)) {
+      std::vector<std::filesystem::path> files;
+      for (const auto& entry : std::filesystem::directory_iterator(arg)) {
+        if (entry.is_regular_file()) files.push_back(entry.path());
+      }
+      std::sort(files.begin(), files.end());  // deterministic replay order
+      for (const auto& f : files) {
+        if (!RunFile(f)) return 2;
+        ++ran;
+      }
+    } else {
+      if (!RunFile(arg)) return 2;
+      ++ran;
+    }
+  }
+  std::cerr << "fuzz: " << ran << " inputs replayed clean\n";
+  return 0;
+}

@@ -4,7 +4,8 @@
 # installed (the container ships GCC only; Clang adds the thread-safety
 # analysis and clang-tidy/clang-format add their gates).
 #
-#   scripts/check.sh                 # build + tfx_lint + tidy + format
+#   scripts/check.sh                 # build + tfx_lint + tfx_analyze +
+#                                    # fuzz smoke + tidy + format
 #   scripts/check.sh --format-only   # just the format check
 #   scripts/check.sh --base REF      # diff base for the format check
 #                                    # (default: origin/main, then HEAD)
@@ -95,7 +96,43 @@ if ! "$BUILD_DIR/tools/tfx_lint" -p "$BUILD_DIR/compile_commands.json" \
   fail "tfx_lint"
 fi
 
-# --- 3. clang-tidy ----------------------------------------------------------
+# --- 3. tfx_analyze: semantic tier + lock-order graph -----------------------
+note "tfx_analyze (semantic tier; graph: $BUILD_DIR/lock_order.dot)"
+if ! "$BUILD_DIR/tools/tfx_analyze" -p "$BUILD_DIR/compile_commands.json" \
+     --root "$ROOT" --lock-graph "$BUILD_DIR/lock_order.dot"; then
+  fail "tfx_analyze"
+fi
+
+# --- 4. Fuzz smoke: replay corpora, then ~30s of fuzzing if libFuzzer ------
+note "fuzz corpora replay"
+for t in frame_decoder section_reader graph_io; do
+  if ! "$BUILD_DIR/fuzz/fuzz_$t" "$ROOT/tests/corpus/$t"; then
+    fail "fuzz corpus replay ($t)"
+  fi
+done
+if command -v clang++ >/dev/null 2>&1; then
+  note "fuzz smoke (libFuzzer, 10s per target)"
+  FUZZ_DIR="$BUILD_DIR-fuzz"
+  if cmake -B "$FUZZ_DIR" -S "$ROOT" -DCMAKE_BUILD_TYPE=Debug \
+       -DCMAKE_CXX_COMPILER=clang++ -DTFX_LIBFUZZER=ON \
+       -DCMAKE_CXX_FLAGS="-fsanitize=address -fno-sanitize-recover=all" \
+       >/dev/null &&
+     cmake --build "$FUZZ_DIR" -j"$(nproc)" \
+       --target fuzz_frame_decoder fuzz_section_reader fuzz_graph_io; then
+    for t in frame_decoder section_reader graph_io; do
+      if ! "$FUZZ_DIR/fuzz/fuzz_$t" -seed=1 -max_total_time=10 \
+           -max_len=65536 "$ROOT/tests/corpus/$t"; then
+        fail "fuzz smoke ($t)"
+      fi
+    done
+  else
+    fail "fuzz smoke build"
+  fi
+else
+  skip "coverage-guided fuzz smoke (install clang for libFuzzer)"
+fi
+
+# --- 5. clang-tidy ----------------------------------------------------------
 if command -v clang-tidy >/dev/null 2>&1; then
   note "clang-tidy (curated zero-warning baseline)"
   RUNNER=""
@@ -122,7 +159,7 @@ else
   skip "clang-tidy not installed"
 fi
 
-# --- 4. Format check --------------------------------------------------------
+# --- 6. Format check --------------------------------------------------------
 format_check
 
 [ $FAILED = 0 ] && note "all available checks passed"

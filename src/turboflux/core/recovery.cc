@@ -1,5 +1,10 @@
 #include "turboflux/core/recovery.h"
 
+// tfx-lint: allow-file(hot-path-purity) -- the resilient-run driver is the
+// durability layer around the engine, not the per-op eval path: BufferSink
+// locks by contract (MatchSink makes no single-threaded promise), and
+// checkpoint save/load is file I/O by definition.
+
 #include <algorithm>
 #include <fstream>
 #include <span>

@@ -710,6 +710,8 @@ void TurboFluxEngine::Report(QEdgeId eq, bool positive, MatchSink& sink) {
 // --- Parallel batched evaluation ---
 
 std::unique_ptr<TurboFluxEngine> TurboFluxEngine::CloneReplica() const {
+  // Replica builds run per state-version change, not per op.
+  // tfx-lint: allow(hot-path-purity)
   auto r = std::make_unique<TurboFluxEngine>(options_);
   r->options_.threads = 1;  // replicas never nest parallelism
   r->q_ = q_;
@@ -745,11 +747,14 @@ bool TurboFluxEngine::ApplyUpdateStateOnly(const UpdateOp& op,
 void TurboFluxEngine::EnsureParallelRuntime() {
   const size_t workers = options_.threads - 1;
   if (!pool_ || pool_->size() != workers) {
+    // One-time lazy init; amortized across every later batch.
+    // tfx-lint: allow(hot-path-purity)
     pool_ = std::make_unique<parallel::ThreadPool>(workers);
   }
   if (!scheduler_) {
-    scheduler_ =
-        std::make_unique<parallel::BatchScheduler>(*q_, options_.scheduler);
+    // tfx-lint: allow(hot-path-purity)
+    scheduler_ = std::make_unique<parallel::BatchScheduler>(
+        *q_, options_.scheduler);
     scheduler_->set_stats(&stats_.scheduler);
   }
   if (replicas_.size() != workers || replica_version_ != state_version_) {

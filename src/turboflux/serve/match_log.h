@@ -57,18 +57,21 @@ class MatchLog {
   /// Parses `path` (missing = empty). Returns the records covered by
   /// complete commits, the watermark W (= last commit's through_op; 0 if
   /// no commit), and the byte offset of the last complete commit block.
-  static Status Load(const std::string& path, std::vector<MatchRecord>* records,
-                     uint64_t* watermark, uint64_t* valid_bytes);
+  [[nodiscard]] static Status Load(const std::string& path,
+                                   std::vector<MatchRecord>* records,
+                                   uint64_t* watermark,
+                                   uint64_t* valid_bytes);
 
   /// Truncates past the last complete commit and opens for appends.
-  Status Open(const std::string& path, uint64_t valid_bytes);
+  [[nodiscard]] Status Open(const std::string& path, uint64_t valid_bytes);
 
   /// Appends `records` plus a COMMIT(through_op) marker and flushes.
   /// If `injector` trips ShouldTearMatchLogCommit, the write is cut
   /// short of the commit marker and kIoError("injected...") is returned —
   /// the server treats that as a crash.
-  Status AppendCommit(std::span<const MatchRecord> records,
-                      uint64_t through_op, FaultInjector* injector);
+  [[nodiscard]] Status AppendCommit(std::span<const MatchRecord> records,
+                                    uint64_t through_op,
+                                    FaultInjector* injector);
 
   void Close();
 

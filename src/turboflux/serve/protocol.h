@@ -135,8 +135,8 @@ std::string EncodeResponse(const Response& response);
 
 /// Parses one payload line. Unknown verbs, malformed numbers, op-count
 /// mismatches, and trailing garbage all fail with kInvalidArgument.
-Status ParseRequest(std::string_view payload, Request* out);
-Status ParseResponse(std::string_view payload, Response* out);
+[[nodiscard]] Status ParseRequest(std::string_view payload, Request* out);
+[[nodiscard]] Status ParseResponse(std::string_view payload, Response* out);
 
 /// Convenience: a submit request for `ops` starting at `seq`.
 Request MakeSubmit(uint64_t channel, uint64_t seq,

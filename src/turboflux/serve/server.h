@@ -111,8 +111,9 @@ class Server {
   /// Builds a server over `options.data_dir`, running crash recovery if
   /// the directory holds prior state. `g0` is required for a fresh
   /// directory (it seeds the graph) and ignored when a snapshot exists.
-  static Status Create(const ServeOptions& options, const Graph* g0,
-                       std::unique_ptr<Server>* out);
+  [[nodiscard]] static Status Create(const ServeOptions& options,
+                                     const Graph* g0,
+                                     std::unique_ptr<Server>* out);
 
   ~Server();
   Server(const Server&) = delete;
@@ -164,7 +165,7 @@ class Server {
   // --- Introspection (tests) ---
 
   /// All committed match records (loads the match log from disk).
-  Status CommittedMatches(std::vector<MatchRecord>* out) const;
+  [[nodiscard]] Status CommittedMatches(std::vector<MatchRecord>* out) const;
 
   bool died() const { return died_.load(std::memory_order_acquire); }
   Tier tier() const {

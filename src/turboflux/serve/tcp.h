@@ -38,7 +38,7 @@ class TcpServer {
   TcpServer& operator=(const TcpServer&) = delete;
 
   /// Binds 127.0.0.1:`port` (0 = ephemeral), starts the accept loop.
-  Status Listen(Server& server, uint16_t port);
+  [[nodiscard]] Status Listen(Server& server, uint16_t port);
 
   /// Stops accepting, closes all connections, joins all threads.
   void Stop();
@@ -69,15 +69,15 @@ class TcpClient {
   TcpClient(const TcpClient&) = delete;
   TcpClient& operator=(const TcpClient&) = delete;
 
-  Status Connect(const std::string& host, uint16_t port);
+  [[nodiscard]] Status Connect(const std::string& host, uint16_t port);
   void Close();
   bool connected() const { return fd_ >= 0; }
 
   /// Round-trips `request`. With an injector whose plan sets
   /// drop_connection_at_frame, the marked frame is torn mid-send and the
   /// connection closed (the server must discard the partial frame).
-  Status Call(const Request& request, Response* response,
-              FaultInjector* injector = nullptr);
+  [[nodiscard]] Status Call(const Request& request, Response* response,
+                            FaultInjector* injector = nullptr);
 
  private:
   int fd_ = -1;

@@ -43,23 +43,25 @@ class OpJournal {
   /// Open) truncates there. Corruption *before* the tail (a bad record
   /// followed by a good one) is indistinguishable from a tear and is
   /// likewise treated as end-of-journal.
-  static Status Load(const std::string& path, std::vector<PendingOp>* records,
-                     uint64_t* valid_bytes);
+  [[nodiscard]] static Status Load(const std::string& path,
+                                   std::vector<PendingOp>* records,
+                                   uint64_t* valid_bytes);
 
   /// Truncates the file to its valid prefix and opens it for appends.
   /// `record_count` must be the size of the vector Load produced (it
   /// seeds the op-index counter).
-  Status Open(const std::string& path, uint64_t valid_bytes,
-              uint64_t record_count);
+  [[nodiscard]] Status Open(const std::string& path, uint64_t valid_bytes,
+                            uint64_t record_count);
 
   /// Appends one record. If `injector` trips ShouldTearWalRecord, only a
   /// prefix of the record reaches the file and the returned status is
   /// kIoError ("injected torn write") — the server treats that as a
   /// crash. No flush is implied; call Flush() before acking.
-  Status Append(const PendingOp& record, FaultInjector* injector);
+  [[nodiscard]] Status Append(const PendingOp& record,
+                              FaultInjector* injector);
 
   /// Flushes appended records to the OS. Acks may be sent after this.
-  Status Flush();
+  [[nodiscard]] Status Flush();
 
   void Close();
 

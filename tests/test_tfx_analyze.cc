@@ -1,0 +1,313 @@
+// Seeded-violation tests for the tfx_analyze semantic tier (DESIGN.md
+// §3.14): each cross-file check must fire on a minimal violating fixture
+// and stay quiet on the paired fixed version, so the tree-wide
+// zero-finding gate (TfxAnalyze.TreeIsClean) is meaningful. Also pins the
+// function-definition parser the checks are built on.
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "lint/lint.h"
+#include "lint/semantic.h"
+
+namespace {
+
+using ::tfx_lint::AnalyzeSemantics;
+using ::tfx_lint::FileInput;
+using ::tfx_lint::Finding;
+using ::tfx_lint::FunctionDecl;
+using ::tfx_lint::ParseFunctions;
+using ::tfx_lint::SemanticResult;
+using ::tfx_lint::Token;
+using ::tfx_lint::Tokenize;
+
+bool HasCheck(const std::vector<Finding>& findings, const std::string& check) {
+  return std::any_of(findings.begin(), findings.end(),
+                     [&](const Finding& f) { return f.check == check; });
+}
+
+std::vector<FunctionDecl> Parse(const std::string& source) {
+  return ParseFunctions(Tokenize(tfx_lint::StripCommentsAndStrings(source)));
+}
+
+TEST(TfxAnalyze, ChecksAreListed) {
+  const std::vector<std::string> names = tfx_lint::SemanticCheckNames();
+  ASSERT_EQ(names.size(), 3u);
+  EXPECT_EQ(names[0], "serializer-pairing");
+  EXPECT_EQ(names[1], "lock-order");
+  EXPECT_EQ(names[2], "hot-path-purity");
+}
+
+// --- function-definition parser ---
+
+TEST(TfxAnalyzeParse, RecognizesTheDefinitionShapes) {
+  const std::string src =
+      "int Free(int x) { return x; }\n"
+      "class Widget {\n"
+      " public:\n"
+      "  Widget() : a_(1), b_{2} {}\n"
+      "  ~Widget() {}\n"
+      "  void InClass() const { a_ = 0; }\n"
+      "  void Declared();\n"
+      "  int a_;\n"
+      "  int b_;\n"
+      "};\n"
+      "void Widget::Declared() EXCLUDES(mu_) { b_ = 0; }\n";
+  const std::vector<FunctionDecl> fns = Parse(src);
+  ASSERT_EQ(fns.size(), 5u);
+  EXPECT_EQ(fns[0].name, "Free");
+  EXPECT_EQ(fns[0].cls, "");
+  EXPECT_EQ(fns[1].name, "Widget");
+  EXPECT_EQ(fns[1].cls, "Widget");  // constructor
+  EXPECT_EQ(fns[2].name, "~Widget");
+  EXPECT_EQ(fns[3].name, "InClass");
+  EXPECT_EQ(fns[3].cls, "Widget");
+  EXPECT_EQ(fns[4].name, "Declared");
+  EXPECT_EQ(fns[4].cls, "Widget");  // out-of-line Cls:: qualifier
+  for (const FunctionDecl& fn : fns) {
+    EXPECT_GT(fn.body_end, fn.body_begin) << fn.name;
+  }
+}
+
+TEST(TfxAnalyzeParse, SkipsDeclarationsAndCalls) {
+  const std::string src =
+      "Status Load(const std::string& path);\n"
+      "struct S { S(const S&) = delete; };\n"
+      "int x = Compute(1, 2);\n";
+  EXPECT_TRUE(Parse(src).empty());
+}
+
+TEST(TfxAnalyzeParse, BodyExtentCoversNestedBraces) {
+  const std::string src =
+      "void F() {\n"
+      "  if (x) { y(); }\n"
+      "  for (;;) { struct Local { int z; }; }\n"
+      "}\n"
+      "void G() {}\n";
+  const std::vector<FunctionDecl> fns = Parse(src);
+  ASSERT_EQ(fns.size(), 2u);
+  EXPECT_EQ(fns[1].name, "G");
+}
+
+// --- serializer-pairing ---
+
+constexpr const char* kWriterFixture =
+    "Status Engine::Checkpoint(std::ostream& out) {\n"
+    "  Status st = bin::WriteSection(out, kSectionMeta, meta);\n"
+    "  if (!st.ok()) return st;\n"
+    "  return bin::WriteSection(out, kSectionGraph, gbuf);\n"
+    "}\n";
+
+TEST(TfxAnalyzeSerializerPairing, FlagsTagWrittenButNeverRead) {
+  const std::string reader =
+      "Status Engine::Restore(std::istream& in) {\n"
+      "  return bin::ReadSection(in, kSectionMeta, &meta);\n"
+      "}\n";  // never reads kSectionGraph
+  const SemanticResult r = AnalyzeSemantics(
+      {{"src/a/writer.cc", kWriterFixture}, {"src/a/reader.cc", reader}});
+  ASSERT_TRUE(HasCheck(r.findings, "serializer-pairing"));
+  EXPECT_NE(r.findings[0].message.find("kSectionGraph"), std::string::npos);
+}
+
+TEST(TfxAnalyzeSerializerPairing, FlagsTagReadButNeverWritten) {
+  const std::string reader =
+      "Status Engine::Restore(std::istream& in) {\n"
+      "  Status st = bin::ReadSection(in, kSectionMeta, &meta);\n"
+      "  st = bin::ReadSection(in, kSectionGraph, &gbuf);\n"
+      "  return bin::ReadSection(in, kSectionDcg, &dbuf);\n"
+      "}\n";
+  const SemanticResult r = AnalyzeSemantics(
+      {{"src/a/writer.cc", kWriterFixture}, {"src/a/reader.cc", reader}});
+  ASSERT_TRUE(HasCheck(r.findings, "serializer-pairing"));
+  EXPECT_NE(r.findings[0].message.find("kSectionDcg"), std::string::npos);
+}
+
+TEST(TfxAnalyzeSerializerPairing, BalancedPairAcrossFilesIsClean) {
+  const std::string reader =
+      "Status Engine::Restore(std::istream& in) {\n"
+      "  Status st = bin::ReadSection(in, kSectionMeta, &meta);\n"
+      "  return bin::ReadSection(in, kSectionGraph, &gbuf);\n"
+      "}\n";
+  const SemanticResult r = AnalyzeSemantics(
+      {{"src/a/writer.cc", kWriterFixture}, {"src/a/reader.cc", reader}});
+  EXPECT_FALSE(HasCheck(r.findings, "serializer-pairing"));
+}
+
+TEST(TfxAnalyzeSerializerPairing, ClassesPairIndependently) {
+  // Two engines sharing tag names must not satisfy each other's reader.
+  const std::string other =
+      "Status Other::Restore(std::istream& in) {\n"
+      "  Status st = bin::ReadSection(in, kSectionMeta, &meta);\n"
+      "  return bin::ReadSection(in, kSectionGraph, &gbuf);\n"
+      "}\n"
+      "Status Other::Checkpoint(std::ostream& out) {\n"
+      "  Status st = bin::WriteSection(out, kSectionMeta, meta);\n"
+      "  return bin::WriteSection(out, kSectionGraph, gbuf);\n"
+      "}\n";
+  const SemanticResult r = AnalyzeSemantics(
+      {{"src/a/writer.cc", kWriterFixture}, {"src/a/other.cc", other}});
+  // Engine has a writer but no reader at all -> pairing disabled for it.
+  EXPECT_FALSE(HasCheck(r.findings, "serializer-pairing"));
+}
+
+TEST(TfxAnalyzeSerializerPairing, AllowSuppressesOneSite) {
+  const std::string reader =
+      "Status Engine::Restore(std::istream& in) {\n"
+      "  Status st = bin::ReadSection(in, kSectionMeta, &meta);\n"
+      "  st = bin::ReadSection(in, kSectionGraph, &gbuf);\n"
+      "  // tfx-lint: allow(serializer-pairing)\n"
+      "  return bin::ReadSection(in, kSectionLegacy, &lbuf);\n"
+      "}\n";
+  const SemanticResult r = AnalyzeSemantics(
+      {{"src/a/writer.cc", kWriterFixture}, {"src/a/reader.cc", reader}});
+  EXPECT_FALSE(HasCheck(r.findings, "serializer-pairing"));
+}
+
+// --- lock-order ---
+
+TEST(TfxAnalyzeLockOrder, FlagsInvertedAcquisitionAcrossFiles) {
+  const std::string ab =
+      "void Server::Submit() {\n"
+      "  MutexLock a(reg_mu_);\n"
+      "  MutexLock b(state_mu_);\n"
+      "}\n";
+  const std::string ba =
+      "void Server::Health() {\n"
+      "  MutexLock b(state_mu_);\n"
+      "  MutexLock a(reg_mu_);\n"
+      "}\n";
+  const SemanticResult r =
+      AnalyzeSemantics({{"src/a/submit.cc", ab}, {"src/a/health.cc", ba}});
+  ASSERT_TRUE(HasCheck(r.findings, "lock-order"));
+  EXPECT_NE(r.findings[0].message.find("Server::reg_mu_"), std::string::npos);
+  EXPECT_NE(r.findings[0].message.find("Server::state_mu_"),
+            std::string::npos);
+  EXPECT_EQ(r.cycle_nodes.size(), 2u);
+}
+
+TEST(TfxAnalyzeLockOrder, ConsistentOrderIsCleanAndGraphed) {
+  const std::string src =
+      "void Server::Submit() {\n"
+      "  MutexLock a(reg_mu_);\n"
+      "  MutexLock b(state_mu_);\n"
+      "}\n"
+      "void Server::Commit() {\n"
+      "  MutexLock a(reg_mu_);\n"
+      "  MutexLock b(state_mu_);\n"
+      "}\n";
+  const SemanticResult r = AnalyzeSemantics({{"src/a/server.cc", src}});
+  EXPECT_FALSE(HasCheck(r.findings, "lock-order"));
+  ASSERT_EQ(r.lock_graph.edges.size(), 1u);
+  EXPECT_EQ(r.lock_graph.edges[0].from, "Server::reg_mu_");
+  EXPECT_EQ(r.lock_graph.edges[0].to, "Server::state_mu_");
+  EXPECT_EQ(r.lock_graph.edges[0].count, 2u);  // both sites deduped
+  const std::string dot =
+      tfx_lint::LockGraphToDot(r.lock_graph, r.cycle_nodes);
+  EXPECT_NE(dot.find("digraph lock_order"), std::string::npos);
+  EXPECT_NE(dot.find("\"Server::reg_mu_\" -> \"Server::state_mu_\""),
+            std::string::npos);
+}
+
+TEST(TfxAnalyzeLockOrder, ScopeExitReleasesTheLock) {
+  // b_ is acquired after a_'s scope closed; no edge, no cycle even though
+  // another function takes b_ then a_.
+  const std::string src =
+      "void Pool::Enqueue() {\n"
+      "  { MutexLock a(a_); }\n"
+      "  MutexLock b(b_);\n"
+      "}\n"
+      "void Pool::Drain() {\n"
+      "  MutexLock b(b_);\n"
+      "  { MutexLock a(a_); }\n"
+      "}\n";
+  const SemanticResult r = AnalyzeSemantics({{"src/a/pool.cc", src}});
+  EXPECT_FALSE(HasCheck(r.findings, "lock-order"));
+  ASSERT_EQ(r.lock_graph.edges.size(), 1u);
+  EXPECT_EQ(r.lock_graph.edges[0].from, "Pool::b_");
+}
+
+TEST(TfxAnalyzeLockOrder, AllowSuppressesTheAcquisitionSite) {
+  const std::string ab =
+      "void Server::Submit() {\n"
+      "  MutexLock a(reg_mu_);\n"
+      "  MutexLock b(state_mu_);\n"
+      "}\n";
+  const std::string ba =
+      "void Server::Health() {\n"
+      "  MutexLock b(state_mu_);\n"
+      "  // tfx-lint: allow(lock-order)\n"
+      "  MutexLock a(reg_mu_);\n"
+      "}\n";
+  const SemanticResult r =
+      AnalyzeSemantics({{"src/a/submit.cc", ab}, {"src/a/health.cc", ba}});
+  EXPECT_FALSE(HasCheck(r.findings, "lock-order"));
+}
+
+// --- hot-path-purity ---
+
+TEST(TfxAnalyzeHotPathPurity, FlagsAllocationIoAndLocking) {
+  const std::string src =
+      "void Engine::ApplyOp(const UpdateOp& op) {\n"
+      "  auto n = std::make_unique<Node>();\n"
+      "  MutexLock l(mu_);\n"
+      "  std::ofstream out(path_);\n"
+      "  mu_.Lock();\n"
+      "}\n";
+  const SemanticResult r =
+      AnalyzeSemantics({{"src/turboflux/core/engine.cc", src}});
+  size_t purity = 0;
+  for (const Finding& f : r.findings) {
+    if (f.check == "hot-path-purity") ++purity;
+  }
+  EXPECT_EQ(purity, 4u);
+}
+
+TEST(TfxAnalyzeHotPathPurity, FiresInEveryHotDir) {
+  const std::string src = "void Engine::Probe() { auto* p = new Node(); }\n";
+  for (const char* dir : {"core", "match", "symbi", "graph"}) {
+    const SemanticResult r = AnalyzeSemantics(
+        {{"src/turboflux/" + std::string(dir) + "/a.cc", src}});
+    EXPECT_TRUE(HasCheck(r.findings, "hot-path-purity")) << dir;
+  }
+}
+
+TEST(TfxAnalyzeHotPathPurity, ColdFunctionsAndColdDirsAreExempt) {
+  const std::string cold =
+      "void Engine::BuildIndex() { auto n = std::make_unique<Node>(); }\n"
+      "Engine::Engine() { table_ = new Row[16]; }\n"
+      "Status Engine::Checkpoint(std::ostream& out) {\n"
+      "  std::ofstream f(path_);\n"
+      "  return Status::Ok();\n"
+      "}\n";
+  EXPECT_FALSE(HasCheck(
+      AnalyzeSemantics({{"src/turboflux/core/engine.cc", cold}}).findings,
+      "hot-path-purity"));
+  // Hot-shaped code outside the hot dirs is someone else's business.
+  const std::string hot = "void Engine::ApplyOp() { auto* p = new Node(); }\n";
+  EXPECT_FALSE(HasCheck(
+      AnalyzeSemantics({{"src/turboflux/workload/gen.cc", hot}}).findings,
+      "hot-path-purity"));
+}
+
+TEST(TfxAnalyzeHotPathPurity, AllowAndAllowFileSuppress) {
+  const std::string line_allow =
+      "void Engine::ApplyOp() {\n"
+      "  // One-time lazy init.\n"
+      "  // tfx-lint: allow(hot-path-purity)\n"
+      "  pool_ = std::make_unique<Pool>();\n"
+      "}\n";
+  EXPECT_FALSE(HasCheck(
+      AnalyzeSemantics({{"src/turboflux/core/a.cc", line_allow}}).findings,
+      "hot-path-purity"));
+  const std::string file_allow =
+      "// tfx-lint: allow-file(hot-path-purity) -- driver, not eval path\n"
+      "void Engine::ApplyOp() { auto* p = new Node(); }\n"
+      "void Engine::FlushOp() { MutexLock l(mu_); }\n";
+  EXPECT_FALSE(HasCheck(
+      AnalyzeSemantics({{"src/turboflux/core/b.cc", file_allow}}).findings,
+      "hot-path-purity"));
+}
+
+}  // namespace

@@ -182,7 +182,7 @@ TEST(TfxLintHotPathMap, FlagsUnorderedMapInHotPathDirs) {
       "  std::unordered_map<uint64_t, std::vector<EdgeLabel>> edges_;\n"
       "};\n";
   for (const char* dir :
-       {"core", "match", "parallel", "baseline", "graph", "serve"}) {
+       {"core", "match", "parallel", "baseline", "graph", "serve", "symbi"}) {
     const std::vector<Finding> findings =
         LintOne("src/turboflux/" + std::string(dir) + "/a.h", bad);
     ASSERT_TRUE(HasCheck(findings, "hot-path-map")) << dir;

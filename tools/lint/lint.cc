@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <unordered_set>
@@ -69,17 +70,9 @@ std::string StripCommentsAndStrings(const std::string& content) {
   return out;
 }
 
-namespace {
-
 // ---------------------------------------------------------------------------
 // Tokenizer
 // ---------------------------------------------------------------------------
-
-struct Token {
-  std::string text;
-  size_t line = 1;
-  bool ident = false;
-};
 
 std::vector<Token> Tokenize(const std::string& stripped) {
   std::vector<Token> tokens;
@@ -137,25 +130,8 @@ size_t SkipBalancedParens(const std::vector<Token>& t, size_t open) {
   return t.size();
 }
 
-/// Walks back from the call-name token at `idx` over a `a.b->c::d` chain;
-/// returns the index of the chain's first token.
-size_t ChainStart(const std::vector<Token>& t, size_t idx) {
-  size_t start = idx;
-  while (start > 0) {
-    const Token& prev = t[start - 1];
-    if (prev.text == "." || prev.text == "->" || prev.text == "::") {
-      if (start >= 2 && (t[start - 2].ident || t[start - 2].text == ")")) {
-        start -= 2;
-        continue;
-      }
-    }
-    break;
-  }
-  return start;
-}
-
 // ---------------------------------------------------------------------------
-// Per-file suppression and path classification
+// Per-file suppression and path normalization
 // ---------------------------------------------------------------------------
 
 std::vector<std::string> SplitLines(const std::string& content) {
@@ -185,10 +161,38 @@ bool Suppressed(const std::vector<std::string>& lines, size_t line,
   return false;
 }
 
+bool FileSuppressed(const std::vector<std::string>& lines,
+                    const std::string& check) {
+  const std::string marker = "tfx-lint: allow-file(" + check + ")";
+  for (const std::string& l : lines) {
+    if (l.find(marker) != std::string::npos) return true;
+  }
+  return false;
+}
+
 std::string NormalizePath(const std::string& path) {
   std::string p = path;
   std::replace(p.begin(), p.end(), '\\', '/');
   return p;
+}
+
+namespace {
+
+/// Walks back from the call-name token at `idx` over a `a.b->c::d` chain;
+/// returns the index of the chain's first token.
+size_t ChainStart(const std::vector<Token>& t, size_t idx) {
+  size_t start = idx;
+  while (start > 0) {
+    const Token& prev = t[start - 1];
+    if (prev.text == "." || prev.text == "->" || prev.text == "::") {
+      if (start >= 2 && (t[start - 2].ident || t[start - 2].text == ")")) {
+        start -= 2;
+        continue;
+      }
+    }
+    break;
+  }
+  return start;
 }
 
 bool PathEndsWith(const std::string& path, const char* suffix) {
@@ -201,7 +205,7 @@ bool IsHotPathFile(const std::string& path) {
   const std::string p = NormalizePath(path);
   for (const char* dir :
        {"/core/", "/match/", "/parallel/", "/baseline/", "/graph/",
-        "/serve/"}) {
+        "/serve/", "/symbi/"}) {
     if (p.find("turboflux" + std::string(dir)) != std::string::npos) {
       return true;
     }
@@ -575,6 +579,63 @@ std::vector<std::string> FilesFromCompileCommands(const std::string& json,
     *error = "no \"file\" entries found in compile_commands.json";
   }
   return files;
+}
+
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string Canonical(const std::string& path) {
+  std::error_code ec;
+  fs::path p = fs::weakly_canonical(fs::path(path), ec);
+  return ec ? path : p.string();
+}
+
+bool Under(const std::string& path, const std::string& dir) {
+  return path.size() > dir.size() && path.compare(0, dir.size(), dir) == 0 &&
+         path[dir.size()] == '/';
+}
+
+void AddHeadersUnder(const fs::path& dir, const std::string& build_dir,
+                     std::vector<std::string>* out) {
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec)) return;
+  for (fs::recursive_directory_iterator it(dir, ec), end; it != end;
+       it.increment(ec)) {
+    if (ec) break;
+    if (!it->is_regular_file(ec)) continue;
+    const std::string p = Canonical(it->path().string());
+    if (!build_dir.empty() && Under(p, build_dir)) continue;
+    if (it->path().extension() == ".h") out->push_back(p);
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> CollectTreeFiles(
+    const std::string& compile_commands_path, const std::string& root,
+    std::string* error) {
+  std::ifstream in(compile_commands_path, std::ios::binary);
+  if (!in) {
+    if (error != nullptr) *error = "cannot read " + compile_commands_path;
+    return {};
+  }
+  std::ostringstream os;
+  os << in.rdbuf();
+  std::vector<std::string> tus = FilesFromCompileCommands(os.str(), error);
+  if (tus.empty()) return {};
+  const std::string canon_root = Canonical(root);
+  const std::string build_dir = Canonical(
+      fs::path(compile_commands_path).parent_path().string());
+  std::vector<std::string> paths;
+  for (const std::string& tu : tus) {
+    const std::string p = Canonical(tu);
+    if (Under(p, canon_root) && !Under(p, build_dir)) paths.push_back(p);
+  }
+  for (const char* dir : {"src", "tools", "tests", "bench", "examples"}) {
+    AddHeadersUnder(fs::path(canon_root) / dir, build_dir, &paths);
+  }
+  return paths;
 }
 
 }  // namespace tfx_lint

@@ -30,7 +30,7 @@
 //                       exists to avoid.
 //   hot-path-map        Any mention of std::unordered_map in an engine
 //                       hot-path file (src/turboflux/{core,match,parallel,
-//                       baseline,graph,serve}/). The §3.11 layout rework replaced
+//                       baseline,graph,serve,symbi}/). The §3.11 layout rework replaced
 //                       per-probe pointer chasing with FlatPairTable /
 //                       AdjPool; this check stops the old idiom from
 //                       creeping back. Validation, setup, or per-batch
@@ -44,12 +44,17 @@
 //
 // Suppression: a finding is silenced when the offending line, or the line
 // directly above it, contains `tfx-lint: allow(<check>)` in a comment.
+// A whole file opts out of one check with `tfx-lint: allow-file(<check>)`
+// anywhere in the file (used by the semantic tier for files that are
+// categorically off a check's beat, e.g. the resilient-run driver vs the
+// hot-path-purity check).
 //
 // The checker is token-based (comments and string/char literals are
 // stripped first), not a full parser: it trades soundness at the margins
 // for zero build-time dependencies — the repository ships no libclang.
 // The seeded-violation tests in tests/test_tfx_lint.cc pin down exactly
-// what each check catches.
+// what each check catches. The deeper semantic tier (declaration parsing,
+// cross-file checks) lives in semantic.h and is driven by `tfx_analyze`.
 
 namespace tfx_lint {
 
@@ -92,6 +97,48 @@ std::vector<std::string> FilesFromCompileCommands(const std::string& json,
 /// Replaces comments and string/char literal contents with spaces,
 /// preserving line structure. Exposed for tests.
 std::string StripCommentsAndStrings(const std::string& content);
+
+// ---------------------------------------------------------------------------
+// Shared source-analysis infrastructure (used by both tiers)
+// ---------------------------------------------------------------------------
+
+/// One lexed token of a stripped source file.
+struct Token {
+  std::string text;
+  size_t line = 1;  // 1-based
+  bool ident = false;
+};
+
+/// Lexes a stripped source (see StripCommentsAndStrings). Identifiers,
+/// numbers, `::`/`->`, and single characters; whitespace dropped.
+std::vector<Token> Tokenize(const std::string& stripped);
+
+/// Splits raw (un-stripped) content into lines for suppression lookups.
+std::vector<std::string> SplitLines(const std::string& content);
+
+/// True when `line` (or the line above it) carries
+/// `tfx-lint: allow(<check>)`.
+bool Suppressed(const std::vector<std::string>& lines, size_t line,
+                const std::string& check);
+
+/// True when any line of the file carries `tfx-lint: allow-file(<check>)`.
+bool FileSuppressed(const std::vector<std::string>& lines,
+                    const std::string& check);
+
+/// Index of the token after the `)` matching the `(` at `open`;
+/// tokens.size() when unbalanced.
+size_t SkipBalancedParens(const std::vector<Token>& tokens, size_t open);
+
+/// Backslashes normalized to forward slashes.
+std::string NormalizePath(const std::string& path);
+
+/// The linted-file set for a whole source tree: every TU in
+/// `compile_commands_path` under `root` (excluding the build dir), plus
+/// every .h under the conventional source directories. Returns an empty
+/// list and sets *error on failure.
+std::vector<std::string> CollectTreeFiles(
+    const std::string& compile_commands_path, const std::string& root,
+    std::string* error);
 
 }  // namespace tfx_lint
 

@@ -1,0 +1,720 @@
+#include "lint/semantic.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+#include <unordered_set>
+
+namespace tfx_lint {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Function-definition parser
+// ---------------------------------------------------------------------------
+
+const std::unordered_set<std::string>& ControlKeywords() {
+  static const std::unordered_set<std::string> kw = {
+      "if",     "for",    "while",  "switch",   "catch",  "return",
+      "sizeof", "alignof", "decltype", "new",   "delete", "throw",
+      "else",   "do",     "case",   "default",  "static_assert",
+      "assert", "co_await", "co_return", "co_yield", "goto"};
+  return kw;
+}
+
+/// Skips a balanced `{ ... }` starting at `open`; returns the index after
+/// the matching `}` (tokens.size() when unbalanced).
+size_t SkipBalancedBraces(const std::vector<Token>& t, size_t open) {
+  int depth = 0;
+  for (size_t i = open; i < t.size(); ++i) {
+    if (t[i].text == "{") ++depth;
+    if (t[i].text == "}") {
+      if (--depth == 0) return i + 1;
+    }
+  }
+  return t.size();
+}
+
+/// Walks a constructor initializer list starting just after its `:`.
+/// Returns the index of the body `{`, or 0 when the shape does not parse
+/// as an initializer list.
+size_t SkipCtorInitList(const std::vector<Token>& t, size_t i) {
+  while (i < t.size()) {
+    // Member or base name: `a_`, `Base`, `ns::Base`.
+    bool saw_name = false;
+    while (i < t.size() && (t[i].ident || t[i].text == "::")) {
+      saw_name = saw_name || t[i].ident;
+      ++i;
+    }
+    if (!saw_name || i >= t.size()) return 0;
+    if (t[i].text == "(") {
+      i = SkipBalancedParens(t, i);
+    } else if (t[i].text == "{") {
+      i = SkipBalancedBraces(t, i);
+    } else {
+      return 0;
+    }
+    if (i < t.size() && t[i].text == ",") {
+      ++i;
+      continue;
+    }
+    break;
+  }
+  return (i < t.size() && t[i].text == "{") ? i : 0;
+}
+
+/// From the token after a candidate's closing `)`, walks trailing
+/// qualifiers (const, noexcept(...), override, thread-safety attribute
+/// macros, trailing return types) and an optional ctor initializer list.
+/// Returns the index of the body `{`, or 0 when this is a declaration or
+/// not a function at all.
+size_t FindBodyBrace(const std::vector<Token>& t, size_t j) {
+  while (j < t.size()) {
+    const std::string& jx = t[j].text;
+    if (jx == "{") return j;
+    if (jx == ";" || jx == "=") return 0;  // declaration / =default/=delete
+    if (jx == ":") return SkipCtorInitList(t, j + 1);
+    if (t[j].ident) {
+      // const / noexcept / override / final / REQUIRES(mu_) / -> types.
+      ++j;
+      if (j < t.size() && t[j].text == "(") j = SkipBalancedParens(t, j);
+      continue;
+    }
+    if (jx == "->" || jx == "::" || jx == "<" || jx == ">" || jx == "*" ||
+        jx == "&" || jx == ",") {
+      ++j;  // trailing-return-type punctuation
+      continue;
+    }
+    return 0;
+  }
+  return 0;
+}
+
+struct Scope {
+  enum Kind { kClass, kFunction, kOther };
+  Kind kind = kOther;
+  std::string name;     // class name for kClass
+  size_t fn_index = 0;  // FunctionDecl index for kFunction
+};
+
+}  // namespace
+
+std::vector<FunctionDecl> ParseFunctions(const std::vector<Token>& t) {
+  std::vector<FunctionDecl> out;
+  std::vector<Scope> scopes;
+  Scope pending;
+  bool has_pending = false;
+
+  auto in_function = [&scopes]() {
+    for (const Scope& s : scopes) {
+      if (s.kind == Scope::kFunction) return true;
+    }
+    return false;
+  };
+  auto enclosing_class = [&scopes]() -> std::string {
+    for (auto it = scopes.rbegin(); it != scopes.rend(); ++it) {
+      if (it->kind == Scope::kClass) return it->name;
+    }
+    return {};
+  };
+
+  for (size_t i = 0; i < t.size(); ++i) {
+    const std::string& tx = t[i].text;
+    if (tx == "{") {
+      scopes.push_back(has_pending ? pending : Scope{});
+      has_pending = false;
+      continue;
+    }
+    if (tx == "}") {
+      if (!scopes.empty()) {
+        Scope s = scopes.back();
+        scopes.pop_back();
+        if (s.kind == Scope::kFunction) out[s.fn_index].body_end = i;
+      }
+      continue;
+    }
+    if ((tx == "class" || tx == "struct") &&
+        !(i > 0 && t[i - 1].text == "enum")) {
+      // A definition when a `{` appears before `;` or `)` (forward
+      // declarations and elaborated parameter types are skipped).
+      std::string cname;
+      if (i + 1 < t.size() && t[i + 1].ident) cname = t[i + 1].text;
+      size_t k = i + 1;
+      while (k < t.size() && t[k].text != "{" && t[k].text != ";" &&
+             t[k].text != ")") {
+        ++k;
+      }
+      if (k < t.size() && t[k].text == "{" && !cname.empty()) {
+        pending = {Scope::kClass, cname, 0};
+        has_pending = true;
+        i = k - 1;  // next iteration pushes the class scope
+      }
+      continue;
+    }
+    if (in_function()) continue;  // C++ has no nested functions
+    if (!t[i].ident || i + 1 >= t.size() || t[i + 1].text != "(") continue;
+    if (ControlKeywords().count(tx) != 0 || tx == "operator") continue;
+
+    const size_t after = SkipBalancedParens(t, i + 1);
+    if (after >= t.size()) continue;
+    const size_t body = FindBodyBrace(t, after);
+    if (body == 0) continue;
+
+    FunctionDecl fn;
+    fn.name = tx;
+    fn.line = t[i].line;
+    fn.body_begin = body;
+    fn.body_end = body;  // patched when the matching `}` pops
+    if (i >= 1 && t[i - 1].text == "~") {
+      fn.name = "~" + fn.name;
+      if (i >= 3 && t[i - 2].text == "::" && t[i - 3].ident) {
+        fn.cls = t[i - 3].text;
+      }
+    } else if (i >= 2 && t[i - 1].text == "::" && t[i - 2].ident) {
+      fn.cls = t[i - 2].text;
+    }
+    if (fn.cls.empty()) fn.cls = enclosing_class();
+
+    pending = {Scope::kFunction, "", out.size()};
+    has_pending = true;
+    out.push_back(std::move(fn));
+    i = body - 1;  // next iteration pushes the function scope
+  }
+  return out;
+}
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Shared per-file preparation
+// ---------------------------------------------------------------------------
+
+struct PreparedFile {
+  const FileInput* file = nullptr;
+  std::vector<Token> tokens;
+  std::vector<std::string> lines;
+  std::vector<FunctionDecl> functions;
+};
+
+std::string FileStem(const std::string& path) {
+  const std::string p = NormalizePath(path);
+  const size_t slash = p.find_last_of('/');
+  return slash == std::string::npos ? p : p.substr(slash + 1);
+}
+
+bool InDirs(const std::string& path, std::initializer_list<const char*> dirs) {
+  const std::string p = NormalizePath(path);
+  for (const char* dir : dirs) {
+    if (p.find("turboflux" + std::string(dir)) != std::string::npos) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Check 1: serializer pairing
+// ---------------------------------------------------------------------------
+
+enum class SerializerRole { kNone, kWriter, kReader };
+
+SerializerRole RoleOf(const std::string& name) {
+  auto matches = [&name](const char* prefix, const char* suffix) {
+    const std::string p(prefix), s(suffix);
+    return name.size() >= p.size() + s.size() &&
+           name.compare(0, p.size(), p) == 0 &&
+           name.compare(name.size() - s.size(), s.size(), s) == 0;
+  };
+  if (name == "Checkpoint" || matches("Write", "Sections")) {
+    return SerializerRole::kWriter;
+  }
+  if (name == "Restore" || matches("Read", "Sections")) {
+    return SerializerRole::kReader;
+  }
+  return SerializerRole::kNone;
+}
+
+struct TagSite {
+  std::string file;
+  size_t line = 0;
+};
+
+struct SerializerGroup {
+  // Tag expression -> first site, per side. A side with zero
+  // WriteSection/ReadSection calls stays empty and disables pairing (the
+  // format may frame records some other way, e.g. the serve WAL).
+  std::map<std::string, TagSite> written;
+  std::map<std::string, TagSite> read;
+  bool has_writer_calls = false;
+  bool has_reader_calls = false;
+};
+
+/// Extracts the second argument of a `WriteSection(out, TAG, payload)` /
+/// `ReadSection(in, TAG, &buf)` call as a joined token string.
+std::string SecondArgument(const std::vector<Token>& t, size_t open) {
+  int depth = 0;
+  size_t commas = 0;
+  std::string arg;
+  for (size_t i = open; i < t.size(); ++i) {
+    const std::string& x = t[i].text;
+    if (x == "(" || x == "[" || x == "<") ++depth;
+    if (x == ")" || x == "]" || x == ">") {
+      if (x == ")" && depth == 1) break;
+      --depth;
+      continue;
+    }
+    if (depth == 1 && x == ",") {
+      ++commas;
+      continue;
+    }
+    if (commas == 1 && depth >= 1) arg += x;
+  }
+  return arg;
+}
+
+void HarvestSerializerTags(const PreparedFile& p,
+                           std::map<std::string, SerializerGroup>* groups) {
+  if (FileSuppressed(p.lines, "serializer-pairing")) return;
+  const std::vector<Token>& t = p.tokens;
+  for (const FunctionDecl& fn : p.functions) {
+    const SerializerRole role = RoleOf(fn.name);
+    if (role == SerializerRole::kNone) continue;
+    const std::string key =
+        fn.cls.empty() ? FileStem(p.file->path) : fn.cls;
+    SerializerGroup& g = (*groups)[key];
+    for (size_t i = fn.body_begin; i < fn.body_end; ++i) {
+      if (!t[i].ident || i + 1 >= t.size() || t[i + 1].text != "(") continue;
+      const bool is_write = t[i].text == "WriteSection";
+      const bool is_read = t[i].text == "ReadSection";
+      if (!is_write && !is_read) continue;
+      if ((role == SerializerRole::kWriter) != is_write) continue;
+      if (Suppressed(p.lines, t[i].line, "serializer-pairing")) continue;
+      const std::string tag = SecondArgument(t, i + 1);
+      if (tag.empty()) continue;
+      if (is_write) {
+        g.has_writer_calls = true;
+        g.written.emplace(tag, TagSite{p.file->path, t[i].line});
+      } else {
+        g.has_reader_calls = true;
+        g.read.emplace(tag, TagSite{p.file->path, t[i].line});
+      }
+    }
+  }
+}
+
+void ReportSerializerDrift(const std::map<std::string, SerializerGroup>& groups,
+                           std::vector<Finding>* out) {
+  for (const auto& [key, g] : groups) {
+    if (!g.has_writer_calls || !g.has_reader_calls) continue;
+    for (const auto& [tag, site] : g.written) {
+      if (g.read.count(tag) != 0) continue;
+      out->push_back(
+          {site.file, site.line, "serializer-pairing",
+           "section tag `" + tag + "` is written by " + key +
+               "'s serializer but never read by its paired reader; the "
+               "formats have drifted"});
+    }
+    for (const auto& [tag, site] : g.read) {
+      if (g.written.count(tag) != 0) continue;
+      out->push_back(
+          {site.file, site.line, "serializer-pairing",
+           "section tag `" + tag + "` is read by " + key +
+               "'s deserializer but never written by its paired writer; "
+               "the formats have drifted"});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Check 2: lock order
+// ---------------------------------------------------------------------------
+
+struct EdgeKey {
+  std::string from, to;
+  bool operator<(const EdgeKey& o) const {
+    return from != o.from ? from < o.from : to < o.to;
+  }
+};
+
+struct LockHarvest {
+  std::set<std::string> nodes;
+  std::map<EdgeKey, LockEdge> edges;
+};
+
+/// Joins the argument tokens of `MutexLock name(EXPR)` into a mutex name.
+std::string MutexExpr(const std::vector<Token>& t, size_t open) {
+  std::string expr;
+  int depth = 0;
+  for (size_t i = open; i < t.size(); ++i) {
+    const std::string& x = t[i].text;
+    if (x == "(") {
+      if (depth++ > 0) expr += x;
+      continue;
+    }
+    if (x == ")") {
+      if (--depth == 0) break;
+      expr += x;
+      continue;
+    }
+    expr += x;
+  }
+  return expr;
+}
+
+void HarvestLockSites(const PreparedFile& p, LockHarvest* harvest) {
+  if (FileSuppressed(p.lines, "lock-order")) return;
+  const std::vector<Token>& t = p.tokens;
+  for (const FunctionDecl& fn : p.functions) {
+    const std::string owner =
+        fn.cls.empty() ? FileStem(p.file->path) : fn.cls;
+    struct Held {
+      std::string node;
+      int depth;
+    };
+    std::vector<Held> held;
+    int depth = 0;
+    for (size_t i = fn.body_begin; i < fn.body_end; ++i) {
+      const std::string& x = t[i].text;
+      if (x == "{") {
+        ++depth;
+        continue;
+      }
+      if (x == "}") {
+        --depth;
+        while (!held.empty() && held.back().depth > depth) held.pop_back();
+        continue;
+      }
+      if (!t[i].ident || x != "MutexLock") continue;
+      // `MutexLock name(expr)` — a declaration, not the type position of
+      // a parameter list or a qualified mention.
+      if (i + 2 >= t.size() || !t[i + 1].ident || t[i + 2].text != "(") {
+        continue;
+      }
+      const std::string expr = MutexExpr(t, i + 2);
+      if (expr.empty()) continue;
+      // Member mutexes of another object keep their expression spelling;
+      // plain members are qualified by the owning class so `mu_` in
+      // QuerySet and `mu_` in ThreadPool stay distinct nodes.
+      const std::string node = owner + "::" + expr;
+      harvest->nodes.insert(node);
+      if (!Suppressed(p.lines, t[i].line, "lock-order")) {
+        for (const Held& h : held) {
+          if (h.node == node) continue;
+          const EdgeKey key{h.node, node};
+          auto it = harvest->edges.find(key);
+          if (it == harvest->edges.end()) {
+            harvest->edges.emplace(
+                key, LockEdge{h.node, node, p.file->path, t[i].line, 1});
+          } else {
+            ++it->second.count;
+          }
+        }
+      }
+      held.push_back({node, depth});
+    }
+  }
+}
+
+/// Tarjan SCC over the lock graph; every SCC with more than one node (or
+/// a self-edge) is an ordering cycle.
+std::vector<std::vector<std::string>> LockCycles(const LockHarvest& h) {
+  std::vector<std::string> names(h.nodes.begin(), h.nodes.end());
+  std::map<std::string, size_t> id;
+  for (size_t i = 0; i < names.size(); ++i) id[names[i]] = i;
+  std::vector<std::vector<size_t>> adj(names.size());
+  std::set<size_t> self_loop;
+  for (const auto& [key, edge] : h.edges) {
+    const size_t a = id.at(key.from), b = id.at(key.to);
+    if (a == b) {
+      self_loop.insert(a);
+    } else {
+      adj[a].push_back(b);
+    }
+  }
+  const size_t n = names.size();
+  std::vector<int> index(n, -1), low(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<size_t> stack;
+  std::vector<std::vector<std::string>> cycles;
+  int next_index = 0;
+  // Iterative Tarjan (explicit frame stack keeps deep graphs safe).
+  struct Frame {
+    size_t v;
+    size_t child = 0;
+  };
+  for (size_t root = 0; root < n; ++root) {
+    if (index[root] != -1) continue;
+    std::vector<Frame> frames{{root}};
+    while (!frames.empty()) {
+      Frame& f = frames.back();
+      const size_t v = f.v;
+      if (f.child == 0) {
+        index[v] = low[v] = next_index++;
+        stack.push_back(v);
+        on_stack[v] = true;
+      }
+      if (f.child < adj[v].size()) {
+        const size_t w = adj[v][f.child++];
+        if (index[w] == -1) {
+          frames.push_back({w});
+        } else if (on_stack[w]) {
+          low[v] = std::min(low[v], index[w]);
+        }
+        continue;
+      }
+      if (low[v] == index[v]) {
+        std::vector<std::string> scc;
+        while (true) {
+          const size_t w = stack.back();
+          stack.pop_back();
+          on_stack[w] = false;
+          scc.push_back(names[w]);
+          if (w == v) break;
+        }
+        if (scc.size() > 1 ||
+            (scc.size() == 1 && self_loop.count(id.at(scc[0])) != 0)) {
+          std::sort(scc.begin(), scc.end());
+          cycles.push_back(std::move(scc));
+        }
+      }
+      frames.pop_back();
+      if (!frames.empty()) {
+        low[frames.back().v] = std::min(low[frames.back().v], low[v]);
+      }
+    }
+  }
+  // Self-loops on nodes not already in a multi-node cycle.
+  for (size_t v : self_loop) {
+    bool covered = false;
+    for (const auto& c : cycles) {
+      if (std::find(c.begin(), c.end(), names[v]) != c.end()) covered = true;
+    }
+    if (!covered) cycles.push_back({names[v]});
+  }
+  std::sort(cycles.begin(), cycles.end());
+  return cycles;
+}
+
+void ReportLockCycles(const LockHarvest& h,
+                      const std::vector<std::vector<std::string>>& cycles,
+                      std::vector<Finding>* out) {
+  for (const auto& cycle : cycles) {
+    std::set<std::string> members(cycle.begin(), cycle.end());
+    // Anchor the finding at the lexicographically-first participating
+    // edge's site so the report is deterministic.
+    const LockEdge* anchor = nullptr;
+    std::string detail;
+    for (const auto& [key, edge] : h.edges) {
+      const bool in_cycle =
+          cycle.size() == 1
+              ? (key.from == cycle[0] && key.to == cycle[0])
+              : (members.count(key.from) != 0 && members.count(key.to) != 0);
+      if (!in_cycle) continue;
+      if (anchor == nullptr) anchor = &edge;
+      if (!detail.empty()) detail += ", ";
+      detail += edge.from + "->" + edge.to + " (" + FileStem(edge.file) +
+                ":" + std::to_string(edge.line) + ")";
+    }
+    if (anchor == nullptr) continue;
+    std::string names;
+    for (const std::string& m : cycle) {
+      if (!names.empty()) names += ", ";
+      names += m;
+    }
+    out->push_back(
+        {anchor->file, anchor->line, "lock-order",
+         "mutex acquisition cycle {" + names + "}: " + detail +
+             "; two threads taking these locks in different orders can "
+             "deadlock — pick one global order"});
+  }
+}
+
+std::string DotEscape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Check 3: hot-path purity
+// ---------------------------------------------------------------------------
+
+bool IsPurityHotFile(const std::string& path) {
+  return InDirs(path, {"/core/", "/match/", "/symbi/", "/graph/"});
+}
+
+/// Setup / (de)serialization / maintenance functions are off the per-op
+/// path by construction.
+bool IsColdFunction(const FunctionDecl& fn) {
+  if (!fn.name.empty() && fn.name[0] == '~') return true;  // destructor
+  if (fn.name == fn.cls) return true;                      // constructor
+  static const std::unordered_set<std::string> kColdExact = {
+      "Init", "InitShared", "Bind", "Create", "Reset", "Clear",
+      "Compact", "main"};
+  if (kColdExact.count(fn.name) != 0) return true;
+  static const char* kColdPrefixes[] = {
+      "Serialize", "Deserialize", "Write", "Read",   "Load",
+      "Save",      "Build",       "Rebuild", "From", "Checkpoint",
+      "Restore",   "Recompute",   "Compute"};
+  for (const char* prefix : kColdPrefixes) {
+    const std::string p(prefix);
+    if (fn.name.size() >= p.size() && fn.name.compare(0, p.size(), p) == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+struct PurityBan {
+  const char* what;     // category for the message
+  bool needs_call;      // only flag `ident(`-shaped uses
+  bool needs_member_op; // only flag when preceded by `.` / `->`
+};
+
+const std::map<std::string, PurityBan>& PurityBans() {
+  static const std::map<std::string, PurityBan> bans = {
+      {"new", {"heap allocation", false, false}},
+      {"malloc", {"heap allocation", true, false}},
+      {"calloc", {"heap allocation", true, false}},
+      {"realloc", {"heap allocation", true, false}},
+      {"make_unique", {"heap allocation", false, false}},
+      {"make_shared", {"heap allocation", false, false}},
+      {"ifstream", {"file I/O", false, false}},
+      {"ofstream", {"file I/O", false, false}},
+      {"fstream", {"file I/O", false, false}},
+      {"fopen", {"file I/O", true, false}},
+      {"fread", {"file I/O", true, false}},
+      {"fwrite", {"file I/O", true, false}},
+      {"fprintf", {"file I/O", true, false}},
+      {"fflush", {"file I/O", true, false}},
+      {"socket", {"socket I/O", true, false}},
+      {"recv", {"socket I/O", true, false}},
+      {"send", {"socket I/O", true, false}},
+      {"accept", {"socket I/O", true, false}},
+      {"MutexLock", {"lock acquisition", false, false}},
+      {"Lock", {"lock acquisition", true, true}},
+      {"TryLock", {"lock acquisition", true, true}},
+      {"sleep_for", {"blocking wait", true, false}},
+      {"usleep", {"blocking wait", true, false}},
+  };
+  return bans;
+}
+
+void CheckHotPathPurity(const PreparedFile& p, std::vector<Finding>* out) {
+  if (!IsPurityHotFile(p.file->path)) return;
+  if (FileSuppressed(p.lines, "hot-path-purity")) return;
+  const std::vector<Token>& t = p.tokens;
+  for (const FunctionDecl& fn : p.functions) {
+    if (IsColdFunction(fn)) continue;
+    for (size_t i = fn.body_begin; i < fn.body_end; ++i) {
+      if (!t[i].ident) continue;
+      auto it = PurityBans().find(t[i].text);
+      if (it == PurityBans().end()) continue;
+      const PurityBan& ban = it->second;
+      if (ban.needs_call &&
+          (i + 1 >= t.size() || t[i + 1].text != "(")) {
+        continue;
+      }
+      if (ban.needs_member_op &&
+          (i == 0 || (t[i - 1].text != "." && t[i - 1].text != "->"))) {
+        continue;
+      }
+      if (Suppressed(p.lines, t[i].line, "hot-path-purity")) continue;
+      const std::string where =
+          fn.cls.empty() ? fn.name : fn.cls + "::" + fn.name;
+      out->push_back(
+          {p.file->path, t[i].line, "hot-path-purity",
+           std::string(ban.what) + " (`" + t[i].text + "`) in per-op eval "
+           "path " + where + "; keep the op hot path allocation-, I/O-, "
+           "and blocking-free, or add a `tfx-lint: allow(hot-path-purity)` "
+           "rationale"});
+    }
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Public API
+// ---------------------------------------------------------------------------
+
+std::vector<std::string> SemanticCheckNames() {
+  return {"serializer-pairing", "lock-order", "hot-path-purity"};
+}
+
+std::string LockGraphToDot(const LockGraph& graph,
+                           const std::vector<std::string>& cycle_nodes) {
+  std::set<std::string> hot(cycle_nodes.begin(), cycle_nodes.end());
+  std::ostringstream os;
+  os << "// Mutex-acquisition order graph (tfx_analyze, check lock-order).\n"
+     << "// Edge A -> B: B was acquired while A was held. Cycles = "
+        "deadlock risk.\n"
+     << "digraph lock_order {\n"
+     << "  rankdir=LR;\n"
+     << "  node [shape=box, fontname=\"monospace\"];\n";
+  for (const std::string& n : graph.nodes) {
+    os << "  \"" << DotEscape(n) << "\"";
+    if (hot.count(n) != 0) os << " [color=red, fontcolor=red]";
+    os << ";\n";
+  }
+  for (const LockEdge& e : graph.edges) {
+    os << "  \"" << DotEscape(e.from) << "\" -> \"" << DotEscape(e.to)
+       << "\" [label=\"" << DotEscape(FileStem(e.file)) << ":" << e.line;
+    if (e.count > 1) os << " (+" << (e.count - 1) << ")";
+    os << "\"";
+    if (hot.count(e.from) != 0 && hot.count(e.to) != 0) os << ", color=red";
+    os << "];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+SemanticResult AnalyzeSemantics(const std::vector<FileInput>& files) {
+  std::vector<PreparedFile> prepared;
+  prepared.reserve(files.size());
+  for (const FileInput& f : files) {
+    PreparedFile p;
+    p.file = &f;
+    p.tokens = Tokenize(StripCommentsAndStrings(f.content));
+    p.lines = SplitLines(f.content);
+    p.functions = ParseFunctions(p.tokens);
+    prepared.push_back(std::move(p));
+  }
+
+  SemanticResult result;
+  std::map<std::string, SerializerGroup> groups;
+  LockHarvest locks;
+  for (const PreparedFile& p : prepared) {
+    HarvestSerializerTags(p, &groups);
+    HarvestLockSites(p, &locks);
+    CheckHotPathPurity(p, &result.findings);
+  }
+  ReportSerializerDrift(groups, &result.findings);
+  const std::vector<std::vector<std::string>> cycles = LockCycles(locks);
+  ReportLockCycles(locks, cycles, &result.findings);
+
+  result.lock_graph.nodes.assign(locks.nodes.begin(), locks.nodes.end());
+  for (const auto& [key, edge] : locks.edges) {
+    result.lock_graph.edges.push_back(edge);
+  }
+  for (const auto& cycle : cycles) {
+    for (const std::string& n : cycle) result.cycle_nodes.push_back(n);
+  }
+  std::sort(result.cycle_nodes.begin(), result.cycle_nodes.end());
+  result.cycle_nodes.erase(
+      std::unique(result.cycle_nodes.begin(), result.cycle_nodes.end()),
+      result.cycle_nodes.end());
+
+  std::stable_sort(result.findings.begin(), result.findings.end(),
+                   [](const Finding& a, const Finding& b) {
+                     if (a.file != b.file) return a.file < b.file;
+                     return a.line < b.line;
+                   });
+  return result;
+}
+
+}  // namespace tfx_lint

@@ -1,0 +1,114 @@
+#ifndef TURBOFLUX_TOOLS_LINT_SEMANTIC_H_
+#define TURBOFLUX_TOOLS_LINT_SEMANTIC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "lint/lint.h"
+
+// Semantic analysis tier of the project checker (DESIGN.md §3.14), driven
+// by `tfx_analyze`. Where the token tier (lint.h) pattern-matches single
+// statements, this tier parses declarations — class scopes, function
+// definitions with their body extents, constructor initializer lists —
+// deeply enough to run checks whose evidence spans functions and files:
+//
+//   serializer-pairing  Every section tag a `Write*Sections`/`Checkpoint`
+//                       implementation passes to bin::WriteSection must be
+//                       read back (bin::ReadSection) by the same class's
+//                       `Read*Sections`/`Restore`, and vice versa. Writer
+//                       and reader may live in different translation
+//                       units; pairing is keyed by the enclosing class
+//                       (file, for free functions). Catches checkpoint
+//                       format drift — the PR 9 spliced-snapshot bug
+//                       class — at compile-check time instead of fuzz
+//                       time.
+//   lock-order          Builds the mutex-acquisition graph from nested
+//                       MutexLock scopes across the whole file set (node
+//                       `Class::member`, edge A→B when B is acquired
+//                       while A is held) and fails on any cycle. Clang's
+//                       -Wthread-safety proves each GUARDED_BY access is
+//                       locked but does not analyze acquisition *order*;
+//                       this check closes that gap. The graph is
+//                       exported as a DOT artifact for CI.
+//   hot-path-purity     Heap allocation (new / malloc / make_unique /
+//                       make_shared), file or socket I/O, and lock
+//                       acquisition inside per-op eval functions under
+//                       src/turboflux/{core,match,symbi,graph}/ require a
+//                       `tfx-lint: allow(hot-path-purity)` rationale.
+//                       Functions whose names mark them as setup,
+//                       (de)serialization, or maintenance (Init*, Build*,
+//                       Serialize*, Restore, Checkpoint, ...) are exempt,
+//                       as are constructors and destructors; a file
+//                       categorically off the per-op path opts out with
+//                       `tfx-lint: allow-file(hot-path-purity)`.
+//
+// Suppression uses the same `tfx-lint: allow(<check>)` markers as the
+// token tier. The parser is still heuristic (no libclang): it recognizes
+// the project's idioms — out-of-line `Cls::Method(...)` definitions,
+// in-class bodies, ctor initializer lists, thread-safety attribute
+// macros after the parameter list — and the seeded-violation tests in
+// tests/test_tfx_analyze.cc pin down exactly what it sees.
+
+namespace tfx_lint {
+
+// ---------------------------------------------------------------------------
+// Declaration parsing
+// ---------------------------------------------------------------------------
+
+/// A function definition recognized in one file's token stream.
+struct FunctionDecl {
+  std::string cls;   ///< enclosing class or `Cls::` qualifier; empty = free
+  std::string name;  ///< unqualified name; destructors are "~Name"
+  size_t line = 0;   ///< 1-based line of the name token
+  size_t body_begin = 0;  ///< token index of the body's `{`
+  size_t body_end = 0;    ///< token index of the matching `}`
+};
+
+/// Parses every function definition (with body) out of a tokenized file.
+/// Exposed for tests.
+std::vector<FunctionDecl> ParseFunctions(const std::vector<Token>& tokens);
+
+// ---------------------------------------------------------------------------
+// Lock-acquisition graph
+// ---------------------------------------------------------------------------
+
+struct LockEdge {
+  std::string from;  ///< node held (e.g. "Server::reg_mu_")
+  std::string to;    ///< node acquired while `from` is held
+  std::string file;  ///< file of the first site that produced this edge
+  size_t line = 0;   ///< 1-based line of that acquisition
+  uint64_t count = 0;  ///< number of sites producing this edge
+};
+
+struct LockGraph {
+  std::vector<std::string> nodes;  ///< every mutex seen, sorted
+  std::vector<LockEdge> edges;     ///< deduped, sorted by (from, to)
+};
+
+/// Renders the graph as GraphViz DOT; nodes on `cycle_nodes` are
+/// highlighted. Uploaded as a CI artifact by the static-analysis job.
+std::string LockGraphToDot(const LockGraph& graph,
+                           const std::vector<std::string>& cycle_nodes);
+
+// ---------------------------------------------------------------------------
+// Analysis entry points
+// ---------------------------------------------------------------------------
+
+struct SemanticResult {
+  std::vector<Finding> findings;  ///< ordered by (file, line)
+  LockGraph lock_graph;
+  std::vector<std::string> cycle_nodes;  ///< nodes on some lock cycle
+};
+
+/// Names of the semantic checks, in report order.
+std::vector<std::string> SemanticCheckNames();
+
+/// Runs the semantic tier over `files` as one project: pass 1 parses
+/// declarations per file, pass 2 merges serializer groups and the lock
+/// graph across files and reports violations.
+SemanticResult AnalyzeSemantics(const std::vector<FileInput>& files);
+
+}  // namespace tfx_lint
+
+#endif  // TURBOFLUX_TOOLS_LINT_SEMANTIC_H_

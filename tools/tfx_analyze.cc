@@ -1,0 +1,143 @@
+// tfx_analyze — the two-tier project analyzer (DESIGN.md §3.14).
+//
+// Runs the token-tier checks of tfx_lint plus the semantic tier
+// (serializer-pairing, lock-order, hot-path-purity) over one file set, so
+// CI needs a single gate for both.
+//
+// Usage:
+//   tfx_analyze -p build/compile_commands.json [--root DIR]
+//               [--lock-graph FILE]
+//   tfx_analyze [--semantic-only] FILE...
+//   tfx_analyze --list-checks
+//
+// --lock-graph FILE writes the mutex-acquisition graph as GraphViz DOT
+// (cycle nodes highlighted) whether or not a cycle was found; the
+// static-analysis CI job uploads it as an artifact. --semantic-only skips
+// the token tier (used by the seeded-violation tests).
+//
+// Exit status: 0 clean, 1 findings reported, 2 usage or I/O error.
+
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "lint/lint.h"
+#include "lint/semantic.h"
+
+namespace {
+
+int Usage() {
+  std::cerr << "usage: tfx_analyze -p compile_commands.json [--root DIR]"
+            << " [--lock-graph FILE]\n"
+            << "       tfx_analyze [--semantic-only] FILE...\n"
+            << "       tfx_analyze --list-checks\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string compile_commands;
+  std::string root = ".";
+  std::string lock_graph_path;
+  bool semantic_only = false;
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list-checks") {
+      for (const std::string& c : tfx_lint::CheckNames()) {
+        std::cout << c << "\n";
+      }
+      for (const std::string& c : tfx_lint::SemanticCheckNames()) {
+        std::cout << c << "\n";
+      }
+      return 0;
+    } else if (arg == "-p") {
+      if (++i >= argc) return Usage();
+      compile_commands = argv[i];
+    } else if (arg.rfind("-p=", 0) == 0) {
+      compile_commands = arg.substr(3);
+    } else if (arg == "--root") {
+      if (++i >= argc) return Usage();
+      root = argv[i];
+    } else if (arg.rfind("--root=", 0) == 0) {
+      root = arg.substr(7);
+    } else if (arg == "--lock-graph") {
+      if (++i >= argc) return Usage();
+      lock_graph_path = argv[i];
+    } else if (arg.rfind("--lock-graph=", 0) == 0) {
+      lock_graph_path = arg.substr(13);
+    } else if (arg == "--semantic-only") {
+      semantic_only = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return Usage();
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  if (compile_commands.empty() && positional.empty()) return Usage();
+
+  std::vector<std::string> paths = positional;
+  if (!compile_commands.empty()) {
+    std::string error;
+    std::vector<std::string> tree =
+        tfx_lint::CollectTreeFiles(compile_commands, root, &error);
+    if (tree.empty()) {
+      std::cerr << "tfx_analyze: " << compile_commands << ": " << error
+                << "\n";
+      return 2;
+    }
+    paths.insert(paths.end(), tree.begin(), tree.end());
+  }
+
+  // Token tier (also surfaces unreadable paths as io-error findings).
+  std::vector<tfx_lint::Finding> findings;
+  if (!semantic_only) {
+    findings = tfx_lint::LintPaths(paths);
+  }
+
+  // Semantic tier: read the set once and analyze it as one project.
+  std::vector<tfx_lint::FileInput> files;
+  files.reserve(paths.size());
+  for (const std::string& path : paths) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      if (semantic_only) {
+        findings.push_back({path, 0, "io-error", "cannot read file"});
+      }
+      continue;  // token tier already reported it otherwise
+    }
+    std::string content((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+    files.push_back({path, std::move(content)});
+  }
+  tfx_lint::SemanticResult semantic = tfx_lint::AnalyzeSemantics(files);
+  findings.insert(findings.end(), semantic.findings.begin(),
+                  semantic.findings.end());
+
+  if (!lock_graph_path.empty()) {
+    std::ofstream out(lock_graph_path, std::ios::binary);
+    if (!out) {
+      std::cerr << "tfx_analyze: cannot write " << lock_graph_path << "\n";
+      return 2;
+    }
+    out << tfx_lint::LockGraphToDot(semantic.lock_graph,
+                                    semantic.cycle_nodes);
+    std::cerr << "tfx_analyze: lock graph ("
+              << semantic.lock_graph.nodes.size() << " mutexes, "
+              << semantic.lock_graph.edges.size() << " edges) -> "
+              << lock_graph_path << "\n";
+  }
+
+  for (const tfx_lint::Finding& f : findings) {
+    std::cout << f.ToString() << "\n";
+  }
+  if (findings.empty()) {
+    std::cerr << "tfx_analyze: " << paths.size() << " files clean\n";
+    return 0;
+  }
+  std::cerr << "tfx_analyze: " << findings.size() << " finding(s) in "
+            << paths.size() << " files\n";
+  return 1;
+}

@@ -12,43 +12,13 @@
 //
 // Exit status: 0 clean, 1 findings reported, 2 usage or I/O error.
 
-#include <filesystem>
-#include <fstream>
 #include <iostream>
-#include <sstream>
 #include <string>
 #include <vector>
 
 #include "lint/lint.h"
 
 namespace {
-
-namespace fs = std::filesystem;
-
-std::string Canonical(const std::string& path) {
-  std::error_code ec;
-  fs::path p = fs::weakly_canonical(fs::path(path), ec);
-  return ec ? path : p.string();
-}
-
-bool Under(const std::string& path, const std::string& dir) {
-  return path.size() > dir.size() && path.compare(0, dir.size(), dir) == 0 &&
-         path[dir.size()] == '/';
-}
-
-void AddHeadersUnder(const fs::path& dir, const std::string& build_dir,
-                     std::vector<std::string>* out) {
-  std::error_code ec;
-  if (!fs::is_directory(dir, ec)) return;
-  for (fs::recursive_directory_iterator it(dir, ec), end; it != end;
-       it.increment(ec)) {
-    if (ec) break;
-    if (!it->is_regular_file(ec)) continue;
-    const std::string p = Canonical(it->path().string());
-    if (!build_dir.empty() && Under(p, build_dir)) continue;
-    if (it->path().extension() == ".h") out->push_back(p);
-  }
-}
 
 int Usage() {
   std::cerr << "usage: tfx_lint -p compile_commands.json [--root DIR]\n"
@@ -90,30 +60,14 @@ int main(int argc, char** argv) {
 
   std::vector<std::string> paths = positional;
   if (!compile_commands.empty()) {
-    std::ifstream in(compile_commands, std::ios::binary);
-    if (!in) {
-      std::cerr << "tfx_lint: cannot read " << compile_commands << "\n";
-      return 2;
-    }
-    std::ostringstream os;
-    os << in.rdbuf();
     std::string error;
-    std::vector<std::string> tus =
-        tfx_lint::FilesFromCompileCommands(os.str(), &error);
-    if (tus.empty()) {
+    std::vector<std::string> tree =
+        tfx_lint::CollectTreeFiles(compile_commands, root, &error);
+    if (tree.empty()) {
       std::cerr << "tfx_lint: " << compile_commands << ": " << error << "\n";
       return 2;
     }
-    const std::string canon_root = Canonical(root);
-    const std::string build_dir =
-        Canonical(fs::path(compile_commands).parent_path().string());
-    for (const std::string& tu : tus) {
-      const std::string p = Canonical(tu);
-      if (Under(p, canon_root) && !Under(p, build_dir)) paths.push_back(p);
-    }
-    for (const char* dir : {"src", "tools", "tests", "bench", "examples"}) {
-      AddHeadersUnder(fs::path(canon_root) / dir, build_dir, &paths);
-    }
+    paths.insert(paths.end(), tree.begin(), tree.end());
   }
 
   const std::vector<tfx_lint::Finding> findings = tfx_lint::LintPaths(paths);
